@@ -1,0 +1,87 @@
+//! Real-codec kernel benchmarks behind Table V / Fig 13: compression and
+//! decompression throughput per predictor and backend, plus the
+//! transform-based (ZFP-style) baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_sz::config::{LosslessBackend, PredictorKind};
+use ocelot_sz::{compress, decompress, zfp, LossyConfig};
+
+fn bench_predictors(c: &mut Criterion) {
+    let data = FieldSpec::new(Application::Miranda, "density").with_scale(8).generate();
+    let mut g = c.benchmark_group("table5_compress_by_predictor");
+    g.throughput(Throughput::Bytes(data.nbytes() as u64));
+    g.sample_size(10);
+    for predictor in PredictorKind::ALL {
+        let cfg = LossyConfig::sz3(1e-3).with_predictor(predictor);
+        g.bench_with_input(BenchmarkId::from_parameter(predictor.name()), &cfg, |b, cfg| {
+            b.iter(|| compress(&data, cfg).expect("compression succeeds"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let data = FieldSpec::new(Application::Cesm, "LHFLX").with_scale(8).generate();
+    let mut g = c.benchmark_group("table5_compress_by_backend");
+    g.throughput(Throughput::Bytes(data.nbytes() as u64));
+    g.sample_size(10);
+    for backend in [LosslessBackend::Huffman, LosslessBackend::HuffmanLz, LosslessBackend::RleHuffman] {
+        let cfg = LossyConfig::sz3(1e-3).with_backend(backend);
+        g.bench_with_input(BenchmarkId::from_parameter(backend.name()), &cfg, |b, cfg| {
+            b.iter(|| compress(&data, cfg).expect("compression succeeds"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data = FieldSpec::new(Application::Rtm, "snapshot-1048").with_scale(12).generate();
+    let mut g = c.benchmark_group("fig13_decompress");
+    g.throughput(Throughput::Bytes(data.nbytes() as u64));
+    g.sample_size(10);
+    for eb in [1e-5, 1e-3, 1e-1] {
+        let blob = compress(&data, &LossyConfig::sz3(eb)).expect("compression succeeds");
+        g.bench_with_input(BenchmarkId::from_parameter(format!("eb{eb:.0e}")), &blob, |b, blob| {
+            b.iter(|| decompress::<f32>(blob).expect("decompression succeeds"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_zfp_baseline(c: &mut Criterion) {
+    let data = FieldSpec::new(Application::Miranda, "pressure").with_scale(12).generate();
+    let abs_eb = 1e-3 * data.value_range();
+    let mut g = c.benchmark_group("baseline_zfp_transform");
+    g.throughput(Throughput::Bytes(data.nbytes() as u64));
+    g.sample_size(10);
+    g.bench_function("compress", |b| b.iter(|| zfp::compress(&data, abs_eb).expect("zfp compression succeeds")));
+    let blob = zfp::compress(&data, abs_eb).expect("zfp compression succeeds");
+    g.bench_function("decompress", |b| b.iter(|| decompress::<f32>(&blob).expect("zfp decompression succeeds")));
+    g.finish();
+}
+
+fn bench_temporal_stream(c: &mut Criterion) {
+    use ocelot::temporal::TemporalCompressor;
+    use ocelot_datagen::series::snapshot_series;
+    let spec = FieldSpec::new(Application::Miranda, "pressure").with_scale(12);
+    let frames = snapshot_series(&spec, 8, 0.92, 7);
+    let bytes: usize = frames.iter().map(|f| f.nbytes()).sum();
+    let cfg = LossyConfig::sz3_abs(1e-3 * frames[0].value_range());
+    let mut g = c.benchmark_group("ext_temporal");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(10);
+    g.bench_function("spatial_per_frame", |b| {
+        b.iter(|| frames.iter().map(|f| compress(f, &cfg).expect("compresses").len()).sum::<usize>())
+    });
+    g.bench_function("temporal_key_plus_delta", |b| {
+        b.iter(|| {
+            let mut comp = TemporalCompressor::new(cfg);
+            frames.iter().map(|f| comp.compress_next(f).expect("compresses").len()).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictors, bench_backends, bench_decompress, bench_zfp_baseline, bench_temporal_stream);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! File-grouping benchmarks behind Fig 11 / §VII-C: planning, packing, and
+//! unpacking group files.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocelot::grouping::{group_blobs, plan_groups, plan_groups_by_count, ungroup_blobs};
+
+fn blobs(n: usize, avg_size: usize) -> Vec<(String, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            let size = avg_size / 2 + (i * 2654435761) % avg_size;
+            (format!("file{i:05}.sz"), vec![(i % 251) as u8; size])
+        })
+        .collect()
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let sizes: Vec<u64> = (0..10_000u64).map(|i| 1_000_000 + (i * 37) % 3_000_000).collect();
+    let mut g = c.benchmark_group("fig11_planning");
+    g.throughput(Throughput::Elements(sizes.len() as u64));
+    g.bench_function("by_target_bytes", |b| b.iter(|| plan_groups(&sizes, 512_000_000)));
+    g.bench_function("by_count", |b| b.iter(|| plan_groups_by_count(sizes.len(), 64)));
+    g.finish();
+}
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_pack");
+    g.sample_size(10);
+    for &(n, avg) in &[(256usize, 64 * 1024usize), (2048, 8 * 1024)] {
+        let input = blobs(n, avg);
+        let total: usize = input.iter().map(|(_, b)| b.len()).sum();
+        let plan = plan_groups_by_count(n, 8);
+        g.throughput(Throughput::Bytes(total as u64));
+        g.bench_with_input(BenchmarkId::new("group", format!("{n}_files")), &input, |b, input| {
+            b.iter(|| group_blobs(input, &plan))
+        });
+        let (groups, _) = group_blobs(&input, &plan);
+        g.bench_with_input(BenchmarkId::new("ungroup", format!("{n}_files")), &groups, |b, groups| {
+            b.iter(|| groups.iter().map(|g| ungroup_blobs(g).expect("valid group").len()).sum::<usize>())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_pack_unpack);
+criterion_main!(benches);

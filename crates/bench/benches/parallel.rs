@@ -1,0 +1,47 @@
+//! Real-thread parallel compression scaling (the laptop analogue of Fig 9
+//! left): the ParallelExecutor over 1/2/4/8 workers on real files.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocelot::executor::ParallelExecutor;
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_sz::{Dataset, LossyConfig};
+
+fn files(n: usize) -> Vec<Dataset<f32>> {
+    (0..n as u64)
+        .map(|seed| FieldSpec::new(Application::Miranda, "density").with_scale(16).with_seed(seed).generate())
+        .collect()
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let data = files(16);
+    let bytes: usize = data.iter().map(|d| d.nbytes()).sum();
+    let cfg = LossyConfig::sz3(1e-3);
+    let mut g = c.benchmark_group("fig9_threads");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let ex = ParallelExecutor::new(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{threads}_threads")), &ex, |b, ex| {
+            b.iter(|| ex.compress_all(&data, &cfg).expect("compression succeeds"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_decompression(c: &mut Criterion) {
+    let data = files(16);
+    let cfg = LossyConfig::sz3(1e-3);
+    let blobs = ParallelExecutor::new(4).compress_all(&data, &cfg).expect("compression succeeds");
+    let mut g = c.benchmark_group("fig9_threads_decompress");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let ex = ParallelExecutor::new(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{threads}_threads")), &ex, |b, ex| {
+            b.iter(|| ex.decompress_all(&blobs).expect("decompression succeeds"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_parallel_decompression);
+criterion_main!(benches);

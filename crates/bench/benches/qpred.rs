@@ -1,0 +1,42 @@
+//! Quality-prediction benchmarks behind Figs 12–14 and Tables V–VII:
+//! feature-extraction cost at the paper's sampling rates (the Fig 13A
+//! overhead claim), tree training, and prediction latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocelot_bench::pool::{build_app_pool, to_training, EBS11};
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_qpred::{extract, QualityModel, TreeConfig};
+use ocelot_sz::LossyConfig;
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let data = FieldSpec::new(Application::Nyx, "temperature").with_scale(8).generate();
+    let cfg = LossyConfig::sz3(1e-3);
+    let mut g = c.benchmark_group("fig13a_feature_extraction");
+    g.throughput(Throughput::Bytes(data.nbytes() as u64));
+    g.sample_size(10);
+    for stride in [1usize, 10, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("sample_1_in_{stride}")), &stride, |b, &s| {
+            b.iter(|| extract(&data, &cfg, s))
+        });
+    }
+    g.finish();
+}
+
+fn bench_training_and_prediction(c: &mut Criterion) {
+    let pool = build_app_pool(Application::Miranda, &["density", "pressure", "velocity-x"], 0..3, &EBS11, 16);
+    let samples = to_training(&pool);
+    let mut g = c.benchmark_group("fig12_model");
+    g.sample_size(10);
+    g.bench_function("train_decision_trees", |b| {
+        b.iter(|| QualityModel::train(&samples, &TreeConfig::default()))
+    });
+    let model = QualityModel::train(&samples, &TreeConfig::default());
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function("predict_all_samples", |b| {
+        b.iter(|| samples.iter().map(|s| model.predict(&s.features).ratio).sum::<f64>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_feature_extraction, bench_training_and_prediction);
+criterion_main!(benches);

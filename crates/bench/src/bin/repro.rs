@@ -1,0 +1,64 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>...   run specific experiments (table1, fig4, …)
+//! repro all               run everything, in paper order
+//! repro list              list experiment ids
+//! ```
+//!
+//! Each experiment prints its rows and writes a JSON artifact under
+//! `results/`.
+
+use ocelot_bench::experiments::{self, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
+    if args.iter().any(|a| a == "list") {
+        for id in ALL_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> =
+        if args.iter().any(|a| a == "all") { ALL_IDS.to_vec() } else { args.iter().map(String::as_str).collect() };
+    for id in ids {
+        let started = std::time::Instant::now();
+        match id {
+            "table1" => experiments::table1::print(),
+            "table2" => experiments::table2::print(),
+            "fig4" => experiments::fig4::print(),
+            "fig5" => experiments::fig5::print(),
+            "fig6" => experiments::fig6::print(),
+            "fig7" | "fig8" => experiments::fig78::print(),
+            "fig9" => experiments::fig9::print(),
+            "fig10" => experiments::fig10::print(),
+            "fig12" => experiments::fig12::print(),
+            "fig13" => experiments::fig13::print(),
+            "fig14" => experiments::fig14::print(),
+            "fig15" => experiments::fig15::print(),
+            "table5" => experiments::table5::print(),
+            "table6" | "table7" => experiments::table67::print(),
+            "table8" => {
+                experiments::table8::print();
+                experiments::table8::print_fig16();
+            }
+            "fig16" => experiments::table8::print_fig16(),
+            "ablations" => experiments::ablations::print(),
+            "extensions" => experiments::extensions::print(),
+            other => {
+                eprintln!("unknown experiment '{other}' — run `repro list`");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{id} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+}
+
+fn usage() {
+    eprintln!("usage: repro <experiment>... | all | list");
+    eprintln!("experiments: {}", ALL_IDS.join(", "));
+}

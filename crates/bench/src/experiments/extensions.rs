@@ -1,0 +1,231 @@
+//! Extensions beyond the paper's evaluation:
+//!
+//! * **transform-codec quality prediction** — the paper's future work
+//!   ("we lack effective time/ratio prediction methods for
+//!   transformer-based compressors like ZFP"), implemented in
+//!   `ocelot_qpred::transform` and evaluated here across applications;
+//! * **codec family comparison** — prediction-based pipelines vs the
+//!   transform baseline at equal error bounds.
+
+use crate::pool::{build_app_pool, to_training, EBS11};
+use crate::support::{write_artifact, TextTable};
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_qpred::transform::{measure_transform_sample, TransformQualityModel, TransformSample};
+use ocelot_qpred::{QualityModel, TreeConfig, FEATURE_NAMES};
+use ocelot_sz::config::PredictorKind;
+use ocelot_sz::{compress_with_stats, zfp, LossyConfig};
+use serde::Serialize;
+
+/// Transform-prediction evaluation for one application.
+#[derive(Debug, Clone, Serialize)]
+pub struct ZfpPredictionRow {
+    /// Application.
+    pub app: String,
+    /// Held-out points.
+    pub test_points: usize,
+    /// Held-out log10-ratio RMSE.
+    pub log_rmse: f64,
+    /// Fraction of held-out predictions within 1.5× of truth.
+    pub within_1_5x: f64,
+}
+
+fn build_samples(app: Application, fields: &[&str], seeds: std::ops::Range<u64>, scale: usize) -> Vec<TransformSample> {
+    let mut out = Vec::new();
+    for &field in fields {
+        for seed in seeds.clone() {
+            let data = FieldSpec::new(app, field).with_scale(scale).with_seed(seed).generate();
+            let range = data.value_range().max(1e-30);
+            for exp in 1..=5 {
+                if let Ok(s) = measure_transform_sample(&data, 10f64.powi(-exp) * range, 8) {
+                    out.push(s);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates ZFP ratio prediction per application (train seeds 0–2, test 3–4).
+pub fn run_zfp_prediction() -> Vec<ZfpPredictionRow> {
+    [Application::Miranda, Application::Cesm, Application::Isabel]
+        .iter()
+        .map(|&app| {
+            let fields: Vec<&str> = app.fields().iter().take(5).copied().collect();
+            let scale = crate::pool::default_scale(app);
+            let train = build_samples(app, &fields, 0..3, scale);
+            let test = build_samples(app, &fields, 3..5, scale);
+            let model = TransformQualityModel::train(&train, &TreeConfig::default());
+            let mut se = 0.0;
+            let mut close = 0usize;
+            for s in &test {
+                let pred = model.predict_ratio(&s.features);
+                se += (pred.log10() - s.ratio.log10()).powi(2);
+                if pred / s.ratio < 1.5 && s.ratio / pred < 1.5 {
+                    close += 1;
+                }
+            }
+            ZfpPredictionRow {
+                app: app.name().to_string(),
+                test_points: test.len(),
+                log_rmse: (se / test.len() as f64).sqrt(),
+                within_1_5x: close as f64 / test.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Feature-importance summary (validates the paper's Fig 3 grouping claim
+/// quantitatively).
+#[derive(Debug, Clone, Serialize)]
+pub struct ImportanceRow {
+    /// Feature name.
+    pub feature: String,
+    /// Importance for the ratio tree.
+    pub ratio: f64,
+    /// Importance for the time tree.
+    pub time: f64,
+    /// Importance for the PSNR tree.
+    pub psnr: f64,
+}
+
+/// Trains a quality model across applications and reports per-feature
+/// importance for each metric.
+pub fn run_feature_importance() -> Vec<ImportanceRow> {
+    let mut samples = Vec::new();
+    for app in [Application::Miranda, Application::Cesm, Application::Rtm] {
+        let fields: Vec<&str> = app.fields().iter().take(5).copied().collect();
+        let scale = crate::pool::default_scale(app);
+        samples.extend(to_training(&build_app_pool(app, &fields, 0..2, &EBS11, scale)));
+    }
+    let model = QualityModel::train(&samples, &TreeConfig::default());
+    let (ratio, time, psnr) = model.feature_importance();
+    FEATURE_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| ImportanceRow { feature: name.to_string(), ratio: ratio[i], time: time[i], psnr: psnr[i] })
+        .collect()
+}
+
+/// Codec comparison row.
+#[derive(Debug, Clone, Serialize)]
+pub struct CodecRow {
+    /// Application/field.
+    pub dataset: String,
+    /// SZ3 (interp-cubic) ratio.
+    pub sz3_ratio: f64,
+    /// SZ2 (regression) ratio.
+    pub sz2_ratio: f64,
+    /// Lorenzo-pipeline ratio.
+    pub lorenzo_ratio: f64,
+    /// Transform-codec ratio.
+    pub zfp_ratio: f64,
+}
+
+/// Compares codec families at eb 1e-3 across representative fields.
+pub fn run_codec_comparison() -> Vec<CodecRow> {
+    [
+        (Application::Cesm, "LHFLX", 12usize),
+        (Application::Miranda, "velocity-x", 12),
+        (Application::Rtm, "snapshot-1048", 12),
+        (Application::Nyx, "baryon_density", 16),
+    ]
+    .iter()
+    .map(|&(app, field, scale)| {
+        let data = FieldSpec::new(app, field).with_scale(scale).generate();
+        let ratio = |p: PredictorKind| {
+            compress_with_stats(&data, &LossyConfig::sz3(1e-3).with_predictor(p))
+                .expect("compression succeeds")
+                .ratio
+        };
+        let abs_eb = 1e-3 * data.value_range().max(1e-30);
+        let zfp_blob = zfp::compress(&data, abs_eb).expect("zfp compression succeeds");
+        CodecRow {
+            dataset: format!("{}/{}", app.name(), field),
+            sz3_ratio: ratio(PredictorKind::InterpCubic),
+            sz2_ratio: ratio(PredictorKind::Regression),
+            lorenzo_ratio: ratio(PredictorKind::Lorenzo),
+            zfp_ratio: data.nbytes() as f64 / zfp_blob.len() as f64,
+        }
+    })
+    .collect()
+}
+
+/// Runs both extensions, prints, writes artifacts.
+pub fn print() {
+    let pred = run_zfp_prediction();
+    let mut t = TextTable::new(["app", "test points", "log10-ratio RMSE", "within 1.5x"]);
+    for r in &pred {
+        t.row([
+            r.app.clone(),
+            r.test_points.to_string(),
+            format!("{:.3}", r.log_rmse),
+            format!("{:.0}%", r.within_1_5x * 100.0),
+        ]);
+    }
+    println!("Extension — ZFP (transform codec) ratio prediction [paper future work]\n{t}");
+    let _ = write_artifact("ext_zfp_prediction", &pred);
+
+    let imp = run_feature_importance();
+    let mut t = TextTable::new(["feature", "ratio", "time", "PSNR"]);
+    for r in &imp {
+        t.row([
+            r.feature.clone(),
+            format!("{:.3}", r.ratio),
+            format!("{:.3}", r.time),
+            format!("{:.3}", r.psnr),
+        ]);
+    }
+    println!("Extension — learned feature importance (cross-application model)\n{t}");
+    let _ = write_artifact("ext_importance", &imp);
+
+    let codecs = run_codec_comparison();
+    let mut t = TextTable::new(["dataset", "SZ3", "SZ2", "Lorenzo", "ZFP"]);
+    for r in &codecs {
+        t.row([
+            r.dataset.clone(),
+            format!("{:.1}x", r.sz3_ratio),
+            format!("{:.1}x", r.sz2_ratio),
+            format!("{:.1}x", r.lorenzo_ratio),
+            format!("{:.1}x", r.zfp_ratio),
+        ]);
+    }
+    println!("Extension — codec family comparison at eb 1e-3\n{t}");
+    let _ = write_artifact("ext_codecs", &codecs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zfp_ratio_prediction_generalizes() {
+        for r in run_zfp_prediction() {
+            assert!(r.log_rmse < 0.45, "{}: rmse {}", r.app, r.log_rmse);
+            assert!(r.within_1_5x > 0.5, "{}: within-1.5x {}", r.app, r.within_1_5x);
+        }
+    }
+
+    #[test]
+    fn importance_is_normalized_and_nontrivial() {
+        let rows = run_feature_importance();
+        let sums: [f64; 3] = [
+            rows.iter().map(|r| r.ratio).sum(),
+            rows.iter().map(|r| r.time).sum(),
+            rows.iter().map(|r| r.psnr).sum(),
+        ];
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-9, "importance sums {sums:?}");
+        }
+        // More than one feature matters for ratio prediction.
+        assert!(rows.iter().filter(|r| r.ratio > 0.02).count() >= 2);
+    }
+
+    #[test]
+    fn sz3_wins_the_codec_comparison() {
+        // The paper adopts SZ3 for its best-in-class ratios; our from-scratch
+        // pipelines reproduce the ranking on most fields.
+        let rows = run_codec_comparison();
+        let sz3_wins = rows.iter().filter(|r| r.sz3_ratio >= r.zfp_ratio && r.sz3_ratio >= r.lorenzo_ratio).count();
+        assert!(sz3_wins * 2 >= rows.len(), "SZ3 should lead on at least half the fields");
+    }
+}

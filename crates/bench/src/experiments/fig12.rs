@@ -1,0 +1,114 @@
+//! Fig 12 — distribution of compression time and ratio prediction errors
+//! for Nyx / CESM / Miranda: train on 30 % of files, test on 70 %, and plot
+//! the error histogram with its 80 % confidence box.
+
+use crate::pool::{build_app_pool, to_training, EBS11};
+use crate::support::{write_artifact, TextTable};
+use ocelot_datagen::Application;
+use ocelot_qpred::{ErrorDistribution, QualityModel, TrainingSet, TreeConfig};
+use serde::Serialize;
+
+/// Prediction-error summary for one application and one metric.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricErrors {
+    /// `"ratio"` or `"time"`.
+    pub metric: String,
+    /// Signed relative errors `(pred − real)/real` on held-out samples.
+    pub errors: Vec<f64>,
+    /// 80 % central interval (the paper's green box).
+    pub ci80: (f64, f64),
+    /// RMSE of the relative error.
+    pub rmse: f64,
+    /// Histogram (centres, fractions), 21 bins.
+    pub histogram: (Vec<f64>, Vec<f64>),
+}
+
+/// One application's panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    /// Application name.
+    pub app: String,
+    /// Ratio and time error summaries.
+    pub metrics: Vec<MetricErrors>,
+}
+
+/// Runs the experiment for the paper's three applications.
+pub fn run() -> Vec<Panel> {
+    [Application::Nyx, Application::Cesm, Application::Miranda]
+        .iter()
+        .map(|&app| {
+            let fields: Vec<&str> = app.fields().to_vec();
+            let scale = crate::pool::default_scale(app);
+            let pool = build_app_pool(app, &fields, 0..5, &EBS11, scale);
+            let set: TrainingSet = to_training(&pool).into_iter().collect();
+            let split = set.split(0.3, 1234);
+            let model = QualityModel::train(&split.train, &TreeConfig::default());
+            let mut ratio_errors = Vec::new();
+            let mut time_errors = Vec::new();
+            for s in &split.test {
+                let est = model.predict(&s.features);
+                ratio_errors.push((est.ratio - s.ratio) / s.ratio);
+                time_errors.push((est.time_seconds - s.time_seconds) / s.time_seconds);
+            }
+            let metrics = [("ratio", ratio_errors), ("time", time_errors)]
+                .into_iter()
+                .map(|(name, errors)| {
+                    let dist = ErrorDistribution::new(errors.clone());
+                    MetricErrors {
+                        metric: name.to_string(),
+                        ci80: dist.central_interval(0.8),
+                        rmse: dist.rmse(),
+                        histogram: dist.histogram(21),
+                        errors,
+                    }
+                })
+                .collect();
+            Panel { app: app.name().to_string(), metrics }
+        })
+        .collect()
+}
+
+/// Runs, prints, writes the artifact.
+pub fn print() {
+    let panels = run();
+    let mut t = TextTable::new(["app", "metric", "test points", "rel-err RMSE", "80% interval"]);
+    for p in &panels {
+        for m in &p.metrics {
+            t.row([
+                p.app.clone(),
+                m.metric.clone(),
+                m.errors.len().to_string(),
+                format!("{:.3}", m.rmse),
+                format!("[{:+.3}, {:+.3}]", m.ci80.0, m.ci80.1),
+            ]);
+        }
+    }
+    println!("Fig 12 — ratio/time prediction error distributions (train 30% / test 70%)\n{t}");
+    let _ = write_artifact("fig12", &panels);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_concentrate_near_zero() {
+        for p in run() {
+            for m in &p.metrics {
+                // 80 % of relative errors in a thin central box (the
+                // paper's green box; ratios span orders of magnitude, so
+                // ±75 % relative is already tight).
+                assert!(m.ci80.0 > -0.75 && m.ci80.1 < 0.75, "{}/{}: ci80 {:?}", p.app, m.metric, m.ci80);
+                // The distribution is centred: the modal bin is near zero.
+                let (centres, fracs) = &m.histogram;
+                let modal = centres
+                    .iter()
+                    .zip(fracs)
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .expect("nonempty")
+                    .0;
+                assert!(modal.abs() < 0.5, "{}/{}: modal bin at {modal}", p.app, m.metric);
+            }
+        }
+    }
+}

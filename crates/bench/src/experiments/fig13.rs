@@ -1,0 +1,128 @@
+//! Fig 13 — (A) prediction-overhead analysis on Nyx: feature-extraction
+//! cost vs full compression cost at 100 % / 10 % / 1 % sampling; (B)
+//! compression-time ranges per application.
+
+use crate::pool::{build_app_pool, EBS11};
+use crate::support::{write_artifact, TextTable};
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_qpred::extract;
+use ocelot_sz::{compress, LossyConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One sampling-rate measurement (panel A).
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadRow {
+    /// Sampling stride (1 = 100 %, 10 = 10 %, 100 = 1 %).
+    pub stride: usize,
+    /// Wall-clock feature-extraction time (s).
+    pub extract_s: f64,
+    /// Wall-clock compression time (s).
+    pub compress_s: f64,
+    /// Overhead as a fraction of compression time.
+    pub overhead_frac: f64,
+}
+
+/// One application's compression-time range (panel B).
+#[derive(Debug, Clone, Serialize)]
+pub struct RangeRow {
+    /// Application name.
+    pub app: String,
+    /// Minimum modelled full-size compression time across fields/ebs (s).
+    pub min_s: f64,
+    /// Maximum (s).
+    pub max_s: f64,
+}
+
+/// Panel A: measures real wall-clock extraction vs compression on a Nyx
+/// field (the only wall-clock measurement in the harness — it is a
+/// performance claim, not a simulation result).
+pub fn run_overhead() -> Vec<OverheadRow> {
+    let data = FieldSpec::new(Application::Nyx, "temperature").with_scale(8).generate();
+    let config = LossyConfig::sz3(1e-3);
+    // Median-of-3 compression time.
+    let mut comp_times = Vec::new();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let _ = compress(&data, &config).expect("compression succeeds");
+        comp_times.push(t0.elapsed().as_secs_f64());
+    }
+    comp_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let compress_s = comp_times[1];
+    [1usize, 10, 100]
+        .iter()
+        .map(|&stride| {
+            let t0 = Instant::now();
+            let _ = extract(&data, &config, stride);
+            let extract_s = t0.elapsed().as_secs_f64();
+            OverheadRow { stride, extract_s, compress_s, overhead_frac: extract_s / compress_s }
+        })
+        .collect()
+}
+
+/// Panel B: per-application modelled compression-time ranges at full size.
+pub fn run_ranges() -> Vec<RangeRow> {
+    [Application::Nyx, Application::Cesm, Application::Miranda, Application::Rtm, Application::Isabel]
+        .iter()
+        .map(|&app| {
+            let fields: Vec<&str> = app.fields().to_vec();
+            let scale = crate::pool::default_scale(app);
+            let pool = build_app_pool(app, &fields[..fields.len().min(4)], 0..1, &EBS11, scale);
+            let times: Vec<f64> = pool.iter().map(|p| p.time_s).collect();
+            RangeRow {
+                app: app.name().to_string(),
+                min_s: times.iter().cloned().fold(f64::INFINITY, f64::min),
+                max_s: times.iter().cloned().fold(0.0, f64::max),
+            }
+        })
+        .collect()
+}
+
+/// Runs both panels, prints, writes artifacts.
+pub fn print() {
+    let overhead = run_overhead();
+    let mut t = TextTable::new(["sampling", "extract (s)", "compress (s)", "overhead"]);
+    for r in &overhead {
+        t.row([
+            format!("1/{} ({}%)", r.stride, 100 / r.stride),
+            format!("{:.4}", r.extract_s),
+            format!("{:.4}", r.compress_s),
+            format!("{:.1}%", r.overhead_frac * 100.0),
+        ]);
+    }
+    println!("Fig 13(A) — prediction overhead on Nyx (wall clock)\n{t}");
+
+    let ranges = run_ranges();
+    let mut t = TextTable::new(["app", "min time (s)", "max time (s)"]);
+    for r in &ranges {
+        t.row([r.app.clone(), format!("{:.2}", r.min_s), format!("{:.2}", r.max_s)]);
+    }
+    println!("Fig 13(B) — full-size compression time ranges (reference core)\n{t}");
+    let _ = write_artifact("fig13a", &overhead);
+    let _ = write_artifact("fig13b", &ranges);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_slashes_extraction_overhead() {
+        let rows = run_overhead();
+        // 1 % sampling must be far cheaper than 100 % extraction…
+        assert!(rows[2].extract_s < rows[0].extract_s / 5.0, "{rows:?}");
+        // …and a small fraction of the compression itself (paper: ≤ 5 %;
+        // allow debug-build slack).
+        assert!(rows[2].overhead_frac < 0.5, "overhead {}", rows[2].overhead_frac);
+    }
+
+    #[test]
+    fn time_ranges_group_by_application() {
+        let rows = run_ranges();
+        let nyx = rows.iter().find(|r| r.app == "nyx").expect("nyx present");
+        let cesm = rows.iter().find(|r| r.app == "cesm").expect("cesm present");
+        // Nyx files (512³) are far slower than CESM 2-D fields (Fig 13B's
+        // per-application grouping).
+        assert!(nyx.min_s > cesm.max_s, "nyx {:?} vs cesm {:?}", (nyx.min_s, nyx.max_s), (cesm.min_s, cesm.max_s));
+    }
+}

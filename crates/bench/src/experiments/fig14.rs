@@ -1,0 +1,58 @@
+//! Fig 14 — RTM compression time vs compressor-level features: the bin
+//! statistics explain the per-error-bound time variation.
+
+use crate::pool::{build_app_pool, EBS11};
+use crate::support::{pearson, write_artifact, TextTable};
+use ocelot_datagen::Application;
+use serde::Serialize;
+
+/// Correlation summary for the RTM time panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// `(p0, P0, quant_entropy, time)` scatter tuples.
+    pub points: Vec<(f64, f64, f64, f64)>,
+    /// corr(p0, time) — negative: predictable data code fast.
+    pub corr_p0: f64,
+    /// corr(P0, time).
+    pub corr_cap_p0: f64,
+    /// corr(quant entropy, time) — positive (coding cost grows).
+    pub corr_entropy: f64,
+}
+
+/// Runs the experiment.
+pub fn run() -> Summary {
+    let fields = ["snapshot-0594", "snapshot-1048", "snapshot-1982", "snapshot-2800", "snapshot-3400"];
+    let pool = build_app_pool(Application::Rtm, &fields, 0..3, &EBS11, 12);
+    let points: Vec<(f64, f64, f64, f64)> =
+        pool.iter().map(|p| (p.stats.p0, p.stats.cap_p0, p.stats.quant_entropy, p.time_s)).collect();
+    let time: Vec<f64> = points.iter().map(|p| p.3).collect();
+    Summary {
+        corr_p0: pearson(&points.iter().map(|p| p.0).collect::<Vec<_>>(), &time),
+        corr_cap_p0: pearson(&points.iter().map(|p| p.1).collect::<Vec<_>>(), &time),
+        corr_entropy: pearson(&points.iter().map(|p| p.2).collect::<Vec<_>>(), &time),
+        points,
+    }
+}
+
+/// Runs, prints, writes the artifact.
+pub fn print() {
+    let s = run();
+    let mut t = TextTable::new(["feature", "corr with compression time"]);
+    t.row(["p0".to_string(), format!("{:+.3}", s.corr_p0)]);
+    t.row(["P0".to_string(), format!("{:+.3}", s.corr_cap_p0)]);
+    t.row(["quant entropy".to_string(), format!("{:+.3}", s.corr_entropy)]);
+    println!("Fig 14 — RTM compression time vs compressor-level features ({} points)\n{t}", s.points.len());
+    let _ = write_artifact("fig14", &s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_tracks_bin_statistics() {
+        let s = run();
+        assert!(s.corr_entropy > 0.6, "entropy corr {}", s.corr_entropy);
+        assert!(s.corr_p0 < -0.5, "p0 corr {}", s.corr_p0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig 5 — compressor-level features (`p0`, quantization entropy, `R_rle`)
+//! vs the actual compression ratio on Nyx, including the Jin et al.
+//! closed-form estimator that happens to track Nyx well.
+
+use crate::pool::{build_app_pool, EBS11};
+use crate::support::{pearson, write_artifact, TextTable};
+use ocelot_datagen::Application;
+use ocelot_sz::stats::jin_ratio_estimate;
+use serde::Serialize;
+
+/// One scatter point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Fraction of zero bins.
+    pub p0: f64,
+    /// Quantization entropy (bits).
+    pub quant_entropy: f64,
+    /// Run-length estimator.
+    pub r_rle: f64,
+    /// Jin et al. estimate at `C1 = 1`.
+    pub jin_estimate: f64,
+    /// Actual compression ratio.
+    pub ratio: f64,
+}
+
+/// Correlation summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Scatter points.
+    pub points: Vec<Point>,
+    /// corr(p0, log ratio).
+    pub corr_p0: f64,
+    /// corr(quant entropy, log ratio) — expected negative.
+    pub corr_entropy: f64,
+    /// corr(log R_rle, log ratio).
+    pub corr_rrle: f64,
+    /// corr(log Jin estimate, log actual ratio) — the "y = x" panel.
+    pub corr_jin: f64,
+}
+
+/// Runs the experiment on the given application (Fig 5 uses Nyx).
+pub fn run_for(app: Application, scale: usize) -> Summary {
+    let fields: Vec<&str> = app.fields().to_vec();
+    let pool = build_app_pool(app, &fields, 0..3, &EBS11, scale);
+    let points: Vec<Point> = pool
+        .iter()
+        .map(|p| Point {
+            p0: p.stats.p0,
+            quant_entropy: p.stats.quant_entropy,
+            r_rle: p.stats.r_rle.min(1e6),
+            jin_estimate: jin_ratio_estimate(&p.stats, 1.0).min(1e6),
+            ratio: p.ratio,
+        })
+        .collect();
+    let logr: Vec<f64> = points.iter().map(|p| p.ratio.log10()).collect();
+    Summary {
+        corr_p0: pearson(&points.iter().map(|p| p.p0).collect::<Vec<_>>(), &logr),
+        corr_entropy: pearson(&points.iter().map(|p| p.quant_entropy).collect::<Vec<_>>(), &logr),
+        corr_rrle: pearson(&points.iter().map(|p| p.r_rle.log10()).collect::<Vec<_>>(), &logr),
+        corr_jin: pearson(&points.iter().map(|p| p.jin_estimate.log10()).collect::<Vec<_>>(), &logr),
+        points,
+    }
+}
+
+/// Runs on Nyx, prints, writes the artifact.
+pub fn print() {
+    let s = run_for(Application::Nyx, 16);
+    let mut t = TextTable::new(["feature", "corr with log10(ratio)"]);
+    t.row(["p0".to_string(), format!("{:+.3}", s.corr_p0)]);
+    t.row(["quant entropy".to_string(), format!("{:+.3}", s.corr_entropy)]);
+    t.row(["log10 R_rle".to_string(), format!("{:+.3}", s.corr_rrle)]);
+    t.row(["log10 Jin estimate (C1=1)".to_string(), format!("{:+.3}", s.corr_jin)]);
+    println!("Fig 5 — Nyx compressor-level features vs compression ratio ({} points)\n{t}", s.points.len());
+    let _ = write_artifact("fig5", &s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_correlate_with_ratio_on_nyx() {
+        let s = run_for(Application::Nyx, 24);
+        assert!(s.corr_p0 > 0.5, "p0 corr {}", s.corr_p0);
+        assert!(s.corr_entropy < -0.5, "entropy corr {}", s.corr_entropy);
+        assert!(s.corr_rrle > 0.5, "rrle corr {}", s.corr_rrle);
+        // The Jin estimator tracks Nyx well (the paper's y = x panel).
+        assert!(s.corr_jin > 0.6, "jin corr {}", s.corr_jin);
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig 6 — on Miranda the run-length estimator alone fails to predict the
+//! compression ratio, while the learned model combining all features stays
+//! accurate.
+
+use crate::pool::{build_app_pool, to_training, EBS11};
+use crate::support::{write_artifact, TextTable};
+use ocelot_datagen::Application;
+use ocelot_qpred::{QualityModel, TrainingSet, TreeConfig};
+use serde::Serialize;
+
+/// Result of the comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct Outcome {
+    /// RMSE of `log10(pred) − log10(actual)` for the single-feature
+    /// R_rle-as-estimate baseline.
+    pub rrle_log_rmse: f64,
+    /// RMSE of the learned model on held-out samples.
+    pub model_log_rmse: f64,
+    /// `(estimate, actual)` pairs for the R_rle baseline.
+    pub rrle_points: Vec<(f64, f64)>,
+    /// `(prediction, actual)` pairs for the model.
+    pub model_points: Vec<(f64, f64)>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Outcome {
+    let fields: Vec<&str> = Application::Miranda.fields().to_vec();
+    let pool = build_app_pool(Application::Miranda, &fields, 0..3, &EBS11, 12);
+    let set: TrainingSet = to_training(&pool).into_iter().collect();
+    let split = set.split(0.3, 42);
+    let model = QualityModel::train(&split.train, &TreeConfig::default());
+
+    let mut rrle_points = Vec::new();
+    let mut model_points = Vec::new();
+    let mut rrle_se = 0.0;
+    let mut model_se = 0.0;
+    // Pair the held-out samples with their pool entries by matching feature
+    // vectors (the split clones the samples).
+    for s in &split.test {
+        let p = pool
+            .iter()
+            .find(|p| p.features == s.features)
+            .expect("held-out sample originates from the pool");
+        let rrle_est = p.stats.r_rle.clamp(1.0, 1e6);
+        let model_est = model.predict(&s.features).ratio.max(1e-9);
+        rrle_points.push((rrle_est, s.ratio));
+        model_points.push((model_est, s.ratio));
+        rrle_se += (rrle_est.log10() - s.ratio.log10()).powi(2);
+        model_se += (model_est.log10() - s.ratio.log10()).powi(2);
+    }
+    let n = split.test.len() as f64;
+    Outcome {
+        rrle_log_rmse: (rrle_se / n).sqrt(),
+        model_log_rmse: (model_se / n).sqrt(),
+        rrle_points,
+        model_points,
+    }
+}
+
+/// Runs, prints, writes the artifact.
+pub fn print() {
+    let o = run();
+    let mut t = TextTable::new(["estimator", "log10 RMSE vs actual ratio"]);
+    t.row(["R_rle alone (Jin-style closed form)".to_string(), format!("{:.3}", o.rrle_log_rmse)]);
+    t.row(["learned model (all 11 features)".to_string(), format!("{:.3}", o.model_log_rmse)]);
+    println!(
+        "Fig 6 — Miranda: single-feature estimator vs learned model ({} held-out points)\n{t}",
+        o.model_points.len()
+    );
+    let _ = write_artifact("fig6", &o);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_beats_the_single_feature_estimator() {
+        let o = run();
+        assert!(
+            o.model_log_rmse < o.rrle_log_rmse * 0.8,
+            "model {} should clearly beat rrle {}",
+            o.model_log_rmse,
+            o.rrle_log_rmse
+        );
+        assert!(o.model_log_rmse < 0.5, "model rmse {}", o.model_log_rmse);
+    }
+}

@@ -1,0 +1,70 @@
+//! Figs 7 & 8 — PSNR vs compressor-level features for CESM (Fig 7) and
+//! ISABEL (Fig 8): the same bin statistics that predict ratio also track
+//! the reconstruction distortion.
+
+use crate::pool::{build_app_pool, EBS11};
+use crate::support::{pearson, write_artifact, TextTable};
+use ocelot_datagen::Application;
+use serde::Serialize;
+
+/// Correlations of PSNR against each compressor-level feature.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Application name.
+    pub app: String,
+    /// Scatter `(p0, quant_entropy, r_rle, psnr)` tuples.
+    pub points: Vec<(f64, f64, f64, f64)>,
+    /// corr(p0, PSNR) — negative: large p0 means loose bounds.
+    pub corr_p0: f64,
+    /// corr(quant entropy, PSNR) — positive: tight bounds spread bins.
+    pub corr_entropy: f64,
+    /// corr(log R_rle, PSNR) — negative.
+    pub corr_rrle: f64,
+}
+
+/// Runs for one application.
+pub fn run_for(app: Application) -> Summary {
+    let fields: Vec<&str> = app.fields().to_vec();
+    let scale = crate::pool::default_scale(app);
+    let pool = build_app_pool(app, &fields, 0..2, &EBS11, scale);
+    let points: Vec<(f64, f64, f64, f64)> = pool
+        .iter()
+        .map(|p| (p.stats.p0, p.stats.quant_entropy, p.stats.r_rle.min(1e6), p.psnr))
+        .collect();
+    let psnr: Vec<f64> = points.iter().map(|p| p.3).collect();
+    Summary {
+        app: app.name().to_string(),
+        corr_p0: pearson(&points.iter().map(|p| p.0).collect::<Vec<_>>(), &psnr),
+        corr_entropy: pearson(&points.iter().map(|p| p.1).collect::<Vec<_>>(), &psnr),
+        corr_rrle: pearson(&points.iter().map(|p| p.2.log10()).collect::<Vec<_>>(), &psnr),
+        points,
+    }
+}
+
+/// Runs both figures, prints, writes artifacts.
+pub fn print() {
+    for (fig, app) in [("fig7", Application::Cesm), ("fig8", Application::Isabel)] {
+        let s = run_for(app);
+        let mut t = TextTable::new(["feature", "corr with PSNR"]);
+        t.row(["p0".to_string(), format!("{:+.3}", s.corr_p0)]);
+        t.row(["quant entropy".to_string(), format!("{:+.3}", s.corr_entropy)]);
+        t.row(["log10 R_rle".to_string(), format!("{:+.3}", s.corr_rrle)]);
+        println!("{} — {} PSNR vs compressor-level features ({} points)\n{t}", fig.to_uppercase(), s.app, s.points.len());
+        let _ = write_artifact(fig, &s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psnr_tracks_bin_statistics_on_both_apps() {
+        for app in [Application::Cesm, Application::Isabel] {
+            let s = run_for(app);
+            assert!(s.corr_p0 < -0.4, "{}: corr_p0 {}", s.app, s.corr_p0);
+            assert!(s.corr_entropy > 0.4, "{}: corr_entropy {}", s.app, s.corr_entropy);
+            assert!(s.corr_rrle < -0.25, "{}: corr_rrle {}", s.app, s.corr_rrle);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! One module per paper table/figure.
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig10;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig78;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table5;
+pub mod table67;
+pub mod table8;
+
+/// Every experiment id accepted by the `repro` binary, in paper order.
+pub const ALL_IDS: [&str; 19] = [
+    "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2", "fig12", "fig13",
+    "fig14", "table5", "table6", "table7", "fig15", "table8", "ablations", "extensions",
+];

@@ -1,0 +1,78 @@
+//! Table I — basic data-based features (min / max / value range) of CESM
+//! and HACC fields.
+
+use crate::support::{write_artifact, TextTable};
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_sz::stats::value_stats;
+use serde::Serialize;
+
+/// One Table I column.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Dataset label as printed in the paper.
+    pub dataset: String,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Value range.
+    pub range: f64,
+    /// The paper's reported range, for side-by-side comparison.
+    pub paper_range: f64,
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Row> {
+    let specs: [(Application, &str, usize, f64); 5] = [
+        (Application::Cesm, "CLDHGH", 16, 0.92),
+        (Application::Cesm, "FLDSC", 16, 325.40),
+        (Application::Cesm, "PCONVT", 16, 64182.18),
+        (Application::Hacc, "vx", 64, 7877.46),
+        (Application::Hacc, "xx", 64, 256.00),
+    ];
+    specs
+        .iter()
+        .map(|&(app, field, scale, paper_range)| {
+            let data = FieldSpec::new(app, field).with_scale(scale).generate();
+            let s = value_stats(&data);
+            Row {
+                dataset: if app == Application::Hacc { format!("HACC-{field}") } else { field.to_string() },
+                min: s.min,
+                max: s.max,
+                range: s.range,
+                paper_range,
+            }
+        })
+        .collect()
+}
+
+/// Runs, prints, and writes the artifact.
+pub fn print() {
+    let rows = run();
+    let mut t = TextTable::new(["Dataset", "min", "max", "value range", "paper range"]);
+    for r in &rows {
+        t.row([
+            r.dataset.clone(),
+            format!("{:.2}", r.min),
+            format!("{:.2}", r.max),
+            format!("{:.2}", r.range),
+            format!("{:.2}", r.paper_range),
+        ]);
+    }
+    println!("Table I — basic data-based features\n{t}");
+    let _ = write_artifact("table1", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_track_the_paper() {
+        for r in run() {
+            // Within 2× of the published range (synthetic fields target the
+            // published [lo, hi] intervals directly).
+            assert!(r.range > r.paper_range * 0.5 && r.range < r.paper_range * 2.0, "{r:?}");
+        }
+    }
+}

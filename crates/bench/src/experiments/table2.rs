@@ -1,0 +1,90 @@
+//! Table II — file transfer patterns between Cori and Bebop: 300 GB moved
+//! as 1 MB / 10 MB / 100 MB / 1000 MB files under an untuned (concurrency 4)
+//! endpoint configuration.
+
+use crate::support::{fmt_speed, write_artifact, TextTable};
+use ocelot_netsim::{simulate_transfer, GridFtpConfig, SiteId, Topology};
+use serde::Serialize;
+
+/// One Table II row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Per-file size in bytes.
+    pub file_size: u64,
+    /// Number of files.
+    pub n_files: usize,
+    /// Effective speed (bytes/s).
+    pub speed_bps: f64,
+    /// Duration (s).
+    pub duration_s: f64,
+    /// The paper's measured speed in MB/s, for comparison.
+    pub paper_speed_mbs: f64,
+}
+
+/// Runs the sweep. `total_bytes` defaults to the paper's 300 GB; pass a
+/// smaller total for quick runs (speeds barely move, durations scale).
+pub fn run(total_bytes: u64) -> Vec<Row> {
+    let topology = Topology::paper();
+    let link = topology.route(SiteId::Cori, SiteId::Bebop).link;
+    let cfg = GridFtpConfig::untuned();
+    let paper = [247.0, 921.1, 1120.0, 1060.0];
+    [1_000_000u64, 10_000_000, 100_000_000, 1_000_000_000]
+        .iter()
+        .zip(paper)
+        .map(|(&size, paper_speed_mbs)| {
+            let n = (total_bytes / size).max(1) as usize;
+            let report = simulate_transfer(&vec![size; n], &link, &cfg, 2023);
+            Row {
+                file_size: size,
+                n_files: n,
+                speed_bps: report.effective_speed_bps,
+                duration_s: report.duration_s,
+                paper_speed_mbs,
+            }
+        })
+        .collect()
+}
+
+/// Runs at paper scale, prints, writes the artifact.
+pub fn print() {
+    let rows = run(300_000_000_000);
+    let mut t = TextTable::new(["Total size", "File size", "# Files", "Speed", "Duration", "Paper speed"]);
+    for r in &rows {
+        t.row([
+            "300GB".to_string(),
+            format!("{}M", r.file_size / 1_000_000),
+            r.n_files.to_string(),
+            fmt_speed(r.speed_bps),
+            format!("{:.0}s", r.duration_s),
+            format!("{:.1}MB/s", r.paper_speed_mbs),
+        ]);
+    }
+    println!("Table II — file transfer patterns, Cori<->Bebop (untuned endpoint)\n{t}");
+    let _ = write_artifact("table2", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_increases_with_file_size_until_the_plateau() {
+        let rows = run(30_000_000_000);
+        assert!(rows[0].speed_bps < rows[1].speed_bps);
+        assert!(rows[1].speed_bps < rows[2].speed_bps);
+        // 100 MB and 1000 MB are both near the plateau (paper: 1120 vs 1060).
+        let ratio = rows[3].speed_bps / rows[2].speed_bps;
+        assert!((0.7..1.3).contains(&ratio), "plateau ratio {ratio}");
+    }
+
+    #[test]
+    fn small_files_are_several_times_slower() {
+        let rows = run(30_000_000_000);
+        assert!(
+            rows[2].speed_bps / rows[0].speed_bps > 3.0,
+            "1MB files should be >3x slower: {} vs {}",
+            rows[0].speed_bps,
+            rows[2].speed_bps
+        );
+    }
+}

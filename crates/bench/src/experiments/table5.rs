@@ -1,0 +1,99 @@
+//! Table V — predicted vs real compression ratio and time on example
+//! datasets (Nyx baryon density, CESM LHFLX/SNOWHICE, RTM snapshots,
+//! Miranda velocity-x) at the paper's error bounds.
+
+use crate::pool::{build_app_pool, measure_point_set, to_training, SamplePoint, EBS11};
+use crate::support::{write_artifact, TextTable};
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_qpred::{QualityModel, TreeConfig};
+use serde::Serialize;
+
+/// One Table V row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Dataset label.
+    pub dataset: String,
+    /// Error bound.
+    pub eb: f64,
+    /// Predicted compression ratio.
+    pub p_cr: f64,
+    /// Real compression ratio.
+    pub cr: f64,
+    /// Predicted compression time (s, full-size reference core).
+    pub p_cptime: f64,
+    /// Real (cost-model) compression time.
+    pub cptime: f64,
+}
+
+/// Trains a model on a broad pool and evaluates the paper's example rows.
+pub fn run() -> Vec<Row> {
+    // Training pool spans the apps whose rows appear in the table.
+    let mut training = Vec::new();
+    for app in [Application::Nyx, Application::Cesm, Application::Rtm, Application::Miranda] {
+        let fields: Vec<&str> = app.fields().to_vec();
+        let scale = crate::pool::default_scale(app);
+        training.extend(build_app_pool(app, &fields, 1..3, &EBS11, scale));
+    }
+    let model = QualityModel::train(&to_training(&training), &TreeConfig::default());
+
+    // Evaluation rows: fresh seeds (seed 0) at the paper's error bounds.
+    let cases: [(Application, &str, &[f64]); 5] = [
+        (Application::Nyx, "baryon_density", &[1e-6, 1e-4, 1e-2]),
+        (Application::Cesm, "LHFLX", &[1e-6, 1e-3, 1e-2]),
+        (Application::Cesm, "SNOWHICE", &[1e-6, 1e-4, 1e-3]),
+        (Application::Rtm, "snapshot-1048", &[1e-6, 1e-4]),
+        (Application::Miranda, "velocity-x", &[1e-2, 1e-3, 1e-1]),
+    ];
+    let mut rows = Vec::new();
+    for (app, field, ebs) in cases {
+        let scale = crate::pool::default_scale(app);
+        let data = FieldSpec::new(app, field).with_scale(scale).generate();
+        let full_points: usize = app.default_dims().iter().product();
+        let measured: Vec<SamplePoint> = measure_point_set(app, field, 0, &data, ebs, full_points);
+        for p in measured {
+            let est = model.predict(&p.features);
+            rows.push(Row {
+                dataset: format!("{}/{}", app.name(), field),
+                eb: p.eb,
+                p_cr: est.ratio,
+                cr: p.ratio,
+                p_cptime: est.time_seconds,
+                cptime: p.time_s,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs, prints, writes the artifact.
+pub fn print() {
+    let rows = run();
+    let mut t = TextTable::new(["Dataset", "EB", "P-CR", "CR", "P-CPTime", "CPTime"]);
+    for r in &rows {
+        t.row([
+            r.dataset.clone(),
+            format!("{:.0e}", r.eb),
+            format!("{:.2}", r.p_cr),
+            format!("{:.2}", r.cr),
+            format!("{:.1}", r.p_cptime),
+            format!("{:.1}", r.cptime),
+        ]);
+    }
+    println!("Table V — compression ratio & time prediction examples\n{t}");
+    let _ = write_artifact("table5", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictions_are_close_on_most_rows() {
+        let rows = run();
+        let within = |pred: f64, real: f64, f: f64| pred / real < f && real / pred < f;
+        let good_cr = rows.iter().filter(|r| within(r.p_cr, r.cr, 2.0)).count();
+        let good_t = rows.iter().filter(|r| within(r.p_cptime, r.cptime, 2.0)).count();
+        assert!(good_cr * 3 >= rows.len() * 2, "CR within 2x on {good_cr}/{} rows", rows.len());
+        assert!(good_t * 3 >= rows.len() * 2, "time within 2x on {good_t}/{} rows", rows.len());
+    }
+}

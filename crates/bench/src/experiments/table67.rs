@@ -1,0 +1,120 @@
+//! Tables VI & VII — PSNR prediction for CESM and ISABEL: train on 50 % of
+//! samples, report per-file real vs predicted PSNR and the overall RMSE
+//! (paper: 13.05 dB for CESM, 14.23 dB for ISABEL — noticeably worse than
+//! ratio/time prediction).
+
+use crate::pool::{build_app_pool, to_training, EBS11};
+use crate::support::{write_artifact, TextTable};
+use ocelot_datagen::Application;
+use ocelot_qpred::{QualityModel, TrainingSet, TreeConfig};
+use serde::Serialize;
+
+/// One prediction row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Field/eb label.
+    pub filename: String,
+    /// Error bound.
+    pub eb: f64,
+    /// Real PSNR (dB).
+    pub real_psnr: f64,
+    /// Predicted PSNR (dB).
+    pub predicted_psnr: f64,
+}
+
+/// Table result: example rows plus the full-test-set RMSE.
+#[derive(Debug, Clone, Serialize)]
+pub struct Outcome {
+    /// Application name.
+    pub app: String,
+    /// Ten sample rows (as in the paper's tables).
+    pub rows: Vec<Row>,
+    /// RMSE over the whole held-out set (dB).
+    pub rmse: f64,
+    /// Held-out set size.
+    pub test_points: usize,
+}
+
+/// Runs for one application (Table VI = CESM, Table VII = ISABEL).
+pub fn run_for(app: Application) -> Outcome {
+    let fields: Vec<&str> = app.fields().to_vec();
+    let scale = crate::pool::default_scale(app);
+    let pool = build_app_pool(app, &fields, 0..2, &EBS11, scale);
+    let set: TrainingSet = to_training(&pool).into_iter().collect();
+    let split = set.split(0.5, 7);
+    let model = QualityModel::train(&split.train, &TreeConfig::default());
+
+    let mut se = 0.0;
+    let mut rows = Vec::new();
+    for (i, s) in split.test.iter().enumerate() {
+        let est = model.predict(&s.features);
+        se += (est.psnr - s.psnr).powi(2);
+        if rows.len() < 10 {
+            // Recover the label from the matching pool entry.
+            let p = pool.iter().find(|p| p.features == s.features).expect("sample from pool");
+            let _ = i;
+            rows.push(Row {
+                filename: format!("{}_{}.dat", p.field, p.seed),
+                eb: p.eb,
+                real_psnr: s.psnr,
+                predicted_psnr: est.psnr,
+            });
+        }
+    }
+    Outcome {
+        app: app.name().to_string(),
+        rows,
+        rmse: (se / split.test.len() as f64).sqrt(),
+        test_points: split.test.len(),
+    }
+}
+
+/// Runs both tables, prints, writes artifacts.
+pub fn print() {
+    for (name, app) in [("table6", Application::Cesm), ("table7", Application::Isabel)] {
+        let o = run_for(app);
+        let mut t = TextTable::new(["Filename", "eb", "Real PSNR", "Predicted PSNR"]);
+        for r in &o.rows {
+            t.row([
+                r.filename.clone(),
+                format!("{:.0e}", r.eb),
+                format!("{:.2}", r.real_psnr),
+                format!("{:.2}", r.predicted_psnr),
+            ]);
+        }
+        println!(
+            "{} — PSNR prediction for {} (RMSE {:.2} dB over {} held-out points)\n{t}",
+            name.to_uppercase(),
+            o.app,
+            o.rmse,
+            o.test_points
+        );
+        let _ = write_artifact(name, &o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psnr_rmse_is_in_the_paper_regime() {
+        for app in [Application::Cesm, Application::Isabel] {
+            let o = run_for(app);
+            // Paper: 13.05 / 14.23 dB. Accept the same order of magnitude;
+            // must be clearly worse than ratio prediction yet usable.
+            assert!(o.rmse < 30.0, "{}: rmse {}", o.app, o.rmse);
+            assert!(o.rows.len() == 10);
+        }
+    }
+
+    #[test]
+    fn predictions_follow_the_bound_direction() {
+        let o = run_for(Application::Cesm);
+        // Across the example rows, tighter bounds should trend to higher
+        // predicted PSNR (check via rank correlation of -log(eb) and pred).
+        let xs: Vec<f64> = o.rows.iter().map(|r| -r.eb.log10()).collect();
+        let ys: Vec<f64> = o.rows.iter().map(|r| r.predicted_psnr).collect();
+        assert!(crate::support::pearson(&xs, &ys) > 0.3, "corr {}", crate::support::pearson(&xs, &ys));
+    }
+}

@@ -1,0 +1,192 @@
+//! Table printing, correlation helpers, and JSON artifact output shared by
+//! the experiment runners.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// A printable, alignable text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(ncols) {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[c] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns 0 for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series lengths differ");
+    let n = x.len() as f64;
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Directory where `repro` writes JSON artifacts (`results/` under the
+/// workspace root, honouring `OCELOT_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("OCELOT_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two levels up.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).unwrap_or(manifest).join("results")
+}
+
+/// Writes an experiment's rows as pretty JSON under `results/<name>.json`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_artifact(name: &str, rows: &impl Serialize) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(rows).expect("experiment rows serialize");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Formats seconds compactly (`12.3s`, `4m32s`).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 120.0 {
+        format!("{}m{:02.0}s", (s / 60.0) as u64, s % 60.0)
+    } else if s >= 10.0 {
+        format!("{s:.0}s")
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Formats bytes/second with binary-ish units matching the paper (MB/s,
+/// GB/s as powers of ten).
+pub fn fmt_speed(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2}GB/s", bps / 1e9)
+    } else {
+        format!("{:.0}MB/s", bps / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1"]).row(["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_secs(300.0), "5m00s");
+        assert_eq!(fmt_secs(42.0), "42s");
+        assert_eq!(fmt_secs(1.5), "1.50s");
+        assert_eq!(fmt_speed(2.5e9), "2.50GB/s");
+        assert_eq!(fmt_speed(870.0e6), "870MB/s");
+    }
+
+    #[test]
+    fn artifacts_round_trip() {
+        std::env::set_var("OCELOT_RESULTS_DIR", std::env::temp_dir().join("ocelot_results_test"));
+        let path = write_artifact("unit_test", &[1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains('2'));
+        std::fs::remove_file(path).ok();
+        std::env::remove_var("OCELOT_RESULTS_DIR");
+    }
+}

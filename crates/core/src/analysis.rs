@@ -1,0 +1,182 @@
+//! Run logging and analysis: §V capability 3 — "Ocelot allows users to
+//! collect information about compression and transfer. The analytical data
+//! is stored on the user's personal computer, and can be used to further
+//! analyze the performance."
+//!
+//! A [`RunLog`] appends [`ExperimentRecord`]s as JSON Lines; the loader
+//! filters by experiment and computes summary statistics over any numeric
+//! field of the recorded rows.
+
+use crate::report::ExperimentRecord;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+/// Append-only JSONL log of experiment records.
+#[derive(Debug)]
+pub struct RunLog {
+    path: PathBuf,
+}
+
+impl RunLog {
+    /// Opens (or creates) a log at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        RunLog { path: path.into() }
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a record.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn append(&self, record: &ExperimentRecord) -> std::io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        let line = serde_json::to_string(record).expect("records serialize");
+        writeln!(f, "{line}")
+    }
+
+    /// Loads every record (malformed lines surface as errors).
+    ///
+    /// # Errors
+    /// Propagates I/O errors; malformed lines surface as
+    /// `io::ErrorKind::InvalidData`.
+    pub fn load(&self) -> std::io::Result<Vec<ExperimentRecord>> {
+        let f = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        for line in std::io::BufReader::new(f).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: ExperimentRecord = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            out.push(record);
+        }
+        Ok(out)
+    }
+
+    /// Loads the records of one experiment.
+    ///
+    /// # Errors
+    /// Same as [`RunLog::load`].
+    pub fn load_experiment(&self, experiment: &str) -> std::io::Result<Vec<ExperimentRecord>> {
+        Ok(self.load()?.into_iter().filter(|r| r.experiment == experiment).collect())
+    }
+}
+
+/// Summary statistics of one numeric field across records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldSummary {
+    /// Number of records carrying the field.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// Summarizes a numeric field (dotted paths supported, e.g.
+/// `"report.duration_s"`) across records. Records missing the field are
+/// skipped; returns `None` if no record carries it.
+pub fn summarize_field(records: &[ExperimentRecord], field: &str) -> Option<FieldSummary> {
+    let mut values = Vec::new();
+    for r in records {
+        let mut v = &r.data;
+        for seg in field.split('.') {
+            v = v.get(seg)?;
+        }
+        if let Some(x) = v.as_f64() {
+            values.push(x);
+        }
+    }
+    if values.is_empty() {
+        return None;
+    }
+    let count = values.len();
+    let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+    for &x in &values {
+        min = min.min(x);
+        max = max.max(x);
+        sum += x;
+    }
+    Some(FieldSummary { count, min, max, mean: sum / count as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::TimeBreakdown;
+
+    fn temp_log(name: &str) -> RunLog {
+        let dir = std::env::temp_dir().join("ocelot_runlog_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        RunLog::open(path)
+    }
+
+    fn breakdown(transfer: f64) -> TimeBreakdown {
+        TimeBreakdown { transfer_s: transfer, bytes_transferred: 100, ..Default::default() }
+    }
+
+    #[test]
+    fn append_and_load_round_trip() {
+        let log = temp_log("round_trip.jsonl");
+        for t in [1.0, 2.0, 3.0] {
+            log.append(&ExperimentRecord::new("table8", &breakdown(t))).unwrap();
+        }
+        log.append(&ExperimentRecord::new("fig9", &breakdown(9.0))).unwrap();
+        assert_eq!(log.load().unwrap().len(), 4);
+        let t8 = log.load_experiment("table8").unwrap();
+        assert_eq!(t8.len(), 3);
+    }
+
+    #[test]
+    fn missing_log_is_empty() {
+        let log = RunLog::open(std::env::temp_dir().join("ocelot_runlog_tests/never_written.jsonl"));
+        std::fs::remove_file(log.path()).ok();
+        assert!(log.load().unwrap().is_empty());
+    }
+
+    #[test]
+    fn field_summaries() {
+        let log = temp_log("summary.jsonl");
+        for t in [10.0, 20.0, 60.0] {
+            log.append(&ExperimentRecord::new("table8", &breakdown(t))).unwrap();
+        }
+        let records = log.load().unwrap();
+        let s = summarize_field(&records, "transfer_s").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 60.0);
+        assert!((s.mean - 30.0).abs() < 1e-12);
+        assert!(summarize_field(&records, "no_such_field").is_none());
+    }
+
+    #[test]
+    fn corrupt_lines_are_reported() {
+        let log = temp_log("corrupt.jsonl");
+        log.append(&ExperimentRecord::new("x", &breakdown(1.0))).unwrap();
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(log.path())
+            .unwrap()
+            .write_all(b"{not json}\n")
+            .unwrap();
+        assert!(log.load().is_err());
+    }
+}

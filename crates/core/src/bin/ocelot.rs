@@ -1,0 +1,441 @@
+//! `ocelot` — command-line front end to the transfer framework.
+//!
+//! ```text
+//! ocelot gen       --app cesm --field TROP_Z --scale 16 -o field.f32
+//! ocelot compress  field.f32 --dims 112x225 --eb 1e-3 -o field.ocz
+//! ocelot compress  snapshot.ncl -o snapshot.ocz            # nclite containers
+//! ocelot decompress field.ocz -o restored.f32
+//! ocelot inspect   field.ocz
+//! ocelot sweep     field.f32 --dims 112x225                # eb → ratio/PSNR table
+//! ocelot simulate  --app miranda --from anvil --to cori --strategy op --groups 64
+//! ocelot plan      --app miranda --from anvil --to cori
+//! ```
+//!
+//! Archives produced from nclite containers are group files whose first
+//! member is a JSON manifest of variable names, so they are fully
+//! self-describing.
+
+use ocelot::loader::NcliteFile;
+use ocelot::session::{open_archive, TransferSession};
+use ocelot::orchestrator::{Orchestrator, PipelineOptions, Strategy};
+use ocelot::planner::TransferPlanner;
+use ocelot::workload::Workload;
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_netsim::SiteId;
+use ocelot_sz::config::{LosslessBackend, PredictorKind};
+use ocelot_sz::{compress_with_stats, decompress, metrics, Dataset, ErrorBound, LossyConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliError = Box<dyn std::error::Error>;
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        usage();
+        return Ok(());
+    };
+    let (positional, flags) = parse_flags(&args[1..]);
+    match command.as_str() {
+        "gen" => cmd_gen(&flags),
+        "compress" => cmd_compress(&positional, &flags),
+        "decompress" => cmd_decompress(&positional, &flags),
+        "inspect" => cmd_inspect(&positional),
+        "sweep" => cmd_sweep(&positional, &flags),
+        "verify" => cmd_verify(&positional, &flags),
+        "simulate" => cmd_simulate(&flags),
+        "plan" => cmd_plan(&flags),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `ocelot help`)").into()),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "ocelot — error-bounded lossy compression for wide-area data transfer\n\
+         \n\
+         commands:\n\
+         \x20 gen        --app A --field F [--scale N] [--seed S] -o FILE     generate synthetic data\n\
+         \x20 compress   FILE [--dims DxHxW] [--eb E] [--abs] [--predictor P] [--backend B] -o OUT\n\
+         \x20 decompress FILE -o OUT\n\
+         \x20 inspect    FILE\n\
+         \x20 sweep      FILE [--dims DxHxW] [--ebs E1,E2,...]                 measure ratio/PSNR per bound\n\
+         \x20 verify     ORIGINAL RESTORED [--dims DxHxW] [--eb E] [--min-psnr P]  acceptance check\n\
+         \x20 simulate   --app A --from SITE --to SITE [--strategy np|cp|op] [--groups N]\n\
+         \x20 plan       --app A --from SITE --to SITE                         tuned transfer plan\n\
+         \n\
+         sites: anvil, cori, bebop; apps: cesm, miranda, rtm, nyx, isabel, qmcpack, hacc"
+    );
+}
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else if a == "-o" {
+            if i + 1 >= args.len() {
+                flags.insert("out".into(), String::new());
+                i += 1;
+            } else {
+                flags.insert("out".into(), args[i + 1].clone());
+                i += 2;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn parse_dims(s: &str) -> Result<Vec<usize>, CliError> {
+    let dims: Result<Vec<usize>, _> = s.split(['x', 'X', ',']).map(str::parse).collect();
+    let dims = dims.map_err(|_| format!("cannot parse dims '{s}' (expected e.g. 449x449x235)"))?;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err(format!("invalid dims '{s}'").into());
+    }
+    Ok(dims)
+}
+
+fn parse_app(s: &str) -> Result<Application, CliError> {
+    Application::ALL
+        .into_iter()
+        .find(|a| a.name() == s.to_lowercase())
+        .ok_or_else(|| format!("unknown application '{s}'").into())
+}
+
+fn parse_site(s: &str) -> Result<SiteId, CliError> {
+    SiteId::ALL
+        .into_iter()
+        .find(|site| site.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown site '{s}' (anvil|cori|bebop)").into())
+}
+
+fn parse_config(flags: &HashMap<String, String>) -> Result<LossyConfig, CliError> {
+    let eb: f64 = flags.get("eb").map(|s| s.parse()).transpose()?.unwrap_or(1e-3);
+    let mut cfg = LossyConfig::sz3(eb);
+    if flags.contains_key("abs") {
+        cfg = cfg.with_error_bound(ErrorBound::Abs(eb));
+    }
+    if let Some(p) = flags.get("predictor") {
+        let predictor = PredictorKind::ALL
+            .into_iter()
+            .find(|k| k.name() == p)
+            .ok_or_else(|| format!("unknown predictor '{p}'"))?;
+        cfg = cfg.with_predictor(predictor);
+    }
+    if let Some(b) = flags.get("backend") {
+        let backend = [LosslessBackend::Huffman, LosslessBackend::HuffmanLz, LosslessBackend::RleHuffman]
+            .into_iter()
+            .find(|k| k.name() == b)
+            .ok_or_else(|| format!("unknown backend '{b}'"))?;
+        cfg = cfg.with_backend(backend);
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Loads a dataset from a raw f32 file (needs `--dims`) or an nclite
+/// container (returns all variables).
+fn load_input(path: &str, flags: &HashMap<String, String>) -> Result<Vec<(String, Dataset<f32>)>, CliError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.starts_with(b"NCL1") {
+        let container = NcliteFile::from_bytes(&bytes)?;
+        return Ok(container.iter().map(|(n, d)| (n.to_string(), d.clone())).collect());
+    }
+    let dims = flags
+        .get("dims")
+        .ok_or("raw input requires --dims (e.g. --dims 449x449x235)")
+        .map(|s| parse_dims(s))??;
+    Ok(vec![("data".to_string(), Dataset::from_le_bytes(dims, &bytes)?)])
+}
+
+fn out_flag(flags: &HashMap<String, String>) -> Result<&str, CliError> {
+    flags.get("out").map(String::as_str).filter(|s| !s.is_empty()).ok_or_else(|| "missing -o OUT".into())
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let app = parse_app(flags.get("app").ok_or("missing --app")?)?;
+    let field = flags.get("field").map(String::as_str).unwrap_or_else(|| app.fields()[0]);
+    let scale: usize = flags.get("scale").map(|s| s.parse()).transpose()?.unwrap_or(16);
+    let seed: u64 = flags.get("seed").map(|s| s.parse()).transpose()?.unwrap_or(0);
+    let out = out_flag(flags)?;
+    let data = FieldSpec::new(app, field).with_scale(scale).with_seed(seed).generate();
+    if out.ends_with(".ncl") {
+        let mut container = NcliteFile::new();
+        container.insert(field, data.clone());
+        container.save(out)?;
+    } else {
+        std::fs::write(out, data.to_le_bytes())?;
+    }
+    println!("wrote {} ({:?}, {:.2} MB) to {out}", field, data.dims(), data.nbytes() as f64 / 1e6);
+    if !out.ends_with(".ncl") {
+        println!("decompress/inspect with --dims {}", data.dims().iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"));
+    }
+    Ok(())
+}
+
+fn cmd_compress(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let input = positional.first().ok_or("missing input file")?;
+    let out = out_flag(flags)?;
+    let cfg = parse_config(flags)?;
+    let variables = load_input(input, flags)?;
+    let threads: usize = flags.get("threads").map(|s| s.parse()).transpose()?.unwrap_or(4);
+    let session = TransferSession::new(threads, cfg);
+    let set = session.build_archives(&variables, 1)?;
+    std::fs::write(out, &set.archives()[0])?;
+    println!(
+        "wrote {out}: {} variable(s), {:.2} MB -> {:.2} MB (overall {:.1}x)",
+        variables.len(),
+        set.raw_bytes() as f64 / 1e6,
+        set.compressed_bytes() as f64 / 1e6,
+        set.overall_ratio()
+    );
+    Ok(())
+}
+
+fn cmd_decompress(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let input = positional.first().ok_or("missing input file")?;
+    let out = out_flag(flags)?;
+    let threads: usize = flags.get("threads").map(|s| s.parse()).transpose()?.unwrap_or(4);
+    let session = TransferSession::new(threads, LossyConfig::sz3(1e-3)); // config is embedded per blob
+    let restored = session.restore_archives(std::slice::from_ref(&std::fs::read(input)?))?;
+    if out.ends_with(".ncl") || restored.len() > 1 {
+        let mut container = NcliteFile::new();
+        for (name, data) in restored {
+            container.insert(name, data);
+        }
+        container.save(out)?;
+        println!("wrote {out}: {} variable(s)", container.len());
+    } else {
+        let (_, data) = &restored[0];
+        std::fs::write(out, data.to_le_bytes())?;
+        println!("wrote {out}: {:?} ({:.2} MB)", data.dims(), data.nbytes() as f64 / 1e6);
+    }
+    Ok(())
+}
+
+fn cmd_inspect(positional: &[String]) -> Result<(), CliError> {
+    let input = positional.first().ok_or("missing input file")?;
+    let members = open_archive(&std::fs::read(input)?)?;
+    println!("{input}: {} variable(s)", members.len());
+    for (name, blob) in &members {
+        let h = blob.header()?;
+        println!(
+            "  {name}: {} {:?}, abs_eb {:.3e}, predictor {}, backend {}, {:.2} MB compressed",
+            h.dtype,
+            h.dims,
+            h.abs_eb,
+            h.predictor,
+            h.backend,
+            blob.len() as f64 / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let input = positional.first().ok_or("missing input file")?;
+    let ebs: Vec<f64> = match flags.get("ebs") {
+        Some(list) => list.split(',').map(|s| s.parse()).collect::<Result<_, _>>()?,
+        None => vec![1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
+    };
+    let variables = load_input(input, flags)?;
+    println!("{:<16} {:>9} {:>9} {:>10} {:>10}", "variable/eb", "ratio", "PSNR", "max err", "bytes");
+    for (name, data) in &variables {
+        for &eb in &ebs {
+            let cfg = LossyConfig::sz3(eb);
+            let outcome = compress_with_stats(data, &cfg)?;
+            let restored = decompress::<f32>(&outcome.blob)?;
+            let q = metrics::compare(data, &restored)?;
+            println!(
+                "{:<16} {:>8.1}x {:>8.1}dB {:>10.2e} {:>10}",
+                format!("{name}@{eb:.0e}"),
+                outcome.ratio,
+                q.psnr,
+                q.max_abs_error,
+                outcome.blob.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_verify(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use ocelot::verify::{verify, AcceptancePolicy};
+    let (orig_path, rest_path) = match positional {
+        [a, b, ..] => (a, b),
+        _ => return Err("verify needs ORIGINAL and RESTORED files".into()),
+    };
+    let orig = load_input(orig_path, flags)?;
+    let rest = load_input(rest_path, flags)?;
+    if orig.len() != rest.len() {
+        return Err(format!("variable counts differ: {} vs {}", orig.len(), rest.len()).into());
+    }
+    let policy = AcceptancePolicy {
+        max_abs_error: flags.get("eb").map(|s| s.parse()).transpose()?,
+        min_psnr: flags.get("min-psnr").map(|s| s.parse()).transpose()?.or(Some(50.0)),
+        min_correlation: flags.get("min-corr").map(|s| s.parse()).transpose()?,
+    };
+    let mut all_ok = true;
+    for ((name, a), (_, b)) in orig.iter().zip(&rest) {
+        let v = verify(a, b, &policy)?;
+        println!(
+            "{name}: PSNR {:.2} dB, max err {:.3e}, corr {:.6} -> {}",
+            v.psnr,
+            v.max_abs_error,
+            v.correlation,
+            if v.accepted { "ACCEPTED" } else { "REJECTED" }
+        );
+        for violation in &v.violations {
+            println!("    {violation}");
+        }
+        all_ok &= v.accepted;
+    }
+    if !all_ok {
+        return Err("verification failed".into());
+    }
+    Ok(())
+}
+
+fn simulate_common(flags: &HashMap<String, String>) -> Result<(Workload, SiteId, SiteId), CliError> {
+    let app = parse_app(flags.get("app").ok_or("missing --app")?)?;
+    let from = parse_site(flags.get("from").ok_or("missing --from")?)?;
+    let to = parse_site(flags.get("to").ok_or("missing --to")?)?;
+    let scale: usize = flags.get("profile-scale").map(|s| s.parse()).transpose()?.unwrap_or(12);
+    eprintln!("profiling {app} workload (real compression on scaled synthetic fields)...");
+    let workload = Workload::paper_default(app, scale)?;
+    Ok((workload, from, to))
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let (workload, from, to) = simulate_common(flags)?;
+    let strategy = match flags.get("strategy").map(String::as_str).unwrap_or("cp") {
+        "np" => Strategy::Direct,
+        "cp" => Strategy::Compressed,
+        "op" => {
+            let groups: usize = flags.get("groups").map(|s| s.parse()).transpose()?.unwrap_or(64);
+            Strategy::grouped_by_count(groups)
+        }
+        other => return Err(format!("unknown strategy '{other}' (np|cp|op)").into()),
+    };
+    let orch = Orchestrator::paper();
+    let b = orch.run(&workload, from, to, strategy, &PipelineOptions::default());
+    println!(
+        "{from}->{to}: {} files, {:.1} GB on the wire",
+        b.files_transferred,
+        b.bytes_transferred as f64 / 1e9
+    );
+    println!(
+        "compress {:.1}s + group {:.1}s + transfer {:.1}s + decompress {:.1}s = total {:.1}s ({:.2} GB/s effective)",
+        b.compression_s,
+        b.grouping_s,
+        b.transfer_s,
+        b.decompression_s,
+        b.total_s(),
+        b.effective_speed_bps() / 1e9
+    );
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let (workload, from, to) = simulate_common(flags)?;
+    let planner = TransferPlanner::paper();
+    let base = PipelineOptions::default();
+    let plan = planner.plan(&workload, from, to, &base);
+    let np = Orchestrator::paper().run(&workload, from, to, Strategy::Direct, &base);
+    println!("plan for {from}->{to}:");
+    match plan.strategy {
+        Strategy::CompressedGrouped { group_count: Some(g), .. } => println!("  strategy: compress + group into {g} files"),
+        Strategy::Compressed => println!("  strategy: compress, no grouping"),
+        _ => println!("  strategy: {:?}", plan.strategy),
+    }
+    println!("  decompress cores/node: {}", plan.decompress_cores_per_node);
+    println!(
+        "  expected total {:.1}s vs direct {:.1}s ({:.0}% reduction)",
+        plan.expected.total_s(),
+        np.transfer_s,
+        plan.expected.reduction_vs(np.transfer_s) * 100.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_positionals_parse() {
+        let (pos, flags) = parse_flags(&strs(&["input.f32", "--eb", "1e-3", "-o", "out.ocz", "--abs"]));
+        assert_eq!(pos, vec!["input.f32"]);
+        assert_eq!(flags.get("eb").map(String::as_str), Some("1e-3"));
+        assert_eq!(flags.get("out").map(String::as_str), Some("out.ocz"));
+        assert_eq!(flags.get("abs").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn dims_parse_and_reject() {
+        assert_eq!(parse_dims("449x449x235").unwrap(), vec![449, 449, 235]);
+        assert_eq!(parse_dims("128").unwrap(), vec![128]);
+        assert_eq!(parse_dims("4,5").unwrap(), vec![4, 5]);
+        assert!(parse_dims("4x0").is_err());
+        assert!(parse_dims("").is_err());
+        assert!(parse_dims("axb").is_err());
+    }
+
+    #[test]
+    fn apps_and_sites_parse() {
+        assert_eq!(parse_app("miranda").unwrap(), Application::Miranda);
+        assert_eq!(parse_app("CESM").unwrap(), Application::Cesm);
+        assert!(parse_app("fortran").is_err());
+        assert_eq!(parse_site("anvil").unwrap(), SiteId::Anvil);
+        assert_eq!(parse_site("CORI").unwrap(), SiteId::Cori);
+        assert!(parse_site("summit").is_err());
+    }
+
+    #[test]
+    fn config_parses_predictor_and_backend() {
+        let mut flags = HashMap::new();
+        flags.insert("eb".to_string(), "1e-4".to_string());
+        flags.insert("predictor".to_string(), "lorenzo2".to_string());
+        flags.insert("backend".to_string(), "rle+huffman".to_string());
+        let cfg = parse_config(&flags).unwrap();
+        assert_eq!(cfg.predictor, PredictorKind::Lorenzo2);
+        assert_eq!(cfg.backend, LosslessBackend::RleHuffman);
+        flags.insert("predictor".to_string(), "psychic".to_string());
+        assert!(parse_config(&flags).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+        assert!(run(&strs(&["help"])).is_ok());
+    }
+}

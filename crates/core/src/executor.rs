@@ -1,0 +1,163 @@
+//! Parallel (de)compression executor — the worker the paper runs as an MPI
+//! program on compute nodes. Here it is a thread pool over crossbeam scoped
+//! threads: each worker repeatedly claims the next file and compresses or
+//! decompresses it with the real codec.
+
+use ocelot_sz::{compress_with_stats, decompress, CompressedBlob, CompressionOutcome, Dataset, LossyConfig, SzError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-size pool of compression workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// Creates an executor with `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread");
+        ParallelExecutor { threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Compresses every dataset, preserving order. Each file is handled by
+    /// exactly one worker (the paper's per-core file assignment).
+    ///
+    /// # Errors
+    /// Returns the first compression error encountered (remaining work is
+    /// abandoned).
+    pub fn compress_all(&self, files: &[Dataset<f32>], config: &LossyConfig) -> Result<Vec<CompressedBlob>, SzError> {
+        Ok(self.compress_all_with_stats(files, config)?.into_iter().map(|o| o.blob).collect())
+    }
+
+    /// Compresses every dataset, returning full outcomes (ratios, bin
+    /// statistics) in input order.
+    ///
+    /// # Errors
+    /// Returns the first compression error encountered.
+    pub fn compress_all_with_stats(
+        &self,
+        files: &[Dataset<f32>],
+        config: &LossyConfig,
+    ) -> Result<Vec<CompressionOutcome>, SzError> {
+        self.run(files.len(), |i| compress_with_stats(&files[i], config))
+    }
+
+    /// Decompresses every blob, preserving order.
+    ///
+    /// # Errors
+    /// Returns the first decompression error encountered.
+    pub fn decompress_all(&self, blobs: &[CompressedBlob]) -> Result<Vec<Dataset<f32>>, SzError> {
+        self.run(blobs.len(), |i| decompress::<f32>(&blobs[i]))
+    }
+
+    /// Generic indexed parallel map with first-error propagation.
+    fn run<R, F>(&self, n: usize, work: F) -> Result<Vec<R>, SzError>
+    where
+        R: Send,
+        F: Fn(usize) -> Result<R, SzError> + Sync,
+    {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        let failure: Mutex<Option<SzError>> = Mutex::new(None);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n.max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n || failure.lock().is_some() {
+                        return;
+                    }
+                    match work(i) {
+                        Ok(r) => results.lock()[i] = Some(r),
+                        Err(e) => {
+                            let mut f = failure.lock();
+                            if f.is_none() {
+                                *f = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+        if let Some(e) = failure.into_inner() {
+            return Err(e);
+        }
+        Ok(results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("all indices completed without error"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_sz::metrics;
+
+    fn files(n: usize) -> Vec<Dataset<f32>> {
+        (0..n)
+            .map(|k| Dataset::from_fn(vec![24, 24], move |i| ((i[0] + k) as f32 * 0.2).sin() + i[1] as f32 * 0.01))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_round_trip_preserves_order_and_bounds() {
+        let data = files(17);
+        let ex = ParallelExecutor::new(4);
+        let cfg = LossyConfig::sz3_abs(1e-3);
+        let blobs = ex.compress_all(&data, &cfg).unwrap();
+        assert_eq!(blobs.len(), 17);
+        let back = ex.decompress_all(&blobs).unwrap();
+        for (orig, rec) in data.iter().zip(&back) {
+            let q = metrics::compare(orig, rec).unwrap();
+            assert!(q.within_bound(1e-3), "max={}", q.max_abs_error);
+        }
+    }
+
+    #[test]
+    fn results_match_serial_execution() {
+        let data = files(9);
+        let cfg = LossyConfig::sz3(1e-3);
+        let parallel = ParallelExecutor::new(3).compress_all(&data, &cfg).unwrap();
+        let serial = ParallelExecutor::new(1).compress_all(&data, &cfg).unwrap();
+        assert_eq!(parallel, serial, "compression must be deterministic regardless of thread count");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let data = files(4);
+        let bad = LossyConfig::sz3_abs(0.0); // invalid bound
+        assert!(ParallelExecutor::new(2).compress_all(&data, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let ex = ParallelExecutor::new(8);
+        assert!(ex.compress_all(&[], &LossyConfig::sz3(1e-3)).unwrap().is_empty());
+        assert!(ex.decompress_all(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_files() {
+        let data = files(2);
+        let blobs = ParallelExecutor::new(16).compress_all(&data, &LossyConfig::sz3(1e-2)).unwrap();
+        assert_eq!(blobs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        ParallelExecutor::new(0);
+    }
+}

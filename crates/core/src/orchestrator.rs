@@ -1,0 +1,419 @@
+//! End-to-end pipeline orchestration: compress on the source cluster,
+//! transfer over the WAN, decompress on the destination cluster.
+//!
+//! Reproduces the measurement methodology of the paper's §VIII-D: `T(NP)` is
+//! a plain Globus transfer of the raw files; `T(CP)` compresses each file
+//! individually before transfer; `T(OP)` additionally groups compressed
+//! files. `Total T = CPTime + T + DPTime` (phases accounted additively, as
+//! in Table VIII).
+
+use ocelot_faas::{Cluster, WaitTimeModel};
+use ocelot_netsim::{simulate_transfer, simulate_transfer_released, GridFtpConfig, SiteId, Topology};
+
+use crate::grouping::{plan_groups, plan_groups_by_count};
+use crate::report::TimeBreakdown;
+use crate::sentinel;
+use crate::workload::Workload;
+
+/// Transfer strategy (the NP / CP / OP columns of Table VIII).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Direct transfer, no compression (`NP`).
+    Direct,
+    /// Per-file parallel compression (`CP`).
+    Compressed,
+    /// Compression plus file grouping (`OP`). Exactly one of the two
+    /// grouping criteria is used: a fixed group count (the paper's
+    /// by-world-size default) or a target bytes per group.
+    CompressedGrouped {
+        /// Number of groups (`Some` → group-by-count).
+        group_count: Option<usize>,
+        /// Target group size in bytes (used when `group_count` is `None`).
+        target_bytes: Option<u64>,
+    },
+}
+
+impl Strategy {
+    /// The paper's OP with a fixed group count.
+    pub fn grouped_by_count(n: usize) -> Self {
+        Strategy::CompressedGrouped { group_count: Some(n), target_bytes: None }
+    }
+
+    /// OP with a target group size.
+    pub fn grouped_by_bytes(bytes: u64) -> Self {
+        Strategy::CompressedGrouped { group_count: None, target_bytes: Some(bytes) }
+    }
+}
+
+/// Resource and tuning options for one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineOptions {
+    /// Nodes allocated for compression at the source.
+    pub compress_nodes: usize,
+    /// Nodes allocated for decompression at the destination.
+    pub decompress_nodes: usize,
+    /// Cores used per decompression node (the paper tunes this down to
+    /// avoid filesystem contention).
+    pub decompress_cores_per_node: Option<usize>,
+    /// GridFTP tuning.
+    pub gridftp: GridFtpConfig,
+    /// Batch-queue waiting model at the source.
+    pub wait_model: WaitTimeModel,
+    /// Whether the sentinel transfers uncompressed data during the wait.
+    pub sentinel: bool,
+    /// Seed for waiting times and link jitter.
+    pub seed: u64,
+}
+
+impl Default for PipelineOptions {
+    /// The paper's Table VIII setup: 16 compression nodes on the source,
+    /// 8 decompression nodes on the destination, tuned GridFTP, no queue
+    /// wait (Anvil granted nodes immediately).
+    fn default() -> Self {
+        PipelineOptions {
+            compress_nodes: 16,
+            decompress_nodes: 8,
+            decompress_cores_per_node: Some(32),
+            gridftp: GridFtpConfig::default(),
+            wait_model: WaitTimeModel::Immediate,
+            sentinel: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs transfer pipelines on a site topology.
+#[derive(Debug, Clone)]
+pub struct Orchestrator {
+    topology: Topology,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator over a topology.
+    pub fn new(topology: Topology) -> Self {
+        Orchestrator { topology }
+    }
+
+    /// The paper's calibrated three-site testbed.
+    pub fn paper() -> Self {
+        Orchestrator::new(Topology::paper())
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runs one pipeline, returning the phase breakdown.
+    ///
+    /// # Panics
+    /// Panics if `from == to` or node counts are zero.
+    pub fn run(
+        &self,
+        workload: &Workload,
+        from: SiteId,
+        to: SiteId,
+        strategy: Strategy,
+        opts: &PipelineOptions,
+    ) -> TimeBreakdown {
+        assert!(opts.compress_nodes > 0 && opts.decompress_nodes > 0, "node counts must be positive");
+        let route = self.topology.route(from, to);
+        let src = self.topology.site(from);
+        let dst = self.topology.site(to);
+
+        match strategy {
+            Strategy::Direct => {
+                let sizes = workload.raw_sizes();
+                let report = simulate_transfer(&sizes, &route.link, &opts.gridftp, opts.seed);
+                TimeBreakdown {
+                    transfer_s: report.duration_s,
+                    bytes_transferred: report.bytes_total,
+                    files_transferred: report.n_files,
+                    ..Default::default()
+                }
+            }
+            Strategy::Compressed | Strategy::CompressedGrouped { .. } => {
+                let wait_s = opts.wait_model.sample(opts.seed, 0);
+                if opts.sentinel && wait_s > 0.0 {
+                    return sentinel::run_with_wait(self, workload, from, to, strategy, opts, wait_s);
+                }
+
+                let comp_cluster = Cluster::new(opts.compress_nodes, src.cores_per_node, src.core_speed);
+                let compression_s = self.compression_time(workload, src, &comp_cluster, strategy);
+
+                // Transfer sizes depend on grouping.
+                let comp_sizes = workload.compressed_sizes();
+                let (sizes, grouping_s): (Vec<u64>, f64) = match strategy {
+                    Strategy::CompressedGrouped { group_count, target_bytes } => {
+                        let plan = match (group_count, target_bytes) {
+                            (Some(n), _) => plan_groups_by_count(comp_sizes.len(), n),
+                            (None, Some(b)) => plan_groups(&comp_sizes, b),
+                            (None, None) => plan_groups_by_count(comp_sizes.len(), comp_cluster.total_cores()),
+                        };
+                        let grouped: Vec<u64> =
+                            plan.iter().map(|g| g.iter().map(|&i| comp_sizes[i]).sum()).collect();
+                        // Grouping cost: the group files are written by one
+                        // writer each (MPI ranks coordinate offsets).
+                        let total: u64 = grouped.iter().sum();
+                        let t = src.fs.write_time_s(total, grouped.len().max(1))
+                            - src.fs.write_time_s(total, comp_cluster.total_cores().max(1));
+                        (grouped, t.max(0.0))
+                    }
+                    _ => (comp_sizes, 0.0),
+                };
+
+                let report = simulate_transfer(&sizes, &route.link, &opts.gridftp, opts.seed);
+
+                let dcores = opts.decompress_cores_per_node.unwrap_or(dst.cores_per_node).min(dst.cores_per_node);
+                let decomp_cluster = Cluster::new(opts.decompress_nodes, dcores, dst.core_speed);
+                let decompression_s = self.decompression_time(workload, dst, &decomp_cluster);
+
+                TimeBreakdown {
+                    queue_wait_s: wait_s,
+                    compression_s,
+                    grouping_s,
+                    transfer_s: report.duration_s,
+                    decompression_s,
+                    bytes_transferred: report.bytes_total,
+                    files_transferred: report.n_files,
+                }
+            }
+        }
+    }
+
+    /// Runs the *pipelined* compressed transfer (no grouping): each file
+    /// starts crossing the WAN as soon as its compression finishes, instead
+    /// of waiting for the whole batch — the overlap the paper's Fig 1
+    /// describes ("the transfer will move the compressed files to the
+    /// target machine once the files are ready").
+    ///
+    /// The returned breakdown reports the *critical path*: `compression_s`
+    /// is the makespan, `transfer_s` the full overlapped duration from t=0
+    /// to the last byte, and `total_s` would double-count the overlap —
+    /// use [`TimeBreakdown::transfer_s`] + `decompression_s` +
+    /// `queue_wait_s` as the pipelined end-to-end time, available from
+    /// [`Orchestrator::overlapped_total_s`].
+    ///
+    /// # Panics
+    /// Panics if `from == to` or node counts are zero.
+    pub fn run_overlapped(
+        &self,
+        workload: &Workload,
+        from: SiteId,
+        to: SiteId,
+        opts: &PipelineOptions,
+    ) -> TimeBreakdown {
+        assert!(opts.compress_nodes > 0 && opts.decompress_nodes > 0, "node counts must be positive");
+        let route = self.topology.route(from, to);
+        let src = self.topology.site(from);
+        let dst = self.topology.site(to);
+        let wait_s = opts.wait_model.sample(opts.seed, 0);
+
+        let comp_cluster = Cluster::new(opts.compress_nodes, src.cores_per_node, src.core_speed);
+        let work = workload.compression_work();
+        let completions = comp_cluster.completion_times(&work, comp_cluster.total_cores());
+        // Source reads throttle the start of the pipeline; approximate by
+        // shifting every release by the per-file share of read time.
+        let read_s = src.fs.read_time_s(workload.total_bytes(), comp_cluster.total_cores());
+        let stretch = if completions.iter().cloned().fold(0.0f64, f64::max) > 0.0 {
+            (read_s / completions.iter().cloned().fold(0.0f64, f64::max)).max(0.0)
+        } else {
+            0.0
+        };
+        let releases: Vec<f64> = completions.iter().map(|c| wait_s + c * (1.0 + stretch)).collect();
+
+        // The transfer service picks up files in the order they appear on
+        // disk, so feed the simulation release-sorted (otherwise an early
+        // slot in the submission order with a late release would block the
+        // control channel head-of-line).
+        let sizes = workload.compressed_sizes();
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        order.sort_by(|&a, &b| releases[a].partial_cmp(&releases[b]).expect("finite releases"));
+        let sorted_sizes: Vec<u64> = order.iter().map(|&i| sizes[i]).collect();
+        let sorted_releases: Vec<f64> = order.iter().map(|&i| releases[i]).collect();
+        let report =
+            simulate_transfer_released(&sorted_sizes, Some(&sorted_releases), &route.link, &opts.gridftp, opts.seed);
+
+        let dcores = opts.decompress_cores_per_node.unwrap_or(dst.cores_per_node).min(dst.cores_per_node);
+        let decomp_cluster = Cluster::new(opts.decompress_nodes, dcores, dst.core_speed);
+        let decompression_s = self.decompression_time(workload, dst, &decomp_cluster);
+
+        TimeBreakdown {
+            queue_wait_s: wait_s,
+            compression_s: comp_cluster.full_makespan(&work),
+            grouping_s: 0.0,
+            transfer_s: report.duration_s,
+            decompression_s,
+            bytes_transferred: report.bytes_total,
+            files_transferred: report.n_files,
+        }
+    }
+
+    /// End-to-end time of a pipelined run from [`Orchestrator::run_overlapped`]:
+    /// the overlapped transfer duration (which already covers queueing and
+    /// compression on its critical path) plus decompression.
+    pub fn overlapped_total_s(breakdown: &TimeBreakdown) -> f64 {
+        breakdown.transfer_s + breakdown.decompression_s
+    }
+
+    /// Compression phase: compute makespan overlapped with source reads,
+    /// plus writing the compressed output.
+    pub fn compression_time(
+        &self,
+        workload: &Workload,
+        src: &ocelot_netsim::Site,
+        cluster: &Cluster,
+        strategy: Strategy,
+    ) -> f64 {
+        let work = workload.compression_work();
+        let makespan = cluster.full_makespan(&work);
+        let read = src.fs.read_time_s(workload.total_bytes(), cluster.total_cores());
+        let comp_total: u64 = workload.compressed_sizes().iter().sum();
+        let writers = match strategy {
+            Strategy::CompressedGrouped { .. } => cluster.total_cores(), // grouped write accounted separately
+            _ => cluster.total_cores(),
+        };
+        makespan.max(read) + src.fs.write_time_s(comp_total, writers.max(1))
+    }
+
+    /// Decompression phase: compute makespan overlapped with compressed-file
+    /// reads, plus the contended write of the restored data (Fig 9).
+    pub fn decompression_time(
+        &self,
+        workload: &Workload,
+        dst: &ocelot_netsim::Site,
+        cluster: &Cluster,
+    ) -> f64 {
+        let work = workload.decompression_work();
+        let makespan = cluster.full_makespan(&work);
+        let comp_total: u64 = workload.compressed_sizes().iter().sum();
+        let read = dst.fs.read_time_s(comp_total, cluster.total_cores());
+        makespan.max(read) + dst.fs.write_time_s(workload.total_bytes(), cluster.total_cores())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_sz::LossyConfig;
+
+    fn miranda() -> Workload {
+        Workload::miranda(LossyConfig::sz3(1e-2), 32).unwrap()
+    }
+
+    #[test]
+    fn compression_beats_direct_on_slow_route() {
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let opts = PipelineOptions::default();
+        let np = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Direct, &opts);
+        let cp = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &opts);
+        assert!(cp.total_s() < np.total_s(), "cp={} np={}", cp.total_s(), np.total_s());
+        assert!(cp.bytes_transferred < np.bytes_transferred / 2);
+        assert!(cp.reduction_vs(np.total_s()) > 0.3, "reduction {}", cp.reduction_vs(np.total_s()));
+    }
+
+    #[test]
+    fn grouping_into_too_few_files_hurts_miranda() {
+        // Table VIII: Miranda OP (8 groups) transfers slower than CP on the
+        // fast Anvil→Cori route.
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let opts = PipelineOptions::default();
+        let cp = orch.run(&w, SiteId::Anvil, SiteId::Cori, Strategy::Compressed, &opts);
+        let op = orch.run(&w, SiteId::Anvil, SiteId::Cori, Strategy::grouped_by_count(8), &opts);
+        assert!(
+            op.transfer_s > cp.transfer_s,
+            "op transfer {} should exceed cp transfer {}",
+            op.transfer_s,
+            cp.transfer_s
+        );
+    }
+
+    #[test]
+    fn queue_wait_appears_in_breakdown() {
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let opts = PipelineOptions {
+            wait_model: ocelot_faas::WaitTimeModel::Fixed(100.0),
+            ..Default::default()
+        };
+        let cp = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &opts);
+        assert_eq!(cp.queue_wait_s, 100.0);
+        assert!(cp.total_s() > 100.0);
+    }
+
+    #[test]
+    fn direct_strategy_has_no_compute_phases() {
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let np = orch.run(&w, SiteId::Bebop, SiteId::Cori, Strategy::Direct, &PipelineOptions::default());
+        assert_eq!(np.compression_s, 0.0);
+        assert_eq!(np.decompression_s, 0.0);
+        assert_eq!(np.files_transferred, 768);
+    }
+
+    #[test]
+    fn more_decompress_nodes_can_hurt() {
+        // Fig 9: filesystem contention makes decompression slower at high
+        // node counts.
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let mk = |nodes| PipelineOptions {
+            decompress_nodes: nodes,
+            decompress_cores_per_node: None, // all 128 cores per node
+            ..Default::default()
+        };
+        let few = orch.run(&w, SiteId::Bebop, SiteId::Anvil, Strategy::Compressed, &mk(2));
+        let many = orch.run(&w, SiteId::Bebop, SiteId::Anvil, Strategy::Compressed, &mk(64));
+        assert!(
+            many.decompression_s > few.decompression_s,
+            "many={} few={}",
+            many.decompression_s,
+            few.decompression_s
+        );
+    }
+
+    #[test]
+    fn overlapped_pipeline_beats_additive_accounting() {
+        // Overlap pays off when compression and transfer are comparable:
+        // RTM from Bebop (slow KNL-era cores) toward Cori.
+        let orch = Orchestrator::paper();
+        let w = Workload::rtm(ocelot_sz::LossyConfig::sz3(1e-2), 24).unwrap();
+        let opts = PipelineOptions::default();
+        let additive = orch.run(&w, SiteId::Bebop, SiteId::Cori, Strategy::Compressed, &opts);
+        let overlapped = orch.run_overlapped(&w, SiteId::Bebop, SiteId::Cori, &opts);
+        let additive_total = additive.total_s();
+        let overlapped_total = Orchestrator::overlapped_total_s(&overlapped);
+        assert!(
+            overlapped_total < additive_total * 0.85,
+            "overlapped {overlapped_total} vs additive {additive_total}"
+        );
+        // Same bytes cross the wire either way.
+        assert_eq!(overlapped.bytes_transferred, additive.bytes_transferred);
+        // The overlapped transfer cannot finish before compression's makespan.
+        assert!(overlapped.transfer_s >= overlapped.compression_s * 0.99);
+    }
+
+    #[test]
+    fn overlapped_pipeline_respects_queue_wait() {
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let opts = PipelineOptions {
+            wait_model: ocelot_faas::WaitTimeModel::Fixed(50.0),
+            ..Default::default()
+        };
+        let b = orch.run_overlapped(&w, SiteId::Anvil, SiteId::Cori, &opts);
+        assert!(b.transfer_s >= 50.0, "transfer window {} must cover the wait", b.transfer_s);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let opts = PipelineOptions::default();
+        let a = orch.run(&w, SiteId::Anvil, SiteId::Cori, Strategy::Compressed, &opts);
+        let b = orch.run(&w, SiteId::Anvil, SiteId::Cori, Strategy::Compressed, &opts);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,218 @@
+//! Temporal delta compression for snapshot streams (extension; the
+//! direction of MDZ [Zhao et al. 2022] from the paper's related work).
+//!
+//! Consecutive simulation snapshots are strongly correlated, so the *delta*
+//! against the previous reconstructed frame is far more compressible than
+//! the frame itself. Compressor and decompressor both track the running
+//! reconstruction, and deltas are quantized against an **absolute** bound,
+//! so the pointwise guarantee on every restored frame is exactly the same
+//! as in spatial mode:
+//!
+//! `|frame − (prev_recon + delta_recon)| = |delta − delta_recon| ≤ eb`
+//!
+//! plus at most one `f32` rounding ULP from the `prev + delta` addition
+//! (≈ `range · ε`, orders of magnitude below any practical bound).
+
+use ocelot_sz::{compress, decompress, CompressedBlob, Dataset, ErrorBound, LossyConfig, SzError};
+
+/// Frame mode tag prepended to each emitted frame.
+const MODE_KEY: u8 = 0;
+const MODE_DELTA: u8 = 1;
+
+/// Streaming compressor for temporally correlated snapshots.
+#[derive(Debug, Clone)]
+pub struct TemporalCompressor {
+    config: LossyConfig,
+    prev_recon: Option<Dataset<f32>>,
+}
+
+impl TemporalCompressor {
+    /// Creates a compressor. The first frame is compressed directly ("key
+    /// frame"); later frames as deltas. Relative error bounds are resolved
+    /// against each *frame's* value range (not the delta's), preserving the
+    /// user-facing meaning of the bound.
+    pub fn new(config: LossyConfig) -> Self {
+        TemporalCompressor { config, prev_recon: None }
+    }
+
+    /// Compresses the next frame, returning the tagged frame bytes.
+    ///
+    /// # Errors
+    /// Returns [`SzError::InvalidShape`] if the frame's shape differs from
+    /// the stream's; propagates codec errors.
+    pub fn compress_next(&mut self, frame: &Dataset<f32>) -> Result<Vec<u8>, SzError> {
+        let abs_eb = self.config.error_bound.resolve(frame);
+        let cfg = self.config.with_error_bound(ErrorBound::Abs(abs_eb));
+        match &self.prev_recon {
+            None => {
+                let blob = compress(frame, &cfg)?;
+                self.prev_recon = Some(decompress::<f32>(&blob)?);
+                Ok(tag(MODE_KEY, blob))
+            }
+            Some(prev) => {
+                if prev.dims() != frame.dims() {
+                    return Err(SzError::InvalidShape(format!(
+                        "frame shape {:?} differs from stream shape {:?}",
+                        frame.dims(),
+                        prev.dims()
+                    )));
+                }
+                let delta: Vec<f32> =
+                    frame.values().iter().zip(prev.values()).map(|(&c, &p)| c - p).collect();
+                let delta = Dataset::new(frame.dims().to_vec(), delta)?;
+                let blob = compress(&delta, &cfg)?;
+                let delta_recon = decompress::<f32>(&blob)?;
+                let recon: Vec<f32> =
+                    prev.values().iter().zip(delta_recon.values()).map(|(&p, &d)| p + d).collect();
+                self.prev_recon = Some(Dataset::new(frame.dims().to_vec(), recon)?);
+                Ok(tag(MODE_DELTA, blob))
+            }
+        }
+    }
+
+    /// Resets the stream (the next frame becomes a key frame).
+    pub fn reset(&mut self) {
+        self.prev_recon = None;
+    }
+}
+
+/// Streaming decompressor mirroring [`TemporalCompressor`].
+#[derive(Debug, Clone, Default)]
+pub struct TemporalDecompressor {
+    prev_recon: Option<Dataset<f32>>,
+}
+
+impl TemporalDecompressor {
+    /// Creates a decompressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decompresses the next tagged frame.
+    ///
+    /// # Errors
+    /// Returns [`SzError::CorruptStream`] for bad tags or a delta frame
+    /// without a preceding key frame; propagates codec errors.
+    pub fn decompress_next(&mut self, frame_bytes: &[u8]) -> Result<Dataset<f32>, SzError> {
+        let (&mode, rest) = frame_bytes
+            .split_first()
+            .ok_or_else(|| SzError::CorruptStream("empty temporal frame".into()))?;
+        let blob = CompressedBlob::from_bytes(rest.to_vec())?;
+        let decoded = decompress::<f32>(&blob)?;
+        let frame = match mode {
+            MODE_KEY => decoded,
+            MODE_DELTA => {
+                let prev = self
+                    .prev_recon
+                    .as_ref()
+                    .ok_or_else(|| SzError::CorruptStream("delta frame before any key frame".into()))?;
+                if prev.dims() != decoded.dims() {
+                    return Err(SzError::CorruptStream("delta frame shape mismatch".into()));
+                }
+                let recon: Vec<f32> =
+                    prev.values().iter().zip(decoded.values()).map(|(&p, &d)| p + d).collect();
+                Dataset::new(decoded.dims().to_vec(), recon)?
+            }
+            other => return Err(SzError::CorruptStream(format!("unknown temporal frame mode {other}"))),
+        };
+        self.prev_recon = Some(frame.clone());
+        Ok(frame)
+    }
+}
+
+fn tag(mode: u8, blob: CompressedBlob) -> Vec<u8> {
+    let mut out = Vec::with_capacity(blob.len() + 1);
+    out.push(mode);
+    out.extend_from_slice(blob.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_datagen::series::snapshot_series;
+    use ocelot_datagen::{Application, FieldSpec};
+    use ocelot_sz::metrics;
+
+    fn series(rho: f32) -> Vec<Dataset<f32>> {
+        let spec = FieldSpec::new(Application::Miranda, "pressure").with_scale(16);
+        snapshot_series(&spec, 6, rho, 11)
+    }
+
+    #[test]
+    fn stream_round_trips_within_bound() {
+        let frames = series(0.9);
+        let eb_rel = 1e-3;
+        let mut comp = TemporalCompressor::new(LossyConfig::sz3(eb_rel));
+        let mut decomp = TemporalDecompressor::new();
+        for frame in &frames {
+            let bytes = comp.compress_next(frame).unwrap();
+            let restored = decomp.decompress_next(&bytes).unwrap();
+            let abs_eb = eb_rel * frame.value_range();
+            let ulp_margin = frame.value_range() * f32::EPSILON as f64 * 4.0;
+            let q = metrics::compare(frame, &restored).unwrap();
+            assert!(q.within_bound(abs_eb + ulp_margin), "max {} vs {abs_eb}", q.max_abs_error);
+        }
+    }
+
+    #[test]
+    fn correlated_streams_compress_better_temporally() {
+        let frames = series(0.95);
+        let cfg = LossyConfig::sz3_abs(1e-3 * frames[0].value_range());
+        // Spatial: each frame independently.
+        let spatial: usize = frames.iter().map(|f| compress(f, &cfg).unwrap().len()).sum();
+        // Temporal: key + deltas.
+        let mut comp = TemporalCompressor::new(cfg);
+        let temporal: usize = frames.iter().map(|f| comp.compress_next(f).unwrap().len()).sum();
+        assert!(
+            (temporal as f64) < spatial as f64 * 0.85,
+            "temporal {temporal} should beat spatial {spatial}"
+        );
+    }
+
+    #[test]
+    fn uncorrelated_streams_gain_little() {
+        let frames = series(0.0);
+        let cfg = LossyConfig::sz3_abs(1e-3 * frames[0].value_range());
+        let spatial: usize = frames.iter().map(|f| compress(f, &cfg).unwrap().len()).sum();
+        let mut comp = TemporalCompressor::new(cfg);
+        let temporal: usize = frames.iter().map(|f| comp.compress_next(f).unwrap().len()).sum();
+        // No big win, and no catastrophic loss either.
+        assert!((temporal as f64) < spatial as f64 * 1.5, "temporal {temporal} vs spatial {spatial}");
+    }
+
+    #[test]
+    fn delta_without_key_is_rejected() {
+        let frames = series(0.5);
+        let mut comp = TemporalCompressor::new(LossyConfig::sz3(1e-3));
+        let _key = comp.compress_next(&frames[0]).unwrap();
+        let delta = comp.compress_next(&frames[1]).unwrap();
+        let mut fresh = TemporalDecompressor::new();
+        assert!(fresh.decompress_next(&delta).is_err());
+    }
+
+    #[test]
+    fn shape_change_mid_stream_is_rejected() {
+        let mut comp = TemporalCompressor::new(LossyConfig::sz3(1e-3));
+        let a = Dataset::from_fn(vec![16, 16], |i| (i[0] + i[1]) as f32);
+        let b = Dataset::from_fn(vec![8, 8], |i| (i[0] + i[1]) as f32);
+        comp.compress_next(&a).unwrap();
+        assert!(comp.compress_next(&b).is_err());
+        comp.reset();
+        assert!(comp.compress_next(&b).is_ok());
+    }
+
+    #[test]
+    fn decoder_tolerates_reset_streams() {
+        let frames = series(0.7);
+        let mut comp = TemporalCompressor::new(LossyConfig::sz3(1e-3));
+        let mut decomp = TemporalDecompressor::new();
+        let k1 = comp.compress_next(&frames[0]).unwrap();
+        decomp.decompress_next(&k1).unwrap();
+        comp.reset();
+        let k2 = comp.compress_next(&frames[1]).unwrap();
+        let out = decomp.decompress_next(&k2).unwrap();
+        let q = metrics::compare(&frames[1], &out).unwrap();
+        assert!(q.psnr > 40.0);
+    }
+}

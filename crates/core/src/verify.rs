@@ -1,0 +1,143 @@
+//! Post-transfer verification (Z-checker style): compare an original
+//! dataset against its lossy reconstruction and judge it against a policy.
+//!
+//! Transfers with lossy compression need an acceptance step on the
+//! destination — "was the data good enough?" — expressed as bounds on
+//! pointwise error, PSNR, and correlation, exactly the metrics the paper
+//! uses to argue validity (PSNR > 50 dB ⇒ visually identical, Fig 15).
+
+use ocelot_sz::{metrics, Dataset, QualityReport, ScalarValue, SzError};
+use serde::{Deserialize, Serialize};
+
+/// Acceptance policy for reconstructed data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceptancePolicy {
+    /// Maximum allowed pointwise absolute error (`None` = don't check).
+    pub max_abs_error: Option<f64>,
+    /// Minimum PSNR in dB.
+    pub min_psnr: Option<f64>,
+    /// Minimum Pearson correlation with the original.
+    pub min_correlation: Option<f64>,
+}
+
+impl AcceptancePolicy {
+    /// The paper's visual-fidelity policy: PSNR ≥ 50 dB.
+    pub fn visual() -> Self {
+        AcceptancePolicy { max_abs_error: None, min_psnr: Some(50.0), min_correlation: None }
+    }
+
+    /// Strict numerical policy: pointwise bound plus high correlation.
+    pub fn error_bounded(abs_eb: f64) -> Self {
+        AcceptancePolicy { max_abs_error: Some(abs_eb), min_psnr: None, min_correlation: Some(0.99) }
+    }
+}
+
+/// Verdict of a verification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Whether every enabled check passed.
+    pub accepted: bool,
+    /// Human-readable reasons for rejection (empty when accepted).
+    pub violations: Vec<String>,
+    /// The measured quality metrics.
+    pub psnr: f64,
+    /// Maximum pointwise error.
+    pub max_abs_error: f64,
+    /// Pearson correlation.
+    pub correlation: f64,
+}
+
+/// Verifies a reconstruction against the policy.
+///
+/// # Errors
+/// Returns [`SzError::InvalidShape`] if the shapes differ.
+pub fn verify<T: ScalarValue>(
+    original: &Dataset<T>,
+    reconstructed: &Dataset<T>,
+    policy: &AcceptancePolicy,
+) -> Result<Verdict, SzError> {
+    let q: QualityReport = metrics::compare(original, reconstructed)?;
+    let mut violations = Vec::new();
+    if let Some(bound) = policy.max_abs_error {
+        if !q.within_bound(bound) {
+            violations.push(format!("max abs error {:.3e} exceeds bound {:.3e}", q.max_abs_error, bound));
+        }
+    }
+    if let Some(min) = policy.min_psnr {
+        if q.psnr < min {
+            violations.push(format!("PSNR {:.2} dB below required {min:.2} dB", q.psnr));
+        }
+    }
+    if let Some(min) = policy.min_correlation {
+        if q.correlation < min {
+            violations.push(format!("correlation {:.6} below required {min:.6}", q.correlation));
+        }
+    }
+    Ok(Verdict {
+        accepted: violations.is_empty(),
+        violations,
+        psnr: q.psnr,
+        max_abs_error: q.max_abs_error,
+        correlation: q.correlation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_sz::{compress, decompress, LossyConfig};
+
+    fn field() -> Dataset<f32> {
+        Dataset::from_fn(vec![48, 48], |i| ((i[0] as f32) * 0.2).sin() * 4.0 + i[1] as f32 * 0.02)
+    }
+
+    #[test]
+    fn compressed_data_passes_its_own_bound() {
+        let data = field();
+        let blob = compress(&data, &LossyConfig::sz3(1e-3)).unwrap();
+        let abs_eb = blob.header().unwrap().abs_eb;
+        let restored = decompress::<f32>(&blob).unwrap();
+        let v = verify(&data, &restored, &AcceptancePolicy::error_bounded(abs_eb)).unwrap();
+        assert!(v.accepted, "violations: {:?}", v.violations);
+        let v = verify(&data, &restored, &AcceptancePolicy::visual()).unwrap();
+        assert!(v.accepted);
+    }
+
+    #[test]
+    fn violations_are_reported_specifically() {
+        let data = field();
+        let blob = compress(&data, &LossyConfig::sz3(1e-1)).unwrap();
+        let restored = decompress::<f32>(&blob).unwrap();
+        // Demand far more than 1e-1 compression delivers.
+        let policy = AcceptancePolicy {
+            max_abs_error: Some(1e-6),
+            min_psnr: Some(120.0),
+            min_correlation: Some(0.999999999),
+        };
+        let v = verify(&data, &restored, &policy).unwrap();
+        assert!(!v.accepted);
+        assert_eq!(v.violations.len(), 3, "{:?}", v.violations);
+        assert!(v.violations[0].contains("max abs error"));
+        assert!(v.violations[1].contains("PSNR"));
+    }
+
+    #[test]
+    fn identical_data_always_passes() {
+        let data = field();
+        let policy = AcceptancePolicy {
+            max_abs_error: Some(0.0),
+            min_psnr: Some(1e6),
+            min_correlation: Some(1.0),
+        };
+        let v = verify(&data, &data, &policy).unwrap();
+        assert!(v.accepted);
+        assert!(v.psnr.is_infinite());
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = Dataset::<f32>::constant(vec![4], 0.0).unwrap();
+        let b = Dataset::<f32>::constant(vec![5], 0.0).unwrap();
+        assert!(verify(&a, &b, &AcceptancePolicy::visual()).is_err());
+    }
+}

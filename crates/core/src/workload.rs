@@ -1,0 +1,290 @@
+//! The paper's transfer workloads (CESM, RTM, Miranda — §VIII-D) as
+//! file-set descriptions with *measured* compression profiles.
+//!
+//! End-to-end experiments need per-file compressed sizes and compression
+//! work for paper-scale datasets (hundreds of GB). Holding those in memory
+//! is impossible, so a workload separates concerns:
+//!
+//! * every file records its **full-scale** size/point count (Table IV
+//!   dimensions);
+//! * each distinct field is **profiled once** by really compressing a
+//!   scaled-down synthetic instance — the measured ratio and bin statistics
+//!   extrapolate to the full-size file (compression ratio and bin
+//!   distributions are scale-invariant for these statistically homogeneous
+//!   fields).
+
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_sz::cost::CostModel;
+use ocelot_sz::stats::QuantBinStats;
+use ocelot_sz::{compress_with_stats, decompress, metrics, LossyConfig, SzError};
+
+/// Measured compression behaviour of one field at one configuration.
+#[derive(Debug, Clone)]
+pub struct CompressionProfile {
+    /// Field name the profile was measured on.
+    pub field: String,
+    /// Achieved compression ratio.
+    pub ratio: f64,
+    /// Quantization-bin statistics (drives the time cost model).
+    pub bin_stats: QuantBinStats,
+    /// Reconstruction PSNR in dB.
+    pub psnr: f64,
+}
+
+/// One file in a workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadFile {
+    /// File name (diagnostics and grouping manifests).
+    pub name: String,
+    /// Uncompressed size in bytes at paper scale.
+    pub full_bytes: u64,
+    /// Number of data points at paper scale.
+    pub full_points: usize,
+    /// Index into [`Workload::profiles`].
+    pub profile: usize,
+}
+
+/// A transfer workload: files plus measured per-field profiles.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Application the workload models.
+    pub app: Application,
+    /// Compression configuration in effect.
+    pub config: LossyConfig,
+    /// Files at paper scale.
+    pub files: Vec<WorkloadFile>,
+    /// Distinct measured profiles.
+    pub profiles: Vec<CompressionProfile>,
+}
+
+impl Workload {
+    /// CESM: 61 snapshots × (81 2-D + 36 3-D) fields ≈ 7137 files, 1.61 TB.
+    ///
+    /// `profile_scale` controls the size of the synthetic fields really
+    /// compressed for profiling (16 → seconds).
+    ///
+    /// # Errors
+    /// Propagates profiling compression errors.
+    pub fn cesm(config: LossyConfig, profile_scale: usize) -> Result<Self, SzError> {
+        let app = Application::Cesm;
+        let profiles = measure_profiles(app, app.fields(), config, profile_scale)?;
+        let n_fields = app.fields().len();
+        let d2_points = 1800usize * 3600;
+        let d3_points = 26 * d2_points;
+        let mut files = Vec::new();
+        for snap in 0..61 {
+            for k in 0..81 {
+                files.push(WorkloadFile {
+                    name: format!("cesm/snap{snap:02}/f2d_{k:03}.nc"),
+                    full_bytes: (d2_points * 4) as u64,
+                    full_points: d2_points,
+                    profile: (snap * 81 + k) % n_fields,
+                });
+            }
+            for k in 0..36 {
+                files.push(WorkloadFile {
+                    name: format!("cesm/snap{snap:02}/f3d_{k:03}.nc"),
+                    full_bytes: (d3_points * 4) as u64,
+                    full_points: d3_points,
+                    profile: (snap * 36 + k) % n_fields,
+                });
+            }
+        }
+        Ok(Workload { app, config, files, profiles })
+    }
+
+    /// RTM: 3601 snapshots of 449×449×235, 682 GB.
+    ///
+    /// # Errors
+    /// Propagates profiling compression errors.
+    pub fn rtm(config: LossyConfig, profile_scale: usize) -> Result<Self, SzError> {
+        let app = Application::Rtm;
+        // Profile eight representative snapshot times across the shot.
+        let field_names: Vec<String> = (0..8).map(|k| format!("snapshot-{:04}", 200 + k * 450)).collect();
+        let refs: Vec<&str> = field_names.iter().map(String::as_str).collect();
+        let profiles = measure_profiles(app, &refs, config, profile_scale)?;
+        let points = 449usize * 449 * 235;
+        let files = (0..3601)
+            .map(|snap| WorkloadFile {
+                name: format!("rtm/snapshot-{snap:04}.dat"),
+                full_bytes: (points * 4) as u64,
+                full_points: points,
+                profile: (snap * profiles.len()) / 3601,
+            })
+            .collect();
+        Ok(Workload { app, config, files, profiles })
+    }
+
+    /// Miranda: 768 files of 256×384×384 across 7 fields, 115 GB.
+    ///
+    /// # Errors
+    /// Propagates profiling compression errors.
+    pub fn miranda(config: LossyConfig, profile_scale: usize) -> Result<Self, SzError> {
+        let app = Application::Miranda;
+        let profiles = measure_profiles(app, app.fields(), config, profile_scale)?;
+        let points = 256usize * 384 * 384;
+        let files = (0..768)
+            .map(|k| WorkloadFile {
+                name: format!("miranda/{}_{:03}.bin", app.fields()[k % app.fields().len()], k),
+                full_bytes: (points * 4) as u64,
+                full_points: points,
+                profile: k % profiles.len(),
+            })
+            .collect();
+        Ok(Workload { app, config, files, profiles })
+    }
+
+    /// Builds the workload for an application with its paper-default error
+    /// bound (chosen to land in the ratio regime of Table VIII).
+    ///
+    /// # Errors
+    /// Propagates profiling compression errors.
+    pub fn paper_default(app: Application, profile_scale: usize) -> Result<Self, SzError> {
+        match app {
+            Application::Cesm => Self::cesm(LossyConfig::sz3(1e-4), profile_scale),
+            Application::Rtm => Self::rtm(LossyConfig::sz3(1e-2), profile_scale),
+            Application::Miranda => Self::miranda(LossyConfig::sz3(1e-3), profile_scale),
+            other => Err(SzError::InvalidConfig(format!("no paper transfer workload for {other}"))),
+        }
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total uncompressed bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.full_bytes).sum()
+    }
+
+    /// Uncompressed per-file sizes (transfer input for the no-compression
+    /// baseline).
+    pub fn raw_sizes(&self) -> Vec<u64> {
+        self.files.iter().map(|f| f.full_bytes).collect()
+    }
+
+    /// Compressed per-file sizes, extrapolated from profiles.
+    pub fn compressed_sizes(&self) -> Vec<u64> {
+        self.files
+            .iter()
+            .map(|f| ((f.full_bytes as f64 / self.profiles[f.profile].ratio).ceil() as u64).max(1))
+            .collect()
+    }
+
+    /// Overall compression ratio.
+    pub fn overall_ratio(&self) -> f64 {
+        self.total_bytes() as f64 / self.compressed_sizes().iter().sum::<u64>() as f64
+    }
+
+    /// Per-file single-core compression work in reference-core seconds.
+    pub fn compression_work(&self) -> Vec<f64> {
+        let cost = CostModel::for_predictor(self.config.predictor);
+        self.files
+            .iter()
+            .map(|f| cost.compression_seconds(f.full_points, &self.profiles[f.profile].bin_stats))
+            .collect()
+    }
+
+    /// Per-file single-core decompression work in reference-core seconds.
+    pub fn decompression_work(&self) -> Vec<f64> {
+        let cost = CostModel::for_predictor(self.config.predictor);
+        self.files
+            .iter()
+            .map(|f| cost.decompression_seconds(f.full_points, &self.profiles[f.profile].bin_stats))
+            .collect()
+    }
+
+    /// Worst (minimum) PSNR across profiles — the distortion guarantee shown
+    /// to the user.
+    pub fn min_psnr(&self) -> f64 {
+        self.profiles.iter().map(|p| p.psnr).fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Really compresses a scaled instance of each field, recording profiles.
+fn measure_profiles(
+    app: Application,
+    fields: &[&str],
+    config: LossyConfig,
+    profile_scale: usize,
+) -> Result<Vec<CompressionProfile>, SzError> {
+    fields
+        .iter()
+        .map(|&field| {
+            let data = FieldSpec::new(app, field).with_scale(profile_scale).generate();
+            let outcome = compress_with_stats(&data, &config)?;
+            let restored = decompress::<f32>(&outcome.blob)?;
+            let quality = metrics::compare(&data, &restored)?;
+            Ok(CompressionProfile {
+                field: field.to_string(),
+                ratio: outcome.ratio,
+                bin_stats: outcome.bin_stats,
+                psnr: if quality.psnr.is_finite() { quality.psnr } else { 200.0 },
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cesm_matches_paper_scale() {
+        let w = Workload::cesm(LossyConfig::sz3(1e-3), 32).unwrap();
+        assert_eq!(w.file_count(), 61 * (81 + 36));
+        let tb = w.total_bytes() as f64 / 1e12;
+        assert!((1.4..1.8).contains(&tb), "total {tb} TB");
+        assert!(w.overall_ratio() > 1.5, "ratio {}", w.overall_ratio());
+    }
+
+    #[test]
+    fn rtm_matches_paper_scale() {
+        let w = Workload::rtm(LossyConfig::sz3(1e-4), 16).unwrap();
+        assert_eq!(w.file_count(), 3601);
+        let gb = w.total_bytes() as f64 / 1e9;
+        assert!((600.0..750.0).contains(&gb), "total {gb} GB");
+        // Every file maps to a valid profile.
+        assert!(w.files.iter().all(|f| f.profile < w.profiles.len()));
+    }
+
+    #[test]
+    fn miranda_matches_paper_scale() {
+        let w = Workload::miranda(LossyConfig::sz3(1e-2), 32).unwrap();
+        assert_eq!(w.file_count(), 768);
+        let gb = w.total_bytes() as f64 / 1e9;
+        assert!((100.0..130.0).contains(&gb), "total {gb} GB");
+    }
+
+    #[test]
+    fn compressed_sizes_shrink() {
+        let w = Workload::miranda(LossyConfig::sz3(1e-2), 32).unwrap();
+        let raw: u64 = w.raw_sizes().iter().sum();
+        let comp: u64 = w.compressed_sizes().iter().sum();
+        assert!(comp < raw / 2, "raw {raw} comp {comp}");
+    }
+
+    #[test]
+    fn work_vectors_align_with_files() {
+        let w = Workload::miranda(LossyConfig::sz3(1e-2), 32).unwrap();
+        assert_eq!(w.compression_work().len(), w.file_count());
+        assert!(w.compression_work().iter().all(|&c| c > 0.0));
+        let cw: f64 = w.compression_work().iter().sum();
+        let dw: f64 = w.decompression_work().iter().sum();
+        assert!(dw < cw, "decompression should be cheaper");
+    }
+
+    #[test]
+    fn tighter_bound_lowers_ratio_and_raises_psnr() {
+        let tight = Workload::rtm(LossyConfig::sz3(1e-5), 16).unwrap();
+        let loose = Workload::rtm(LossyConfig::sz3(1e-2), 16).unwrap();
+        assert!(loose.overall_ratio() > tight.overall_ratio());
+        assert!(tight.min_psnr() > loose.min_psnr());
+    }
+
+    #[test]
+    fn paper_default_rejects_unsupported_apps() {
+        assert!(Workload::paper_default(Application::Hacc, 16).is_err());
+    }
+}

@@ -1,0 +1,446 @@
+//! Per-application dataset presets matching the paper's Table IV.
+//!
+//! Each application contributes named fields with characteristic smoothness,
+//! value ranges (Table I), sparsity, and dynamic range. Dimensions default to
+//! the paper's (e.g. CESM `1800×3600`, RTM `449×449×235`) and can be divided
+//! by a scale factor for laptop-sized runs.
+
+use crate::spectral::{
+    add_noise, exponentiate, log10_transform, rescale, sparsify, vortex, wavefront, SpectralConfig,
+};
+use ocelot_sz::Dataset;
+
+/// The scientific applications evaluated in the paper (Table IV, plus HACC
+/// from Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Application {
+    /// Community Earth System Model — 2-D climate fields.
+    Cesm,
+    /// Miranda — 3-D hydrodynamics / large turbulence simulation.
+    Miranda,
+    /// Reverse Time Migration — 3-D seismic wavefield snapshots.
+    Rtm,
+    /// Nyx — 3-D cosmology (adaptive mesh) fields.
+    Nyx,
+    /// Hurricane ISABEL — 3-D weather simulation.
+    Isabel,
+    /// QMCPACK — electronic-structure orbitals (einspline).
+    Qmcpack,
+    /// HACC — N-body cosmology particle arrays (1-D).
+    Hacc,
+}
+
+impl Application {
+    /// All applications, in the paper's presentation order.
+    pub const ALL: [Application; 7] = [
+        Application::Cesm,
+        Application::Miranda,
+        Application::Rtm,
+        Application::Nyx,
+        Application::Isabel,
+        Application::Qmcpack,
+        Application::Hacc,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Application::Cesm => "cesm",
+            Application::Miranda => "miranda",
+            Application::Rtm => "rtm",
+            Application::Nyx => "nyx",
+            Application::Isabel => "isabel",
+            Application::Qmcpack => "qmcpack",
+            Application::Hacc => "hacc",
+        }
+    }
+
+    /// The paper's full field dimensions (Table IV).
+    pub fn default_dims(&self) -> Vec<usize> {
+        match self {
+            Application::Cesm => vec![1800, 3600],
+            Application::Miranda => vec![256, 384, 384],
+            Application::Rtm => vec![449, 449, 235],
+            Application::Nyx => vec![512, 512, 512],
+            Application::Isabel => vec![100, 500, 500],
+            Application::Qmcpack => vec![33120, 69, 69],
+            Application::Hacc => vec![16 * 1024 * 1024],
+        }
+    }
+
+    /// Representative field names for this application.
+    pub fn fields(&self) -> &'static [&'static str] {
+        match self {
+            Application::Cesm => &[
+                "CLDHGH", "CLDMED", "FLDSC", "PCONVT", "TMQ", "TROP_Z", "ICEFRAC", "PSL", "FLNSC",
+                "ODV_ocar2", "LHFLX", "TREFHT", "FSDTOA", "SNOWHICE",
+            ],
+            Application::Miranda => &["density", "velocity-x", "velocity-y", "velocity-z", "diffusivity", "pressure", "viscosity"],
+            Application::Rtm => &["snapshot-0594", "snapshot-1048", "snapshot-1982", "snapshot-2800", "snapshot-3400"],
+            Application::Nyx => &["baryon_density", "dark_matter_density", "temperature", "velocity_x"],
+            Application::Isabel => &[
+                "CLOUDf48_log10", "PRECIPf48_log10", "QSNOWf48_log10", "QVAPORf48", "Pf48", "Wf48", "TCf48", "Uf48",
+            ],
+            Application::Qmcpack => &["einspine"],
+            Application::Hacc => &["vx", "vy", "xx"],
+        }
+    }
+}
+
+impl std::fmt::Display for Application {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully specified synthetic field: application, field name, scale, seed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldSpec {
+    app: Application,
+    field: String,
+    scale: usize,
+    seed: u64,
+}
+
+impl FieldSpec {
+    /// Creates a spec at full paper dimensions (scale 1).
+    pub fn new(app: Application, field: impl Into<String>) -> Self {
+        FieldSpec { app, field: field.into(), scale: 1, seed: 0 }
+    }
+
+    /// Divides every dimension by `scale` (minimum extent 8), keeping the
+    /// field's statistical structure. Scale 16 turns CESM's 1800×3600 into
+    /// 112×225 — seconds instead of minutes per experiment.
+    ///
+    /// # Panics
+    /// Panics if `scale == 0`.
+    pub fn with_scale(mut self, scale: usize) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Perturbs the RNG seed (distinct snapshots of the same field).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The application.
+    pub fn app(&self) -> Application {
+        self.app
+    }
+
+    /// The field name.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// The dimensions this spec will generate.
+    pub fn dims(&self) -> Vec<usize> {
+        self.app.default_dims().iter().map(|&d| (d / self.scale).max(8)).collect()
+    }
+
+    /// Uncompressed size in bytes (f32).
+    pub fn nbytes(&self) -> usize {
+        self.dims().iter().product::<usize>() * 4
+    }
+
+    /// Generates the field. Deterministic in `(app, field, scale, seed)`.
+    ///
+    /// Spectral content scales with resolution (wavenumbers are fixed *per
+    /// grid cell*, not per domain), so per-point statistics — smoothness,
+    /// Lorenzo error, compression ratio — are approximately scale-invariant
+    /// and profiles measured on scaled-down fields extrapolate to full size.
+    pub fn generate(&self) -> Dataset<f32> {
+        let dims = self.dims();
+        let full = self.app.default_dims();
+        let seed = self.seed ^ fnv(self.app.name()) ^ fnv(&self.field).rotate_left(17);
+        match self.app {
+            Application::Cesm => cesm_field(&self.field, &dims, &full, seed),
+            Application::Miranda => miranda_field(&self.field, &dims, &full, seed),
+            Application::Rtm => rtm_field(&self.field, &dims, &full, seed),
+            Application::Nyx => nyx_field(&self.field, &dims, &full, seed),
+            Application::Isabel => isabel_field(&self.field, &dims, &full, seed),
+            Application::Qmcpack => qmcpack_field(&dims, &full, seed),
+            Application::Hacc => hacc_field(&self.field, &dims, &full, seed),
+        }
+    }
+}
+
+/// FNV-1a hash for seed derivation from names.
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn cesm_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Dataset<f32> {
+    // (beta, lo, hi, sparsify threshold, noise)
+    let (beta, lo, hi, sparse, noise): (f64, f64, f64, f64, f64) = match field {
+        "CLDHGH" => (1.3, 0.0, 0.92, 0.25, 0.01),      // patchy cloud fraction
+        "CLDMED" => (1.2, 0.0, 0.95, 0.30, 0.01),
+        "FLDSC" => (2.0, 92.84, 418.24, 0.0, 0.05),    // Table I range
+        "PCONVT" => (2.4, 39025.27, 103207.45, 0.0, 5.0), // Table I range
+        "TMQ" => (1.8, 0.3, 68.0, 0.0, 0.02),
+        "TROP_Z" => (2.8, 5000.0, 18000.0, 0.0, 1.0),  // very smooth → high PSNR
+        "ICEFRAC" => (1.4, 0.0, 1.0, 0.55, 0.0),       // polar caps only
+        "PSL" => (2.6, 95000.0, 105000.0, 0.0, 2.0),
+        "FLNSC" => (1.9, 30.0, 180.0, 0.0, 0.2),
+        "ODV_ocar2" => (1.5, 0.0, 2e-10, 0.2, 1e-13),
+        "LHFLX" => (1.6, -20.0, 600.0, 0.0, 0.5),
+        "TREFHT" => (2.3, 210.0, 315.0, 0.0, 0.05),
+        "FSDTOA" => (2.9, 0.0, 1400.0, 0.0, 0.01),     // near-deterministic insolation
+        "SNOWHICE" => (1.5, 0.0, 1.2, 0.6, 0.0),       // sparse → huge ratios
+        other => (1.8, 0.0, 1.0, 0.0, 0.01 + (fnv(other) % 8) as f64 * 0.002),
+    };
+    let mut d = SpectralConfig { modes: 56, beta, max_wavenumber: 28.0, seed }.generate_window(dims, full);
+    if sparse > 0.0 {
+        sparsify(&mut d, sparse as f32);
+        // Re-normalize the surviving mass to [0,1].
+        let (mn, mx) = d.min_max();
+        if mx > mn {
+            for v in d.values_mut() {
+                *v = (*v - mn) / (mx - mn);
+            }
+        }
+    }
+    if noise > 0.0 {
+        add_noise(&mut d, (noise / (hi - lo).abs().max(1e-30)) as f32, seed);
+        for v in d.values_mut() {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+    rescale(&mut d, lo as f32, hi as f32);
+    d
+}
+
+fn miranda_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Dataset<f32> {
+    // Turbulence: shallow spectral slope; density/pressure smoother than
+    // velocity components; viscosity near-uniform.
+    let (beta, lo, hi) = match field {
+        "density" => (1.7, 0.8, 3.2),
+        "velocity-x" | "velocity-y" | "velocity-z" => (1.1, -1.6, 1.6),
+        "diffusivity" => (1.4, 0.0, 0.05),
+        "pressure" => (2.1, 0.9, 1.4),
+        "viscosity" => (2.6, 1.0e-4, 3.0e-4),
+        _ => (1.5, 0.0, 1.0),
+    };
+    let mut d = SpectralConfig { modes: 72, beta, max_wavenumber: 40.0, seed }.generate_window(dims, full);
+    add_noise(&mut d, 0.004, seed);
+    rescale(&mut d, lo, hi);
+    d
+}
+
+fn rtm_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Dataset<f32> {
+    // "snapshot-NNNN" → wavefront at t = NNNN / 3600.
+    let t = field
+        .strip_prefix("snapshot-")
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(|n| n / 3600.0)
+        .unwrap_or(0.5);
+    let mut d = SpectralConfig { modes: 40, beta: 1.0, max_wavenumber: 36.0, seed }.generate_window(dims, full);
+    for v in d.values_mut() {
+        *v = *v * 2.0 - 1.0; // zero-centred wavefield
+    }
+    wavefront(&mut d, dims, t, dims[0] as f64 / 18.0);
+    // Later snapshots have weaker, more dispersed energy; the region the
+    // wavefront has not reached (or has fully left) is exactly zero, as in
+    // real RTM snapshots.
+    let atten = (1.0 - 0.4 * t) as f32;
+    let (mn, mx) = d.min_max();
+    let floor = 1.0e-3 * mn.abs().max(mx.abs());
+    for v in d.values_mut() {
+        *v = if v.abs() < floor { 0.0 } else { *v * atten };
+    }
+    d
+}
+
+fn nyx_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Dataset<f32> {
+    match field {
+        "baryon_density" | "dark_matter_density" => {
+            // Log-normal density with huge dynamic range — the reason Nyx
+            // ratios stay modest at tight bounds (Table V: CR 1.18 at 1e-6).
+            let sigma = if field == "baryon_density" { 9.0 } else { 11.0 };
+            let mut d = SpectralConfig { modes: 64, beta: 1.4, max_wavenumber: 48.0, seed }.generate_window(dims, full);
+            exponentiate(&mut d, sigma);
+            d
+        }
+        "temperature" => {
+            let mut d = SpectralConfig { modes: 64, beta: 1.6, max_wavenumber: 32.0, seed }.generate_window(dims, full);
+            exponentiate(&mut d, 5.0);
+            rescale(&mut d, 0.0, 1.0e6);
+            d
+        }
+        _ => {
+            let mut d = SpectralConfig { modes: 64, beta: 1.3, max_wavenumber: 32.0, seed }.generate_window(dims, full);
+            rescale(&mut d, -3000.0, 3000.0);
+            d
+        }
+    }
+}
+
+fn isabel_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Dataset<f32> {
+    let log10 = field.ends_with("_log10");
+    let (beta, lo, hi, sparse) = match field.trim_end_matches("_log10") {
+        "CLOUDf48" => (1.2, 0.0, 0.002, 0.45),
+        "PRECIPf48" => (1.1, 0.0, 0.01, 0.5),
+        "QSNOWf48" => (1.3, 0.0, 0.0008, 0.55),
+        "QVAPORf48" => (1.9, 0.0, 0.024, 0.0),
+        "Pf48" => (2.5, -5000.0, 3200.0, 0.0),
+        "Wf48" => (1.2, -9.0, 28.0, 0.0),
+        "TCf48" => (2.2, -83.0, 31.0, 0.0),
+        "Uf48" | "Vf48" => (1.4, -80.0, 85.0, 0.0),
+        _ => (1.5, 0.0, 1.0, 0.0),
+    };
+    let mut d = SpectralConfig { modes: 60, beta, max_wavenumber: 36.0, seed }.generate_window(dims, full);
+    vortex(&mut d, dims, 3, 0.8);
+    if sparse > 0.0 {
+        sparsify(&mut d, sparse);
+    }
+    rescale(&mut d, lo, hi);
+    if log10 {
+        // Shift to non-negative before the log transform, as the original
+        // pre-processing does for the hurricane mixing-ratio fields.
+        let (mn, _) = d.min_max();
+        if mn < 0.0 {
+            for v in d.values_mut() {
+                *v -= mn;
+            }
+        }
+        for v in d.values_mut() {
+            *v *= 1.0e4;
+        }
+        log10_transform(&mut d);
+    }
+    d
+}
+
+fn qmcpack_field(dims: &[usize], full: &[usize], seed: u64) -> Dataset<f32> {
+    // Orbitals: rapidly oscillating, moderately compressible.
+    let mut d = SpectralConfig { modes: 96, beta: 0.9, max_wavenumber: 30.0, seed }.generate_window(dims, full);
+    for v in d.values_mut() {
+        *v = *v * 2.0 - 1.0;
+    }
+    d
+}
+
+fn hacc_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Dataset<f32> {
+    match field {
+        "xx" => {
+            // Particle positions: near-uniform in [0, 256) with clustering —
+            // effectively incompressible at tight bounds (Table I).
+            let mut d = SpectralConfig { modes: 24, beta: 0.4, max_wavenumber: 200.0, seed }.generate_window(dims, full);
+            add_noise(&mut d, 0.35, seed);
+            for v in d.values_mut() {
+                *v = v.clamp(0.0, 1.0);
+            }
+            rescale(&mut d, 0.0, 256.0);
+            d
+        }
+        _ => {
+            // Velocities: heavy-tailed around zero, range ±~4000 (Table I).
+            let mut d = SpectralConfig { modes: 48, beta: 0.8, max_wavenumber: 120.0, seed }.generate_window(dims, full);
+            add_noise(&mut d, 0.15, seed);
+            for v in d.values_mut() {
+                let centred = (*v * 2.0 - 1.0).clamp(-1.0, 1.0);
+                // Square keeps sign and fattens the tail; map back to [0,1]
+                // so the rescale hits Table I's [-3846, 4031] exactly.
+                *v = (centred * centred.abs() + 1.0) * 0.5;
+            }
+            rescale(&mut d, -3846.21, 4031.25);
+            d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_sz::stats::value_stats;
+
+    #[test]
+    fn dims_scale_down_with_floor() {
+        let spec = FieldSpec::new(Application::Isabel, "Pf48").with_scale(64);
+        assert_eq!(spec.dims(), vec![8, 8, 8]); // 100/64 → floor 8
+        let spec = FieldSpec::new(Application::Cesm, "PSL").with_scale(16);
+        assert_eq!(spec.dims(), vec![112, 225]);
+    }
+
+    #[test]
+    fn table1_ranges_are_respected() {
+        // Paper Table I: CLDHGH range 0.92, FLDSC 325.4, PCONVT 64182,
+        // HACC vx ±~4000, HACC xx 0..256.
+        let cldhgh = value_stats(&FieldSpec::new(Application::Cesm, "CLDHGH").with_scale(16).generate());
+        assert!(cldhgh.min >= -1e-3 && cldhgh.max <= 0.93, "{cldhgh:?}");
+        let fldsc = value_stats(&FieldSpec::new(Application::Cesm, "FLDSC").with_scale(16).generate());
+        assert!((fldsc.min - 92.84).abs() < 2.0 && (fldsc.max - 418.24).abs() < 2.0, "{fldsc:?}");
+        let vx = value_stats(&FieldSpec::new(Application::Hacc, "vx").with_scale(64).generate());
+        assert!(vx.min < -3000.0 && vx.max > 3000.0, "{vx:?}");
+        let xx = value_stats(&FieldSpec::new(Application::Hacc, "xx").with_scale(64).generate());
+        assert!(xx.min >= 0.0 && xx.max <= 256.0, "{xx:?}");
+    }
+
+    #[test]
+    fn rtm_snapshots_expand_over_time() {
+        // Early snapshot: energy near the centre; late: near the boundary.
+        let early = FieldSpec::new(Application::Rtm, "snapshot-0300").with_scale(8).generate();
+        let late = FieldSpec::new(Application::Rtm, "snapshot-3400").with_scale(8).generate();
+        let dims = early.dims().to_vec();
+        let c = [dims[0] / 2, dims[1] / 2, dims[2] / 2];
+        let centre_energy = |d: &ocelot_sz::Dataset<f32>| {
+            let mut e = 0.0f64;
+            for i in 0..6 {
+                e += (d.get(&[c[0], c[1], c[2] + i]) as f64).abs();
+            }
+            e
+        };
+        assert!(centre_energy(&early) > centre_energy(&late));
+    }
+
+    #[test]
+    fn nyx_density_has_huge_dynamic_range() {
+        let d = FieldSpec::new(Application::Nyx, "baryon_density").with_scale(16).generate();
+        let s = value_stats(&d);
+        // A scaled window holds a subset of the full field's extremes, so the
+        // tail is milder than full-scale; still clearly heavy.
+        assert!(s.max / s.mean > 5.0, "max={} mean={}", s.max, s.mean);
+        assert!(s.min > 0.0);
+    }
+
+    #[test]
+    fn snowhice_is_sparse() {
+        let d = FieldSpec::new(Application::Cesm, "SNOWHICE").with_scale(16).generate();
+        let zeros = d.values().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros as f64 / d.len() as f64 > 0.3, "zeros={zeros}/{}", d.len());
+    }
+
+    #[test]
+    fn seeds_generate_distinct_snapshots() {
+        let a = FieldSpec::new(Application::Miranda, "pressure").with_scale(16).with_seed(1).generate();
+        let b = FieldSpec::new(Application::Miranda, "pressure").with_scale(16).with_seed(2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unknown_field_still_generates() {
+        let d = FieldSpec::new(Application::Cesm, "NOT_A_FIELD").with_scale(16).generate();
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn smoother_cesm_fields_compress_better() {
+        // TROP_Z (β=2.8) should compress much better than CLDHGH (β=1.3)
+        // at the same relative bound — the application-dependent spread the
+        // quality predictor must capture.
+        let smooth = FieldSpec::new(Application::Cesm, "TROP_Z").with_scale(16).generate();
+        let rough = FieldSpec::new(Application::Cesm, "CLDHGH").with_scale(16).generate();
+        let cfg = ocelot_sz::LossyConfig::sz3(1e-3);
+        let rs = ocelot_sz::compress_with_stats(&smooth, &cfg).unwrap().ratio;
+        let rr = ocelot_sz::compress_with_stats(&rough, &cfg).unwrap().ratio;
+        assert!(rs > rr, "smooth {rs} vs rough {rr}");
+    }
+}

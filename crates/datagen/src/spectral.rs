@@ -1,0 +1,294 @@
+//! Spectral field synthesis primitives.
+//!
+//! Scientific fields are modelled as superpositions of random-phase plane
+//! waves with a power-law amplitude spectrum `A(k) ∝ k^(−β)`: large `β`
+//! produces smooth, highly compressible fields (climate pressure), small `β`
+//! produces rough, turbulence-like fields (Miranda velocity), and
+//! post-transforms add the value distributions the paper's Table I shows
+//! (sparsity, log-normal dynamic range, hard clamps).
+
+use ocelot_sz::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a random-phase spectral field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralConfig {
+    /// Number of plane-wave modes superposed.
+    pub modes: usize,
+    /// Spectral slope β: amplitude ∝ wavenumber^(−β). Typical range 0.5–3.
+    pub beta: f64,
+    /// Maximum wavenumber in cycles across the domain.
+    pub max_wavenumber: f64,
+    /// RNG seed (fields are fully determined by config + seed).
+    pub seed: u64,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        SpectralConfig { modes: 48, beta: 2.0, max_wavenumber: 24.0, seed: 0 }
+    }
+}
+
+impl SpectralConfig {
+    /// Generates a field on `dims`, normalized to approximately `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty, contains zeros, or `modes == 0`.
+    pub fn generate(&self, dims: &[usize]) -> Dataset<f32> {
+        self.generate_window(dims, dims)
+    }
+
+    /// Generates a *window* of a conceptual full-resolution field: mode
+    /// frequencies are normalized against `full_dims` (where
+    /// `max_wavenumber` means cycles across the full domain), and the field
+    /// is evaluated on the first `dims` cells. Per-cell statistics —
+    /// smoothness, Lorenzo error, compressibility — therefore do not depend
+    /// on `dims`, which is what makes scaled-down profiling extrapolate to
+    /// full-size files.
+    ///
+    /// # Panics
+    /// Panics if shapes are empty/zero, ranks differ, or `modes == 0`.
+    pub fn generate_window(&self, dims: &[usize], full_dims: &[usize]) -> Dataset<f32> {
+        assert_eq!(dims.len(), full_dims.len(), "window rank must match full rank");
+        assert!(self.modes > 0, "at least one mode required");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let ndim = dims.len();
+        // Draw modes: wavevector (cycles across each axis), phase, amplitude.
+        let mut waves = Vec::with_capacity(self.modes);
+        for _ in 0..self.modes {
+            // Log-uniform wavenumber magnitude in [1, max_wavenumber].
+            let mag = (rng.gen::<f64>() * self.max_wavenumber.max(1.0).ln()).exp();
+            let mut dir: Vec<f64> = (0..ndim).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+            let norm = dir.iter().map(|d| d * d).sum::<f64>().sqrt().max(1e-9);
+            for d in &mut dir {
+                *d = *d / norm * mag;
+            }
+            let phase = rng.gen::<f64>() * std::f64::consts::TAU;
+            let amp = mag.powf(-self.beta);
+            waves.push((dir, phase, amp));
+        }
+        let inv_dims: Vec<f64> = full_dims.iter().map(|&d| 1.0 / d.max(1) as f64).collect();
+        let n: usize = dims.iter().product();
+        assert!(n > 0, "dims must be non-empty and positive: {dims:?}");
+        let mut raw = Vec::with_capacity(n);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut idx = vec![0usize; ndim];
+        for _ in 0..n {
+            let mut v = 0.0f64;
+            for (dir, phase, amp) in &waves {
+                let mut arg = *phase;
+                for d in 0..ndim {
+                    arg += std::f64::consts::TAU * dir[d] * idx[d] as f64 * inv_dims[d];
+                }
+                v += amp * arg.cos();
+            }
+            min = min.min(v);
+            max = max.max(v);
+            raw.push(v);
+            for d in (0..ndim).rev() {
+                idx[d] += 1;
+                if idx[d] < dims[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        let range = (max - min).max(1e-12);
+        let vals: Vec<f32> = raw.iter().map(|&v| ((v - min) / range) as f32).collect();
+        Dataset::new(dims.to_vec(), vals).expect("shape validated above")
+    }
+}
+
+/// Rescales a `[0,1]`-ish field linearly to `[lo, hi]`.
+pub fn rescale(data: &mut Dataset<f32>, lo: f32, hi: f32) {
+    for v in data.values_mut() {
+        *v = lo + *v * (hi - lo);
+    }
+}
+
+/// Zeroes values below `threshold` (sparse fields such as snow/ice cover:
+/// large exactly-zero regions with smooth structure elsewhere).
+pub fn sparsify(data: &mut Dataset<f32>, threshold: f32) {
+    for v in data.values_mut() {
+        if *v < threshold {
+            *v = 0.0;
+        } else {
+            *v -= threshold;
+        }
+    }
+}
+
+/// Exponentiates a field to produce a heavy-tailed, log-normal-like value
+/// distribution (cosmology densities): `v ← exp(sigma·(v − 0.5))`.
+pub fn exponentiate(data: &mut Dataset<f32>, sigma: f32) {
+    for v in data.values_mut() {
+        *v = (sigma * (*v - 0.5)).exp();
+    }
+}
+
+/// Adds white observation noise of amplitude `amp` (deterministic from
+/// `seed`); raises byte-level entropy without changing large-scale structure.
+pub fn add_noise(data: &mut Dataset<f32>, amp: f32, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    for v in data.values_mut() {
+        *v += amp * (rng.gen::<f32>() - 0.5);
+    }
+}
+
+/// Multiplies by an expanding spherical wavefront centred mid-domain —
+/// the structure of an RTM snapshot at time-step `t` of `t_max`: energy
+/// concentrated on a shell whose radius grows with `t`.
+pub fn wavefront(data: &mut Dataset<f32>, dims: &[usize], t: f64, wavelength: f64) {
+    let centre: Vec<f64> = dims.iter().map(|&d| d as f64 / 2.0).collect();
+    let max_r = centre.iter().map(|c| c * c).sum::<f64>().sqrt();
+    let shell_r = t.clamp(0.0, 1.0) * max_r;
+    let mut idx = vec![0usize; dims.len()];
+    for off in 0..data.len() {
+        // Reconstruct the multi-index (row-major).
+        let mut rem = off;
+        for d in (0..dims.len()).rev() {
+            idx[d] = rem % dims[d];
+            rem /= dims[d];
+        }
+        let r = idx
+            .iter()
+            .zip(&centre)
+            .map(|(&i, &c)| {
+                let d = i as f64 - c;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt();
+        let envelope = (-(r - shell_r).powi(2) / (2.0 * (max_r * 0.08).powi(2))).exp();
+        let carrier = (std::f64::consts::TAU * r / wavelength).sin();
+        data.values_mut()[off] *= (envelope * (0.2 + 0.8 * carrier.abs())) as f32;
+    }
+}
+
+/// Swirls a field into a vortex around the domain centre of the *last two*
+/// dimensions (hurricane structure): value is attenuated with radius and
+/// modulated azimuthally with `arms` spiral arms.
+pub fn vortex(data: &mut Dataset<f32>, dims: &[usize], arms: u32, tightness: f64) {
+    let n = dims.len();
+    assert!(n >= 2, "vortex needs at least 2 dims");
+    let (cy, cx) = (dims[n - 2] as f64 / 2.0, dims[n - 1] as f64 / 2.0);
+    let max_r = (cy * cy + cx * cx).sqrt();
+    let mut idx = vec![0usize; n];
+    for off in 0..data.len() {
+        let mut rem = off;
+        for d in (0..n).rev() {
+            idx[d] = rem % dims[d];
+            rem /= dims[d];
+        }
+        let dy = idx[n - 2] as f64 - cy;
+        let dx = idx[n - 1] as f64 - cx;
+        let r = (dy * dy + dx * dx).sqrt() / max_r;
+        let theta = dy.atan2(dx);
+        let spiral = (arms as f64 * theta + tightness * r * 12.0).cos() * 0.5 + 0.5;
+        let falloff = (-r * 2.5).exp();
+        data.values_mut()[off] *= (0.15 + 0.85 * spiral * falloff) as f32;
+    }
+}
+
+/// Applies `log10(1 + v)` — the paper's ISABEL fields marked `_log10`.
+pub fn log10_transform(data: &mut Dataset<f32>) {
+    for v in data.values_mut() {
+        *v = (1.0 + v.max(0.0)).log10();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_sz::stats::value_stats;
+
+    #[test]
+    fn spectral_field_is_normalized() {
+        let cfg = SpectralConfig { seed: 42, ..Default::default() };
+        let d = cfg.generate(&[32, 32]);
+        let s = value_stats(&d);
+        assert!(s.min >= -1e-6 && s.max <= 1.0 + 1e-6);
+        assert!((s.range - 1.0).abs() < 1e-3, "normalized range, got {}", s.range);
+    }
+
+    #[test]
+    fn higher_beta_is_smoother() {
+        let smooth = SpectralConfig { beta: 3.0, seed: 1, ..Default::default() }.generate(&[64, 64]);
+        let rough = SpectralConfig { beta: 0.5, seed: 1, ..Default::default() }.generate(&[64, 64]);
+        let e_smooth = ocelot_sz::predict::lorenzo::mean_raw_error(&smooth);
+        let e_rough = ocelot_sz::predict::lorenzo::mean_raw_error(&rough);
+        assert!(e_smooth < e_rough, "smooth {e_smooth} vs rough {e_rough}");
+    }
+
+    #[test]
+    fn rescale_hits_target_range() {
+        let mut d = SpectralConfig { seed: 3, ..Default::default() }.generate(&[40, 40]);
+        rescale(&mut d, 92.84, 418.24);
+        let s = value_stats(&d);
+        assert!((s.min - 92.84).abs() < 0.5, "min {}", s.min);
+        assert!((s.max - 418.24).abs() < 0.5, "max {}", s.max);
+    }
+
+    #[test]
+    fn sparsify_creates_zero_mass() {
+        let mut d = SpectralConfig { seed: 4, ..Default::default() }.generate(&[50, 50]);
+        sparsify(&mut d, 0.6);
+        let zeros = d.values().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros as f64 / d.len() as f64 > 0.3, "zeros={zeros}");
+        assert!(d.values().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn exponentiate_creates_heavy_tail() {
+        let mut d = SpectralConfig { seed: 5, ..Default::default() }.generate(&[64, 64]);
+        exponentiate(&mut d, 10.0);
+        let s = value_stats(&d);
+        // Log-normal-ish: max far above mean.
+        assert!(s.max > 10.0 * s.mean, "max={} mean={}", s.max, s.mean);
+    }
+
+    #[test]
+    fn wavefront_concentrates_energy_on_shell() {
+        let dims = vec![32, 32, 32];
+        let mut d = Dataset::<f32>::constant(dims.clone(), 1.0).unwrap();
+        wavefront(&mut d, &dims, 0.5, 6.0);
+        // Centre and far corner should be attenuated relative to the shell.
+        let centre = d.get(&[16, 16, 16]);
+        let shell_r = 0.5 * (3.0f32 * 16.0 * 16.0).sqrt();
+        let on_shell = d.get(&[16, 16, (16.0 + shell_r) as usize]);
+        assert!(on_shell > centre, "shell {on_shell} vs centre {centre}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let mut a = Dataset::<f32>::constant(vec![64], 0.0).unwrap();
+        let mut b = Dataset::<f32>::constant(vec![64], 0.0).unwrap();
+        add_noise(&mut a, 0.1, 9);
+        add_noise(&mut b, 0.1, 9);
+        assert_eq!(a, b);
+        let mut c = Dataset::<f32>::constant(vec![64], 0.0).unwrap();
+        add_noise(&mut c, 0.1, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn log10_is_monotone_and_nonnegative() {
+        let mut d = Dataset::new(vec![3], vec![0.0f32, 9.0, 99.0]).unwrap();
+        log10_transform(&mut d);
+        assert_eq!(d.values()[0], 0.0);
+        assert!((d.values()[1] - 1.0).abs() < 1e-6);
+        assert!((d.values()[2] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vortex_attenuates_with_radius() {
+        let dims = vec![64, 64];
+        let mut d = Dataset::<f32>::constant(dims.clone(), 1.0).unwrap();
+        vortex(&mut d, &dims, 3, 0.5);
+        let near: f32 = d.get(&[32, 34]);
+        let far: f32 = d.get(&[1, 1]);
+        assert!(near > far, "near {near} far {far}");
+    }
+}

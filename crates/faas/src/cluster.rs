@@ -1,0 +1,170 @@
+//! Compute-cluster model: nodes × cores with LPT file-to-core scheduling.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A homogeneous compute cluster (one batch allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Allocated nodes.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Core speed relative to the cost model's reference core.
+    pub core_speed: f64,
+}
+
+impl Cluster {
+    /// Creates a cluster description.
+    ///
+    /// # Panics
+    /// Panics if any quantity is zero/non-positive.
+    pub fn new(nodes: usize, cores_per_node: usize, core_speed: f64) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0, "cluster must have nodes and cores");
+        assert!(core_speed > 0.0, "core speed must be positive");
+        Cluster { nodes, cores_per_node, core_speed }
+    }
+
+    /// Total cores in the allocation.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Makespan (seconds) of compressing files whose *reference-core*
+    /// single-core costs are `work_s`, on `cores` cores of this cluster,
+    /// with longest-processing-time-first assignment (each file is handled
+    /// by exactly one core, as in the paper's MPI compressor).
+    ///
+    /// # Panics
+    /// Panics if `cores == 0`.
+    pub fn parallel_makespan(&self, work_s: &[f64], cores: usize) -> f64 {
+        assert!(cores > 0, "at least one core");
+        if work_s.is_empty() {
+            return 0.0;
+        }
+        let cores = cores.min(self.total_cores());
+        // LPT: sort descending, assign each to the least-loaded core.
+        let mut sorted: Vec<f64> = work_s.to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        // Min-heap of core loads in integer nanoseconds for determinism.
+        let mut heap: BinaryHeap<Reverse<u64>> = (0..cores.min(sorted.len())).map(|_| Reverse(0u64)).collect();
+        for w in sorted {
+            let Reverse(load) = heap.pop().expect("heap non-empty");
+            let w_ns = (w.max(0.0) / self.core_speed * 1e9) as u64;
+            heap.push(Reverse(load + w_ns));
+        }
+        let max_ns = heap.into_iter().map(|Reverse(l)| l).max().unwrap_or(0);
+        max_ns as f64 * 1e-9
+    }
+
+    /// Convenience: makespan using every core in the allocation.
+    pub fn full_makespan(&self, work_s: &[f64]) -> f64 {
+        self.parallel_makespan(work_s, self.total_cores())
+    }
+
+    /// Per-file completion times (seconds, input order) under the same LPT
+    /// schedule as [`Cluster::parallel_makespan`] — the release times a
+    /// pipelined transfer consumes (files leave compression one by one).
+    ///
+    /// # Panics
+    /// Panics if `cores == 0`.
+    pub fn completion_times(&self, work_s: &[f64], cores: usize) -> Vec<f64> {
+        assert!(cores > 0, "at least one core");
+        let cores = cores.min(self.total_cores());
+        let mut order: Vec<usize> = (0..work_s.len()).collect();
+        order.sort_by(|&a, &b| {
+            work_s[b].partial_cmp(&work_s[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..cores.min(work_s.len().max(1))).map(|c| Reverse((0u64, c))).collect();
+        let mut completion = vec![0.0f64; work_s.len()];
+        for &i in &order {
+            let Reverse((load, core)) = heap.pop().expect("heap non-empty");
+            let w_ns = (work_s[i].max(0.0) / self.core_speed * 1e9) as u64;
+            let done = load + w_ns;
+            completion[i] = done as f64 * 1e-9;
+            heap.push(Reverse((done, core)));
+        }
+        completion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_scales_until_file_count() {
+        // Fig 9 (left): time halves with cores until cores ≈ files.
+        let cluster = Cluster::new(16, 128, 1.0);
+        let works = vec![10.0; 512];
+        let t128 = cluster.parallel_makespan(&works, 128);
+        let t256 = cluster.parallel_makespan(&works, 256);
+        let t512 = cluster.parallel_makespan(&works, 512);
+        let t2048 = cluster.parallel_makespan(&works, 2048);
+        assert_eq!(t128, 40.0);
+        assert_eq!(t256, 20.0);
+        assert_eq!(t512, 10.0);
+        assert_eq!(t2048, 10.0, "saturated at #files");
+    }
+
+    #[test]
+    fn faster_cores_reduce_makespan() {
+        let slow = Cluster::new(1, 64, 1.0);
+        let fast = Cluster::new(1, 64, 3.0);
+        let works = vec![3.0; 64];
+        assert!((fast.full_makespan(&works) - slow.full_makespan(&works) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lpt_balances_heterogeneous_work() {
+        let cluster = Cluster::new(1, 2, 1.0);
+        // Work {5,4,3,3,3}: LPT → cores {5,3} and {4,3,3} → makespan 10.
+        let works = vec![5.0, 4.0, 3.0, 3.0, 3.0];
+        let t = cluster.parallel_makespan(&works, 2);
+        assert!((t - 10.0).abs() < 1e-6, "t={t}");
+    }
+
+    #[test]
+    fn empty_work_is_free() {
+        assert_eq!(Cluster::new(1, 1, 1.0).full_makespan(&[]), 0.0);
+    }
+
+    #[test]
+    fn cores_capped_by_allocation() {
+        let cluster = Cluster::new(1, 4, 1.0);
+        let works = vec![1.0; 64];
+        // Requesting 1000 cores cannot beat the 4 cores that exist.
+        assert_eq!(cluster.parallel_makespan(&works, 1000), cluster.parallel_makespan(&works, 4));
+    }
+
+    #[test]
+    fn completion_times_are_consistent_with_the_makespan() {
+        let cluster = Cluster::new(1, 3, 2.0);
+        let works = vec![6.0, 2.0, 4.0, 4.0, 2.0];
+        let completions = cluster.completion_times(&works, 3);
+        let makespan = cluster.parallel_makespan(&works, 3);
+        let latest = completions.iter().cloned().fold(0.0f64, f64::max);
+        assert!((latest - makespan).abs() < 1e-9, "latest {latest} vs makespan {makespan}");
+        // Every file finishes no earlier than its own work takes.
+        for (c, w) in completions.iter().zip(&works) {
+            assert!(*c >= w / 2.0 - 1e-12, "completion {c} for work {w}");
+        }
+    }
+
+    #[test]
+    fn completion_times_stagger_across_rounds() {
+        let cluster = Cluster::new(1, 2, 1.0);
+        let works = vec![1.0; 6];
+        let mut completions = cluster.completion_times(&works, 2);
+        completions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert_eq!(completions, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn single_file_cannot_be_parallelized() {
+        let cluster = Cluster::new(16, 128, 1.0);
+        assert_eq!(cluster.parallel_makespan(&[42.0], 2048), 42.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Federated FaaS (FuncX-style) and batch-scheduler simulation.
+//!
+//! Ocelot orchestrates remote (de)compression through a federated
+//! function-as-a-service fabric: functions are dispatched to endpoints
+//! deployed at each site, which provision compute nodes through the site's
+//! batch scheduler. This crate models the pieces of that stack the paper's
+//! optimizations depend on:
+//!
+//! * **node waiting time** (§VII-B) — a compression job may sit in the batch
+//!   queue from seconds to hours; the sentinel optimization transfers
+//!   uncompressed data while waiting;
+//! * **container warming and batching** — FuncX amortizes container
+//!   instantiation and request overhead across calls;
+//! * **parallel task placement** — files are assigned to cores with
+//!   longest-processing-time-first scheduling; compression stops scaling
+//!   once cores ≥ files (Fig 9 left).
+//!
+//! ```
+//! use ocelot_faas::{Cluster, WaitTimeModel};
+//!
+//! let cluster = Cluster::new(16, 128, 3.0);
+//! let works = vec![2.0_f64; 768]; // single-core seconds per file
+//! let makespan = cluster.parallel_makespan(&works, 2048);
+//! assert!(makespan < 2.0 * 768.0);
+//! ```
+
+pub mod cluster;
+pub mod endpoint;
+pub mod queue;
+pub mod task;
+
+pub use cluster::Cluster;
+pub use endpoint::{FaasEndpoint, FaasInvocation};
+pub use queue::WaitTimeModel;
+pub use task::{FaasFabric, FunctionId, TaskId, TaskRecord, TaskState};

@@ -1,0 +1,134 @@
+//! Batch-scheduler node-waiting-time models (§VII-B).
+//!
+//! The paper observes that node waiting time on shared clusters ranges from
+//! "0–30 s when there were idle nodes" to "a few minutes or even hours", with
+//! no quantifiable pattern. The models here reproduce those regimes
+//! deterministically from a seed.
+
+use serde::{Deserialize, Serialize};
+
+/// A distribution of batch-queue waiting times.
+///
+/// ```
+/// use ocelot_faas::WaitTimeModel;
+///
+/// let busy = WaitTimeModel::busy_cluster();
+/// let wait = busy.sample(42, 0);
+/// assert!(wait >= 0.0);
+/// assert_eq!(wait, busy.sample(42, 0)); // deterministic per (seed, job)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WaitTimeModel {
+    /// Nodes are granted immediately (dedicated DTN deployment, or Anvil in
+    /// the paper's runs).
+    Immediate,
+    /// Fixed waiting time in seconds (for controlled experiments).
+    Fixed(f64),
+    /// Uniform between `lo_s` and `hi_s` seconds (idle-node regime: 0–30 s).
+    Uniform {
+        /// Minimum wait, seconds.
+        lo_s: f64,
+        /// Maximum wait, seconds.
+        hi_s: f64,
+    },
+    /// Busy-cluster regime: usually short, occasionally very long.
+    LongTail {
+        /// Median (short) wait, seconds.
+        median_s: f64,
+        /// Probability of hitting the long tail, in `[0, 1]`.
+        p_long: f64,
+        /// Long waits are uniform between `long_lo_s` and `long_hi_s`.
+        long_lo_s: f64,
+        /// Upper end of the long tail, seconds.
+        long_hi_s: f64,
+    },
+}
+
+impl WaitTimeModel {
+    /// The paper's "idle nodes available" regime (0–30 s).
+    pub fn idle_nodes() -> Self {
+        WaitTimeModel::Uniform { lo_s: 0.0, hi_s: 30.0 }
+    }
+
+    /// The paper's busy regime (minutes to hours, unpredictable).
+    pub fn busy_cluster() -> Self {
+        WaitTimeModel::LongTail { median_s: 45.0, p_long: 0.25, long_lo_s: 300.0, long_hi_s: 7200.0 }
+    }
+
+    /// Samples the waiting time for `job_id` under `seed`, in seconds.
+    /// Deterministic: the same (seed, job) pair always waits equally long.
+    pub fn sample(&self, seed: u64, job_id: u64) -> f64 {
+        let u = uniform01(seed, job_id);
+        match *self {
+            WaitTimeModel::Immediate => 0.0,
+            WaitTimeModel::Fixed(s) => s,
+            WaitTimeModel::Uniform { lo_s, hi_s } => lo_s + u * (hi_s - lo_s),
+            WaitTimeModel::LongTail { median_s, p_long, long_lo_s, long_hi_s } => {
+                if u < p_long {
+                    let v = uniform01(seed ^ 0xABCD, job_id);
+                    long_lo_s + v * (long_hi_s - long_lo_s)
+                } else {
+                    // Exponential-ish around the median from the remaining mass.
+                    let v = (u - p_long) / (1.0 - p_long);
+                    -median_s * (1.0 - v).max(1e-12).ln() / std::f64::consts::LN_2
+                }
+            }
+        }
+    }
+}
+
+/// SplitMix64-derived uniform in `[0, 1)`.
+fn uniform01(seed: u64, k: u64) -> f64 {
+    let mut z = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF0);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_is_zero() {
+        assert_eq!(WaitTimeModel::Immediate.sample(1, 2), 0.0);
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let m = WaitTimeModel::Fixed(120.0);
+        assert_eq!(m.sample(1, 1), 120.0);
+        assert_eq!(m.sample(99, 7), 120.0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_varies() {
+        let m = WaitTimeModel::idle_nodes();
+        let mut distinct = std::collections::BTreeSet::new();
+        for job in 0..200 {
+            let w = m.sample(42, job);
+            assert!((0.0..=30.0).contains(&w), "w={w}");
+            distinct.insert((w * 1e6) as u64);
+        }
+        assert!(distinct.len() > 100, "waits should vary across jobs");
+    }
+
+    #[test]
+    fn long_tail_has_both_regimes() {
+        let m = WaitTimeModel::busy_cluster();
+        let waits: Vec<f64> = (0..400).map(|j| m.sample(7, j)).collect();
+        let short = waits.iter().filter(|&&w| w < 300.0).count();
+        let long = waits.iter().filter(|&&w| w >= 300.0).count();
+        assert!(short > 200, "short={short}");
+        assert!(long > 50, "long={long}");
+        assert!(waits.iter().cloned().fold(0.0f64, f64::max) > 1800.0, "tail should reach tens of minutes");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let m = WaitTimeModel::busy_cluster();
+        assert_eq!(m.sample(5, 9), m.sample(5, 9));
+        assert_ne!(m.sample(5, 9), m.sample(5, 10));
+    }
+}

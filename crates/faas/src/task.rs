@@ -1,0 +1,269 @@
+//! Function registry and task lifecycle — the FuncX workflow of §V
+//! capability 3: users register functions once, submit invocations against
+//! named endpoints from their laptop, and poll task state without ever
+//! holding an SSH session to the remote machine.
+
+use crate::endpoint::{FaasEndpoint, FaasInvocation};
+use ocelot_netsim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FunctionId(u64);
+
+/// Identifier of a submitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(u64);
+
+/// Lifecycle of a submitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Accepted by the service, waiting for the endpoint (dispatch +
+    /// container + batch queue).
+    Pending,
+    /// Executing on the endpoint.
+    Running,
+    /// Finished at the recorded simulated time.
+    Done {
+        /// Completion instant.
+        finished_at: SimTime,
+    },
+}
+
+/// A registered function: a name plus its execution-time model (seconds as
+/// a function of an abstract input size).
+struct RegisteredFunction {
+    name: String,
+    exec_model: Box<dyn Fn(u64) -> f64 + Send + Sync>,
+    needs_nodes: bool,
+}
+
+/// One submitted task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The task id.
+    pub id: TaskId,
+    /// Function name.
+    pub function: String,
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Submission instant.
+    pub submitted_at: SimTime,
+    /// Timing breakdown of the invocation.
+    pub invocation: FaasInvocation,
+}
+
+impl TaskRecord {
+    /// When the task starts executing (after dispatch, startup, queueing).
+    pub fn start_time(&self) -> SimTime {
+        self.submitted_at + (self.invocation.dispatch_s + self.invocation.startup_s + self.invocation.queue_wait_s)
+    }
+
+    /// When the task finishes.
+    pub fn end_time(&self) -> SimTime {
+        self.submitted_at + self.invocation.total_s()
+    }
+
+    /// Task state as observed at instant `now`.
+    pub fn state_at(&self, now: SimTime) -> TaskState {
+        if now >= self.end_time() {
+            TaskState::Done { finished_at: self.end_time() }
+        } else if now >= self.start_time() {
+            TaskState::Running
+        } else {
+            TaskState::Pending
+        }
+    }
+}
+
+/// The federated fabric: registered functions plus named endpoints.
+///
+/// ```
+/// use ocelot_faas::{FaasEndpoint, FaasFabric, WaitTimeModel};
+/// use ocelot_netsim::SimTime;
+///
+/// let mut fabric = FaasFabric::new();
+/// fabric.add_endpoint("anvil", FaasEndpoint::new("anvil", WaitTimeModel::Immediate, 1));
+/// let f = fabric.register("compress_batch", true, |bytes| bytes as f64 / 1.0e9);
+/// let task = fabric.submit(f, "anvil", 4_000_000_000, SimTime::ZERO).unwrap();
+/// assert!(fabric.record(task).unwrap().end_time() > SimTime::ZERO);
+/// ```
+#[derive(Default)]
+pub struct FaasFabric {
+    functions: HashMap<FunctionId, RegisteredFunction>,
+    endpoints: HashMap<String, FaasEndpoint>,
+    tasks: HashMap<TaskId, TaskRecord>,
+    next_function: u64,
+    next_task: u64,
+}
+
+impl std::fmt::Debug for FaasFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaasFabric")
+            .field("functions", &self.functions.len())
+            .field("endpoints", &self.endpoints.keys().collect::<Vec<_>>())
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+impl FaasFabric {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploys an endpoint under a name. Replaces any previous endpoint of
+    /// the same name.
+    pub fn add_endpoint(&mut self, name: impl Into<String>, endpoint: FaasEndpoint) {
+        self.endpoints.insert(name.into(), endpoint);
+    }
+
+    /// Registers a function: `exec_model` maps an abstract input size to
+    /// execution seconds; `needs_nodes` selects whether invocations pass
+    /// through the endpoint's batch queue.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        needs_nodes: bool,
+        exec_model: impl Fn(u64) -> f64 + Send + Sync + 'static,
+    ) -> FunctionId {
+        let id = FunctionId(self.next_function);
+        self.next_function += 1;
+        self.functions
+            .insert(id, RegisteredFunction { name: name.into(), exec_model: Box::new(exec_model), needs_nodes });
+        id
+    }
+
+    /// Submits an invocation of `function` with `input_size` on the named
+    /// endpoint at simulated instant `at`.
+    ///
+    /// # Errors
+    /// Returns a message if the function or endpoint is unknown.
+    pub fn submit(
+        &mut self,
+        function: FunctionId,
+        endpoint: &str,
+        input_size: u64,
+        at: SimTime,
+    ) -> Result<TaskId, String> {
+        let func = self.functions.get(&function).ok_or_else(|| format!("unknown function id {function:?}"))?;
+        let ep = self.endpoints.get_mut(endpoint).ok_or_else(|| format!("unknown endpoint '{endpoint}'"))?;
+        let exec_s = (func.exec_model)(input_size).max(0.0);
+        let invocation = ep.invoke(exec_s, func.needs_nodes);
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        self.tasks.insert(
+            id,
+            TaskRecord {
+                id,
+                function: func.name.clone(),
+                endpoint: endpoint.to_string(),
+                submitted_at: at,
+                invocation,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Looks up a task record.
+    pub fn record(&self, id: TaskId) -> Option<&TaskRecord> {
+        self.tasks.get(&id)
+    }
+
+    /// Polls a task's state at instant `now`.
+    pub fn poll(&self, id: TaskId, now: SimTime) -> Option<TaskState> {
+        self.tasks.get(&id).map(|t| t.state_at(now))
+    }
+
+    /// Waits for a set of tasks: the instant at which all of them are done.
+    ///
+    /// Returns `None` if any id is unknown or the set is empty.
+    pub fn completion_time(&self, ids: &[TaskId]) -> Option<SimTime> {
+        if ids.is_empty() {
+            return None;
+        }
+        ids.iter().map(|id| self.tasks.get(id).map(TaskRecord::end_time)).try_fold(SimTime::ZERO, |acc, t| {
+            t.map(|t| acc.max(t))
+        })
+    }
+
+    /// All task records, ordered by id (the "analytical data stored on the
+    /// user's personal computer" of §V).
+    pub fn history(&self) -> Vec<&TaskRecord> {
+        let mut out: Vec<&TaskRecord> = self.tasks.values().collect();
+        out.sort_by_key(|t| t.id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::WaitTimeModel;
+
+    fn fabric() -> (FaasFabric, FunctionId) {
+        let mut fabric = FaasFabric::new();
+        fabric.add_endpoint("anvil", FaasEndpoint::new("anvil", WaitTimeModel::Immediate, 1));
+        fabric.add_endpoint("bebop", FaasEndpoint::new("bebop", WaitTimeModel::Fixed(120.0), 2));
+        let f = fabric.register("compress", true, |bytes| bytes as f64 * 1e-9);
+        (fabric, f)
+    }
+
+    #[test]
+    fn task_lifecycle_progresses() {
+        let (mut fabric, f) = fabric();
+        let t = fabric.submit(f, "anvil", 10_000_000_000, SimTime::ZERO).unwrap();
+        let rec = fabric.record(t).unwrap().clone();
+        assert_eq!(rec.function, "compress");
+        assert!(matches!(fabric.poll(t, SimTime::ZERO).unwrap(), TaskState::Pending));
+        let mid = rec.start_time() + 1.0;
+        assert!(matches!(fabric.poll(t, mid).unwrap(), TaskState::Running));
+        let after = rec.end_time() + 1.0;
+        assert!(matches!(fabric.poll(t, after).unwrap(), TaskState::Done { .. }));
+    }
+
+    #[test]
+    fn batch_queue_delays_execution() {
+        let (mut fabric, f) = fabric();
+        let quick = fabric.submit(f, "anvil", 1_000_000_000, SimTime::ZERO).unwrap();
+        let queued = fabric.submit(f, "bebop", 1_000_000_000, SimTime::ZERO).unwrap();
+        let a = fabric.record(quick).unwrap().end_time();
+        let b = fabric.record(queued).unwrap().end_time();
+        assert!(b - a > 100.0, "bebop task should wait ~120 s longer");
+    }
+
+    #[test]
+    fn completion_time_is_the_max() {
+        let (mut fabric, f) = fabric();
+        let ids: Vec<TaskId> =
+            (0..4).map(|i| fabric.submit(f, "anvil", (i + 1) * 1_000_000_000, SimTime::ZERO).unwrap()).collect();
+        let done = fabric.completion_time(&ids).unwrap();
+        let slowest = ids.iter().map(|&i| fabric.record(i).unwrap().end_time()).max().unwrap();
+        assert_eq!(done, slowest);
+        assert!(fabric.completion_time(&[]).is_none());
+    }
+
+    #[test]
+    fn unknown_targets_are_rejected() {
+        let (mut fabric, f) = fabric();
+        assert!(fabric.submit(f, "nonexistent", 1, SimTime::ZERO).is_err());
+        let bogus = FunctionId(999);
+        assert!(fabric.submit(bogus, "anvil", 1, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn history_is_ordered_and_container_warming_shows() {
+        let (mut fabric, f) = fabric();
+        for _ in 0..3 {
+            fabric.submit(f, "anvil", 1_000_000, SimTime::ZERO).unwrap();
+        }
+        let history = fabric.history();
+        assert_eq!(history.len(), 3);
+        assert!(history.windows(2).all(|w| w[0].id < w[1].id));
+        // First call paid the cold start; the rest hit warm containers.
+        assert!(history[0].invocation.startup_s > history[1].invocation.startup_s);
+        assert_eq!(history[1].invocation.startup_s, history[2].invocation.startup_s);
+    }
+}

@@ -1,0 +1,433 @@
+//! Fluid-flow simulation of a GridFTP/Globus batch transfer.
+//!
+//! The simulation advances through two kinds of events: *command releases*
+//! (each of the `concurrency` control channels processes one file command
+//! every `per_file_overhead` seconds, so commands release at a global spacing
+//! of `overhead / concurrency`) and *file completions*. Between events, link
+//! bandwidth is shared max–min fairly across active files, each capped at
+//! `parallelism × stream_rate` (a single file cannot exceed its TCP streams'
+//! aggregate rate).
+
+use crate::link::LinkProfile;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// GridFTP transfer tuning (concurrency / parallelism / pipelining).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridFtpConfig {
+    /// Number of concurrent file transfers (separate FTP sessions).
+    pub concurrency: usize,
+    /// TCP streams per file.
+    pub parallelism: u32,
+    /// Achievable rate per TCP stream, bytes/second.
+    pub stream_rate_bps: f64,
+    /// Whether command pipelining is enabled (without it every command also
+    /// pays one RTT).
+    pub pipelining: bool,
+    /// Per-file in-slot setup before data flows (data-channel establishment
+    /// and TCP ramp), seconds. Unlike the control-channel handling cost it
+    /// occupies a concurrency slot, so it throttles mid-sized-file batches
+    /// (Table II's 10 MB row).
+    pub slot_setup_s: f64,
+}
+
+impl Default for GridFtpConfig {
+    /// The tuned configuration used for the paper's Table VIII transfers.
+    fn default() -> Self {
+        GridFtpConfig { concurrency: 32, parallelism: 4, stream_rate_bps: 70.0e6, pipelining: true, slot_setup_s: 0.008 }
+    }
+}
+
+impl GridFtpConfig {
+    /// An untuned default-endpoint configuration (low concurrency), matching
+    /// the conditions of the paper's Table II measurements.
+    pub fn untuned() -> Self {
+        GridFtpConfig { concurrency: 4, ..Self::default() }
+    }
+
+    /// Per-file throughput cap in bytes/second.
+    pub fn per_file_cap_bps(&self) -> f64 {
+        self.parallelism as f64 * self.stream_rate_bps
+    }
+
+    /// Replaces the concurrency.
+    pub fn with_concurrency(mut self, c: usize) -> Self {
+        self.concurrency = c;
+        self
+    }
+}
+
+/// Outcome of a simulated batch transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Wall-clock duration in (simulated) seconds.
+    pub duration_s: f64,
+    /// Total payload bytes moved.
+    pub bytes_total: u64,
+    /// Number of files.
+    pub n_files: usize,
+    /// Effective throughput `bytes_total / duration_s` in bytes/second.
+    pub effective_speed_bps: f64,
+}
+
+/// Simulates transferring `files` (sizes in bytes) over `link`.
+///
+/// Zero-byte files cost only their handling overhead. An empty batch returns
+/// a zero-duration report.
+///
+/// # Panics
+/// Panics if `config.concurrency == 0` or `config.parallelism == 0`.
+pub fn simulate_transfer(files: &[u64], link: &LinkProfile, config: &GridFtpConfig, seed: u64) -> TransferReport {
+    simulate_transfer_released(files, None, link, config, seed)
+}
+
+/// Like [`simulate_transfer`], but each file only becomes *available* at
+/// `release_s[i]` seconds (e.g. when its compression finishes) — the
+/// pipelined mode of the paper's Fig 1, where transfer starts on files as
+/// soon as they are ready instead of waiting for the whole batch.
+///
+/// A file's command can be processed no earlier than its release time; the
+/// control channels otherwise behave as in the plain simulation. Pass
+/// `None` to release everything at time zero.
+///
+/// # Panics
+/// Panics if `release_s` is `Some` with a length different from `files`,
+/// contains negative/non-finite times, or the config is invalid.
+pub fn simulate_transfer_released(
+    files: &[u64],
+    release_s: Option<&[f64]>,
+    link: &LinkProfile,
+    config: &GridFtpConfig,
+    seed: u64,
+) -> TransferReport {
+    assert!(config.concurrency > 0, "concurrency must be positive");
+    assert!(config.parallelism > 0, "parallelism must be positive");
+    if let Some(r) = release_s {
+        assert_eq!(r.len(), files.len(), "one release time per file");
+        assert!(r.iter().all(|t| t.is_finite() && *t >= 0.0), "release times must be non-negative");
+    }
+    let bytes_total: u64 = files.iter().sum();
+    if files.is_empty() {
+        return TransferReport { duration_s: 0.0, bytes_total: 0, n_files: 0, effective_speed_bps: 0.0 };
+    }
+
+    // Command spacing: each of `concurrency` control channels handles one
+    // file every `per_file_overhead` (+1 RTT without pipelining).
+    let per_command = link.per_file_overhead_s + if config.pipelining { 0.0 } else { link.rtt_s };
+    let release_spacing = per_command / config.concurrency as f64;
+    // Availability: a command cannot be issued before its file exists.
+    let available = |i: usize| release_s.map_or(0.0, |r| r[i]);
+
+    let mut now = SimTime::ZERO;
+    let mut next_file = 0usize; // next file awaiting command release
+    let mut next_release = SimTime::from_secs_f64(release_spacing.max(available(0)));
+    let mut ready: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut active: Vec<Active> = Vec::with_capacity(config.concurrency);
+    let mut last_completion = SimTime::ZERO;
+
+    let activate = |idx: usize, active: &mut Vec<Active>, link: &LinkProfile| {
+        let jf = link.jitter_factor(seed, idx as u64);
+        active.push(Active {
+            remaining: files[idx] as f64,
+            cap: (config.per_file_cap_bps() * jf).max(1.0),
+            setup_remaining: config.slot_setup_s,
+        });
+    };
+
+    loop {
+        // Fill free slots from the ready queue.
+        while active.len() < config.concurrency {
+            match ready.pop_front() {
+                Some(idx) => activate(idx, &mut active, link),
+                None => break,
+            }
+        }
+        let commands_remain = next_file < files.len();
+        if active.is_empty() && !commands_remain {
+            break;
+        }
+
+        // Water-filling among files whose setup has completed; files still
+        // in setup hold their slot but move no data.
+        let flowing: Vec<Active> =
+            active.iter().filter(|a| a.setup_remaining <= 0.0).copied().collect();
+        let flow_rates = water_fill(link.bandwidth_bps, &flowing);
+        let mut rates = Vec::with_capacity(active.len());
+        let mut fi = 0usize;
+        for a in &active {
+            if a.setup_remaining <= 0.0 {
+                rates.push(flow_rates[fi]);
+                fi += 1;
+            } else {
+                rates.push(0.0);
+            }
+        }
+
+        // Next event: file completion, setup completion, or command release.
+        let mut dt_complete = f64::INFINITY;
+        for (a, &r) in active.iter().zip(&rates) {
+            if a.setup_remaining <= 0.0 {
+                let dt = if a.remaining <= 0.0 { 0.0 } else { a.remaining / r.max(1e-9) };
+                dt_complete = dt_complete.min(dt);
+            } else {
+                dt_complete = dt_complete.min(a.setup_remaining);
+            }
+        }
+        let dt_release = if commands_remain { (next_release - now).max(0.0) } else { f64::INFINITY };
+        let dt = dt_complete.min(dt_release);
+        debug_assert!(dt.is_finite(), "no progress possible");
+
+        // Advance time, setups, and bytes.
+        now += dt;
+        for (a, &r) in active.iter_mut().zip(&rates) {
+            if a.setup_remaining > 0.0 {
+                a.setup_remaining -= dt;
+            } else {
+                a.remaining -= r * dt;
+            }
+        }
+        // Process completions (remaining ≤ epsilon bytes).
+        let before = active.len();
+        active.retain(|a| a.remaining > 1e-6);
+        if active.len() < before {
+            last_completion = now;
+        }
+        // Process command release.
+        if commands_remain && now >= next_release {
+            ready.push_back(next_file);
+            next_file += 1;
+            if next_file < files.len() {
+                let earliest = next_release + release_spacing;
+                next_release = earliest.max(SimTime::from_secs_f64(available(next_file)));
+            }
+        }
+    }
+
+    let duration_s = last_completion.max(now).as_secs_f64().max(release_spacing * files.len() as f64);
+    let effective_speed_bps = if duration_s > 0.0 { bytes_total as f64 / duration_s } else { 0.0 };
+    TransferReport { duration_s, bytes_total, n_files: files.len(), effective_speed_bps }
+}
+
+/// Max–min fair allocation of `capacity` among flows with per-flow caps.
+fn water_fill(capacity: f64, active: &[impl CapHolder]) -> Vec<f64> {
+    let n = active.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rates = vec![0.0f64; n];
+    let mut remaining_capacity = capacity;
+    let mut unfixed: Vec<usize> = (0..n).collect();
+    // Iteratively pin flows whose cap is below the fair share.
+    loop {
+        if unfixed.is_empty() || remaining_capacity <= 0.0 {
+            break;
+        }
+        let fair = remaining_capacity / unfixed.len() as f64;
+        let mut pinned_any = false;
+        unfixed.retain(|&i| {
+            let cap = active[i].cap();
+            if cap <= fair {
+                rates[i] = cap;
+                remaining_capacity -= cap;
+                pinned_any = true;
+                false
+            } else {
+                true
+            }
+        });
+        if !pinned_any {
+            let fair = remaining_capacity / unfixed.len() as f64;
+            for &i in &unfixed {
+                rates[i] = fair;
+            }
+            break;
+        }
+    }
+    rates
+}
+
+/// Internal abstraction so `water_fill` is testable without `Active`.
+trait CapHolder {
+    fn cap(&self) -> f64;
+}
+
+impl CapHolder for f64 {
+    fn cap(&self) -> f64 {
+        *self
+    }
+}
+
+/// One in-flight file transfer.
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    remaining: f64,
+    cap: f64,
+    /// In-slot setup time left before data flows.
+    setup_remaining: f64,
+}
+
+impl CapHolder for Active {
+    fn cap(&self) -> f64 {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_link() -> LinkProfile {
+        LinkProfile::new(1.15e9, 0.05, 0.13, 0.0)
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let r = simulate_transfer(&[], &test_link(), &GridFtpConfig::default(), 0);
+        assert_eq!(r.duration_s, 0.0);
+        assert_eq!(r.n_files, 0);
+    }
+
+    #[test]
+    fn single_large_file_is_cap_limited() {
+        let cfg = GridFtpConfig::default();
+        let r = simulate_transfer(&[10_000_000_000], &test_link(), &cfg, 0);
+        // One file cannot exceed parallelism × stream rate = 280 MB/s.
+        let expected = 10_000_000_000.0 / cfg.per_file_cap_bps();
+        assert!((r.duration_s - expected).abs() / expected < 0.05, "dur={} expected={expected}", r.duration_s);
+    }
+
+    #[test]
+    fn many_large_files_are_bandwidth_limited() {
+        let files = vec![1_000_000_000u64; 64];
+        let r = simulate_transfer(&files, &test_link(), &GridFtpConfig::default(), 0);
+        assert!(
+            r.effective_speed_bps > 0.9 * 1.15e9,
+            "speed {} should approach link bandwidth",
+            r.effective_speed_bps
+        );
+    }
+
+    #[test]
+    fn many_tiny_files_are_command_limited() {
+        // Table II regime: 1 MB files at untuned concurrency crawl because
+        // command handling dominates.
+        let files = vec![1_000_000u64; 2000];
+        let r = simulate_transfer(&files, &test_link(), &GridFtpConfig::untuned(), 0);
+        let command_floor = 2000.0 * 0.13 / 4.0;
+        assert!(r.duration_s >= command_floor * 0.95, "dur={} floor={command_floor}", r.duration_s);
+        assert!(r.effective_speed_bps < 0.3 * 1.15e9);
+    }
+
+    #[test]
+    fn table2_speed_ordering() {
+        // 300 GB moved as 1 MB / 10 MB / 100 MB files: effective speed must
+        // increase with file size (paper Table II rows 1-3).
+        let link = test_link();
+        let cfg = GridFtpConfig::untuned();
+        let total: u64 = 30_000_000_000; // scaled-down 30 GB for test speed
+        let mut speeds = Vec::new();
+        for size in [1_000_000u64, 10_000_000, 100_000_000] {
+            let files = vec![size; (total / size) as usize];
+            speeds.push(simulate_transfer(&files, &link, &cfg, 1).effective_speed_bps);
+        }
+        assert!(speeds[0] < speeds[1] && speeds[1] < speeds[2], "{speeds:?}");
+    }
+
+    #[test]
+    fn higher_concurrency_helps_small_files() {
+        let files = vec![1_000_000u64; 1000];
+        let slow = simulate_transfer(&files, &test_link(), &GridFtpConfig::untuned(), 0);
+        let fast = simulate_transfer(&files, &test_link(), &GridFtpConfig::default(), 0);
+        assert!(fast.duration_s < slow.duration_s * 0.5, "fast={} slow={}", fast.duration_s, slow.duration_s);
+    }
+
+    #[test]
+    fn too_few_files_underutilize_the_link() {
+        // The Miranda-grouping regression: 4 big files can't fill a fat link.
+        let fat = LinkProfile::new(3.9e9, 0.05, 0.13, 0.0);
+        let grouped = vec![4_000_000_000u64; 4];
+        let many = vec![125_000_000u64; 128];
+        let cfg = GridFtpConfig::default();
+        let rg = simulate_transfer(&grouped, &fat, &cfg, 0);
+        let rm = simulate_transfer(&many, &fat, &cfg, 0);
+        assert!(rg.effective_speed_bps < rm.effective_speed_bps, "grouped {} many {}", rg.effective_speed_bps, rm.effective_speed_bps);
+    }
+
+    #[test]
+    fn pipelining_off_pays_rtt() {
+        let files = vec![1_000_000u64; 500];
+        let link = test_link();
+        let with = simulate_transfer(&files, &link, &GridFtpConfig::default(), 0);
+        let cfg = GridFtpConfig { pipelining: false, ..Default::default() };
+        let without = simulate_transfer(&files, &link, &cfg, 0);
+        assert!(without.duration_s > with.duration_s);
+    }
+
+    #[test]
+    fn jitter_changes_duration_slightly() {
+        let link = LinkProfile::new(1.15e9, 0.05, 0.13, 0.05);
+        let files = vec![500_000_000u64; 40];
+        let a = simulate_transfer(&files, &link, &GridFtpConfig::default(), 1);
+        let b = simulate_transfer(&files, &link, &GridFtpConfig::default(), 2);
+        assert_ne!(a.duration_s, b.duration_s);
+        assert!((a.duration_s / b.duration_s - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn water_fill_respects_caps_and_capacity() {
+        let caps: Vec<f64> = vec![10.0, 50.0, 1000.0];
+        let rates = water_fill(100.0, &caps);
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+        assert!((rates[1] - 45.0).abs() < 1e-9);
+        assert!((rates[2] - 45.0).abs() < 1e-9);
+        assert!((rates.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_all_capped() {
+        let caps: Vec<f64> = vec![10.0, 10.0];
+        let rates = water_fill(100.0, &caps);
+        assert_eq!(rates, vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn release_times_delay_the_transfer() {
+        let files = vec![100_000_000u64; 16];
+        let cfg = GridFtpConfig::default();
+        let immediate = simulate_transfer(&files, &test_link(), &cfg, 0);
+        // All files become available only at t = 30 s.
+        let releases = vec![30.0; 16];
+        let delayed = simulate_transfer_released(&files, Some(&releases), &test_link(), &cfg, 0);
+        assert!(delayed.duration_s >= 30.0, "duration {}", delayed.duration_s);
+        assert!(delayed.duration_s <= immediate.duration_s + 30.0 + 1.0);
+    }
+
+    #[test]
+    fn staggered_releases_pipeline_with_the_transfer() {
+        // Files trickle out of compression at 0.2 s intervals: the transfer
+        // overlaps with production, finishing well before sum(production) +
+        // batch-transfer time.
+        let files = vec![200_000_000u64; 50];
+        let releases: Vec<f64> = (0..50).map(|i| i as f64 * 0.2).collect();
+        let cfg = GridFtpConfig::default();
+        let overlapped = simulate_transfer_released(&files, Some(&releases), &test_link(), &cfg, 0);
+        let sequential = 50.0 * 0.2 + simulate_transfer(&files, &test_link(), &cfg, 0).duration_s;
+        assert!(overlapped.duration_s < sequential, "{} vs {}", overlapped.duration_s, sequential);
+        // And it can never beat the plain batch (files cannot start early).
+        assert!(overlapped.duration_s >= simulate_transfer(&files, &test_link(), &cfg, 0).duration_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "one release time per file")]
+    fn release_length_mismatch_panics() {
+        simulate_transfer_released(&[1, 2], Some(&[0.0]), &test_link(), &GridFtpConfig::default(), 0);
+    }
+
+    #[test]
+    fn zero_byte_files_finish() {
+        let files = vec![0u64; 10];
+        let r = simulate_transfer(&files, &test_link(), &GridFtpConfig::default(), 0);
+        assert!(r.duration_s > 0.0); // still pays handling overhead
+        assert_eq!(r.bytes_total, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! WAN link profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// A directed wide-area network path between two sites.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Aggregate achievable bandwidth in bytes/second (all streams).
+    pub bandwidth_bps: f64,
+    /// Round-trip time in seconds (drives control-channel costs).
+    pub rtt_s: f64,
+    /// Serialized per-file handling cost in seconds (control channel command
+    /// processing, checksums, directory operations) — the term that makes
+    /// many small files slow (Table II).
+    pub per_file_overhead_s: f64,
+    /// Deterministic multiplicative throughput jitter amplitude (0 = none,
+    /// 0.05 = ±5 %).
+    pub jitter: f64,
+}
+
+impl LinkProfile {
+    /// Creates a link profile.
+    ///
+    /// # Panics
+    /// Panics if any parameter is negative or bandwidth is non-positive.
+    pub fn new(bandwidth_bps: f64, rtt_s: f64, per_file_overhead_s: f64, jitter: f64) -> Self {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(rtt_s >= 0.0 && per_file_overhead_s >= 0.0 && (0.0..1.0).contains(&jitter), "invalid link parameters");
+        LinkProfile { bandwidth_bps, rtt_s, per_file_overhead_s, jitter }
+    }
+
+    /// Deterministic jitter factor for the `k`-th file under `seed`
+    /// (in `[1 − jitter, 1 + jitter]`).
+    pub fn jitter_factor(&self, seed: u64, k: u64) -> f64 {
+        if self.jitter == 0.0 {
+            return 1.0;
+        }
+        // SplitMix64 keeps jitter independent of rand crate versions.
+        let mut z = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = z as f64 / u64::MAX as f64; // [0, 1]
+        1.0 + self.jitter * (2.0 * u - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let link = LinkProfile::new(1e9, 0.05, 0.03, 0.05);
+        for k in 0..100 {
+            let f = link.jitter_factor(42, k);
+            assert!((0.95..=1.05).contains(&f), "factor {f}");
+            assert_eq!(f, link.jitter_factor(42, k));
+        }
+        assert_ne!(link.jitter_factor(42, 0), link.jitter_factor(43, 0));
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let link = LinkProfile::new(1e9, 0.05, 0.03, 0.0);
+        assert_eq!(link.jitter_factor(1, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        LinkProfile::new(0.0, 0.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! The paper's testbed topology: Purdue Anvil, NERSC Cori, Argonne Bebop,
+//! with pairwise WAN links calibrated against Tables II and VIII.
+
+use crate::link::LinkProfile;
+use crate::storage::SharedFilesystem;
+use serde::{Deserialize, Serialize};
+
+/// Identifier for one of the three evaluation sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteId {
+    /// Purdue Anvil (2×AMD Milan per node, 128 cores).
+    Anvil,
+    /// NERSC Cori (Haswell partition).
+    Cori,
+    /// Argonne Bebop (Broadwell/KNL partitions).
+    Bebop,
+}
+
+impl SiteId {
+    /// All sites.
+    pub const ALL: [SiteId; 3] = [SiteId::Anvil, SiteId::Cori, SiteId::Bebop];
+
+    /// Display name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SiteId::Anvil => "Anvil",
+            SiteId::Cori => "Cori",
+            SiteId::Bebop => "Bebop",
+        }
+    }
+}
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A compute site: cluster shape plus shared filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Which site this is.
+    pub id: SiteId,
+    /// Nodes available to batch jobs (Table III).
+    pub nodes: usize,
+    /// CPU cores per node (Table III).
+    pub cores_per_node: usize,
+    /// Core speed relative to the Bebop KNL reference core used by the
+    /// compression cost model (Milan ≈ 3×, Haswell ≈ 2×, KNL = 1×).
+    pub core_speed: f64,
+    /// Shared parallel filesystem.
+    pub fs: SharedFilesystem,
+}
+
+/// A directed WAN route between two sites.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Source site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// Link characteristics.
+    pub link: LinkProfile,
+}
+
+/// The full three-site testbed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    sites: Vec<Site>,
+    routes: Vec<Route>,
+}
+
+impl Topology {
+    /// The calibrated paper testbed.
+    ///
+    /// Link bandwidths/overheads are fitted to the uncompressed-transfer
+    /// rows of Table VIII (Anvil→Cori ≈ 3.6 GB/s, Anvil→Bebop ≈ 0.9 GB/s,
+    /// Bebop→Cori ≈ 1.1 GB/s) and the file-count sensitivity of Table II.
+    pub fn paper() -> Self {
+        let anvil_fs = SharedFilesystem::new(150.0e9, 500.0e6, 400.0);
+        let cori_fs = SharedFilesystem::new(100.0e9, 400.0e6, 184.0);
+        let bebop_fs = SharedFilesystem::new(40.0e9, 300.0e6, 150.0);
+        let sites = vec![
+            Site { id: SiteId::Anvil, nodes: 750, cores_per_node: 128, core_speed: 3.0, fs: anvil_fs },
+            Site { id: SiteId::Cori, nodes: 2388, cores_per_node: 32, core_speed: 3.2, fs: cori_fs },
+            Site { id: SiteId::Bebop, nodes: 664, cores_per_node: 36, core_speed: 3.0, fs: bebop_fs },
+        ];
+                // Per-file handling cost fitted to Table II's 300 000 × 1 MB row
+        // (1235 s at concurrency 4 → ≈ 16.5 ms per file per control channel).
+        let mk = |from, to, bw: f64| Route { from, to, link: LinkProfile::new(bw, 0.05, 0.0165, 0.03) };
+        let routes = vec![
+            mk(SiteId::Anvil, SiteId::Cori, 3.9e9),
+            mk(SiteId::Cori, SiteId::Anvil, 3.9e9),
+            mk(SiteId::Anvil, SiteId::Bebop, 0.95e9),
+            mk(SiteId::Bebop, SiteId::Anvil, 0.95e9),
+            mk(SiteId::Bebop, SiteId::Cori, 1.15e9),
+            mk(SiteId::Cori, SiteId::Bebop, 1.15e9),
+        ];
+        Topology { sites, routes }
+    }
+
+    /// Looks up a site.
+    ///
+    /// # Panics
+    /// Panics if the site is missing (cannot happen for [`Topology::paper`]).
+    pub fn site(&self, id: SiteId) -> &Site {
+        self.sites.iter().find(|s| s.id == id).expect("site present in topology")
+    }
+
+    /// Looks up a directed route.
+    ///
+    /// # Panics
+    /// Panics if the route is missing or `from == to`.
+    pub fn route(&self, from: SiteId, to: SiteId) -> &Route {
+        assert_ne!(from, to, "no route from a site to itself");
+        self.routes.iter().find(|r| r.from == from && r.to == to).expect("route present in topology")
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// All routes.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gridftp::{simulate_transfer, GridFtpConfig};
+
+    #[test]
+    fn topology_is_complete() {
+        let t = Topology::paper();
+        for a in SiteId::ALL {
+            let _ = t.site(a);
+            for b in SiteId::ALL {
+                if a != b {
+                    let r = t.route(a, b);
+                    assert_eq!((r.from, r.to), (a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn np_speeds_match_table8_shape() {
+        // Uncompressed CESM-like batch: 7182 files, 1.61 TB, tuned config.
+        let t = Topology::paper();
+        let files = vec![1_610_000_000_000u64 / 7182; 7182];
+        let cfg = GridFtpConfig::default();
+        let ac = simulate_transfer(&files, &t.route(SiteId::Anvil, SiteId::Cori).link, &cfg, 1);
+        let ab = simulate_transfer(&files, &t.route(SiteId::Anvil, SiteId::Bebop).link, &cfg, 1);
+        let bc = simulate_transfer(&files, &t.route(SiteId::Bebop, SiteId::Cori).link, &cfg, 1);
+        // Paper: 446 s / 1685 s / 1484 s. Accept ±25 %.
+        assert!((334.0..558.0).contains(&ac.duration_s), "anvil→cori {}", ac.duration_s);
+        assert!((1264.0..2106.0).contains(&ab.duration_s), "anvil→bebop {}", ab.duration_s);
+        assert!((1113.0..1855.0).contains(&bc.duration_s), "bebop→cori {}", bc.duration_s);
+        // Ordering: Anvil→Cori is the fast route.
+        assert!(ac.duration_s < bc.duration_s && bc.duration_s < ab.duration_s);
+    }
+
+    #[test]
+    fn sites_have_table3_shapes() {
+        let t = Topology::paper();
+        assert_eq!(t.site(SiteId::Anvil).cores_per_node, 128);
+        assert_eq!(t.site(SiteId::Anvil).nodes, 750);
+        assert!(t.site(SiteId::Anvil).core_speed >= t.site(SiteId::Bebop).core_speed);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route from a site to itself")]
+    fn self_route_panics() {
+        Topology::paper().route(SiteId::Cori, SiteId::Cori);
+    }
+}

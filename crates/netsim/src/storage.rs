@@ -1,0 +1,153 @@
+//! Shared parallel-filesystem model with writer contention.
+//!
+//! Reproduces the paper's Fig 9 observation: parallel *decompression* slows
+//! down as nodes are added because hundreds of concurrent writers contend on
+//! the shared file system (lock traffic, metadata serialization), while
+//! *compression* (read-heavy, small compressed output) keeps scaling.
+//!
+//! The model: each writer's effective bandwidth degrades superlinearly with
+//! the writer count, `bw_eff(W) = per_writer / (1 + (W/W₀)²)`, so the write
+//! time `bytes·(1+(W/W₀)²)/(W·per_writer)` is U-shaped in `W` with its
+//! minimum at `W₀` — few writers are streaming-limited, many writers are
+//! contention-limited, and the penalty scales with the bytes written (a tiny
+//! compressed payload never pays minutes of contention).
+
+use serde::{Deserialize, Serialize};
+
+/// A site's shared parallel filesystem.
+///
+/// ```
+/// use ocelot_netsim::SharedFilesystem;
+///
+/// let fs = SharedFilesystem::new(100.0e9, 400.0e6, 184.0);
+/// // The write-time curve is U-shaped: its interior optimum beats both a
+/// // single writer and an over-subscribed write storm.
+/// let best = fs.optimal_writers(1_000_000_000_000, 2048);
+/// assert!(fs.write_time_s(1_000_000_000_000, best) < fs.write_time_s(1_000_000_000_000, 1));
+/// assert!(fs.write_time_s(1_000_000_000_000, best) < fs.write_time_s(1_000_000_000_000, 2048));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharedFilesystem {
+    /// Aggregate streaming bandwidth in bytes/second (striped across OSTs).
+    pub aggregate_bps: f64,
+    /// Per-client streaming bandwidth in bytes/second (uncontended).
+    pub per_writer_bps: f64,
+    /// Writer count at which contention doubles the per-writer cost (the
+    /// sweet spot of the U-shaped write-time curve).
+    pub contention_writers: f64,
+    /// Fixed open/close latency per I/O batch, seconds.
+    pub base_latency_s: f64,
+}
+
+impl SharedFilesystem {
+    /// Creates a filesystem model.
+    ///
+    /// # Panics
+    /// Panics on non-positive bandwidths or contention scale.
+    pub fn new(aggregate_bps: f64, per_writer_bps: f64, contention_writers: f64) -> Self {
+        assert!(aggregate_bps > 0.0 && per_writer_bps > 0.0, "bandwidths must be positive");
+        assert!(contention_writers > 0.0, "contention scale must be positive");
+        SharedFilesystem { aggregate_bps, per_writer_bps, contention_writers, base_latency_s: 0.05 }
+    }
+
+    /// Time to write `total_bytes` from `writers` concurrent clients.
+    ///
+    /// # Panics
+    /// Panics if `writers == 0`.
+    pub fn write_time_s(&self, total_bytes: u64, writers: usize) -> f64 {
+        assert!(writers > 0, "at least one writer");
+        let w = writers as f64;
+        let degraded = self.per_writer_bps / (1.0 + (w / self.contention_writers).powi(2));
+        let bw = (w * degraded).min(self.aggregate_bps);
+        self.base_latency_s + total_bytes as f64 / bw
+    }
+
+    /// Time to read `total_bytes` from `readers` concurrent clients. Reads
+    /// scale cleanly (no lock contention term).
+    ///
+    /// # Panics
+    /// Panics if `readers == 0`.
+    pub fn read_time_s(&self, total_bytes: u64, readers: usize) -> f64 {
+        assert!(readers > 0, "at least one reader");
+        let bw = (readers as f64 * self.per_writer_bps).min(self.aggregate_bps);
+        self.base_latency_s + total_bytes as f64 / bw
+    }
+
+    /// The writer count minimizing [`SharedFilesystem::write_time_s`] for a
+    /// payload — the "tune the number of cores to the parallel file system"
+    /// guidance from §VII-A.
+    pub fn optimal_writers(&self, total_bytes: u64, max_writers: usize) -> usize {
+        (1..=max_writers.max(1))
+            .min_by(|&a, &b| {
+                self.write_time_s(total_bytes, a)
+                    .partial_cmp(&self.write_time_s(total_bytes, b))
+                    .expect("finite times")
+            })
+            .expect("nonempty range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> SharedFilesystem {
+        // Cori-class: 100 GB/s aggregate, 400 MB/s per client, contention
+        // knee near 184 writers (fitted to Fig 9 / Table VIII DPTime).
+        SharedFilesystem::new(100.0e9, 400.0e6, 184.0)
+    }
+
+    #[test]
+    fn write_time_is_u_shaped_in_writers() {
+        let bytes = 1_610_000_000_000u64; // CESM 1.61 TB
+        let t1 = fs().write_time_s(bytes, 1);
+        let t184 = fs().write_time_s(bytes, 184);
+        let t2048 = fs().write_time_s(bytes, 2048);
+        assert!(t1 > t184, "t1={t1} t184={t184}");
+        assert!(t2048 > t184, "t2048={t2048} t184={t184}");
+    }
+
+    #[test]
+    fn calibration_matches_fig9_magnitudes() {
+        // Paper: CESM decompression ≈ 68.7 s with 4 nodes × 128 cores
+        // writing, > 5 min with 16 nodes.
+        let bytes = 1_610_000_000_000u64;
+        let t512 = fs().write_time_s(bytes, 512);
+        let t2048 = fs().write_time_s(bytes, 2048);
+        assert!((45.0..100.0).contains(&t512), "t512={t512}");
+        assert!(t2048 > 200.0, "t2048={t2048}");
+    }
+
+    #[test]
+    fn small_payloads_never_pay_huge_contention() {
+        // 10 GB of compressed output from 2048 writers must stay cheap —
+        // compression output writes were fast in the paper (CPTime ≈ 32 s
+        // total for CESM).
+        let t = fs().write_time_s(10_000_000_000, 2048);
+        assert!(t < 20.0, "t={t}");
+    }
+
+    #[test]
+    fn reads_scale_cleanly() {
+        let bytes = 100_000_000_000u64;
+        let t1 = fs().read_time_s(bytes, 1);
+        let t64 = fs().read_time_s(bytes, 64);
+        assert!(t64 < t1 / 30.0, "t1={t1} t64={t64}");
+        // Beyond aggregate saturation, more readers don't help but don't hurt.
+        let t512 = fs().read_time_s(bytes, 512);
+        let t2048 = fs().read_time_s(bytes, 2048);
+        assert!((t512 - t2048).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_writers_sits_at_the_knee() {
+        let w = fs().optimal_writers(1_610_000_000_000, 2048);
+        assert!((150..=250).contains(&w), "optimal writers {w}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one writer")]
+    fn zero_writers_panics() {
+        fs().write_time_s(1, 0);
+    }
+}

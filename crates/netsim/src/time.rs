@@ -1,0 +1,115 @@
+//! Simulated time: integer nanoseconds since simulation start.
+//!
+//! Integer time keeps event ordering exact and runs reproducible across
+//! platforms; conversions to `f64` seconds happen only at reporting edges.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from (non-negative, finite) seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative, NaN, or too large to represent.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time {secs}");
+        let ns = secs * 1e9;
+        assert!(ns <= u64::MAX as f64, "time overflow: {secs} s");
+        SimTime(ns as u64)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Saturating difference in seconds (`self − earlier`, floored at 0).
+    pub fn seconds_since(&self, earlier: SimTime) -> f64 {
+        self.0.saturating_sub(earlier.0) as f64 * 1e-9
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    /// Advances by `rhs` seconds.
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime(self.0 + SimTime::from_secs_f64(rhs).0)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    /// Difference in seconds (saturating at zero).
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.seconds_since(rhs)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t.as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + 2.0 + 0.5;
+        assert_eq!(t.as_secs_f64(), 2.5);
+        assert_eq!(t - SimTime::from_secs_f64(1.0), 1.5);
+        // Saturating subtraction.
+        assert_eq!(SimTime::ZERO - t, 0.0);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(11);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn negative_seconds_panic() {
+        SimTime::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Training-set assembly, train/test splitting, and prediction-error
+//! analysis (the paper's Fig 12 error distributions and 80 % confidence
+//! boxes).
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+use crate::model::TrainingSample;
+
+/// A labelled collection of training samples.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingSet {
+    samples: Vec<TrainingSample>,
+}
+
+impl TrainingSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, sample: TrainingSample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[TrainingSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the set holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Splits into train/test by shuffling with `seed` and taking
+    /// `train_frac` of samples for training (the paper trains on 30 % for
+    /// ratio/time and 50 % for PSNR).
+    ///
+    /// # Panics
+    /// Panics if `train_frac` is outside `(0, 1)` or the set has < 2 samples.
+    pub fn split(&self, train_frac: f64, seed: u64) -> TrainTestSplit {
+        assert!(train_frac > 0.0 && train_frac < 1.0, "train fraction must be in (0,1)");
+        assert!(self.samples.len() >= 2, "need at least 2 samples to split");
+        let mut idx: Vec<usize> = (0..self.samples.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_train = ((self.samples.len() as f64 * train_frac).round() as usize).clamp(1, self.samples.len() - 1);
+        let (train, test) = idx.split_at(n_train);
+        TrainTestSplit {
+            train: train.iter().map(|&i| self.samples[i].clone()).collect(),
+            test: test.iter().map(|&i| self.samples[i].clone()).collect(),
+        }
+    }
+}
+
+impl FromIterator<TrainingSample> for TrainingSet {
+    fn from_iter<I: IntoIterator<Item = TrainingSample>>(iter: I) -> Self {
+        TrainingSet { samples: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<TrainingSample> for TrainingSet {
+    fn extend<I: IntoIterator<Item = TrainingSample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+/// The outcome of a train/test split.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Training samples.
+    pub train: Vec<TrainingSample>,
+    /// Held-out samples.
+    pub test: Vec<TrainingSample>,
+}
+
+/// Distribution of `predicted − actual` errors for one quality metric.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorDistribution {
+    errors: Vec<f64>,
+}
+
+impl ErrorDistribution {
+    /// Creates a distribution from raw signed errors.
+    pub fn new(mut errors: Vec<f64>) -> Self {
+        errors.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ErrorDistribution { errors }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Whether there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Root mean squared error.
+    pub fn rmse(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        (self.errors.iter().map(|e| e * e).sum::<f64>() / self.errors.len() as f64).sqrt()
+    }
+
+    /// Mean signed error (bias).
+    pub fn mean(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().sum::<f64>() / self.errors.len() as f64
+    }
+
+    /// Mean absolute error.
+    pub fn mae(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().map(|e| e.abs()).sum::<f64>() / self.errors.len() as f64
+    }
+
+    /// Central interval containing `coverage` of the mass (the paper's green
+    /// 80 % box uses `coverage = 0.8`). Returns `(lo, hi)` quantiles.
+    ///
+    /// # Panics
+    /// Panics if `coverage` is outside `(0, 1]` or the distribution is empty.
+    pub fn central_interval(&self, coverage: f64) -> (f64, f64) {
+        assert!(coverage > 0.0 && coverage <= 1.0, "coverage in (0,1]");
+        assert!(!self.errors.is_empty(), "empty distribution");
+        let tail = (1.0 - coverage) / 2.0;
+        (self.quantile(tail), self.quantile(1.0 - tail))
+    }
+
+    /// Empirical quantile by linear interpolation.
+    ///
+    /// # Panics
+    /// Panics if the distribution is empty or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile in [0,1]");
+        assert!(!self.errors.is_empty(), "empty distribution");
+        let pos = q * (self.errors.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.errors[lo] * (1.0 - frac) + self.errors[hi] * frac
+    }
+
+    /// Histogram over `bins` equal-width buckets spanning the error range;
+    /// returns `(bucket_centres, fraction_per_bucket)` — the series plotted
+    /// in Fig 12.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or the distribution is empty.
+    pub fn histogram(&self, bins: usize) -> (Vec<f64>, Vec<f64>) {
+        assert!(bins > 0, "at least one bin");
+        assert!(!self.errors.is_empty(), "empty distribution");
+        let lo = self.errors[0];
+        let hi = *self.errors.last().expect("nonempty");
+        let width = ((hi - lo) / bins as f64).max(1e-300);
+        let mut counts = vec![0usize; bins];
+        for &e in &self.errors {
+            let b = (((e - lo) / width) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+        let centres = (0..bins).map(|b| lo + (b as f64 + 0.5) * width).collect();
+        let fracs = counts.iter().map(|&c| c as f64 / self.errors.len() as f64).collect();
+        (centres, fracs)
+    }
+}
+
+/// Convenience: feature matrix rows for model fitting.
+pub(crate) fn feature_matrix(samples: &[TrainingSample]) -> Vec<Vec<f64>> {
+    samples.iter().map(|s| s.features.as_slice().to_vec()).collect()
+}
+
+/// Convenience: one target column extracted by `f`.
+pub(crate) fn target_column(samples: &[TrainingSample], f: impl Fn(&TrainingSample) -> f64) -> Vec<f64> {
+    samples.iter().map(f).collect()
+}
+
+/// Helper for tests across the crate: a sample with the given feature 0 and
+/// targets.
+#[cfg(test)]
+pub(crate) fn synthetic_sample(x0: f64, ratio: f64, time: f64, psnr: f64) -> TrainingSample {
+    let mut values = [0.0; crate::features::FEATURE_COUNT];
+    values[0] = x0;
+    TrainingSample { features: crate::features::FeatureVector { values }, ratio, time_seconds: time, psnr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let set: TrainingSet = (0..100).map(|i| synthetic_sample(i as f64, 1.0, 1.0, 1.0)).collect();
+        let split = set.split(0.3, 7);
+        assert_eq!(split.train.len(), 30);
+        assert_eq!(split.test.len(), 70);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let set: TrainingSet = (0..40).map(|i| synthetic_sample(i as f64, 1.0, 1.0, 1.0)).collect();
+        let a = set.split(0.5, 3);
+        let b = set.split(0.5, 3);
+        assert_eq!(a.train.len(), b.train.len());
+        for (s, t) in a.train.iter().zip(&b.train) {
+            assert_eq!(s.features, t.features);
+        }
+    }
+
+    #[test]
+    fn error_distribution_statistics() {
+        let d = ErrorDistribution::new(vec![-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(d.mean(), 0.5);
+        assert_eq!(d.mae(), 1.0);
+        assert!((d.rmse() - (6.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn central_interval_covers_the_bulk() {
+        let errs: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let d = ErrorDistribution::new(errs);
+        let (lo, hi) = d.central_interval(0.8);
+        assert!((lo - 0.1).abs() < 0.01, "lo={lo}");
+        assert!((hi - 0.9).abs() < 0.01, "hi={hi}");
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one() {
+        let d = ErrorDistribution::new((0..500).map(|i| ((i * 37) % 100) as f64 / 10.0).collect());
+        let (centres, fracs) = d.histogram(20);
+        assert_eq!(centres.len(), 20);
+        assert!((fracs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let d = ErrorDistribution::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(d.quantile(0.0), 1.0);
+        assert_eq!(d.quantile(1.0), 3.0);
+        assert_eq!(d.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn bad_fraction_panics() {
+        let set: TrainingSet = (0..4).map(|i| synthetic_sample(i as f64, 1.0, 1.0, 1.0)).collect();
+        set.split(1.5, 0);
+    }
+}

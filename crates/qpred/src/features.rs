@@ -1,0 +1,210 @@
+//! The eleven prediction features (paper §VI, Fig 3).
+
+use ocelot_sz::config::LossyConfig;
+use ocelot_sz::predict::lorenzo;
+use ocelot_sz::quantizer::LinearQuantizer;
+use ocelot_sz::sample::sample_grid;
+use ocelot_sz::stats::{byte_entropy, quant_bin_stats, value_stats};
+use ocelot_sz::{Dataset, ScalarValue};
+
+/// Number of features.
+pub const FEATURE_COUNT: usize = 11;
+
+/// Human-readable feature names, index-aligned with
+/// [`FeatureVector::values`].
+pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
+    "log10_rel_error_bound", // config
+    "predictor_id",          // config (categorical)
+    "log10_value_range",     // data
+    "std_over_range",        // data
+    "byte_entropy",          // data
+    "log10_lorenzo_error",   // data
+    "p0",                    // compressor
+    "cap_p0",                // compressor
+    "quant_entropy",         // compressor
+    "log10_r_rle",           // compressor
+    "unpredictable_frac",    // compressor
+];
+
+/// A dense feature vector for one (dataset, configuration) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector {
+    /// Feature values, index-aligned with [`FEATURE_NAMES`].
+    pub values: [f64; FEATURE_COUNT],
+}
+
+impl FeatureVector {
+    /// Slice view for model consumption.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Extracts all eleven features, sampling one point every `sample_stride`
+/// points for the compressor-based group (the paper's 1 % sampling is
+/// `sample_stride = 100`).
+///
+/// # Panics
+/// Panics if `sample_stride == 0`.
+pub fn extract<T: ScalarValue>(data: &Dataset<T>, config: &LossyConfig, sample_stride: usize) -> FeatureVector {
+    assert!(sample_stride > 0, "sample stride must be positive");
+    let stats = value_stats(data);
+    let range = stats.range.max(1e-300);
+    let abs_eb = config.error_bound.resolve(data);
+    let rel_eb = abs_eb / range;
+
+    // Data-based group. Grid sampling keeps spatial structure for the
+    // Lorenzo-error feature; per-dimension stride approximates the target
+    // overall sampling fraction.
+    let dim_stride = per_dim_stride(data.ndim(), sample_stride);
+    let sampled = sample_grid(data, dim_stride);
+    let entropy = byte_entropy(&sampled);
+    let lorenzo_err = lorenzo::mean_raw_error(&sampled);
+
+    // Compressor-based group: quantize sampled raw-value Lorenzo errors (the
+    // paper runs Lorenzo prediction "with the real data values instead of
+    // the reconstructed data values").
+    let bins = sampled_quant_codes(&sampled, abs_eb, config.quant_radius);
+    let qstats = quant_bin_stats(&bins, config.quant_radius);
+
+    FeatureVector {
+        values: [
+            rel_eb.max(1e-300).log10(),
+            config.predictor.id() as f64,
+            range.log10(),
+            stats.std_dev / range,
+            entropy,
+            (lorenzo_err / range).max(1e-300).log10(),
+            qstats.p0,
+            qstats.cap_p0,
+            qstats.quant_entropy,
+            qstats.r_rle.min(1e6).log10(),
+            qstats.unpredictable,
+        ],
+    }
+}
+
+/// Per-dimension stride so that the overall kept fraction approximates
+/// `1 / linear_stride`.
+fn per_dim_stride(ndim: usize, linear_stride: usize) -> usize {
+    ((linear_stride as f64).powf(1.0 / ndim.max(1) as f64).round() as usize).max(1)
+}
+
+/// Quantization codes of raw-value Lorenzo errors over an already-sampled
+/// dataset.
+fn sampled_quant_codes<T: ScalarValue>(sampled: &Dataset<T>, abs_eb: f64, radius: u32) -> Vec<u32> {
+    let q = LinearQuantizer::new(abs_eb.max(1e-300), radius.max(2));
+    let dims = sampled.dims().to_vec();
+    let vals = sampled.values();
+    let mut codes = Vec::with_capacity(vals.len());
+    match dims.len() {
+        1 => {
+            for i in 0..vals.len() {
+                let pred = if i > 0 { vals[i - 1].to_f64() } else { 0.0 };
+                codes.push(q.quantize(vals[i], pred).code);
+            }
+        }
+        2 => {
+            let n1 = dims[1];
+            let at = |i: isize, j: isize| -> f64 {
+                if i < 0 || j < 0 {
+                    0.0
+                } else {
+                    vals[i as usize * n1 + j as usize].to_f64()
+                }
+            };
+            for i in 0..dims[0] as isize {
+                for j in 0..n1 as isize {
+                    let pred = at(i - 1, j) + at(i, j - 1) - at(i - 1, j - 1);
+                    codes.push(q.quantize(vals[(i as usize) * n1 + j as usize], pred).code);
+                }
+            }
+        }
+        _ => {
+            let (n0, n1, n2) = (dims[0], dims[1], dims[2]);
+            let s0 = n1 * n2;
+            let at = |i: isize, j: isize, k: isize| -> f64 {
+                if i < 0 || j < 0 || k < 0 {
+                    0.0
+                } else {
+                    vals[i as usize * s0 + j as usize * n2 + k as usize].to_f64()
+                }
+            };
+            for i in 0..n0 as isize {
+                for j in 0..n1 as isize {
+                    for k in 0..n2 as isize {
+                        let pred = at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1)
+                            - at(i - 1, j - 1, k)
+                            - at(i - 1, j, k - 1)
+                            - at(i, j - 1, k - 1)
+                            + at(i - 1, j - 1, k - 1);
+                        codes.push(q.quantize(vals[(i as usize) * s0 + (j as usize) * n2 + k as usize], pred).code);
+                    }
+                }
+            }
+        }
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_sz::config::{ErrorBound, PredictorKind};
+
+    fn wavy() -> Dataset<f32> {
+        Dataset::from_fn(vec![48, 48], |i| ((i[0] as f32) * 0.2).sin() * 3.0 + (i[1] as f32) * 0.05)
+    }
+
+    #[test]
+    fn feature_vector_has_expected_layout() {
+        let fv = extract(&wavy(), &LossyConfig::sz3(1e-3), 100);
+        assert_eq!(fv.values.len(), FEATURE_NAMES.len());
+        assert!((fv.values[0] - (-3.0)).abs() < 0.01, "rel eb log10 = {}", fv.values[0]);
+        assert_eq!(fv.values[1], PredictorKind::InterpCubic.id() as f64);
+        assert!(fv.values[6] >= 0.0 && fv.values[6] <= 1.0, "p0 in [0,1]");
+        assert!(fv.values[4] > 0.0 && fv.values[4] <= 8.0, "byte entropy in (0,8]");
+    }
+
+    #[test]
+    fn looser_bound_raises_p0() {
+        let d = wavy();
+        let loose = extract(&d, &LossyConfig::sz3(1e-1), 16);
+        let tight = extract(&d, &LossyConfig::sz3(1e-6), 16);
+        assert!(loose.values[6] > tight.values[6], "p0 loose {} vs tight {}", loose.values[6], tight.values[6]);
+        assert!(loose.values[8] <= tight.values[8] + 1e-9, "entropy loose {} vs tight {}", loose.values[8], tight.values[8]);
+    }
+
+    #[test]
+    fn sampling_changes_cost_not_semantics() {
+        let d = wavy();
+        let full = extract(&d, &LossyConfig::sz3(1e-3), 1);
+        let sampled = extract(&d, &LossyConfig::sz3(1e-3), 100);
+        // Config/data group features must be close; compressor group is an
+        // approximation but should stay in the same regime.
+        assert_eq!(full.values[0], sampled.values[0]);
+        assert!((full.values[6] - sampled.values[6]).abs() < 0.35, "p0 {} vs {}", full.values[6], sampled.values[6]);
+    }
+
+    #[test]
+    fn per_dim_stride_roots() {
+        assert_eq!(per_dim_stride(1, 100), 100);
+        assert_eq!(per_dim_stride(2, 100), 10);
+        assert_eq!(per_dim_stride(3, 100), 5);
+    }
+
+    #[test]
+    fn absolute_bounds_are_normalized_to_relative() {
+        let d = wavy();
+        let range = d.value_range();
+        let fv = extract(&d, &LossyConfig::sz3(0.0).with_error_bound(ErrorBound::Abs(range * 1e-2)), 50);
+        assert!((fv.values[0] - (-2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn features_are_finite_on_constant_data() {
+        let d = Dataset::<f32>::constant(vec![32, 32], 5.0).unwrap();
+        let fv = extract(&d, &LossyConfig::sz3(1e-3), 10);
+        assert!(fv.values.iter().all(|v| v.is_finite()), "{:?}", fv.values);
+    }
+}

@@ -1,0 +1,232 @@
+//! The quality-prediction model: three regression trees mapping the eleven
+//! features to compression ratio, compression time, and PSNR.
+
+use ocelot_sz::config::LossyConfig;
+use ocelot_sz::cost::CostModel;
+use ocelot_sz::{compress_with_stats, decompress, metrics, Dataset, ScalarValue, SzError};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{feature_matrix, target_column};
+use crate::features::{extract, FeatureVector};
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// One labelled observation: features plus the measured quality metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSample {
+    /// Extracted features.
+    pub features: FeatureVector,
+    /// Measured compression ratio.
+    pub ratio: f64,
+    /// Single-core compression time in seconds (cost-model units for the
+    /// paper's reference machine).
+    pub time_seconds: f64,
+    /// Measured PSNR of the reconstruction, in dB.
+    pub psnr: f64,
+}
+
+impl TrainingSample {
+    /// Produces a ground-truth sample by actually compressing `data` with
+    /// `config`: the ratio and PSNR are measured on the real pipeline, and
+    /// the time label comes from the calibrated [`CostModel`] evaluated at
+    /// `n_points_override` points (pass the full-size point count when
+    /// training on scaled-down data so time labels match paper-scale files;
+    /// `None` uses the dataset's own size).
+    ///
+    /// # Errors
+    /// Propagates compression/decompression failures.
+    pub fn measure<T: ScalarValue>(
+        data: &Dataset<T>,
+        config: &LossyConfig,
+        sample_stride: usize,
+        n_points_override: Option<usize>,
+    ) -> Result<Self, SzError> {
+        let features = extract(data, config, sample_stride);
+        let outcome = compress_with_stats(data, config)?;
+        let restored = decompress::<T>(&outcome.blob)?;
+        let quality = metrics::compare(data, &restored)?;
+        let n_points = n_points_override.unwrap_or_else(|| data.len());
+        let cost = CostModel::for_predictor(config.predictor);
+        let psnr = if quality.psnr.is_finite() { quality.psnr } else { 200.0 };
+        Ok(TrainingSample {
+            features,
+            ratio: outcome.ratio,
+            time_seconds: cost.compression_seconds(n_points, &outcome.bin_stats),
+            psnr,
+        })
+    }
+}
+
+/// Predicted quality for one (dataset, configuration) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityEstimate {
+    /// Predicted compression ratio.
+    pub ratio: f64,
+    /// Predicted single-core compression time in seconds.
+    pub time_seconds: f64,
+    /// Predicted PSNR in dB.
+    pub psnr: f64,
+}
+
+/// A trained quality model (ratio + time + PSNR trees).
+///
+/// Ratio and time are learned in log10 space — both span orders of magnitude
+/// across error bounds — and exponentiated on prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityModel {
+    ratio_tree: DecisionTree,
+    time_tree: DecisionTree,
+    psnr_tree: DecisionTree,
+}
+
+impl QualityModel {
+    /// Trains on labelled samples.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn train(samples: &[TrainingSample], config: &TreeConfig) -> Self {
+        assert!(!samples.is_empty(), "cannot train on an empty sample set");
+        let x = feature_matrix(samples);
+        let log_ratio = target_column(samples, |s| s.ratio.max(1e-12).log10());
+        let log_time = target_column(samples, |s| s.time_seconds.max(1e-12).log10());
+        let psnr = target_column(samples, |s| s.psnr);
+        QualityModel {
+            ratio_tree: DecisionTree::fit(&x, &log_ratio, config),
+            time_tree: DecisionTree::fit(&x, &log_time, config),
+            psnr_tree: DecisionTree::fit(&x, &psnr, config),
+        }
+    }
+
+    /// Predicts all three metrics from a feature vector.
+    pub fn predict(&self, features: &FeatureVector) -> QualityEstimate {
+        let f = features.as_slice();
+        QualityEstimate {
+            ratio: 10f64.powf(self.ratio_tree.predict(f)),
+            time_seconds: 10f64.powf(self.time_tree.predict(f)),
+            psnr: self.psnr_tree.predict(f),
+        }
+    }
+
+    /// Per-feature importance of each metric's tree, index-aligned with
+    /// [`crate::features::FEATURE_NAMES`]: `(ratio, time, psnr)` importance
+    /// vectors, each normalized to sum to 1.
+    pub fn feature_importance(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        (
+            self.ratio_tree.feature_importance(),
+            self.time_tree.feature_importance(),
+            self.psnr_tree.feature_importance(),
+        )
+    }
+
+    /// Extracts features from a dataset and predicts (the end-user path:
+    /// features come from a 1 % sample, so this is ~1–2 % of a compression).
+    pub fn predict_for<T: ScalarValue>(
+        &self,
+        data: &Dataset<T>,
+        config: &LossyConfig,
+        sample_stride: usize,
+    ) -> QualityEstimate {
+        self.predict(&extract(data, config, sample_stride))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_sz::config::ErrorBound;
+
+    fn field(seed: usize) -> Dataset<f32> {
+        Dataset::from_fn(vec![40, 40], move |i| {
+            ((i[0] + seed * 3) as f32 * 0.17).sin() * 4.0 + (i[1] as f32 * 0.09).cos() * 2.0
+        })
+    }
+
+    fn build_samples() -> Vec<TrainingSample> {
+        let mut out = Vec::new();
+        for seed in 0..6 {
+            let d = field(seed);
+            for eb in [1e-5, 1e-4, 1e-3, 1e-2, 1e-1] {
+                let cfg = LossyConfig::sz3(eb);
+                out.push(TrainingSample::measure(&d, &cfg, 10, None).unwrap());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn measure_produces_consistent_labels() {
+        let d = field(0);
+        let s = TrainingSample::measure(&d, &LossyConfig::sz3(1e-3), 10, None).unwrap();
+        assert!(s.ratio > 1.0, "ratio={}", s.ratio);
+        assert!(s.time_seconds > 0.0);
+        assert!(s.psnr > 40.0, "psnr={}", s.psnr);
+    }
+
+    #[test]
+    fn override_scales_time_label() {
+        let d = field(1);
+        let cfg = LossyConfig::sz3(1e-3);
+        let small = TrainingSample::measure(&d, &cfg, 10, None).unwrap();
+        let big = TrainingSample::measure(&d, &cfg, 10, Some(d.len() * 100)).unwrap();
+        assert!((big.time_seconds / small.time_seconds - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn model_interpolates_training_regime() {
+        let samples = build_samples();
+        let model = QualityModel::train(&samples, &TreeConfig::default());
+        // Predict on a config/dataset drawn from the same regime.
+        let d = field(2);
+        let cfg = LossyConfig::sz3(1e-3);
+        let est = model.predict_for(&d, &cfg, 10);
+        let truth = TrainingSample::measure(&d, &cfg, 10, None).unwrap();
+        assert!((est.ratio / truth.ratio).abs().log10().abs() < 0.45, "est {} truth {}", est.ratio, truth.ratio);
+        assert!((est.psnr - truth.psnr).abs() < 30.0, "est {} truth {}", est.psnr, truth.psnr);
+    }
+
+    #[test]
+    fn looser_bounds_predict_higher_ratio() {
+        let samples = build_samples();
+        let model = QualityModel::train(&samples, &TreeConfig::default());
+        let d = field(3);
+        let loose = model.predict_for(&d, &LossyConfig::sz3(1e-1), 10);
+        let tight = model.predict_for(&d, &LossyConfig::sz3(1e-5), 10);
+        assert!(loose.ratio > tight.ratio, "loose {} tight {}", loose.ratio, tight.ratio);
+        assert!(loose.psnr < tight.psnr, "loose {} tight {}", loose.psnr, tight.psnr);
+    }
+
+    #[test]
+    fn exact_reconstruction_psnr_is_clamped() {
+        let d = Dataset::<f32>::constant(vec![64], 1.0).unwrap();
+        let cfg = LossyConfig::sz3(1e-3).with_error_bound(ErrorBound::Abs(1e-6));
+        let s = TrainingSample::measure(&d, &cfg, 4, None).unwrap();
+        assert!(s.psnr.is_finite());
+    }
+
+    #[test]
+    fn compressor_level_features_dominate_ratio_prediction() {
+        // The paper: compressor-based features "generally have the highest
+        // prediction ability". Features 6-10 are the compressor group.
+        let samples = build_samples();
+        let model = QualityModel::train(&samples, &TreeConfig::default());
+        let (ratio_imp, _, _) = model.feature_importance();
+        let compressor: f64 = ratio_imp[6..].iter().sum();
+        assert!(compressor > 0.25, "compressor-group importance {compressor} ({ratio_imp:?})");
+    }
+
+    #[test]
+    fn model_serde_round_trip() {
+        let samples = build_samples();
+        let model = QualityModel::train(&samples, &TreeConfig::default());
+        let json = serde_json::to_string(&model).unwrap();
+        let back: QualityModel = serde_json::from_str(&json).unwrap();
+        // serde_json's default float parsing is not bit-exact, so tree
+        // thresholds may drift by an ULP; compare behaviour at the training
+        // points, which sit half a gap away from every threshold.
+        for s in &samples {
+            let a = model.predict(&s.features);
+            let b = back.predict(&s.features);
+            assert!((a.ratio - b.ratio).abs() / a.ratio.max(1e-12) < 1e-9);
+            assert!((a.psnr - b.psnr).abs() < 1e-6);
+        }
+    }
+}

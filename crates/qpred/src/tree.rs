@@ -1,0 +1,318 @@
+//! CART regression tree (variance-reduction splits).
+//!
+//! The paper uses "a decision tree model" for quality estimation; this is a
+//! from-scratch implementation: binary splits chosen to maximize the
+//! reduction in squared error, grown depth-first with depth / leaf-size /
+//! gain stopping rules.
+
+use serde::{Deserialize, Serialize};
+
+/// Tree growth hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum fractional variance reduction to accept a split.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 12, min_samples_leaf: 3, min_gain: 1e-7 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// Total SSE reduction contributed by splits on each feature.
+    #[serde(default)]
+    importance: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Fits a tree on rows `x` (each of equal length) and targets `y`.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty, lengths mismatch, or rows are ragged.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: &TreeConfig) -> Self {
+        assert!(!x.is_empty(), "training set is empty");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        let n_features = x[0].len();
+        assert!(x.iter().all(|r| r.len() == n_features), "ragged feature rows");
+        let mut tree = DecisionTree { nodes: Vec::new(), n_features, importance: vec![0.0; n_features] };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        tree.grow(x, y, idx, 0, config);
+        tree
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    /// Panics if `features.len()` differs from the training feature count.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature count mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-feature importance: total squared-error reduction contributed by
+    /// splits on each feature, normalized to sum to 1 (all zeros for a tree
+    /// with no splits). Index-aligned with the training feature order.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let total: f64 = self.importance.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.n_features];
+        }
+        self.importance.iter().map(|&g| g / total).collect()
+    }
+
+    /// Tree depth (diagnostics).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+
+    /// Grows a subtree over `idx`, returning its node id.
+    fn grow(&mut self, x: &[Vec<f64>], y: &[f64], idx: Vec<usize>, depth: usize, config: &TreeConfig) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        let sse: f64 = idx.iter().map(|&i| (y[i] - mean).powi(2)).sum();
+        if depth >= config.max_depth || idx.len() < 2 * config.min_samples_leaf || sse <= 1e-24 {
+            return self.push(Node::Leaf { value: mean });
+        }
+        let Some((feature, threshold, gain)) = best_split(x, y, &idx, self.n_features, config.min_samples_leaf)
+        else {
+            return self.push(Node::Leaf { value: mean });
+        };
+        if gain < config.min_gain * sse {
+            return self.push(Node::Leaf { value: mean });
+        }
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| x[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            // Defensive: a degenerate partition (should be prevented by the
+            // threshold clamp) falls back to a leaf instead of recursing.
+            return self.push(Node::Leaf { value: mean });
+        }
+        self.importance[feature] += gain;
+        // Reserve this node id before growing children so the root is node 0.
+        let id = self.push(Node::Leaf { value: mean });
+        let left = self.grow(x, y, left_idx, depth + 1, config);
+        let right = self.grow(x, y, right_idx, depth + 1, config);
+        self.nodes[id] = Node::Split { feature, threshold, left, right };
+        id
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+}
+
+/// Finds the (feature, threshold) split with maximal SSE reduction.
+/// Returns `None` if no valid split exists.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    n_features: usize,
+    min_leaf: usize,
+) -> Option<(usize, f64, f64)> {
+    let n = idx.len();
+    let total_sum: f64 = idx.iter().map(|&i| y[i]).sum();
+    let total_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let mut best: Option<(usize, f64, f64)> = None;
+    let mut order: Vec<usize> = idx.to_vec();
+    #[allow(clippy::needless_range_loop)] // `f` indexes rows of `x`, not a single slice
+    for f in 0..n_features {
+        order.sort_unstable_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for split_at in 1..n {
+            let i = order[split_at - 1];
+            left_sum += y[i];
+            left_sq += y[i] * y[i];
+            // A threshold exists only between distinct feature values.
+            let lo = x[order[split_at - 1]][f];
+            let hi = x[order[split_at]][f];
+            if lo == hi {
+                continue;
+            }
+            if split_at < min_leaf || n - split_at < min_leaf {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let left_sse = left_sq - left_sum * left_sum / split_at as f64;
+            let right_sse = right_sq - right_sum * right_sum / (n - split_at) as f64;
+            let gain = parent_sse - left_sse - right_sse;
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                // The midpoint of adjacent floats can round up to `hi`,
+                // which would sweep the hi-valued samples into the left
+                // side and leave the right side empty; clamp to `lo`.
+                let mut threshold = 0.5 * (lo + hi);
+                if threshold >= hi {
+                    threshold = lo;
+                }
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_xy(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = i as f64 / n as f64;
+            let b = (i as f64 * 7.0).sin();
+            x.push(vec![a, b]);
+            y.push(if a < 0.5 { 1.0 } else { 3.0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_step_function_exactly() {
+        let (x, y) = grid_xy(200);
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        assert!((tree.predict(&[0.2, 0.0]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict(&[0.9, 0.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 50];
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[123.0]), 7.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig { max_depth: 3, ..Default::default() });
+        assert!(tree.depth() <= 3, "depth={}", tree.depth());
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i % 2) as f64).collect();
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig { min_samples_leaf: 10, ..Default::default() });
+        // Splits leaving fewer than 10 samples per side are forbidden, so at
+        // most one split exists.
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn piecewise_smooth_regression_has_low_error() {
+        let x: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64 / 500.0, (i % 7) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0] * 6.0).floor()).collect();
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        let rmse = (x.iter().zip(&y).map(|(r, &t)| (tree.predict(r) - t).powi(2)).sum::<f64>() / 500.0).sqrt();
+        assert!(rmse < 0.05, "rmse={rmse}");
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_equals() {
+        let x: Vec<Vec<f64>> = vec![vec![1.0]; 10].into_iter().chain(vec![vec![2.0]; 10]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 1.0 }).collect();
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        assert_eq!(tree.predict(&[1.0]), 0.0);
+        assert_eq!(tree.predict(&[2.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_validates_arity() {
+        let tree = DecisionTree::fit(&[vec![1.0, 2.0]], &[3.0], &TreeConfig::default());
+        tree.predict(&[1.0]);
+    }
+
+    #[test]
+    fn adjacent_float_features_never_produce_nan_leaves() {
+        // Two adjacent f64 values as the only split candidates: the naive
+        // midpoint rounds to the upper value and would orphan the right
+        // branch.
+        let lo = 1.0f64;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        let mut x = vec![vec![lo]; 5];
+        x.extend(vec![vec![hi]; 5]);
+        let y: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 1.0 }).collect();
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig { min_samples_leaf: 1, ..Default::default() });
+        assert!(tree.predict(&[lo]).is_finite());
+        assert!(tree.predict(&[hi]).is_finite());
+        assert_eq!(tree.predict(&[lo]), 0.0);
+        assert_eq!(tree.predict(&[hi]), 1.0);
+    }
+
+    #[test]
+    fn importance_identifies_the_informative_feature() {
+        // Feature 1 fully determines the target; feature 0 is noise.
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![((i * 37) % 17) as f64, (i % 4) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[1] * 10.0).collect();
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        let imp = tree.feature_importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[1] > 0.95, "importance {imp:?}");
+    }
+
+    #[test]
+    fn constant_tree_has_zero_importance() {
+        let tree = DecisionTree::fit(&vec![vec![1.0]; 10], &[2.0; 10], &TreeConfig::default());
+        assert_eq!(tree.feature_importance(), vec![0.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (x, y) = grid_xy(64);
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(tree, back);
+        assert_eq!(tree.predict(&[0.3, 0.0]), back.predict(&[0.3, 0.0]));
+    }
+}

@@ -1,0 +1,184 @@
+//! Bit-granular reader and writer over byte buffers.
+//!
+//! Bits are packed most-significant-bit first within each byte, which keeps
+//! canonical Huffman codes lexicographically ordered in the byte stream.
+
+use crate::error::SzError;
+
+/// Append-only bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the last byte (0 = last byte full/absent).
+    partial: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with reserved capacity (in bytes).
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter { bytes: Vec::with_capacity(bytes), partial: 0 }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        if self.partial == 0 {
+            self.bytes.len() as u64 * 8
+        } else {
+            (self.bytes.len() as u64 - 1) * 8 + self.partial as u64
+        }
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.partial == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("byte pushed above");
+            *last |= 1 << (7 - self.partial);
+        }
+        self.partial = (self.partial + 1) % 8;
+    }
+
+    /// Writes the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    /// Panics if `count > 64`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, count: u8) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Finishes writing, returning the packed bytes (zero-padded to a byte
+    /// boundary).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Sequential bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    /// Returns [`SzError::CorruptStream`] at end of input.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, SzError> {
+        let byte = (self.pos / 8) as usize;
+        if byte >= self.bytes.len() {
+            return Err(SzError::CorruptStream("bit stream exhausted".into()));
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `count` bits into the low bits of a `u64`, MSB first.
+    ///
+    /// # Errors
+    /// Returns [`SzError::CorruptStream`] if fewer than `count` bits remain.
+    ///
+    /// # Panics
+    /// Panics if `count > 64`.
+    #[inline]
+    pub fn read_bits(&mut self, count: u8) -> Result<u64, SzError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), pattern.len() as u64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert!(r.read_bits(8).is_ok());
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn msb_first_packing() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1); // first bit lands in the MSB of byte 0
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn sixty_four_bit_values() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(64).unwrap(), 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Canonical Huffman coding over `u32` symbols (quantization bins).
+//!
+//! The encoder serializes a compact code-length table (distinct symbols are
+//! sparse within the 2·radius alphabet) followed by the MSB-first bit stream.
+//! Canonical code assignment makes decoding table-driven and keeps the header
+//! small.
+
+use std::collections::HashMap;
+
+use crate::encode::bitio::{BitReader, BitWriter};
+use crate::error::SzError;
+
+/// Maximum admitted code length. Frequencies are flattened and the tree is
+/// rebuilt if the optimal tree would exceed this (only possible for highly
+/// skewed distributions over large alphabets).
+const MAX_CODE_LEN: u8 = 32;
+
+/// Computes Huffman code lengths for a frequency table.
+///
+/// Returns a map from symbol to code length in bits. Single-symbol inputs get
+/// length 1. Empty input returns an empty map.
+pub fn code_lengths(freqs: &HashMap<u32, u64>) -> HashMap<u32, u8> {
+    if freqs.is_empty() {
+        return HashMap::new();
+    }
+    if freqs.len() == 1 {
+        let (&sym, _) = freqs.iter().next().expect("len checked");
+        return HashMap::from([(sym, 1)]);
+    }
+    let mut flatten = 0u32;
+    loop {
+        let lengths = build_lengths(freqs, flatten);
+        let max = lengths.values().copied().max().unwrap_or(0);
+        if max <= MAX_CODE_LEN {
+            return lengths;
+        }
+        flatten += 4;
+    }
+}
+
+/// One round of Huffman tree construction with optional frequency flattening
+/// (`freq >> flatten | 1`), returning code lengths.
+fn build_lengths(freqs: &HashMap<u32, u64>, flatten: u32) -> HashMap<u32, u8> {
+    // Heap of (weight, node). Nodes: leaves then internal. Ties broken by
+    // insertion order for determinism.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        seq: u32,
+        idx: u32,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for min-heap behaviour inside BinaryHeap.
+            other.weight.cmp(&self.weight).then(other.seq.cmp(&self.seq))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut symbols: Vec<(u32, u64)> = freqs.iter().map(|(&s, &f)| (s, (f >> flatten) | 1)).collect();
+    symbols.sort_unstable_by_key(|&(s, _)| s); // deterministic order
+    let n = symbols.len();
+    // parent[i] for all tree nodes; leaves occupy [0, n).
+    let mut parent = vec![u32::MAX; 2 * n - 1];
+    let mut heap = std::collections::BinaryHeap::with_capacity(n);
+    for (i, &(_, w)) in symbols.iter().enumerate() {
+        heap.push(Node { weight: w, seq: i as u32, idx: i as u32 });
+    }
+    let mut next = n as u32;
+    let mut seq = n as u32;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        parent[a.idx as usize] = next;
+        parent[b.idx as usize] = next;
+        heap.push(Node { weight: a.weight + b.weight, seq, idx: next });
+        next += 1;
+        seq += 1;
+    }
+    let mut out = HashMap::with_capacity(n);
+    for (i, &(sym, _)) in symbols.iter().enumerate() {
+        let mut len = 0u8;
+        let mut node = i as u32;
+        while parent[node as usize] != u32::MAX {
+            node = parent[node as usize];
+            len += 1;
+        }
+        out.insert(sym, len.max(1));
+    }
+    out
+}
+
+/// Assigns canonical codes: symbols sorted by (length, symbol) receive
+/// consecutive codes per length.
+fn canonical_codes(lengths: &HashMap<u32, u8>) -> Vec<(u32, u8, u64)> {
+    let mut items: Vec<(u32, u8)> = lengths.iter().map(|(&s, &l)| (s, l)).collect();
+    items.sort_unstable_by_key(|&(s, l)| (l, s));
+    let mut out = Vec::with_capacity(items.len());
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for (sym, len) in items {
+        code <<= len - prev_len;
+        out.push((sym, len, code));
+        code += 1;
+        prev_len = len;
+    }
+    out
+}
+
+/// Encodes a symbol sequence with canonical Huffman coding.
+///
+/// The output is self-describing: `[table, count, bitstream]`.
+pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
+    let mut freqs: HashMap<u32, u64> = HashMap::new();
+    for &s in symbols {
+        *freqs.entry(s).or_insert(0) += 1;
+    }
+    let lengths = code_lengths(&freqs);
+    let canon = canonical_codes(&lengths);
+    let code_of: HashMap<u32, (u8, u64)> = canon.iter().map(|&(s, l, c)| (s, (l, c))).collect();
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&(canon.len() as u32).to_le_bytes());
+    for &(sym, len, _) in &canon {
+        out.extend_from_slice(&sym.to_le_bytes());
+        out.push(len);
+    }
+    out.extend_from_slice(&(symbols.len() as u64).to_le_bytes());
+    let mut bits = BitWriter::with_capacity(symbols.len() / 4);
+    for &s in symbols {
+        let (len, code) = code_of[&s];
+        bits.write_bits(code, len);
+    }
+    let payload = bits.into_bytes();
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a stream produced by [`huffman_encode`].
+///
+/// # Errors
+/// Returns [`SzError::CorruptStream`] if the stream is truncated or contains
+/// an invalid code.
+pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, SzError> {
+    let err = |m: &str| SzError::CorruptStream(format!("huffman: {m}"));
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], SzError> {
+        if *pos + n > bytes.len() {
+            return Err(SzError::CorruptStream("huffman: truncated header".into()));
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let n_syms = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    // Each table entry takes 5 bytes; reject counts the stream cannot hold
+    // before allocating (corrupt headers must not trigger huge allocations).
+    if n_syms > bytes.len().saturating_sub(pos) / 5 {
+        return Err(err("symbol table larger than stream"));
+    }
+    let mut lengths = HashMap::with_capacity(n_syms);
+    for _ in 0..n_syms {
+        let sym = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        let len = take(&mut pos, 1)?[0];
+        if len == 0 || len > MAX_CODE_LEN {
+            return Err(err("invalid code length"));
+        }
+        if lengths.insert(sym, len).is_some() {
+            return Err(err("duplicate symbol in table"));
+        }
+    }
+    let count = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+    let payload_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+    let payload = take(&mut pos, payload_len)?;
+
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if lengths.is_empty() {
+        return Err(err("empty table with nonzero count"));
+    }
+    // Every symbol consumes at least one bit of payload.
+    if count > payload.len().saturating_mul(8) {
+        return Err(err("symbol count exceeds payload bits"));
+    }
+    let canon = canonical_codes(&lengths);
+    // Per-length decode tables: first code and first index for each length.
+    let max_len = canon.iter().map(|&(_, l, _)| l).max().expect("nonempty") as usize;
+    let mut first_code = vec![u64::MAX; max_len + 1];
+    let mut first_idx = vec![0usize; max_len + 1];
+    let mut last_code = vec![0u64; max_len + 1];
+    let mut has_len = vec![false; max_len + 1];
+    for (i, &(_, len, code)) in canon.iter().enumerate() {
+        let l = len as usize;
+        if !has_len[l] {
+            has_len[l] = true;
+            first_code[l] = code;
+            first_idx[l] = i;
+        }
+        last_code[l] = code;
+    }
+    let syms_by_canon: Vec<u32> = canon.iter().map(|&(s, _, _)| s).collect();
+
+    let mut out = Vec::with_capacity(count);
+    let mut reader = BitReader::new(payload);
+    for _ in 0..count {
+        let mut code = 0u64;
+        let mut len = 0usize;
+        loop {
+            code = (code << 1) | reader.read_bit()? as u64;
+            len += 1;
+            if len > max_len {
+                return Err(err("code exceeds maximum length"));
+            }
+            if has_len[len] && code >= first_code[len] && code <= last_code[len] {
+                let idx = first_idx[len] + (code - first_code[len]) as usize;
+                out.push(syms_by_canon[idx]);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Per-symbol share of the encoded bit stream, used for the `P0` feature:
+/// `share(s) = freq(s)·len(s) / Σ freq·len`.
+///
+/// Returns an empty map for empty input.
+pub fn encoded_share(symbols: &[u32]) -> HashMap<u32, f64> {
+    let mut freqs: HashMap<u32, u64> = HashMap::new();
+    for &s in symbols {
+        *freqs.entry(s).or_insert(0) += 1;
+    }
+    let lengths = code_lengths(&freqs);
+    let total: f64 = freqs.iter().map(|(s, &f)| f as f64 * lengths[s] as f64).sum();
+    if total == 0.0 {
+        return HashMap::new();
+    }
+    freqs.into_iter().map(|(s, f)| { let share = f as f64 * lengths[&s] as f64 / total; (s, share) }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_small() {
+        let syms = vec![5u32, 5, 5, 7, 7, 1, 5, 9, 9, 9, 9];
+        let enc = huffman_encode(&syms);
+        assert_eq!(huffman_decode(&enc).unwrap(), syms);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let enc = huffman_encode(&[]);
+        assert_eq!(huffman_decode(&enc).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn round_trip_single_symbol_run() {
+        let syms = vec![42u32; 1000];
+        let enc = huffman_encode(&syms);
+        assert_eq!(huffman_decode(&enc).unwrap(), syms);
+        // 1000 identical symbols should compress to well under 1000 bytes.
+        assert!(enc.len() < 200, "got {}", enc.len());
+    }
+
+    #[test]
+    fn round_trip_large_alphabet() {
+        let syms: Vec<u32> = (0..5000u32).map(|i| (i * i) % 700).collect();
+        let enc = huffman_encode(&syms);
+        assert_eq!(huffman_decode(&enc).unwrap(), syms);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses_well() {
+        // 95% zeros: entropy ≈ 0.29 bits/symbol.
+        let mut syms = vec![0u32; 9500];
+        syms.extend((0..500u32).map(|i| 1 + i % 30));
+        let enc = huffman_encode(&syms);
+        assert_eq!(huffman_decode(&enc).unwrap(), syms);
+        assert!(enc.len() < 10000 / 4, "compressed to {} bytes", enc.len());
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let syms = vec![1u32, 2, 3, 4, 5, 1, 2, 3];
+        let enc = huffman_encode(&syms);
+        assert!(huffman_decode(&enc[..enc.len() - 1]).is_err());
+        assert!(huffman_decode(&enc[..3]).is_err());
+    }
+
+    #[test]
+    fn lengths_satisfy_kraft_inequality() {
+        let mut freqs = HashMap::new();
+        for i in 0u32..100 {
+            freqs.insert(i, (i as u64 + 1) * 7 % 97 + 1);
+        }
+        let lengths = code_lengths(&freqs);
+        let kraft: f64 = lengths.values().map(|&l| 2f64.powi(-(l as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft sum {kraft}");
+    }
+
+    #[test]
+    fn encoded_share_sums_to_one() {
+        let syms = vec![0u32, 0, 0, 1, 1, 2];
+        let share = encoded_share(&syms);
+        let sum: f64 = share.values().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(share[&0] > share[&2]);
+    }
+
+    #[test]
+    fn fibonacci_like_frequencies_stay_within_max_len() {
+        // Fibonacci frequencies force maximal tree depth; the flattening
+        // fallback must cap lengths at MAX_CODE_LEN.
+        let mut freqs = HashMap::new();
+        let (mut a, mut b) = (1u64, 1u64);
+        for i in 0..80u32 {
+            freqs.insert(i, a);
+            let c = a.saturating_add(b);
+            a = b;
+            b = c;
+        }
+        let lengths = code_lengths(&freqs);
+        assert!(lengths.values().all(|&l| l <= MAX_CODE_LEN));
+        // Must still be decodable end-to-end.
+        let syms: Vec<u32> = (0..80u32).collect();
+        let enc = huffman_encode(&syms);
+        assert_eq!(huffman_decode(&enc).unwrap(), syms);
+    }
+}

@@ -1,0 +1,236 @@
+//! Byte-oriented LZ77 dictionary coder with hash-chain match search.
+//!
+//! Plays the role Zstd plays in SZ3's pipeline: a fast dictionary pass over
+//! the Huffman output that exploits repeated byte patterns (headers, aligned
+//! runs, periodic structures). The format is LZ4-flavoured:
+//!
+//! ```text
+//! token: literal_len (u8, 255-extension) | match_len (u8, 255-extension)
+//!        literals… | match_dist (u16 LE)
+//! ```
+//!
+//! A final block may have `match_len == 0` (no match, literals only).
+
+use crate::error::SzError;
+
+const MIN_MATCH: usize = 4;
+const MAX_DIST: usize = 65535;
+const HASH_BITS: u32 = 16;
+/// Length of hash chains to walk; bounds worst-case compression time.
+const MAX_CHAIN: usize = 32;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+fn write_len(out: &mut Vec<u8>, mut len: usize) {
+    if len < 255 {
+        out.push(len as u8);
+        return;
+    }
+    out.push(255);
+    len -= 255;
+    while len >= 255 {
+        out.push(255);
+        len -= 255;
+    }
+    out.push(len as u8);
+}
+
+fn read_len(bytes: &[u8], pos: &mut usize) -> Result<usize, SzError> {
+    let mut len = 0usize;
+    loop {
+        if *pos >= bytes.len() {
+            return Err(SzError::CorruptStream("lz: truncated length".into()));
+        }
+        let b = bytes[*pos];
+        *pos += 1;
+        len += b as usize;
+        if b != 255 {
+            return Ok(len);
+        }
+    }
+}
+
+/// Compresses `input` with LZ77. The output starts with the original length
+/// (u64 LE) so decompression can pre-allocate and validate.
+pub fn lz_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        // Walk the chain for the best match within the window.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut cand = head[h];
+        let mut steps = 0;
+        while cand != usize::MAX && steps < MAX_CHAIN {
+            let dist = i - cand;
+            if dist > MAX_DIST {
+                break;
+            }
+            let max_len = input.len() - i;
+            let mut l = 0usize;
+            while l < max_len && input[cand + l] == input[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = dist;
+            }
+            cand = prev[cand];
+            steps += 1;
+        }
+        if best_len >= MIN_MATCH {
+            // Emit (literals, match).
+            write_len(&mut out, i - lit_start);
+            write_len(&mut out, best_len);
+            out.extend_from_slice(&input[lit_start..i]);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            // Insert the covered positions into the chains.
+            let end = (i + best_len).min(input.len().saturating_sub(MIN_MATCH - 1));
+            let mut j = i;
+            while j < end {
+                let hj = hash4(&input[j..]);
+                prev[j] = head[hj];
+                head[hj] = j;
+                j += 1;
+            }
+            i += best_len;
+            lit_start = i;
+        } else {
+            prev[i] = head[h];
+            head[h] = i;
+            i += 1;
+        }
+    }
+    // Trailing literals with a zero match.
+    write_len(&mut out, input.len() - lit_start);
+    write_len(&mut out, 0);
+    out.extend_from_slice(&input[lit_start..]);
+    out
+}
+
+/// Decompresses a stream produced by [`lz_compress`].
+///
+/// # Errors
+/// Returns [`SzError::CorruptStream`] on truncation, an out-of-range match
+/// distance, or a length mismatch with the header.
+pub fn lz_decompress(bytes: &[u8]) -> Result<Vec<u8>, SzError> {
+    if bytes.len() < 8 {
+        return Err(SzError::CorruptStream("lz: missing header".into()));
+    }
+    let expected = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+    // A corrupt header can claim an absurd size; cap the pre-allocation and
+    // let the vector grow if a legitimate large stream needs it.
+    let mut out = Vec::with_capacity(expected.min(1 << 24));
+    let mut pos = 8usize;
+    while out.len() < expected {
+        let lit_len = read_len(bytes, &mut pos)?;
+        let match_len = read_len(bytes, &mut pos)?;
+        if pos + lit_len > bytes.len() {
+            return Err(SzError::CorruptStream("lz: truncated literals".into()));
+        }
+        out.extend_from_slice(&bytes[pos..pos + lit_len]);
+        pos += lit_len;
+        if match_len > 0 {
+            if pos + 2 > bytes.len() {
+                return Err(SzError::CorruptStream("lz: truncated distance".into()));
+            }
+            let dist = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize;
+            pos += 2;
+            if dist == 0 || dist > out.len() {
+                return Err(SzError::CorruptStream(format!("lz: invalid distance {dist} at offset {}", out.len())));
+            }
+            // Overlapping copy, byte by byte (runs rely on this).
+            let start = out.len() - dist;
+            for k in 0..match_len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else if lit_len == 0 {
+            return Err(SzError::CorruptStream("lz: zero-progress block".into()));
+        }
+    }
+    if out.len() != expected {
+        return Err(SzError::CorruptStream(format!("lz: expected {expected} bytes, produced {}", out.len())));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = lz_compress(data);
+        let d = lz_decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(&[]);
+        round_trip(&[1]);
+        round_trip(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let data: Vec<u8> = b"abcdefgh".iter().cycle().take(10_000).copied().collect();
+        let c = lz_compress(&data);
+        assert!(c.len() < data.len() / 10, "compressed to {}", c.len());
+        assert_eq!(lz_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_run() {
+        let data = vec![7u8; 5000]; // match distance 1, overlapping copies
+        round_trip(&data);
+    }
+
+    #[test]
+    fn incompressible_input_round_trips() {
+        // Pseudo-random bytes: no matches, pure literal path.
+        let mut state = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 24) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_range_matches_within_window() {
+        let mut data = vec![0u8; 0];
+        let chunk: Vec<u8> = (0..=255u8).collect();
+        data.extend_from_slice(&chunk);
+        data.extend(vec![9u8; 60_000]); // push the first chunk near the window edge
+        data.extend_from_slice(&chunk);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let c = lz_compress(b"hello world hello world hello world");
+        assert!(lz_decompress(&c[..4]).is_err());
+        let mut bad = c.clone();
+        let n = bad.len();
+        bad.truncate(n - 3);
+        assert!(lz_decompress(&bad).is_err());
+        // Header claiming more bytes than the stream yields.
+        let mut huge = c;
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(lz_decompress(&huge).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for compression and decompression failures.
+
+use std::fmt;
+
+/// Errors returned by compression, decompression, and codec routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SzError {
+    /// The dataset shape is unsupported (empty, zero-sized dimension, or
+    /// more dimensions than the selected predictor supports).
+    InvalidShape(String),
+    /// A configuration value is out of range (e.g. non-positive error bound).
+    InvalidConfig(String),
+    /// The compressed stream is malformed or truncated.
+    CorruptStream(String),
+    /// The compressed stream was produced for a different scalar type.
+    TypeMismatch { expected: &'static str, found: String },
+    /// The stream header declares an unsupported format version.
+    UnsupportedVersion(u16),
+}
+
+impl fmt::Display for SzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SzError::InvalidShape(msg) => write!(f, "invalid dataset shape: {msg}"),
+            SzError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SzError::CorruptStream(msg) => write!(f, "corrupt compressed stream: {msg}"),
+            SzError::TypeMismatch { expected, found } => {
+                write!(f, "scalar type mismatch: stream holds {found}, requested {expected}")
+            }
+            SzError::UnsupportedVersion(v) => write!(f, "unsupported stream format version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SzError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SzError::InvalidShape("empty dims".into());
+        let s = e.to_string();
+        assert!(s.starts_with("invalid dataset shape"));
+        assert!(s.contains("empty dims"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SzError>();
+    }
+}

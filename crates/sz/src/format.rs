@@ -1,0 +1,380 @@
+//! Self-describing compressed-blob framing.
+//!
+//! A blob carries everything required for decompression: scalar type, shape,
+//! resolved absolute error bound, pipeline configuration, and the payload
+//! sections. The layout is a fixed little-endian header followed by
+//! length-prefixed sections.
+
+use crate::checksum::crc32;
+use crate::config::{LosslessBackend, PredictorKind};
+use crate::error::SzError;
+
+/// Magic bytes at the start of every blob.
+pub const MAGIC: [u8; 4] = *b"OCSZ";
+/// Current format version. Version 2 added the CRC-32 integrity trailer.
+pub const VERSION: u16 = 2;
+
+/// Size of the CRC-32 trailer in bytes.
+const TRAILER: usize = 4;
+
+/// Compression codec family recorded in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Prediction-based pipeline (SZ model).
+    Prediction,
+    /// Transform-based codec (ZFP model).
+    Transform,
+}
+
+impl Codec {
+    fn to_u8(self) -> u8 {
+        match self {
+            Codec::Prediction => 0,
+            Codec::Transform => 1,
+        }
+    }
+    fn from_u8(v: u8) -> Result<Self, SzError> {
+        match v {
+            0 => Ok(Codec::Prediction),
+            1 => Ok(Codec::Transform),
+            _ => Err(SzError::CorruptStream(format!("unknown codec tag {v}"))),
+        }
+    }
+}
+
+/// Parsed blob header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlobHeader {
+    /// Codec family.
+    pub codec: Codec,
+    /// Scalar type name (`"f32"` or `"f64"`).
+    pub dtype: &'static str,
+    /// Dataset shape.
+    pub dims: Vec<usize>,
+    /// Resolved absolute error bound used at compression time.
+    pub abs_eb: f64,
+    /// Predictor (prediction codec only; `Lorenzo` otherwise).
+    pub predictor: PredictorKind,
+    /// Lossless backend (prediction codec only; `Huffman` otherwise).
+    pub backend: LosslessBackend,
+    /// Quantizer radius.
+    pub quant_radius: u32,
+}
+
+fn dtype_tag(name: &str) -> Result<u8, SzError> {
+    match name {
+        "f32" => Ok(0),
+        "f64" => Ok(1),
+        other => Err(SzError::CorruptStream(format!("unknown dtype {other}"))),
+    }
+}
+
+fn dtype_name(tag: u8) -> Result<&'static str, SzError> {
+    match tag {
+        0 => Ok("f32"),
+        1 => Ok("f64"),
+        other => Err(SzError::CorruptStream(format!("unknown dtype tag {other}"))),
+    }
+}
+
+fn predictor_tag(p: PredictorKind) -> u8 {
+    p.id()
+}
+
+fn predictor_from_tag(tag: u8) -> Result<PredictorKind, SzError> {
+    PredictorKind::ALL
+        .iter()
+        .copied()
+        .find(|p| p.id() == tag)
+        .ok_or_else(|| SzError::CorruptStream(format!("unknown predictor tag {tag}")))
+}
+
+fn backend_tag(b: LosslessBackend) -> u8 {
+    match b {
+        LosslessBackend::Huffman => 0,
+        LosslessBackend::HuffmanLz => 1,
+        LosslessBackend::RleHuffman => 2,
+    }
+}
+
+fn backend_from_tag(tag: u8) -> Result<LosslessBackend, SzError> {
+    match tag {
+        0 => Ok(LosslessBackend::Huffman),
+        1 => Ok(LosslessBackend::HuffmanLz),
+        2 => Ok(LosslessBackend::RleHuffman),
+        other => Err(SzError::CorruptStream(format!("unknown backend tag {other}"))),
+    }
+}
+
+/// Incremental blob writer.
+#[derive(Debug)]
+pub struct BlobWriter {
+    bytes: Vec<u8>,
+}
+
+impl BlobWriter {
+    /// Starts a blob with the given header.
+    ///
+    /// # Errors
+    /// Returns [`SzError::CorruptStream`] for an unknown dtype name (cannot
+    /// occur for headers built from [`crate::value::ScalarValue`] types).
+    pub fn new(header: &BlobHeader) -> Result<Self, SzError> {
+        let mut bytes = Vec::with_capacity(64);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.push(header.codec.to_u8());
+        bytes.push(dtype_tag(header.dtype)?);
+        bytes.push(header.dims.len() as u8);
+        for &d in &header.dims {
+            bytes.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        bytes.extend_from_slice(&header.abs_eb.to_le_bytes());
+        bytes.push(predictor_tag(header.predictor));
+        bytes.push(backend_tag(header.backend));
+        bytes.extend_from_slice(&header.quant_radius.to_le_bytes());
+        Ok(BlobWriter { bytes })
+    }
+
+    /// Appends a length-prefixed section.
+    pub fn section(&mut self, data: &[u8]) -> &mut Self {
+        self.bytes.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        self.bytes.extend_from_slice(data);
+        self
+    }
+
+    /// Finishes the blob, appending the CRC-32 integrity trailer.
+    pub fn finish(self) -> CompressedBlob {
+        let mut bytes = self.bytes;
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        CompressedBlob { bytes }
+    }
+}
+
+/// An owned, validated compressed blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedBlob {
+    bytes: Vec<u8>,
+}
+
+impl CompressedBlob {
+    /// Wraps raw bytes, validating magic, version, and the CRC-32 trailer
+    /// (so corruption acquired in transit is caught before decompression
+    /// touches the payload).
+    ///
+    /// # Errors
+    /// Returns [`SzError::CorruptStream`] for bad magic or a checksum
+    /// mismatch, and [`SzError::UnsupportedVersion`] for a version we cannot
+    /// read.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SzError> {
+        if bytes.len() < 6 + TRAILER || bytes[..4] != MAGIC {
+            return Err(SzError::CorruptStream("missing OCSZ magic".into()));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != VERSION {
+            return Err(SzError::UnsupportedVersion(version));
+        }
+        let blob = CompressedBlob { bytes };
+        blob.verify()?;
+        Ok(blob)
+    }
+
+    /// Re-verifies the CRC-32 trailer (e.g. after a transfer hop).
+    ///
+    /// # Errors
+    /// Returns [`SzError::CorruptStream`] on mismatch.
+    pub fn verify(&self) -> Result<(), SzError> {
+        let n = self.bytes.len();
+        if n < TRAILER {
+            return Err(SzError::CorruptStream("blob shorter than its checksum".into()));
+        }
+        let stored = u32::from_le_bytes(self.bytes[n - TRAILER..].try_into().expect("4 bytes"));
+        let actual = crc32(&self.bytes[..n - TRAILER]);
+        if stored != actual {
+            return Err(SzError::CorruptStream(format!(
+                "checksum mismatch: stored {stored:08x}, computed {actual:08x}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The raw serialized bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Size in bytes (what actually travels over the wire).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the blob is empty (never true for a valid blob).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Consumes the blob, returning its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Parses the header and returns it plus a reader positioned at the
+    /// first section.
+    ///
+    /// # Errors
+    /// Returns [`SzError::CorruptStream`] if the header is truncated or
+    /// contains invalid tags.
+    pub fn open(&self) -> Result<(BlobHeader, SectionReader<'_>), SzError> {
+        let b = &self.bytes;
+        let mut pos = 6usize; // magic + version
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], SzError> {
+            if *pos + n > b.len() {
+                return Err(SzError::CorruptStream("truncated blob header".into()));
+            }
+            let s = &b[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let codec = Codec::from_u8(take(&mut pos, 1)?[0])?;
+        let dtype = dtype_name(take(&mut pos, 1)?[0])?;
+        let ndim = take(&mut pos, 1)?[0] as usize;
+        if ndim == 0 || ndim > 8 {
+            return Err(SzError::CorruptStream(format!("invalid rank {ndim}")));
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            let d = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+            if d == 0 {
+                return Err(SzError::CorruptStream("zero-sized dimension".into()));
+            }
+            dims.push(d);
+        }
+        let abs_eb = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        let predictor = predictor_from_tag(take(&mut pos, 1)?[0])?;
+        let backend = backend_from_tag(take(&mut pos, 1)?[0])?;
+        let quant_radius = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        let header = BlobHeader { codec, dtype, dims, abs_eb, predictor, backend, quant_radius };
+        // Sections end where the CRC trailer begins.
+        let body_end = b.len().saturating_sub(TRAILER).max(pos);
+        Ok((header, SectionReader { bytes: &b[..body_end], pos }))
+    }
+
+    /// Parses just the header (convenience).
+    ///
+    /// # Errors
+    /// Same as [`CompressedBlob::open`].
+    pub fn header(&self) -> Result<BlobHeader, SzError> {
+        Ok(self.open()?.0)
+    }
+}
+
+/// Sequential reader over the length-prefixed sections of a blob.
+#[derive(Debug)]
+pub struct SectionReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SectionReader<'a> {
+    /// Reads the next section.
+    ///
+    /// # Errors
+    /// Returns [`SzError::CorruptStream`] if the section is truncated.
+    pub fn next_section(&mut self) -> Result<&'a [u8], SzError> {
+        if self.pos + 8 > self.bytes.len() {
+            return Err(SzError::CorruptStream("missing section length".into()));
+        }
+        let len = u64::from_le_bytes(self.bytes[self.pos..self.pos + 8].try_into().expect("8 bytes")) as usize;
+        self.pos += 8;
+        if self.pos + len > self.bytes.len() {
+            return Err(SzError::CorruptStream("truncated section".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> BlobHeader {
+        BlobHeader {
+            codec: Codec::Prediction,
+            dtype: "f32",
+            dims: vec![10, 20],
+            abs_eb: 1e-3,
+            predictor: PredictorKind::InterpCubic,
+            backend: LosslessBackend::HuffmanLz,
+            quant_radius: 1 << 15,
+        }
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = sample_header();
+        let mut w = BlobWriter::new(&h).unwrap();
+        w.section(b"abc").section(b"").section(b"defgh");
+        let blob = w.finish();
+        let (back, mut r) = blob.open().unwrap();
+        assert_eq!(back, h);
+        assert_eq!(r.next_section().unwrap(), b"abc");
+        assert_eq!(r.next_section().unwrap(), b"");
+        assert_eq!(r.next_section().unwrap(), b"defgh");
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(CompressedBlob::from_bytes(b"NOPE\x01\x00".to_vec()).is_err());
+        assert!(CompressedBlob::from_bytes(vec![]).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&99u16.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]); // room for a would-be trailer
+        match CompressedBlob::from_bytes(bytes) {
+            Err(SzError::UnsupportedVersion(99)) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_caught_by_the_checksum() {
+        let h = sample_header();
+        let mut w = BlobWriter::new(&h).unwrap();
+        w.section(b"hello world");
+        let mut bytes = w.finish().into_bytes();
+        bytes.truncate(bytes.len() - 4);
+        assert!(matches!(CompressedBlob::from_bytes(bytes), Err(SzError::CorruptStream(_))));
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_the_checksum() {
+        let h = sample_header();
+        let mut w = BlobWriter::new(&h).unwrap();
+        w.section(b"payload payload payload");
+        let blob = w.finish();
+        assert!(blob.verify().is_ok());
+        let mut bytes = blob.into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(CompressedBlob::from_bytes(bytes), Err(SzError::CorruptStream(_))));
+    }
+
+    #[test]
+    fn blob_round_trips_through_bytes() {
+        let h = sample_header();
+        let blob = BlobWriter::new(&h).unwrap().finish();
+        let bytes = blob.clone().into_bytes();
+        assert_eq!(CompressedBlob::from_bytes(bytes).unwrap(), blob);
+    }
+}

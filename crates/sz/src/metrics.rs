@@ -1,0 +1,158 @@
+//! Distortion metrics for lossy-reconstructed data (Z-checker-style).
+//!
+//! The paper evaluates reconstruction quality with PSNR (peak signal-to-noise
+//! ratio), defined over the value range `R` and the mean squared error:
+//! `PSNR = 20·log10(R) − 10·log10(MSE)`. PSNR > 50 dB is reported as visually
+//! indistinguishable (Fig 15).
+
+use crate::error::SzError;
+use crate::ndarray::Dataset;
+use crate::value::ScalarValue;
+
+/// Full distortion report comparing an original dataset with its lossy
+/// reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Peak signal-to-noise ratio in dB (infinite for exact reconstruction).
+    pub psnr: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Maximum absolute pointwise error.
+    pub max_abs_error: f64,
+    /// Mean absolute pointwise error.
+    pub mean_abs_error: f64,
+    /// Value range of the original data.
+    pub value_range: f64,
+    /// Pearson correlation between original and reconstructed values.
+    pub correlation: f64,
+}
+
+impl QualityReport {
+    /// Whether the reconstruction satisfies a pointwise absolute bound.
+    pub fn within_bound(&self, eb: f64) -> bool {
+        self.max_abs_error <= eb * (1.0 + 1e-9)
+    }
+}
+
+/// Compares `original` against `reconstructed`.
+///
+/// ```
+/// use ocelot_sz::{metrics, Dataset};
+///
+/// # fn main() -> Result<(), ocelot_sz::SzError> {
+/// let a = Dataset::from_fn(vec![100], |i| i[0] as f32 * 0.01);
+/// let b = Dataset::from_fn(vec![100], |i| i[0] as f32 * 0.01 + 0.001);
+/// let report = metrics::compare(&a, &b)?;
+/// assert!(report.within_bound(0.0011));
+/// assert!(report.psnr > 50.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// Returns [`SzError::InvalidShape`] if the shapes differ.
+pub fn compare<T: ScalarValue>(original: &Dataset<T>, reconstructed: &Dataset<T>) -> Result<QualityReport, SzError> {
+    if original.dims() != reconstructed.dims() {
+        return Err(SzError::InvalidShape(format!(
+            "shape mismatch: {:?} vs {:?}",
+            original.dims(),
+            reconstructed.dims()
+        )));
+    }
+    let n = original.len() as f64;
+    let mut sq_sum = 0.0f64;
+    let mut abs_sum = 0.0f64;
+    let mut max_abs = 0.0f64;
+    let mut sum_a = 0.0f64;
+    let mut sum_b = 0.0f64;
+    let mut sum_ab = 0.0f64;
+    let mut sum_a2 = 0.0f64;
+    let mut sum_b2 = 0.0f64;
+    for (&a, &b) in original.values().iter().zip(reconstructed.values()) {
+        let (x, y) = (a.to_f64(), b.to_f64());
+        let d = x - y;
+        sq_sum += d * d;
+        abs_sum += d.abs();
+        if d.abs() > max_abs {
+            max_abs = d.abs();
+        }
+        sum_a += x;
+        sum_b += y;
+        sum_ab += x * y;
+        sum_a2 += x * x;
+        sum_b2 += y * y;
+    }
+    let mse = sq_sum / n;
+    let rmse = mse.sqrt();
+    let range = original.value_range();
+    let psnr = if mse == 0.0 {
+        f64::INFINITY
+    } else if range > 0.0 {
+        20.0 * range.log10() - 10.0 * mse.log10()
+    } else {
+        -10.0 * mse.log10()
+    };
+    let cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+    let var_a = (sum_a2 / n - (sum_a / n).powi(2)).max(0.0);
+    let var_b = (sum_b2 / n - (sum_b / n).powi(2)).max(0.0);
+    let correlation = if var_a > 0.0 && var_b > 0.0 { cov / (var_a.sqrt() * var_b.sqrt()) } else { 1.0 };
+    Ok(QualityReport { psnr, rmse, max_abs_error: max_abs, mean_abs_error: abs_sum / n, value_range: range, correlation })
+}
+
+/// PSNR alone (convenience wrapper over [`compare`]).
+///
+/// # Errors
+/// Returns [`SzError::InvalidShape`] if the shapes differ.
+pub fn psnr<T: ScalarValue>(original: &Dataset<T>, reconstructed: &Dataset<T>) -> Result<f64, SzError> {
+    Ok(compare(original, reconstructed)?.psnr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_data_has_infinite_psnr() {
+        let d = Dataset::from_fn(vec![32], |i| i[0] as f32 * 0.1);
+        let r = compare(&d, &d).unwrap();
+        assert!(r.psnr.is_infinite());
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.max_abs_error, 0.0);
+        assert!((r.correlation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_psnr_value() {
+        // Range 1.0, constant error 0.01 → MSE = 1e-4 → PSNR = 40 dB.
+        let a = Dataset::from_fn(vec![100], |i| i[0] as f64 / 99.0);
+        let b = Dataset::from_fn(vec![100], |i| i[0] as f64 / 99.0 + 0.01);
+        let r = compare(&a, &b).unwrap();
+        assert!((r.psnr - 40.0).abs() < 1e-9, "psnr={}", r.psnr);
+        assert!((r.rmse - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_error_is_pointwise_max() {
+        let a = Dataset::new(vec![3], vec![0.0f32, 0.0, 0.0]).unwrap();
+        let b = Dataset::new(vec![3], vec![0.1f32, -0.3, 0.2]).unwrap();
+        let r = compare(&a, &b).unwrap();
+        assert!((r.max_abs_error - 0.3).abs() < 1e-6);
+        assert!(!r.within_bound(0.2));
+        assert!(r.within_bound(0.31));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Dataset::<f32>::constant(vec![4], 0.0).unwrap();
+        let b = Dataset::<f32>::constant(vec![2, 2], 0.0).unwrap();
+        assert!(compare(&a, &b).is_err());
+    }
+
+    #[test]
+    fn anticorrelated_data() {
+        let a = Dataset::from_fn(vec![50], |i| i[0] as f64);
+        let b = Dataset::from_fn(vec![50], |i| -(i[0] as f64));
+        let r = compare(&a, &b).unwrap();
+        assert!((r.correlation + 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,350 @@
+//! Dense N-dimensional dataset container used throughout the framework.
+//!
+//! Scientific fields are row-major dense arrays of 1–3 dimensions (the paper's
+//! applications are 2-D climate fields and 3-D simulation snapshots). The
+//! container is intentionally simple: a shape vector plus a flat value buffer.
+
+use crate::error::SzError;
+use crate::value::ScalarValue;
+
+/// A dense, row-major N-dimensional array of floating-point values.
+///
+/// The last dimension is the fastest-varying one, matching C ordering and the
+/// layout of the binary dataset files the paper's applications produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset<T> {
+    dims: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T: ScalarValue> Dataset<T> {
+    /// Creates a dataset from a shape and a flat row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`SzError::InvalidShape`] if the shape is empty, has a zero
+    /// dimension, or its element count does not match `data.len()`.
+    pub fn new(dims: Vec<usize>, data: Vec<T>) -> Result<Self, SzError> {
+        if dims.is_empty() {
+            return Err(SzError::InvalidShape("dimension list is empty".into()));
+        }
+        if dims.contains(&0) {
+            return Err(SzError::InvalidShape(format!("zero-sized dimension in {dims:?}")));
+        }
+        let expected: usize = dims.iter().product();
+        if expected != data.len() {
+            return Err(SzError::InvalidShape(format!(
+                "shape {dims:?} holds {expected} elements but buffer has {}",
+                data.len()
+            )));
+        }
+        Ok(Dataset { dims, data })
+    }
+
+    /// Creates a dataset by evaluating `f` at every grid index.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or contains a zero (programming error in the
+    /// caller; use [`Dataset::new`] for fallible construction from raw data).
+    pub fn from_fn(dims: Vec<usize>, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        assert!(!dims.is_empty() && dims.iter().all(|&d| d > 0), "invalid dims {dims:?}");
+        let n: usize = dims.iter().product();
+        let mut idx = vec![0usize; dims.len()];
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(f(&idx));
+            // Row-major odometer increment: last dimension fastest.
+            for d in (0..dims.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < dims[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Dataset { dims, data }
+    }
+
+    /// Creates a dataset filled with a constant value.
+    pub fn constant(dims: Vec<usize>, value: T) -> Result<Self, SzError> {
+        let n: usize = dims.iter().product();
+        Dataset::new(dims, vec![value; n])
+    }
+
+    /// The shape of the dataset (row-major; last dimension fastest).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the dataset holds no elements (never true for a valid dataset).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the raw (uncompressed) representation in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.len() * T::BYTES
+    }
+
+    /// Flat view of the values in row-major order.
+    pub fn values(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat view of the values.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the dataset, returning its flat value buffer.
+    pub fn into_values(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if `idx.len() != self.ndim()` or any coordinate is out of range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0usize;
+        for (d, (&i, &n)) in idx.iter().zip(&self.dims).enumerate() {
+            assert!(i < n, "index {i} out of bounds for dim {d} of extent {n}");
+            off = off * n + i;
+        }
+        off
+    }
+
+    /// Value at a multi-dimensional index.
+    pub fn get(&self, idx: &[usize]) -> T {
+        self.data[self.offset(idx)]
+    }
+
+    /// Sets the value at a multi-dimensional index.
+    pub fn set(&mut self, idx: &[usize], v: T) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Minimum and maximum value, ignoring NaNs.
+    ///
+    /// Returns `(0, 0)`-equivalents if every value is NaN.
+    pub fn min_max(&self) -> (T, T) {
+        let mut min = None::<T>;
+        let mut max = None::<T>;
+        for &v in &self.data {
+            if v.is_nan() {
+                continue;
+            }
+            min = Some(match min {
+                Some(m) if m <= v => m,
+                _ => v,
+            });
+            max = Some(match max {
+                Some(m) if m >= v => m,
+                _ => v,
+            });
+        }
+        (min.unwrap_or_else(T::zero), max.unwrap_or_else(T::zero))
+    }
+
+    /// `max - min` over the data (the "value range" feature from the paper's
+    /// Table I), as `f64`.
+    pub fn value_range(&self) -> f64 {
+        let (min, max) = self.min_max();
+        max.to_f64() - min.to_f64()
+    }
+
+    /// Extracts the 2-D slice at `index` along `axis` from a 3-D dataset
+    /// (e.g. one depth plane of an RTM wavefield for visualization).
+    ///
+    /// # Errors
+    /// Returns [`SzError::InvalidShape`] if the dataset is not 3-D, `axis`
+    /// is out of range, or `index` exceeds the axis extent.
+    pub fn slice_2d(&self, axis: usize, index: usize) -> Result<Dataset<T>, SzError> {
+        if self.ndim() != 3 {
+            return Err(SzError::InvalidShape(format!("slice_2d requires a 3-D dataset, got {}-D", self.ndim())));
+        }
+        if axis >= 3 {
+            return Err(SzError::InvalidShape(format!("axis {axis} out of range for 3-D data")));
+        }
+        if index >= self.dims[axis] {
+            return Err(SzError::InvalidShape(format!(
+                "index {index} out of range for axis {axis} of extent {}",
+                self.dims[axis]
+            )));
+        }
+        let out_dims: Vec<usize> =
+            (0..3).filter(|&d| d != axis).map(|d| self.dims[d]).collect();
+        let mut out = Vec::with_capacity(out_dims.iter().product());
+        let mut idx = [0usize; 3];
+        idx[axis] = index;
+        let (a, b) = match axis {
+            0 => (1, 2),
+            1 => (0, 2),
+            _ => (0, 1),
+        };
+        for i in 0..self.dims[a] {
+            for j in 0..self.dims[b] {
+                idx[a] = i;
+                idx[b] = j;
+                out.push(self.get(&idx));
+            }
+        }
+        Dataset::new(out_dims, out)
+    }
+
+    /// Extracts a rectangular sub-volume `[start, start+extent)` per
+    /// dimension (region-of-interest compression and windowed analysis).
+    ///
+    /// # Errors
+    /// Returns [`SzError::InvalidShape`] on rank mismatches or regions
+    /// exceeding the bounds.
+    pub fn subvolume(&self, start: &[usize], extent: &[usize]) -> Result<Dataset<T>, SzError> {
+        if start.len() != self.ndim() || extent.len() != self.ndim() {
+            return Err(SzError::InvalidShape("region rank must match dataset rank".into()));
+        }
+        if extent.iter().any(|&e| e == 0) {
+            return Err(SzError::InvalidShape("region extents must be positive".into()));
+        }
+        for d in 0..self.ndim() {
+            if start[d] + extent[d] > self.dims[d] {
+                return Err(SzError::InvalidShape(format!(
+                    "region [{}..{}) exceeds dim {d} of extent {}",
+                    start[d],
+                    start[d] + extent[d],
+                    self.dims[d]
+                )));
+            }
+        }
+        let out = Dataset::from_fn(extent.to_vec(), |idx| {
+            let orig: Vec<usize> = idx.iter().zip(start).map(|(&i, &s)| i + s).collect();
+            self.get(&orig)
+        });
+        Ok(out)
+    }
+
+    /// Serializes the values to little-endian bytes (the on-disk raw format).
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.nbytes());
+        for &v in &self.data {
+            v.write_le(&mut out);
+        }
+        out
+    }
+
+    /// Deserializes values from little-endian bytes with the given shape.
+    ///
+    /// # Errors
+    /// Returns [`SzError::InvalidShape`] if the byte count does not match the
+    /// shape, or the shape itself is invalid.
+    pub fn from_le_bytes(dims: Vec<usize>, bytes: &[u8]) -> Result<Self, SzError> {
+        if !bytes.len().is_multiple_of(T::BYTES) {
+            return Err(SzError::InvalidShape(format!(
+                "byte buffer length {} is not a multiple of scalar size {}",
+                bytes.len(),
+                T::BYTES
+            )));
+        }
+        let data: Vec<T> = bytes.chunks_exact(T::BYTES).map(T::read_le).collect();
+        Dataset::new(dims, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_bad_shapes() {
+        assert!(Dataset::<f32>::new(vec![], vec![]).is_err());
+        assert!(Dataset::<f32>::new(vec![0, 3], vec![]).is_err());
+        assert!(Dataset::<f32>::new(vec![2, 2], vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_fn_is_row_major() {
+        let d = Dataset::from_fn(vec![2, 3], |idx| (idx[0] * 10 + idx[1]) as f32);
+        assert_eq!(d.values(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(d.get(&[1, 2]), 12.0);
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let d = Dataset::<f64>::constant(vec![4, 5, 6], 0.0).unwrap();
+        assert_eq!(d.offset(&[1, 2, 3]), 30 + 2 * 6 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_panics_out_of_bounds() {
+        let d = Dataset::<f32>::constant(vec![2, 2], 0.0).unwrap();
+        d.offset(&[2, 0]);
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        let d = Dataset::new(vec![4], vec![1.0f32, f32::NAN, -2.0, 0.5]).unwrap();
+        let (min, max) = d.min_max();
+        assert_eq!(min, -2.0);
+        assert_eq!(max, 1.0);
+        assert_eq!(d.value_range(), 3.0);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let d = Dataset::from_fn(vec![3, 3], |i| (i[0] + i[1]) as f64 * 0.5);
+        let bytes = d.to_le_bytes();
+        let back = Dataset::<f64>::from_le_bytes(vec![3, 3], &bytes).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn from_le_bytes_rejects_misaligned() {
+        assert!(Dataset::<f32>::from_le_bytes(vec![1], &[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn slice_2d_extracts_planes() {
+        let d = Dataset::from_fn(vec![3, 4, 5], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f32);
+        let plane = d.slice_2d(0, 2).unwrap();
+        assert_eq!(plane.dims(), &[4, 5]);
+        assert_eq!(plane.get(&[1, 3]), 213.0);
+        let plane = d.slice_2d(2, 4).unwrap();
+        assert_eq!(plane.dims(), &[3, 4]);
+        assert_eq!(plane.get(&[2, 1]), 214.0);
+        assert!(d.slice_2d(3, 0).is_err());
+        assert!(d.slice_2d(1, 4).is_err());
+        let flat = Dataset::<f32>::constant(vec![4, 4], 0.0).unwrap();
+        assert!(flat.slice_2d(0, 0).is_err());
+    }
+
+    #[test]
+    fn subvolume_extracts_regions() {
+        let d = Dataset::from_fn(vec![4, 6], |i| (i[0] * 10 + i[1]) as f64);
+        let sub = d.subvolume(&[1, 2], &[2, 3]).unwrap();
+        assert_eq!(sub.dims(), &[2, 3]);
+        assert_eq!(sub.get(&[0, 0]), 12.0);
+        assert_eq!(sub.get(&[1, 2]), 24.0);
+        assert!(d.subvolume(&[3, 4], &[2, 3]).is_err());
+        assert!(d.subvolume(&[0], &[2]).is_err());
+        assert!(d.subvolume(&[0, 0], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut d = Dataset::<f32>::constant(vec![2, 2], 0.0).unwrap();
+        d.set(&[1, 0], 7.0);
+        assert_eq!(d.get(&[1, 0]), 7.0);
+        assert_eq!(d.values()[2], 7.0);
+    }
+}

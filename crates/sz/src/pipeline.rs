@@ -1,0 +1,314 @@
+//! Composable compression pipelines: predictor → quantizer → entropy coder →
+//! dictionary coder, mirroring SZ3's modular framework.
+
+use crate::config::{LosslessBackend, LossyConfig, PredictorKind};
+use crate::encode::{huffman_decode, huffman_encode, lz_compress, lz_decompress, rle_decode, rle_encode};
+use crate::error::SzError;
+use crate::format::{BlobHeader, BlobWriter, Codec, CompressedBlob};
+use crate::ndarray::Dataset;
+use crate::predict::{interp, lorenzo, lorenzo2, regression, PredictionStreams};
+use crate::quantizer::LinearQuantizer;
+use crate::stats::{quant_bin_stats, QuantBinStats};
+use crate::value::ScalarValue;
+use crate::zfp;
+
+/// Per-stage byte accounting of a compressed blob (where the bits went).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectionSizes {
+    /// Predictor side data (regression coefficients, block flags).
+    pub side_data: usize,
+    /// Verbatim unpredictable values.
+    pub unpredictable: usize,
+    /// Entropy-coded quantization bins (after the lossless backend).
+    pub codes: usize,
+    /// Header and framing overhead (everything else).
+    pub framing: usize,
+}
+
+impl SectionSizes {
+    /// Total bytes across all sections.
+    pub fn total(&self) -> usize {
+        self.side_data + self.unpredictable + self.codes + self.framing
+    }
+}
+
+/// Everything produced by a compression run, for callers that want more than
+/// the blob (the quality predictor reads the bin statistics).
+#[derive(Debug, Clone)]
+pub struct CompressionOutcome {
+    /// The serialized compressed data.
+    pub blob: CompressedBlob,
+    /// Quantization-bin statistics of the full (unsampled) code stream.
+    pub bin_stats: QuantBinStats,
+    /// Uncompressed size in bytes.
+    pub original_bytes: usize,
+    /// Achieved compression ratio (`original / compressed`).
+    pub ratio: f64,
+    /// Where the compressed bytes went, stage by stage.
+    pub sections: SectionSizes,
+}
+
+/// Compresses a dataset with the given pipeline configuration.
+///
+/// # Errors
+/// Returns [`SzError::InvalidConfig`] for invalid configurations and
+/// [`SzError::InvalidShape`] for unsupported shapes.
+pub fn compress<T: ScalarValue>(data: &Dataset<T>, config: &LossyConfig) -> Result<CompressedBlob, SzError> {
+    Ok(compress_with_stats(data, config)?.blob)
+}
+
+/// Compresses a dataset, also returning bin statistics and the ratio.
+///
+/// # Errors
+/// Same as [`compress`].
+pub fn compress_with_stats<T: ScalarValue>(
+    data: &Dataset<T>,
+    config: &LossyConfig,
+) -> Result<CompressionOutcome, SzError> {
+    config.validate()?;
+    let abs_eb = config.error_bound.resolve(data);
+    let quantizer = LinearQuantizer::new(abs_eb, config.quant_radius);
+    let streams = run_predictor(data, config.predictor, &quantizer)?;
+
+    let zero_code = config.quant_radius;
+    let bin_stats = quant_bin_stats(&streams.codes, zero_code);
+
+    let encoded_codes = encode_codes(&streams.codes, config.backend, zero_code);
+    let mut unpred_bytes = Vec::with_capacity(streams.unpredictable.len() * T::BYTES);
+    for &v in &streams.unpredictable {
+        v.write_le(&mut unpred_bytes);
+    }
+
+    let header = BlobHeader {
+        codec: Codec::Prediction,
+        dtype: T::TYPE_NAME,
+        dims: data.dims().to_vec(),
+        abs_eb,
+        predictor: config.predictor,
+        backend: config.backend,
+        quant_radius: config.quant_radius,
+    };
+    let mut writer = BlobWriter::new(&header)?;
+    writer.section(&streams.side_data).section(&unpred_bytes).section(&encoded_codes);
+    let blob = writer.finish();
+    let original_bytes = data.nbytes();
+    let ratio = original_bytes as f64 / blob.len() as f64;
+    let sections = SectionSizes {
+        side_data: streams.side_data.len(),
+        unpredictable: unpred_bytes.len(),
+        codes: encoded_codes.len(),
+        framing: blob.len() - streams.side_data.len() - unpred_bytes.len() - encoded_codes.len(),
+    };
+    Ok(CompressionOutcome { blob, bin_stats, original_bytes, ratio, sections })
+}
+
+/// Decompresses a blob produced by [`compress`] or
+/// [`crate::zfp::compress`].
+///
+/// # Errors
+/// Returns [`SzError::TypeMismatch`] if `T` differs from the compressed
+/// type, and [`SzError::CorruptStream`] for malformed payloads.
+pub fn decompress<T: ScalarValue>(blob: &CompressedBlob) -> Result<Dataset<T>, SzError> {
+    let (header, mut sections) = blob.open()?;
+    if header.dtype != T::TYPE_NAME {
+        return Err(SzError::TypeMismatch { expected: T::TYPE_NAME, found: header.dtype.to_string() });
+    }
+    match header.codec {
+        Codec::Transform => zfp::decompress_payload::<T>(&header, &mut sections),
+        Codec::Prediction => {
+            let side_data = sections.next_section()?.to_vec();
+            let unpred_bytes = sections.next_section()?;
+            if unpred_bytes.len() % T::BYTES != 0 {
+                return Err(SzError::CorruptStream("unpredictable section misaligned".into()));
+            }
+            let unpredictable: Vec<T> = unpred_bytes.chunks_exact(T::BYTES).map(T::read_le).collect();
+            let encoded_codes = sections.next_section()?;
+            let codes = decode_codes(encoded_codes, header.backend, header.quant_radius)?;
+            let streams = PredictionStreams { codes, unpredictable, side_data };
+            let quantizer = LinearQuantizer::new(header.abs_eb, header.quant_radius);
+            match header.predictor {
+                PredictorKind::Lorenzo => lorenzo::decompress(&header.dims, &streams, &quantizer),
+                PredictorKind::Lorenzo2 => lorenzo2::decompress(&header.dims, &streams, &quantizer),
+                PredictorKind::Regression => regression::decompress(&header.dims, &streams, &quantizer),
+                PredictorKind::InterpLinear => {
+                    interp::decompress(&header.dims, &streams, &quantizer, interp::Basis::Linear)
+                }
+                PredictorKind::InterpCubic => {
+                    interp::decompress(&header.dims, &streams, &quantizer, interp::Basis::Cubic)
+                }
+            }
+        }
+    }
+}
+
+fn run_predictor<T: ScalarValue>(
+    data: &Dataset<T>,
+    predictor: PredictorKind,
+    quantizer: &LinearQuantizer,
+) -> Result<PredictionStreams<T>, SzError> {
+    match predictor {
+        PredictorKind::Lorenzo => lorenzo::compress(data, quantizer),
+        PredictorKind::Lorenzo2 => lorenzo2::compress(data, quantizer),
+        PredictorKind::Regression => regression::compress(data, quantizer),
+        PredictorKind::InterpLinear => interp::compress(data, quantizer, interp::Basis::Linear),
+        PredictorKind::InterpCubic => interp::compress(data, quantizer, interp::Basis::Cubic),
+    }
+}
+
+fn encode_codes(codes: &[u32], backend: LosslessBackend, zero_code: u32) -> Vec<u8> {
+    match backend {
+        LosslessBackend::Huffman => huffman_encode(codes),
+        LosslessBackend::HuffmanLz => lz_compress(&huffman_encode(codes)),
+        LosslessBackend::RleHuffman => huffman_encode(&rle_encode(codes, zero_code)),
+    }
+}
+
+fn decode_codes(bytes: &[u8], backend: LosslessBackend, zero_code: u32) -> Result<Vec<u32>, SzError> {
+    match backend {
+        LosslessBackend::Huffman => huffman_decode(bytes),
+        LosslessBackend::HuffmanLz => huffman_decode(&lz_decompress(bytes)?),
+        LosslessBackend::RleHuffman => {
+            let encoded = huffman_decode(bytes)?;
+            rle_decode(&encoded, zero_code)
+                .ok_or_else(|| SzError::CorruptStream("rle: malformed run stream".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ErrorBound;
+    use crate::metrics;
+
+    fn wavy(dims: Vec<usize>) -> Dataset<f32> {
+        Dataset::from_fn(dims, |i| {
+            let x = i.iter().enumerate().map(|(d, &v)| (v as f32) * 0.11 * (d as f32 + 1.0)).sum::<f32>();
+            x.sin() * 10.0 + 0.3 * x
+        })
+    }
+
+    #[test]
+    fn all_pipelines_respect_error_bound() {
+        let data = wavy(vec![24, 30, 18]);
+        for predictor in PredictorKind::ALL {
+            for backend in [LosslessBackend::Huffman, LosslessBackend::HuffmanLz, LosslessBackend::RleHuffman] {
+                let cfg = LossyConfig::sz3_abs(1e-3).with_predictor(predictor).with_backend(backend);
+                let blob = compress(&data, &cfg).unwrap();
+                let out = decompress::<f32>(&blob).unwrap();
+                let report = metrics::compare(&data, &out).unwrap();
+                assert!(report.within_bound(1e-3), "{predictor:?}/{backend:?}: max={}", report.max_abs_error);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_bound_resolves_at_compression_time() {
+        let data = wavy(vec![64, 64]);
+        let cfg = LossyConfig::sz3(1e-3); // relative
+        let blob = compress(&data, &cfg).unwrap();
+        let abs = blob.header().unwrap().abs_eb;
+        assert!((abs - 1e-3 * data.value_range()).abs() < 1e-12);
+        let out = decompress::<f32>(&blob).unwrap();
+        assert!(metrics::compare(&data, &out).unwrap().within_bound(abs));
+    }
+
+    #[test]
+    fn tighter_bound_means_lower_ratio() {
+        let data = wavy(vec![60, 60]);
+        let loose = compress_with_stats(&data, &LossyConfig::sz3(1e-2)).unwrap();
+        let tight = compress_with_stats(&data, &LossyConfig::sz3(1e-5)).unwrap();
+        assert!(loose.ratio > tight.ratio, "loose={} tight={}", loose.ratio, tight.ratio);
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let data = wavy(vec![16, 16]);
+        let blob = compress(&data, &LossyConfig::sz3(1e-3)).unwrap();
+        assert!(matches!(decompress::<f64>(&blob), Err(SzError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let data = Dataset::from_fn(vec![40, 40], |i| ((i[0] * i[1]) as f64 * 0.001).cos());
+        let cfg = LossyConfig::sz3_abs(1e-6);
+        let blob = compress(&data, &cfg).unwrap();
+        let out = decompress::<f64>(&blob).unwrap();
+        assert!(metrics::compare(&data, &out).unwrap().within_bound(1e-6));
+    }
+
+    #[test]
+    fn bin_stats_reflect_smoothness() {
+        // Exactly Lorenzo-predictable integer lattice: p0 = 1.
+        let smooth = Dataset::from_fn(vec![64, 64], |i| (i[0] + i[1]) as f32);
+        let cfg = LossyConfig::lorenzo(1.0).with_error_bound(ErrorBound::Abs(0.25));
+        let out = compress_with_stats(&smooth, &cfg).unwrap();
+        // Interior is exactly predicted; the domain boundary (~3 %) is not.
+        assert!(out.bin_stats.p0 > 0.95, "p0={}", out.bin_stats.p0);
+        // Noisy data lands far from p0 = 1.
+        let mut state = 3u64;
+        let noise = Dataset::from_fn(vec![64, 64], |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 40) as f32
+        });
+        let noisy = compress_with_stats(&noise, &cfg).unwrap();
+        assert!(noisy.bin_stats.p0 < out.bin_stats.p0);
+        // Huge random jumps overwhelm the 0.25 bound: most points are stored
+        // verbatim rather than quantized.
+        assert!(noisy.bin_stats.unpredictable > 0.5);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let data = wavy(vec![8, 8]);
+        let cfg = LossyConfig::sz3_abs(0.0);
+        assert!(compress(&data, &cfg).is_err());
+    }
+
+    #[test]
+    fn corrupt_blob_rejected_gracefully() {
+        let data = wavy(vec![16, 16]);
+        let blob = compress(&data, &LossyConfig::sz3(1e-3)).unwrap();
+        let mut bytes = blob.into_bytes();
+        let n = bytes.len();
+        bytes.truncate(n - 10);
+        // Framing may already reject the truncation; if it parses, the
+        // decoder must reject it instead.
+        if let Ok(blob) = CompressedBlob::from_bytes(bytes) {
+            assert!(decompress::<f32>(&blob).is_err());
+        }
+    }
+
+    #[test]
+    fn ratio_accounts_for_header_overhead() {
+        let data = wavy(vec![32]);
+        let out = compress_with_stats(&data, &LossyConfig::sz3(1e-3)).unwrap();
+        assert_eq!(out.original_bytes, 32 * 4);
+        assert!((out.ratio - out.original_bytes as f64 / out.blob.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section_sizes_account_for_every_byte() {
+        let data = wavy(vec![40, 40]);
+        let out = compress_with_stats(&data, &LossyConfig::sz3(1e-3)).unwrap();
+        assert_eq!(out.sections.total(), out.blob.len());
+        assert!(out.sections.codes > 0, "codes section carries the payload");
+        assert!(out.sections.framing > 0, "headers and checksum exist");
+        // Smooth data has no unpredictable values.
+        assert_eq!(out.sections.unpredictable, 0);
+        // Regression pipelines carry side data; interpolation does not.
+        let reg = compress_with_stats(&data, &LossyConfig::sz2(1e-3)).unwrap();
+        assert!(reg.sections.side_data > 0);
+        let interp = compress_with_stats(&data, &LossyConfig::sz3(1e-3)).unwrap();
+        assert_eq!(interp.sections.side_data, 0);
+    }
+
+    #[test]
+    fn abs_bound_constructor_round_trips() {
+        let cfg = LossyConfig::sz3_abs(0.5);
+        let ErrorBound::Abs(v) = cfg.error_bound else {
+            panic!("expected Abs, got {:?}", cfg.error_bound)
+        };
+        assert_eq!(v, 0.5);
+    }
+}

@@ -1,0 +1,378 @@
+//! First-order Lorenzo predictor for 1-, 2-, and 3-D datasets.
+//!
+//! The Lorenzo predictor estimates each value from the inclusion–exclusion
+//! sum of its already-processed neighbours in the hypercube behind it:
+//!
+//! * 1-D: `f(i−1)`
+//! * 2-D: `f(i−1,j) + f(i,j−1) − f(i−1,j−1)`
+//! * 3-D: seven-term alternating sum over the preceding corner cube.
+//!
+//! Out-of-domain neighbours read as `0`, so the first element is effectively
+//! predicted as zero.
+
+use crate::error::SzError;
+use crate::ndarray::Dataset;
+use crate::predict::{PredictionStreams, UnpredictablePool};
+use crate::quantizer::LinearQuantizer;
+use crate::value::ScalarValue;
+
+const EMPTY: &[u32] = &[];
+
+/// Compresses `data`, returning quantization streams.
+///
+/// # Errors
+/// Returns [`SzError::InvalidShape`] for datasets with more than 3 dims.
+pub fn compress<T: ScalarValue>(
+    data: &Dataset<T>,
+    quantizer: &LinearQuantizer,
+) -> Result<PredictionStreams<T>, SzError> {
+    match data.ndim() {
+        1 => Ok(run::<T, false>(data.dims(), Some(data.values()), EMPTY, quantizer).0),
+        2 => Ok(run2::<T, false>(data.dims(), Some(data.values()), EMPTY, quantizer).0),
+        3 => Ok(run3::<T, false>(data.dims(), Some(data.values()), EMPTY, quantizer).0),
+        n => Err(SzError::InvalidShape(format!("lorenzo predictor supports 1-3 dims, got {n}"))),
+    }
+}
+
+/// Decompresses streams produced by [`compress`].
+///
+/// # Errors
+/// Returns [`SzError::CorruptStream`] if stream lengths are inconsistent with
+/// the shape, and [`SzError::InvalidShape`] for unsupported ranks.
+pub fn decompress<T: ScalarValue>(
+    dims: &[usize],
+    streams: &PredictionStreams<T>,
+    quantizer: &LinearQuantizer,
+) -> Result<Dataset<T>, SzError> {
+    let n: usize = dims.iter().product();
+    if streams.codes.len() != n {
+        return Err(SzError::CorruptStream(format!(
+            "lorenzo: {} codes for {} points",
+            streams.codes.len(),
+            n
+        )));
+    }
+    let (_, recon, consumed) = match dims.len() {
+        1 => run::<T, true>(dims, None, streams, quantizer),
+        2 => run2::<T, true>(dims, None, streams, quantizer),
+        3 => run3::<T, true>(dims, None, streams, quantizer),
+        n => return Err(SzError::InvalidShape(format!("lorenzo predictor supports 1-3 dims, got {n}"))),
+    };
+    if !consumed {
+        return Err(SzError::CorruptStream("lorenzo: unpredictable pool length mismatch".into()));
+    }
+    Dataset::new(dims.to_vec(), recon)
+}
+
+// The compress and decompress walks are the same traversal; `DECODE` selects
+// whether codes are produced or consumed. `input` is Some(raw) when encoding.
+// Implemented per rank for tight inner loops.
+
+trait StreamsArg<T> {
+    fn codes(&self) -> &[u32];
+    fn unpredictable(&self) -> &[T];
+}
+impl<T> StreamsArg<T> for PredictionStreams<T> {
+    fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+    fn unpredictable(&self) -> &[T] {
+        &self.unpredictable
+    }
+}
+impl<T> StreamsArg<T> for &[u32] {
+    fn codes(&self) -> &[u32] {
+        self
+    }
+    fn unpredictable(&self) -> &[T] {
+        &[]
+    }
+}
+impl<T> StreamsArg<T> for &PredictionStreams<T> {
+    fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+    fn unpredictable(&self) -> &[T] {
+        &self.unpredictable
+    }
+}
+
+fn run<T: ScalarValue, const DECODE: bool>(
+    dims: &[usize],
+    input: Option<&[T]>,
+    streams: impl StreamsArg<T>,
+    q: &LinearQuantizer,
+) -> (PredictionStreams<T>, Vec<T>, bool) {
+    let n = dims[0];
+    let mut out = PredictionStreams::with_capacity(n);
+    let mut recon: Vec<T> = Vec::with_capacity(n);
+    let mut pool = UnpredictablePool::new(streams.unpredictable());
+    let codes = streams.codes();
+    for i in 0..n {
+        let pred = if i > 0 { recon[i - 1].to_f64() } else { 0.0 };
+        if DECODE {
+            let code = codes[i];
+            let v = if code == 0 { pool.take().unwrap_or_else(T::zero) } else { q.recover(code, pred) };
+            recon.push(v);
+        } else {
+            let quantized = q.quantize(input.expect("encode has input")[i], pred);
+            if quantized.code == 0 {
+                out.unpredictable.push(quantized.reconstructed);
+            }
+            out.codes.push(quantized.code);
+            recon.push(quantized.reconstructed);
+        }
+    }
+    let consumed = pool.fully_consumed();
+    (out, recon, consumed)
+}
+
+fn run2<T: ScalarValue, const DECODE: bool>(
+    dims: &[usize],
+    input: Option<&[T]>,
+    streams: impl StreamsArg<T>,
+    q: &LinearQuantizer,
+) -> (PredictionStreams<T>, Vec<T>, bool) {
+    let (n0, n1) = (dims[0], dims[1]);
+    let n = n0 * n1;
+    let mut out = PredictionStreams::with_capacity(n);
+    let mut recon: Vec<T> = vec![T::zero(); n];
+    let mut pool = UnpredictablePool::new(streams.unpredictable());
+    let codes = streams.codes();
+    let at = |recon: &[T], i: isize, j: isize| -> f64 {
+        if i < 0 || j < 0 {
+            0.0
+        } else {
+            recon[i as usize * n1 + j as usize].to_f64()
+        }
+    };
+    for i in 0..n0 {
+        for j in 0..n1 {
+            let (si, sj) = (i as isize, j as isize);
+            let pred = at(&recon, si - 1, sj) + at(&recon, si, sj - 1) - at(&recon, si - 1, sj - 1);
+            let off = i * n1 + j;
+            if DECODE {
+                let code = codes[off];
+                recon[off] = if code == 0 { pool.take().unwrap_or_else(T::zero) } else { q.recover(code, pred) };
+            } else {
+                let quantized = q.quantize(input.expect("encode has input")[off], pred);
+                if quantized.code == 0 {
+                    out.unpredictable.push(quantized.reconstructed);
+                }
+                out.codes.push(quantized.code);
+                recon[off] = quantized.reconstructed;
+            }
+        }
+    }
+    let consumed = pool.fully_consumed();
+    (out, recon, consumed)
+}
+
+fn run3<T: ScalarValue, const DECODE: bool>(
+    dims: &[usize],
+    input: Option<&[T]>,
+    streams: impl StreamsArg<T>,
+    q: &LinearQuantizer,
+) -> (PredictionStreams<T>, Vec<T>, bool) {
+    let (n0, n1, n2) = (dims[0], dims[1], dims[2]);
+    let n = n0 * n1 * n2;
+    let mut out = PredictionStreams::with_capacity(n);
+    let mut recon: Vec<T> = vec![T::zero(); n];
+    let mut pool = UnpredictablePool::new(streams.unpredictable());
+    let codes = streams.codes();
+    let stride0 = n1 * n2;
+    let at = |recon: &[T], i: isize, j: isize, k: isize| -> f64 {
+        if i < 0 || j < 0 || k < 0 {
+            0.0
+        } else {
+            recon[i as usize * stride0 + j as usize * n2 + k as usize].to_f64()
+        }
+    };
+    for i in 0..n0 {
+        for j in 0..n1 {
+            for k in 0..n2 {
+                let (si, sj, sk) = (i as isize, j as isize, k as isize);
+                let pred = at(&recon, si - 1, sj, sk) + at(&recon, si, sj - 1, sk) + at(&recon, si, sj, sk - 1)
+                    - at(&recon, si - 1, sj - 1, sk)
+                    - at(&recon, si - 1, sj, sk - 1)
+                    - at(&recon, si, sj - 1, sk - 1)
+                    + at(&recon, si - 1, sj - 1, sk - 1);
+                let off = i * stride0 + j * n2 + k;
+                if DECODE {
+                    let code = codes[off];
+                    recon[off] = if code == 0 { pool.take().unwrap_or_else(T::zero) } else { q.recover(code, pred) };
+                } else {
+                    let quantized = q.quantize(input.expect("encode has input")[off], pred);
+                    if quantized.code == 0 {
+                        out.unpredictable.push(quantized.reconstructed);
+                    }
+                    out.codes.push(quantized.code);
+                    recon[off] = quantized.reconstructed;
+                }
+            }
+        }
+    }
+    let consumed = pool.fully_consumed();
+    (out, recon, consumed)
+}
+
+/// Mean absolute Lorenzo prediction error over *raw* values (the "average
+/// Lorenzo error" data-based feature from the paper §VI). Unlike
+/// [`compress`], this predicts from raw neighbours, matching how the feature
+/// is computed for quality prediction (cheap, no quantization).
+pub fn mean_raw_error<T: ScalarValue>(data: &Dataset<T>) -> f64 {
+    let dims = data.dims();
+    let vals = data.values();
+    let n = vals.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    match dims.len() {
+        1 => {
+            for i in 0..n {
+                let pred = if i > 0 { vals[i - 1].to_f64() } else { 0.0 };
+                total += (vals[i].to_f64() - pred).abs();
+            }
+        }
+        2 => {
+            let n1 = dims[1];
+            let at = |i: isize, j: isize| -> f64 {
+                if i < 0 || j < 0 {
+                    0.0
+                } else {
+                    vals[i as usize * n1 + j as usize].to_f64()
+                }
+            };
+            for i in 0..dims[0] as isize {
+                for j in 0..n1 as isize {
+                    let pred = at(i - 1, j) + at(i, j - 1) - at(i - 1, j - 1);
+                    total += (at(i, j) - pred).abs();
+                }
+            }
+        }
+        _ => {
+            // 3-D and higher: use the 3-D Lorenzo over the last three dims,
+            // treating leading dims as batch.
+            let d = dims.len();
+            let (n0, n1, n2) = (dims[d - 3], dims[d - 2], dims[d - 1]);
+            let batch: usize = dims[..d - 3].iter().product::<usize>().max(1);
+            let stride0 = n1 * n2;
+            let vol = n0 * stride0;
+            for b in 0..batch {
+                let base = b * vol;
+                let at = |i: isize, j: isize, k: isize| -> f64 {
+                    if i < 0 || j < 0 || k < 0 {
+                        0.0
+                    } else {
+                        vals[base + i as usize * stride0 + j as usize * n2 + k as usize].to_f64()
+                    }
+                };
+                for i in 0..n0 as isize {
+                    for j in 0..n1 as isize {
+                        for k in 0..n2 as isize {
+                            let pred = at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1)
+                                - at(i - 1, j - 1, k)
+                                - at(i - 1, j, k - 1)
+                                - at(i, j - 1, k - 1)
+                                + at(i - 1, j - 1, k - 1);
+                            total += (at(i, j, k) - pred).abs();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_round_trip(dims: Vec<usize>, eb: f64, gen: impl FnMut(&[usize]) -> f32) {
+        let data = Dataset::from_fn(dims.clone(), gen);
+        let q = LinearQuantizer::new(eb, 1 << 15);
+        let streams = compress(&data, &q).unwrap();
+        let out = decompress(&dims, &streams, &q).unwrap();
+        for (a, b) in data.values().iter().zip(out.values()) {
+            assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-9), "a={a} b={b} eb={eb}");
+        }
+    }
+
+    #[test]
+    fn round_trip_1d() {
+        check_round_trip(vec![1000], 1e-3, |i| (i[0] as f32 * 0.01).sin());
+    }
+
+    #[test]
+    fn round_trip_2d() {
+        check_round_trip(vec![40, 50], 1e-3, |i| (i[0] as f32 * 0.1).sin() * (i[1] as f32 * 0.07).cos());
+    }
+
+    #[test]
+    fn round_trip_3d() {
+        check_round_trip(vec![12, 13, 14], 1e-4, |i| {
+            (i[0] as f32 * 0.2).sin() + (i[1] as f32 * 0.15).cos() + i[2] as f32 * 0.01
+        });
+    }
+
+    #[test]
+    fn smooth_data_yields_tight_codes() {
+        // Integer-valued linear data is *exactly* Lorenzo-predictable in
+        // floating point, so every code is the zero bin (no quantization
+        // noise feeds back into the predictions).
+        let data = Dataset::from_fn(vec![64, 64], |i| (i[0] + i[1]) as f32);
+        let q = LinearQuantizer::new(0.25, 1 << 15);
+        let streams = compress(&data, &q).unwrap();
+        let zero_code = 1u32 << 15;
+        let zeros = streams.codes.iter().filter(|&&c| c == zero_code).count();
+        // Interior points are exactly predicted; only the first row/column
+        // (predicted across the domain edge) may land in nonzero bins.
+        assert!(zeros >= streams.codes.len() - 2 * 64, "zeros={zeros}");
+        assert!(streams.unpredictable.is_empty());
+    }
+
+    #[test]
+    fn rejects_4d() {
+        let data = Dataset::<f32>::constant(vec![2, 2, 2, 2], 0.0).unwrap();
+        let q = LinearQuantizer::new(1e-3, 512);
+        assert!(compress(&data, &q).is_err());
+    }
+
+    #[test]
+    fn code_length_mismatch_is_detected() {
+        let q = LinearQuantizer::new(1e-3, 512);
+        let streams = PredictionStreams::<f32> { codes: vec![512; 5], unpredictable: vec![], side_data: vec![] };
+        assert!(decompress(&[10], &streams, &q).is_err());
+    }
+
+    #[test]
+    fn pool_length_mismatch_is_detected() {
+        let q = LinearQuantizer::new(1e-3, 512);
+        // One spurious unpredictable value that no code references.
+        let streams =
+            PredictionStreams::<f32> { codes: vec![512; 4], unpredictable: vec![9.0], side_data: vec![] };
+        assert!(decompress(&[4], &streams, &q).is_err());
+    }
+
+    #[test]
+    fn mean_raw_error_zero_for_linear_2d() {
+        // Perfect 2-D Lorenzo prediction everywhere except the first row and
+        // column (predicted from zeros outside the domain).
+        let data = Dataset::from_fn(vec![32, 32], |i| (i[0] as f32) + (i[1] as f32));
+        let err = mean_raw_error(&data);
+        // Interior is exactly predicted; boundary contributes a bounded mean.
+        assert!(err < 2.5, "err={err}");
+    }
+
+    #[test]
+    fn mean_raw_error_large_for_noise() {
+        let mut state = 7u64;
+        let data = Dataset::from_fn(vec![64, 64], |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 100.0
+        });
+        assert!(mean_raw_error(&data) > 10.0);
+    }
+}

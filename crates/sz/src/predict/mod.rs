@@ -1,0 +1,95 @@
+//! Decorrelation predictors.
+//!
+//! Every predictor follows the same contract: during compression it walks the
+//! dataset in a deterministic order, predicts each value from *previously
+//! reconstructed* values (never raw ones — this guarantees bit-exact parity
+//! with the decompressor), and quantizes the prediction error. During
+//! decompression it walks the same order, recovering values from codes.
+
+pub mod interp;
+pub mod lorenzo;
+pub mod lorenzo2;
+pub mod regression;
+
+use crate::value::ScalarValue;
+
+/// The two streams a predictor produces: quantization codes (one per value,
+/// in walk order) and the verbatim "unpredictable" values (in walk order of
+/// their occurrence, i.e. of every `code == 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionStreams<T> {
+    /// One entropy-coder symbol per data point.
+    pub codes: Vec<u32>,
+    /// Exactly-stored values for points whose code is `0`.
+    pub unpredictable: Vec<T>,
+    /// Predictor-specific side data (e.g. regression coefficients), already
+    /// serialized; empty for predictors without side data.
+    pub side_data: Vec<u8>,
+}
+
+impl<T: ScalarValue> PredictionStreams<T> {
+    /// Creates empty streams with capacity for `n` points.
+    pub fn with_capacity(n: usize) -> Self {
+        PredictionStreams { codes: Vec::with_capacity(n), unpredictable: Vec::new(), side_data: Vec::new() }
+    }
+
+    /// Fraction of points stored verbatim.
+    pub fn unpredictable_ratio(&self) -> f64 {
+        if self.codes.is_empty() {
+            0.0
+        } else {
+            self.unpredictable.len() as f64 / self.codes.len() as f64
+        }
+    }
+}
+
+/// Sequential consumer of the unpredictable-value side channel during
+/// decompression.
+#[derive(Debug)]
+pub(crate) struct UnpredictablePool<'a, T> {
+    values: &'a [T],
+    next: usize,
+}
+
+impl<'a, T: ScalarValue> UnpredictablePool<'a, T> {
+    pub(crate) fn new(values: &'a [T]) -> Self {
+        UnpredictablePool { values, next: 0 }
+    }
+
+    /// Takes the next verbatim value.
+    ///
+    /// Returns `None` if the stream is exhausted (corrupt input).
+    pub(crate) fn take(&mut self) -> Option<T> {
+        let v = self.values.get(self.next).copied();
+        self.next += 1;
+        v
+    }
+
+    /// Whether every stored value has been consumed.
+    pub(crate) fn fully_consumed(&self) -> bool {
+        self.next == self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpredictable_ratio_handles_empty() {
+        let s = PredictionStreams::<f32>::with_capacity(0);
+        assert_eq!(s.unpredictable_ratio(), 0.0);
+    }
+
+    #[test]
+    fn pool_consumes_in_order() {
+        let vals = [1.0f32, 2.0, 3.0];
+        let mut pool = UnpredictablePool::new(&vals);
+        assert_eq!(pool.take(), Some(1.0));
+        assert_eq!(pool.take(), Some(2.0));
+        assert!(!pool.fully_consumed());
+        assert_eq!(pool.take(), Some(3.0));
+        assert!(pool.fully_consumed());
+        assert_eq!(pool.take(), None);
+    }
+}

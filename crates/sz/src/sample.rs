@@ -1,0 +1,98 @@
+//! Strided data sampling used by the quality predictor.
+//!
+//! The paper (§VIII-B) samples 1 % of the data (one point every 100) to
+//! extract compressor-based features, cutting the prediction overhead from
+//! >70 % to <5 % of the compression time.
+
+use crate::ndarray::Dataset;
+use crate::value::ScalarValue;
+
+/// Returns every `stride`-th value (linearized order) as a 1-D dataset.
+///
+/// The sampled set keeps the large-scale statistics (range, entropy,
+/// local-difference structure) of the original because scientific fields are
+/// smooth at the sampling scale.
+///
+/// # Panics
+/// Panics if `stride == 0`.
+pub fn sample_stride<T: ScalarValue>(data: &Dataset<T>, stride: usize) -> Dataset<T> {
+    assert!(stride > 0, "stride must be positive");
+    let vals: Vec<T> = data.values().iter().step_by(stride).copied().collect();
+    let n = vals.len().max(1);
+    let vals = if vals.is_empty() { vec![T::zero()] } else { vals };
+    Dataset::new(vec![n], vals).expect("1-D shape of sampled values is always valid")
+}
+
+/// Samples a fraction `frac` of the data (e.g. `0.01` for the paper's 1 %).
+///
+/// # Panics
+/// Panics if `frac` is not in `(0, 1]`.
+pub fn sample_fraction<T: ScalarValue>(data: &Dataset<T>, frac: f64) -> Dataset<T> {
+    assert!(frac > 0.0 && frac <= 1.0, "fraction must be in (0, 1], got {frac}");
+    let stride = (1.0 / frac).round().max(1.0) as usize;
+    sample_stride(data, stride)
+}
+
+/// Samples a 2-D/3-D dataset on a coarse sub-grid, preserving rank.
+///
+/// Used where spatial structure matters to a feature (e.g. sampled Lorenzo
+/// error): takes every `stride`-th point along each axis.
+///
+/// # Panics
+/// Panics if `stride == 0`.
+pub fn sample_grid<T: ScalarValue>(data: &Dataset<T>, stride: usize) -> Dataset<T> {
+    assert!(stride > 0, "stride must be positive");
+    let dims = data.dims();
+    let new_dims: Vec<usize> = dims.iter().map(|&d| d.div_ceil(stride)).collect();
+    Dataset::from_fn(new_dims, |idx| {
+        let orig: Vec<usize> = idx.iter().zip(dims).map(|(&i, &d)| (i * stride).min(d - 1)).collect();
+        data.get(&orig)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_sampling_takes_every_kth() {
+        let d = Dataset::new(vec![10], (0..10).map(|i| i as f32).collect()).unwrap();
+        let s = sample_stride(&d, 3);
+        assert_eq!(s.values(), &[0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn fraction_one_percent_matches_paper() {
+        let d = Dataset::from_fn(vec![100, 100], |i| (i[0] * 100 + i[1]) as f32);
+        let s = sample_fraction(&d, 0.01);
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn fraction_one_keeps_everything() {
+        let d = Dataset::from_fn(vec![25], |i| i[0] as f64);
+        assert_eq!(sample_fraction(&d, 1.0).len(), 25);
+    }
+
+    #[test]
+    fn grid_sampling_preserves_rank() {
+        let d = Dataset::from_fn(vec![9, 9], |i| (i[0] * 9 + i[1]) as f32);
+        let s = sample_grid(&d, 3);
+        assert_eq!(s.dims(), &[3, 3]);
+        assert_eq!(s.get(&[1, 1]), d.get(&[3, 3]));
+    }
+
+    #[test]
+    fn oversized_stride_yields_single_value() {
+        let d = Dataset::from_fn(vec![5], |i| i[0] as f32);
+        let s = sample_stride(&d, 100);
+        assert_eq!(s.values(), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn zero_fraction_panics() {
+        let d = Dataset::<f32>::constant(vec![4], 0.0).unwrap();
+        sample_fraction(&d, 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Statistical features of datasets and quantization-bin streams.
+//!
+//! These implement the paper's data-based features (byte-level entropy,
+//! value-range statistics, mean Lorenzo error) and compressor-based features
+//! (`p0`, `P0`, quantization entropy, and the run-length estimator `R_rle`)
+//! from §VI.
+
+use std::collections::HashMap;
+
+use crate::encode::huffman;
+use crate::ndarray::Dataset;
+use crate::value::ScalarValue;
+
+/// Byte-level Shannon entropy of the little-endian representation, in bits
+/// per byte (`0 ≤ H ≤ 8`). The paper uses this as the "chaos level" feature:
+/// higher entropy data are harder (slower, less compressible) to compress.
+pub fn byte_entropy<T: ScalarValue>(data: &Dataset<T>) -> f64 {
+    let mut counts = [0u64; 256];
+    let mut buf = Vec::with_capacity(T::BYTES);
+    for &v in data.values() {
+        buf.clear();
+        v.write_le(&mut buf);
+        for &b in &buf {
+            counts[b as usize] += 1;
+        }
+    }
+    shannon_entropy_counts(&counts)
+}
+
+/// Shannon entropy (bits/symbol) of a count table.
+fn shannon_entropy_counts(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total_f;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Shannon entropy (bits/symbol) of an arbitrary symbol stream.
+pub fn symbol_entropy(symbols: &[u32]) -> f64 {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for &s in symbols {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    let total = symbols.len() as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Basic value statistics (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueStats {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// `max − min`.
+    pub range: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+/// Computes [`ValueStats`] in one pass.
+pub fn value_stats<T: ScalarValue>(data: &Dataset<T>) -> ValueStats {
+    let (min, max) = data.min_max();
+    let n = data.len() as f64;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for &v in data.values() {
+        let x = v.to_f64();
+        sum += x;
+        sum_sq += x * x;
+    }
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    ValueStats { min: min.to_f64(), max: max.to_f64(), range: max.to_f64() - min.to_f64(), mean, std_dev: var.sqrt() }
+}
+
+/// Compressor-based features of a quantization-bin stream (paper §VI, Fig 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantBinStats {
+    /// `p0`: fraction of bins equal to the zero-error bin.
+    pub p0: f64,
+    /// `P0`: share of the Huffman-encoded size taken by the zero bin.
+    pub cap_p0: f64,
+    /// Shannon entropy of the bin distribution (bits/bin).
+    pub quant_entropy: f64,
+    /// Run-length estimator `R_rle = 1 / ((1 − p0)·P0 + (1 − P0))`.
+    pub r_rle: f64,
+    /// Fraction of unpredictable points (code 0).
+    pub unpredictable: f64,
+}
+
+/// Computes bin statistics from a code stream, where `zero_code` is the
+/// symbol of the zero-error bin (quantizer radius) and `0` marks
+/// unpredictable points.
+pub fn quant_bin_stats(codes: &[u32], zero_code: u32) -> QuantBinStats {
+    if codes.is_empty() {
+        return QuantBinStats { p0: 0.0, cap_p0: 0.0, quant_entropy: 0.0, r_rle: 1.0, unpredictable: 0.0 };
+    }
+    let n = codes.len() as f64;
+    let zeros = codes.iter().filter(|&&c| c == zero_code).count() as f64;
+    let unpred = codes.iter().filter(|&&c| c == 0).count() as f64;
+    let p0 = zeros / n;
+    let share = huffman::encoded_share(codes);
+    let cap_p0 = share.get(&zero_code).copied().unwrap_or(0.0);
+    let quant_entropy = symbol_entropy(codes);
+    let denom = (1.0 - p0) * cap_p0 + (1.0 - cap_p0);
+    let r_rle = if denom > 1e-12 { 1.0 / denom } else { f64::INFINITY };
+    QuantBinStats { p0, cap_p0, quant_entropy, r_rle, unpredictable: unpred / n }
+}
+
+/// The Jin et al. (ICDE'22) closed-form compression-ratio estimator
+/// `CR ≈ 1 / (C1·(1 − p0)·P0 + (1 − P0))`, which the paper compares against
+/// (Figs 5–6). `c1` is the ad-hoc application-specific tuning constant whose
+/// sensitivity motivates Ocelot's learned model.
+pub fn jin_ratio_estimate(stats: &QuantBinStats, c1: f64) -> f64 {
+    let denom = c1 * (1.0 - stats.p0) * stats.cap_p0 + (1.0 - stats.cap_p0);
+    if denom > 1e-12 {
+        1.0 / denom
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_constant_bytes_is_zero() {
+        let d = Dataset::<f32>::constant(vec![64], 0.0).unwrap();
+        assert_eq!(byte_entropy(&d), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_bytes_is_eight() {
+        // 256 f32 values whose byte representation cycles through all 256
+        // byte values uniformly.
+        let vals: Vec<f32> = (0..256u32)
+            .map(|i| f32::from_le_bytes([i as u8, (i as u8).wrapping_add(64), (i as u8).wrapping_add(128), (i as u8).wrapping_add(192)]))
+            .collect();
+        let d = Dataset::new(vec![256], vals).unwrap();
+        let h = byte_entropy(&d);
+        assert!((h - 8.0).abs() < 1e-9, "h={h}");
+    }
+
+    #[test]
+    fn symbol_entropy_two_equal_symbols_is_one_bit() {
+        let h = symbol_entropy(&[1, 2, 1, 2, 1, 2, 1, 2]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_stats_simple() {
+        let d = Dataset::new(vec![4], vec![1.0f64, 2.0, 3.0, 4.0]).unwrap();
+        let s = value_stats(&d);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.range, 3.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quant_stats_all_zero_bins() {
+        let zero = 512u32;
+        let codes = vec![zero; 100];
+        let s = quant_bin_stats(&codes, zero);
+        assert_eq!(s.p0, 1.0);
+        assert_eq!(s.quant_entropy, 0.0);
+        assert_eq!(s.unpredictable, 0.0);
+        // All-zero stream: P0 = 1, denominator = (1-1)*1 + 0 = 0 → infinite
+        // estimated ratio, matching "perfectly predictable data".
+        assert!(s.r_rle.is_infinite());
+    }
+
+    #[test]
+    fn quant_stats_mixed_stream() {
+        let zero = 512u32;
+        let mut codes = vec![zero; 90];
+        codes.extend([511, 513, 0, 0, 511, 513, 511, 513, 511, 513]);
+        let s = quant_bin_stats(&codes, zero);
+        assert!((s.p0 - 0.9).abs() < 1e-12);
+        assert!((s.unpredictable - 0.02).abs() < 1e-12);
+        assert!(s.quant_entropy > 0.0);
+        assert!(s.r_rle.is_finite() && s.r_rle > 1.0);
+    }
+
+    #[test]
+    fn jin_estimator_reduces_to_rrle_at_c1_one() {
+        let zero = 100u32;
+        let codes: Vec<u32> = (0..1000).map(|i| if i % 10 == 0 { 99 } else { zero }).collect();
+        let s = quant_bin_stats(&codes, zero);
+        let jin = jin_ratio_estimate(&s, 1.0);
+        assert!((jin - s.r_rle).abs() < 1e-9);
+        // Larger C1 penalizes non-zero bins more → lower estimated ratio.
+        assert!(jin_ratio_estimate(&s, 2.0) < jin);
+    }
+
+    #[test]
+    fn empty_codes_are_handled() {
+        let s = quant_bin_stats(&[], 5);
+        assert_eq!(s.p0, 0.0);
+        assert_eq!(s.r_rle, 1.0);
+    }
+}

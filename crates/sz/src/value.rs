@@ -1,0 +1,133 @@
+//! Scalar value abstraction over the floating-point types the compressor
+//! supports (`f32` and `f64`).
+
+/// A floating-point scalar that can be compressed.
+///
+/// This trait is sealed: it is implemented for [`f32`] and [`f64`] only, and
+/// downstream crates cannot add implementations (the compressed stream format
+/// encodes a fixed type tag per implementation).
+pub trait ScalarValue:
+    Copy + PartialOrd + PartialEq + std::fmt::Debug + std::fmt::Display + Send + Sync + 'static + private::Sealed
+{
+    /// Short stable name used in stream headers and error messages.
+    const TYPE_NAME: &'static str;
+    /// Size of the scalar in bytes.
+    const BYTES: usize;
+
+    /// Lossless widening to `f64` (used by predictors and quantizers, which
+    /// operate in double precision internally).
+    fn to_f64(self) -> f64;
+    /// Narrowing from `f64`; may round for `f32`.
+    fn from_f64(v: f64) -> Self;
+    /// Append the little-endian byte representation to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Read a value from a little-endian byte slice of length [`Self::BYTES`].
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() < Self::BYTES`.
+    fn read_le(bytes: &[u8]) -> Self;
+    /// Additive zero.
+    fn zero() -> Self;
+    /// Whether the value is NaN.
+    fn is_nan(self) -> bool;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+impl ScalarValue for f32 {
+    const TYPE_NAME: &'static str = "f32";
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+    }
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
+    }
+}
+
+impl ScalarValue for f64 {
+    const TYPE_NAME: &'static str = "f64";
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[..8]);
+        f64::from_le_bytes(b)
+    }
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trips_through_bytes() {
+        let mut buf = Vec::new();
+        1.5f32.write_le(&mut buf);
+        assert_eq!(buf.len(), f32::BYTES);
+        assert_eq!(f32::read_le(&buf), 1.5);
+    }
+
+    #[test]
+    fn f64_round_trips_through_bytes() {
+        let mut buf = Vec::new();
+        (-0.25f64).write_le(&mut buf);
+        assert_eq!(buf.len(), f64::BYTES);
+        assert_eq!(f64::read_le(&buf), -0.25);
+    }
+
+    #[test]
+    fn f64_widening_is_exact_for_f32() {
+        let v = std::f32::consts::PI;
+        assert_eq!(f32::from_f64(v.to_f64()), v);
+    }
+
+    #[test]
+    fn type_names_are_distinct() {
+        assert_ne!(f32::TYPE_NAME, f64::TYPE_NAME);
+    }
+}

@@ -1,0 +1,64 @@
+//! Compression explorer: sweep every predictor pipeline and the transform
+//! baseline across the paper's applications, printing the
+//! ratio/PSNR/unpredictable-fraction landscape — the table the Ocelot UI
+//! shows users when they pick a configuration (capability 1 of §V).
+//!
+//! ```text
+//! cargo run --release --example compression_explorer [rel_error_bound]
+//! ```
+
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_sz::config::PredictorKind;
+use ocelot_sz::{compress_with_stats, decompress, metrics, zfp, LossyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let eb: f64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(1e-3);
+    println!("relative error bound: {eb:.0e}\n");
+    println!(
+        "{:<22} {:<14} {:>9} {:>10} {:>9}",
+        "dataset", "pipeline", "ratio", "PSNR (dB)", "unpred"
+    );
+    println!("{}", "-".repeat(70));
+
+    let cases = [
+        (Application::Cesm, "LHFLX", 12),
+        (Application::Miranda, "velocity-x", 12),
+        (Application::Nyx, "baryon_density", 16),
+        (Application::Isabel, "Pf48", 8),
+        (Application::Qmcpack, "einspine", 24),
+    ];
+    for (app, field, scale) in cases {
+        let data = FieldSpec::new(app, field).with_scale(scale).generate();
+        let label = format!("{}/{}", app.name(), field);
+        for predictor in PredictorKind::ALL {
+            let cfg = LossyConfig::sz3(eb).with_predictor(predictor);
+            let out = compress_with_stats(&data, &cfg)?;
+            let restored = decompress::<f32>(&out.blob)?;
+            let q = metrics::compare(&data, &restored)?;
+            println!(
+                "{:<22} {:<14} {:>8.1}x {:>10.1} {:>8.2}%",
+                label,
+                predictor.name(),
+                out.ratio,
+                q.psnr,
+                out.bin_stats.unpredictable * 100.0
+            );
+        }
+        // Transform-based baseline (ZFP-style) at the same absolute bound.
+        let abs_eb = eb * data.value_range();
+        let blob = zfp::compress(&data, abs_eb)?;
+        let restored = decompress::<f32>(&blob)?;
+        let q = metrics::compare(&data, &restored)?;
+        println!(
+            "{:<22} {:<14} {:>8.1}x {:>10.1} {:>8}",
+            label,
+            "zfp-transform",
+            data.nbytes() as f64 / blob.len() as f64,
+            q.psnr,
+            "-"
+        );
+        println!();
+    }
+    println!("(prediction-based pipelines are SZ3-style; zfp-transform is the block-transform baseline)");
+    Ok(())
+}

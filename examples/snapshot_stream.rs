@@ -1,0 +1,61 @@
+//! Temporal delta compression of a snapshot stream (extension): compress a
+//! correlated simulation time series frame by frame, comparing spatial
+//! (per-frame) against temporal (key + delta) modes at the same error bound.
+//!
+//! ```text
+//! cargo run --release --example snapshot_stream [frames] [rho]
+//! ```
+
+use ocelot::temporal::{TemporalCompressor, TemporalDecompressor};
+use ocelot_datagen::series::{frame_correlation, snapshot_series};
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_sz::{compress, metrics, LossyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let frames_n: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(12);
+    let rho: f32 = std::env::args().nth(2).map(|s| s.parse()).transpose()?.unwrap_or(0.92);
+
+    let spec = FieldSpec::new(Application::Miranda, "pressure").with_scale(8);
+    let frames = snapshot_series(&spec, frames_n, rho, 2026);
+    println!(
+        "stream: {} frames of {:?}, frame-to-frame correlation {:.3}",
+        frames.len(),
+        frames[0].dims(),
+        frame_correlation(&frames)
+    );
+
+    let abs_eb = 1e-3 * frames[0].value_range();
+    let cfg = LossyConfig::sz3_abs(abs_eb);
+
+    // Spatial baseline: every frame compressed independently.
+    let spatial_bytes: usize = frames.iter().map(|f| compress(f, &cfg).map(|b| b.len()).unwrap_or(0)).sum();
+
+    // Temporal: key frame + deltas, verified end to end.
+    let mut comp = TemporalCompressor::new(cfg);
+    let mut decomp = TemporalDecompressor::new();
+    let mut temporal_bytes = 0usize;
+    let mut worst_err = 0.0f64;
+    for (t, frame) in frames.iter().enumerate() {
+        let bytes = comp.compress_next(frame)?;
+        temporal_bytes += bytes.len();
+        let restored = decomp.decompress_next(&bytes)?;
+        let q = metrics::compare(frame, &restored)?;
+        worst_err = worst_err.max(q.max_abs_error);
+        println!(
+            "  frame {t:>2}: {} -> {:>8} bytes, PSNR {:.1} dB",
+            if t == 0 { "key  " } else { "delta" },
+            bytes.len(),
+            q.psnr
+        );
+    }
+
+    let raw: usize = frames.iter().map(|f| f.nbytes()).sum();
+    println!("\nraw {:.1} MB", raw as f64 / 1e6);
+    println!("spatial  (per-frame): {:.2} MB ({:.1}x)", spatial_bytes as f64 / 1e6, raw as f64 / spatial_bytes as f64);
+    println!("temporal (key+delta): {:.2} MB ({:.1}x)", temporal_bytes as f64 / 1e6, raw as f64 / temporal_bytes as f64);
+    println!("worst pointwise error {worst_err:.3e} (bound {abs_eb:.3e})");
+    // The delta add contributes at most one f32 ULP on top of the bound.
+    let ulp_margin = frames[0].value_range() * f32::EPSILON as f64 * 4.0;
+    assert!(worst_err <= abs_eb + ulp_margin);
+    Ok(())
+}

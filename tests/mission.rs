@@ -1,0 +1,140 @@
+//! Full-mission integration: the complete Ocelot story in one test file —
+//! auto-configure from a quality requirement, compress real bytes into
+//! archives, simulate the WAN crossing (with contention and faults), restore
+//! on the far side, and verify acceptance; plus the simulated control plane
+//! (FaaS tasks, planner, run log) around it.
+
+use ocelot::analysis::{summarize_field, RunLog};
+use ocelot::orchestrator::{Orchestrator, PipelineOptions, Strategy};
+use ocelot::planner::TransferPlanner;
+use ocelot::predictor::{AutoConfigurator, Requirement};
+use ocelot::report::ExperimentRecord;
+use ocelot::session::TransferSession;
+use ocelot::verify::{verify, AcceptancePolicy};
+use ocelot::workload::Workload;
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_faas::{FaasEndpoint, FaasFabric, WaitTimeModel};
+use ocelot_netsim::{
+    simulate_shared_link, simulate_transfer_with_faults, BatchSpec, FaultModel, GridFtpConfig, SimTime, SiteId,
+    Topology,
+};
+use ocelot_qpred::{QualityModel, TrainingSample, TreeConfig};
+use ocelot_sz::{Dataset, LossyConfig};
+
+fn snapshot_files(n: u64) -> Vec<(String, Dataset<f32>)> {
+    let fields = Application::Miranda.fields();
+    (0..n)
+        .map(|seed| {
+            let field = fields[(seed as usize) % fields.len()];
+            let data = FieldSpec::new(Application::Miranda, field).with_scale(24).with_seed(seed).generate();
+            (format!("{field}_{seed:03}.bin"), data)
+        })
+        .collect()
+}
+
+#[test]
+fn end_to_end_mission_with_quality_guarantee() {
+    // 1. Train a quality model on profiled samples and pick a configuration
+    //    meeting "PSNR >= 60 dB" without trial compression of the payload.
+    let mut samples = Vec::new();
+    for field in ["density", "pressure", "velocity-x"] {
+        let data = FieldSpec::new(Application::Miranda, field).with_scale(24).generate();
+        for exp in 1..=5 {
+            samples.push(
+                TrainingSample::measure(&data, &LossyConfig::sz3(10f64.powi(-exp)), 25, None)
+                    .expect("measurement succeeds"),
+            );
+        }
+    }
+    let model = QualityModel::train(&samples, &TreeConfig::default());
+    let probe = FieldSpec::new(Application::Miranda, "diffusivity").with_scale(24).generate();
+    let (config, estimate) = AutoConfigurator::new(model)
+        .with_sample_stride(25)
+        .select(&probe, Requirement::MinPsnr(60.0))
+        .expect("a configuration qualifies");
+    assert!(estimate.psnr >= 60.0);
+
+    // 2. Compress a 12-file batch into 4 self-describing archives.
+    let files = snapshot_files(12);
+    let session = TransferSession::new(4, config);
+    let archives = session.build_archives(&files, 4).expect("archives build");
+    assert!(archives.overall_ratio() > 1.5, "ratio {}", archives.overall_ratio());
+
+    // 3. The archives cross a flaky, contended WAN as opaque bytes (the
+    //    simulation times the crossing; the bytes themselves are untouched).
+    let topology = Topology::paper();
+    let link = topology.route(SiteId::Anvil, SiteId::Bebop).link;
+    let sizes: Vec<u64> = archives.archives().iter().map(|a| a.len() as u64).collect();
+    let crossing = simulate_transfer_with_faults(
+        &sizes,
+        &link,
+        &GridFtpConfig::default(),
+        &FaultModel::flaky(0.1),
+        42,
+    );
+    assert!(crossing.failed_files.is_empty(), "retries must deliver all archives");
+    assert_eq!(crossing.report.bytes_total, archives.compressed_bytes());
+    // A competing batch on the same link slows us down but changes no bytes.
+    let contended = simulate_shared_link(
+        &[
+            BatchSpec { files: sizes.clone(), start_s: 0.0, config: GridFtpConfig::default() },
+            BatchSpec { files: vec![2_000_000_000; 20], start_s: 0.0, config: GridFtpConfig::default() },
+        ],
+        &link,
+        42,
+    );
+    assert!(contended[0].duration_s > 0.0);
+
+    // 4. Destination side: restore and verify acceptance per file.
+    let restored = session.restore_archives(archives.archives()).expect("restore succeeds");
+    assert_eq!(restored.len(), files.len());
+    let policy = AcceptancePolicy::visual();
+    for ((name, orig), (rname, rec)) in files.iter().zip(&restored) {
+        assert_eq!(name, rname);
+        let verdict = verify(orig, rec, &policy).expect("shapes match");
+        assert!(verdict.accepted, "{name}: {:?}", verdict.violations);
+    }
+}
+
+#[test]
+fn control_plane_mission() {
+    // FaaS fabric orchestrates the remote compression job; the planner tunes
+    // the transfer; every outcome lands in the run log.
+    let mut fabric = FaasFabric::new();
+    fabric.add_endpoint("anvil", FaasEndpoint::new("anvil", WaitTimeModel::Immediate, 7));
+    fabric.add_endpoint("bebop", FaasEndpoint::new("bebop", WaitTimeModel::idle_nodes(), 7));
+    let compress_fn = fabric.register("parallel_compress", true, |bytes| bytes as f64 / 50.0e9);
+    let decompress_fn = fabric.register("parallel_decompress", true, |bytes| bytes as f64 / 80.0e9);
+
+    let workload = Workload::paper_default(Application::Miranda, 16).expect("workload");
+    let planner = TransferPlanner::paper();
+    let base = PipelineOptions::default();
+    let plan = planner.plan(&workload, SiteId::Anvil, SiteId::Bebop, &base);
+
+    // Submit the compute legs through the fabric.
+    let c = fabric.submit(compress_fn, "anvil", workload.total_bytes(), SimTime::ZERO).expect("submit");
+    let d = fabric
+        .submit(decompress_fn, "bebop", workload.compressed_sizes().iter().sum(), SimTime::ZERO)
+        .expect("submit");
+    let done = fabric.completion_time(&[c, d]).expect("both tracked");
+    assert!(done > SimTime::ZERO);
+
+    // Log and analyze.
+    let dir = std::env::temp_dir().join("ocelot_mission_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let log_path = dir.join("mission.jsonl");
+    std::fs::remove_file(&log_path).ok();
+    let log = RunLog::open(&log_path);
+    let orch = Orchestrator::paper();
+    for strategy in [Strategy::Direct, Strategy::Compressed, plan.strategy] {
+        let b = orch.run(&workload, SiteId::Anvil, SiteId::Bebop, strategy, &base);
+        log.append(&ExperimentRecord::new("mission", &b)).expect("append");
+    }
+    let records = log.load_experiment("mission").expect("load");
+    assert_eq!(records.len(), 3);
+    let transfer = summarize_field(&records, "transfer_s").expect("field present");
+    assert_eq!(transfer.count, 3);
+    // Direct is the slowest transfer; the planned strategy beats it.
+    assert!(transfer.max > transfer.min);
+    std::fs::remove_file(&log_path).ok();
+}

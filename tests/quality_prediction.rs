@@ -1,0 +1,97 @@
+//! Integration: the quality-prediction loop across crates — train on
+//! measured samples from the synthetic applications, auto-select
+//! configurations from user requirements, and validate predictions against
+//! real compression runs.
+
+use ocelot::predictor::{AutoConfigurator, Requirement};
+use ocelot_datagen::{Application, FieldSpec};
+use ocelot_qpred::{QualityModel, TrainingSample, TrainingSet, TreeConfig};
+use ocelot_sz::config::PredictorKind;
+use ocelot_sz::LossyConfig;
+
+fn build_training(app: Application, fields: &[&str], scale: usize, seeds: std::ops::Range<u64>) -> Vec<TrainingSample> {
+    let mut out = Vec::new();
+    for &field in fields {
+        for seed in seeds.clone() {
+            let data = FieldSpec::new(app, field).with_scale(scale).with_seed(seed).generate();
+            for exp in 1..=6 {
+                let cfg = LossyConfig::sz3(10f64.powi(-exp));
+                out.push(TrainingSample::measure(&data, &cfg, 25, None).expect("measurement succeeds"));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn trained_model_generalizes_to_unseen_snapshots() {
+    let samples = build_training(Application::Miranda, &["density", "pressure", "velocity-x"], 24, 0..3);
+    let set: TrainingSet = samples.into_iter().collect();
+    let split = set.split(0.5, 99);
+    let model = QualityModel::train(&split.train, &TreeConfig::default());
+
+    let mut ratio_log_err = 0.0;
+    for s in &split.test {
+        let est = model.predict(&s.features);
+        ratio_log_err += (est.ratio.log10() - s.ratio.log10()).powi(2);
+    }
+    let rmse = (ratio_log_err / split.test.len() as f64).sqrt();
+    assert!(rmse < 0.35, "held-out log-ratio RMSE {rmse}");
+}
+
+#[test]
+fn auto_configuration_meets_requirements_on_real_runs() {
+    let samples = build_training(Application::Cesm, &["LHFLX", "TMQ", "FLDSC"], 16, 0..2);
+    let model = QualityModel::train(&samples, &TreeConfig::default());
+    let auto = AutoConfigurator::new(model).with_sample_stride(25);
+
+    let fresh = FieldSpec::new(Application::Cesm, "TMQ").with_scale(16).with_seed(9).generate();
+    let (config, estimate) = auto.select(&fresh, Requirement::MinPsnr(70.0)).expect("a config qualifies");
+    assert!(estimate.psnr >= 70.0);
+
+    // Run the real pipeline with the selected config: quality must land in
+    // the right regime (predictions are estimates, so allow 15 dB slack).
+    let truth = TrainingSample::measure(&fresh, &config, 25, None).expect("measurement succeeds");
+    assert!(truth.psnr >= 55.0, "selected config delivered only {} dB", truth.psnr);
+}
+
+#[test]
+fn ratio_requirement_prefers_aggressive_bounds() {
+    let samples = build_training(Application::Miranda, &["density", "diffusivity"], 24, 0..2);
+    let model = QualityModel::train(&samples, &TreeConfig::default());
+    let auto = AutoConfigurator::new(model).with_sample_stride(25);
+    let fresh = FieldSpec::new(Application::Miranda, "density").with_scale(24).with_seed(7).generate();
+
+    let modest = auto.select(&fresh, Requirement::MinRatio(3.0));
+    assert!(modest.is_some(), "a 3x ratio must be reachable");
+    let (cfg, est) = modest.expect("checked");
+    assert!(est.ratio >= 3.0);
+    // The selected bound should be on the looser side of the sweep.
+    assert!(cfg.error_bound.raw() >= 1e-5, "selected eb {:.0e}", cfg.error_bound.raw());
+}
+
+#[test]
+fn predictor_type_is_a_usable_model_feature() {
+    // Train with two predictor families; the model should distinguish them.
+    let data = FieldSpec::new(Application::Rtm, "snapshot-1048").with_scale(16).generate();
+    let mut samples = Vec::new();
+    for predictor in [PredictorKind::Lorenzo, PredictorKind::InterpCubic] {
+        for exp in 1..=5 {
+            let cfg = LossyConfig::sz3(10f64.powi(-exp)).with_predictor(predictor);
+            samples.push(TrainingSample::measure(&data, &cfg, 25, None).expect("measurement succeeds"));
+        }
+    }
+    // Leaf size 1 permits in-sample memorization — the point here is that
+    // the predictor-id feature lets the tree separate the two families.
+    let cfg = TreeConfig { min_samples_leaf: 1, ..Default::default() };
+    let model = QualityModel::train(&samples, &cfg);
+    for s in &samples {
+        let est = model.predict(&s.features);
+        assert!(
+            (est.ratio.log10() - s.ratio.log10()).abs() < 0.1,
+            "in-sample ratio {} vs {}",
+            est.ratio,
+            s.ratio
+        );
+    }
+}
