@@ -83,5 +83,12 @@ fn bench_temporal_stream(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_predictors, bench_backends, bench_decompress, bench_zfp_baseline, bench_temporal_stream);
+criterion_group!(
+    benches,
+    bench_predictors,
+    bench_backends,
+    bench_decompress,
+    bench_zfp_baseline,
+    bench_temporal_stream
+);
 criterion_main!(benches);

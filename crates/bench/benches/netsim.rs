@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ocelot_netsim::{
-    simulate_shared_link, simulate_transfer, simulate_transfer_with_faults, BatchSpec, FaultModel,
-    GridFtpConfig, SiteId, Topology,
+    simulate_shared_link, simulate_transfer, simulate_transfer_with_faults, BatchSpec, FaultModel, GridFtpConfig,
+    SiteId, Topology,
 };
 
 fn bench_table2_sweep(c: &mut Criterion) {
@@ -13,9 +13,12 @@ fn bench_table2_sweep(c: &mut Criterion) {
     let cfg = GridFtpConfig::untuned();
     let mut g = c.benchmark_group("table2_simulation");
     g.sample_size(10);
-    for &(size, total) in
-        &[(1_000_000u64, 30_000_000_000u64), (10_000_000, 300_000_000_000), (100_000_000, 300_000_000_000), (1_000_000_000, 300_000_000_000)]
-    {
+    for &(size, total) in &[
+        (1_000_000u64, 30_000_000_000u64),
+        (10_000_000, 300_000_000_000),
+        (100_000_000, 300_000_000_000),
+        (1_000_000_000, 300_000_000_000),
+    ] {
         let files = vec![size; (total / size) as usize];
         g.throughput(Throughput::Elements(files.len() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(format!("{}MB_files", size / 1_000_000)), &files, |b, f| {

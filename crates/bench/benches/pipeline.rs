@@ -15,11 +15,9 @@ fn bench_table8_strategies(c: &mut Criterion) {
     let opts = PipelineOptions::default();
     let mut g = c.benchmark_group("table8_pipeline");
     g.sample_size(10);
-    for (name, strategy) in [
-        ("direct", Strategy::Direct),
-        ("compressed", Strategy::Compressed),
-        ("grouped", Strategy::grouped_by_count(8)),
-    ] {
+    for (name, strategy) in
+        [("direct", Strategy::Direct), ("compressed", Strategy::Compressed), ("grouped", Strategy::grouped_by_count(8))]
+    {
         g.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
             b.iter(|| orch.run(&w, SiteId::Anvil, SiteId::Bebop, s, &opts))
         });
@@ -37,10 +35,7 @@ fn bench_fig9_scaling(c: &mut Criterion) {
         let cluster = Cluster::new(nodes, anvil.cores_per_node, anvil.core_speed);
         g.bench_with_input(BenchmarkId::from_parameter(format!("{nodes}_nodes")), &cluster, |b, cl| {
             b.iter(|| {
-                (
-                    orch.compression_time(&w, &anvil, cl, Strategy::Compressed),
-                    orch.decompression_time(&w, &anvil, cl),
-                )
+                (orch.compression_time(&w, &anvil, cl, Strategy::Compressed), orch.decompression_time(&w, &anvil, cl))
             })
         });
     }
@@ -50,11 +45,7 @@ fn bench_fig9_scaling(c: &mut Criterion) {
 fn bench_fig10_sentinel(c: &mut Criterion) {
     let orch = Orchestrator::paper();
     let w = Workload::paper_default(Application::Miranda, 16).expect("workload");
-    let opts = PipelineOptions {
-        wait_model: WaitTimeModel::Fixed(600.0),
-        sentinel: true,
-        ..Default::default()
-    };
+    let opts = PipelineOptions { wait_model: WaitTimeModel::Fixed(600.0), sentinel: true, ..Default::default() };
     let mut g = c.benchmark_group("fig10_sentinel");
     g.sample_size(10);
     g.bench_function("sentinel_600s_wait", |b| {

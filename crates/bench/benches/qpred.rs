@@ -27,9 +27,7 @@ fn bench_training_and_prediction(c: &mut Criterion) {
     let samples = to_training(&pool);
     let mut g = c.benchmark_group("fig12_model");
     g.sample_size(10);
-    g.bench_function("train_decision_trees", |b| {
-        b.iter(|| QualityModel::train(&samples, &TreeConfig::default()))
-    });
+    g.bench_function("train_decision_trees", |b| b.iter(|| QualityModel::train(&samples, &TreeConfig::default())));
     let model = QualityModel::train(&samples, &TreeConfig::default());
     g.throughput(Throughput::Elements(samples.len() as u64));
     g.bench_function("predict_all_samples", |b| {

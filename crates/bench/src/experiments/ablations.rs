@@ -72,29 +72,32 @@ pub fn run_sentinel_sweep() -> Vec<SentinelRow> {
     let orch = Orchestrator::paper();
     let w = Workload::paper_default(Application::Miranda, 12).expect("workload");
     let direct = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Direct, &PipelineOptions::default());
-    [("immediate", WaitTimeModel::Immediate), ("idle-nodes", WaitTimeModel::idle_nodes()), ("busy-cluster", WaitTimeModel::busy_cluster())]
-        .into_iter()
-        .map(|(name, model)| {
-            let mut sent_total = 0.0;
-            let mut block_total = 0.0;
-            const DRAWS: u64 = 16;
-            for seed in 0..DRAWS {
-                let sent_opts =
-                    PipelineOptions { wait_model: model, sentinel: true, seed, ..Default::default() };
-                let block_opts = PipelineOptions { sentinel: false, ..sent_opts };
-                let s = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &sent_opts);
-                let b = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &block_opts);
-                sent_total += sentinel_total_s(&s).min(direct.total_s());
-                block_total += b.total_s();
-            }
-            SentinelRow {
-                regime: name.to_string(),
-                sentinel_mean_s: sent_total / DRAWS as f64,
-                blocking_mean_s: block_total / DRAWS as f64,
-                direct_s: direct.total_s(),
-            }
-        })
-        .collect()
+    [
+        ("immediate", WaitTimeModel::Immediate),
+        ("idle-nodes", WaitTimeModel::idle_nodes()),
+        ("busy-cluster", WaitTimeModel::busy_cluster()),
+    ]
+    .into_iter()
+    .map(|(name, model)| {
+        let mut sent_total = 0.0;
+        let mut block_total = 0.0;
+        const DRAWS: u64 = 16;
+        for seed in 0..DRAWS {
+            let sent_opts = PipelineOptions { wait_model: model, sentinel: true, seed, ..Default::default() };
+            let block_opts = PipelineOptions { sentinel: false, ..sent_opts };
+            let s = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &sent_opts);
+            let b = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &block_opts);
+            sent_total += sentinel_total_s(&s).min(direct.total_s());
+            block_total += b.total_s();
+        }
+        SentinelRow {
+            regime: name.to_string(),
+            sentinel_mean_s: sent_total / DRAWS as f64,
+            blocking_mean_s: block_total / DRAWS as f64,
+            direct_s: direct.total_s(),
+        }
+    })
+    .collect()
 }
 
 /// Model-ablation result.
@@ -154,8 +157,7 @@ pub fn run_sampling_ablation() -> Vec<SamplingRow> {
             let mut samples = Vec::new();
             for &field in &fields {
                 for seed in 0..3u64 {
-                    let data =
-                        FieldSpec::new(Application::Miranda, field).with_scale(12).with_seed(seed).generate();
+                    let data = FieldSpec::new(Application::Miranda, field).with_scale(12).with_seed(seed).generate();
                     for &eb in &EBS11 {
                         let cfg = LossyConfig::sz3(eb);
                         let features = ocelot_qpred::extract(&data, &cfg, stride);
@@ -172,11 +174,8 @@ pub fn run_sampling_ablation() -> Vec<SamplingRow> {
             let set: TrainingSet = samples.into_iter().collect();
             let split = set.split(0.3, 21);
             let model = QualityModel::train(&split.train, &TreeConfig::default());
-            let se: f64 = split
-                .test
-                .iter()
-                .map(|s| (model.predict(&s.features).ratio.log10() - s.ratio.log10()).powi(2))
-                .sum();
+            let se: f64 =
+                split.test.iter().map(|s| (model.predict(&s.features).ratio.log10() - s.ratio.log10()).powi(2)).sum();
             SamplingRow { stride, log_rmse: (se / split.test.len() as f64).sqrt() }
         })
         .collect()
@@ -231,9 +230,7 @@ pub struct BackendRow {
 /// Ratio per lossless backend across two applications.
 pub fn run_backend_ablation() -> Vec<BackendRow> {
     let mut rows = Vec::new();
-    for (app, field, scale) in
-        [(Application::Cesm, "LHFLX", 12), (Application::Miranda, "velocity-x", 12)]
-    {
+    for (app, field, scale) in [(Application::Cesm, "LHFLX", 12), (Application::Miranda, "velocity-x", 12)] {
         let data = FieldSpec::new(app, field).with_scale(scale).generate();
         for backend in [LosslessBackend::Huffman, LosslessBackend::HuffmanLz, LosslessBackend::RleHuffman] {
             let cfg = LossyConfig::sz3(1e-3).with_backend(backend);
@@ -323,14 +320,25 @@ mod tests {
             assert!(best.transfer_s < first.transfer_s, "{app}: one big group should not be optimal");
             assert!(best.groups > 1, "{app}: best groups {}", best.groups);
             // Either extreme is dominated by the interior optimum.
-            assert!(best.transfer_s <= last.transfer_s, "{app}: best {} vs max-groups {}", best.transfer_s, last.transfer_s);
+            assert!(
+                best.transfer_s <= last.transfer_s,
+                "{app}: best {} vs max-groups {}",
+                best.transfer_s,
+                last.transfer_s
+            );
         }
     }
 
     #[test]
     fn sentinel_never_hurts_in_expectation() {
         for r in run_sentinel_sweep() {
-            assert!(r.sentinel_mean_s <= r.blocking_mean_s * 1.01, "{}: {} vs {}", r.regime, r.sentinel_mean_s, r.blocking_mean_s);
+            assert!(
+                r.sentinel_mean_s <= r.blocking_mean_s * 1.01,
+                "{}: {} vs {}",
+                r.regime,
+                r.sentinel_mean_s,
+                r.blocking_mean_s
+            );
             assert!(r.sentinel_mean_s <= r.direct_s * 1.01, "{}: sentinel above direct", r.regime);
         }
     }
@@ -368,10 +376,7 @@ mod tests {
         let rows = run_backend_ablation();
         for dataset in ["cesm/LHFLX", "miranda/velocity-x"] {
             let by = |backend: &str| {
-                rows.iter()
-                    .find(|r| r.dataset == dataset && r.backend == backend)
-                    .expect("row present")
-                    .ratio
+                rows.iter().find(|r| r.dataset == dataset && r.backend == backend).expect("row present").ratio
             };
             assert!(by("huffman+lz") >= by("huffman") * 0.99, "{dataset}: lz should not hurt");
         }

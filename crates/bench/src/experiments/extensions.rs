@@ -133,9 +133,7 @@ pub fn run_codec_comparison() -> Vec<CodecRow> {
     .map(|&(app, field, scale)| {
         let data = FieldSpec::new(app, field).with_scale(scale).generate();
         let ratio = |p: PredictorKind| {
-            compress_with_stats(&data, &LossyConfig::sz3(1e-3).with_predictor(p))
-                .expect("compression succeeds")
-                .ratio
+            compress_with_stats(&data, &LossyConfig::sz3(1e-3).with_predictor(p)).expect("compression succeeds").ratio
         };
         let abs_eb = 1e-3 * data.value_range().max(1e-30);
         let zfp_blob = zfp::compress(&data, abs_eb).expect("zfp compression succeeds");
@@ -168,12 +166,7 @@ pub fn print() {
     let imp = run_feature_importance();
     let mut t = TextTable::new(["feature", "ratio", "time", "PSNR"]);
     for r in &imp {
-        t.row([
-            r.feature.clone(),
-            format!("{:.3}", r.ratio),
-            format!("{:.3}", r.time),
-            format!("{:.3}", r.psnr),
-        ]);
+        t.row([r.feature.clone(), format!("{:.3}", r.ratio), format!("{:.3}", r.time), format!("{:.3}", r.psnr)]);
     }
     println!("Extension — learned feature importance (cross-application model)\n{t}");
     let _ = write_artifact("ext_importance", &imp);
@@ -208,11 +201,8 @@ mod tests {
     #[test]
     fn importance_is_normalized_and_nontrivial() {
         let rows = run_feature_importance();
-        let sums: [f64; 3] = [
-            rows.iter().map(|r| r.ratio).sum(),
-            rows.iter().map(|r| r.time).sum(),
-            rows.iter().map(|r| r.psnr).sum(),
-        ];
+        let sums: [f64; 3] =
+            [rows.iter().map(|r| r.ratio).sum(), rows.iter().map(|r| r.time).sum(), rows.iter().map(|r| r.psnr).sum()];
         for s in sums {
             assert!((s - 1.0).abs() < 1e-9, "importance sums {sums:?}");
         }

@@ -79,8 +79,20 @@ mod tests {
     #[test]
     fn sentinel_never_loses_to_direct_or_blocking() {
         for r in run() {
-            assert!(r.sentinel_s <= r.direct_s * 1.02, "wait {}: sentinel {} vs direct {}", r.wait_s, r.sentinel_s, r.direct_s);
-            assert!(r.sentinel_s <= r.blocking_s * 1.02, "wait {}: sentinel {} vs blocking {}", r.wait_s, r.sentinel_s, r.blocking_s);
+            assert!(
+                r.sentinel_s <= r.direct_s * 1.02,
+                "wait {}: sentinel {} vs direct {}",
+                r.wait_s,
+                r.sentinel_s,
+                r.direct_s
+            );
+            assert!(
+                r.sentinel_s <= r.blocking_s * 1.02,
+                "wait {}: sentinel {} vs blocking {}",
+                r.wait_s,
+                r.sentinel_s,
+                r.blocking_s
+            );
         }
     }
 
@@ -94,6 +106,11 @@ mod tests {
     #[test]
     fn longer_waits_push_more_raw_bytes() {
         let rows = run();
-        assert!(rows[3].sentinel_bytes > rows[1].sentinel_bytes, "600s {} vs 30s {}", rows[3].sentinel_bytes, rows[1].sentinel_bytes);
+        assert!(
+            rows[3].sentinel_bytes > rows[1].sentinel_bytes,
+            "600s {} vs 30s {}",
+            rows[3].sentinel_bytes,
+            rows[1].sentinel_bytes
+        );
     }
 }

@@ -27,7 +27,11 @@ pub fn run() -> Vec<Series> {
             let pool: Vec<SamplePoint> = build_app_pool(Application::Rtm, &fields, 0..4, &[eb], 12);
             let entropy: Vec<f64> = pool.iter().map(|p| p.byte_entropy).collect();
             let time: Vec<f64> = pool.iter().map(|p| p.time_s).collect();
-            Series { eb, points: entropy.iter().copied().zip(time.iter().copied()).collect(), correlation: pearson(&entropy, &time) }
+            Series {
+                eb,
+                points: entropy.iter().copied().zip(time.iter().copied()).collect(),
+                correlation: pearson(&entropy, &time),
+            }
         })
         .collect()
 }

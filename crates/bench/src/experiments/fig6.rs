@@ -37,10 +37,7 @@ pub fn run() -> Outcome {
     // Pair the held-out samples with their pool entries by matching feature
     // vectors (the split clones the samples).
     for s in &split.test {
-        let p = pool
-            .iter()
-            .find(|p| p.features == s.features)
-            .expect("held-out sample originates from the pool");
+        let p = pool.iter().find(|p| p.features == s.features).expect("held-out sample originates from the pool");
         let rrle_est = p.stats.r_rle.clamp(1.0, 1e6);
         let model_est = model.predict(&s.features).ratio.max(1e-9);
         rrle_points.push((rrle_est, s.ratio));
@@ -49,12 +46,7 @@ pub fn run() -> Outcome {
         model_se += (model_est.log10() - s.ratio.log10()).powi(2);
     }
     let n = split.test.len() as f64;
-    Outcome {
-        rrle_log_rmse: (rrle_se / n).sqrt(),
-        model_log_rmse: (model_se / n).sqrt(),
-        rrle_points,
-        model_points,
-    }
+    Outcome { rrle_log_rmse: (rrle_se / n).sqrt(), model_log_rmse: (model_se / n).sqrt(), rrle_points, model_points }
 }
 
 /// Runs, prints, writes the artifact.

@@ -27,10 +27,8 @@ pub fn run_for(app: Application) -> Summary {
     let fields: Vec<&str> = app.fields().to_vec();
     let scale = crate::pool::default_scale(app);
     let pool = build_app_pool(app, &fields, 0..2, &EBS11, scale);
-    let points: Vec<(f64, f64, f64, f64)> = pool
-        .iter()
-        .map(|p| (p.stats.p0, p.stats.quant_entropy, p.stats.r_rle.min(1e6), p.psnr))
-        .collect();
+    let points: Vec<(f64, f64, f64, f64)> =
+        pool.iter().map(|p| (p.stats.p0, p.stats.quant_entropy, p.stats.r_rle.min(1e6), p.psnr)).collect();
     let psnr: Vec<f64> = points.iter().map(|p| p.3).collect();
     Summary {
         app: app.name().to_string(),
@@ -49,7 +47,12 @@ pub fn print() {
         t.row(["p0".to_string(), format!("{:+.3}", s.corr_p0)]);
         t.row(["quant entropy".to_string(), format!("{:+.3}", s.corr_entropy)]);
         t.row(["log10 R_rle".to_string(), format!("{:+.3}", s.corr_rrle)]);
-        println!("{} — {} PSNR vs compressor-level features ({} points)\n{t}", fig.to_uppercase(), s.app, s.points.len());
+        println!(
+            "{} — {} PSNR vs compressor-level features ({} points)\n{t}",
+            fig.to_uppercase(),
+            s.app,
+            s.points.len()
+        );
         let _ = write_artifact(fig, &s);
     }
 }

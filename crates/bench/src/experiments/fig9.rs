@@ -81,7 +81,12 @@ mod tests {
             // point (the Fig 9-right degradation).
             let best = c.decompression_s.iter().cloned().fold(f64::INFINITY, f64::min);
             let last = *c.decompression_s.last().expect("nonempty");
-            assert!(last > best, "{}: decompression should degrade at high node counts ({:?})", c.app, c.decompression_s);
+            assert!(
+                last > best,
+                "{}: decompression should degrade at high node counts ({:?})",
+                c.app,
+                c.decompression_s
+            );
         }
     }
 }

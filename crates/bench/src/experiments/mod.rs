@@ -20,6 +20,23 @@ pub mod table8;
 
 /// Every experiment id accepted by the `repro` binary, in paper order.
 pub const ALL_IDS: [&str; 19] = [
-    "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2", "fig12", "fig13",
-    "fig14", "table5", "table6", "table7", "fig15", "table8", "ablations", "extensions",
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table2",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table5",
+    "table6",
+    "table7",
+    "fig15",
+    "table8",
+    "ablations",
+    "extensions",
 ];

@@ -75,8 +75,7 @@ fn op_groups(app: Application, n_files: usize) -> usize {
 /// Runs the full 3 × 3 matrix.
 pub fn run(profile_scale: usize) -> Vec<Row> {
     let orch = Orchestrator::paper();
-    let routes =
-        [(SiteId::Anvil, SiteId::Cori), (SiteId::Anvil, SiteId::Bebop), (SiteId::Bebop, SiteId::Cori)];
+    let routes = [(SiteId::Anvil, SiteId::Cori), (SiteId::Anvil, SiteId::Bebop), (SiteId::Bebop, SiteId::Cori)];
     let mut rows = Vec::new();
     for app in [Application::Cesm, Application::Rtm, Application::Miranda] {
         let w = Workload::paper_default(app, profile_scale).expect("transfer workload");
@@ -114,8 +113,19 @@ pub fn run(profile_scale: usize) -> Vec<Row> {
 pub fn print() {
     let rows = run(8);
     let mut t = TextTable::new([
-        "Dataset", "Direction", "T(NP)", "Sp(NP)", "T(CP)", "Sp(CP)", "T(OP)", "Sp(OP)", "CPTime", "DPTime",
-        "Total T", "Reduced", "Paper",
+        "Dataset",
+        "Direction",
+        "T(NP)",
+        "Sp(NP)",
+        "T(CP)",
+        "Sp(CP)",
+        "T(OP)",
+        "Sp(OP)",
+        "CPTime",
+        "DPTime",
+        "Total T",
+        "Reduced",
+        "Paper",
     ]);
     for r in &rows {
         t.row([
@@ -142,7 +152,8 @@ pub fn print() {
 /// routes) and writes the artifact.
 pub fn print_fig16() {
     let rows: Vec<Row> = run(8).into_iter().filter(|r| r.direction.starts_with("Anvil")).collect();
-    let mut t = TextTable::new(["Dataset", "Route", "direct", "compress", "transfer", "decompress", "total", "speed-up"]);
+    let mut t =
+        TextTable::new(["Dataset", "Route", "direct", "compress", "transfer", "decompress", "total", "speed-up"]);
     for r in &rows {
         t.row([
             r.dataset.clone(),

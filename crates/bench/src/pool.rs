@@ -11,9 +11,8 @@ use ocelot_sz::{compress_with_stats, decompress, metrics, Dataset};
 use serde::Serialize;
 
 /// The paper's eleven error bounds, log-spaced from 1e-6 to 1e-1.
-pub const EBS11: [f64; 11] = [
-    1.0e-6, 3.16e-6, 1.0e-5, 3.16e-5, 1.0e-4, 3.16e-4, 1.0e-3, 3.16e-3, 1.0e-2, 3.16e-2, 1.0e-1,
-];
+pub const EBS11: [f64; 11] =
+    [1.0e-6, 3.16e-6, 1.0e-5, 3.16e-5, 1.0e-4, 3.16e-4, 1.0e-3, 3.16e-3, 1.0e-2, 3.16e-2, 1.0e-1];
 
 /// Feature-extraction sampling stride used throughout the experiments
 /// (scaled datasets are small, so a lighter stride than the paper's 100

@@ -60,8 +60,8 @@ impl RunLog {
             if line.trim().is_empty() {
                 continue;
             }
-            let record: ExperimentRecord = serde_json::from_str(&line)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            let record: ExperimentRecord =
+                serde_json::from_str(&line).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
             out.push(record);
         }
         Ok(out)
@@ -171,12 +171,7 @@ mod tests {
     fn corrupt_lines_are_reported() {
         let log = temp_log("corrupt.jsonl");
         log.append(&ExperimentRecord::new("x", &breakdown(1.0))).unwrap();
-        std::fs::OpenOptions::new()
-            .append(true)
-            .open(log.path())
-            .unwrap()
-            .write_all(b"{not json}\n")
-            .unwrap();
+        std::fs::OpenOptions::new().append(true).open(log.path()).unwrap().write_all(b"{not json}\n").unwrap();
         assert!(log.load().is_err());
     }
 }

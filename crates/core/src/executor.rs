@@ -92,11 +92,7 @@ impl ParallelExecutor {
         if let Some(e) = failure.into_inner() {
             return Err(e);
         }
-        Ok(results
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("all indices completed without error"))
-            .collect())
+        Ok(results.into_inner().into_iter().map(|r| r.expect("all indices completed without error")).collect())
     }
 }
 

@@ -60,7 +60,10 @@ pub fn plan_groups(sizes: &[u64], target_bytes: u64) -> Vec<Vec<usize>> {
 /// Panics if `group_count == 0`.
 pub fn plan_groups_by_count(n_files: usize, group_count: usize) -> Vec<Vec<usize>> {
     assert!(group_count > 0, "group count must be positive");
-    let group_count = group_count.min(n_files.max(1));
+    if n_files == 0 {
+        return Vec::new();
+    }
+    let group_count = group_count.min(n_files);
     let mut groups = Vec::with_capacity(group_count);
     let base = n_files / group_count;
     let extra = n_files % group_count;

@@ -57,7 +57,7 @@ pub mod workload;
 pub use analysis::{summarize_field, FieldSummary, RunLog};
 pub use executor::ParallelExecutor;
 pub use grouping::{group_blobs, plan_groups, ungroup_blobs, GroupManifest};
-pub use orchestrator::{Orchestrator, PipelineOptions, Strategy};
+pub use orchestrator::{Orchestrator, PipelineOptions, PipelineOutcome, Strategy};
 pub use planner::{TransferPlan, TransferPlanner};
 pub use predictor::{AutoConfigurator, Requirement};
 pub use report::{ExperimentRecord, TimeBreakdown};

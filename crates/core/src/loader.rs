@@ -105,8 +105,8 @@ impl NcliteFile {
             if name_len == 0 {
                 return Err(err("empty variable name"));
             }
-            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
-                .map_err(|_| err("variable name is not UTF-8"))?;
+            let name =
+                String::from_utf8(take(&mut pos, name_len)?.to_vec()).map_err(|_| err("variable name is not UTF-8"))?;
             let ndim = take(&mut pos, 1)?[0] as usize;
             if ndim == 0 || ndim > 8 {
                 return Err(err("invalid rank"));

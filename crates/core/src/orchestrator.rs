@@ -8,7 +8,9 @@
 //! in Table VIII).
 
 use ocelot_faas::{Cluster, WaitTimeModel};
-use ocelot_netsim::{simulate_transfer, simulate_transfer_released, GridFtpConfig, SiteId, Topology};
+use ocelot_netsim::{
+    simulate_transfer_released, simulate_transfer_with_faults, FaultModel, GridFtpConfig, SiteId, Topology,
+};
 
 use crate::grouping::{plan_groups, plan_groups_by_count};
 use crate::report::TimeBreakdown;
@@ -61,6 +63,11 @@ pub struct PipelineOptions {
     pub wait_model: WaitTimeModel,
     /// Whether the sentinel transfers uncompressed data during the wait.
     pub sentinel: bool,
+    /// WAN fault injection applied to the transfer leg of [`Orchestrator::run`]
+    /// (per-attempt failure probability, Globus-style retries, reconnect
+    /// cost). [`FaultModel::none`] reproduces the healthy-link behaviour
+    /// exactly. The overlapped and sentinel paths model healthy links.
+    pub faults: FaultModel,
     /// Seed for waiting times and link jitter.
     pub seed: u64,
 }
@@ -77,8 +84,39 @@ impl Default for PipelineOptions {
             gridftp: GridFtpConfig::default(),
             wait_model: WaitTimeModel::Immediate,
             sentinel: false,
+            faults: FaultModel::none(),
             seed: 0,
         }
+    }
+}
+
+/// Everything one [`Orchestrator::run_detailed`] call produced: the phase
+/// breakdown plus the fault/retry detail of the transfer leg (all zeros /
+/// empty under [`FaultModel::none`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutcome {
+    /// Phase timing and payload accounting.
+    pub breakdown: TimeBreakdown,
+    /// Failed attempts across all transferred files.
+    pub transfer_retries: usize,
+    /// Indices (in transfer order) of files abandoned after exhausting the
+    /// fault model's retry budget.
+    pub failed_files: Vec<usize>,
+    /// Bytes moved by attempts that subsequently failed.
+    pub wasted_bytes: u64,
+    /// Attempts per transferred file (1 = clean first try).
+    pub attempts: Vec<u32>,
+    /// Byte sizes offered to the transfer leg, in transfer order (raw file
+    /// sizes for [`Strategy::Direct`], compressed or grouped sizes
+    /// otherwise). Indexes align with `failed_files` and `attempts`, which
+    /// lets callers re-offer exactly the abandoned payloads.
+    pub transfer_sizes: Vec<u64>,
+}
+
+impl PipelineOutcome {
+    /// True when every file arrived within the retry budget.
+    pub fn delivered(&self) -> bool {
+        self.failed_files.is_empty()
     }
 }
 
@@ -116,6 +154,24 @@ impl Orchestrator {
         strategy: Strategy,
         opts: &PipelineOptions,
     ) -> TimeBreakdown {
+        self.run_detailed(workload, from, to, strategy, opts).breakdown
+    }
+
+    /// Runs one pipeline like [`Orchestrator::run`], additionally reporting
+    /// the transfer leg's fault/retry detail from [`PipelineOptions::faults`]
+    /// — which files needed retries, which were abandoned, and how many
+    /// bytes the failed attempts wasted.
+    ///
+    /// # Panics
+    /// Panics if `from == to` or node counts are zero.
+    pub fn run_detailed(
+        &self,
+        workload: &Workload,
+        from: SiteId,
+        to: SiteId,
+        strategy: Strategy,
+        opts: &PipelineOptions,
+    ) -> PipelineOutcome {
         assert!(opts.compress_nodes > 0 && opts.decompress_nodes > 0, "node counts must be positive");
         let route = self.topology.route(from, to);
         let src = self.topology.site(from);
@@ -124,18 +180,34 @@ impl Orchestrator {
         match strategy {
             Strategy::Direct => {
                 let sizes = workload.raw_sizes();
-                let report = simulate_transfer(&sizes, &route.link, &opts.gridftp, opts.seed);
-                TimeBreakdown {
-                    transfer_s: report.duration_s,
-                    bytes_transferred: report.bytes_total,
-                    files_transferred: report.n_files,
-                    ..Default::default()
+                let faulty = simulate_transfer_with_faults(&sizes, &route.link, &opts.gridftp, &opts.faults, opts.seed);
+                PipelineOutcome {
+                    breakdown: TimeBreakdown {
+                        transfer_s: faulty.report.duration_s,
+                        bytes_transferred: faulty.report.bytes_total,
+                        files_transferred: faulty.report.n_files,
+                        ..Default::default()
+                    },
+                    transfer_retries: faulty.retries,
+                    failed_files: faulty.failed_files,
+                    wasted_bytes: faulty.wasted_bytes,
+                    attempts: faulty.attempts,
+                    transfer_sizes: sizes,
                 }
             }
             Strategy::Compressed | Strategy::CompressedGrouped { .. } => {
                 let wait_s = opts.wait_model.sample(opts.seed, 0);
                 if opts.sentinel && wait_s > 0.0 {
-                    return sentinel::run_with_wait(self, workload, from, to, strategy, opts, wait_s);
+                    // The sentinel path models a healthy link.
+                    let breakdown = sentinel::run_with_wait(self, workload, from, to, strategy, opts, wait_s);
+                    return PipelineOutcome {
+                        breakdown,
+                        transfer_retries: 0,
+                        failed_files: Vec::new(),
+                        wasted_bytes: 0,
+                        attempts: Vec::new(),
+                        transfer_sizes: Vec::new(),
+                    };
                 }
 
                 let comp_cluster = Cluster::new(opts.compress_nodes, src.cores_per_node, src.core_speed);
@@ -150,8 +222,7 @@ impl Orchestrator {
                             (None, Some(b)) => plan_groups(&comp_sizes, b),
                             (None, None) => plan_groups_by_count(comp_sizes.len(), comp_cluster.total_cores()),
                         };
-                        let grouped: Vec<u64> =
-                            plan.iter().map(|g| g.iter().map(|&i| comp_sizes[i]).sum()).collect();
+                        let grouped: Vec<u64> = plan.iter().map(|g| g.iter().map(|&i| comp_sizes[i]).sum()).collect();
                         // Grouping cost: the group files are written by one
                         // writer each (MPI ranks coordinate offsets).
                         let total: u64 = grouped.iter().sum();
@@ -162,20 +233,27 @@ impl Orchestrator {
                     _ => (comp_sizes, 0.0),
                 };
 
-                let report = simulate_transfer(&sizes, &route.link, &opts.gridftp, opts.seed);
+                let faulty = simulate_transfer_with_faults(&sizes, &route.link, &opts.gridftp, &opts.faults, opts.seed);
 
                 let dcores = opts.decompress_cores_per_node.unwrap_or(dst.cores_per_node).min(dst.cores_per_node);
                 let decomp_cluster = Cluster::new(opts.decompress_nodes, dcores, dst.core_speed);
                 let decompression_s = self.decompression_time(workload, dst, &decomp_cluster);
 
-                TimeBreakdown {
-                    queue_wait_s: wait_s,
-                    compression_s,
-                    grouping_s,
-                    transfer_s: report.duration_s,
-                    decompression_s,
-                    bytes_transferred: report.bytes_total,
-                    files_transferred: report.n_files,
+                PipelineOutcome {
+                    breakdown: TimeBreakdown {
+                        queue_wait_s: wait_s,
+                        compression_s,
+                        grouping_s,
+                        transfer_s: faulty.report.duration_s,
+                        decompression_s,
+                        bytes_transferred: faulty.report.bytes_total,
+                        files_transferred: faulty.report.n_files,
+                    },
+                    transfer_retries: faulty.retries,
+                    failed_files: faulty.failed_files,
+                    wasted_bytes: faulty.wasted_bytes,
+                    attempts: faulty.attempts,
+                    transfer_sizes: sizes,
                 }
             }
         }
@@ -278,12 +356,7 @@ impl Orchestrator {
 
     /// Decompression phase: compute makespan overlapped with compressed-file
     /// reads, plus the contended write of the restored data (Fig 9).
-    pub fn decompression_time(
-        &self,
-        workload: &Workload,
-        dst: &ocelot_netsim::Site,
-        cluster: &Cluster,
-    ) -> f64 {
+    pub fn decompression_time(&self, workload: &Workload, dst: &ocelot_netsim::Site, cluster: &Cluster) -> f64 {
         let work = workload.decompression_work();
         let makespan = cluster.full_makespan(&work);
         let comp_total: u64 = workload.compressed_sizes().iter().sum();
@@ -334,10 +407,7 @@ mod tests {
     fn queue_wait_appears_in_breakdown() {
         let orch = Orchestrator::paper();
         let w = miranda();
-        let opts = PipelineOptions {
-            wait_model: ocelot_faas::WaitTimeModel::Fixed(100.0),
-            ..Default::default()
-        };
+        let opts = PipelineOptions { wait_model: ocelot_faas::WaitTimeModel::Fixed(100.0), ..Default::default() };
         let cp = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &opts);
         assert_eq!(cp.queue_wait_s, 100.0);
         assert!(cp.total_s() > 100.0);
@@ -385,10 +455,7 @@ mod tests {
         let overlapped = orch.run_overlapped(&w, SiteId::Bebop, SiteId::Cori, &opts);
         let additive_total = additive.total_s();
         let overlapped_total = Orchestrator::overlapped_total_s(&overlapped);
-        assert!(
-            overlapped_total < additive_total * 0.85,
-            "overlapped {overlapped_total} vs additive {additive_total}"
-        );
+        assert!(overlapped_total < additive_total * 0.85, "overlapped {overlapped_total} vs additive {additive_total}");
         // Same bytes cross the wire either way.
         assert_eq!(overlapped.bytes_transferred, additive.bytes_transferred);
         // The overlapped transfer cannot finish before compression's makespan.
@@ -399,12 +466,43 @@ mod tests {
     fn overlapped_pipeline_respects_queue_wait() {
         let orch = Orchestrator::paper();
         let w = miranda();
-        let opts = PipelineOptions {
-            wait_model: ocelot_faas::WaitTimeModel::Fixed(50.0),
-            ..Default::default()
-        };
+        let opts = PipelineOptions { wait_model: ocelot_faas::WaitTimeModel::Fixed(50.0), ..Default::default() };
         let b = orch.run_overlapped(&w, SiteId::Anvil, SiteId::Cori, &opts);
         assert!(b.transfer_s >= 50.0, "transfer window {} must cover the wait", b.transfer_s);
+    }
+
+    #[test]
+    fn faults_slow_the_transfer_and_record_retries() {
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let healthy = PipelineOptions::default();
+        let flaky = PipelineOptions { faults: FaultModel::flaky(0.3), ..Default::default() };
+        let h = orch.run_detailed(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &healthy);
+        let f = orch.run_detailed(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &flaky);
+        assert_eq!(h.transfer_retries, 0);
+        assert!(h.delivered());
+        assert!(h.attempts.iter().all(|&a| a == 1));
+        assert!(f.transfer_retries > 0);
+        assert!(f.wasted_bytes > 0);
+        assert!(f.breakdown.transfer_s > h.breakdown.transfer_s);
+        // Compute phases are unaffected by WAN faults.
+        assert_eq!(f.breakdown.compression_s, h.breakdown.compression_s);
+        assert_eq!(f.breakdown.decompression_s, h.breakdown.decompression_s);
+    }
+
+    #[test]
+    fn healthy_faults_leave_run_unchanged() {
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let opts = PipelineOptions::default();
+        for strategy in [Strategy::Direct, Strategy::Compressed, Strategy::grouped_by_count(16)] {
+            let outcome = orch.run_detailed(&w, SiteId::Anvil, SiteId::Cori, strategy, &opts);
+            let plain = orch.run(&w, SiteId::Anvil, SiteId::Cori, strategy, &opts);
+            assert_eq!(outcome.breakdown, plain);
+            assert!(outcome.delivered());
+            assert_eq!(outcome.transfer_retries, 0);
+            assert_eq!(outcome.wasted_bytes, 0);
+        }
     }
 
     #[test]

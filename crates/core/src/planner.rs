@@ -129,8 +129,7 @@ mod tests {
         let w = miranda();
         let base = PipelineOptions::default();
         let plan = planner.plan(&w, SiteId::Anvil, SiteId::Cori, &base);
-        let default_run =
-            planner.orchestrator.run(&w, SiteId::Anvil, SiteId::Cori, Strategy::Compressed, &base);
+        let default_run = planner.orchestrator.run(&w, SiteId::Anvil, SiteId::Cori, Strategy::Compressed, &base);
         assert!(
             plan.expected.total_s() <= default_run.total_s() * 1.02,
             "planned {} vs default {}",
@@ -143,8 +142,7 @@ mod tests {
     fn group_count_avoids_both_extremes_on_the_fast_route() {
         let planner = TransferPlanner::paper();
         let w = miranda();
-        if let Some(groups) = planner.optimal_group_count(&w, SiteId::Anvil, SiteId::Cori, &GridFtpConfig::default())
-        {
+        if let Some(groups) = planner.optimal_group_count(&w, SiteId::Anvil, SiteId::Cori, &GridFtpConfig::default()) {
             assert!(groups > 8, "too few groups cannot fill the fast link: {groups}");
             assert!(groups <= w.file_count());
         }

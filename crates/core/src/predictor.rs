@@ -78,10 +78,7 @@ impl AutoConfigurator {
     /// Estimates quality for every candidate (the table the paper's UI shows
     /// the user).
     pub fn estimate_all<T: ScalarValue>(&self, data: &Dataset<T>) -> Vec<(LossyConfig, QualityEstimate)> {
-        self.candidates
-            .iter()
-            .map(|cfg| (*cfg, self.model.predict_for(data, cfg, self.sample_stride)))
-            .collect()
+        self.candidates.iter().map(|cfg| (*cfg, self.model.predict_for(data, cfg, self.sample_stride))).collect()
     }
 
     /// Picks the candidate maximizing predicted ratio among those satisfying

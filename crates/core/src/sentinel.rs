@@ -173,7 +173,8 @@ mod tests {
         // flows during the window.
         let orch = Orchestrator::paper();
         let w = miranda();
-        let blocking = PipelineOptions { wait_model: WaitTimeModel::Fixed(600.0), sentinel: false, ..Default::default() };
+        let blocking =
+            PipelineOptions { wait_model: WaitTimeModel::Fixed(600.0), sentinel: false, ..Default::default() };
         let b_block = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &blocking);
         let b_sent = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &opts_with_wait(600.0));
         assert!(

@@ -87,10 +87,7 @@ impl TransferSession {
     /// reserved manifest member name.
     pub fn build_archives(&self, files: &[(String, Dataset<f32>)], group_count: usize) -> Result<ArchiveSet, SzError> {
         assert!(group_count > 0, "at least one archive");
-        assert!(
-            files.iter().all(|(n, _)| n != MANIFEST_MEMBER),
-            "file name '{MANIFEST_MEMBER}' is reserved"
-        );
+        assert!(files.iter().all(|(n, _)| n != MANIFEST_MEMBER), "file name '{MANIFEST_MEMBER}' is reserved");
         let datasets: Vec<Dataset<f32>> = files.iter().map(|(_, d)| d.clone()).collect();
         let total_raw_bytes: u64 = datasets.iter().map(|d| d.nbytes() as u64).sum();
         let blobs = self.executor.compress_all(&datasets, &self.config)?;
@@ -126,7 +123,7 @@ impl TransferSession {
         }
         let blobs: Vec<CompressedBlob> = named_blobs.iter().map(|(_, b)| b.clone()).collect();
         let datasets = self.executor.decompress_all(&blobs)?;
-        Ok(named_blobs.into_iter().map(|(n, _)| n).zip(datasets).map(|(n, d)| (n, d)).collect())
+        Ok(named_blobs.into_iter().map(|(n, _)| n).zip(datasets).collect())
     }
 }
 
@@ -140,8 +137,8 @@ pub fn open_archive(archive: &[u8]) -> Result<Vec<(String, CompressedBlob)>, SzE
     let members = ungroup_blobs(archive).map_err(|e| SzError::CorruptStream(format!("archive: {e}")))?;
     let (manifest, rest) =
         members.split_first().ok_or_else(|| SzError::CorruptStream("archive has no members".into()))?;
-    let names: Vec<String> = serde_json::from_slice(manifest)
-        .map_err(|e| SzError::CorruptStream(format!("archive manifest: {e}")))?;
+    let names: Vec<String> =
+        serde_json::from_slice(manifest).map_err(|e| SzError::CorruptStream(format!("archive manifest: {e}")))?;
     if names.len() != rest.len() {
         return Err(SzError::CorruptStream(format!(
             "manifest lists {} members but archive holds {}",
@@ -149,11 +146,7 @@ pub fn open_archive(archive: &[u8]) -> Result<Vec<(String, CompressedBlob)>, SzE
             rest.len()
         )));
     }
-    names
-        .into_iter()
-        .zip(rest)
-        .map(|(name, bytes)| Ok((name, CompressedBlob::from_bytes(bytes.clone())?)))
-        .collect()
+    names.into_iter().zip(rest).map(|(name, bytes)| Ok((name, CompressedBlob::from_bytes(bytes.clone())?))).collect()
 }
 
 #[cfg(test)]

@@ -57,13 +57,11 @@ impl TemporalCompressor {
                         prev.dims()
                     )));
                 }
-                let delta: Vec<f32> =
-                    frame.values().iter().zip(prev.values()).map(|(&c, &p)| c - p).collect();
+                let delta: Vec<f32> = frame.values().iter().zip(prev.values()).map(|(&c, &p)| c - p).collect();
                 let delta = Dataset::new(frame.dims().to_vec(), delta)?;
                 let blob = compress(&delta, &cfg)?;
                 let delta_recon = decompress::<f32>(&blob)?;
-                let recon: Vec<f32> =
-                    prev.values().iter().zip(delta_recon.values()).map(|(&p, &d)| p + d).collect();
+                let recon: Vec<f32> = prev.values().iter().zip(delta_recon.values()).map(|(&p, &d)| p + d).collect();
                 self.prev_recon = Some(Dataset::new(frame.dims().to_vec(), recon)?);
                 Ok(tag(MODE_DELTA, blob))
             }
@@ -94,9 +92,8 @@ impl TemporalDecompressor {
     /// Returns [`SzError::CorruptStream`] for bad tags or a delta frame
     /// without a preceding key frame; propagates codec errors.
     pub fn decompress_next(&mut self, frame_bytes: &[u8]) -> Result<Dataset<f32>, SzError> {
-        let (&mode, rest) = frame_bytes
-            .split_first()
-            .ok_or_else(|| SzError::CorruptStream("empty temporal frame".into()))?;
+        let (&mode, rest) =
+            frame_bytes.split_first().ok_or_else(|| SzError::CorruptStream("empty temporal frame".into()))?;
         let blob = CompressedBlob::from_bytes(rest.to_vec())?;
         let decoded = decompress::<f32>(&blob)?;
         let frame = match mode {
@@ -109,8 +106,7 @@ impl TemporalDecompressor {
                 if prev.dims() != decoded.dims() {
                     return Err(SzError::CorruptStream("delta frame shape mismatch".into()));
                 }
-                let recon: Vec<f32> =
-                    prev.values().iter().zip(decoded.values()).map(|(&p, &d)| p + d).collect();
+                let recon: Vec<f32> = prev.values().iter().zip(decoded.values()).map(|(&p, &d)| p + d).collect();
                 Dataset::new(decoded.dims().to_vec(), recon)?
             }
             other => return Err(SzError::CorruptStream(format!("unknown temporal frame mode {other}"))),
@@ -164,10 +160,7 @@ mod tests {
         // Temporal: key + deltas.
         let mut comp = TemporalCompressor::new(cfg);
         let temporal: usize = frames.iter().map(|f| comp.compress_next(f).unwrap().len()).sum();
-        assert!(
-            (temporal as f64) < spatial as f64 * 0.85,
-            "temporal {temporal} should beat spatial {spatial}"
-        );
+        assert!((temporal as f64) < spatial as f64 * 0.85, "temporal {temporal} should beat spatial {spatial}");
     }
 
     #[test]

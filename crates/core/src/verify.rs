@@ -109,11 +109,8 @@ mod tests {
         let blob = compress(&data, &LossyConfig::sz3(1e-1)).unwrap();
         let restored = decompress::<f32>(&blob).unwrap();
         // Demand far more than 1e-1 compression delivers.
-        let policy = AcceptancePolicy {
-            max_abs_error: Some(1e-6),
-            min_psnr: Some(120.0),
-            min_correlation: Some(0.999999999),
-        };
+        let policy =
+            AcceptancePolicy { max_abs_error: Some(1e-6), min_psnr: Some(120.0), min_correlation: Some(0.999999999) };
         let v = verify(&data, &restored, &policy).unwrap();
         assert!(!v.accepted);
         assert_eq!(v.violations.len(), 3, "{:?}", v.violations);
@@ -124,11 +121,7 @@ mod tests {
     #[test]
     fn identical_data_always_passes() {
         let data = field();
-        let policy = AcceptancePolicy {
-            max_abs_error: Some(0.0),
-            min_psnr: Some(1e6),
-            min_correlation: Some(1.0),
-        };
+        let policy = AcceptancePolicy { max_abs_error: Some(0.0), min_psnr: Some(1e6), min_correlation: Some(1.0) };
         let v = verify(&data, &data, &policy).unwrap();
         assert!(v.accepted);
         assert!(v.psnr.is_infinite());

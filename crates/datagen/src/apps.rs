@@ -5,9 +5,7 @@
 //! the paper's (e.g. CESM `1800×3600`, RTM `449×449×235`) and can be divided
 //! by a scale factor for laptop-sized runs.
 
-use crate::spectral::{
-    add_noise, exponentiate, log10_transform, rescale, sparsify, vortex, wavefront, SpectralConfig,
-};
+use crate::spectral::{add_noise, exponentiate, log10_transform, rescale, sparsify, vortex, wavefront, SpectralConfig};
 use ocelot_sz::Dataset;
 
 /// The scientific applications evaluated in the paper (Table IV, plus HACC
@@ -72,15 +70,29 @@ impl Application {
     pub fn fields(&self) -> &'static [&'static str] {
         match self {
             Application::Cesm => &[
-                "CLDHGH", "CLDMED", "FLDSC", "PCONVT", "TMQ", "TROP_Z", "ICEFRAC", "PSL", "FLNSC",
-                "ODV_ocar2", "LHFLX", "TREFHT", "FSDTOA", "SNOWHICE",
+                "CLDHGH",
+                "CLDMED",
+                "FLDSC",
+                "PCONVT",
+                "TMQ",
+                "TROP_Z",
+                "ICEFRAC",
+                "PSL",
+                "FLNSC",
+                "ODV_ocar2",
+                "LHFLX",
+                "TREFHT",
+                "FSDTOA",
+                "SNOWHICE",
             ],
-            Application::Miranda => &["density", "velocity-x", "velocity-y", "velocity-z", "diffusivity", "pressure", "viscosity"],
+            Application::Miranda => {
+                &["density", "velocity-x", "velocity-y", "velocity-z", "diffusivity", "pressure", "viscosity"]
+            }
             Application::Rtm => &["snapshot-0594", "snapshot-1048", "snapshot-1982", "snapshot-2800", "snapshot-3400"],
             Application::Nyx => &["baryon_density", "dark_matter_density", "temperature", "velocity_x"],
-            Application::Isabel => &[
-                "CLOUDf48_log10", "PRECIPf48_log10", "QSNOWf48_log10", "QVAPORf48", "Pf48", "Wf48", "TCf48", "Uf48",
-            ],
+            Application::Isabel => {
+                &["CLOUDf48_log10", "PRECIPf48_log10", "QSNOWf48_log10", "QVAPORf48", "Pf48", "Wf48", "TCf48", "Uf48"]
+            }
             Application::Qmcpack => &["einspine"],
             Application::Hacc => &["vx", "vy", "xx"],
         }
@@ -181,20 +193,20 @@ fn fnv(s: &str) -> u64 {
 fn cesm_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Dataset<f32> {
     // (beta, lo, hi, sparsify threshold, noise)
     let (beta, lo, hi, sparse, noise): (f64, f64, f64, f64, f64) = match field {
-        "CLDHGH" => (1.3, 0.0, 0.92, 0.25, 0.01),      // patchy cloud fraction
+        "CLDHGH" => (1.3, 0.0, 0.92, 0.25, 0.01), // patchy cloud fraction
         "CLDMED" => (1.2, 0.0, 0.95, 0.30, 0.01),
-        "FLDSC" => (2.0, 92.84, 418.24, 0.0, 0.05),    // Table I range
+        "FLDSC" => (2.0, 92.84, 418.24, 0.0, 0.05),       // Table I range
         "PCONVT" => (2.4, 39025.27, 103207.45, 0.0, 5.0), // Table I range
         "TMQ" => (1.8, 0.3, 68.0, 0.0, 0.02),
-        "TROP_Z" => (2.8, 5000.0, 18000.0, 0.0, 1.0),  // very smooth → high PSNR
-        "ICEFRAC" => (1.4, 0.0, 1.0, 0.55, 0.0),       // polar caps only
+        "TROP_Z" => (2.8, 5000.0, 18000.0, 0.0, 1.0), // very smooth → high PSNR
+        "ICEFRAC" => (1.4, 0.0, 1.0, 0.55, 0.0),      // polar caps only
         "PSL" => (2.6, 95000.0, 105000.0, 0.0, 2.0),
         "FLNSC" => (1.9, 30.0, 180.0, 0.0, 0.2),
         "ODV_ocar2" => (1.5, 0.0, 2e-10, 0.2, 1e-13),
         "LHFLX" => (1.6, -20.0, 600.0, 0.0, 0.5),
         "TREFHT" => (2.3, 210.0, 315.0, 0.0, 0.05),
-        "FSDTOA" => (2.9, 0.0, 1400.0, 0.0, 0.01),     // near-deterministic insolation
-        "SNOWHICE" => (1.5, 0.0, 1.2, 0.6, 0.0),       // sparse → huge ratios
+        "FSDTOA" => (2.9, 0.0, 1400.0, 0.0, 0.01), // near-deterministic insolation
+        "SNOWHICE" => (1.5, 0.0, 1.2, 0.6, 0.0),   // sparse → huge ratios
         other => (1.8, 0.0, 1.0, 0.0, 0.01 + (fnv(other) % 8) as f64 * 0.002),
     };
     let mut d = SpectralConfig { modes: 56, beta, max_wavenumber: 28.0, seed }.generate_window(dims, full);
@@ -237,11 +249,7 @@ fn miranda_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Data
 
 fn rtm_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Dataset<f32> {
     // "snapshot-NNNN" → wavefront at t = NNNN / 3600.
-    let t = field
-        .strip_prefix("snapshot-")
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(|n| n / 3600.0)
-        .unwrap_or(0.5);
+    let t = field.strip_prefix("snapshot-").and_then(|s| s.parse::<f64>().ok()).map(|n| n / 3600.0).unwrap_or(0.5);
     let mut d = SpectralConfig { modes: 40, beta: 1.0, max_wavenumber: 36.0, seed }.generate_window(dims, full);
     for v in d.values_mut() {
         *v = *v * 2.0 - 1.0; // zero-centred wavefield
@@ -297,10 +305,21 @@ fn isabel_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Datas
         _ => (1.5, 0.0, 1.0, 0.0),
     };
     let mut d = SpectralConfig { modes: 60, beta, max_wavenumber: 36.0, seed }.generate_window(dims, full);
-    vortex(&mut d, dims, 3, 0.8);
+    // Sparsify before the vortex attenuation: the vortex scales most of the
+    // domain well below any fixed threshold, so thresholding afterwards
+    // zeroes nearly every cell and the mixing-ratio fields degenerate to
+    // constants (no PSNR/feature variation across error bounds).
     if sparse > 0.0 {
         sparsify(&mut d, sparse);
+        // Re-normalize the surviving mass to [0,1].
+        let (mn, mx) = d.min_max();
+        if mx > mn {
+            for v in d.values_mut() {
+                *v = (*v - mn) / (mx - mn);
+            }
+        }
     }
+    vortex(&mut d, dims, 3, 0.8);
     rescale(&mut d, lo, hi);
     if log10 {
         // Shift to non-negative before the log transform, as the original
@@ -333,7 +352,8 @@ fn hacc_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Dataset
         "xx" => {
             // Particle positions: near-uniform in [0, 256) with clustering —
             // effectively incompressible at tight bounds (Table I).
-            let mut d = SpectralConfig { modes: 24, beta: 0.4, max_wavenumber: 200.0, seed }.generate_window(dims, full);
+            let mut d =
+                SpectralConfig { modes: 24, beta: 0.4, max_wavenumber: 200.0, seed }.generate_window(dims, full);
             add_noise(&mut d, 0.35, seed);
             for v in d.values_mut() {
                 *v = v.clamp(0.0, 1.0);
@@ -343,7 +363,8 @@ fn hacc_field(field: &str, dims: &[usize], full: &[usize], seed: u64) -> Dataset
         }
         _ => {
             // Velocities: heavy-tailed around zero, range ±~4000 (Table I).
-            let mut d = SpectralConfig { modes: 48, beta: 0.8, max_wavenumber: 120.0, seed }.generate_window(dims, full);
+            let mut d =
+                SpectralConfig { modes: 48, beta: 0.8, max_wavenumber: 120.0, seed }.generate_window(dims, full);
             add_noise(&mut d, 0.15, seed);
             for v in d.values_mut() {
                 let centred = (*v * 2.0 - 1.0).clamp(-1.0, 1.0);

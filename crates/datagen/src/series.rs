@@ -26,12 +26,8 @@ pub fn snapshot_series(spec: &FieldSpec, n: usize, rho: f32, base_seed: u64) -> 
     for t in 0..n {
         let fresh = spec.clone().with_seed(base_seed + t as u64).generate();
         if let Some(prev) = out.last() {
-            let blended: Vec<f32> = prev
-                .values()
-                .iter()
-                .zip(fresh.values())
-                .map(|(&p, &f)| rho * p + (1.0 - rho) * f)
-                .collect();
+            let blended: Vec<f32> =
+                prev.values().iter().zip(fresh.values()).map(|(&p, &f)| rho * p + (1.0 - rho) * f).collect();
             out.push(Dataset::new(fresh.dims().to_vec(), blended).expect("same shape"));
         } else {
             out.push(fresh);

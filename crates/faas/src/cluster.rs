@@ -73,9 +73,7 @@ impl Cluster {
         assert!(cores > 0, "at least one core");
         let cores = cores.min(self.total_cores());
         let mut order: Vec<usize> = (0..work_s.len()).collect();
-        order.sort_by(|&a, &b| {
-            work_s[b].partial_cmp(&work_s[a]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| work_s[b].partial_cmp(&work_s[a]).unwrap_or(std::cmp::Ordering::Equal));
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
             (0..cores.min(work_s.len().max(1))).map(|c| Reverse((0u64, c))).collect();
         let mut completion = vec![0.0f64; work_s.len()];

@@ -184,9 +184,9 @@ impl FaasFabric {
         if ids.is_empty() {
             return None;
         }
-        ids.iter().map(|id| self.tasks.get(id).map(TaskRecord::end_time)).try_fold(SimTime::ZERO, |acc, t| {
-            t.map(|t| acc.max(t))
-        })
+        ids.iter()
+            .map(|id| self.tasks.get(id).map(TaskRecord::end_time))
+            .try_fold(SimTime::ZERO, |acc, t| t.map(|t| acc.max(t)))
     }
 
     /// All task records, ordered by id (the "analytical data stored on the

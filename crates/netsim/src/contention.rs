@@ -58,8 +58,7 @@ pub fn simulate_shared_link(batches: &[BatchSpec], link: &LinkProfile, seed: u64
     let release_spacing: Vec<f64> = batches
         .iter()
         .map(|b| {
-            let per_command =
-                link.per_file_overhead_s + if b.config.pipelining { 0.0 } else { link.rtt_s };
+            let per_command = link.per_file_overhead_s + if b.config.pipelining { 0.0 } else { link.rtt_s };
             per_command / b.config.concurrency as f64
         })
         .collect();
@@ -95,18 +94,15 @@ pub fn simulate_shared_link(batches: &[BatchSpec], link: &LinkProfile, seed: u64
             }
         }
 
-        let work_remains = states.iter().enumerate().any(|(k, st)| {
-            !st.active.is_empty() || st.next_file < batches[k].files.len()
-        });
+        let work_remains =
+            states.iter().enumerate().any(|(k, st)| !st.active.is_empty() || st.next_file < batches[k].files.len());
         if !work_remains {
             break;
         }
 
         // Fair share across every flowing file on the link.
-        let caps: Vec<f64> = states
-            .iter()
-            .flat_map(|st| st.active.iter().filter(|a| a.2 <= 0.0).map(|a| a.1))
-            .collect();
+        let caps: Vec<f64> =
+            states.iter().flat_map(|st| st.active.iter().filter(|a| a.2 <= 0.0).map(|a| a.1)).collect();
         let rates = water_fill_caps(link.bandwidth_bps, &caps);
 
         // Next event across all batches.
@@ -227,8 +223,12 @@ mod tests {
         let files = vec![200_000_000u64; 30];
         let plain = simulate_transfer(&files, &link(), &GridFtpConfig::default(), 0);
         let shared = simulate_shared_link(&[batch(files, 0.0)], &link(), 0);
-        assert!((shared[0].duration_s - plain.duration_s).abs() / plain.duration_s < 0.02,
-            "shared {} vs plain {}", shared[0].duration_s, plain.duration_s);
+        assert!(
+            (shared[0].duration_s - plain.duration_s).abs() / plain.duration_s < 0.02,
+            "shared {} vs plain {}",
+            shared[0].duration_s,
+            plain.duration_s
+        );
     }
 
     #[test]
@@ -244,11 +244,7 @@ mod tests {
     #[test]
     fn late_arrivals_share_fairly_from_their_start() {
         let files = vec![500_000_000u64; 40];
-        let reports = simulate_shared_link(
-            &[batch(files.clone(), 0.0), batch(files, 15.0)],
-            &link(),
-            0,
-        );
+        let reports = simulate_shared_link(&[batch(files.clone(), 0.0), batch(files, 15.0)], &link(), 0);
         // The early batch finishes first; the late one finishes after it.
         assert!(reports[0].finished_at_s < reports[1].finished_at_s);
         // The early batch still pays contention for the overlap window.
@@ -267,8 +263,11 @@ mod tests {
     #[test]
     fn total_throughput_respects_the_link() {
         let files = vec![250_000_000u64; 40];
-        let reports =
-            simulate_shared_link(&[batch(files.clone(), 0.0), batch(files.clone(), 0.0), batch(files, 0.0)], &link(), 1);
+        let reports = simulate_shared_link(
+            &[batch(files.clone(), 0.0), batch(files.clone(), 0.0), batch(files, 0.0)],
+            &link(),
+            1,
+        );
         let total_bytes: u64 = reports.iter().map(|r| r.bytes_total).sum();
         let window = reports.iter().map(|r| r.finished_at_s).fold(0.0f64, f64::max);
         assert!(total_bytes as f64 / window <= 1.0e9 * 1.05, "aggregate {} B/s", total_bytes as f64 / window);

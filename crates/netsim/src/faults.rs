@@ -45,6 +45,10 @@ pub struct FaultyTransferReport {
     pub failed_files: Vec<usize>,
     /// Wasted bytes (partial transfers of failed attempts).
     pub wasted_bytes: u64,
+    /// Attempts made per file (1 = first try succeeded; abandoned files
+    /// show `max_retries + 1`). Lets callers audit exactly which files were
+    /// flaky rather than only the aggregate retry count.
+    pub attempts: Vec<u32>,
 }
 
 /// SplitMix64-derived uniform in `[0, 1)`.
@@ -76,6 +80,7 @@ pub fn simulate_transfer_with_faults(
     let mut wasted_bytes = 0u64;
     let mut reconnect_total = 0.0f64;
     let mut successful_bytes = 0u64;
+    let mut attempts = Vec::with_capacity(files.len());
 
     for (i, &size) in files.iter().enumerate() {
         let mut attempt = 0u32;
@@ -85,6 +90,7 @@ pub fn simulate_transfer_with_faults(
             if !fails {
                 work.push(size);
                 successful_bytes += size;
+                attempts.push(attempt + 1);
                 break;
             }
             // A failed attempt moves a deterministic partial payload first.
@@ -96,6 +102,7 @@ pub fn simulate_transfer_with_faults(
             retries += 1;
             if attempt >= faults.max_retries {
                 failed_files.push(i);
+                attempts.push(attempt + 1);
                 break;
             }
             attempt += 1;
@@ -109,7 +116,7 @@ pub fn simulate_transfer_with_faults(
     report.n_files = files.len() - failed_files.len();
     report.effective_speed_bps =
         if report.duration_s > 0.0 { successful_bytes as f64 / report.duration_s } else { 0.0 };
-    FaultyTransferReport { report, retries, failed_files, wasted_bytes }
+    FaultyTransferReport { report, retries, failed_files, wasted_bytes, attempts }
 }
 
 #[cfg(test)]
@@ -129,6 +136,7 @@ mod tests {
         assert_eq!(faulty.report, plain);
         assert_eq!(faulty.retries, 0);
         assert!(faulty.failed_files.is_empty());
+        assert!(faulty.attempts.iter().all(|&a| a == 1));
     }
 
     #[test]
@@ -149,6 +157,10 @@ mod tests {
         // P(6 consecutive failures) = 0.2^6 = 6.4e-5: all 100 files land.
         assert!(r.failed_files.is_empty(), "failed {:?}", r.failed_files);
         assert_eq!(r.report.bytes_total, 100 * 10_000_000);
+        // Per-file attempt counts reconcile with the aggregate retry count.
+        assert_eq!(r.attempts.len(), files.len());
+        let total_tries: usize = r.attempts.iter().map(|&a| a as usize).sum();
+        assert_eq!(total_tries - files.len(), r.retries);
     }
 
     #[test]

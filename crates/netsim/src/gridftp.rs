@@ -34,7 +34,13 @@ pub struct GridFtpConfig {
 impl Default for GridFtpConfig {
     /// The tuned configuration used for the paper's Table VIII transfers.
     fn default() -> Self {
-        GridFtpConfig { concurrency: 32, parallelism: 4, stream_rate_bps: 70.0e6, pipelining: true, slot_setup_s: 0.008 }
+        GridFtpConfig {
+            concurrency: 32,
+            parallelism: 4,
+            stream_rate_bps: 70.0e6,
+            pipelining: true,
+            slot_setup_s: 0.008,
+        }
     }
 }
 
@@ -149,8 +155,7 @@ pub fn simulate_transfer_released(
 
         // Water-filling among files whose setup has completed; files still
         // in setup hold their slot but move no data.
-        let flowing: Vec<Active> =
-            active.iter().filter(|a| a.setup_remaining <= 0.0).copied().collect();
+        let flowing: Vec<Active> = active.iter().filter(|a| a.setup_remaining <= 0.0).copied().collect();
         let flow_rates = water_fill(link.bandwidth_bps, &flowing);
         let mut rates = Vec::with_capacity(active.len());
         let mut fi = 0usize;
@@ -300,11 +305,7 @@ mod tests {
     fn many_large_files_are_bandwidth_limited() {
         let files = vec![1_000_000_000u64; 64];
         let r = simulate_transfer(&files, &test_link(), &GridFtpConfig::default(), 0);
-        assert!(
-            r.effective_speed_bps > 0.9 * 1.15e9,
-            "speed {} should approach link bandwidth",
-            r.effective_speed_bps
-        );
+        assert!(r.effective_speed_bps > 0.9 * 1.15e9, "speed {} should approach link bandwidth", r.effective_speed_bps);
     }
 
     #[test]
@@ -350,7 +351,12 @@ mod tests {
         let cfg = GridFtpConfig::default();
         let rg = simulate_transfer(&grouped, &fat, &cfg, 0);
         let rm = simulate_transfer(&many, &fat, &cfg, 0);
-        assert!(rg.effective_speed_bps < rm.effective_speed_bps, "grouped {} many {}", rg.effective_speed_bps, rm.effective_speed_bps);
+        assert!(
+            rg.effective_speed_bps < rm.effective_speed_bps,
+            "grouped {} many {}",
+            rg.effective_speed_bps,
+            rm.effective_speed_bps
+        );
     }
 
     #[test]

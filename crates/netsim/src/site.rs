@@ -85,7 +85,7 @@ impl Topology {
             Site { id: SiteId::Cori, nodes: 2388, cores_per_node: 32, core_speed: 3.2, fs: cori_fs },
             Site { id: SiteId::Bebop, nodes: 664, cores_per_node: 36, core_speed: 3.0, fs: bebop_fs },
         ];
-                // Per-file handling cost fitted to Table II's 300 000 × 1 MB row
+        // Per-file handling cost fitted to Table II's 300 000 × 1 MB row
         // (1235 s at concurrency 4 → ≈ 16.5 ms per file per control channel).
         let mk = |from, to, bw: f64| Route { from, to, link: LinkProfile::new(bw, 0.05, 0.0165, 0.03) };
         let routes = vec![

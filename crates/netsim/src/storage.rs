@@ -79,9 +79,7 @@ impl SharedFilesystem {
     pub fn optimal_writers(&self, total_bytes: u64, max_writers: usize) -> usize {
         (1..=max_writers.max(1))
             .min_by(|&a, &b| {
-                self.write_time_s(total_bytes, a)
-                    .partial_cmp(&self.write_time_s(total_bytes, b))
-                    .expect("finite times")
+                self.write_time_s(total_bytes, a).partial_cmp(&self.write_time_s(total_bytes, b)).expect("finite times")
             })
             .expect("nonempty range")
     }

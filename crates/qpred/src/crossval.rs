@@ -47,11 +47,8 @@ pub fn cross_validate(samples: &[TrainingSample], k: usize, config: &TreeConfig,
     for fold in 0..k {
         let held: Vec<usize> = order.iter().copied().skip(fold).step_by(k).collect();
         let held_set: std::collections::HashSet<usize> = held.iter().copied().collect();
-        let train: Vec<TrainingSample> = order
-            .iter()
-            .filter(|i| !held_set.contains(i))
-            .map(|&i| samples[i].clone())
-            .collect();
+        let train: Vec<TrainingSample> =
+            order.iter().filter(|i| !held_set.contains(i)).map(|&i| samples[i].clone()).collect();
         let model = QualityModel::train(&train, config);
         for &i in &held {
             let s = &samples[i];

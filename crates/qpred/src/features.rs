@@ -172,7 +172,12 @@ mod tests {
         let loose = extract(&d, &LossyConfig::sz3(1e-1), 16);
         let tight = extract(&d, &LossyConfig::sz3(1e-6), 16);
         assert!(loose.values[6] > tight.values[6], "p0 loose {} vs tight {}", loose.values[6], tight.values[6]);
-        assert!(loose.values[8] <= tight.values[8] + 1e-9, "entropy loose {} vs tight {}", loose.values[8], tight.values[8]);
+        assert!(
+            loose.values[8] <= tight.values[8] + 1e-9,
+            "entropy loose {} vs tight {}",
+            loose.values[8],
+            tight.values[8]
+        );
     }
 
     #[test]

@@ -110,11 +110,7 @@ impl QualityModel {
     /// [`crate::features::FEATURE_NAMES`]: `(ratio, time, psnr)` importance
     /// vectors, each normalized to sum to 1.
     pub fn feature_importance(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        (
-            self.ratio_tree.feature_importance(),
-            self.time_tree.feature_importance(),
-            self.psnr_tree.feature_importance(),
-        )
+        (self.ratio_tree.feature_importance(), self.time_tree.feature_importance(), self.psnr_tree.feature_importance())
     }
 
     /// Extracts features from a dataset and predicts (the end-user path:

@@ -112,9 +112,7 @@ mod tests {
 
     fn field(seed: u64) -> Dataset<f32> {
         Dataset::from_fn(vec![32, 32, 16], move |i| {
-            ((i[0] as f32 + seed as f32 * 2.0) * 0.21).sin() * 3.0
-                + ((i[1] as f32) * 0.13).cos()
-                + i[2] as f32 * 0.02
+            ((i[0] as f32 + seed as f32 * 2.0) * 0.21).sin() * 3.0 + ((i[1] as f32) * 0.13).cos() + i[2] as f32 * 0.02
         })
     }
 
@@ -144,12 +142,10 @@ mod tests {
         let train = build(0..5);
         let model = TransformQualityModel::train(&train, &TreeConfig::default());
         let test = build(5..8);
-        let rmse = (test
-            .iter()
-            .map(|s| (model.predict_ratio(&s.features).log10() - s.ratio.log10()).powi(2))
-            .sum::<f64>()
-            / test.len() as f64)
-            .sqrt();
+        let rmse =
+            (test.iter().map(|s| (model.predict_ratio(&s.features).log10() - s.ratio.log10()).powi(2)).sum::<f64>()
+                / test.len() as f64)
+                .sqrt();
         assert!(rmse < 0.25, "held-out log-ratio RMSE {rmse}");
     }
 

@@ -111,8 +111,7 @@ impl DecisionTree {
         if depth >= config.max_depth || idx.len() < 2 * config.min_samples_leaf || sse <= 1e-24 {
             return self.push(Node::Leaf { value: mean });
         }
-        let Some((feature, threshold, gain)) = best_split(x, y, &idx, self.n_features, config.min_samples_leaf)
-        else {
+        let Some((feature, threshold, gain)) = best_split(x, y, &idx, self.n_features, config.min_samples_leaf) else {
             return self.push(Node::Leaf { value: mean });
         };
         if gain < config.min_gain * sse {
@@ -290,9 +289,7 @@ mod tests {
     #[test]
     fn importance_identifies_the_informative_feature() {
         // Feature 1 fully determines the target; feature 0 is noise.
-        let x: Vec<Vec<f64>> = (0..200)
-            .map(|i| vec![((i * 37) % 17) as f64, (i % 4) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![((i * 37) % 17) as f64, (i % 4) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[1] * 10.0).collect();
         let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
         let imp = tree.feature_importance();

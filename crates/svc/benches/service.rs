@@ -1,0 +1,68 @@
+//! Benchmarks for the service-layer hot paths that run per job rather than
+//! per byte: queue admission under many tenants, journal appends, and a
+//! full submit→drain cycle over a cached workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocelot_datagen::Application;
+use ocelot_netsim::SiteId;
+use ocelot_svc::{JobId, JobSpec, JobState, Journal, Service, ServiceConfig, TenantQueue};
+
+fn spec(tenant: &str) -> JobSpec {
+    JobSpec::compressed(tenant, Application::Miranda, 1e-3, SiteId::Anvil, SiteId::Cori)
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svc_queue");
+    for tenants in [1usize, 8, 64] {
+        g.throughput(Throughput::Elements(1024));
+        g.bench_with_input(BenchmarkId::new("push_pop_1024", tenants), &tenants, |b, &tenants| {
+            b.iter(|| {
+                let mut q = TenantQueue::new(1024);
+                for i in 0..1024u64 {
+                    q.push(JobId(i), spec(&format!("t{}", i % tenants as u64))).unwrap();
+                }
+                let mut n = 0;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_journal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svc_journal");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("record_4096", |b| {
+        b.iter(|| {
+            let j = Journal::new();
+            for i in 0..4096u64 {
+                j.record(JobId(i), "tenant", i as f64, JobState::Queued);
+            }
+            j.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svc_end_to_end");
+    g.sample_size(10);
+    g.bench_function("submit_drain_8_jobs", |b| {
+        // One service across iterations: the workload cache stays warm, so
+        // this measures scheduling + simulation, not profiling.
+        let svc = Service::start(ServiceConfig { workers: 4, queue_capacity: 64, ..Default::default() });
+        b.iter(|| {
+            for i in 0..8 {
+                svc.submit(spec(&format!("t{}", i % 3))).unwrap();
+            }
+            svc.drain();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_journal, bench_service);
+criterion_main!(benches);

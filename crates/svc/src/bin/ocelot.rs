@@ -16,12 +16,13 @@
 //! self-describing.
 
 use ocelot::loader::NcliteFile;
-use ocelot::session::{open_archive, TransferSession};
 use ocelot::orchestrator::{Orchestrator, PipelineOptions, Strategy};
 use ocelot::planner::TransferPlanner;
+use ocelot::session::{open_archive, TransferSession};
 use ocelot::workload::Workload;
 use ocelot_datagen::{Application, FieldSpec};
-use ocelot_netsim::SiteId;
+use ocelot_netsim::{FaultModel, SiteId};
+use ocelot_svc::{JobSpec, JobState, RetryPolicy, Service, ServiceConfig};
 use ocelot_sz::config::{LosslessBackend, PredictorKind};
 use ocelot_sz::{compress_with_stats, decompress, metrics, Dataset, ErrorBound, LossyConfig};
 use std::collections::HashMap;
@@ -55,6 +56,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "verify" => cmd_verify(&positional, &flags),
         "simulate" => cmd_simulate(&flags),
         "plan" => cmd_plan(&flags),
+        "serve" => cmd_serve(&flags),
+        "submit" => cmd_submit(&flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -76,8 +79,11 @@ fn usage() {
          \x20 verify     ORIGINAL RESTORED [--dims DxHxW] [--eb E] [--min-psnr P]  acceptance check\n\
          \x20 simulate   --app A --from SITE --to SITE [--strategy np|cp|op] [--groups N]\n\
          \x20 plan       --app A --from SITE --to SITE                         tuned transfer plan\n\
+         \x20 submit     --app A --from SITE --to SITE [--eb E] [--strategy S] [--tenant T] [--fail P]\n\
+         \x20 serve      --jobs N --tenants T1,T2,... [--apps A1,A2] [--workers W] [--fail P] [--seed S]\n\
          \n\
-         sites: anvil, cori, bebop; apps: cesm, miranda, rtm, nyx, isabel, qmcpack, hacc"
+         sites: anvil, cori, bebop; apps: cesm, miranda, rtm, nyx, isabel, qmcpack, hacc\n\
+         (submit/serve run the multi-tenant transfer service; transfer workloads: cesm, miranda, rtm)"
     );
 }
 
@@ -141,10 +147,8 @@ fn parse_config(flags: &HashMap<String, String>) -> Result<LossyConfig, CliError
         cfg = cfg.with_error_bound(ErrorBound::Abs(eb));
     }
     if let Some(p) = flags.get("predictor") {
-        let predictor = PredictorKind::ALL
-            .into_iter()
-            .find(|k| k.name() == p)
-            .ok_or_else(|| format!("unknown predictor '{p}'"))?;
+        let predictor =
+            PredictorKind::ALL.into_iter().find(|k| k.name() == p).ok_or_else(|| format!("unknown predictor '{p}'"))?;
         cfg = cfg.with_predictor(predictor);
     }
     if let Some(b) = flags.get("backend") {
@@ -166,10 +170,8 @@ fn load_input(path: &str, flags: &HashMap<String, String>) -> Result<Vec<(String
         let container = NcliteFile::from_bytes(&bytes)?;
         return Ok(container.iter().map(|(n, d)| (n.to_string(), d.clone())).collect());
     }
-    let dims = flags
-        .get("dims")
-        .ok_or("raw input requires --dims (e.g. --dims 449x449x235)")
-        .map(|s| parse_dims(s))??;
+    let dims =
+        flags.get("dims").ok_or("raw input requires --dims (e.g. --dims 449x449x235)").map(|s| parse_dims(s))??;
     Ok(vec![("data".to_string(), Dataset::from_le_bytes(dims, &bytes)?)])
 }
 
@@ -193,7 +195,10 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), CliError> {
     }
     println!("wrote {} ({:?}, {:.2} MB) to {out}", field, data.dims(), data.nbytes() as f64 / 1e6);
     if !out.ends_with(".ncl") {
-        println!("decompress/inspect with --dims {}", data.dims().iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"));
+        println!(
+            "decompress/inspect with --dims {}",
+            data.dims().iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+        );
     }
     Ok(())
 }
@@ -331,24 +336,24 @@ fn simulate_common(flags: &HashMap<String, String>) -> Result<(Workload, SiteId,
     Ok((workload, from, to))
 }
 
-fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let (workload, from, to) = simulate_common(flags)?;
-    let strategy = match flags.get("strategy").map(String::as_str).unwrap_or("cp") {
-        "np" => Strategy::Direct,
-        "cp" => Strategy::Compressed,
+fn parse_strategy(flags: &HashMap<String, String>) -> Result<Strategy, CliError> {
+    match flags.get("strategy").map(String::as_str).unwrap_or("cp") {
+        "np" => Ok(Strategy::Direct),
+        "cp" => Ok(Strategy::Compressed),
         "op" => {
             let groups: usize = flags.get("groups").map(|s| s.parse()).transpose()?.unwrap_or(64);
-            Strategy::grouped_by_count(groups)
+            Ok(Strategy::grouped_by_count(groups))
         }
-        other => return Err(format!("unknown strategy '{other}' (np|cp|op)").into()),
-    };
+        other => Err(format!("unknown strategy '{other}' (np|cp|op)").into()),
+    }
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let (workload, from, to) = simulate_common(flags)?;
+    let strategy = parse_strategy(flags)?;
     let orch = Orchestrator::paper();
     let b = orch.run(&workload, from, to, strategy, &PipelineOptions::default());
-    println!(
-        "{from}->{to}: {} files, {:.1} GB on the wire",
-        b.files_transferred,
-        b.bytes_transferred as f64 / 1e9
-    );
+    println!("{from}->{to}: {} files, {:.1} GB on the wire", b.files_transferred, b.bytes_transferred as f64 / 1e9);
     println!(
         "compress {:.1}s + group {:.1}s + transfer {:.1}s + decompress {:.1}s = total {:.1}s ({:.2} GB/s effective)",
         b.compression_s,
@@ -369,7 +374,9 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let np = Orchestrator::paper().run(&workload, from, to, Strategy::Direct, &base);
     println!("plan for {from}->{to}:");
     match plan.strategy {
-        Strategy::CompressedGrouped { group_count: Some(g), .. } => println!("  strategy: compress + group into {g} files"),
+        Strategy::CompressedGrouped { group_count: Some(g), .. } => {
+            println!("  strategy: compress + group into {g} files")
+        }
         Strategy::Compressed => println!("  strategy: compress, no grouping"),
         _ => println!("  strategy: {:?}", plan.strategy),
     }
@@ -381,6 +388,119 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), CliError> {
         plan.expected.reduction_vs(np.transfer_s) * 100.0
     );
     Ok(())
+}
+
+/// Service config from the shared `--workers/--capacity/--fail/--retries/--seed` flags.
+fn parse_service_config(flags: &HashMap<String, String>) -> Result<ServiceConfig, CliError> {
+    let mut cfg = ServiceConfig::default();
+    if let Some(w) = flags.get("workers") {
+        cfg.workers = w.parse()?;
+    }
+    if let Some(c) = flags.get("capacity") {
+        cfg.queue_capacity = c.parse()?;
+    }
+    if let Some(p) = flags.get("fail") {
+        let p: f64 = p.parse()?;
+        if !(0.0..1.0).contains(&p) {
+            return Err(format!("--fail must be in [0, 1), got {p}").into());
+        }
+        cfg.faults = FaultModel::flaky(p);
+    }
+    if let Some(n) = flags.get("retries") {
+        cfg.retry = RetryPolicy { max_attempts: 1 + n.parse::<u32>()?, ..RetryPolicy::default() };
+    }
+    if let Some(s) = flags.get("seed") {
+        cfg.seed = s.parse()?;
+    }
+    if let Some(s) = flags.get("profile-scale") {
+        cfg.profile_scale = s.parse()?;
+    }
+    Ok(cfg)
+}
+
+fn print_service_summary(svc: &Service) -> Result<(), CliError> {
+    let metrics = svc.metrics();
+    for report in svc.reports() {
+        let verdict = match &report.state {
+            JobState::Done => "done".to_string(),
+            JobState::Failed(reason) => format!("FAILED ({reason})"),
+            other => format!("{other:?}"),
+        };
+        println!(
+            "  {} [{}] {verdict}: {:.1}s simulated, {:.2} GB moved, {} retries",
+            report.job,
+            report.tenant,
+            report.latency_s,
+            report.bytes_transferred as f64 / 1e9,
+            report.retries
+        );
+    }
+    println!("{}", serde_json::to_string_pretty(&metrics)?);
+    Ok(())
+}
+
+fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let app = parse_app(flags.get("app").ok_or("missing --app")?)?;
+    let from = parse_site(flags.get("from").ok_or("missing --from")?)?;
+    let to = parse_site(flags.get("to").ok_or("missing --to")?)?;
+    let eb: f64 = flags.get("eb").map(|s| s.parse()).transpose()?.unwrap_or(1e-3);
+    let tenant = flags.get("tenant").map(String::as_str).unwrap_or("default");
+    let spec = JobSpec { tenant: tenant.to_string(), app, error_bound: eb, strategy: parse_strategy(flags)?, from, to };
+    let svc = Service::start(parse_service_config(flags)?);
+    let id = svc.submit(spec)?;
+    eprintln!("submitted {id} for tenant '{tenant}', draining...");
+    svc.drain();
+    for event in svc.journal() {
+        println!("  t={:>8.1}s  {:?}", event.t_s, event.state);
+    }
+    print_service_summary(&svc)
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let jobs: usize = flags.get("jobs").map(|s| s.parse()).transpose()?.unwrap_or(12);
+    let tenants: Vec<&str> = flags
+        .get("tenants")
+        .map(String::as_str)
+        .unwrap_or("climate,seismic,cosmology")
+        .split(',')
+        .filter(|t| !t.is_empty())
+        .collect();
+    let apps: Vec<Application> = match flags.get("apps") {
+        Some(list) => list.split(',').map(parse_app).collect::<Result<_, _>>()?,
+        None => vec![Application::Miranda, Application::Rtm],
+    };
+    let from = flags.get("from").map(|s| parse_site(s)).transpose()?.unwrap_or(SiteId::Anvil);
+    let to = flags.get("to").map(|s| parse_site(s)).transpose()?.unwrap_or(SiteId::Cori);
+    let eb: f64 = flags.get("eb").map(|s| s.parse()).transpose()?.unwrap_or(1e-3);
+    if tenants.is_empty() || apps.is_empty() {
+        return Err("need at least one tenant and one app".into());
+    }
+    let cfg = parse_service_config(flags)?;
+    eprintln!(
+        "serving {jobs} jobs from {} tenant(s) on {} worker(s), fault p={:.2}...",
+        tenants.len(),
+        cfg.workers,
+        cfg.faults.per_attempt_failure_prob
+    );
+    let svc = Service::start(cfg);
+    let mut accepted = 0usize;
+    for i in 0..jobs {
+        let spec = JobSpec {
+            tenant: tenants[i % tenants.len()].to_string(),
+            app: apps[i % apps.len()],
+            error_bound: eb,
+            strategy: Strategy::Compressed,
+            from,
+            to,
+        };
+        match svc.submit(spec) {
+            Ok(_) => accepted += 1,
+            Err(e) => eprintln!("  job {i} rejected: {e}"),
+        }
+    }
+    eprintln!("accepted {accepted}/{jobs}, draining...");
+    svc.drain();
+    print_service_summary(&svc)
 }
 
 #[cfg(test)]

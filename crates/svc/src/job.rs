@@ -1,0 +1,122 @@
+//! Job descriptions and lifecycle states.
+//!
+//! A *job* asks the service to move one application dataset between two
+//! sites with a given strategy and error bound. Jobs belong to *tenants*
+//! (science projects sharing the transfer service) and progress through a
+//! linear lifecycle: `Queued → Admitted → Compressing → Transferring
+//! [→ Retrying(n)]* → Done | Failed`.
+
+use ocelot::orchestrator::Strategy;
+use ocelot_datagen::Application;
+use ocelot_netsim::SiteId;
+use serde::{Deserialize, Serialize};
+
+/// Service-assigned job identifier (monotonically increasing per service).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// What one job asks the service to do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Tenant (project) the job belongs to; drives queue fairness.
+    pub tenant: String,
+    /// Application dataset to move (must have a paper transfer workload:
+    /// CESM, RTM, or Miranda).
+    pub app: Application,
+    /// Relative error bound for the lossy compressor.
+    pub error_bound: f64,
+    /// Transfer strategy (NP / CP / OP).
+    pub strategy: Strategy,
+    /// Source site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+}
+
+impl JobSpec {
+    /// A compressed (CP) transfer job with the given tenant and route.
+    pub fn compressed(tenant: impl Into<String>, app: Application, error_bound: f64, from: SiteId, to: SiteId) -> Self {
+        JobSpec { tenant: tenant.into(), app, error_bound, strategy: Strategy::Compressed, from, to }
+    }
+}
+
+/// Lifecycle state of a job, journaled at every transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Accepted into the tenant queue.
+    Queued,
+    /// Popped from the queue by a worker.
+    Admitted,
+    /// Building the workload / compressing on source nodes.
+    Compressing,
+    /// Crossing the WAN.
+    Transferring,
+    /// Re-offering files that failed; payload is the retry round (1-based).
+    Retrying(u32),
+    /// Every file delivered.
+    Done,
+    /// Gave up; payload is a human-readable reason.
+    Failed(String),
+}
+
+impl JobState {
+    /// True for `Done` and `Failed` — no further transitions happen.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed(_))
+    }
+}
+
+/// Final accounting for one finished job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// The job this report describes.
+    pub job: JobId,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Terminal state (`Done` or `Failed`).
+    pub state: JobState,
+    /// Simulated seconds from admission to the terminal state, including
+    /// retry backoff.
+    pub latency_s: f64,
+    /// Payload bytes delivered across the WAN.
+    pub bytes_transferred: u64,
+    /// Raw bytes minus transferred bytes (0 for uncompressed transfers).
+    pub bytes_saved: u64,
+    /// Failed transfer attempts across all files and retry rounds.
+    pub retries: u32,
+    /// Bytes moved by attempts that later failed.
+    pub wasted_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed("x".into()).is_terminal());
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Retrying(3).is_terminal());
+    }
+
+    #[test]
+    fn job_state_serializes_with_payloads() {
+        let s = serde_json::to_string(&JobState::Retrying(2)).unwrap();
+        let back: JobState = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, JobState::Retrying(2));
+        let s = serde_json::to_string(&JobState::Done).unwrap();
+        assert_eq!(serde_json::from_str::<JobState>(&s).unwrap(), JobState::Done);
+    }
+
+    #[test]
+    fn job_id_displays() {
+        assert_eq!(JobId(7).to_string(), "job-7");
+    }
+}

@@ -1,0 +1,39 @@
+//! # ocelot-svc — the Ocelot transfer *service*
+//!
+//! The core crates model one pipeline at a time; real deployments run a
+//! long-lived service that many science projects share. This crate adds
+//! that layer: a multi-tenant job queue with round-robin fairness and
+//! bounded backpressure, a concurrent worker pool driving
+//! [`ocelot::orchestrator::Orchestrator`] pipelines, service-owned retries
+//! with exponential backoff over a faulty WAN
+//! ([`ocelot_netsim::FaultModel`]), an append-only lifecycle journal, and
+//! aggregate metrics that serialize to JSON.
+//!
+//! ```
+//! use ocelot_svc::{JobSpec, Service, ServiceConfig};
+//! use ocelot_datagen::Application;
+//! use ocelot_netsim::SiteId;
+//!
+//! let svc = Service::start(ServiceConfig::default());
+//! let id = svc
+//!     .submit(JobSpec::compressed("climate", Application::Miranda, 1e-3, SiteId::Anvil, SiteId::Cori))
+//!     .unwrap();
+//! svc.drain();
+//! let metrics = svc.metrics();
+//! assert_eq!(metrics.jobs_done, 1);
+//! println!("{id}: {}", serde_json::to_string(&metrics).unwrap());
+//! ```
+
+pub mod job;
+pub mod journal;
+pub mod metrics;
+pub mod queue;
+pub mod retry;
+pub mod scheduler;
+
+pub use job::{JobId, JobReport, JobSpec, JobState};
+pub use journal::{Event, Journal};
+pub use metrics::{MetricsSnapshot, TenantStats};
+pub use queue::{SubmitError, TenantQueue};
+pub use retry::RetryPolicy;
+pub use scheduler::{Service, ServiceConfig};

@@ -1,0 +1,118 @@
+//! Aggregate service metrics.
+//!
+//! A [`MetricsSnapshot`] is computed on demand from the service's counters
+//! and completed-job latencies; it serializes to JSON for scraping or
+//! offline analysis.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-tenant job accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs that delivered every file.
+    pub done: u64,
+    /// Jobs that exhausted their retry budget.
+    pub failed: u64,
+    /// Failed transfer attempts across the tenant's jobs.
+    pub retries: u64,
+}
+
+/// Point-in-time aggregate view of a service.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Jobs accepted into the queue since start.
+    pub jobs_submitted: u64,
+    /// Submissions refused (queue full or service closed).
+    pub jobs_rejected: u64,
+    /// Jobs finished with every file delivered.
+    pub jobs_done: u64,
+    /// Jobs finished with undelivered files.
+    pub jobs_failed: u64,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Jobs currently being processed by workers.
+    pub in_flight: usize,
+    /// Failed transfer attempts across all jobs (service-level retries).
+    pub transfer_retries: u64,
+    /// Payload bytes delivered across the WAN.
+    pub bytes_transferred: u64,
+    /// Raw bytes minus delivered bytes for compressed jobs.
+    pub bytes_saved: u64,
+    /// Bytes moved by attempts that later failed.
+    pub wasted_bytes: u64,
+    /// Summed simulated job seconds (latency of every finished job).
+    pub sim_seconds: f64,
+    /// Delivered bytes per summed simulated second.
+    pub throughput_bps: f64,
+    /// Median finished-job latency, simulated seconds.
+    pub latency_p50_s: f64,
+    /// 95th-percentile finished-job latency, simulated seconds.
+    pub latency_p95_s: f64,
+    /// Per-tenant accounting, keyed by tenant name.
+    pub per_tenant: BTreeMap<String, TenantStats>,
+}
+
+impl MetricsSnapshot {
+    /// Jobs in a terminal state.
+    pub fn jobs_finished(&self) -> u64 {
+        self.jobs_done + self.jobs_failed
+    }
+}
+
+/// Nearest-rank percentile of an unsorted latency sample; 0 when empty.
+pub fn percentile_s(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "percentile must be in [0,1]");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_s(&s, 0.5), 50.0);
+        assert_eq!(percentile_s(&s, 0.95), 95.0);
+        assert_eq!(percentile_s(&s, 1.0), 100.0);
+        assert_eq!(percentile_s(&[], 0.5), 0.0);
+        assert_eq!(percentile_s(&[3.0], 0.95), 3.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut per_tenant = BTreeMap::new();
+        per_tenant.insert("climate".to_string(), TenantStats { submitted: 5, done: 4, failed: 1, retries: 7 });
+        per_tenant.insert("seismic".to_string(), TenantStats { submitted: 2, done: 2, failed: 0, retries: 0 });
+        let m = MetricsSnapshot {
+            jobs_submitted: 7,
+            jobs_rejected: 1,
+            jobs_done: 6,
+            jobs_failed: 1,
+            queue_depth: 0,
+            in_flight: 0,
+            transfer_retries: 7,
+            bytes_transferred: 123_456,
+            bytes_saved: 900_000,
+            wasted_bytes: 4_321,
+            sim_seconds: 55.5,
+            throughput_bps: 123_456.0 / 55.5,
+            latency_p50_s: 7.5,
+            latency_p95_s: 12.0,
+            per_tenant,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.jobs_finished(), 7);
+    }
+}

@@ -1,0 +1,185 @@
+//! Bounded multi-tenant job queue with round-robin fairness.
+//!
+//! Each tenant gets a private FIFO sub-queue; admission cycles tenants in
+//! round-robin order so a tenant submitting thousands of jobs cannot starve
+//! one submitting a handful. Capacity bounds the *total* queued jobs across
+//! tenants — the service applies backpressure by rejecting submissions once
+//! full, which callers surface to the client.
+
+use crate::job::{JobId, JobSpec};
+use std::collections::VecDeque;
+
+/// Why a submission was not queued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; try again after jobs drain.
+    QueueFull,
+    /// The service has begun shutting down and takes no new work.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "queue full"),
+            SubmitError::Closed => write!(f, "service closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// FIFO-per-tenant queue with a global capacity bound.
+#[derive(Debug)]
+pub struct TenantQueue {
+    capacity: usize,
+    /// Sub-queues in tenant first-seen order.
+    tenants: Vec<(String, VecDeque<(JobId, JobSpec)>)>,
+    /// Round-robin pointer into `tenants`.
+    cursor: usize,
+    len: usize,
+    closed: bool,
+}
+
+impl TenantQueue {
+    /// Creates an empty queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        TenantQueue { capacity, tenants: Vec::new(), cursor: 0, len: 0, closed: false }
+    }
+
+    /// Queued jobs across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stops accepting new jobs (already-queued jobs still drain).
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// True once [`TenantQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Enqueues a job at the tail of its tenant's sub-queue.
+    ///
+    /// # Errors
+    /// [`SubmitError::QueueFull`] at capacity, [`SubmitError::Closed`] after
+    /// shutdown began.
+    pub fn push(&mut self, id: JobId, spec: JobSpec) -> Result<(), SubmitError> {
+        if self.closed {
+            return Err(SubmitError::Closed);
+        }
+        if self.len >= self.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        match self.tenants.iter_mut().find(|(t, _)| *t == spec.tenant) {
+            Some((_, q)) => q.push_back((id, spec)),
+            None => {
+                let tenant = spec.tenant.clone();
+                let mut q = VecDeque::new();
+                q.push_back((id, spec));
+                self.tenants.push((tenant, q));
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Pops the next job: the head of the first non-empty sub-queue at or
+    /// after the round-robin cursor, which then advances past that tenant.
+    pub fn pop(&mut self) -> Option<(JobId, JobSpec)> {
+        if self.len == 0 || self.tenants.is_empty() {
+            return None;
+        }
+        let n = self.tenants.len();
+        for step in 0..n {
+            let idx = (self.cursor + step) % n;
+            if let Some(job) = self.tenants[idx].1.pop_front() {
+                self.cursor = (idx + 1) % n;
+                self.len -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Queue depth per tenant, in tenant first-seen order.
+    pub fn depth_by_tenant(&self) -> Vec<(String, usize)> {
+        self.tenants.iter().map(|(t, q)| (t.clone(), q.len())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_datagen::Application;
+    use ocelot_netsim::SiteId;
+
+    fn spec(tenant: &str) -> JobSpec {
+        JobSpec::compressed(tenant, Application::Miranda, 1e-3, SiteId::Anvil, SiteId::Cori)
+    }
+
+    #[test]
+    fn fifo_within_a_tenant() {
+        let mut q = TenantQueue::new(8);
+        for i in 0..4 {
+            q.push(JobId(i), spec("climate")).unwrap();
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(id, _)| id.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_interleaves_tenants() {
+        let mut q = TenantQueue::new(16);
+        // Tenant "big" floods the queue before "small" submits two jobs.
+        for i in 0..6 {
+            q.push(JobId(i), spec("big")).unwrap();
+        }
+        q.push(JobId(100), spec("small")).unwrap();
+        q.push(JobId(101), spec("small")).unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(id, _)| id.0).collect();
+        // "small"'s first job is served second, not seventh.
+        let pos = order.iter().position(|&id| id == 100).unwrap();
+        assert!(pos <= 1, "small tenant served at position {pos}: {order:?}");
+        assert_eq!(order.len(), 8);
+    }
+
+    #[test]
+    fn capacity_bounds_total_not_per_tenant() {
+        let mut q = TenantQueue::new(3);
+        q.push(JobId(0), spec("a")).unwrap();
+        q.push(JobId(1), spec("b")).unwrap();
+        q.push(JobId(2), spec("c")).unwrap();
+        assert_eq!(q.push(JobId(3), spec("d")), Err(SubmitError::QueueFull));
+        q.pop().unwrap();
+        q.push(JobId(3), spec("d")).unwrap();
+    }
+
+    #[test]
+    fn closed_queue_rejects_but_drains() {
+        let mut q = TenantQueue::new(4);
+        q.push(JobId(0), spec("a")).unwrap();
+        q.close();
+        assert_eq!(q.push(JobId(1), spec("a")), Err(SubmitError::Closed));
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn depth_by_tenant_reports_subqueues() {
+        let mut q = TenantQueue::new(8);
+        q.push(JobId(0), spec("a")).unwrap();
+        q.push(JobId(1), spec("a")).unwrap();
+        q.push(JobId(2), spec("b")).unwrap();
+        assert_eq!(q.depth_by_tenant(), vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Retry budget and exponential backoff with deterministic jitter.
+//!
+//! The *service* owns retries (Globus semantics: the transfer service
+//! re-offers failed files, the data channels themselves do not loop). Each
+//! transfer attempt gets the whole remaining file set; between attempts the
+//! service backs off exponentially with jitter so concurrent jobs failing
+//! together do not retry in lock-step.
+
+use serde::{Deserialize, Serialize};
+
+/// Retry/backoff configuration for one service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total transfer attempts per job, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, seconds.
+    pub base_backoff_s: f64,
+    /// Backoff growth per retry round.
+    pub multiplier: f64,
+    /// Ceiling on any single backoff, seconds.
+    pub max_backoff_s: f64,
+    /// Jitter fraction: each backoff is scaled by a deterministic factor in
+    /// `[1 − jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 1 s base doubling to a 30 s cap, ±25 % jitter.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_backoff_s: 1.0, multiplier: 2.0, max_backoff_s: 30.0, jitter: 0.25 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..Default::default() }
+    }
+
+    /// Retry rounds available after the first attempt.
+    pub fn retry_budget(&self) -> u32 {
+        self.max_attempts.saturating_sub(1)
+    }
+
+    /// Backoff before retry round `round` (1-based), jittered
+    /// deterministically by `seed` so reruns reproduce exactly.
+    pub fn backoff_s(&self, round: u32, seed: u64) -> f64 {
+        assert!(round >= 1, "retry rounds are 1-based");
+        let exp = self.base_backoff_s * self.multiplier.powi(round as i32 - 1);
+        let capped = exp.min(self.max_backoff_s);
+        // Uniform in [-1, 1] from a SplitMix64 step over (seed, round).
+        let mut z = seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        (capped * (1.0 + self.jitter * (2.0 * u - 1.0))).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let p = RetryPolicy { jitter: 0.0, ..Default::default() };
+        assert_eq!(p.backoff_s(1, 0), 1.0);
+        assert_eq!(p.backoff_s(2, 0), 2.0);
+        assert_eq!(p.backoff_s(3, 0), 4.0);
+        // 2^9 = 512 would exceed the 30 s cap.
+        assert_eq!(p.backoff_s(10, 0), 30.0);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy::default();
+        for round in 1..6 {
+            for seed in [0u64, 7, 99] {
+                let b = p.backoff_s(round, seed);
+                let nominal = (p.base_backoff_s * p.multiplier.powi(round as i32 - 1)).min(p.max_backoff_s);
+                assert!(b >= nominal * 0.75 - 1e-12 && b <= nominal * 1.25 + 1e-12, "{b} vs {nominal}");
+                assert_eq!(b, p.backoff_s(round, seed));
+            }
+        }
+        // Different seeds actually draw different jitter.
+        assert_ne!(p.backoff_s(1, 1), p.backoff_s(1, 2));
+    }
+
+    #[test]
+    fn none_policy_has_no_retry_budget() {
+        assert_eq!(RetryPolicy::none().retry_budget(), 0);
+        assert_eq!(RetryPolicy::default().retry_budget(), 3);
+    }
+}

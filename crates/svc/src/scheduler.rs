@@ -1,0 +1,512 @@
+//! The transfer service: worker pool, admission, retries, accounting.
+//!
+//! [`Service::start`] spawns a pool of OS worker threads that pop jobs from
+//! the shared [`TenantQueue`] and drive each through
+//! [`ocelot::orchestrator::Orchestrator::run_detailed`]. The WAN may be
+//! faulty ([`ServiceConfig::faults`]); the *service* owns retries — every
+//! attempt runs with the fault model's in-transfer retries disabled
+//! (`max_retries: 0`), and files that fail are re-offered in later rounds
+//! after exponential backoff ([`RetryPolicy`]), Globus-style: compression
+//! is not redone and delivered files are not resent.
+//!
+//! Time is two-layered. Pipeline durations and backoffs are *simulated*
+//! seconds (deterministic, journaled); the worker threads really sleep
+//! `backoff × sleep_scale` wall-clock seconds, with `sleep_scale = 0`
+//! making tests instantaneous.
+
+use crate::job::{JobId, JobReport, JobSpec, JobState};
+use crate::journal::{Event, Journal};
+use crate::metrics::{percentile_s, MetricsSnapshot, TenantStats};
+use crate::queue::{SubmitError, TenantQueue};
+use crate::retry::RetryPolicy;
+use ocelot::orchestrator::{Orchestrator, PipelineOptions};
+use ocelot::workload::Workload;
+use ocelot_datagen::Application;
+use ocelot_netsim::{simulate_transfer_with_faults, FaultModel, GridFtpConfig};
+use ocelot_sz::LossyConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning for one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads processing jobs concurrently.
+    pub workers: usize,
+    /// Queue capacity across all tenants (backpressure bound).
+    pub queue_capacity: usize,
+    /// WAN fault injection; `max_retries` is ignored (the service owns the
+    /// retry budget via `retry`).
+    pub faults: FaultModel,
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// GridFTP tuning for every transfer.
+    pub gridftp: GridFtpConfig,
+    /// Profiling scale for workload construction (smaller = faster).
+    pub profile_scale: usize,
+    /// Wall-clock seconds really slept per simulated backoff second
+    /// (0 = don't sleep, used in tests; 1 = real time).
+    pub sleep_scale: f64,
+    /// Base seed; each job derives its own stream from this and its id.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            faults: FaultModel::none(),
+            retry: RetryPolicy::default(),
+            gridftp: GridFtpConfig::default(),
+            profile_scale: 8,
+            sleep_scale: 0.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Mutable state shared by submitters and workers under one lock, so
+/// `drain` can observe "queue empty AND nothing in flight" atomically.
+#[derive(Debug)]
+struct Inner {
+    queue: TenantQueue,
+    in_flight: usize,
+    jobs_submitted: u64,
+    jobs_rejected: u64,
+    jobs_done: u64,
+    jobs_failed: u64,
+    transfer_retries: u64,
+    bytes_transferred: u64,
+    bytes_saved: u64,
+    wasted_bytes: u64,
+    latencies_s: Vec<f64>,
+    per_tenant: HashMap<String, TenantStats>,
+    reports: Vec<JobReport>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signals workers that a job was queued or the queue closed.
+    work_ready: Condvar,
+    /// Signals `drain` that a job finished.
+    job_finished: Condvar,
+    journal: Journal,
+    /// Workload construction is expensive (profiling really compresses
+    /// data); share one instance per (app, error-bound) across jobs.
+    workloads: Mutex<HashMap<(Application, u64), Arc<Workload>>>,
+    orchestrator: Orchestrator,
+    config: ServiceConfig,
+}
+
+/// A running transfer service.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Service {
+    /// Starts a service on the paper's three-site testbed.
+    pub fn start(config: ServiceConfig) -> Self {
+        Service::with_orchestrator(Orchestrator::paper(), config)
+    }
+
+    /// Starts a service on a custom topology.
+    pub fn with_orchestrator(orchestrator: Orchestrator, config: ServiceConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: TenantQueue::new(config.queue_capacity),
+                in_flight: 0,
+                jobs_submitted: 0,
+                jobs_rejected: 0,
+                jobs_done: 0,
+                jobs_failed: 0,
+                transfer_retries: 0,
+                bytes_transferred: 0,
+                bytes_saved: 0,
+                wasted_bytes: 0,
+                latencies_s: Vec::new(),
+                per_tenant: HashMap::new(),
+                reports: Vec::new(),
+            }),
+            work_ready: Condvar::new(),
+            job_finished: Condvar::new(),
+            journal: Journal::new(),
+            workloads: Mutex::new(HashMap::new()),
+            orchestrator,
+            config,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Service { shared, workers, next_id: AtomicU64::new(0) }
+    }
+
+    /// Submits a job, returning its id.
+    ///
+    /// # Errors
+    /// [`SubmitError::QueueFull`] under backpressure, [`SubmitError::Closed`]
+    /// after shutdown began.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let tenant = spec.tenant.clone();
+        {
+            let mut inner = self.shared.inner.lock().expect("service poisoned");
+            if let Err(e) = inner.queue.push(id, spec) {
+                inner.jobs_rejected += 1;
+                return Err(e);
+            }
+            inner.jobs_submitted += 1;
+            inner.per_tenant.entry(tenant.clone()).or_default().submitted += 1;
+        }
+        self.shared.journal.record(id, &tenant, 0.0, JobState::Queued);
+        self.shared.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until every queued and in-flight job reaches a terminal
+    /// state. New submissions remain possible afterwards.
+    pub fn drain(&self) {
+        let mut inner = self.shared.inner.lock().expect("service poisoned");
+        while !inner.queue.is_empty() || inner.in_flight > 0 {
+            inner = self.shared.job_finished.wait(inner).expect("service poisoned");
+        }
+    }
+
+    /// Closes the queue, drains remaining work, and joins the workers.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        {
+            let mut inner = self.shared.inner.lock().expect("service poisoned");
+            inner.queue.close();
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("worker panicked");
+        }
+        self.metrics()
+    }
+
+    /// Current aggregate metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let inner = self.shared.inner.lock().expect("service poisoned");
+        let sim_seconds: f64 = inner.latencies_s.iter().sum();
+        MetricsSnapshot {
+            jobs_submitted: inner.jobs_submitted,
+            jobs_rejected: inner.jobs_rejected,
+            jobs_done: inner.jobs_done,
+            jobs_failed: inner.jobs_failed,
+            queue_depth: inner.queue.len(),
+            in_flight: inner.in_flight,
+            transfer_retries: inner.transfer_retries,
+            bytes_transferred: inner.bytes_transferred,
+            bytes_saved: inner.bytes_saved,
+            wasted_bytes: inner.wasted_bytes,
+            sim_seconds,
+            throughput_bps: if sim_seconds > 0.0 { inner.bytes_transferred as f64 / sim_seconds } else { 0.0 },
+            latency_p50_s: percentile_s(&inner.latencies_s, 0.5),
+            latency_p95_s: percentile_s(&inner.latencies_s, 0.95),
+            per_tenant: inner.per_tenant.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        }
+    }
+
+    /// A copy of the lifecycle journal.
+    pub fn journal(&self) -> Vec<Event> {
+        self.shared.journal.snapshot()
+    }
+
+    /// Final reports of finished jobs, in completion order.
+    pub fn reports(&self) -> Vec<JobReport> {
+        self.shared.inner.lock().expect("service poisoned").reports.clone()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.shared.inner.lock().expect("service poisoned");
+            inner.queue.close();
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut inner = shared.inner.lock().expect("service poisoned");
+            loop {
+                if let Some(job) = inner.queue.pop() {
+                    inner.in_flight += 1;
+                    break Some(job);
+                }
+                if inner.queue.is_closed() {
+                    break None;
+                }
+                inner = shared.work_ready.wait(inner).expect("service poisoned");
+            }
+        };
+        let Some((id, spec)) = job else { return };
+        let report = process_job(shared, id, &spec);
+        let mut inner = shared.inner.lock().expect("service poisoned");
+        let tenant = inner.per_tenant.entry(spec.tenant.clone()).or_default();
+        match report.state {
+            JobState::Done => {
+                tenant.done += 1;
+                tenant.retries += u64::from(report.retries);
+                inner.jobs_done += 1;
+            }
+            JobState::Failed(_) => {
+                tenant.failed += 1;
+                tenant.retries += u64::from(report.retries);
+                inner.jobs_failed += 1;
+            }
+            ref other => unreachable!("non-terminal report state {other:?}"),
+        }
+        inner.transfer_retries += u64::from(report.retries);
+        inner.bytes_transferred += report.bytes_transferred;
+        inner.bytes_saved += report.bytes_saved;
+        inner.wasted_bytes += report.wasted_bytes;
+        inner.latencies_s.push(report.latency_s);
+        inner.reports.push(report);
+        inner.in_flight -= 1;
+        drop(inner);
+        shared.job_finished.notify_all();
+    }
+}
+
+/// Drives one job from admission to a terminal state, journaling every
+/// transition. Never panics on job-level errors — they become `Failed`.
+fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
+    let journal = &shared.journal;
+    let cfg = &shared.config;
+    journal.record(id, &spec.tenant, 0.0, JobState::Admitted);
+
+    let fail = |t_s: f64, reason: String| -> JobReport {
+        journal.record(id, &spec.tenant, t_s, JobState::Failed(reason.clone()));
+        JobReport {
+            job: id,
+            tenant: spec.tenant.clone(),
+            state: JobState::Failed(reason),
+            latency_s: t_s,
+            bytes_transferred: 0,
+            bytes_saved: 0,
+            retries: 0,
+            wasted_bytes: 0,
+        }
+    };
+
+    journal.record(id, &spec.tenant, 0.0, JobState::Compressing);
+    let workload = match cached_workload(shared, spec.app, spec.error_bound) {
+        Ok(w) => w,
+        Err(reason) => return fail(0.0, reason),
+    };
+
+    // Each attempt gets one try per file; the retry loop below owns the
+    // budget (Globus semantics: the service re-offers failed files).
+    let job_seed = cfg.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let single_try = FaultModel { max_retries: 0, ..cfg.faults };
+    let opts =
+        PipelineOptions { gridftp: cfg.gridftp, faults: single_try, seed: job_seed, ..PipelineOptions::default() };
+    let outcome = shared.orchestrator.run_detailed(&workload, spec.from, spec.to, spec.strategy, &opts);
+
+    let pre_transfer_s =
+        outcome.breakdown.queue_wait_s + outcome.breakdown.compression_s + outcome.breakdown.grouping_s;
+    journal.record(id, &spec.tenant, pre_transfer_s, JobState::Transferring);
+
+    let mut t_s = pre_transfer_s + outcome.breakdown.transfer_s;
+    let mut retries = outcome.transfer_retries as u32;
+    let mut bytes_transferred = outcome.breakdown.bytes_transferred;
+    let mut wasted_bytes = outcome.wasted_bytes;
+    let mut pending: Vec<u64> = outcome.failed_files.iter().map(|&i| outcome.transfer_sizes[i]).collect();
+
+    let link = shared.orchestrator.topology().route(spec.from, spec.to).link;
+    for round in 1..=cfg.retry.retry_budget() {
+        if pending.is_empty() {
+            break;
+        }
+        journal.record(id, &spec.tenant, t_s, JobState::Retrying(round));
+        let backoff = cfg.retry.backoff_s(round, job_seed);
+        if cfg.sleep_scale > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(backoff * cfg.sleep_scale));
+        }
+        t_s += backoff;
+        let rerun = simulate_transfer_with_faults(
+            &pending,
+            &link,
+            &cfg.gridftp,
+            &single_try,
+            job_seed.wrapping_add(round as u64),
+        );
+        t_s += rerun.report.duration_s;
+        retries += rerun.retries as u32;
+        bytes_transferred += rerun.report.bytes_total;
+        wasted_bytes += rerun.wasted_bytes;
+        pending = rerun.failed_files.iter().map(|&i| pending[i]).collect();
+    }
+
+    let decompression_s = outcome.breakdown.decompression_s;
+    t_s += decompression_s;
+
+    if !pending.is_empty() {
+        let reason = format!(
+            "{} of {} files undelivered after {} attempts",
+            pending.len(),
+            outcome.transfer_sizes.len(),
+            cfg.retry.max_attempts
+        );
+        let mut report = fail(t_s, reason);
+        report.bytes_transferred = bytes_transferred;
+        report.retries = retries;
+        report.wasted_bytes = wasted_bytes;
+        return report;
+    }
+
+    journal.record(id, &spec.tenant, t_s, JobState::Done);
+    let raw_bytes = workload.total_bytes();
+    JobReport {
+        job: id,
+        tenant: spec.tenant.clone(),
+        state: JobState::Done,
+        latency_s: t_s,
+        bytes_transferred,
+        bytes_saved: raw_bytes.saturating_sub(bytes_transferred),
+        retries,
+        wasted_bytes,
+    }
+}
+
+/// Fetches or builds the shared workload for `(app, error_bound)`.
+fn cached_workload(shared: &Shared, app: Application, error_bound: f64) -> Result<Arc<Workload>, String> {
+    let key = (app, error_bound.to_bits());
+    if let Some(w) = shared.workloads.lock().expect("workload cache poisoned").get(&key) {
+        return Ok(w.clone());
+    }
+    // Build outside the lock: profiling really compresses data and can take
+    // a while; racing builders waste a little work but never block others.
+    let config = LossyConfig::sz3(error_bound);
+    let built = match app {
+        Application::Cesm => Workload::cesm(config, shared.config.profile_scale),
+        Application::Rtm => Workload::rtm(config, shared.config.profile_scale),
+        Application::Miranda => Workload::miranda(config, shared.config.profile_scale),
+        other => return Err(format!("no transfer workload for application {other}")),
+    };
+    let workload = Arc::new(built.map_err(|e| format!("workload construction failed: {e}"))?);
+    let mut cache = shared.workloads.lock().expect("workload cache poisoned");
+    Ok(cache.entry(key).or_insert(workload).clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_netsim::SiteId;
+
+    fn quick_config() -> ServiceConfig {
+        ServiceConfig { workers: 2, profile_scale: 8, ..Default::default() }
+    }
+
+    fn miranda_job(tenant: &str) -> JobSpec {
+        JobSpec::compressed(tenant, Application::Miranda, 1e-3, SiteId::Anvil, SiteId::Cori)
+    }
+
+    #[test]
+    fn healthy_job_completes_with_clean_lifecycle() {
+        let svc = Service::start(quick_config());
+        let id = svc.submit(miranda_job("climate")).unwrap();
+        svc.drain();
+        let states: Vec<JobState> = svc.shared.journal.events_for(id).into_iter().map(|e| e.state).collect();
+        assert_eq!(
+            states,
+            vec![JobState::Queued, JobState::Admitted, JobState::Compressing, JobState::Transferring, JobState::Done]
+        );
+        let m = svc.metrics();
+        assert_eq!(m.jobs_done, 1);
+        assert_eq!(m.transfer_retries, 0);
+        assert!(m.bytes_saved > 0, "compressed job must save bytes");
+        assert!(m.latency_p50_s > 0.0);
+    }
+
+    #[test]
+    fn workload_cache_is_shared_across_jobs() {
+        let svc = Service::start(quick_config());
+        for _ in 0..3 {
+            svc.submit(miranda_job("climate")).unwrap();
+        }
+        svc.drain();
+        assert_eq!(svc.shared.workloads.lock().unwrap().len(), 1);
+        assert_eq!(svc.metrics().jobs_done, 3);
+    }
+
+    #[test]
+    fn unsupported_app_fails_with_reason() {
+        let svc = Service::start(quick_config());
+        let id = svc.submit(JobSpec::compressed("t", Application::Hacc, 1e-3, SiteId::Anvil, SiteId::Cori)).unwrap();
+        svc.drain();
+        let last = svc.shared.journal.events_for(id).pop().unwrap();
+        match last.state {
+            JobState::Failed(reason) => assert!(reason.contains("workload"), "{reason}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().jobs_failed, 1);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_is_full() {
+        // One worker, capacity 2: flood faster than the worker drains.
+        let cfg = ServiceConfig { workers: 1, queue_capacity: 2, ..Default::default() };
+        let svc = Service::start(cfg);
+        let mut rejected = 0;
+        for _ in 0..20 {
+            if svc.submit(miranda_job("flood")).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "capacity-2 queue must reject some of 20 rapid submissions");
+        svc.drain();
+        let m = svc.metrics();
+        assert_eq!(m.jobs_rejected, rejected);
+        assert_eq!(m.jobs_finished(), m.jobs_submitted);
+    }
+
+    #[test]
+    fn shutdown_drains_and_joins() {
+        let svc = Service::start(quick_config());
+        svc.submit(miranda_job("a")).unwrap();
+        svc.submit(miranda_job("b")).unwrap();
+        let m = svc.shutdown();
+        assert_eq!(m.jobs_finished(), 2);
+        assert_eq!(m.queue_depth, 0);
+        assert_eq!(m.in_flight, 0);
+    }
+
+    #[test]
+    fn flaky_wan_triggers_service_retries_that_still_deliver() {
+        let cfg = ServiceConfig {
+            workers: 2,
+            faults: FaultModel { per_attempt_failure_prob: 0.05, max_retries: 5, reconnect_s: 2.0 },
+            ..Default::default()
+        };
+        let svc = Service::start(cfg);
+        for i in 0..4 {
+            svc.submit(JobSpec::compressed(format!("t{i}"), Application::Miranda, 1e-3, SiteId::Anvil, SiteId::Bebop))
+                .unwrap();
+        }
+        svc.drain();
+        let m = svc.metrics();
+        // Miranda has 768 files; at 5 % per-attempt failure some fail the
+        // first offer, and P(fail 4 straight) ≈ 6e-6 means all deliver.
+        assert_eq!(m.jobs_done, 4, "metrics: {m:?}");
+        assert!(m.transfer_retries > 0);
+        assert!(m.wasted_bytes > 0);
+        let journal = svc.journal();
+        assert!(journal.iter().any(|e| matches!(e.state, JobState::Retrying(_))));
+    }
+}

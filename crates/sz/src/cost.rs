@@ -57,8 +57,9 @@ impl CostModel {
     /// Single-core compression time in seconds for `n_points` with the given
     /// bin statistics.
     pub fn compression_seconds(&self, n_points: usize, stats: &QuantBinStats) -> f64 {
-        let per_point = (self.base_us + self.entropy_us * stats.quant_entropy + self.unpredictable_us * stats.unpredictable)
-            * self.predictor_factor;
+        let per_point =
+            (self.base_us + self.entropy_us * stats.quant_entropy + self.unpredictable_us * stats.unpredictable)
+                * self.predictor_factor;
         n_points as f64 * per_point * 1e-6
     }
 

@@ -241,7 +241,13 @@ pub fn encoded_share(symbols: &[u32]) -> HashMap<u32, f64> {
     if total == 0.0 {
         return HashMap::new();
     }
-    freqs.into_iter().map(|(s, f)| { let share = f as f64 * lengths[&s] as f64 / total; (s, share) }).collect()
+    freqs
+        .into_iter()
+        .map(|(s, f)| {
+            let share = f as f64 * lengths[&s] as f64 / total;
+            (s, share)
+        })
+        .collect()
 }
 
 #[cfg(test)]

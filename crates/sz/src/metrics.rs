@@ -96,7 +96,14 @@ pub fn compare<T: ScalarValue>(original: &Dataset<T>, reconstructed: &Dataset<T>
     let var_a = (sum_a2 / n - (sum_a / n).powi(2)).max(0.0);
     let var_b = (sum_b2 / n - (sum_b / n).powi(2)).max(0.0);
     let correlation = if var_a > 0.0 && var_b > 0.0 { cov / (var_a.sqrt() * var_b.sqrt()) } else { 1.0 };
-    Ok(QualityReport { psnr, rmse, max_abs_error: max_abs, mean_abs_error: abs_sum / n, value_range: range, correlation })
+    Ok(QualityReport {
+        psnr,
+        rmse,
+        max_abs_error: max_abs,
+        mean_abs_error: abs_sum / n,
+        value_range: range,
+        correlation,
+    })
 }
 
 /// PSNR alone (convenience wrapper over [`compare`]).

@@ -183,8 +183,7 @@ impl<T: ScalarValue> Dataset<T> {
                 self.dims[axis]
             )));
         }
-        let out_dims: Vec<usize> =
-            (0..3).filter(|&d| d != axis).map(|d| self.dims[d]).collect();
+        let out_dims: Vec<usize> = (0..3).filter(|&d| d != axis).map(|d| self.dims[d]).collect();
         let mut out = Vec::with_capacity(out_dims.iter().product());
         let mut idx = [0usize; 3];
         idx[axis] = index;
@@ -213,7 +212,7 @@ impl<T: ScalarValue> Dataset<T> {
         if start.len() != self.ndim() || extent.len() != self.ndim() {
             return Err(SzError::InvalidShape("region rank must match dataset rank".into()));
         }
-        if extent.iter().any(|&e| e == 0) {
+        if extent.contains(&0) {
             return Err(SzError::InvalidShape("region extents must be positive".into()));
         }
         for d in 0..self.ndim() {

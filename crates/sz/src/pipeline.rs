@@ -169,8 +169,7 @@ fn decode_codes(bytes: &[u8], backend: LosslessBackend, zero_code: u32) -> Resul
         LosslessBackend::HuffmanLz => huffman_decode(&lz_decompress(bytes)?),
         LosslessBackend::RleHuffman => {
             let encoded = huffman_decode(bytes)?;
-            rle_decode(&encoded, zero_code)
-                .ok_or_else(|| SzError::CorruptStream("rle: malformed run stream".into()))
+            rle_decode(&encoded, zero_code).ok_or_else(|| SzError::CorruptStream("rle: malformed run stream".into()))
         }
     }
 }
@@ -306,9 +305,7 @@ mod tests {
     #[test]
     fn abs_bound_constructor_round_trips() {
         let cfg = LossyConfig::sz3_abs(0.5);
-        let ErrorBound::Abs(v) = cfg.error_bound else {
-            panic!("expected Abs, got {:?}", cfg.error_bound)
-        };
+        let ErrorBound::Abs(v) = cfg.error_bound else { panic!("expected Abs, got {:?}", cfg.error_bound) };
         assert_eq!(v, 0.5);
     }
 }

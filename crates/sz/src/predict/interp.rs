@@ -36,22 +36,24 @@ pub fn compress<T: ScalarValue>(
     basis: Basis,
 ) -> Result<PredictionStreams<T>, SzError> {
     if data.ndim() > 3 {
-        return Err(SzError::InvalidShape(format!(
-            "interpolation predictor supports 1-3 dims, got {}",
-            data.ndim()
-        )));
+        return Err(SzError::InvalidShape(format!("interpolation predictor supports 1-3 dims, got {}", data.ndim())));
     }
     let mut out = PredictionStreams::with_capacity(data.len());
     let mut recon = vec![T::zero(); data.len()];
     let raw = data.values();
-    walk_schedule(data.dims(), basis, |off, pred, recon_buf: &mut [T]| {
-        let quantized = quantizer.quantize(raw[off], pred);
-        if quantized.code == 0 {
-            out.unpredictable.push(quantized.reconstructed);
-        }
-        out.codes.push(quantized.code);
-        recon_buf[off] = quantized.reconstructed;
-    }, &mut recon);
+    walk_schedule(
+        data.dims(),
+        basis,
+        |off, pred, recon_buf: &mut [T]| {
+            let quantized = quantizer.quantize(raw[off], pred);
+            if quantized.code == 0 {
+                out.unpredictable.push(quantized.reconstructed);
+            }
+            out.codes.push(quantized.code);
+            recon_buf[off] = quantized.reconstructed;
+        },
+        &mut recon,
+    );
     Ok(out)
 }
 
@@ -77,21 +79,26 @@ pub fn decompress<T: ScalarValue>(
     let mut pool = UnpredictablePool::new(&streams.unpredictable);
     let mut next_code = 0usize;
     let mut short_pool = false;
-    walk_schedule(dims, basis, |off, pred, recon_buf: &mut [T]| {
-        let code = streams.codes[next_code];
-        next_code += 1;
-        recon_buf[off] = if code == 0 {
-            match pool.take() {
-                Some(v) => v,
-                None => {
-                    short_pool = true;
-                    T::zero()
+    walk_schedule(
+        dims,
+        basis,
+        |off, pred, recon_buf: &mut [T]| {
+            let code = streams.codes[next_code];
+            next_code += 1;
+            recon_buf[off] = if code == 0 {
+                match pool.take() {
+                    Some(v) => v,
+                    None => {
+                        short_pool = true;
+                        T::zero()
+                    }
                 }
-            }
-        } else {
-            quantizer.recover(code, pred)
-        };
-    }, &mut recon);
+            } else {
+                quantizer.recover(code, pred)
+            };
+        },
+        &mut recon,
+    );
     if short_pool || !pool.fully_consumed() {
         return Err(SzError::CorruptStream("interp: unpredictable pool length mismatch".into()));
     }
@@ -160,7 +167,13 @@ fn walk_pass<T: ScalarValue>(
             2 * s
         }
     };
-    let start = |d: usize| -> usize { if d == pass_dim { s } else { 0 } };
+    let start = |d: usize| -> usize {
+        if d == pass_dim {
+            s
+        } else {
+            0
+        }
+    };
 
     let mut coord: Vec<usize> = (0..ndim).map(start).collect();
     if coord.iter().zip(dims).any(|(&c, &n)| c >= n) {
@@ -260,9 +273,8 @@ mod tests {
     fn smooth_data_beats_lorenzo_on_ratio_proxy() {
         // On a smooth field at a moderate error bound, interpolation should
         // produce a tighter code distribution (more zero-bins) than Lorenzo.
-        let data = Dataset::from_fn(vec![64, 64], |i| {
-            ((i[0] as f32) * 0.05).sin() * ((i[1] as f32) * 0.08).cos() * 50.0
-        });
+        let data =
+            Dataset::from_fn(vec![64, 64], |i| ((i[0] as f32) * 0.05).sin() * ((i[1] as f32) * 0.08).cos() * 50.0);
         let q = LinearQuantizer::new(0.05, 1 << 15);
         let zero = 1u32 << 15;
         let interp = compress(&data, &q, Basis::Cubic).unwrap();

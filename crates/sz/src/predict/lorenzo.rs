@@ -46,11 +46,7 @@ pub fn decompress<T: ScalarValue>(
 ) -> Result<Dataset<T>, SzError> {
     let n: usize = dims.iter().product();
     if streams.codes.len() != n {
-        return Err(SzError::CorruptStream(format!(
-            "lorenzo: {} codes for {} points",
-            streams.codes.len(),
-            n
-        )));
+        return Err(SzError::CorruptStream(format!("lorenzo: {} codes for {} points", streams.codes.len(), n)));
     }
     let (_, recon, consumed) = match dims.len() {
         1 => run::<T, true>(dims, None, streams, quantizer),
@@ -351,8 +347,7 @@ mod tests {
     fn pool_length_mismatch_is_detected() {
         let q = LinearQuantizer::new(1e-3, 512);
         // One spurious unpredictable value that no code references.
-        let streams =
-            PredictionStreams::<f32> { codes: vec![512; 4], unpredictable: vec![9.0], side_data: vec![] };
+        let streams = PredictionStreams::<f32> { codes: vec![512; 4], unpredictable: vec![9.0], side_data: vec![] };
         assert!(decompress(&[4], &streams, &q).is_err());
     }
 

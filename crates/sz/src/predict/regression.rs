@@ -63,11 +63,8 @@ pub fn compress<T: ScalarValue>(
         }
         for_each_point(&base, &bdims, |idx| {
             let off = offset3(&dims, idx);
-            let pred = if use_reg {
-                predict_regression(&coeffs, &base, idx)
-            } else {
-                predict_lorenzo(&recon, &dims, idx)
-            };
+            let pred =
+                if use_reg { predict_regression(&coeffs, &base, idx) } else { predict_lorenzo(&recon, &dims, idx) };
             let quantized = quantizer.quantize(raw[off], pred);
             if quantized.code == 0 {
                 out.unpredictable.push(quantized.reconstructed);
@@ -242,12 +239,7 @@ fn fit_block<T: ScalarValue>(raw: &[T], dims: &[usize; 3], base: &[usize; 3], bd
         cov /= n;
         slopes[d] = cov / var_x;
     }
-    let b0 = mean_v
-        - slopes
-            .iter()
-            .zip(bdims)
-            .map(|(s, &m)| s * (m as f64 - 1.0) / 2.0)
-            .sum::<f64>();
+    let b0 = mean_v - slopes.iter().zip(bdims).map(|(s, &m)| s * (m as f64 - 1.0) / 2.0).sum::<f64>();
     [b0 as f32, slopes[0] as f32, slopes[1] as f32, slopes[2] as f32]
 }
 
@@ -269,7 +261,9 @@ fn predict_lorenzo<T: ScalarValue>(recon: &[T], dims: &[usize; 3], idx: [usize; 
         }
     };
     let (i, j, k) = (idx[0] as isize, idx[1] as isize, idx[2] as isize);
-    at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1) - at(i - 1, j - 1, k) - at(i - 1, j, k - 1)
+    at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1)
+        - at(i - 1, j - 1, k)
+        - at(i - 1, j, k - 1)
         - at(i, j - 1, k - 1)
         + at(i - 1, j - 1, k - 1)
 }
@@ -304,7 +298,8 @@ fn lorenzo_raw_error<T: ScalarValue>(raw: &[T], dims: &[usize; 3], base: &[usize
     let mut count = 0usize;
     for_each_point(base, bdims, |idx| {
         let (i, j, k) = (idx[0] as isize, idx[1] as isize, idx[2] as isize);
-        let pred = at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1) - at(i - 1, j - 1, k)
+        let pred = at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1)
+            - at(i - 1, j - 1, k)
             - at(i - 1, j, k - 1)
             - at(i, j - 1, k - 1)
             + at(i - 1, j - 1, k - 1);
@@ -340,23 +335,19 @@ mod tests {
 
     #[test]
     fn round_trip_3d() {
-        check_round_trip(vec![13, 14, 15], 1e-4, |i| {
-            (i[0] as f32 * 0.7).sin() + (i[1] as f32 + i[2] as f32) * 0.05
-        });
+        check_round_trip(vec![13, 14, 15], 1e-4, |i| (i[0] as f32 * 0.7).sin() + (i[1] as f32 + i[2] as f32) * 0.05);
     }
 
     #[test]
     fn planar_data_selects_regression_and_nails_it() {
         // A global plane: regression predicts every interior point almost
         // exactly, so nearly every code is the zero bin.
-        let data = Dataset::from_fn(vec![24, 24, 24], |i| {
-            1.0 + 0.5 * i[0] as f32 + 0.25 * i[1] as f32 - 0.125 * i[2] as f32
-        });
+        let data =
+            Dataset::from_fn(vec![24, 24, 24], |i| 1.0 + 0.5 * i[0] as f32 + 0.25 * i[1] as f32 - 0.125 * i[2] as f32);
         let q = LinearQuantizer::new(1e-3, 1 << 15);
         let streams = compress(&data, &q).unwrap();
         let zero = 1u32 << 15;
-        let zero_frac =
-            streams.codes.iter().filter(|&&c| c == zero).count() as f64 / streams.codes.len() as f64;
+        let zero_frac = streams.codes.iter().filter(|&&c| c == zero).count() as f64 / streams.codes.len() as f64;
         assert!(zero_frac > 0.98, "zero_frac={zero_frac}");
         // At least one block chose regression.
         assert!(streams.side_data.contains(&FLAG_REGRESSION));
@@ -402,7 +393,13 @@ mod tests {
     #[test]
     fn fit_block_recovers_plane_coefficients() {
         let dims = [1usize, 8, 8];
-        let raw: Vec<f32> = (0..64).map(|o| { let j = o / 8; let k = o % 8; 2.0 + 0.5 * j as f32 + 0.25 * k as f32 }).collect();
+        let raw: Vec<f32> = (0..64)
+            .map(|o| {
+                let j = o / 8;
+                let k = o % 8;
+                2.0 + 0.5 * j as f32 + 0.25 * k as f32
+            })
+            .collect();
         let c = fit_block(&raw, &dims, &[0, 0, 0], &[1, 8, 8]);
         assert!((c[0] - 2.0).abs() < 1e-5, "{c:?}");
         assert!((c[2] - 0.5).abs() < 1e-5, "{c:?}");

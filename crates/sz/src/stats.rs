@@ -156,7 +156,14 @@ mod tests {
         // 256 f32 values whose byte representation cycles through all 256
         // byte values uniformly.
         let vals: Vec<f32> = (0..256u32)
-            .map(|i| f32::from_le_bytes([i as u8, (i as u8).wrapping_add(64), (i as u8).wrapping_add(128), (i as u8).wrapping_add(192)]))
+            .map(|i| {
+                f32::from_le_bytes([
+                    i as u8,
+                    (i as u8).wrapping_add(64),
+                    (i as u8).wrapping_add(128),
+                    (i as u8).wrapping_add(192),
+                ])
+            })
             .collect();
         let d = Dataset::new(vec![256], vals).unwrap();
         let h = byte_entropy(&d);

@@ -197,11 +197,7 @@ fn gather_block<T: ScalarValue>(data: &Dataset<T>, base: &[usize; 3]) -> Vec<f64
     for i in 0..edge(0) {
         for j in 0..edge(1) {
             for k in 0..edge(2) {
-                let c = [
-                    (base[0] + i).min(d3[0] - 1),
-                    (base[1] + j).min(d3[1] - 1),
-                    (base[2] + k).min(d3[2] - 1),
-                ];
+                let c = [(base[0] + i).min(d3[0] - 1), (base[1] + j).min(d3[1] - 1), (base[2] + k).min(d3[2] - 1)];
                 let off = (c[0] * d3[1] + c[1]) * d3[2] + c[2];
                 out.push(data.values()[off].to_f64());
             }
@@ -378,10 +374,7 @@ fn encode_block<T: ScalarValue>(block: &[f64], abs_eb: f64, out: &mut Vec<u8>) {
             let mid = (lo + hi) / 2;
             let q: Vec<i64> = coeffs.iter().map(|&c| round_shift(c, mid)).collect();
             let recon = reconstruct(&q, mid, exp, ndim);
-            let ok = block
-                .iter()
-                .zip(&recon)
-                .all(|(&a, &b)| (T::from_f64(b).to_f64() - a).abs() <= abs_eb);
+            let ok = block.iter().zip(&recon).all(|(&a, &b)| (T::from_f64(b).to_f64() - a).abs() <= abs_eb);
             if ok {
                 best = Some((mid, q));
                 lo = mid + 1;
@@ -435,10 +428,8 @@ fn decode_block<T: ScalarValue>(payload: &[u8], pos: &mut usize, ndim: usize) ->
             if *pos + need > payload.len() {
                 return Err(SzError::CorruptStream("zfp: truncated raw block".into()));
             }
-            let vals: Vec<f64> = payload[*pos..*pos + need]
-                .chunks_exact(T::BYTES)
-                .map(|c| T::read_le(c).to_f64())
-                .collect();
+            let vals: Vec<f64> =
+                payload[*pos..*pos + need].chunks_exact(T::BYTES).map(|c| T::read_le(c).to_f64()).collect();
             *pos += need;
             Ok(vals)
         }
@@ -535,9 +526,7 @@ mod tests {
 
     #[test]
     fn full_round_trip_2d_partial_blocks() {
-        check_round_trip(vec![30, 19], 1e-4, |i| {
-            ((i[0] as f32) * 0.3).cos() * ((i[1] as f32) * 0.2).sin() * 7.0
-        });
+        check_round_trip(vec![30, 19], 1e-4, |i| ((i[0] as f32) * 0.3).cos() * ((i[1] as f32) * 0.2).sin() * 7.0);
     }
 
     #[test]
@@ -576,9 +565,7 @@ mod tests {
         // estimate *understates* highly compressible data; what the quality
         // model needs is (a) stride-1 fidelity and (b) monotonicity across
         // error bounds, both checked here.
-        let data = Dataset::from_fn(vec![40, 40, 20], |i| {
-            ((i[0] as f32) * 0.2).sin() + ((i[1] + i[2]) as f32) * 0.01
-        });
+        let data = Dataset::from_fn(vec![40, 40, 20], |i| ((i[0] as f32) * 0.2).sin() + ((i[1] + i[2]) as f32) * 0.01);
         let range = data.value_range();
         let real = |eb: f64| {
             let blob = compress(&data, eb * range).unwrap();

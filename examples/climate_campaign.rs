@@ -32,13 +32,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cp = orch.run(&workload, from, to, Strategy::Compressed, &opts);
     println!(
         "compressed (CP):   compress {:.1} s + transfer {:.1} s + decompress {:.1} s = {:.1} s",
-        cp.compression_s, cp.transfer_s, cp.decompression_s, cp.total_s()
+        cp.compression_s,
+        cp.transfer_s,
+        cp.decompression_s,
+        cp.total_s()
     );
 
     let op = orch.run(&workload, from, to, Strategy::grouped_by_count(2048), &opts);
     println!(
         "grouped (OP):      compress {:.1} s + group {:.1} s + transfer {:.1} s + decompress {:.1} s = {:.1} s",
-        op.compression_s, op.grouping_s, op.transfer_s, op.decompression_s, op.total_s()
+        op.compression_s,
+        op.grouping_s,
+        op.transfer_s,
+        op.decompression_s,
+        op.total_s()
     );
 
     println!(

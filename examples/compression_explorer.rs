@@ -14,10 +14,7 @@ use ocelot_sz::{compress_with_stats, decompress, metrics, zfp, LossyConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eb: f64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(1e-3);
     println!("relative error bound: {eb:.0e}\n");
-    println!(
-        "{:<22} {:<14} {:>9} {:>10} {:>9}",
-        "dataset", "pipeline", "ratio", "PSNR (dB)", "unpred"
-    );
+    println!("{:<22} {:<14} {:>9} {:>10} {:>9}", "dataset", "pipeline", "ratio", "PSNR (dB)", "unpred");
     println!("{}", "-".repeat(70));
 
     let cases = [

@@ -34,9 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. The user requirement: distortion must stay above 80 dB PSNR.
     let fresh = FieldSpec::new(Application::Rtm, "snapshot-2200").with_scale(12).generate();
     let auto = AutoConfigurator::new(model).with_sample_stride(25);
-    let (config, estimate) = auto
-        .select(&fresh, Requirement::MinPsnr(80.0))
-        .expect("some configuration satisfies 80 dB on RTM data");
+    let (config, estimate) =
+        auto.select(&fresh, Requirement::MinPsnr(80.0)).expect("some configuration satisfies 80 dB on RTM data");
     println!(
         "selected: {} at eb {:.0e} -> predicted ratio {:.1}x, PSNR {:.1} dB",
         config.predictor,
@@ -65,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ntransfer under a 900 s node wait (Bebop -> Cori, 682 GB):");
     println!("  direct, no compression:   {:>7.1} s", direct.total_s());
     println!("  blocking compression:     {:>7.1} s (wait wasted)", without.total_s());
-    println!("  sentinel + compression:   {:>7.1} s (wait overlapped with raw transfer)", sentinel_total_s(&with_sentinel));
+    println!(
+        "  sentinel + compression:   {:>7.1} s (wait overlapped with raw transfer)",
+        sentinel_total_s(&with_sentinel)
+    );
     Ok(())
 }

@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw: usize = frames.iter().map(|f| f.nbytes()).sum();
     println!("\nraw {:.1} MB", raw as f64 / 1e6);
     println!("spatial  (per-frame): {:.2} MB ({:.1}x)", spatial_bytes as f64 / 1e6, raw as f64 / spatial_bytes as f64);
-    println!("temporal (key+delta): {:.2} MB ({:.1}x)", temporal_bytes as f64 / 1e6, raw as f64 / temporal_bytes as f64);
+    println!(
+        "temporal (key+delta): {:.2} MB ({:.1}x)",
+        temporal_bytes as f64 / 1e6,
+        raw as f64 / temporal_bytes as f64
+    );
     println!("worst pointwise error {worst_err:.3e} (bound {abs_eb:.3e})");
     // The delta add contributes at most one f32 ULP on top of the bound.
     let ulp_margin = frames[0].value_range() * f32::EPSILON as f64 * 4.0;

@@ -66,6 +66,39 @@ fn full_byte_path_respects_error_bounds_and_names() {
 }
 
 #[test]
+fn executor_output_is_byte_identical_across_thread_counts() {
+    // Work-stealing must never leak into the bytes: a 1-, 2-, and 8-thread
+    // executor produce the same blobs in the same order, so archives built
+    // on differently-sized clusters are interchangeable.
+    let files = make_files(13, 20);
+    let datasets: Vec<Dataset<f32>> = files.iter().map(|(_, d)| d.clone()).collect();
+    let config = LossyConfig::sz3(1e-3);
+    let reference: Vec<Vec<u8>> = ParallelExecutor::new(1)
+        .compress_all(&datasets, &config)
+        .expect("serial compression succeeds")
+        .iter()
+        .map(|b| b.as_bytes().to_vec())
+        .collect();
+    for threads in [2usize, 8] {
+        let parallel: Vec<Vec<u8>> = ParallelExecutor::new(threads)
+            .compress_all(&datasets, &config)
+            .expect("parallel compression succeeds")
+            .iter()
+            .map(|b| b.as_bytes().to_vec())
+            .collect();
+        assert_eq!(parallel, reference, "{threads}-thread output diverged from serial");
+    }
+    // Decompression is equally order- and thread-stable.
+    let blobs = ParallelExecutor::new(8).compress_all(&datasets, &config).unwrap();
+    let a = ParallelExecutor::new(1).decompress_all(&blobs).unwrap();
+    let b = ParallelExecutor::new(8).decompress_all(&blobs).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.values(), y.values());
+    }
+}
+
+#[test]
 fn nclite_containers_ride_the_same_path() {
     // Variables from a container compress individually and reassemble.
     let mut container = NcliteFile::new();

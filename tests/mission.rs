@@ -65,13 +65,7 @@ fn end_to_end_mission_with_quality_guarantee() {
     let topology = Topology::paper();
     let link = topology.route(SiteId::Anvil, SiteId::Bebop).link;
     let sizes: Vec<u64> = archives.archives().iter().map(|a| a.len() as u64).collect();
-    let crossing = simulate_transfer_with_faults(
-        &sizes,
-        &link,
-        &GridFtpConfig::default(),
-        &FaultModel::flaky(0.1),
-        42,
-    );
+    let crossing = simulate_transfer_with_faults(&sizes, &link, &GridFtpConfig::default(), &FaultModel::flaky(0.1), 42);
     assert!(crossing.failed_files.is_empty(), "retries must deliver all archives");
     assert_eq!(crossing.report.bytes_total, archives.compressed_bytes());
     // A competing batch on the same link slows us down but changes no bytes.
@@ -113,9 +107,8 @@ fn control_plane_mission() {
 
     // Submit the compute legs through the fabric.
     let c = fabric.submit(compress_fn, "anvil", workload.total_bytes(), SimTime::ZERO).expect("submit");
-    let d = fabric
-        .submit(decompress_fn, "bebop", workload.compressed_sizes().iter().sum(), SimTime::ZERO)
-        .expect("submit");
+    let d =
+        fabric.submit(decompress_fn, "bebop", workload.compressed_sizes().iter().sum(), SimTime::ZERO).expect("submit");
     let done = fabric.completion_time(&[c, d]).expect("both tracked");
     assert!(done > SimTime::ZERO);
 

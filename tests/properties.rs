@@ -147,6 +147,31 @@ proptest! {
     }
 
     #[test]
+    fn group_plans_partition_the_input(
+        sizes in prop::collection::vec(0u64..500_000, 0..80),
+        target in 1u64..1_000_000,
+        group_count in 1usize..20,
+    ) {
+        // Both planners must produce an exact partition of 0..n: every file
+        // index in exactly one group, no invented indices, no empty groups.
+        for plan in [plan_groups(&sizes, target), plan_groups_by_count(sizes.len(), group_count)] {
+            let mut seen = vec![0usize; sizes.len()];
+            for group in &plan {
+                prop_assert!(!group.is_empty(), "planner emitted an empty group");
+                for &i in group {
+                    prop_assert!(i < sizes.len(), "index {} out of range {}", i, sizes.len());
+                    seen[i] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1), "not a partition: {:?}", seen);
+            // ... so grouped bytes conserve the input bytes exactly.
+            let grouped: u64 = plan.iter().flatten().map(|&i| sizes[i]).sum();
+            prop_assert_eq!(grouped, sizes.iter().sum::<u64>());
+        }
+        prop_assert!(plan_groups_by_count(sizes.len(), group_count).len() <= group_count.max(1));
+    }
+
+    #[test]
     fn transfer_simulation_is_sane(
         sizes in prop::collection::vec(1u64..200_000_000, 1..60),
         concurrency in 1usize..40,

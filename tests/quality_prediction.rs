@@ -87,11 +87,6 @@ fn predictor_type_is_a_usable_model_feature() {
     let model = QualityModel::train(&samples, &cfg);
     for s in &samples {
         let est = model.predict(&s.features);
-        assert!(
-            (est.ratio.log10() - s.ratio.log10()).abs() < 0.1,
-            "in-sample ratio {} vs {}",
-            est.ratio,
-            s.ratio
-        );
+        assert!((est.ratio.log10() - s.ratio.log10()).abs() < 0.1, "in-sample ratio {} vs {}", est.ratio, s.ratio);
     }
 }

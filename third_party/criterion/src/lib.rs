@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the group/bench API surface the workspace's `benches/` targets
+//! use, measuring plain wall-clock medians (no statistical analysis, plots,
+//! or baselines). Good enough to run `cargo bench` offline and get
+//! comparable relative numbers; not a replacement for real criterion rigor.
+
+use std::time::{Duration, Instant};
+
+/// Units for reporting throughput alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter label.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to bench closures; `iter` runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warm-up call keeps cold-start effects out of the samples.
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the stub has no target time budget.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        self.report(&id.to_string(), &mut bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &mut bencher.samples);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, samples: &mut [Duration]) {
+        if self.criterion.quiet || samples.is_empty() {
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let rate = self.throughput.map(|t| {
+            let per_s = |n: u64| n as f64 / median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", per_s(n) / (1024.0 * 1024.0)),
+                Throughput::Elements(n) => format!(" ({:.0} elem/s)", per_s(n)),
+            }
+        });
+        println!(
+            "bench {}/{id}: median {median:?} over {} samples{}",
+            self.name,
+            samples.len(),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Entry point mirroring criterion's `Criterion` builder.
+pub struct Criterion {
+    quiet: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets once with `--test`; stay silent
+        // there so test output is not flooded with timing lines.
+        let quiet = std::env::args().any(|a| a == "--test");
+        Criterion { quiet }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self {
+        self.benchmark_group("standalone").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-exported so generated code can defeat dead-code elimination.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { quiet: true };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).throughput(Throughput::Bytes(8));
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("w", 1), &2u32, |b, &x| b.iter(|| ran += x));
+            g.finish();
+        }
+        // 1 warm-up + 3 samples for each of the two benchmarks.
+        assert_eq!(ran, 4 + 4 * 2);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("enc", "p0_5").to_string(), "enc/p0_5");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the crossbeam-shaped APIs Ocelot uses — [`thread::scope`] with
+//! spawn closures that receive the scope, and [`channel`] bounded/unbounded
+//! MPMC channels — implemented over `std::thread::scope` and
+//! `std::sync::mpsc` (with a mutex-wrapped receiver for multi-consumer use).
+
+pub mod thread {
+    //! Scoped threads mirroring `crossbeam::thread`.
+
+    /// A scope handle; spawn closures receive a reference so workers can
+    /// spawn further workers.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result.
+        ///
+        /// # Errors
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// itself, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || {
+                let reborrowed = Scope { inner };
+                f(&reborrowed)
+            }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before returning.
+    ///
+    /// Unlike crossbeam (which catches child panics and returns them as
+    /// `Err`), a panicking child re-panics at scope exit, so the `Ok` arm is
+    /// the only one observable — fine for callers that `.expect()` the
+    /// result, which is how Ocelot uses it.
+    ///
+    /// # Errors
+    /// Never returns `Err` (see above).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! MPMC channels over `std::sync::mpsc`.
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Sending half; cloneable.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half; cloneable (consumers share one underlying receiver).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    /// Error returned when all senders disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned when all receivers disconnected.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while the channel is full.
+        ///
+        /// # Errors
+        /// Returns the value if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking while the channel is empty.
+        ///
+        /// # Errors
+        /// Errors once the channel is empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().expect("receiver mutex").recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.lock().expect("receiver mutex").try_recv().ok()
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u32, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    total.fetch_add(chunk.iter().sum::<u32>(), std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let hits = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bounded_channel_round_trips() {
+        let (tx, rx) = super::channel::bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: `proptest!` test blocks with
+//! `arg in strategy` bindings, range strategies, `Just`, `any::<T>()`,
+//! `prop::collection::vec`, tuple strategies, `prop_map`, weighted and
+//! unweighted `prop_oneof!`, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros.
+//!
+//! Sampling is deterministic (seeded per test name) and there is no
+//! shrinking: a failing case panics with the sampled inputs available via
+//! the assertion message, like a plain `#[test]`.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use crate::strategy::{Any, ArbitrarySample};
+
+    /// Returns the canonical strategy for `T` (uniform over its domain).
+    pub fn any<T: ArbitrarySample>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy for vectors of `element` samples with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min_len, max_len) = size.bounds();
+        VecStrategy { element, min_len, max_len }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Each case samples every bound argument from its strategy and runs the
+/// body; any panic (including `prop_assert!`) fails the test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let _ = case;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Picks one of several strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..10, b in -5i32..5, x in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+        }
+
+        #[test]
+        fn oneof_yields_only_listed_values(v in prop_oneof![1 => Just(1u32), 1 => Just(2u32), 3 => Just(7u32)]) {
+            prop_assert!(v == 1 || v == 2 || v == 7);
+        }
+
+        #[test]
+        fn prop_map_applies(v in (1usize..4, 1usize..4).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 5..20);
+        let mut r1 = crate::test_runner::TestRng::for_test("fixed");
+        let mut r2 = crate::test_runner::TestRng::for_test("fixed");
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}

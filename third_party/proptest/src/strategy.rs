@@ -1,0 +1,249 @@
+//! Strategy trait and combinators for the proptest stand-in.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A source of sampled values. Object-safe: combinators require
+/// `Self: Sized` so `Box<dyn Strategy<Value = V>>` works.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// Weighted choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    branches: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(branches: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total_weight = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! requires a positive total weight");
+        Union { branches, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, branch) in &self.branches {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return branch.sample(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick is below the total weight")
+    }
+}
+
+/// Result of [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) min_len: usize,
+    pub(crate) max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max_len - self.min_len).max(1) as u64;
+        let len = self.min_len + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Uniform strategy over a type's full domain ([`crate::arbitrary::any`]).
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+/// Types with a canonical uniform sampling rule for `any::<T>()`.
+pub trait ArbitrarySample {
+    fn sample_any(rng: &mut TestRng) -> Self;
+}
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_any(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn sample_any(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitrarySample for bool {
+    fn sample_any(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitrarySample for f64 {
+    fn sample_any(rng: &mut TestRng) -> Self {
+        rng.uniform01() * 2.0 - 1.0
+    }
+}
+
+impl ArbitrarySample for f32 {
+    fn sample_any(rng: &mut TestRng) -> Self {
+        (rng.uniform01() * 2.0 - 1.0) as f32
+    }
+}
+
+macro_rules! impl_range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_sint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (i64::from(self.end) - i64::from(self.start)) as u64;
+                (i64::from(self.start) + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_sint!(i8, i16, i32);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn sample(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let x = self.start as f64 + rng.uniform01() * (self.end as f64 - self.start as f64);
+                // Clamp below end so the half-open contract holds after rounding.
+                let x = x as $t;
+                if x >= self.end { self.start } else { x }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+}

@@ -1,0 +1,432 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes Ocelot's types use — named-field structs, tuple structs, and enums
+//! with unit / tuple / named-field variants — plus the `#[serde(skip)]` and
+//! `#[serde(default)]` field attributes. Generic type parameters are not
+//! supported (no deriving type in this repository is generic).
+//!
+//! The macro parses the raw token stream directly (no `syn`/`quote`, which
+//! are unavailable offline) and emits impls of the value-tree traits defined
+//! by the sibling `serde` stub crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One field of a struct or struct-like variant.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// The field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    /// Tuple layout with the given arity.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct TypeDesc {
+    name: String,
+    body: Body,
+}
+
+/// Derives the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let desc = parse_type(input);
+    gen_serialize(&desc).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let desc = parse_type(input);
+    gen_deserialize(&desc).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes attributes at `*i`, returning any `#[serde(...)]` flags seen.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(flag) = t {
+                                    match flag.to_string().as_str() {
+                                        "skip" => skip = true,
+                                        "default" => default = true,
+                                        other => panic!("unsupported #[serde({other})] attribute (stub serde_derive)"),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                *i += 1;
+                continue;
+            }
+        }
+        panic!("malformed attribute");
+    }
+    (skip, default)
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_type(input: TokenStream) -> TypeDesc {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("stub serde_derive does not support generic types (deriving `{name}`)");
+        }
+    }
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_items(g.stream())))
+            }
+            _ => panic!("unsupported struct shape for `{name}` (unit structs not supported)"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Body::Enum(parse_variants(g.stream())),
+            _ => panic!("malformed enum `{name}`"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    TypeDesc { name, body }
+}
+
+/// Counts top-level comma-separated items in a tuple field list, tracking
+/// angle-bracket depth so `Foo<A, B>` counts as one item.
+fn count_tuple_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut items = 1;
+    let mut depth = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    items += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        items -= 1; // trailing comma
+    }
+    items
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, default) = skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            } else if p.as_char() == '=' {
+                panic!("explicit discriminants are not supported (variant `{name}`)");
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(desc: &TypeDesc) -> String {
+    let name = &desc.name;
+    let body = match &desc.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let entries = named_field_entries(fields, |f| format!("&self.{f}"));
+            format!("::serde::Value::Object(vec![{entries}])")
+        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Unit) => unreachable!("unit structs rejected during parsing"),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `("a".to_string(), to_value(&self.a)), …` for every non-skipped field.
+fn named_field_entries(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| format!("(\"{0}\".to_string(), ::serde::Serialize::to_value({1}))", f.name, access(&f.name)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn serialize_variant_arm(type_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => {
+            format!("{type_name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),")
+        }
+        Fields::Tuple(1) => format!(
+            "{type_name}::{vname}(f0) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), \
+             ::serde::Serialize::to_value(f0))]),"
+        ),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+            let items: Vec<String> = binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+            format!(
+                "{type_name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                 ::serde::Value::Array(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries = named_field_entries(fields, |f| f.to_string());
+            format!(
+                "{type_name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                 ::serde::Value::Object(vec![{entries}]))]),",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(desc: &TypeDesc) -> String {
+    let name = &desc.name;
+    let body = match &desc.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let inits = named_field_inits(name, fields, "value");
+            format!(
+                "if value.as_object().is_none() {{ return Err(::serde::DeError::expected(\"object\", value)); }}\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => tuple_from_array(name, *n, "value"),
+        Body::Struct(Fields::Unit) => unreachable!("unit structs rejected during parsing"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| deserialize_variant_arm(name, v))
+                .collect();
+            format!(
+                "if let Some(s) = value.as_str() {{\n\
+                     return match s {{\n\
+                         {unit}\n\
+                         _ => Err(::serde::DeError::custom(format!(\"unknown variant `{{s}}` of {name}\"))),\n\
+                     }};\n\
+                 }}\n\
+                 if let Some(entries) = value.as_object() {{\n\
+                     if entries.len() == 1 {{\n\
+                         let payload = &entries[0].1;\n\
+                         let _ = payload;\n\
+                         return match entries[0].0.as_str() {{\n\
+                             {data}\n\
+                             tag => Err(::serde::DeError::custom(format!(\"unknown variant `{{tag}}` of {name}\"))),\n\
+                         }};\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::expected(\"variant name or single-key object\", value))",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `a: match src.get("a") {…}, …` initializers honoring skip/default.
+fn named_field_inits(_type_name: &str, fields: &[Field], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            if f.skip {
+                format!("{fname}: Default::default()")
+            } else if f.default {
+                format!(
+                    "{fname}: match {src}.get(\"{fname}\") {{ \
+                         Some(v) => ::serde::Deserialize::from_value(v)?, \
+                         None => Default::default() }}"
+                )
+            } else {
+                format!(
+                    "{fname}: match {src}.get(\"{fname}\") {{ \
+                         Some(v) => ::serde::Deserialize::from_value(v)?, \
+                         None => ::serde::Deserialize::from_missing_field(\"{fname}\")? }}"
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// `match src.as_array() { Some(items) if len == n => Ok(Path(...)), … }`.
+fn tuple_from_array(path: &str, n: usize, src: &str) -> String {
+    let items: Vec<String> = (0..n).map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?")).collect();
+    format!(
+        "match {src}.as_array() {{\n\
+             Some(items) if items.len() == {n} => Ok({path}({})),\n\
+             _ => Err(::serde::DeError::expected(\"array of {n}\", {src})),\n\
+         }}",
+        items.join(", ")
+    )
+}
+
+fn deserialize_variant_arm(type_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => unreachable!("unit variants handled separately"),
+        Fields::Tuple(1) => {
+            format!("\"{vname}\" => Ok({type_name}::{vname}(::serde::Deserialize::from_value(payload)?)),")
+        }
+        Fields::Tuple(n) => {
+            format!("\"{vname}\" => {},", tuple_from_array(&format!("{type_name}::{vname}"), *n, "payload"))
+        }
+        Fields::Named(fields) => {
+            let inits = named_field_inits(type_name, fields, "payload");
+            format!(
+                "\"{vname}\" => {{\n\
+                     if payload.as_object().is_none() {{ return Err(::serde::DeError::expected(\"object\", payload)); }}\n\
+                     Ok({type_name}::{vname} {{ {inits} }})\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde` stub's
+//! [`Value`] tree. Provides the string/byte/value conversion functions the
+//! workspace uses with serde_json-compatible output formatting.
+
+pub use serde::Value;
+
+use serde::value::{parse_json, to_json};
+use serde::{DeError, Deserialize, Serialize};
+
+/// JSON serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes a value to a compact JSON string.
+///
+/// # Errors
+/// Infallible for the value-tree model; the `Result` mirrors serde_json.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_json(&value.to_value(), None, 0))
+}
+
+/// Serializes a value to a pretty-printed JSON string (2-space indent).
+///
+/// # Errors
+/// Infallible for the value-tree model; the `Result` mirrors serde_json.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_json(&value.to_value(), Some(2), 0))
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+/// Infallible for the value-tree model; the `Result` mirrors serde_json.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+/// Infallible for the value-tree model; the `Result` mirrors serde_json.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parses a JSON string into any deserializable type.
+///
+/// # Errors
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_json(s).map_err(|e| Error(e.to_string()))?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON bytes (UTF-8) into any deserializable type.
+///
+/// # Errors
+/// Returns [`Error`] on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Reconstructs a deserializable type from a [`Value`] tree.
+///
+/// # Errors
+/// Returns [`Error`] on a shape mismatch.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_round_trip() {
+        let v = vec!["a".to_string(), "b \"quoted\"".to_string()];
+        let json = to_string(&v).unwrap();
+        let back: Vec<String> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = vec![1u64, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let bytes = to_vec(&v).unwrap();
+        let back: Vec<u64> = from_slice(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let val = to_value(&3.5f64).unwrap();
+        assert_eq!(val, Value::Float(3.5));
+        let back: f64 = from_value(val).unwrap();
+        assert_eq!(back, 3.5);
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        assert!(from_str::<Vec<u64>>("[1, 2,").is_err());
+    }
+}
