@@ -54,7 +54,7 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        eprintln!("[{id} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+        ocelot_obs::info!("repro", "{id} done in {:.1}s", started.elapsed().as_secs_f64());
     }
 }
 

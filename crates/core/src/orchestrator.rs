@@ -70,6 +70,9 @@ pub struct PipelineOptions {
     pub faults: FaultModel,
     /// Seed for waiting times and link jitter.
     pub seed: u64,
+    /// Job id attached to recorded spans and trace events (`None` for
+    /// jobless runs such as sweeps and profiling).
+    pub job: Option<u64>,
 }
 
 impl Default for PipelineOptions {
@@ -86,6 +89,7 @@ impl Default for PipelineOptions {
             sentinel: false,
             faults: FaultModel::none(),
             seed: 0,
+            job: None,
         }
     }
 }
@@ -124,17 +128,30 @@ impl PipelineOutcome {
 #[derive(Debug, Clone)]
 pub struct Orchestrator {
     topology: Topology,
+    obs: Option<ocelot_obs::Obs>,
 }
 
 impl Orchestrator {
     /// Creates an orchestrator over a topology.
     pub fn new(topology: Topology) -> Self {
-        Orchestrator { topology }
+        Orchestrator { topology, obs: None }
     }
 
     /// The paper's calibrated three-site testbed.
     pub fn paper() -> Self {
         Orchestrator::new(Topology::paper())
+    }
+
+    /// Attaches an explicit observability handle; without one, the
+    /// process-wide [`ocelot_obs::global`] handle is used.
+    pub fn with_obs(mut self, obs: ocelot_obs::Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The observability handle in effect for this orchestrator.
+    pub fn obs(&self) -> ocelot_obs::Obs {
+        self.obs.clone().unwrap_or_else(ocelot_obs::global)
     }
 
     /// The topology in use.
@@ -155,6 +172,49 @@ impl Orchestrator {
         opts: &PipelineOptions,
     ) -> TimeBreakdown {
         self.run_detailed(workload, from, to, strategy, opts).breakdown
+    }
+
+    /// Records one run's phase timings: an additive sim-span tree (all on
+    /// lane 0, phases laid end to end as the paper's Table VIII accounts
+    /// them) plus per-phase histograms and a per-strategy run counter.
+    fn record_phases(&self, strategy: &str, job: Option<u64>, b: &TimeBreakdown) {
+        let obs = self.obs();
+        if !obs.is_enabled() {
+            return;
+        }
+        let root = obs.sim_span("pipeline", job, 0, 0.0, b.total_s());
+        let mut t = 0.0;
+        for (name, dur) in [
+            ("pipeline.queue_wait", b.queue_wait_s),
+            ("pipeline.compress", b.compression_s),
+            ("pipeline.group", b.grouping_s),
+            ("pipeline.transfer", b.transfer_s),
+            ("pipeline.decompress", b.decompression_s),
+        ] {
+            obs.sim_child(root, name, job, 0, t, t + dur);
+            t += dur;
+        }
+        Self::observe_breakdown(&obs, b);
+        obs.inc(&format!("ocelot_core_runs_{strategy}_total"), "Pipeline runs completed, by strategy");
+    }
+
+    /// Feeds one breakdown into the shared per-phase histograms.
+    fn observe_breakdown(obs: &ocelot_obs::Obs, b: &TimeBreakdown) {
+        obs.observe("ocelot_core_queue_wait_seconds", "Simulated batch-queue wait per pipeline run", b.queue_wait_s);
+        obs.observe("ocelot_core_compression_seconds", "Simulated compression phase per pipeline run", b.compression_s);
+        obs.observe("ocelot_core_grouping_seconds", "Simulated grouping phase per pipeline run", b.grouping_s);
+        obs.observe("ocelot_core_transfer_seconds", "Simulated WAN transfer phase per pipeline run", b.transfer_s);
+        obs.observe(
+            "ocelot_core_decompression_seconds",
+            "Simulated decompression phase per pipeline run",
+            b.decompression_s,
+        );
+        obs.observe("ocelot_core_total_seconds", "Simulated end-to-end pipeline duration", b.total_s());
+        obs.add(
+            "ocelot_core_bytes_transferred_total",
+            "Bytes offered to the WAN by pipeline runs",
+            b.bytes_transferred,
+        );
     }
 
     /// Runs one pipeline like [`Orchestrator::run`], additionally reporting
@@ -181,7 +241,7 @@ impl Orchestrator {
             Strategy::Direct => {
                 let sizes = workload.raw_sizes();
                 let faulty = simulate_transfer_with_faults(&sizes, &route.link, &opts.gridftp, &opts.faults, opts.seed);
-                PipelineOutcome {
+                let outcome = PipelineOutcome {
                     breakdown: TimeBreakdown {
                         transfer_s: faulty.report.duration_s,
                         bytes_transferred: faulty.report.bytes_total,
@@ -193,13 +253,20 @@ impl Orchestrator {
                     wasted_bytes: faulty.wasted_bytes,
                     attempts: faulty.attempts,
                     transfer_sizes: sizes,
-                }
+                };
+                self.record_phases("direct", opts.job, &outcome.breakdown);
+                outcome
             }
             Strategy::Compressed | Strategy::CompressedGrouped { .. } => {
                 let wait_s = opts.wait_model.sample(opts.seed, 0);
                 if opts.sentinel && wait_s > 0.0 {
                     // The sentinel path models a healthy link.
                     let breakdown = sentinel::run_with_wait(self, workload, from, to, strategy, opts, wait_s);
+                    self.obs().inc(
+                        "ocelot_core_sentinel_switchovers_total",
+                        "Runs where the sentinel transferred raw data during the queue wait",
+                    );
+                    self.record_phases("sentinel", opts.job, &breakdown);
                     return PipelineOutcome {
                         breakdown,
                         transfer_retries: 0,
@@ -239,7 +306,7 @@ impl Orchestrator {
                 let decomp_cluster = Cluster::new(opts.decompress_nodes, dcores, dst.core_speed);
                 let decompression_s = self.decompression_time(workload, dst, &decomp_cluster);
 
-                PipelineOutcome {
+                let outcome = PipelineOutcome {
                     breakdown: TimeBreakdown {
                         queue_wait_s: wait_s,
                         compression_s,
@@ -254,7 +321,11 @@ impl Orchestrator {
                     wasted_bytes: faulty.wasted_bytes,
                     attempts: faulty.attempts,
                     transfer_sizes: sizes,
-                }
+                };
+                let label =
+                    if matches!(strategy, Strategy::CompressedGrouped { .. }) { "grouped" } else { "compressed" };
+                self.record_phases(label, opts.job, &outcome.breakdown);
+                outcome
             }
         }
     }
@@ -316,7 +387,7 @@ impl Orchestrator {
         let decomp_cluster = Cluster::new(opts.decompress_nodes, dcores, dst.core_speed);
         let decompression_s = self.decompression_time(workload, dst, &decomp_cluster);
 
-        TimeBreakdown {
+        let breakdown = TimeBreakdown {
             queue_wait_s: wait_s,
             compression_s: comp_cluster.full_makespan(&work),
             grouping_s: 0.0,
@@ -324,7 +395,38 @@ impl Orchestrator {
             decompression_s,
             bytes_transferred: report.bytes_total,
             files_transferred: report.n_files,
+        };
+        // Overlapped runs put compression and transfer on *overlapping*
+        // timelines: the transfer occupies lane 0 from the queue grant to the
+        // last byte while compression runs concurrently on lane 1 — the
+        // span tree shows the overlap instead of pretending the phases are
+        // additive.
+        let obs = self.obs();
+        if obs.is_enabled() {
+            let end = Self::overlapped_total_s(&breakdown);
+            let root = obs.sim_span("pipeline.overlapped", opts.job, 0, 0.0, end);
+            obs.sim_child(root, "pipeline.queue_wait", opts.job, 0, 0.0, wait_s);
+            obs.sim_child(
+                root,
+                "pipeline.transfer",
+                opts.job,
+                0,
+                wait_s.min(breakdown.transfer_s),
+                breakdown.transfer_s,
+            );
+            obs.sim_child(root, "pipeline.compress", opts.job, 1, wait_s, (wait_s + breakdown.compression_s).min(end));
+            obs.sim_child(
+                root,
+                "pipeline.decompress",
+                opts.job,
+                0,
+                breakdown.transfer_s,
+                breakdown.transfer_s + decompression_s,
+            );
+            Self::observe_breakdown(&obs, &breakdown);
+            obs.inc("ocelot_core_runs_overlapped_total", "Pipeline runs completed, by strategy");
         }
+        breakdown
     }
 
     /// End-to-end time of a pipelined run from [`Orchestrator::run_overlapped`]:

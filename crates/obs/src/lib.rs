@@ -1,0 +1,208 @@
+//! ocelot-obs: zero-dependency observability for the ocelot pipeline.
+//!
+//! Three pieces, one handle:
+//!
+//! - [`span::Recorder`] — nested stage spans on both the wall clock (real
+//!   compression work) and the simulated clock (queueing, transfer,
+//!   backoff), per job and per lane.
+//! - [`metrics::Registry`] — named counters, gauges, and log-bucketed
+//!   mergeable histograms with lock-free hot-path increments.
+//! - [`export`] — Prometheus text exposition, JSON metrics, and Chrome
+//!   `trace_event` JSON for `chrome://tracing` / Perfetto.
+//!
+//! An [`Obs`] is a cheap-clone handle that is either *enabled* (wraps an
+//! `Arc` of registry + recorder) or *disabled* (every call is a no-op).
+//! Library crates that take no explicit handle read the process-wide one
+//! via [`global()`]; binaries opt in with [`install_global`]. The default
+//! global is disabled, so instrumented code costs one `RwLock` read per
+//! *stage* (not per item) when observability is off.
+//!
+//! Metric names follow `ocelot_<crate>_<name>` with Prometheus unit
+//! suffixes (`_seconds`, `_bytes`, `_total`); span names are dotted stage
+//! paths (`compress.quantize`, `svc.retry`).
+
+pub mod export;
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+use metrics::{Counter, Gauge, Histogram, Registry};
+use span::{Recorder, WallSpanGuard};
+use std::sync::{Arc, OnceLock, RwLock};
+
+#[derive(Debug, Default)]
+struct ObsInner {
+    registry: Registry,
+    recorder: Recorder,
+}
+
+/// Cheap-clone observability handle; disabled handles no-op everywhere.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A fresh enabled handle with its own registry and recorder.
+    pub fn enabled() -> Self {
+        Obs { inner: Some(Arc::new(ObsInner::default())) }
+    }
+
+    /// True when this handle records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The metrics registry, if enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// The span recorder, if enabled.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.inner.as_deref().map(|i| &i.recorder)
+    }
+
+    /// Adds `n` to counter `name` (registered with `help` on first use).
+    pub fn add(&self, name: &str, help: &str, n: u64) {
+        if let Some(i) = &self.inner {
+            i.registry.counter(name, help).add(n);
+        }
+    }
+
+    /// Adds one to counter `name`.
+    pub fn inc(&self, name: &str, help: &str) {
+        self.add(name, help, 1);
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, help: &str, v: f64) {
+        if let Some(i) = &self.inner {
+            i.registry.gauge(name, help).set(v);
+        }
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn observe(&self, name: &str, help: &str, v: f64) {
+        if let Some(i) = &self.inner {
+            i.registry.histogram(name, help).observe(v);
+        }
+    }
+
+    /// Cached counter handle for hot paths (`None` when disabled).
+    pub fn counter_handle(&self, name: &str, help: &str) -> Option<Arc<Counter>> {
+        self.inner.as_ref().map(|i| i.registry.counter(name, help))
+    }
+
+    /// Cached gauge handle for hot paths.
+    pub fn gauge_handle(&self, name: &str, help: &str) -> Option<Arc<Gauge>> {
+        self.inner.as_ref().map(|i| i.registry.gauge(name, help))
+    }
+
+    /// Cached histogram handle for hot paths.
+    pub fn histogram_handle(&self, name: &str, help: &str) -> Option<Arc<Histogram>> {
+        self.inner.as_ref().map(|i| i.registry.histogram(name, help))
+    }
+
+    /// Opens a wall-clock span (no-op guard when disabled).
+    pub fn wall_span(&self, name: &str, job: Option<u64>, lane: u32) -> ObsSpanGuard<'_> {
+        ObsSpanGuard { _guard: self.recorder().map(|r| r.wall_span(name, job, lane)) }
+    }
+
+    /// Records a root simulated-clock span; returns its id (0 when
+    /// disabled — safe to pass back to [`Obs::sim_child`], which no-ops).
+    pub fn sim_span(&self, name: &str, job: Option<u64>, lane: u32, start_s: f64, end_s: f64) -> u64 {
+        self.recorder().map(|r| r.sim_span(name, job, lane, start_s, end_s)).unwrap_or(0)
+    }
+
+    /// Records a simulated-clock span under `parent`; returns its id.
+    pub fn sim_child(&self, parent: u64, name: &str, job: Option<u64>, lane: u32, start_s: f64, end_s: f64) -> u64 {
+        self.recorder().map(|r| r.sim_child(parent, name, job, lane, start_s, end_s)).unwrap_or(0)
+    }
+}
+
+/// RAII wall-span guard that may be a no-op (disabled handle).
+#[derive(Debug)]
+pub struct ObsSpanGuard<'r> {
+    _guard: Option<WallSpanGuard<'r>>,
+}
+
+static GLOBAL: OnceLock<RwLock<Obs>> = OnceLock::new();
+
+fn global_cell() -> &'static RwLock<Obs> {
+    GLOBAL.get_or_init(|| RwLock::new(Obs::disabled()))
+}
+
+/// Installs `obs` as the process-wide handle read by [`global()`].
+/// Re-installable (unlike a `OnceLock`) so tests can swap in fresh handles.
+pub fn install_global(obs: &Obs) {
+    *global_cell().write().expect("obs global poisoned") = obs.clone();
+}
+
+/// The process-wide handle; disabled until [`install_global`] is called.
+pub fn global() -> Obs {
+    global_cell().read().expect("obs global poisoned").clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        obs.inc("ocelot_test_x_total", "x");
+        obs.observe("ocelot_test_h_seconds", "h", 1.0);
+        let id = obs.sim_span("pipeline", None, 0, 0.0, 1.0);
+        obs.sim_child(id, "stage", None, 0, 0.0, 1.0);
+        {
+            let _g = obs.wall_span("w", None, 0);
+        }
+        assert!(!obs.is_enabled());
+        assert!(obs.registry().is_none());
+        assert!(obs.counter_handle("ocelot_test_x_total", "x").is_none());
+    }
+
+    #[test]
+    fn enabled_handle_records() {
+        let obs = Obs::enabled();
+        obs.inc("ocelot_test_jobs_total", "jobs");
+        obs.add("ocelot_test_jobs_total", "jobs", 2);
+        obs.observe("ocelot_test_lat_seconds", "lat", 0.25);
+        obs.set_gauge("ocelot_test_depth", "depth", 4.0);
+        let id = obs.sim_span("pipeline", Some(1), 0, 0.0, 2.0);
+        obs.sim_child(id, "transfer", Some(1), 0, 0.0, 2.0);
+        {
+            let _g = obs.wall_span("compress.real", Some(1), 0);
+        }
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter("ocelot_test_jobs_total", "").get(), 3);
+        assert_eq!(reg.histogram("ocelot_test_lat_seconds", "").count(), 1);
+        let rec = obs.recorder().unwrap();
+        assert_eq!(rec.spans().len(), 3);
+        assert!(rec.validate(1).is_empty());
+        // Clones share state.
+        obs.clone().inc("ocelot_test_jobs_total", "");
+        assert_eq!(reg.counter("ocelot_test_jobs_total", "").get(), 4);
+    }
+
+    #[test]
+    fn global_is_reinstallable() {
+        let a = Obs::enabled();
+        install_global(&a);
+        global().inc("ocelot_test_g_total", "g");
+        assert_eq!(a.registry().unwrap().counter("ocelot_test_g_total", "").get(), 1);
+        let b = Obs::enabled();
+        install_global(&b);
+        global().inc("ocelot_test_g_total", "g");
+        assert_eq!(a.registry().unwrap().counter("ocelot_test_g_total", "").get(), 1);
+        assert_eq!(b.registry().unwrap().counter("ocelot_test_g_total", "").get(), 1);
+        install_global(&Obs::disabled());
+        assert!(!global().is_enabled());
+    }
+}

@@ -1,0 +1,443 @@
+//! Metrics primitives: counters, gauges, log-bucketed histograms, and the
+//! name-keyed [`Registry`] that owns them.
+//!
+//! Increment paths are lock-free: counters and histogram buckets are plain
+//! atomics, and gauges store `f64` bits in an atomic word. Only
+//! *registration* (the first lookup of a name) takes the registry's write
+//! lock; callers on genuinely hot paths should cache the returned `Arc`.
+//!
+//! Histograms are HDR-style: geometric buckets with [`SUB_BUCKETS`]
+//! subdivisions per power of two, so any recorded value is attributed to a
+//! bucket whose bounds are within a factor of `2^(1/SUB_BUCKETS)` (< 10 %)
+//! of the true value. Two histograms [`Histogram::merge`] by adding bucket
+//! counts, which makes per-thread histograms exactly poolable.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds to the value (CAS loop; gauges are not hot-path metrics).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Sub-buckets per power of two: relative bucket width `2^(1/8) ≈ 1.0905`.
+pub const SUB_BUCKETS: usize = 8;
+/// Smallest distinguishable value; anything at or below lands in bucket 0.
+pub const MIN_TRACKED: f64 = 1e-9;
+/// Geometric buckets covering `[MIN_TRACKED, MIN_TRACKED × 2^(N/SUB)]`;
+/// 576/8 = 72 octaves reaches ~4.7e12, enough for seconds and byte counts.
+pub const N_BUCKETS: usize = 577;
+
+/// Log-bucketed histogram with lock-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of recorded values, stored as `f64` bits (CAS-added).
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Bucket index for a value. Non-finite and tiny values go to bucket 0,
+    /// values beyond the tracked range to the last bucket.
+    pub fn bucket_index(v: f64) -> usize {
+        if !v.is_finite() || v <= MIN_TRACKED {
+            return 0;
+        }
+        let i = ((v / MIN_TRACKED).log2() * SUB_BUCKETS as f64).floor() as isize + 1;
+        i.clamp(1, (N_BUCKETS - 1) as isize) as usize
+    }
+
+    /// Upper bound of bucket `i`: bucket `i > 0` covers
+    /// `(MIN·2^((i-1)/SUB), MIN·2^(i/SUB)]`; the last bucket is overflow
+    /// (`+inf`), bucket 0 covers everything at or below [`MIN_TRACKED`].
+    pub fn bucket_upper(i: usize) -> f64 {
+        if i + 1 >= N_BUCKETS {
+            f64::INFINITY
+        } else {
+            MIN_TRACKED * 2f64.powf(i as f64 / SUB_BUCKETS as f64)
+        }
+    }
+
+    /// Representative value of bucket `i` (geometric midpoint of its bounds).
+    fn bucket_mid(i: usize) -> f64 {
+        if i == 0 {
+            return MIN_TRACKED;
+        }
+        if i + 1 >= N_BUCKETS {
+            return MIN_TRACKED * 2f64.powf((N_BUCKETS - 1) as f64 / SUB_BUCKETS as f64);
+        }
+        MIN_TRACKED * 2f64.powf((i as f64 - 0.5) / SUB_BUCKETS as f64)
+    }
+
+    /// Records one value.
+    pub fn observe(&self, v: f64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let add = if v.is_finite() { v } else { 0.0 };
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Adds every bucket of `other` into `self` (per-thread histograms pool
+    /// exactly: merged percentiles equal pooled percentiles).
+    pub fn merge(&self, other: &Histogram) {
+        for (b, o) in self.buckets.iter().zip(&other.buckets) {
+            let n = o.load(Ordering::Relaxed);
+            if n > 0 {
+                b.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        let add = other.sum();
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Nearest-rank percentile (`q` in `[0, 1]`), reported as the geometric
+    /// midpoint of the selected bucket — within a relative factor of
+    /// `2^(1/SUB_BUCKETS)` of the exact order statistic. Returns 0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0,1]");
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_mid(i);
+            }
+        }
+        Self::bucket_mid(N_BUCKETS - 1)
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs, ending
+    /// with the `+inf` bucket (always present so `le="+Inf"` equals the
+    /// count even for empty histograms).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                cum += n;
+                out.push((Self::bucket_upper(i), cum));
+            }
+        }
+        if out.last().is_none_or(|&(le, _)| le.is_finite()) {
+            out.push((f64::INFINITY, cum));
+        }
+        out
+    }
+}
+
+/// What kind of metric a registry entry is.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(Arc<Counter>),
+    /// Point-in-time gauge.
+    Gauge(Arc<Gauge>),
+    /// Distribution histogram.
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    metric: Metric,
+    help: String,
+}
+
+/// Name-keyed metric registry. Names follow `ocelot_<crate>_<name>` with
+/// Prometheus unit suffixes (`_seconds`, `_bytes`, `_total`).
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: RwLock<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter `name`, registering it (with `help`) on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        if let Some(e) = self.entries.read().expect("registry poisoned").get(name) {
+            match &e.metric {
+                Metric::Counter(c) => return c.clone(),
+                _ => panic!("metric '{name}' already registered with a different kind"),
+            }
+        }
+        let mut entries = self.entries.write().expect("registry poisoned");
+        let entry = entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry { metric: Metric::Counter(Arc::new(Counter::new())), help: help.to_string() });
+        match &entry.metric {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        if let Some(e) = self.entries.read().expect("registry poisoned").get(name) {
+            match &e.metric {
+                Metric::Gauge(g) => return g.clone(),
+                _ => panic!("metric '{name}' already registered with a different kind"),
+            }
+        }
+        let mut entries = self.entries.write().expect("registry poisoned");
+        let entry = entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry { metric: Metric::Gauge(Arc::new(Gauge::new())), help: help.to_string() });
+        match &entry.metric {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        if let Some(e) = self.entries.read().expect("registry poisoned").get(name) {
+            match &e.metric {
+                Metric::Histogram(h) => return h.clone(),
+                _ => panic!("metric '{name}' already registered with a different kind"),
+            }
+        }
+        let mut entries = self.entries.write().expect("registry poisoned");
+        let entry = entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry { metric: Metric::Histogram(Arc::new(Histogram::new())), help: help.to_string() });
+        match &entry.metric {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// All entries as `(name, help, metric)` in name order.
+    pub fn snapshot(&self) -> Vec<(String, String, Metric)> {
+        self.entries
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, e)| (name.clone(), e.help.clone(), e.metric.clone()))
+            .collect()
+    }
+
+    /// Looks up one metric by name.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.entries.read().expect("registry poisoned").get(name).map(|e| e.metric.clone())
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry poisoned").len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("ocelot_test_total", "test counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("ocelot_test_total", "ignored dup help").get(), 5);
+        let g = r.gauge("ocelot_test_depth", "test gauge");
+        g.set(3.5);
+        g.add(-1.0);
+        assert!((g.get() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_cover() {
+        let mut prev = 0.0;
+        for i in 0..N_BUCKETS {
+            let u = Histogram::bucket_upper(i);
+            assert!(u > prev, "bucket {i}");
+            prev = if u.is_finite() { u } else { prev };
+        }
+        // Every positive value maps to a bucket whose bounds contain it.
+        for v in [1e-9, 3.7e-4, 0.5, 1.0, 17.3, 9.9e8, 4.0e12, 1e30] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_upper(i), "v={v} i={i}");
+            if i > 0 && i < N_BUCKETS - 1 {
+                assert!(v >= Histogram::bucket_upper(i - 1) * 0.999999, "v={v} i={i}");
+            }
+        }
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-5.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_close() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 500_500.0).abs() < 1e-6);
+        let tol = 2f64.powf(1.0 / SUB_BUCKETS as f64);
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0), (1.0, 1000.0)] {
+            let p = h.percentile(q);
+            assert!(p / exact <= tol && exact / p <= tol, "q={q} p={p} exact={exact}");
+        }
+        assert_eq!(Histogram::new().percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_pooled() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let pooled = Histogram::new();
+        for i in 0..500 {
+            let v = (i as f64 * 0.77).exp() % 1e6 + 1e-6;
+            if i % 2 == 0 { &a } else { &b }.observe(v);
+            pooled.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), pooled.count());
+        assert!((a.sum() - pooled.sum()).abs() < 1e-6 * pooled.sum().abs().max(1.0));
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile(q), pooled.percentile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn cumulative_buckets_end_with_inf() {
+        let h = Histogram::new();
+        assert_eq!(h.cumulative_buckets(), vec![(f64::INFINITY, 0)]);
+        h.observe(1.0);
+        h.observe(2.0);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, 2);
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("ocelot_test_x", "");
+        r.gauge("ocelot_test_x", "");
+    }
+}

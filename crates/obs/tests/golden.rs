@@ -1,0 +1,42 @@
+//! Golden test: the Prometheus text exposition for a small, fully-known
+//! registry must match byte-for-byte. Guards the output contract consumed
+//! by scrapers (name ordering, HELP/TYPE lines, sparse cumulative buckets
+//! with a trailing `+Inf`, `_sum`/`_count` pairs).
+
+use ocelot_obs::export::prometheus_text;
+use ocelot_obs::metrics::Registry;
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let r = Registry::new();
+    r.counter("ocelot_test_jobs_total", "Jobs processed").add(3);
+    r.gauge("ocelot_test_queue_depth", "Jobs waiting in the queue").set(2.5);
+    let h = r.histogram("ocelot_test_lat_seconds", "Job latency");
+    h.observe(1.0);
+    h.observe(1.0);
+    h.observe(3.0);
+
+    // Bucket bounds are MIN_TRACKED * 2^(i/SUB_BUCKETS): 1.0 lands in
+    // bucket 240 (upper 2^30 * 1e-9), 3.0 in bucket 252 (upper 2^31.5 * 1e-9).
+    let expected = "\
+# HELP ocelot_test_jobs_total Jobs processed
+# TYPE ocelot_test_jobs_total counter
+ocelot_test_jobs_total 3
+# HELP ocelot_test_lat_seconds Job latency
+# TYPE ocelot_test_lat_seconds histogram
+ocelot_test_lat_seconds_bucket{le=\"1.073741824e0\"} 2
+ocelot_test_lat_seconds_bucket{le=\"3.0370004999760503e0\"} 3
+ocelot_test_lat_seconds_bucket{le=\"+Inf\"} 3
+ocelot_test_lat_seconds_sum 5
+ocelot_test_lat_seconds_count 3
+# HELP ocelot_test_queue_depth Jobs waiting in the queue
+# TYPE ocelot_test_queue_depth gauge
+ocelot_test_queue_depth 2.5
+";
+    assert_eq!(prometheus_text(&r), expected);
+}
+
+#[test]
+fn empty_registry_exposes_nothing() {
+    assert_eq!(prometheus_text(&Registry::new()), "");
+}

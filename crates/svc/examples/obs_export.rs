@@ -1,0 +1,111 @@
+//! End-to-end observability export check, run by CI.
+//!
+//! Boots the service with tracing, pushes a small multi-tenant batch
+//! through it, exports all three formats (Prometheus text, metrics JSON,
+//! Chrome trace JSON), validates the JSON exports against the checked-in
+//! schemas in `schemas/`, and asserts the per-stage histograms the paper's
+//! pipeline phases feed are actually present. Exits non-zero on any
+//! malformed or empty export.
+
+use ocelot::orchestrator::Strategy;
+use ocelot_datagen::Application;
+use ocelot_netsim::SiteId;
+use ocelot_svc::schema::validate;
+use ocelot_svc::{JobSpec, Service, ServiceConfig};
+use serde_json::Value;
+
+fn main() {
+    let mut failures: Vec<String> = Vec::new();
+
+    // Share one handle between the service and the process global, as the
+    // CLI does, so sz's wall-clock instrumentation (read via the global)
+    // lands in the same registry the service exports.
+    let shared = ocelot_obs::Obs::enabled();
+    ocelot_obs::install_global(&shared);
+    let cfg = ServiceConfig { profile_scale: 6, obs: Some(shared), ..ServiceConfig::default() };
+    let svc = Service::start(cfg);
+    for i in 0..3 {
+        let tenant = ["climate", "seismic"][i % 2];
+        let spec = JobSpec {
+            tenant: tenant.to_string(),
+            app: Application::Miranda,
+            error_bound: 1e-3,
+            strategy: Strategy::Compressed,
+            from: SiteId::Anvil,
+            to: SiteId::Cori,
+        };
+        svc.submit(spec).expect("submit");
+    }
+    svc.drain();
+
+    let obs = svc.obs();
+    let registry = obs.registry().expect("service obs is enabled");
+    let recorder = obs.recorder().expect("service obs is enabled");
+
+    let out_dir = std::path::Path::new("target/obs-export");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    let prom = ocelot_obs::export::prometheus_text(registry);
+    let metrics_json = ocelot_obs::export::metrics_json(registry);
+    let trace_json = ocelot_obs::export::chrome_trace(&recorder.spans());
+    std::fs::write(out_dir.join("metrics.prom"), &prom).expect("write metrics.prom");
+    std::fs::write(out_dir.join("metrics.json"), &metrics_json).expect("write metrics.json");
+    std::fs::write(out_dir.join("trace.json"), &trace_json).expect("write trace.json");
+
+    if prom.is_empty() {
+        failures.push("Prometheus exposition is empty".to_string());
+    }
+
+    // Validate the JSON exports against the checked-in schemas.
+    let schema_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas");
+    for (label, text, schema_file) in
+        [("metrics.json", &metrics_json, "metrics.schema.json"), ("trace.json", &trace_json, "trace.schema.json")]
+    {
+        let schema_text = std::fs::read_to_string(format!("{schema_dir}/{schema_file}"))
+            .unwrap_or_else(|e| panic!("read {schema_file}: {e}"));
+        let schema: Value = serde_json::from_str(&schema_text).unwrap_or_else(|e| panic!("parse {schema_file}: {e}"));
+        match serde_json::from_str::<Value>(text) {
+            Ok(doc) => {
+                failures.extend(validate(&schema, &doc).into_iter().map(|err| format!("{label}: {err}")));
+            }
+            Err(e) => {
+                failures.push(format!("{label} is not valid JSON: {e}"));
+            }
+        }
+    }
+
+    // The pipeline's stage histograms must be present and populated.
+    for name in [
+        "ocelot_core_compression_seconds",
+        "ocelot_core_queue_wait_seconds",
+        "ocelot_core_transfer_seconds",
+        "ocelot_core_decompression_seconds",
+        "ocelot_svc_latency_seconds",
+        "ocelot_sz_compress_seconds",
+    ] {
+        match registry.get(name) {
+            Some(ocelot_obs::metrics::Metric::Histogram(h)) if h.count() > 0 => {}
+            Some(_) => failures.push(format!("{name} exists but recorded no observations")),
+            None => failures.push(format!("{name} missing from registry")),
+        }
+    }
+
+    // Every recorded span tree must be internally consistent.
+    failures.extend(recorder.validate(2).into_iter().map(|v| format!("span violation: {v}")));
+    if recorder.spans().is_empty() {
+        failures.push("no spans recorded".to_string());
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        eprintln!("obs_export: {} failure(s)", failures.len());
+        std::process::exit(1);
+    }
+    println!(
+        "obs_export: OK ({} metrics, {} spans; artifacts in {})",
+        registry.len(),
+        recorder.spans().len(),
+        out_dir.display()
+    );
+}

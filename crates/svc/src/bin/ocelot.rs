@@ -22,6 +22,7 @@ use ocelot::session::{open_archive, TransferSession};
 use ocelot::workload::Workload;
 use ocelot_datagen::{Application, FieldSpec};
 use ocelot_netsim::{FaultModel, SiteId};
+use ocelot_obs::{info, warn};
 use ocelot_svc::{JobSpec, JobState, RetryPolicy, Service, ServiceConfig};
 use ocelot_sz::config::{LosslessBackend, PredictorKind};
 use ocelot_sz::{compress_with_stats, decompress, metrics, Dataset, ErrorBound, LossyConfig};
@@ -42,6 +43,10 @@ fn main() -> ExitCode {
 type CliError = Box<dyn std::error::Error>;
 
 fn run(args: &[String]) -> Result<(), CliError> {
+    // One process-wide observability handle: every crate's instrumentation
+    // (sz stage timings, orchestrator phase spans, service counters) lands
+    // in a single registry/recorder that `metrics` and `trace` export.
+    ocelot_obs::install_global(&ocelot_obs::Obs::enabled());
     let Some(command) = args.first() else {
         usage();
         return Ok(());
@@ -58,6 +63,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "plan" => cmd_plan(&flags),
         "serve" => cmd_serve(&flags),
         "submit" => cmd_submit(&flags),
+        "metrics" => cmd_metrics(&flags),
+        "trace" => cmd_trace(&positional, &flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -81,9 +88,12 @@ fn usage() {
          \x20 plan       --app A --from SITE --to SITE                         tuned transfer plan\n\
          \x20 submit     --app A --from SITE --to SITE [--eb E] [--strategy S] [--tenant T] [--fail P]\n\
          \x20 serve      --jobs N --tenants T1,T2,... [--apps A1,A2] [--workers W] [--fail P] [--seed S]\n\
+         \x20 metrics    [serve flags] [--json] [-o FILE]       run a batch, export Prometheus text or JSON\n\
+         \x20 trace      [JOB] [serve flags] [-o FILE]          run a batch, export Chrome trace_event JSON\n\
          \n\
          sites: anvil, cori, bebop; apps: cesm, miranda, rtm, nyx, isabel, qmcpack, hacc\n\
-         (submit/serve run the multi-tenant transfer service; transfer workloads: cesm, miranda, rtm)"
+         (submit/serve run the multi-tenant transfer service; transfer workloads: cesm, miranda, rtm)\n\
+         (set OCELOT_LOG=debug|info|warn|error|off to control progress chatter on stderr)"
     );
 }
 
@@ -94,7 +104,7 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") && args[i + 1] != "-o" {
                 flags.insert(name.to_string(), args[i + 1].clone());
                 i += 2;
             } else {
@@ -331,7 +341,7 @@ fn simulate_common(flags: &HashMap<String, String>) -> Result<(Workload, SiteId,
     let from = parse_site(flags.get("from").ok_or("missing --from")?)?;
     let to = parse_site(flags.get("to").ok_or("missing --to")?)?;
     let scale: usize = flags.get("profile-scale").map(|s| s.parse()).transpose()?.unwrap_or(12);
-    eprintln!("profiling {app} workload (real compression on scaled synthetic fields)...");
+    info!("ocelot", "profiling {app} workload (real compression on scaled synthetic fields)...");
     let workload = Workload::paper_default(app, scale)?;
     Ok((workload, from, to))
 }
@@ -415,6 +425,9 @@ fn parse_service_config(flags: &HashMap<String, String>) -> Result<ServiceConfig
     if let Some(s) = flags.get("profile-scale") {
         cfg.profile_scale = s.parse()?;
     }
+    // Share the process-wide handle so service spans/counters land in the
+    // same registry that `metrics` and `trace` export.
+    cfg.obs = Some(ocelot_obs::global());
     Ok(cfg)
 }
 
@@ -448,7 +461,7 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let spec = JobSpec { tenant: tenant.to_string(), app, error_bound: eb, strategy: parse_strategy(flags)?, from, to };
     let svc = Service::start(parse_service_config(flags)?);
     let id = svc.submit(spec)?;
-    eprintln!("submitted {id} for tenant '{tenant}', draining...");
+    info!("ocelot", "submitted {id} for tenant '{tenant}', draining...");
     svc.drain();
     for event in svc.journal() {
         println!("  t={:>8.1}s  {:?}", event.t_s, event.state);
@@ -456,8 +469,10 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), CliError> {
     print_service_summary(&svc)
 }
 
-fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let jobs: usize = flags.get("jobs").map(|s| s.parse()).transpose()?.unwrap_or(12);
+/// Submits and drains a `serve`-style batch of jobs; shared by `serve`,
+/// `metrics`, and `trace`.
+fn run_service_batch(flags: &HashMap<String, String>, default_jobs: usize) -> Result<Service, CliError> {
+    let jobs: usize = flags.get("jobs").map(|s| s.parse()).transpose()?.unwrap_or(default_jobs);
     let tenants: Vec<&str> = flags
         .get("tenants")
         .map(String::as_str)
@@ -476,7 +491,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         return Err("need at least one tenant and one app".into());
     }
     let cfg = parse_service_config(flags)?;
-    eprintln!(
+    info!(
+        "ocelot",
         "serving {jobs} jobs from {} tenant(s) on {} worker(s), fault p={:.2}...",
         tenants.len(),
         cfg.workers,
@@ -495,12 +511,67 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         };
         match svc.submit(spec) {
             Ok(_) => accepted += 1,
-            Err(e) => eprintln!("  job {i} rejected: {e}"),
+            Err(e) => warn!("ocelot", "job {i} rejected: {e}"),
         }
     }
-    eprintln!("accepted {accepted}/{jobs}, draining...");
+    info!("ocelot", "accepted {accepted}/{jobs}, draining...");
     svc.drain();
+    Ok(svc)
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let svc = run_service_batch(flags, 12)?;
     print_service_summary(&svc)
+}
+
+/// Writes `text` to `-o FILE` when given, else to stdout.
+fn write_or_print(flags: &HashMap<String, String>, text: &str) -> Result<(), CliError> {
+    match flags.get("out").map(String::as_str).filter(|s| !s.is_empty()) {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            info!("ocelot", "wrote {path} ({} bytes)", text.len());
+        }
+        None => println!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let svc = run_service_batch(flags, 6)?;
+    let obs = svc.obs();
+    let registry = obs.registry().expect("service observability handle is always enabled");
+    let text = if flags.contains_key("json") {
+        ocelot_obs::export::metrics_json(registry)
+    } else {
+        ocelot_obs::export::prometheus_text(registry)
+    };
+    write_or_print(flags, &text)
+}
+
+fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let job: Option<u64> = positional
+        .first()
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| format!("trace takes an optional numeric JOB id, got '{}'", positional.first().unwrap()))?;
+    let default_jobs = job.map(|j| j as usize + 1).unwrap_or(4);
+    let svc = run_service_batch(flags, default_jobs)?;
+    let obs = svc.obs();
+    let recorder = obs.recorder().expect("service observability handle is always enabled");
+    for violation in recorder.validate(2) {
+        warn!("ocelot", "span violation: {violation}");
+    }
+    let spans = match job {
+        Some(j) => recorder.for_job(j),
+        None => recorder.spans(),
+    };
+    if spans.is_empty() {
+        return Err(match job {
+            Some(j) => format!("no spans recorded for job {j} (ran {default_jobs} job(s))").into(),
+            None => "no spans recorded".to_string().into(),
+        });
+    }
+    write_or_print(flags, &ocelot_obs::export::chrome_trace(&spans))
 }
 
 #[cfg(test)]

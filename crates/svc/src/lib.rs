@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod queue;
 pub mod retry;
 pub mod scheduler;
+pub mod schema;
 
 pub use job::{JobId, JobReport, JobSpec, JobState};
 pub use journal::{Event, Journal};

@@ -45,12 +45,17 @@ pub struct MetricsSnapshot {
     pub wasted_bytes: u64,
     /// Summed simulated job seconds (latency of every finished job).
     pub sim_seconds: f64,
-    /// Delivered bytes per summed simulated second.
+    /// Delivered bytes per summed simulated second (0 when no simulated
+    /// time has accumulated).
     pub throughput_bps: f64,
     /// Median finished-job latency, simulated seconds.
     pub latency_p50_s: f64,
+    /// 90th-percentile finished-job latency, simulated seconds.
+    pub latency_p90_s: f64,
     /// 95th-percentile finished-job latency, simulated seconds.
     pub latency_p95_s: f64,
+    /// 99th-percentile finished-job latency, simulated seconds.
+    pub latency_p99_s: f64,
     /// Per-tenant accounting, keyed by tenant name.
     pub per_tenant: BTreeMap<String, TenantStats>,
 }
@@ -59,6 +64,16 @@ impl MetricsSnapshot {
     /// Jobs in a terminal state.
     pub fn jobs_finished(&self) -> u64 {
         self.jobs_done + self.jobs_failed
+    }
+}
+
+/// Delivered bytes per simulated second, guarded against empty or
+/// zero-duration job sets (returns 0 instead of `inf`/`NaN`).
+pub fn throughput_bps(bytes_transferred: u64, sim_seconds: f64) -> f64 {
+    if sim_seconds > 0.0 && sim_seconds.is_finite() {
+        bytes_transferred as f64 / sim_seconds
+    } else {
+        0.0
     }
 }
 
@@ -107,12 +122,25 @@ mod tests {
             sim_seconds: 55.5,
             throughput_bps: 123_456.0 / 55.5,
             latency_p50_s: 7.5,
+            latency_p90_s: 11.0,
             latency_p95_s: 12.0,
+            latency_p99_s: 14.5,
             per_tenant,
         };
         let json = serde_json::to_string(&m).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.jobs_finished(), 7);
+    }
+
+    #[test]
+    fn throughput_is_guarded_against_zero_sim_seconds() {
+        // A job set that accumulated no simulated time (or none at all) must
+        // report zero throughput, not inf/NaN.
+        assert_eq!(throughput_bps(123_456, 0.0), 0.0);
+        assert_eq!(throughput_bps(0, 0.0), 0.0);
+        assert_eq!(throughput_bps(100, f64::NAN), 0.0);
+        assert_eq!(throughput_bps(100, f64::INFINITY), 0.0);
+        assert!((throughput_bps(100, 4.0) - 25.0).abs() < 1e-12);
     }
 }

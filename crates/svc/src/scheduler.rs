@@ -16,13 +16,15 @@
 
 use crate::job::{JobId, JobReport, JobSpec, JobState};
 use crate::journal::{Event, Journal};
-use crate::metrics::{percentile_s, MetricsSnapshot, TenantStats};
+use crate::metrics::{throughput_bps, MetricsSnapshot, TenantStats};
 use crate::queue::{SubmitError, TenantQueue};
 use crate::retry::RetryPolicy;
 use ocelot::orchestrator::{Orchestrator, PipelineOptions};
 use ocelot::workload::Workload;
 use ocelot_datagen::Application;
 use ocelot_netsim::{simulate_transfer_with_faults, FaultModel, GridFtpConfig};
+use ocelot_obs::metrics::{Counter, Gauge, Histogram};
+use ocelot_obs::Obs;
 use ocelot_sz::LossyConfig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +52,10 @@ pub struct ServiceConfig {
     pub sleep_scale: f64,
     /// Base seed; each job derives its own stream from this and its id.
     pub seed: u64,
+    /// Observability handle shared with the orchestrator and exporters.
+    /// `None` gives the service a private enabled handle (metrics always
+    /// work); pass an explicit handle to share one registry with the CLI.
+    pub obs: Option<Obs>,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +69,44 @@ impl Default for ServiceConfig {
             profile_scale: 8,
             sleep_scale: 0.0,
             seed: 0xC0FFEE,
+            obs: None,
+        }
+    }
+}
+
+/// Cached registry handles for the service's counters: the journal and the
+/// [`MetricsSnapshot`] both read the same registry, and increments happen
+/// adjacent to the journal records they describe.
+#[derive(Debug)]
+struct SvcMetrics {
+    jobs_submitted: Arc<Counter>,
+    jobs_rejected: Arc<Counter>,
+    jobs_done: Arc<Counter>,
+    jobs_failed: Arc<Counter>,
+    transfer_retries: Arc<Counter>,
+    bytes_transferred: Arc<Counter>,
+    bytes_saved: Arc<Counter>,
+    wasted_bytes: Arc<Counter>,
+    latency: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+}
+
+impl SvcMetrics {
+    fn new(obs: &Obs) -> Self {
+        let reg = obs.registry().expect("service obs handle must be enabled");
+        SvcMetrics {
+            jobs_submitted: reg.counter("ocelot_svc_jobs_submitted_total", "Jobs accepted into the queue"),
+            jobs_rejected: reg.counter("ocelot_svc_jobs_rejected_total", "Submissions refused (full or closed)"),
+            jobs_done: reg.counter("ocelot_svc_jobs_done_total", "Jobs that delivered every file"),
+            jobs_failed: reg.counter("ocelot_svc_jobs_failed_total", "Jobs that exhausted their retry budget"),
+            transfer_retries: reg.counter("ocelot_svc_transfer_retries_total", "Failed transfer attempts re-offered"),
+            bytes_transferred: reg.counter("ocelot_svc_bytes_transferred_total", "Payload bytes delivered"),
+            bytes_saved: reg.counter("ocelot_svc_bytes_saved_total", "Raw bytes avoided by compression"),
+            wasted_bytes: reg.counter("ocelot_svc_wasted_bytes_total", "Bytes moved by attempts that later failed"),
+            latency: reg.histogram("ocelot_svc_latency_seconds", "Simulated end-to-end latency of finished jobs"),
+            queue_depth: reg.gauge("ocelot_svc_queue_depth", "Jobs currently queued"),
+            in_flight: reg.gauge("ocelot_svc_in_flight", "Jobs currently being processed"),
         }
     }
 }
@@ -73,15 +117,6 @@ impl Default for ServiceConfig {
 struct Inner {
     queue: TenantQueue,
     in_flight: usize,
-    jobs_submitted: u64,
-    jobs_rejected: u64,
-    jobs_done: u64,
-    jobs_failed: u64,
-    transfer_retries: u64,
-    bytes_transferred: u64,
-    bytes_saved: u64,
-    wasted_bytes: u64,
-    latencies_s: Vec<f64>,
     per_tenant: HashMap<String, TenantStats>,
     reports: Vec<JobReport>,
 }
@@ -98,6 +133,10 @@ struct Shared {
     workloads: Mutex<HashMap<(Application, u64), Arc<Workload>>>,
     orchestrator: Orchestrator,
     config: ServiceConfig,
+    /// Always-enabled observability handle (the snapshot is built from its
+    /// registry, so the service cannot run blind).
+    obs: Obs,
+    metrics: SvcMetrics,
 }
 
 /// A running transfer service.
@@ -116,19 +155,15 @@ impl Service {
     /// Starts a service on a custom topology.
     pub fn with_orchestrator(orchestrator: Orchestrator, config: ServiceConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
+        let obs = match &config.obs {
+            Some(h) if h.is_enabled() => h.clone(),
+            _ => Obs::enabled(),
+        };
+        let metrics = SvcMetrics::new(&obs);
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: TenantQueue::new(config.queue_capacity),
                 in_flight: 0,
-                jobs_submitted: 0,
-                jobs_rejected: 0,
-                jobs_done: 0,
-                jobs_failed: 0,
-                transfer_retries: 0,
-                bytes_transferred: 0,
-                bytes_saved: 0,
-                wasted_bytes: 0,
-                latencies_s: Vec::new(),
                 per_tenant: HashMap::new(),
                 reports: Vec::new(),
             }),
@@ -136,8 +171,10 @@ impl Service {
             job_finished: Condvar::new(),
             journal: Journal::new(),
             workloads: Mutex::new(HashMap::new()),
-            orchestrator,
+            orchestrator: orchestrator.with_obs(obs.clone()),
             config,
+            obs,
+            metrics,
         });
         let workers = (0..shared.config.workers)
             .map(|_| {
@@ -159,10 +196,11 @@ impl Service {
         {
             let mut inner = self.shared.inner.lock().expect("service poisoned");
             if let Err(e) = inner.queue.push(id, spec) {
-                inner.jobs_rejected += 1;
+                self.shared.metrics.jobs_rejected.inc();
                 return Err(e);
             }
-            inner.jobs_submitted += 1;
+            self.shared.metrics.jobs_submitted.inc();
+            self.shared.metrics.queue_depth.set(inner.queue.len() as f64);
             inner.per_tenant.entry(tenant.clone()).or_default().submitted += 1;
         }
         self.shared.journal.record(id, &tenant, 0.0, JobState::Queued);
@@ -192,27 +230,38 @@ impl Service {
         self.metrics()
     }
 
-    /// Current aggregate metrics.
+    /// Current aggregate metrics, read from the shared obs registry (the
+    /// same counters the Prometheus/JSON exporters expose).
     pub fn metrics(&self) -> MetricsSnapshot {
         let inner = self.shared.inner.lock().expect("service poisoned");
-        let sim_seconds: f64 = inner.latencies_s.iter().sum();
+        let m = &self.shared.metrics;
+        let bytes_transferred = m.bytes_transferred.get();
+        let sim_seconds = m.latency.sum();
         MetricsSnapshot {
-            jobs_submitted: inner.jobs_submitted,
-            jobs_rejected: inner.jobs_rejected,
-            jobs_done: inner.jobs_done,
-            jobs_failed: inner.jobs_failed,
+            jobs_submitted: m.jobs_submitted.get(),
+            jobs_rejected: m.jobs_rejected.get(),
+            jobs_done: m.jobs_done.get(),
+            jobs_failed: m.jobs_failed.get(),
             queue_depth: inner.queue.len(),
             in_flight: inner.in_flight,
-            transfer_retries: inner.transfer_retries,
-            bytes_transferred: inner.bytes_transferred,
-            bytes_saved: inner.bytes_saved,
-            wasted_bytes: inner.wasted_bytes,
+            transfer_retries: m.transfer_retries.get(),
+            bytes_transferred,
+            bytes_saved: m.bytes_saved.get(),
+            wasted_bytes: m.wasted_bytes.get(),
             sim_seconds,
-            throughput_bps: if sim_seconds > 0.0 { inner.bytes_transferred as f64 / sim_seconds } else { 0.0 },
-            latency_p50_s: percentile_s(&inner.latencies_s, 0.5),
-            latency_p95_s: percentile_s(&inner.latencies_s, 0.95),
+            throughput_bps: throughput_bps(bytes_transferred, sim_seconds),
+            latency_p50_s: m.latency.percentile(0.50),
+            latency_p90_s: m.latency.percentile(0.90),
+            latency_p95_s: m.latency.percentile(0.95),
+            latency_p99_s: m.latency.percentile(0.99),
             per_tenant: inner.per_tenant.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
         }
+    }
+
+    /// The service's observability handle (always enabled): use it to export
+    /// Prometheus text, metrics JSON, or Chrome traces of processed jobs.
+    pub fn obs(&self) -> Obs {
+        self.shared.obs.clone()
     }
 
     /// A copy of the lifecycle journal.
@@ -246,6 +295,8 @@ fn worker_loop(shared: &Shared) {
             loop {
                 if let Some(job) = inner.queue.pop() {
                     inner.in_flight += 1;
+                    shared.metrics.queue_depth.set(inner.queue.len() as f64);
+                    shared.metrics.in_flight.set(inner.in_flight as f64);
                     break Some(job);
                 }
                 if inner.queue.is_closed() {
@@ -256,28 +307,30 @@ fn worker_loop(shared: &Shared) {
         };
         let Some((id, spec)) = job else { return };
         let report = process_job(shared, id, &spec);
+        let m = &shared.metrics;
         let mut inner = shared.inner.lock().expect("service poisoned");
         let tenant = inner.per_tenant.entry(spec.tenant.clone()).or_default();
         match report.state {
             JobState::Done => {
                 tenant.done += 1;
                 tenant.retries += u64::from(report.retries);
-                inner.jobs_done += 1;
+                m.jobs_done.inc();
             }
             JobState::Failed(_) => {
                 tenant.failed += 1;
                 tenant.retries += u64::from(report.retries);
-                inner.jobs_failed += 1;
+                m.jobs_failed.inc();
             }
             ref other => unreachable!("non-terminal report state {other:?}"),
         }
-        inner.transfer_retries += u64::from(report.retries);
-        inner.bytes_transferred += report.bytes_transferred;
-        inner.bytes_saved += report.bytes_saved;
-        inner.wasted_bytes += report.wasted_bytes;
-        inner.latencies_s.push(report.latency_s);
+        m.transfer_retries.add(u64::from(report.retries));
+        m.bytes_transferred.add(report.bytes_transferred);
+        m.bytes_saved.add(report.bytes_saved);
+        m.wasted_bytes.add(report.wasted_bytes);
+        m.latency.observe(report.latency_s);
         inner.reports.push(report);
         inner.in_flight -= 1;
+        m.in_flight.set(inner.in_flight as f64);
         drop(inner);
         shared.job_finished.notify_all();
     }
@@ -288,6 +341,10 @@ fn worker_loop(shared: &Shared) {
 fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
     let journal = &shared.journal;
     let cfg = &shared.config;
+    let obs = &shared.obs;
+    // Wall-clock view of the worker's real processing time (profiling and
+    // compression are real work; transfers and backoffs are simulated).
+    let _wall = obs.wall_span("svc.process", Some(id.0), 0);
     journal.record(id, &spec.tenant, 0.0, JobState::Admitted);
 
     let fail = |t_s: f64, reason: String| -> JobReport {
@@ -314,8 +371,13 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
     // budget (Globus semantics: the service re-offers failed files).
     let job_seed = cfg.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let single_try = FaultModel { max_retries: 0, ..cfg.faults };
-    let opts =
-        PipelineOptions { gridftp: cfg.gridftp, faults: single_try, seed: job_seed, ..PipelineOptions::default() };
+    let opts = PipelineOptions {
+        gridftp: cfg.gridftp,
+        faults: single_try,
+        seed: job_seed,
+        job: Some(id.0),
+        ..PipelineOptions::default()
+    };
     let outcome = shared.orchestrator.run_detailed(&workload, spec.from, spec.to, spec.strategy, &opts);
 
     let pre_transfer_s =
@@ -329,16 +391,20 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
     let mut pending: Vec<u64> = outcome.failed_files.iter().map(|&i| outcome.transfer_sizes[i]).collect();
 
     let link = shared.orchestrator.topology().route(spec.from, spec.to).link;
+    // (start_s, backoff_end_s, end_s) of every retry round, for the trace.
+    let mut retry_windows: Vec<(f64, f64, f64)> = Vec::new();
     for round in 1..=cfg.retry.retry_budget() {
         if pending.is_empty() {
             break;
         }
         journal.record(id, &spec.tenant, t_s, JobState::Retrying(round));
+        let round_start = t_s;
         let backoff = cfg.retry.backoff_s(round, job_seed);
         if cfg.sleep_scale > 0.0 {
             std::thread::sleep(std::time::Duration::from_secs_f64(backoff * cfg.sleep_scale));
         }
         t_s += backoff;
+        let backoff_end = t_s;
         let rerun = simulate_transfer_with_faults(
             &pending,
             &link,
@@ -351,10 +417,23 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
         bytes_transferred += rerun.report.bytes_total;
         wasted_bytes += rerun.wasted_bytes;
         pending = rerun.failed_files.iter().map(|&i| pending[i]).collect();
+        retry_windows.push((round_start, backoff_end, t_s));
     }
 
     let decompression_s = outcome.breakdown.decompression_s;
     t_s += decompression_s;
+
+    // Job-level trace: the whole job on lane 1 (the orchestrator's phase
+    // tree occupies lane 0), with one child span per retry round split into
+    // backoff and re-offer.
+    let record_job_span = |end_s: f64| {
+        let root = obs.sim_span("svc.job", Some(id.0), 1, 0.0, end_s);
+        for &(start, backoff_end, end) in &retry_windows {
+            let round = obs.sim_child(root, "svc.retry", Some(id.0), 1, start, end);
+            obs.sim_child(round, "svc.retry.backoff", Some(id.0), 1, start, backoff_end);
+            obs.sim_child(round, "svc.retry.transfer", Some(id.0), 1, backoff_end, end);
+        }
+    };
 
     if !pending.is_empty() {
         let reason = format!(
@@ -363,6 +442,7 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
             outcome.transfer_sizes.len(),
             cfg.retry.max_attempts
         );
+        record_job_span(t_s);
         let mut report = fail(t_s, reason);
         report.bytes_transferred = bytes_transferred;
         report.retries = retries;
@@ -370,6 +450,7 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
         return report;
     }
 
+    record_job_span(t_s);
     journal.record(id, &spec.tenant, t_s, JobState::Done);
     let raw_bytes = workload.total_bytes();
     JobReport {

@@ -1,0 +1,100 @@
+//! Acceptance tests for the observability layer: traced phase spans must
+//! reconcile with the pipeline's reported `TimeBreakdown`, exports must
+//! carry the per-stage histograms, and empty job sets must produce finite
+//! zeroed metrics.
+
+use ocelot::orchestrator::{Orchestrator, PipelineOptions, Strategy};
+use ocelot::workload::Workload;
+use ocelot_datagen::Application;
+use ocelot_netsim::SiteId;
+use ocelot_obs::Obs;
+use ocelot_svc::{JobSpec, Service, ServiceConfig};
+
+/// The headline acceptance criterion: for a traced job, the per-phase span
+/// durations in the Chrome trace sum to the pipeline's `TimeBreakdown`
+/// total within 1%.
+#[test]
+fn traced_phase_spans_sum_to_breakdown_within_one_percent() {
+    let obs = Obs::enabled();
+    let orch = Orchestrator::paper().with_obs(obs.clone());
+    let workload = Workload::paper_default(Application::Miranda, 4).expect("workload");
+    let opts = PipelineOptions { job: Some(42), ..PipelineOptions::default() };
+    let outcome = orch.run_detailed(&workload, SiteId::Anvil, SiteId::Cori, Strategy::Compressed, &opts);
+
+    let spans = obs.recorder().unwrap().for_job(42);
+    let root = spans
+        .iter()
+        .find(|s| s.name == "pipeline" && s.parent.is_none())
+        .expect("root pipeline span for the traced job");
+    let phase_sum: f64 = spans.iter().filter(|s| s.parent == Some(root.id)).map(|s| s.duration_s()).sum();
+    let total = outcome.breakdown.total_s();
+    assert!(total > 0.0, "pipeline must take simulated time");
+    let rel_err = (phase_sum - total).abs() / total;
+    assert!(rel_err <= 0.01, "phase spans sum to {phase_sum}, breakdown total {total} (rel err {rel_err})");
+
+    // The root span itself also matches the total.
+    let root_err = (root.duration_s() - total).abs() / total;
+    assert!(root_err <= 0.01, "root span {} vs total {total}", root.duration_s());
+
+    // And the tree is structurally valid (2 µs slack for rounding).
+    assert!(obs.recorder().unwrap().validate(2).is_empty());
+}
+
+/// Exports from a real service run contain populated per-stage histograms
+/// for compress, queue wait, transfer, and decompress — in both Prometheus
+/// text and JSON form.
+#[test]
+fn exports_contain_per_stage_histograms() {
+    // Share one handle between the service and the process global, the way
+    // the CLI does: sz's wall-clock instrumentation reads the global handle,
+    // so profiling-time compression lands in the same registry.
+    let shared = Obs::enabled();
+    ocelot_obs::install_global(&shared);
+    let cfg = ServiceConfig { profile_scale: 4, obs: Some(shared), ..ServiceConfig::default() };
+    let svc = Service::start(cfg);
+    svc.submit(JobSpec::compressed("climate", Application::Miranda, 1e-3, SiteId::Anvil, SiteId::Cori)).unwrap();
+    svc.drain();
+
+    let obs = svc.obs();
+    let registry = obs.registry().unwrap();
+    let prom = ocelot_obs::export::prometheus_text(registry);
+    let json = ocelot_obs::export::metrics_json(registry);
+    for stage in [
+        "ocelot_core_compression_seconds",
+        "ocelot_core_queue_wait_seconds",
+        "ocelot_core_transfer_seconds",
+        "ocelot_core_decompression_seconds",
+        "ocelot_sz_compress_seconds",
+        "ocelot_svc_latency_seconds",
+    ] {
+        assert!(prom.contains(&format!("# TYPE {stage} histogram")), "{stage} missing from Prometheus text");
+        assert!(prom.contains(&format!("{stage}_count")), "{stage}_count missing from Prometheus text");
+        assert!(json.contains(&format!("\"name\":\"{stage}\"")), "{stage} missing from metrics JSON");
+    }
+
+    // The traced job also yields a non-empty Chrome trace.
+    let trace = ocelot_obs::export::chrome_trace(&obs.recorder().unwrap().spans());
+    assert!(trace.contains("\"ph\":\"X\""), "trace has no duration events");
+}
+
+/// A service that has processed nothing reports finite zeros: no NaN/inf
+/// throughput, zeroed percentiles, empty per-tenant map.
+#[test]
+fn empty_job_set_metrics_are_finite_zeros() {
+    let svc = Service::start(ServiceConfig::default());
+    let m = svc.metrics();
+    assert_eq!(m.jobs_submitted, 0);
+    assert_eq!(m.jobs_finished(), 0);
+    assert_eq!(m.sim_seconds, 0.0);
+    assert_eq!(m.throughput_bps, 0.0);
+    assert!(m.throughput_bps.is_finite());
+    assert_eq!(m.latency_p50_s, 0.0);
+    assert_eq!(m.latency_p90_s, 0.0);
+    assert_eq!(m.latency_p95_s, 0.0);
+    assert_eq!(m.latency_p99_s, 0.0);
+    assert!(m.per_tenant.is_empty());
+    // The snapshot serializes cleanly even with nothing recorded.
+    let json = serde_json::to_string(&m).unwrap();
+    assert!(json.contains("\"throughput_bps\":0"));
+    svc.drain();
+}

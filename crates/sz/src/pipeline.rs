@@ -65,15 +65,35 @@ pub fn compress_with_stats<T: ScalarValue>(
     data: &Dataset<T>,
     config: &LossyConfig,
 ) -> Result<CompressionOutcome, SzError> {
+    let obs = ocelot_obs::global();
+    let _span = obs.wall_span("compress", None, 0);
     config.validate()?;
     let abs_eb = config.error_bound.resolve(data);
     let quantizer = LinearQuantizer::new(abs_eb, config.quant_radius);
-    let streams = run_predictor(data, config.predictor, &quantizer)?;
+    let t0 = std::time::Instant::now();
+    let streams = {
+        let _s = obs.wall_span("compress.predict_quantize", None, 0);
+        run_predictor(data, config.predictor, &quantizer)?
+    };
+    obs.observe(
+        "ocelot_sz_predict_quantize_seconds",
+        "Wall time of the fused predictor+quantizer stage",
+        t0.elapsed().as_secs_f64(),
+    );
 
     let zero_code = config.quant_radius;
     let bin_stats = quant_bin_stats(&streams.codes, zero_code);
 
-    let encoded_codes = encode_codes(&streams.codes, config.backend, zero_code);
+    let t1 = std::time::Instant::now();
+    let encoded_codes = {
+        let _s = obs.wall_span("compress.encode", None, 0);
+        encode_codes(&streams.codes, config.backend, zero_code)
+    };
+    obs.observe(
+        "ocelot_sz_encode_seconds",
+        "Wall time of the entropy/dictionary coding stage (Huffman/LZ/RLE)",
+        t1.elapsed().as_secs_f64(),
+    );
     let mut unpred_bytes = Vec::with_capacity(streams.unpredictable.len() * T::BYTES);
     for &v in &streams.unpredictable {
         v.write_le(&mut unpred_bytes);
@@ -99,6 +119,11 @@ pub fn compress_with_stats<T: ScalarValue>(
         codes: encoded_codes.len(),
         framing: blob.len() - streams.side_data.len() - unpred_bytes.len() - encoded_codes.len(),
     };
+    obs.inc("ocelot_sz_compress_total", "Completed compression runs");
+    obs.add("ocelot_sz_bytes_in_total", "Uncompressed bytes fed to the compressor", original_bytes as u64);
+    obs.add("ocelot_sz_bytes_out_total", "Compressed bytes produced", blob.len() as u64);
+    obs.observe("ocelot_sz_ratio", "Achieved compression ratio (original/compressed)", ratio);
+    obs.observe("ocelot_sz_compress_seconds", "Wall time of a full compression run", t0.elapsed().as_secs_f64());
     Ok(CompressionOutcome { blob, bin_stats, original_bytes, ratio, sections })
 }
 
@@ -109,11 +134,14 @@ pub fn compress_with_stats<T: ScalarValue>(
 /// Returns [`SzError::TypeMismatch`] if `T` differs from the compressed
 /// type, and [`SzError::CorruptStream`] for malformed payloads.
 pub fn decompress<T: ScalarValue>(blob: &CompressedBlob) -> Result<Dataset<T>, SzError> {
+    let obs = ocelot_obs::global();
+    let _span = obs.wall_span("decompress", None, 0);
+    let t0 = std::time::Instant::now();
     let (header, mut sections) = blob.open()?;
     if header.dtype != T::TYPE_NAME {
         return Err(SzError::TypeMismatch { expected: T::TYPE_NAME, found: header.dtype.to_string() });
     }
-    match header.codec {
+    let result = match header.codec {
         Codec::Transform => zfp::decompress_payload::<T>(&header, &mut sections),
         Codec::Prediction => {
             let side_data = sections.next_section()?.to_vec();
@@ -123,9 +151,13 @@ pub fn decompress<T: ScalarValue>(blob: &CompressedBlob) -> Result<Dataset<T>, S
             }
             let unpredictable: Vec<T> = unpred_bytes.chunks_exact(T::BYTES).map(T::read_le).collect();
             let encoded_codes = sections.next_section()?;
-            let codes = decode_codes(encoded_codes, header.backend, header.quant_radius)?;
+            let codes = {
+                let _s = obs.wall_span("decompress.decode", None, 0);
+                decode_codes(encoded_codes, header.backend, header.quant_radius)?
+            };
             let streams = PredictionStreams { codes, unpredictable, side_data };
             let quantizer = LinearQuantizer::new(header.abs_eb, header.quant_radius);
+            let _s = obs.wall_span("decompress.reconstruct", None, 0);
             match header.predictor {
                 PredictorKind::Lorenzo => lorenzo::decompress(&header.dims, &streams, &quantizer),
                 PredictorKind::Lorenzo2 => lorenzo2::decompress(&header.dims, &streams, &quantizer),
@@ -138,7 +170,16 @@ pub fn decompress<T: ScalarValue>(blob: &CompressedBlob) -> Result<Dataset<T>, S
                 }
             }
         }
+    };
+    if result.is_ok() {
+        obs.inc("ocelot_sz_decompress_total", "Completed decompression runs");
+        obs.observe(
+            "ocelot_sz_decompress_seconds",
+            "Wall time of a full decompression run",
+            t0.elapsed().as_secs_f64(),
+        );
     }
+    result
 }
 
 fn run_predictor<T: ScalarValue>(
