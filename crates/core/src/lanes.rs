@@ -1,0 +1,22 @@
+//! Shared span-lane labels.
+//!
+//! A span's `lane` maps to the `tid` row in Chrome traces and breaks ties in
+//! the critical-path sweep (lower lane wins an overlap window). These
+//! constants keep core, sentinel, and service layers on one convention
+//! instead of scattering magic numbers:
+//!
+//! - [`PRIMARY`] — the job's experienced timeline: queue wait, transfer,
+//!   decompress, and additive-pipeline phases.
+//! - [`OVERLAP`] — work hidden behind the primary lane, e.g. compression
+//!   running concurrently with an overlapped transfer.
+//! - [`SERVICE`] — the service envelope above the pipeline: job lifetime,
+//!   retry rounds, backoff.
+
+/// The job's experienced timeline (wins critical-path ties).
+pub const PRIMARY: u32 = 0;
+
+/// Concurrent work overlapped behind the primary lane.
+pub const OVERLAP: u32 = 1;
+
+/// Service-layer envelopes: job lifetime, retries, backoff.
+pub const SERVICE: u32 = 2;

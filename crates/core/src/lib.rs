@@ -43,6 +43,7 @@
 pub mod analysis;
 pub mod executor;
 pub mod grouping;
+pub mod lanes;
 pub mod loader;
 pub mod orchestrator;
 pub mod planner;

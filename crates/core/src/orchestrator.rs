@@ -182,7 +182,7 @@ impl Orchestrator {
         if !obs.is_enabled() {
             return;
         }
-        let root = obs.sim_span("pipeline", job, 0, 0.0, b.total_s());
+        let root = obs.sim_span("pipeline", job, crate::lanes::PRIMARY, 0.0, b.total_s());
         let mut t = 0.0;
         for (name, dur) in [
             ("pipeline.queue_wait", b.queue_wait_s),
@@ -191,7 +191,7 @@ impl Orchestrator {
             ("pipeline.transfer", b.transfer_s),
             ("pipeline.decompress", b.decompression_s),
         ] {
-            obs.sim_child(root, name, job, 0, t, t + dur);
+            obs.sim_child(root, name, job, crate::lanes::PRIMARY, t, t + dur);
             t += dur;
         }
         Self::observe_breakdown(&obs, b);
@@ -403,23 +403,31 @@ impl Orchestrator {
         // additive.
         let obs = self.obs();
         if obs.is_enabled() {
+            use crate::lanes::{OVERLAP, PRIMARY};
             let end = Self::overlapped_total_s(&breakdown);
-            let root = obs.sim_span("pipeline.overlapped", opts.job, 0, 0.0, end);
-            obs.sim_child(root, "pipeline.queue_wait", opts.job, 0, 0.0, wait_s);
+            let root = obs.sim_span("pipeline.overlapped", opts.job, PRIMARY, 0.0, end);
+            obs.sim_child(root, "pipeline.queue_wait", opts.job, PRIMARY, 0.0, wait_s);
             obs.sim_child(
                 root,
                 "pipeline.transfer",
                 opts.job,
-                0,
+                PRIMARY,
                 wait_s.min(breakdown.transfer_s),
                 breakdown.transfer_s,
             );
-            obs.sim_child(root, "pipeline.compress", opts.job, 1, wait_s, (wait_s + breakdown.compression_s).min(end));
+            obs.sim_child(
+                root,
+                "pipeline.compress",
+                opts.job,
+                OVERLAP,
+                wait_s,
+                (wait_s + breakdown.compression_s).min(end),
+            );
             obs.sim_child(
                 root,
                 "pipeline.decompress",
                 opts.job,
-                0,
+                PRIMARY,
                 breakdown.transfer_s,
                 breakdown.transfer_s + decompression_s,
             );

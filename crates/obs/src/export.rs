@@ -88,9 +88,14 @@ pub fn prometheus_text(registry: &Registry) -> String {
 ///   {"name": "...", "help": "...", "type": "counter", "value": 3},
 ///   {"name": "...", "help": "...", "type": "histogram",
 ///    "count": 9, "sum": 1.2, "p50": ..., "p90": ..., "p99": ...,
-///    "buckets": [{"le": 0.5, "cumulative": 4}, ...]}
+///    "buckets": [{"le": 0.5, "cumulative": 4,
+///                 "exemplar": {"job": 3, "value": 0.41}}, ...]}
 /// ]}
 /// ```
+///
+/// A bucket's `exemplar` is the last `(job, value)` observed in it (present
+/// only when the histogram was fed via `observe_exemplar`), so a p99
+/// outlier can be traced to a concrete job.
 pub fn metrics_json(registry: &Registry) -> String {
     let mut out = String::from("{\"metrics\":[");
     let mut first = true;
@@ -118,16 +123,20 @@ pub fn metrics_json(registry: &Registry) -> String {
                     json_num(h.percentile(0.99)),
                 );
                 let mut bfirst = true;
-                for (le, cum) in h.cumulative_buckets() {
+                for (i, le, cum) in h.cumulative_buckets_indexed() {
                     if !bfirst {
                         out.push(',');
                     }
                     bfirst = false;
                     if le.is_infinite() {
-                        let _ = write!(out, "{{\"le\":\"+Inf\",\"cumulative\":{cum}}}");
+                        let _ = write!(out, "{{\"le\":\"+Inf\",\"cumulative\":{cum}");
                     } else {
-                        let _ = write!(out, "{{\"le\":{},\"cumulative\":{cum}}}", json_num(le));
+                        let _ = write!(out, "{{\"le\":{},\"cumulative\":{cum}", json_num(le));
                     }
+                    if let Some((job, value)) = h.exemplar(i) {
+                        let _ = write!(out, ",\"exemplar\":{{\"job\":{job},\"value\":{}}}", json_num(value));
+                    }
+                    out.push('}');
                 }
                 out.push_str("]}");
             }

@@ -1,14 +1,21 @@
 //! ocelot-obs: zero-dependency observability for the ocelot pipeline.
 //!
-//! Three pieces, one handle:
+//! Six pieces, one handle:
 //!
 //! - [`span::Recorder`] — nested stage spans on both the wall clock (real
 //!   compression work) and the simulated clock (queueing, transfer,
 //!   backoff), per job and per lane.
 //! - [`metrics::Registry`] — named counters, gauges, and log-bucketed
-//!   mergeable histograms with lock-free hot-path increments.
+//!   mergeable histograms with lock-free hot-path increments and per-bucket
+//!   exemplars.
 //! - [`export`] — Prometheus text exposition, JSON metrics, and Chrome
 //!   `trace_event` JSON for `chrome://tracing` / Perfetto.
+//! - [`critpath`] — critical-path analysis over sim-span trees with
+//!   per-stage attribution ([`critpath::BottleneckReport`]).
+//! - [`flight`] — an always-on bounded ring of recent structured events,
+//!   snapshotted on failure for post-mortem dumps.
+//! - [`slo`] — declarative burn-rate SLO rules evaluated incrementally
+//!   against the registry, emitting typed [`slo::Alert`]s.
 //!
 //! An [`Obs`] is a cheap-clone handle that is either *enabled* (wraps an
 //! `Arc` of registry + recorder) or *disabled* (every call is a no-op).
@@ -21,19 +28,35 @@
 //! suffixes (`_seconds`, `_bytes`, `_total`); span names are dotted stage
 //! paths (`compress.quantize`, `svc.retry`).
 
+pub mod critpath;
 pub mod export;
+pub mod flight;
 pub mod log;
 pub mod metrics;
+pub mod slo;
 pub mod span;
 
+use flight::{FlightKind, FlightRecorder, FlightSnapshot};
 use metrics::{Counter, Gauge, Histogram, Registry};
 use span::{Recorder, WallSpanGuard};
 use std::sync::{Arc, OnceLock, RwLock};
 
-#[derive(Debug, Default)]
+/// Registry counter mirroring [`FlightRecorder::dropped`]; synced on every
+/// snapshot so exports surface drops even if no one polls the ring directly.
+pub const FLIGHT_DROPPED_COUNTER: &str = "ocelot_obs_flight_dropped_total";
+
+#[derive(Debug)]
 struct ObsInner {
     registry: Registry,
     recorder: Recorder,
+    flight: Arc<FlightRecorder>,
+}
+
+impl ObsInner {
+    fn with_flight_capacity(capacity: usize) -> Self {
+        let flight = Arc::new(FlightRecorder::new(capacity));
+        ObsInner { registry: Registry::new(), recorder: Recorder::new().with_flight(flight.clone()), flight }
+    }
 }
 
 /// Cheap-clone observability handle; disabled handles no-op everywhere.
@@ -48,9 +71,15 @@ impl Obs {
         Obs { inner: None }
     }
 
-    /// A fresh enabled handle with its own registry and recorder.
+    /// A fresh enabled handle with its own registry, recorder, and flight
+    /// ring (default capacity).
     pub fn enabled() -> Self {
-        Obs { inner: Some(Arc::new(ObsInner::default())) }
+        Obs::with_flight_capacity(flight::DEFAULT_CAPACITY)
+    }
+
+    /// Enabled handle whose flight ring holds `capacity` events.
+    pub fn with_flight_capacity(capacity: usize) -> Self {
+        Obs { inner: Some(Arc::new(ObsInner::with_flight_capacity(capacity))) }
     }
 
     /// True when this handle records.
@@ -68,10 +97,38 @@ impl Obs {
         self.inner.as_deref().map(|i| &i.recorder)
     }
 
+    /// The always-on flight ring, if enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.inner.as_deref().map(|i| &*i.flight)
+    }
+
+    /// Snapshots the flight ring and syncs the
+    /// [`FLIGHT_DROPPED_COUNTER`] registry counter to the ring's cumulative
+    /// drop count (`None` when disabled).
+    pub fn flight_snapshot(&self) -> Option<FlightSnapshot> {
+        let i = self.inner.as_deref()?;
+        let snap = i.flight.snapshot();
+        let c = i.registry.counter(FLIGHT_DROPPED_COUNTER, "flight-ring events dropped during snapshots");
+        let seen = c.get();
+        if snap.dropped > seen {
+            c.add(snap.dropped - seen);
+        }
+        Some(snap)
+    }
+
+    /// Records a labeled state-transition breadcrumb (simulated seconds) into
+    /// the flight ring.
+    pub fn flight_state(&self, job: Option<u64>, label: &str, t_s: f64) {
+        if let Some(i) = &self.inner {
+            i.flight.record(job, FlightKind::State { label: label.to_string(), t_s });
+        }
+    }
+
     /// Adds `n` to counter `name` (registered with `help` on first use).
     pub fn add(&self, name: &str, help: &str, n: u64) {
         if let Some(i) = &self.inner {
             i.registry.counter(name, help).add(n);
+            i.flight.record(None, FlightKind::Counter { name: name.to_string(), delta: n });
         }
     }
 
@@ -189,6 +246,41 @@ mod tests {
         // Clones share state.
         obs.clone().inc("ocelot_test_jobs_total", "");
         assert_eq!(reg.counter("ocelot_test_jobs_total", "").get(), 4);
+    }
+
+    #[test]
+    fn enabled_handle_feeds_the_flight_ring() {
+        let obs = Obs::with_flight_capacity(64);
+        obs.add("ocelot_test_flight_total", "f", 2);
+        obs.flight_state(Some(9), "admitted", 1.5);
+        let id = obs.sim_span("pipeline", Some(9), 0, 0.0, 2.0);
+        obs.sim_child(id, "transfer", Some(9), 0, 0.0, 2.0);
+        {
+            let _g = obs.wall_span("compress.real", Some(9), 0);
+        }
+        let snap = obs.flight_snapshot().unwrap();
+        assert_eq!(snap.dropped, 0);
+        let kinds: Vec<&'static str> = snap
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                FlightKind::Log { .. } => "log",
+                FlightKind::SpanOpen { .. } => "open",
+                FlightKind::SpanClose { .. } => "close",
+                FlightKind::Counter { .. } => "counter",
+                FlightKind::State { .. } => "state",
+            })
+            .collect();
+        assert!(kinds.contains(&"counter"));
+        assert!(kinds.contains(&"state"));
+        assert!(kinds.contains(&"open"));
+        assert!(kinds.iter().filter(|k| **k == "close").count() >= 3);
+        // The dropped counter is mirrored into the registry.
+        assert_eq!(obs.registry().unwrap().counter(FLIGHT_DROPPED_COUNTER, "").get(), 0);
+        assert!(obs.flight().unwrap().recorded() >= snap.events.len() as u64);
+        // Disabled handles expose no ring.
+        assert!(Obs::disabled().flight().is_none());
+        assert!(Obs::disabled().flight_snapshot().is_none());
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! of the true value. Two histograms [`Histogram::merge`] by adding bucket
 //! counts, which makes per-thread histograms exactly poolable.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -94,6 +94,10 @@ pub struct Histogram {
     count: AtomicU64,
     /// Sum of recorded values, stored as `f64` bits (CAS-added).
     sum_bits: AtomicU64,
+    /// Last `(job, value)` observed per bucket, so a p99 outlier can be
+    /// traced to a concrete job. Side table off the lock-free path:
+    /// only `observe_exemplar` (per-job, cold) touches it.
+    exemplars: Mutex<HashMap<usize, (u64, f64)>>,
 }
 
 impl Default for Histogram {
@@ -109,6 +113,7 @@ impl Histogram {
             buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
+            exemplars: Mutex::new(HashMap::new()),
         }
     }
 
@@ -134,7 +139,7 @@ impl Histogram {
     }
 
     /// Representative value of bucket `i` (geometric midpoint of its bounds).
-    fn bucket_mid(i: usize) -> f64 {
+    pub fn bucket_mid(i: usize) -> f64 {
         if i == 0 {
             return MIN_TRACKED;
         }
@@ -159,6 +164,18 @@ impl Histogram {
         }
     }
 
+    /// Records one value and remembers `(job, v)` as its bucket's exemplar,
+    /// so exported percentiles can point at a concrete job.
+    pub fn observe_exemplar(&self, v: f64, job: u64) {
+        self.observe(v);
+        self.exemplars.lock().expect("exemplar table poisoned").insert(Self::bucket_index(v), (job, v));
+    }
+
+    /// Last `(job, value)` observed in bucket `i`, if any.
+    pub fn exemplar(&self, i: usize) -> Option<(u64, f64)> {
+        self.exemplars.lock().expect("exemplar table poisoned").get(&i).copied()
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -177,6 +194,12 @@ impl Histogram {
             if n > 0 {
                 b.fetch_add(n, Ordering::Relaxed);
             }
+        }
+        {
+            // "Last observed" semantics: the merged-in histogram is the
+            // newer source, so its exemplars win on collision.
+            let theirs = other.exemplars.lock().expect("exemplar table poisoned").clone();
+            self.exemplars.lock().expect("exemplar table poisoned").extend(theirs);
         }
         self.count.fetch_add(other.count(), Ordering::Relaxed);
         let add = other.sum();
@@ -215,19 +238,31 @@ impl Histogram {
     /// with the `+inf` bucket (always present so `le="+Inf"` equals the
     /// count even for empty histograms).
     pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        self.cumulative_buckets_indexed().into_iter().map(|(_, le, cum)| (le, cum)).collect()
+    }
+
+    /// Like [`Histogram::cumulative_buckets`] but with each entry's bucket
+    /// index, for exemplar lookups alongside the bounds.
+    pub fn cumulative_buckets_indexed(&self) -> Vec<(usize, f64, u64)> {
         let mut out = Vec::new();
         let mut cum = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             let n = b.load(Ordering::Relaxed);
             if n > 0 {
                 cum += n;
-                out.push((Self::bucket_upper(i), cum));
+                out.push((i, Self::bucket_upper(i), cum));
             }
         }
-        if out.last().is_none_or(|&(le, _)| le.is_finite()) {
-            out.push((f64::INFINITY, cum));
+        if out.last().is_none_or(|&(_, le, _)| le.is_finite()) {
+            out.push((N_BUCKETS - 1, f64::INFINITY, cum));
         }
         out
+    }
+
+    /// A snapshot of the raw per-bucket counts (length [`N_BUCKETS`]), used
+    /// by the SLO engine to diff windows.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 }
 
@@ -431,6 +466,42 @@ mod tests {
         let buckets = h.cumulative_buckets();
         assert_eq!(buckets.last().unwrap().1, 2);
         assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn exemplars_remember_the_last_job_per_bucket() {
+        let h = Histogram::new();
+        h.observe_exemplar(0.5, 11);
+        h.observe_exemplar(0.5, 12); // same bucket, newer job wins
+        h.observe_exemplar(100.0, 13);
+        h.observe(0.5); // plain observe leaves exemplars untouched
+        let slow = Histogram::bucket_index(100.0);
+        assert_eq!(h.exemplar(slow), Some((13, 100.0)));
+        assert_eq!(h.exemplar(Histogram::bucket_index(0.5)), Some((12, 0.5)));
+        assert_eq!(h.exemplar(0), None);
+        assert_eq!(h.count(), 4);
+
+        // Merging pulls the other histogram's exemplars across.
+        let pooled = Histogram::new();
+        pooled.observe_exemplar(100.0, 7);
+        pooled.merge(&h);
+        assert_eq!(pooled.exemplar(slow), Some((13, 100.0)), "merged-in exemplar wins");
+    }
+
+    #[test]
+    fn indexed_buckets_align_with_plain_buckets() {
+        let h = Histogram::new();
+        h.observe(1.0);
+        h.observe(2.0);
+        let plain = h.cumulative_buckets();
+        let indexed = h.cumulative_buckets_indexed();
+        assert_eq!(plain.len(), indexed.len());
+        for ((le, cum), (i, ile, icum)) in plain.iter().zip(&indexed) {
+            assert_eq!((*le, *cum), (*ile, *icum));
+            assert_eq!(Histogram::bucket_upper(*i), *ile);
+        }
+        assert_eq!(h.bucket_counts().len(), N_BUCKETS);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 2);
     }
 
     #[test]

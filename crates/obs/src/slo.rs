@@ -1,0 +1,445 @@
+//! Declarative SLOs with burn-rate windows, evaluated against a [`Registry`].
+//!
+//! Rules are *windowed*, not point thresholds: each rule is judged over a
+//! fast and a slow sliding window (classic multi-window burn-rate
+//! alerting), and fires only when **both** windows breach — a single slow
+//! job cannot page, and a sustained regression cannot hide behind one good
+//! sample. The engine is incremental: [`SloEngine::tick`] reads the current
+//! registry values, appends a sample per rule, evicts samples older than
+//! the slow window, and returns the [`Alert`]s that *started* firing this
+//! tick (rising edge only; a rule re-arms once its condition clears).
+//!
+//! Time is whatever monotone clock the caller passes as `now_s`. The
+//! transfer service ticks with cumulative *simulated* seconds processed,
+//! which makes alert behavior deterministic across machines and test runs.
+
+use crate::metrics::{Histogram, Metric, Registry};
+use std::collections::VecDeque;
+
+/// How loudly a breached rule should alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Worth a ticket; not urgent.
+    Warning,
+    /// Page-worthy.
+    Critical,
+}
+
+impl Severity {
+    /// Stable lowercase label used in journals and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// What a rule measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloKind {
+    /// Error budget burn: `error_counter / total_counter` over each window
+    /// must stay below `target_ratio × burn_factor`.
+    ErrorRateBurn {
+        /// Counter of failed units (e.g. `ocelot_svc_jobs_failed_total`).
+        error_counter: String,
+        /// Counter of all units (e.g. `ocelot_svc_jobs_submitted_total`).
+        total_counter: String,
+        /// The SLO's long-term error budget (e.g. 0.01 for 99 %).
+        target_ratio: f64,
+        /// Burn multiplier that makes short windows actionable (e.g. 14.4).
+        burn_factor: f64,
+    },
+    /// Windowed p99 of a histogram must stay at or below `max_s`.
+    LatencyP99 {
+        /// Histogram name (e.g. `ocelot_svc_latency_seconds`).
+        histogram: String,
+        /// Latency objective in the histogram's unit.
+        max_s: f64,
+    },
+    /// Windowed byte rate of a counter must stay at or above `min_bps`.
+    /// Only judged once a window has at least half its span of data.
+    ThroughputFloor {
+        /// Byte counter name (e.g. `ocelot_svc_bytes_transferred_total`).
+        bytes_counter: String,
+        /// Minimum acceptable rate, units of the counter per second.
+        min_bps: f64,
+    },
+    /// A gauge must stay at or above `min` (e.g. worst delivered PSNR).
+    /// Skipped until the gauge is first registered, so an unset quality
+    /// gauge cannot fire.
+    GaugeFloor {
+        /// Gauge name (e.g. `ocelot_svc_worst_psnr_db`).
+        gauge: String,
+        /// Floor value.
+        min: f64,
+    },
+}
+
+/// One declarative SLO rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Rule name, used in alerts and journals (kebab-case by convention).
+    pub name: String,
+    /// Alert severity when breached.
+    pub severity: Severity,
+    /// Fast window, seconds of the caller's clock.
+    pub fast_window_s: f64,
+    /// Slow window, seconds (≥ fast window).
+    pub slow_window_s: f64,
+    /// What to measure.
+    pub kind: SloKind,
+}
+
+/// A rule that started breaching this tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Name of the breached rule.
+    pub rule: String,
+    /// Severity copied from the rule.
+    pub severity: Severity,
+    /// Clock value (`now_s`) at which the breach was detected.
+    pub t_s: f64,
+    /// Measured value over the fast window.
+    pub value: f64,
+    /// Threshold the value crossed.
+    pub threshold: f64,
+    /// Human-readable summary.
+    pub message: String,
+}
+
+#[derive(Debug, Clone)]
+struct Sample {
+    t_s: f64,
+    a: f64,
+    b: f64,
+    /// Histogram bucket counts at sample time (LatencyP99 rules only).
+    buckets: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct RuleState {
+    samples: VecDeque<Sample>,
+    firing: bool,
+}
+
+/// Evaluates a fixed rule set incrementally. Not `Sync`; callers serialize
+/// ticks (the service holds it behind a mutex).
+#[derive(Debug)]
+pub struct SloEngine {
+    rules: Vec<SloRule>,
+    states: Vec<RuleState>,
+}
+
+impl SloEngine {
+    /// Creates an engine for `rules`.
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        let states = rules.iter().map(|_| RuleState { samples: VecDeque::new(), firing: false }).collect();
+        SloEngine { rules, states }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// True when `rule` is currently in breach.
+    pub fn is_firing(&self, rule: &str) -> bool {
+        self.rules.iter().zip(&self.states).any(|(r, s)| r.name == rule && s.firing)
+    }
+
+    /// Samples the registry at `now_s` (monotone, caller's clock) and
+    /// returns alerts for rules that *started* breaching this tick.
+    pub fn tick(&mut self, registry: &Registry, now_s: f64) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for (rule, state) in self.rules.iter().zip(&mut self.states) {
+            let Some(sample) = read_sample(&rule.kind, registry, now_s) else {
+                state.firing = false;
+                continue;
+            };
+            state.samples.push_back(sample);
+            // Keep one sample older than the slow window as the baseline.
+            let horizon = now_s - rule.slow_window_s.max(rule.fast_window_s);
+            while state.samples.len() >= 2 && state.samples[1].t_s <= horizon {
+                state.samples.pop_front();
+            }
+            match evaluate(rule, &state.samples, now_s) {
+                Some((value, threshold, message)) => {
+                    if !state.firing {
+                        state.firing = true;
+                        alerts.push(Alert {
+                            rule: rule.name.clone(),
+                            severity: rule.severity,
+                            t_s: now_s,
+                            value,
+                            threshold,
+                            message,
+                        });
+                    }
+                }
+                None => state.firing = false,
+            }
+        }
+        alerts
+    }
+}
+
+/// Reads the metrics a rule depends on; `None` skips the rule this tick
+/// (metric not registered yet, or registered with an unexpected kind).
+fn read_sample(kind: &SloKind, registry: &Registry, now_s: f64) -> Option<Sample> {
+    let counter = |name: &str| match registry.get(name) {
+        Some(Metric::Counter(c)) => Some(c.get() as f64),
+        _ => None,
+    };
+    match kind {
+        SloKind::ErrorRateBurn { error_counter, total_counter, .. } => {
+            // Errors default to 0 when absent; the total must exist for the
+            // ratio to mean anything.
+            let total = counter(total_counter)?;
+            Some(Sample { t_s: now_s, a: counter(error_counter).unwrap_or(0.0), b: total, buckets: Vec::new() })
+        }
+        SloKind::LatencyP99 { histogram, .. } => match registry.get(histogram) {
+            Some(Metric::Histogram(h)) => {
+                Some(Sample { t_s: now_s, a: h.count() as f64, b: 0.0, buckets: h.bucket_counts() })
+            }
+            _ => None,
+        },
+        SloKind::ThroughputFloor { bytes_counter, .. } => {
+            Some(Sample { t_s: now_s, a: counter(bytes_counter)?, b: 0.0, buckets: Vec::new() })
+        }
+        SloKind::GaugeFloor { gauge, .. } => match registry.get(gauge) {
+            Some(Metric::Gauge(g)) => Some(Sample { t_s: now_s, a: g.get(), b: 0.0, buckets: Vec::new() }),
+            _ => None,
+        },
+    }
+}
+
+/// Latest sample at or before `now_s − window_s`, else the oldest one.
+fn baseline(samples: &VecDeque<Sample>, now_s: f64, window_s: f64) -> &Sample {
+    let cutoff = now_s - window_s;
+    samples.iter().rev().find(|s| s.t_s <= cutoff).unwrap_or(&samples[0])
+}
+
+/// Evaluates one rule over both windows; `Some((value, threshold, message))`
+/// when breached.
+fn evaluate(rule: &SloRule, samples: &VecDeque<Sample>, now_s: f64) -> Option<(f64, f64, String)> {
+    let cur = samples.back().expect("tick pushed a sample");
+    let windows = [rule.fast_window_s, rule.slow_window_s];
+    match &rule.kind {
+        SloKind::ErrorRateBurn { target_ratio, burn_factor, .. } => {
+            let threshold = target_ratio * burn_factor;
+            let mut fast_ratio = 0.0;
+            for (i, &w) in windows.iter().enumerate() {
+                let base = baseline(samples, now_s, w);
+                let errors = cur.a - base.a;
+                let total = cur.b - base.b;
+                if total <= 0.0 {
+                    return None;
+                }
+                let ratio = errors / total;
+                if i == 0 {
+                    fast_ratio = ratio;
+                }
+                if ratio < threshold {
+                    return None;
+                }
+            }
+            Some((fast_ratio, threshold, format!("error rate {fast_ratio:.3} burned past {threshold:.3}")))
+        }
+        SloKind::LatencyP99 { max_s, .. } => {
+            let mut fast_p99 = 0.0;
+            for (i, &w) in windows.iter().enumerate() {
+                let base = baseline(samples, now_s, w);
+                let p99 = windowed_p99(&cur.buckets, &base.buckets);
+                if i == 0 {
+                    fast_p99 = p99;
+                }
+                if p99 <= *max_s {
+                    return None;
+                }
+            }
+            Some((fast_p99, *max_s, format!("windowed p99 latency {fast_p99:.3}s exceeds {max_s}s")))
+        }
+        SloKind::ThroughputFloor { min_bps, .. } => {
+            let mut fast_rate = 0.0;
+            for (i, &w) in windows.iter().enumerate() {
+                let base = baseline(samples, now_s, w);
+                let elapsed = now_s - base.t_s;
+                if elapsed < 0.5 * w {
+                    return None; // window too young to judge
+                }
+                let rate = (cur.a - base.a) / elapsed;
+                if i == 0 {
+                    fast_rate = rate;
+                }
+                if rate >= *min_bps {
+                    return None;
+                }
+            }
+            Some((fast_rate, *min_bps, format!("throughput {fast_rate:.3e}/s fell below {min_bps:.3e}/s")))
+        }
+        SloKind::GaugeFloor { min, .. } => {
+            if cur.a >= *min {
+                return None;
+            }
+            Some((cur.a, *min, format!("gauge value {:.3} fell below floor {min:.3}", cur.a)))
+        }
+    }
+}
+
+/// Nearest-rank p99 over the difference of two cumulative bucket snapshots.
+fn windowed_p99(cur: &[u64], base: &[u64]) -> f64 {
+    let delta = |i: usize| cur[i].saturating_sub(base.get(i).copied().unwrap_or(0));
+    let total: u64 = (0..cur.len()).map(delta).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((0.99 * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for i in 0..cur.len() {
+        seen += delta(i);
+        if seen >= rank {
+            return Histogram::bucket_mid(i);
+        }
+    }
+    Histogram::bucket_mid(cur.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency_rule(max_s: f64) -> SloRule {
+        SloRule {
+            name: "latency-p99".into(),
+            severity: Severity::Critical,
+            fast_window_s: 10.0,
+            slow_window_s: 50.0,
+            kind: SloKind::LatencyP99 { histogram: "lat".into(), max_s },
+        }
+    }
+
+    #[test]
+    fn latency_rule_fires_on_rising_edge_only_and_rearms() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", "");
+        let mut eng = SloEngine::new(vec![latency_rule(1.0)]);
+        assert!(eng.tick(&reg, 0.0).is_empty(), "no observations, no alert");
+
+        for t in 1..=6 {
+            h.observe(5.0);
+            let alerts = eng.tick(&reg, t as f64 * 2.0);
+            if t == 1 {
+                assert_eq!(alerts.len(), 1, "first breaching tick fires");
+                assert_eq!(alerts[0].rule, "latency-p99");
+                assert_eq!(alerts[0].severity, Severity::Critical);
+                assert!(alerts[0].value > 1.0);
+                assert!((alerts[0].threshold - 1.0).abs() < 1e-12);
+            } else {
+                assert!(alerts.is_empty(), "still breached at t={t}: no re-fire");
+            }
+        }
+        assert!(eng.is_firing("latency-p99"));
+
+        // Fast traffic for longer than both windows clears the breach...
+        for t in 7..=60 {
+            h.observe(0.001);
+            eng.tick(&reg, t as f64 * 2.0);
+        }
+        assert!(!eng.is_firing("latency-p99"));
+        // ...and the rule re-arms: a fresh regression fires again.
+        for _ in 0..200 {
+            h.observe(5.0);
+        }
+        let alerts = eng.tick(&reg, 130.0);
+        assert_eq!(alerts.len(), 1, "re-armed rule fires on the next sustained breach");
+    }
+
+    #[test]
+    fn error_burn_needs_both_windows() {
+        let reg = Registry::new();
+        let errors = reg.counter("errs", "");
+        let total = reg.counter("all", "");
+        let rule = SloRule {
+            name: "err-burn".into(),
+            severity: Severity::Warning,
+            fast_window_s: 4.0,
+            slow_window_s: 20.0,
+            kind: SloKind::ErrorRateBurn {
+                error_counter: "errs".into(),
+                total_counter: "all".into(),
+                target_ratio: 0.01,
+                burn_factor: 10.0,
+            },
+        };
+        let mut eng = SloEngine::new(vec![rule]);
+        // A long healthy stretch.
+        for t in 0..20 {
+            total.add(10);
+            assert!(eng.tick(&reg, t as f64).is_empty());
+        }
+        // A short error spike: fast window burns, slow window still healthy.
+        total.add(10);
+        errors.add(5);
+        let alerts = eng.tick(&reg, 20.0);
+        assert!(alerts.is_empty(), "slow window must also breach before alerting");
+        // Sustained errors push the slow window over too.
+        let mut fired = 0;
+        for t in 21..45 {
+            total.add(10);
+            errors.add(5);
+            fired += eng.tick(&reg, t as f64).len();
+        }
+        assert_eq!(fired, 1, "sustained burn fires exactly once");
+    }
+
+    #[test]
+    fn throughput_floor_waits_for_data_then_fires() {
+        let reg = Registry::new();
+        let bytes = reg.counter("bytes", "");
+        let rule = SloRule {
+            name: "tput".into(),
+            severity: Severity::Warning,
+            fast_window_s: 4.0,
+            slow_window_s: 8.0,
+            kind: SloKind::ThroughputFloor { bytes_counter: "bytes".into(), min_bps: 100.0 },
+        };
+        let mut eng = SloEngine::new(vec![rule]);
+        assert!(eng.tick(&reg, 0.0).is_empty(), "young window is not judged");
+        bytes.add(1000);
+        assert!(eng.tick(&reg, 1.0).is_empty());
+        // Healthy rate for a while.
+        for t in 2..10 {
+            bytes.add(1000);
+            assert!(eng.tick(&reg, t as f64).is_empty(), "1000 B/s >= 100 B/s");
+        }
+        // Traffic stalls; both windows eventually starve.
+        let mut fired = 0;
+        for t in 10..30 {
+            fired += eng.tick(&reg, t as f64).len();
+        }
+        assert_eq!(fired, 1, "stall fires once");
+    }
+
+    #[test]
+    fn gauge_floor_skips_until_registered_then_guards() {
+        let reg = Registry::new();
+        let rule = SloRule {
+            name: "psnr-floor".into(),
+            severity: Severity::Critical,
+            fast_window_s: 1.0,
+            slow_window_s: 1.0,
+            kind: SloKind::GaugeFloor { gauge: "psnr".into(), min: 40.0 },
+        };
+        let mut eng = SloEngine::new(vec![rule]);
+        assert!(eng.tick(&reg, 0.0).is_empty(), "unregistered gauge cannot fire");
+        let g = reg.gauge("psnr", "");
+        g.set(62.0);
+        assert!(eng.tick(&reg, 1.0).is_empty());
+        g.set(31.5);
+        let alerts = eng.tick(&reg, 2.0);
+        assert_eq!(alerts.len(), 1);
+        assert!((alerts[0].value - 31.5).abs() < 1e-12);
+        assert!(alerts[0].message.contains("floor"));
+    }
+}

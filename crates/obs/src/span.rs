@@ -12,9 +12,10 @@
 //! ([`Recorder::sim_span`] / [`Recorder::sim_child`]) because simulated
 //! timelines are computed, not lived through.
 
+use crate::flight::{FlightKind, FlightRecorder};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Which timeline a span's timestamps live on.
@@ -67,6 +68,8 @@ pub struct Recorder {
     next_id: AtomicU64,
     closed: Mutex<Vec<SpanRecord>>,
     open_wall: AtomicU64,
+    /// Optional flight-recorder sink mirroring span opens/closes.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for Recorder {
@@ -83,7 +86,14 @@ impl Recorder {
             next_id: AtomicU64::new(1),
             closed: Mutex::new(Vec::new()),
             open_wall: AtomicU64::new(0),
+            flight: None,
         }
+    }
+
+    /// Mirrors span opens/closes into `flight` for post-mortem dumps.
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
     }
 
     fn alloc_id(&self) -> u64 {
@@ -105,6 +115,9 @@ impl Recorder {
             parent
         });
         self.open_wall.fetch_add(1, Ordering::Relaxed);
+        if let Some(flight) = &self.flight {
+            flight.record(job, FlightKind::SpanOpen { name: name.to_string(), lane });
+        }
         WallSpanGuard {
             recorder: self,
             record: Some(SpanRecord {
@@ -143,7 +156,7 @@ impl Recorder {
         let id = self.alloc_id();
         let start_us = (start_s.max(0.0) * 1e6).round() as u64;
         let end_us = (end_s.max(0.0) * 1e6).round() as u64;
-        self.closed.lock().expect("recorder poisoned").push(SpanRecord {
+        let record = SpanRecord {
             id,
             parent,
             name: name.to_string(),
@@ -152,7 +165,9 @@ impl Recorder {
             clock: Clock::Sim,
             start_us,
             end_us: end_us.max(start_us),
-        });
+        };
+        self.mirror_close(&record);
+        self.closed.lock().expect("recorder poisoned").push(record);
         id
     }
 
@@ -164,7 +179,23 @@ impl Recorder {
             s.retain(|&id| id != record.id);
         });
         self.open_wall.fetch_sub(1, Ordering::Relaxed);
+        self.mirror_close(&record);
         self.closed.lock().expect("recorder poisoned").push(record);
+    }
+
+    fn mirror_close(&self, record: &SpanRecord) {
+        if let Some(flight) = &self.flight {
+            flight.record(
+                record.job,
+                FlightKind::SpanClose {
+                    name: record.name.clone(),
+                    clock: record.clock,
+                    lane: record.lane,
+                    start_us: record.start_us,
+                    end_us: record.end_us,
+                },
+            );
+        }
     }
 
     /// Number of wall spans currently open (should be 0 at export time).

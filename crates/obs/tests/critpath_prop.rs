@@ -1,0 +1,91 @@
+//! Property-based tests for the critical-path analyzer: on *arbitrary*
+//! overlapped span forests (random intervals, random parent links, random
+//! lanes and stage names) the analyzer's two totals keep their contract.
+
+use ocelot_obs::critpath::{analyze, Stage};
+use ocelot_obs::span::{Clock, SpanRecord};
+use proptest::prelude::*;
+
+/// Stage-name pool covering every classification branch plus unknowns.
+const NAMES: [&str; 8] = [
+    "pipeline.queue_wait",
+    "pipeline.compress",
+    "pipeline.group",
+    "pipeline.transfer",
+    "pipeline.decompress",
+    "svc.retry.backoff",
+    "svc.job",
+    "mystery.stage",
+];
+
+/// One raw span blueprint: (name index, lane, start µs, length µs, parent
+/// pick). The parent pick selects among earlier spans (or none) modulo the
+/// number of candidates, so any u8 is valid regardless of position.
+fn blueprints(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(usize, u32, u64, u64, u8)>> {
+    prop::collection::vec((0usize..NAMES.len(), 0u32..3, 0u64..5_000_000, 0u64..3_000_000, any::<u8>()), n)
+}
+
+/// Materializes blueprints into `SpanRecord`s with acyclic parent links
+/// (a span's parent always has a smaller index).
+fn build(blueprints: &[(usize, u32, u64, u64, u8)]) -> Vec<SpanRecord> {
+    blueprints
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, lane, start, len, pick))| {
+            // pick == 0 → root; otherwise parent is one of the i earlier ids.
+            let parent = (pick as usize).checked_rem(i + 1).filter(|&p| p > 0).map(|p| p as u64);
+            SpanRecord {
+                id: (i + 1) as u64,
+                parent,
+                name: NAMES[name].to_string(),
+                job: Some(42),
+                lane,
+                clock: Clock::Sim,
+                start_us: start,
+                end_us: start + len,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The critical path (union of covered time) never exceeds the
+    /// serialized work (sum of exclusive span times), even when children
+    /// escape their parents or overlap arbitrarily.
+    #[test]
+    fn critical_path_never_exceeds_total(bps in blueprints(1..40)) {
+        let spans = build(&bps);
+        if let Some(rep) = analyze(&spans) {
+            prop_assert!(
+                rep.critical_path_s <= rep.total_s + 1e-9,
+                "critical {} > total {}", rep.critical_path_s, rep.total_s
+            );
+            prop_assert!(rep.overlap_savings_s() >= 0.0);
+        }
+    }
+
+    /// Per-stage attribution partitions the critical path: the stage sums
+    /// equal `critical_path_s` within 1% (they are exact up to µs rounding;
+    /// 1% is the documented contract).
+    #[test]
+    fn stage_attribution_sums_to_critical_path(bps in blueprints(1..40)) {
+        let spans = build(&bps);
+        if let Some(rep) = analyze(&spans) {
+            let sum: f64 = rep.stage_s.iter().sum();
+            let tol = (rep.critical_path_s * 0.01).max(1e-9);
+            prop_assert!(
+                (sum - rep.critical_path_s).abs() <= tol,
+                "stage sum {} vs critical {}", sum, rep.critical_path_s
+            );
+            // The dominant stage is an argmax of the attribution.
+            let max = rep.stage_s.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!((rep.stage(rep.dominant) - max).abs() < 1e-12);
+            // Every span name classifies somewhere in Stage::ALL.
+            for s in &spans {
+                prop_assert!(Stage::ALL.contains(&Stage::classify(&s.name)));
+            }
+        }
+    }
+}

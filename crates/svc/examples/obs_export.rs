@@ -1,8 +1,9 @@
 //! End-to-end observability export check, run by CI.
 //!
-//! Boots the service with tracing, pushes a small multi-tenant batch
-//! through it, exports all three formats (Prometheus text, metrics JSON,
-//! Chrome trace JSON), validates the JSON exports against the checked-in
+//! Boots the service with tracing and an intentionally unreachable latency
+//! SLO, pushes a small multi-tenant batch through it, exports all formats
+//! (Prometheus text, metrics JSON, Chrome trace JSON, bottleneck analysis,
+//! flight dumps), validates the JSON exports against the checked-in
 //! schemas in `schemas/`, and asserts the per-stage histograms the paper's
 //! pipeline phases feed are actually present. Exits non-zero on any
 //! malformed or empty export.
@@ -10,6 +11,7 @@
 use ocelot::orchestrator::Strategy;
 use ocelot_datagen::Application;
 use ocelot_netsim::SiteId;
+use ocelot_obs::slo::{Severity, SloKind, SloRule};
 use ocelot_svc::schema::validate;
 use ocelot_svc::{JobSpec, Service, ServiceConfig};
 use serde_json::Value;
@@ -22,7 +24,24 @@ fn main() {
     // lands in the same registry the service exports.
     let shared = ocelot_obs::Obs::enabled();
     ocelot_obs::install_global(&shared);
-    let cfg = ServiceConfig { profile_scale: 6, obs: Some(shared), ..ServiceConfig::default() };
+    let out_dir = std::path::Path::new("target/obs-export");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    // A 1 ns p99 target cannot be met, so the second finished job forces an
+    // SLO breach whose flight dump lands in the artifact directory.
+    let slo = vec![SloRule {
+        name: "latency-p99".to_string(),
+        severity: Severity::Critical,
+        fast_window_s: 1e6,
+        slow_window_s: 1e6,
+        kind: SloKind::LatencyP99 { histogram: "ocelot_svc_latency_seconds".to_string(), max_s: 1e-9 },
+    }];
+    let cfg = ServiceConfig {
+        profile_scale: 6,
+        obs: Some(shared),
+        slo,
+        artifact_dir: Some(out_dir.to_path_buf()),
+        ..ServiceConfig::default()
+    };
     let svc = Service::start(cfg);
     for i in 0..3 {
         let tenant = ["climate", "seismic"][i % 2];
@@ -42,24 +61,83 @@ fn main() {
     let registry = obs.registry().expect("service obs is enabled");
     let recorder = obs.recorder().expect("service obs is enabled");
 
-    let out_dir = std::path::Path::new("target/obs-export");
-    std::fs::create_dir_all(out_dir).expect("create output dir");
     let prom = ocelot_obs::export::prometheus_text(registry);
     let metrics_json = ocelot_obs::export::metrics_json(registry);
     let trace_json = ocelot_obs::export::chrome_trace(&recorder.spans());
+    let analysis = svc.analyze();
+    let analysis_json = serde_json::to_string_pretty(&analysis).expect("serialize analysis");
     std::fs::write(out_dir.join("metrics.prom"), &prom).expect("write metrics.prom");
     std::fs::write(out_dir.join("metrics.json"), &metrics_json).expect("write metrics.json");
     std::fs::write(out_dir.join("trace.json"), &trace_json).expect("write trace.json");
+    std::fs::write(out_dir.join("bottleneck.json"), &analysis_json).expect("write bottleneck.json");
 
     if prom.is_empty() {
         failures.push("Prometheus exposition is empty".to_string());
     }
 
+    // The unreachable SLO must have fired and snapped a dump that the
+    // journal's alert record references by file name.
+    let alerts = svc.alerts();
+    let dumps = svc.flight_dumps();
+    let mut dump_jsons: Vec<(String, String)> = Vec::new();
+    if alerts.is_empty() {
+        failures.push("unreachable latency SLO never fired".to_string());
+    }
+    for alert in &alerts {
+        match alert.flight_dump.as_deref() {
+            Some(file) if dumps.iter().any(|d| d.file == file) => {}
+            Some(file) => failures.push(format!("alert '{}' references missing dump '{file}'", alert.rule)),
+            None => failures.push(format!("alert '{}' has no flight dump reference", alert.rule)),
+        }
+    }
+    if dumps.is_empty() {
+        failures.push("SLO breach snapped no flight dump".to_string());
+    }
+    for dump in &dumps {
+        if !out_dir.join(&dump.file).is_file() {
+            failures.push(format!("dump '{}' was not written to the artifact dir", dump.file));
+        }
+        dump_jsons.push((dump.file.clone(), serde_json::to_string(dump).expect("serialize dump")));
+    }
+
+    // The happy path must never lose flight events to ring contention
+    // (`obs::flight` counts drops instead of discarding them silently).
+    if let Some(flight) = obs.flight() {
+        let dropped = flight.dropped();
+        if dropped != 0 {
+            failures.push(format!("flight recorder dropped {dropped} event(s) on the happy path"));
+        }
+    } else {
+        failures.push("enabled obs handle has no flight recorder".to_string());
+    }
+
+    // The latency histogram must carry at least one (job, value) exemplar.
+    // (A parse failure is reported by the schema loop below.)
+    if let Ok(doc) = serde_json::from_str::<Value>(&metrics_json) {
+        let has_exemplar = doc
+            .get("metrics")
+            .and_then(Value::as_array)
+            .into_iter()
+            .flatten()
+            .filter(|m| m.get("name").and_then(Value::as_str) == Some("ocelot_svc_latency_seconds"))
+            .flat_map(|m| m.get("buckets").and_then(Value::as_array).into_iter().flatten())
+            .any(|b| b.get("exemplar").is_some());
+        if !has_exemplar {
+            failures.push("latency histogram exports no bucket exemplar".to_string());
+        }
+    }
+
     // Validate the JSON exports against the checked-in schemas.
     let schema_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas");
-    for (label, text, schema_file) in
-        [("metrics.json", &metrics_json, "metrics.schema.json"), ("trace.json", &trace_json, "trace.schema.json")]
-    {
+    let mut documents: Vec<(String, &str, &str)> = vec![
+        ("metrics.json".to_string(), &metrics_json, "metrics.schema.json"),
+        ("trace.json".to_string(), &trace_json, "trace.schema.json"),
+        ("bottleneck.json".to_string(), &analysis_json, "bottleneck.schema.json"),
+    ];
+    for (file, js) in &dump_jsons {
+        documents.push((file.clone(), js, "flightdump.schema.json"));
+    }
+    for (label, text, schema_file) in documents {
         let schema_text = std::fs::read_to_string(format!("{schema_dir}/{schema_file}"))
             .unwrap_or_else(|e| panic!("read {schema_file}: {e}"));
         let schema: Value = serde_json::from_str(&schema_text).unwrap_or_else(|e| panic!("parse {schema_file}: {e}"));
@@ -103,9 +181,11 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "obs_export: OK ({} metrics, {} spans; artifacts in {})",
+        "obs_export: OK ({} metrics, {} spans, {} alert(s), {} flight dump(s); artifacts in {})",
         registry.len(),
         recorder.spans().len(),
+        alerts.len(),
+        dumps.len(),
         out_dir.display()
     );
 }

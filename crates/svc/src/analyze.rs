@@ -1,0 +1,225 @@
+//! Service-level bottleneck analysis: per-job, per-tenant, and overall
+//! critical-path attribution plus the advisory scheduler hint derived from
+//! the dominant stage.
+//!
+//! The heavy lifting lives in [`ocelot_obs::critpath`]; this module groups
+//! its reports by tenant, reshapes them into serde-friendly summaries for
+//! the `ocelot analyze` CLI and the bottleneck schema, and turns "where did
+//! the time go" into "what should the operator change".
+
+use ocelot_obs::critpath::{self, BottleneckReport, Stage};
+use ocelot_obs::span::SpanRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Serializable view of one [`BottleneckReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckSummary {
+    /// Union of covered simulated time — the experienced latency.
+    pub critical_path_s: f64,
+    /// Serialized work (sum of exclusive span times); `>= critical_path_s`.
+    pub total_s: f64,
+    /// Simulated seconds hidden by overlapping work.
+    pub overlap_savings_s: f64,
+    /// Stage with the most attributed time (stable lowercase label).
+    pub dominant: String,
+    /// Seconds attributed to each stage, keyed by stage label.
+    pub stages: BTreeMap<String, f64>,
+}
+
+impl From<&BottleneckReport> for BottleneckSummary {
+    fn from(r: &BottleneckReport) -> Self {
+        BottleneckSummary {
+            critical_path_s: r.critical_path_s,
+            total_s: r.total_s,
+            overlap_savings_s: r.overlap_savings_s(),
+            dominant: r.dominant.name().to_string(),
+            stages: r.stages().map(|(s, v)| (s.name().to_string(), v)).collect(),
+        }
+    }
+}
+
+/// One job's attribution, tagged with its owner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobAnalysis {
+    /// Job id.
+    pub job: u64,
+    /// Owning tenant, when the journal knows it.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub tenant: Option<String>,
+    /// Where the job's simulated time went.
+    pub report: BottleneckSummary,
+}
+
+/// Advisory scheduling hint derived from the dominant stage. The service
+/// exposes it (and mirrors `recommended_workers` into the
+/// `ocelot_svc_recommended_workers` gauge) rather than resizing its own
+/// pool mid-run — operators and tests read the signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerHint {
+    /// Dominant stage label the hint reacts to.
+    pub dominant: String,
+    /// Worker-pool size the dominant stage suggests.
+    pub recommended_workers: usize,
+    /// Human-readable recommendation.
+    pub advice: String,
+}
+
+/// The full `ocelot analyze` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceAnalysis {
+    /// Per-job attribution, ascending job id.
+    pub jobs: Vec<JobAnalysis>,
+    /// Per-tenant aggregates (sums over the tenant's jobs).
+    pub per_tenant: BTreeMap<String, BottleneckSummary>,
+    /// Aggregate over every analyzed job.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub overall: Option<BottleneckSummary>,
+    /// Advisory scheduler hint from the overall dominant stage.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub hint: Option<SchedulerHint>,
+}
+
+/// Derives the advisory hint from an aggregate report and the current pool
+/// size. Queue/backoff wait is the one stage more concurrency directly
+/// attacks, so it is the only stage that grows the pool.
+pub fn derive_hint(report: &BottleneckReport, workers: usize) -> SchedulerHint {
+    let (recommended_workers, advice) = match report.dominant {
+        Stage::QueueWait => {
+            (workers.max(1) * 2, "queue/backoff wait dominates; raise concurrent workers so waits overlap")
+        }
+        Stage::Compress => (workers, "compression dominates; prefer the overlapped strategy or add source nodes"),
+        Stage::Group => (workers, "grouping dominates; raise the transfer group size"),
+        Stage::Transfer => (workers, "WAN transfer dominates; raise GridFTP parallelism or loosen error bounds"),
+        Stage::Decompress => (workers, "decompression dominates; add destination nodes"),
+        Stage::Other => (workers, "no pipeline stage dominates; envelope overhead leads — profile the service layer"),
+    };
+    SchedulerHint { dominant: report.dominant.name().to_string(), recommended_workers, advice: advice.to_string() }
+}
+
+/// Builds the full analysis from recorded spans, the job→tenant map (from
+/// the journal), and the configured pool size.
+pub fn build_analysis(spans: &[SpanRecord], tenants: &HashMap<u64, String>, workers: usize) -> ServiceAnalysis {
+    let reports = critpath::analyze_jobs(spans);
+    let jobs: Vec<JobAnalysis> = reports
+        .iter()
+        .map(|r| JobAnalysis {
+            job: r.job.unwrap_or(0),
+            tenant: r.job.and_then(|j| tenants.get(&j).cloned()),
+            report: BottleneckSummary::from(r),
+        })
+        .collect();
+
+    let mut by_tenant: BTreeMap<String, Vec<&BottleneckReport>> = BTreeMap::new();
+    for r in &reports {
+        let tenant = r.job.and_then(|j| tenants.get(&j).cloned()).unwrap_or_else(|| "(unknown)".to_string());
+        by_tenant.entry(tenant).or_default().push(r);
+    }
+    let per_tenant: BTreeMap<String, BottleneckSummary> = by_tenant
+        .into_iter()
+        .filter_map(|(tenant, rs)| critpath::aggregate(rs).map(|agg| (tenant, BottleneckSummary::from(&agg))))
+        .collect();
+
+    let overall = critpath::aggregate(&reports);
+    let hint = overall.as_ref().map(|o| derive_hint(o, workers));
+    ServiceAnalysis { jobs, per_tenant, overall: overall.as_ref().map(BottleneckSummary::from), hint }
+}
+
+/// Renders the analysis as a human-readable table (the CLI's default view;
+/// `--json` gets the serde form instead).
+pub fn render_analysis(analysis: &ServiceAnalysis) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "bottleneck analysis: {} job(s), {} tenant(s)", analysis.jobs.len(), analysis.per_tenant.len());
+    for (tenant, s) in &analysis.per_tenant {
+        let _ = writeln!(
+            out,
+            "  tenant {tenant}: critical path {:.3}s, dominant {} ({:.3}s), overlap saved {:.3}s",
+            s.critical_path_s,
+            s.dominant,
+            s.stages.get(&s.dominant).copied().unwrap_or(0.0),
+            s.overlap_savings_s
+        );
+    }
+    if let Some(o) = &analysis.overall {
+        let _ = writeln!(out, "  overall: critical path {:.3}s, serialized work {:.3}s", o.critical_path_s, o.total_s);
+        for (stage, v) in &o.stages {
+            if *v > 0.0 {
+                let pct = if o.critical_path_s > 0.0 { 100.0 * v / o.critical_path_s } else { 0.0 };
+                let _ = writeln!(out, "    {stage:<11} {v:>10.3}s ({pct:>5.1}%)");
+            }
+        }
+    }
+    if let Some(h) = &analysis.hint {
+        let _ = writeln!(out, "  hint: {} (recommended workers: {})", h.advice, h.recommended_workers);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_obs::span::Recorder;
+
+    fn spans_for_two_tenants() -> (Vec<SpanRecord>, HashMap<u64, String>) {
+        let r = Recorder::new();
+        let a = r.sim_span("pipeline", Some(1), 0, 0.0, 10.0);
+        r.sim_child(a, "pipeline.queue_wait", Some(1), 0, 0.0, 8.0);
+        r.sim_child(a, "pipeline.transfer", Some(1), 0, 8.0, 10.0);
+        let b = r.sim_span("pipeline", Some(2), 0, 0.0, 6.0);
+        r.sim_child(b, "pipeline.transfer", Some(2), 0, 0.0, 6.0);
+        let tenants = HashMap::from([(1, "climate".to_string()), (2, "seismic".to_string())]);
+        (r.spans(), tenants)
+    }
+
+    #[test]
+    fn analysis_groups_by_tenant_and_derives_a_hint() {
+        let (spans, tenants) = spans_for_two_tenants();
+        let analysis = build_analysis(&spans, &tenants, 3);
+        assert_eq!(analysis.jobs.len(), 2);
+        assert_eq!(analysis.jobs[0].tenant.as_deref(), Some("climate"));
+        assert_eq!(analysis.per_tenant["climate"].dominant, "queue_wait");
+        assert_eq!(analysis.per_tenant["seismic"].dominant, "transfer");
+        let overall = analysis.overall.as_ref().unwrap();
+        assert!((overall.critical_path_s - 16.0).abs() < 1e-9);
+        // 8s queue wait vs 8s transfer: queue_wait wins ties in Stage::ALL
+        // order, so the hint doubles the pool.
+        let hint = analysis.hint.as_ref().unwrap();
+        assert_eq!(hint.dominant, "queue_wait");
+        assert_eq!(hint.recommended_workers, 6);
+        assert!(hint.advice.contains("workers"));
+    }
+
+    #[test]
+    fn transfer_dominant_keeps_the_pool_size() {
+        let r = Recorder::new();
+        let a = r.sim_span("pipeline", Some(1), 0, 0.0, 10.0);
+        r.sim_child(a, "pipeline.transfer", Some(1), 0, 0.0, 10.0);
+        let analysis = build_analysis(&r.spans(), &HashMap::new(), 4);
+        let hint = analysis.hint.unwrap();
+        assert_eq!(hint.dominant, "transfer");
+        assert_eq!(hint.recommended_workers, 4);
+        assert_eq!(analysis.per_tenant["(unknown)"].dominant, "transfer");
+    }
+
+    #[test]
+    fn analysis_serializes_and_renders() {
+        let (spans, tenants) = spans_for_two_tenants();
+        let analysis = build_analysis(&spans, &tenants, 2);
+        let js = serde_json::to_string_pretty(&analysis).unwrap();
+        let back: ServiceAnalysis = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, analysis);
+        let text = render_analysis(&analysis);
+        assert!(text.contains("tenant climate"));
+        assert!(text.contains("hint:"));
+    }
+
+    #[test]
+    fn empty_spans_yield_an_empty_analysis() {
+        let analysis = build_analysis(&[], &HashMap::new(), 2);
+        assert!(analysis.jobs.is_empty());
+        assert!(analysis.overall.is_none());
+        assert!(analysis.hint.is_none());
+    }
+}

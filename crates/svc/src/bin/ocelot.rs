@@ -22,8 +22,9 @@ use ocelot::session::{open_archive, TransferSession};
 use ocelot::workload::Workload;
 use ocelot_datagen::{Application, FieldSpec};
 use ocelot_netsim::{FaultModel, SiteId};
+use ocelot_obs::slo::{Severity, SloKind, SloRule};
 use ocelot_obs::{info, warn};
-use ocelot_svc::{JobSpec, JobState, RetryPolicy, Service, ServiceConfig};
+use ocelot_svc::{FlightDump, JobId, JobSpec, JobState, RetryPolicy, Service, ServiceConfig};
 use ocelot_sz::config::{LosslessBackend, PredictorKind};
 use ocelot_sz::{compress_with_stats, decompress, metrics, Dataset, ErrorBound, LossyConfig};
 use std::collections::HashMap;
@@ -65,6 +66,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "submit" => cmd_submit(&flags),
         "metrics" => cmd_metrics(&flags),
         "trace" => cmd_trace(&positional, &flags),
+        "analyze" => cmd_analyze(&flags),
+        "postmortem" => cmd_postmortem(&positional, &flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -90,9 +93,12 @@ fn usage() {
          \x20 serve      --jobs N --tenants T1,T2,... [--apps A1,A2] [--workers W] [--fail P] [--seed S]\n\
          \x20 metrics    [serve flags] [--json] [-o FILE]       run a batch, export Prometheus text or JSON\n\
          \x20 trace      [JOB] [serve flags] [-o FILE]          run a batch, export Chrome trace_event JSON\n\
+         \x20 analyze    [serve flags] [--json] [-o FILE]       run a batch, report critical-path bottlenecks\n\
+         \x20 postmortem JOB [serve flags] | --file DUMP        pretty-print a flight-recorder dump\n\
          \n\
          sites: anvil, cori, bebop; apps: cesm, miranda, rtm, nyx, isabel, qmcpack, hacc\n\
          (submit/serve run the multi-tenant transfer service; transfer workloads: cesm, miranda, rtm)\n\
+         (service SLOs: --slo-p99 SECS, --slo-error-rate RATIO, --slo-psnr DB; --artifacts DIR saves flight dumps)\n\
          (set OCELOT_LOG=debug|info|warn|error|off to control progress chatter on stderr)"
     );
 }
@@ -425,6 +431,43 @@ fn parse_service_config(flags: &HashMap<String, String>) -> Result<ServiceConfig
     if let Some(s) = flags.get("profile-scale") {
         cfg.profile_scale = s.parse()?;
     }
+    // SLO rules evaluated on the simulated clock after every finished job.
+    // Breaches land typed alerts in the journal and snap flight dumps.
+    if let Some(s) = flags.get("slo-p99") {
+        cfg.slo.push(SloRule {
+            name: "latency-p99".to_string(),
+            severity: Severity::Critical,
+            fast_window_s: 300.0,
+            slow_window_s: 1500.0,
+            kind: SloKind::LatencyP99 { histogram: "ocelot_svc_latency_seconds".to_string(), max_s: s.parse()? },
+        });
+    }
+    if let Some(r) = flags.get("slo-error-rate") {
+        cfg.slo.push(SloRule {
+            name: "job-error-rate".to_string(),
+            severity: Severity::Critical,
+            fast_window_s: 300.0,
+            slow_window_s: 1500.0,
+            kind: SloKind::ErrorRateBurn {
+                error_counter: "ocelot_svc_jobs_failed_total".to_string(),
+                total_counter: "ocelot_svc_jobs_submitted_total".to_string(),
+                target_ratio: r.parse()?,
+                burn_factor: 1.0,
+            },
+        });
+    }
+    if let Some(db) = flags.get("slo-psnr") {
+        cfg.slo.push(SloRule {
+            name: "psnr-floor".to_string(),
+            severity: Severity::Warning,
+            fast_window_s: 300.0,
+            slow_window_s: 1500.0,
+            kind: SloKind::GaugeFloor { gauge: "ocelot_svc_worst_psnr_db".to_string(), min: db.parse()? },
+        });
+    }
+    if let Some(dir) = flags.get("artifacts") {
+        cfg.artifact_dir = Some(std::path::PathBuf::from(dir));
+    }
     // Share the process-wide handle so service spans/counters land in the
     // same registry that `metrics` and `trace` export.
     cfg.obs = Some(ocelot_obs::global());
@@ -572,6 +615,55 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         });
     }
     write_or_print(flags, &ocelot_obs::export::chrome_trace(&spans))
+}
+
+fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let svc = run_service_batch(flags, 12)?;
+    let analysis = svc.analyze();
+    if analysis.jobs.is_empty() {
+        return Err("no spans recorded — nothing to analyze".into());
+    }
+    let text = if flags.contains_key("json") {
+        serde_json::to_string_pretty(&analysis)?
+    } else {
+        let mut out = ocelot_svc::analyze::render_analysis(&analysis);
+        for alert in svc.alerts() {
+            out.push_str(&format!("  ALERT [{}] {}: {}\n", alert.severity, alert.rule, alert.message));
+        }
+        out
+    };
+    write_or_print(flags, &text)
+}
+
+fn cmd_postmortem(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
+    // `--file DUMP` replays a saved artifact without running anything.
+    if let Some(path) = flags.get("file") {
+        let dump: FlightDump = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        print!("{}", ocelot_svc::render_postmortem(&dump));
+        return Ok(());
+    }
+    let job: u64 = positional
+        .first()
+        .ok_or("postmortem needs a JOB id (or --file DUMP)")?
+        .parse()
+        .map_err(|_| format!("postmortem takes a numeric JOB id, got '{}'", positional.first().unwrap()))?;
+    let svc = run_service_batch(flags, job as usize + 1)?;
+    // Prefer a dump the service already snapped for this job (failure, retry
+    // exhaustion, SLO breach); otherwise force one from the live ring.
+    let dump = svc
+        .flight_dumps()
+        .into_iter()
+        .find(|d| d.job == Some(job))
+        .unwrap_or_else(|| svc.force_flight_dump("postmortem", Some(JobId(job))));
+    let text = ocelot_svc::render_postmortem(&dump);
+    match flags.get("out").map(String::as_str).filter(|s| !s.is_empty()) {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            info!("ocelot", "wrote {path} ({} bytes)", text.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
 }
 
 #[cfg(test)]

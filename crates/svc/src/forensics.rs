@@ -1,0 +1,361 @@
+//! Flight-dump forensics: self-contained post-mortem artifacts.
+//!
+//! When a job fails, a retry budget is exhausted, or an SLO breaches, the
+//! service snapshots the obs flight ring together with the journal, the
+//! alert log, and the failing job's critical-path attribution into one
+//! [`FlightDump`]. The dump is written as JSON next to the journal artifacts
+//! (validated by `schemas/flightdump.schema.json`) and pretty-printed by
+//! `ocelot postmortem`.
+//!
+//! [`render_postmortem`] is deliberately deterministic for a fixed seed and
+//! a single worker: wall-clock timings are summarized as counts, never
+//! printed, so golden tests can pin the exact text.
+
+use crate::analyze::BottleneckSummary;
+use crate::journal::{AlertRecord, Event};
+use ocelot_obs::flight::{FlightEvent, FlightKind, FlightSnapshot};
+use ocelot_obs::span::Clock;
+use serde::{Deserialize, Serialize};
+
+/// Current dump format version.
+pub const DUMP_VERSION: u32 = 1;
+
+/// One flight-ring event, flattened for JSON (`kind` discriminates which of
+/// the optional fields are present).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DumpEvent {
+    /// Global record order.
+    pub seq: u64,
+    /// Microseconds since the ring's epoch (wall clock; excluded from the
+    /// deterministic rendering).
+    pub wall_us: u64,
+    /// Job the event belongs to, when known.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub job: Option<u64>,
+    /// `log` | `span_open` | `span_close` | `counter` | `state`.
+    pub kind: String,
+    /// Log severity label (`log` only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub level: Option<String>,
+    /// Log target (`log` only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub target: Option<String>,
+    /// Log message (`log` only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub message: Option<String>,
+    /// Span or counter name.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub name: Option<String>,
+    /// `wall` | `sim` (`span_close` only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub clock: Option<String>,
+    /// Display lane (span events only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub lane: Option<u32>,
+    /// Span start, µs on `clock` (`span_close` only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub start_us: Option<u64>,
+    /// Span end, µs on `clock` (`span_close` only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub end_us: Option<u64>,
+    /// Counter delta (`counter` only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub delta: Option<u64>,
+    /// State label (`state` only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub label: Option<String>,
+    /// Simulated seconds (`state` only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub t_s: Option<f64>,
+}
+
+impl From<&FlightEvent> for DumpEvent {
+    fn from(e: &FlightEvent) -> Self {
+        let mut out = DumpEvent {
+            seq: e.seq,
+            wall_us: e.wall_us,
+            job: e.job,
+            kind: String::new(),
+            level: None,
+            target: None,
+            message: None,
+            name: None,
+            clock: None,
+            lane: None,
+            start_us: None,
+            end_us: None,
+            delta: None,
+            label: None,
+            t_s: None,
+        };
+        match &e.kind {
+            FlightKind::Log { level, target, message } => {
+                out.kind = "log".into();
+                out.level = Some(format!("{level:?}").to_ascii_lowercase());
+                out.target = Some(target.clone());
+                out.message = Some(message.clone());
+            }
+            FlightKind::SpanOpen { name, lane } => {
+                out.kind = "span_open".into();
+                out.name = Some(name.clone());
+                out.lane = Some(*lane);
+            }
+            FlightKind::SpanClose { name, clock, lane, start_us, end_us } => {
+                out.kind = "span_close".into();
+                out.name = Some(name.clone());
+                out.clock = Some(match clock {
+                    Clock::Wall => "wall".into(),
+                    Clock::Sim => "sim".into(),
+                });
+                out.lane = Some(*lane);
+                out.start_us = Some(*start_us);
+                out.end_us = Some(*end_us);
+            }
+            FlightKind::Counter { name, delta } => {
+                out.kind = "counter".into();
+                out.name = Some(name.clone());
+                out.delta = Some(*delta);
+            }
+            FlightKind::State { label, t_s } => {
+                out.kind = "state".into();
+                out.label = Some(label.clone());
+                out.t_s = Some(*t_s);
+            }
+        }
+        out
+    }
+}
+
+/// A self-contained post-mortem artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Dump format version ([`DUMP_VERSION`]).
+    pub version: u32,
+    /// File name the dump was (or would be) written under.
+    pub file: String,
+    /// Why the snapshot was taken: `job_failed`, `retry_exhausted`,
+    /// `slo:<rule>`, or `forced`.
+    pub reason: String,
+    /// Job the dump is about, when the trigger was job-scoped.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub job: Option<u64>,
+    /// The job's tenant, when known.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub tenant: Option<String>,
+    /// Simulated seconds at snapshot time (the trigger's clock).
+    pub t_s: f64,
+    /// Flight-ring events lost to snapshot contention (cumulative).
+    pub dropped: u64,
+    /// Flight-ring capacity.
+    pub capacity: usize,
+    /// The ring contents, oldest first.
+    pub events: Vec<DumpEvent>,
+    /// Critical-path attribution of the triggering job, when computable.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub attribution: Option<BottleneckSummary>,
+    /// Journal alerts recorded so far (each may reference another dump).
+    pub alerts: Vec<AlertRecord>,
+    /// Full lifecycle journal at snapshot time.
+    pub journal: Vec<Event>,
+}
+
+impl FlightDump {
+    /// Assembles a dump from a ring snapshot plus service context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_snapshot(
+        file: String,
+        reason: &str,
+        job: Option<u64>,
+        tenant: Option<String>,
+        t_s: f64,
+        snapshot: &FlightSnapshot,
+        attribution: Option<BottleneckSummary>,
+        alerts: Vec<AlertRecord>,
+        journal: Vec<Event>,
+    ) -> Self {
+        FlightDump {
+            version: DUMP_VERSION,
+            file,
+            reason: reason.to_string(),
+            job,
+            tenant,
+            t_s,
+            dropped: snapshot.dropped,
+            capacity: snapshot.capacity,
+            events: snapshot.events.iter().map(DumpEvent::from).collect(),
+            attribution,
+            alerts,
+            journal,
+        }
+    }
+}
+
+/// Lowercases a reason/rule into a file-name slug.
+pub fn slugify(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' }).collect()
+}
+
+/// Pretty-prints a dump for `ocelot postmortem`. Deterministic for a fixed
+/// seed and one worker: wall-clock spans appear as counts only, and every
+/// printed number is on the simulated clock.
+pub fn render_postmortem(dump: &FlightDump) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let who = match (dump.job, &dump.tenant) {
+        (Some(j), Some(t)) => format!("job {j} (tenant {t})"),
+        (Some(j), None) => format!("job {j}"),
+        _ => "service".to_string(),
+    };
+    let _ = writeln!(out, "== post-mortem: {who} ==");
+    let _ = writeln!(out, "reason: {}", dump.reason);
+    let _ = writeln!(out, "sim clock: {:.3} s", dump.t_s);
+    let _ = writeln!(
+        out,
+        "flight ring: {} event(s) captured, {} dropped (capacity {})",
+        dump.events.len(),
+        dump.dropped,
+        dump.capacity
+    );
+
+    let _ = writeln!(out, "\njournal:");
+    for e in &dump.journal {
+        let _ = writeln!(out, "  [{:>3}] {} tenant={} t={:.3}s {:?}", e.seq, e.job, e.tenant, e.t_s, e.state);
+    }
+
+    if !dump.alerts.is_empty() {
+        let _ = writeln!(out, "\nalerts:");
+        for a in &dump.alerts {
+            let _ = writeln!(
+                out,
+                "  [{:>3}] {} {} t={:.3}s value={:.3} threshold={:.3} — {}",
+                a.seq, a.severity, a.rule, a.t_s, a.value, a.threshold, a.message
+            );
+        }
+    }
+
+    if let Some(attr) = &dump.attribution {
+        let _ = writeln!(out, "\nattribution:");
+        let _ = writeln!(
+            out,
+            "  critical path {:.3} s, serialized work {:.3} s (overlap saved {:.3} s)",
+            attr.critical_path_s, attr.total_s, attr.overlap_savings_s
+        );
+        let _ = writeln!(out, "  dominant stage: {}", attr.dominant);
+        for (stage, v) in &attr.stages {
+            if *v > 0.0 {
+                let pct = if attr.critical_path_s > 0.0 { 100.0 * v / attr.critical_path_s } else { 0.0 };
+                let _ = writeln!(out, "    {stage:<11} {v:>10.3} s ({pct:>5.1}%)");
+            }
+        }
+    }
+
+    let mut wall_opens = 0u64;
+    let mut wall_closes = 0u64;
+    let mut lines: Vec<String> = Vec::new();
+    for e in &dump.events {
+        match e.kind.as_str() {
+            "log" => lines.push(format!(
+                "  log   [{}] {}: {}",
+                e.level.as_deref().unwrap_or("?"),
+                e.target.as_deref().unwrap_or("?"),
+                e.message.as_deref().unwrap_or("")
+            )),
+            "span_open" => wall_opens += 1,
+            "span_close" if e.clock.as_deref() == Some("wall") => wall_closes += 1,
+            "span_close" => {
+                let (start, end) = (e.start_us.unwrap_or(0), e.end_us.unwrap_or(0));
+                lines.push(format!(
+                    "  span  {} lane={} [{:.3}s → {:.3}s]{}",
+                    e.name.as_deref().unwrap_or("?"),
+                    e.lane.unwrap_or(0),
+                    start as f64 / 1e6,
+                    end as f64 / 1e6,
+                    e.job.map(|j| format!(" job={j}")).unwrap_or_default()
+                ));
+            }
+            "counter" => lines.push(format!("  count {} +{}", e.name.as_deref().unwrap_or("?"), e.delta.unwrap_or(0))),
+            "state" => lines.push(format!(
+                "  state {}{} t={:.3}s",
+                e.label.as_deref().unwrap_or("?"),
+                e.job.map(|j| format!(" job={j}")).unwrap_or_default(),
+                e.t_s.unwrap_or(0.0)
+            )),
+            _ => {}
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nrecent events (wall timings omitted; {wall_opens} wall open(s), {wall_closes} wall close(s)):"
+    );
+    for line in lines {
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, JobState};
+    use ocelot_obs::flight::FlightRecorder;
+    use ocelot_obs::log::Level;
+
+    fn sample_dump() -> FlightDump {
+        let fr = FlightRecorder::new(16);
+        fr.record(Some(3), FlightKind::State { label: "Admitted".into(), t_s: 0.0 });
+        fr.record(None, FlightKind::Counter { name: "ocelot_svc_jobs_done_total".into(), delta: 1 });
+        fr.record(
+            Some(3),
+            FlightKind::SpanClose {
+                name: "pipeline.transfer".into(),
+                clock: Clock::Sim,
+                lane: 0,
+                start_us: 500_000,
+                end_us: 2_000_000,
+            },
+        );
+        fr.record(None, FlightKind::Log { level: Level::Warn, target: "svc".into(), message: "retrying".into() });
+        let journal =
+            vec![Event { seq: 0, job: JobId(3), tenant: "climate".into(), t_s: 0.0, state: JobState::Queued }];
+        FlightDump::from_snapshot(
+            "flight-0-retry-exhausted.json".into(),
+            "retry_exhausted",
+            Some(3),
+            Some("climate".into()),
+            12.5,
+            &fr.snapshot(),
+            None,
+            Vec::new(),
+            journal,
+        )
+    }
+
+    #[test]
+    fn dump_round_trips_through_json() {
+        let dump = sample_dump();
+        let js = serde_json::to_string_pretty(&dump).unwrap();
+        let back: FlightDump = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, dump);
+        // Flattened events only carry the fields their kind uses.
+        assert!(!js.contains("\"delta\": 0"), "absent fields must be omitted, got:\n{js}");
+    }
+
+    #[test]
+    fn render_is_wall_clock_free() {
+        let dump = sample_dump();
+        let text = render_postmortem(&dump);
+        assert!(text.contains("== post-mortem: job 3 (tenant climate) =="));
+        assert!(text.contains("reason: retry_exhausted"));
+        assert!(text.contains("state Admitted job=3 t=0.000s"));
+        assert!(text.contains("span  pipeline.transfer lane=0 [0.500s → 2.000s] job=3"));
+        assert!(text.contains("count ocelot_svc_jobs_done_total +1"));
+        assert!(text.contains("log   [warn] svc: retrying"));
+        assert!(!text.contains("wall_us"), "wall timings must not leak into the rendering");
+    }
+
+    #[test]
+    fn slugify_flattens_rule_names() {
+        assert_eq!(slugify("slo:p99-latency"), "slo-p99-latency");
+        assert_eq!(slugify("Retry Exhausted"), "retry-exhausted");
+    }
+}

@@ -2,8 +2,11 @@
 //!
 //! Every job state transition is recorded as an [`Event`] with a global
 //! sequence number (total order across workers) and the job's simulated
-//! clock. The journal is the service's source of truth for metrics and for
-//! test assertions about lifecycle ordering.
+//! clock. SLO breaches land in the same journal as [`AlertRecord`]s drawing
+//! from the same sequence space, so a post-mortem can interleave alerts
+//! with the job transitions that caused them. The journal is the service's
+//! source of truth for metrics and for test assertions about lifecycle
+//! ordering.
 
 use crate::job::{JobId, JobState};
 use serde::{Deserialize, Serialize};
@@ -26,10 +29,35 @@ pub struct Event {
     pub state: JobState,
 }
 
+/// One journaled SLO alert, sharing the journal's sequence space with job
+/// transitions so the two interleave chronologically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRecord {
+    /// Global append order (shared with [`Event`]).
+    pub seq: u64,
+    /// SLO rule that fired.
+    pub rule: String,
+    /// `"warning"` or `"critical"`.
+    pub severity: String,
+    /// Simulated seconds at evaluation time.
+    pub t_s: f64,
+    /// Observed value that breached.
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// Human-readable one-liner.
+    pub message: String,
+    /// File name of the flight dump snapped for this alert, if one was
+    /// written.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub flight_dump: Option<String>,
+}
+
 /// Thread-safe append-only event log.
 #[derive(Debug, Default)]
 pub struct Journal {
     events: Mutex<Vec<Event>>,
+    alerts: Mutex<Vec<AlertRecord>>,
     next_seq: AtomicU64,
 }
 
@@ -70,6 +98,31 @@ impl Journal {
             self.events.lock().expect("journal poisoned").iter().filter(|e| e.job == job).cloned().collect();
         events.sort_by_key(|e| e.seq);
         events
+    }
+
+    /// Appends one SLO alert (optionally referencing a flight-dump file) and
+    /// returns its sequence number.
+    pub fn record_alert(&self, alert: &ocelot_obs::slo::Alert, flight_dump: Option<String>) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let record = AlertRecord {
+            seq,
+            rule: alert.rule.clone(),
+            severity: alert.severity.name().to_string(),
+            t_s: alert.t_s,
+            value: alert.value,
+            threshold: alert.threshold,
+            message: alert.message.clone(),
+            flight_dump,
+        };
+        self.alerts.lock().expect("journal poisoned").push(record);
+        seq
+    }
+
+    /// A point-in-time copy of all alerts, sorted by sequence number.
+    pub fn alerts(&self) -> Vec<AlertRecord> {
+        let mut alerts = self.alerts.lock().expect("journal poisoned").clone();
+        alerts.sort_by_key(|a| a.seq);
+        alerts
     }
 }
 
@@ -117,6 +170,33 @@ mod tests {
         assert_eq!(j.len(), 200);
         let seqs: Vec<u64> = j.snapshot().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn alerts_share_the_sequence_space_and_round_trip() {
+        let j = Journal::new();
+        j.record(JobId(1), "a", 0.0, JobState::Queued);
+        let alert = ocelot_obs::slo::Alert {
+            rule: "p99-latency".into(),
+            severity: ocelot_obs::slo::Severity::Critical,
+            t_s: 12.0,
+            value: 42.0,
+            threshold: 30.0,
+            message: "p99 42s > 30s".into(),
+        };
+        let seq = j.record_alert(&alert, Some("flight-0-p99-latency.json".into()));
+        assert_eq!(seq, 1, "alerts draw from the same sequence counter");
+        j.record(JobId(1), "a", 13.0, JobState::Done);
+        let alerts = j.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].severity, "critical");
+        assert_eq!(alerts[0].flight_dump.as_deref(), Some("flight-0-p99-latency.json"));
+        let s = serde_json::to_string(&alerts[0]).unwrap();
+        let back: AlertRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, alerts[0]);
+        // The dump reference is omitted from JSON when absent.
+        let bare = AlertRecord { flight_dump: None, ..alerts[0].clone() };
+        assert!(!serde_json::to_string(&bare).unwrap().contains("flight_dump"));
     }
 
     #[test]

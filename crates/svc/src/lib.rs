@@ -9,6 +9,12 @@
 //! ([`ocelot_netsim::FaultModel`]), an append-only lifecycle journal, and
 //! aggregate metrics that serialize to JSON.
 //!
+//! Phase-2 observability rides on the same service: [`analyze`] turns
+//! recorded spans into per-job/per-tenant bottleneck reports and an
+//! advisory scheduler hint, [`forensics`] snapshots the obs flight ring
+//! into self-contained post-mortem dumps on failures and SLO breaches, and
+//! the journal interleaves [`journal::AlertRecord`]s with job transitions.
+//!
 //! ```
 //! use ocelot_svc::{JobSpec, Service, ServiceConfig};
 //! use ocelot_datagen::Application;
@@ -24,6 +30,8 @@
 //! println!("{id}: {}", serde_json::to_string(&metrics).unwrap());
 //! ```
 
+pub mod analyze;
+pub mod forensics;
 pub mod job;
 pub mod journal;
 pub mod metrics;
@@ -32,8 +40,10 @@ pub mod retry;
 pub mod scheduler;
 pub mod schema;
 
+pub use analyze::{BottleneckSummary, JobAnalysis, SchedulerHint, ServiceAnalysis};
+pub use forensics::{render_postmortem, DumpEvent, FlightDump};
 pub use job::{JobId, JobReport, JobSpec, JobState};
-pub use journal::{Event, Journal};
+pub use journal::{AlertRecord, Event, Journal};
 pub use metrics::{MetricsSnapshot, TenantStats};
 pub use queue::{SubmitError, TenantQueue};
 pub use retry::RetryPolicy;

@@ -14,8 +14,10 @@
 //! `backoff × sleep_scale` wall-clock seconds, with `sleep_scale = 0`
 //! making tests instantaneous.
 
+use crate::analyze::{build_analysis, derive_hint, BottleneckSummary, SchedulerHint, ServiceAnalysis};
+use crate::forensics::{slugify, FlightDump};
 use crate::job::{JobId, JobReport, JobSpec, JobState};
-use crate::journal::{Event, Journal};
+use crate::journal::{AlertRecord, Event, Journal};
 use crate::metrics::{throughput_bps, MetricsSnapshot, TenantStats};
 use crate::queue::{SubmitError, TenantQueue};
 use crate::retry::RetryPolicy;
@@ -23,10 +25,13 @@ use ocelot::orchestrator::{Orchestrator, PipelineOptions};
 use ocelot::workload::Workload;
 use ocelot_datagen::Application;
 use ocelot_netsim::{simulate_transfer_with_faults, FaultModel, GridFtpConfig};
+use ocelot_obs::critpath::{self, BottleneckReport};
 use ocelot_obs::metrics::{Counter, Gauge, Histogram};
+use ocelot_obs::slo::{SloEngine, SloRule};
 use ocelot_obs::Obs;
 use ocelot_sz::LossyConfig;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -56,6 +61,14 @@ pub struct ServiceConfig {
     /// `None` gives the service a private enabled handle (metrics always
     /// work); pass an explicit handle to share one registry with the CLI.
     pub obs: Option<Obs>,
+    /// Declarative SLO rules, evaluated after every finished job on the
+    /// cumulative simulated clock. Each alert snapshots the flight ring.
+    pub slo: Vec<SloRule>,
+    /// Directory flight dumps are written into (`None` keeps them
+    /// in-memory only; see [`Service::flight_dumps`]).
+    pub artifact_dir: Option<PathBuf>,
+    /// Flight-ring capacity when the service builds its own obs handle.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +83,9 @@ impl Default for ServiceConfig {
             sleep_scale: 0.0,
             seed: 0xC0FFEE,
             obs: None,
+            slo: Vec::new(),
+            artifact_dir: None,
+            flight_capacity: ocelot_obs::flight::DEFAULT_CAPACITY,
         }
     }
 }
@@ -90,6 +106,7 @@ struct SvcMetrics {
     latency: Arc<Histogram>,
     queue_depth: Arc<Gauge>,
     in_flight: Arc<Gauge>,
+    recommended_workers: Arc<Gauge>,
 }
 
 impl SvcMetrics {
@@ -107,6 +124,8 @@ impl SvcMetrics {
             latency: reg.histogram("ocelot_svc_latency_seconds", "Simulated end-to-end latency of finished jobs"),
             queue_depth: reg.gauge("ocelot_svc_queue_depth", "Jobs currently queued"),
             in_flight: reg.gauge("ocelot_svc_in_flight", "Jobs currently being processed"),
+            recommended_workers: reg
+                .gauge("ocelot_svc_recommended_workers", "Advisory pool size from critical-path analysis"),
         }
     }
 }
@@ -137,6 +156,29 @@ struct Shared {
     /// registry, so the service cannot run blind).
     obs: Obs,
     metrics: SvcMetrics,
+    /// SLO engine, ticked on the cumulative simulated clock after every
+    /// finished job.
+    slo: Mutex<SloEngine>,
+    /// Per-job critical-path reports, accumulated as jobs finish; feeds the
+    /// advisory scheduler hint.
+    job_reports: Mutex<Vec<BottleneckReport>>,
+    /// Latest advisory hint derived from the accumulated reports.
+    hint: Mutex<Option<SchedulerHint>>,
+    /// Flight dumps snapped so far (also written to `artifact_dir`).
+    dumps: Mutex<Vec<FlightDump>>,
+    /// Names dump files `flight-<n>-<slug>.json`.
+    dump_counter: AtomicU64,
+    /// Worst PSNR delivered so far (drives the quality gauge lazily, so a
+    /// PSNR-floor SLO stays skipped until the first job completes).
+    worst_psnr: Mutex<f64>,
+}
+
+impl Shared {
+    /// Journals a state transition and mirrors it into the flight ring.
+    fn journal_state(&self, id: JobId, tenant: &str, t_s: f64, state: JobState) {
+        self.obs.flight_state(Some(id.0), &format!("{state:?}"), t_s);
+        self.journal.record(id, tenant, t_s, state);
+    }
 }
 
 /// A running transfer service.
@@ -157,9 +199,11 @@ impl Service {
         assert!(config.workers > 0, "need at least one worker");
         let obs = match &config.obs {
             Some(h) if h.is_enabled() => h.clone(),
-            _ => Obs::enabled(),
+            _ => Obs::with_flight_capacity(config.flight_capacity),
         };
         let metrics = SvcMetrics::new(&obs);
+        metrics.recommended_workers.set(config.workers as f64);
+        let slo = Mutex::new(SloEngine::new(config.slo.clone()));
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: TenantQueue::new(config.queue_capacity),
@@ -175,6 +219,12 @@ impl Service {
             config,
             obs,
             metrics,
+            slo,
+            job_reports: Mutex::new(Vec::new()),
+            hint: Mutex::new(None),
+            dumps: Mutex::new(Vec::new()),
+            dump_counter: AtomicU64::new(0),
+            worst_psnr: Mutex::new(f64::INFINITY),
         });
         let workers = (0..shared.config.workers)
             .map(|_| {
@@ -203,7 +253,7 @@ impl Service {
             self.shared.metrics.queue_depth.set(inner.queue.len() as f64);
             inner.per_tenant.entry(tenant.clone()).or_default().submitted += 1;
         }
-        self.shared.journal.record(id, &tenant, 0.0, JobState::Queued);
+        self.shared.journal_state(id, &tenant, 0.0, JobState::Queued);
         self.shared.work_ready.notify_one();
         Ok(id)
     }
@@ -273,6 +323,41 @@ impl Service {
     pub fn reports(&self) -> Vec<JobReport> {
         self.shared.inner.lock().expect("service poisoned").reports.clone()
     }
+
+    /// Critical-path analysis of every processed job: per-job and
+    /// per-tenant bottleneck reports plus the advisory scheduler hint.
+    pub fn analyze(&self) -> ServiceAnalysis {
+        let spans = self.shared.obs.recorder().map(|r| r.spans()).unwrap_or_default();
+        let tenants: HashMap<u64, String> =
+            self.shared.journal.snapshot().into_iter().map(|e| (e.job.0, e.tenant)).collect();
+        build_analysis(&spans, &tenants, self.shared.config.workers)
+    }
+
+    /// Latest advisory scheduling hint (updated after every finished job;
+    /// also mirrored into the `ocelot_svc_recommended_workers` gauge).
+    pub fn hint(&self) -> Option<SchedulerHint> {
+        self.shared.hint.lock().expect("hint poisoned").clone()
+    }
+
+    /// SLO alerts journaled so far.
+    pub fn alerts(&self) -> Vec<AlertRecord> {
+        self.shared.journal.alerts()
+    }
+
+    /// Flight dumps snapped so far (failures, retry exhaustion, SLO
+    /// breaches, forced).
+    pub fn flight_dumps(&self) -> Vec<FlightDump> {
+        self.shared.dumps.lock().expect("dumps poisoned").clone()
+    }
+
+    /// Snapshots the flight ring right now (reason `forced` unless given),
+    /// optionally scoped to one job. Used by `ocelot postmortem` when no
+    /// failure-triggered dump exists.
+    pub fn force_flight_dump(&self, reason: &str, job: Option<JobId>) -> FlightDump {
+        let tenant = job.and_then(|j| self.shared.journal.events_for(j).first().map(|e| e.tenant.clone()));
+        let t_s = self.shared.metrics.latency.sum();
+        snap_dump(&self.shared, reason, job, tenant.as_deref(), t_s)
+    }
 }
 
 impl Drop for Service {
@@ -327,28 +412,109 @@ fn worker_loop(shared: &Shared) {
         m.bytes_transferred.add(report.bytes_transferred);
         m.bytes_saved.add(report.bytes_saved);
         m.wasted_bytes.add(report.wasted_bytes);
-        m.latency.observe(report.latency_s);
+        // Exemplar: the latency bucket remembers this job, so a p99 outlier
+        // in the export points at a concrete job id.
+        m.latency.observe_exemplar(report.latency_s, id.0);
         inner.reports.push(report);
         inner.in_flight -= 1;
         m.in_flight.set(inner.in_flight as f64);
         drop(inner);
+        refresh_hint(shared, id);
+        tick_slo(shared);
         shared.job_finished.notify_all();
     }
+}
+
+/// Folds the finished job's critical-path report into the accumulated set
+/// and refreshes the advisory hint (and its gauge) from the aggregate.
+fn refresh_hint(shared: &Shared, id: JobId) {
+    let Some(report) = shared.obs.recorder().and_then(|r| critpath::analyze(&r.for_job(id.0))) else {
+        return;
+    };
+    let mut reports = shared.job_reports.lock().expect("job reports poisoned");
+    reports.push(report);
+    let Some(agg) = critpath::aggregate(reports.iter()) else { return };
+    drop(reports);
+    let hint = derive_hint(&agg, shared.config.workers);
+    shared.metrics.recommended_workers.set(hint.recommended_workers as f64);
+    *shared.hint.lock().expect("hint poisoned") = Some(hint);
+}
+
+/// Ticks the SLO engine on the cumulative simulated clock. Every alert is
+/// journaled with a flight dump snapped at breach time.
+fn tick_slo(shared: &Shared) {
+    let Some(registry) = shared.obs.registry() else { return };
+    // Cumulative simulated seconds processed: monotone and deterministic,
+    // unlike wall time under `sleep_scale = 0`.
+    let now_s = shared.metrics.latency.sum();
+    let alerts = shared.slo.lock().expect("slo poisoned").tick(registry, now_s);
+    for alert in alerts {
+        let reason = format!("slo:{}", alert.rule);
+        let idx = shared.dump_counter.fetch_add(1, Ordering::Relaxed);
+        let file = format!("flight-{idx}-{}.json", slugify(&reason));
+        // Journal first so the dump's own alert list includes this breach.
+        shared.journal.record_alert(&alert, Some(file.clone()));
+        shared.obs.flight_state(None, &format!("alert:{}", alert.rule), alert.t_s);
+        write_dump(shared, file, &reason, None, None, alert.t_s);
+    }
+}
+
+/// Snapshots the flight ring into a named dump, stores it, and (when an
+/// artifact directory is configured) writes it to disk.
+fn snap_dump(shared: &Shared, reason: &str, job: Option<JobId>, tenant: Option<&str>, t_s: f64) -> FlightDump {
+    let idx = shared.dump_counter.fetch_add(1, Ordering::Relaxed);
+    let file = format!("flight-{idx}-{}.json", slugify(reason));
+    write_dump(shared, file, reason, job, tenant, t_s)
+}
+
+fn write_dump(
+    shared: &Shared,
+    file: String,
+    reason: &str,
+    job: Option<JobId>,
+    tenant: Option<&str>,
+    t_s: f64,
+) -> FlightDump {
+    let snapshot = shared.obs.flight_snapshot().expect("service obs handle is always enabled");
+    let attribution = job
+        .and_then(|j| shared.obs.recorder().and_then(|r| critpath::analyze(&r.for_job(j.0))))
+        .map(|r| BottleneckSummary::from(&r));
+    let dump = FlightDump::from_snapshot(
+        file.clone(),
+        reason,
+        job.map(|j| j.0),
+        tenant.map(str::to_string),
+        t_s,
+        &snapshot,
+        attribution,
+        shared.journal.alerts(),
+        shared.journal.snapshot(),
+    );
+    if let Some(dir) = &shared.config.artifact_dir {
+        if std::fs::create_dir_all(dir).is_ok() {
+            if let Ok(json) = serde_json::to_string_pretty(&dump) {
+                if let Err(e) = std::fs::write(dir.join(&file), json) {
+                    ocelot_obs::warn!("svc", "failed to write flight dump {file}: {e}");
+                }
+            }
+        }
+    }
+    shared.dumps.lock().expect("dumps poisoned").push(dump.clone());
+    dump
 }
 
 /// Drives one job from admission to a terminal state, journaling every
 /// transition. Never panics on job-level errors — they become `Failed`.
 fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
-    let journal = &shared.journal;
     let cfg = &shared.config;
     let obs = &shared.obs;
     // Wall-clock view of the worker's real processing time (profiling and
     // compression are real work; transfers and backoffs are simulated).
     let _wall = obs.wall_span("svc.process", Some(id.0), 0);
-    journal.record(id, &spec.tenant, 0.0, JobState::Admitted);
+    shared.journal_state(id, &spec.tenant, 0.0, JobState::Admitted);
 
     let fail = |t_s: f64, reason: String| -> JobReport {
-        journal.record(id, &spec.tenant, t_s, JobState::Failed(reason.clone()));
+        shared.journal_state(id, &spec.tenant, t_s, JobState::Failed(reason.clone()));
         JobReport {
             job: id,
             tenant: spec.tenant.clone(),
@@ -361,10 +527,14 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
         }
     };
 
-    journal.record(id, &spec.tenant, 0.0, JobState::Compressing);
+    shared.journal_state(id, &spec.tenant, 0.0, JobState::Compressing);
     let workload = match cached_workload(shared, spec.app, spec.error_bound) {
         Ok(w) => w,
-        Err(reason) => return fail(0.0, reason),
+        Err(reason) => {
+            let report = fail(0.0, reason);
+            snap_dump(shared, "job_failed", Some(id), Some(&spec.tenant), 0.0);
+            return report;
+        }
     };
 
     // Each attempt gets one try per file; the retry loop below owns the
@@ -382,7 +552,7 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
 
     let pre_transfer_s =
         outcome.breakdown.queue_wait_s + outcome.breakdown.compression_s + outcome.breakdown.grouping_s;
-    journal.record(id, &spec.tenant, pre_transfer_s, JobState::Transferring);
+    shared.journal_state(id, &spec.tenant, pre_transfer_s, JobState::Transferring);
 
     let mut t_s = pre_transfer_s + outcome.breakdown.transfer_s;
     let mut retries = outcome.transfer_retries as u32;
@@ -397,7 +567,7 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
         if pending.is_empty() {
             break;
         }
-        journal.record(id, &spec.tenant, t_s, JobState::Retrying(round));
+        shared.journal_state(id, &spec.tenant, t_s, JobState::Retrying(round));
         let round_start = t_s;
         let backoff = cfg.retry.backoff_s(round, job_seed);
         if cfg.sleep_scale > 0.0 {
@@ -423,15 +593,21 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
     let decompression_s = outcome.breakdown.decompression_s;
     t_s += decompression_s;
 
-    // Job-level trace: the whole job on lane 1 (the orchestrator's phase
-    // tree occupies lane 0), with one child span per retry round split into
-    // backoff and re-offer.
+    // Job-level trace: the whole job on the service lane (the
+    // orchestrator's phase tree occupies the primary/overlap lanes), with
+    // one child span per retry round split into backoff and re-offer, plus
+    // the post-retry decompression tail so the critical-path analyzer does
+    // not attribute it to the bare envelope.
     let record_job_span = |end_s: f64| {
-        let root = obs.sim_span("svc.job", Some(id.0), 1, 0.0, end_s);
+        use ocelot::lanes::SERVICE;
+        let root = obs.sim_span("svc.job", Some(id.0), SERVICE, 0.0, end_s);
         for &(start, backoff_end, end) in &retry_windows {
-            let round = obs.sim_child(root, "svc.retry", Some(id.0), 1, start, end);
-            obs.sim_child(round, "svc.retry.backoff", Some(id.0), 1, start, backoff_end);
-            obs.sim_child(round, "svc.retry.transfer", Some(id.0), 1, backoff_end, end);
+            let round = obs.sim_child(root, "svc.retry", Some(id.0), SERVICE, start, end);
+            obs.sim_child(round, "svc.retry.backoff", Some(id.0), SERVICE, start, backoff_end);
+            obs.sim_child(round, "svc.retry.transfer", Some(id.0), SERVICE, backoff_end, end);
+        }
+        if decompression_s > 0.0 {
+            obs.sim_child(root, "svc.decompress", Some(id.0), SERVICE, (end_s - decompression_s).max(0.0), end_s);
         }
     };
 
@@ -447,11 +623,24 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
         report.bytes_transferred = bytes_transferred;
         report.retries = retries;
         report.wasted_bytes = wasted_bytes;
+        snap_dump(shared, "retry_exhausted", Some(id), Some(&spec.tenant), t_s);
         return report;
     }
 
     record_job_span(t_s);
-    journal.record(id, &spec.tenant, t_s, JobState::Done);
+    shared.journal_state(id, &spec.tenant, t_s, JobState::Done);
+    // Delivered quality: the worst per-file PSNR so far drives a lazily
+    // registered gauge, so a PSNR-floor SLO only judges completed work.
+    {
+        let mut worst = shared.worst_psnr.lock().expect("psnr poisoned");
+        let job_worst = workload.min_psnr();
+        if job_worst < *worst {
+            *worst = job_worst;
+        }
+        if worst.is_finite() {
+            obs.set_gauge("ocelot_svc_worst_psnr_db", "Worst per-file PSNR delivered so far", *worst);
+        }
+    }
     let raw_bytes = workload.total_bytes();
     JobReport {
         job: id,
@@ -589,5 +778,105 @@ mod tests {
         assert!(m.wasted_bytes > 0);
         let journal = svc.journal();
         assert!(journal.iter().any(|e| matches!(e.state, JobState::Retrying(_))));
+    }
+
+    #[test]
+    fn retry_exhaustion_snaps_a_flight_dump() {
+        // Every attempt fails, so the job burns its 2-attempt budget and the
+        // service snapshots the flight ring as a post-mortem.
+        let cfg = ServiceConfig {
+            workers: 1,
+            faults: FaultModel { per_attempt_failure_prob: 1.0, max_retries: 1, reconnect_s: 1.0 },
+            retry: RetryPolicy { max_attempts: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let svc = Service::start(cfg);
+        let id = svc.submit(miranda_job("doomed")).unwrap();
+        svc.drain();
+        assert_eq!(svc.metrics().jobs_failed, 1);
+        let dumps = svc.flight_dumps();
+        assert_eq!(dumps.len(), 1, "one exhausted job → one dump");
+        let dump = &dumps[0];
+        assert_eq!(dump.reason, "retry_exhausted");
+        assert_eq!(dump.job, Some(id.0));
+        assert_eq!(dump.tenant.as_deref(), Some("doomed"));
+        assert!(!dump.events.is_empty(), "ring must hold recent events");
+        assert!(dump.journal.iter().any(|e| matches!(e.state, JobState::Failed(_))));
+    }
+
+    #[test]
+    fn slo_breach_emits_alert_referencing_a_dump() {
+        use ocelot_obs::slo::{Severity, SloKind, SloRule};
+        // A 1 ns latency target breaches on the second tick: the first tick
+        // only seeds the baseline sample, and windows wide enough to reach
+        // it make every later windowed p99 exceed the target.
+        let cfg = ServiceConfig {
+            workers: 1,
+            slo: vec![SloRule {
+                name: "latency-p99".to_string(),
+                severity: Severity::Critical,
+                fast_window_s: 1e6,
+                slow_window_s: 1e6,
+                kind: SloKind::LatencyP99 { histogram: "ocelot_svc_latency_seconds".to_string(), max_s: 1e-9 },
+            }],
+            profile_scale: 8,
+            ..Default::default()
+        };
+        let svc = Service::start(cfg);
+        svc.submit(miranda_job("climate")).unwrap();
+        svc.submit(miranda_job("climate")).unwrap();
+        svc.drain();
+        let alerts = svc.alerts();
+        assert_eq!(alerts.len(), 1, "rising edge fires exactly once: {alerts:?}");
+        assert_eq!(alerts[0].severity, "critical");
+        let file = alerts[0].flight_dump.as_deref().expect("alert must reference its dump");
+        let dumps = svc.flight_dumps();
+        assert!(dumps.iter().any(|d| d.file == file), "journal alert points at a snapped dump");
+        let dump = dumps.iter().find(|d| d.file == file).unwrap();
+        assert!(dump.reason.starts_with("slo:"));
+        assert!(dump.alerts.iter().any(|a| a.rule == "latency-p99"), "dump embeds the triggering alert");
+    }
+
+    #[test]
+    fn backoff_pressure_raises_the_recommended_worker_hint() {
+        // Every attempt fails and the backoff is enormous, so retry backoff
+        // (classified as queue wait) dominates the critical path and the
+        // advisory hint asks for a bigger pool.
+        let cfg = ServiceConfig {
+            workers: 1,
+            faults: FaultModel { per_attempt_failure_prob: 1.0, max_retries: 1, reconnect_s: 1.0 },
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff_s: 500.0,
+                max_backoff_s: 2000.0,
+                jitter: 0.0,
+                ..Default::default()
+            },
+            profile_scale: 8,
+            ..Default::default()
+        };
+        let svc = Service::start(cfg);
+        svc.submit(miranda_job("burst")).unwrap();
+        svc.drain();
+        let hint = svc.hint().expect("finished jobs must produce a hint");
+        assert_eq!(hint.dominant, "queue_wait", "hint: {hint:?}");
+        assert_eq!(hint.recommended_workers, 2);
+        let analysis = svc.analyze();
+        assert_eq!(analysis.jobs.len(), 1);
+        assert!(analysis.per_tenant.contains_key("burst"));
+        assert!(analysis.overall.unwrap().stages["queue_wait"] >= 500.0);
+    }
+
+    #[test]
+    fn finished_jobs_leave_latency_exemplars() {
+        let svc = Service::start(quick_config());
+        let id = svc.submit(miranda_job("climate")).unwrap();
+        svc.drain();
+        let h = &svc.shared.metrics.latency;
+        let tagged = (0..ocelot_obs::metrics::N_BUCKETS).filter_map(|i| h.exemplar(i)).collect::<Vec<_>>();
+        assert_eq!(tagged.len(), 1, "one observation tags exactly one bucket");
+        let (job, value) = tagged[0];
+        assert_eq!(job, id.0);
+        assert!(value > 0.0 && value.is_finite());
     }
 }

@@ -6,7 +6,8 @@
 
 use ocelot_datagen::Application;
 use ocelot_netsim::{FaultModel, SiteId};
-use ocelot_svc::{JobSpec, JobState, MetricsSnapshot, Service, ServiceConfig};
+use ocelot_obs::slo::{Severity, SloKind, SloRule};
+use ocelot_svc::{JobSpec, JobState, MetricsSnapshot, RetryPolicy, Service, ServiceConfig};
 use std::collections::HashMap;
 
 #[test]
@@ -90,6 +91,84 @@ fn flaky_multi_tenant_burst_drains_cleanly() {
     assert_eq!(back, metrics);
     assert!(back.latency_p95_s >= back.latency_p50_s);
     assert!(back.throughput_bps > 0.0);
+}
+
+#[test]
+fn flaky_burst_attribution_blames_the_injected_fault_profile() {
+    // Same 21-job / 3-tenant burst, but with an aggressive fault profile
+    // whose service-level retries sit behind a long exponential backoff.
+    // Backoff is classified as queue wait by the critical-path analyzer, so
+    // the injected faults must surface as a queue_wait-dominant bottleneck
+    // for every tenant — and the advisory hint must ask for more workers.
+    let tenants = ["climate", "seismic", "cosmology"];
+    let n_jobs = 21usize;
+    let workers = 4usize;
+    let cfg = ServiceConfig {
+        workers,
+        queue_capacity: n_jobs,
+        faults: FaultModel::flaky(0.25),
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff_s: 150.0,
+            multiplier: 2.0,
+            max_backoff_s: 600.0,
+            jitter: 0.0,
+        },
+        profile_scale: 8,
+        seed: 42,
+        // An unreachable latency target: the windowed p99 breaches as soon
+        // as the engine has a baseline sample to diff against.
+        slo: vec![SloRule {
+            name: "latency-p99".to_string(),
+            severity: Severity::Critical,
+            fast_window_s: 1e6,
+            slow_window_s: 1e6,
+            kind: SloKind::LatencyP99 { histogram: "ocelot_svc_latency_seconds".to_string(), max_s: 1e-9 },
+        }],
+        ..Default::default()
+    };
+    let svc = Service::start(cfg);
+    for (t_idx, tenant) in tenants.iter().enumerate() {
+        for j in 0..n_jobs / tenants.len() {
+            let app = if (t_idx + j) % 2 == 0 { Application::Miranda } else { Application::Rtm };
+            svc.submit(JobSpec::compressed(*tenant, app, 1e-3, SiteId::Anvil, SiteId::Bebop)).expect("queue sized");
+        }
+    }
+    svc.drain();
+
+    let analysis = svc.analyze();
+    assert_eq!(analysis.jobs.len(), n_jobs, "every job must be attributed");
+    assert_eq!(analysis.per_tenant.len(), tenants.len());
+    for tenant in tenants {
+        let report = &analysis.per_tenant[tenant];
+        assert_eq!(
+            report.dominant, "queue_wait",
+            "tenant {tenant}: injected backoff-heavy faults must dominate, got {report:?}"
+        );
+        assert!(report.stages["queue_wait"] >= 150.0, "tenant {tenant}: {report:?}");
+        assert!(report.total_s >= report.critical_path_s);
+    }
+    let hint = svc.hint().expect("hint after finished jobs");
+    assert_eq!(hint.dominant, "queue_wait");
+    assert_eq!(hint.recommended_workers, 2 * workers);
+
+    // The unreachable SLO fired, and its journal record references a
+    // schema-valid flight dump.
+    let alerts = svc.alerts();
+    assert!(!alerts.is_empty(), "unreachable latency SLO must fire");
+    let dumps = svc.flight_dumps();
+    let schema_text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas/flightdump.schema.json"))
+            .expect("read flight dump schema");
+    let schema: serde_json::Value = serde_json::from_str(&schema_text).expect("parse schema");
+    for alert in &alerts {
+        let file = alert.flight_dump.as_deref().expect("SLO alert references its dump");
+        let dump = dumps.iter().find(|d| d.file == file).expect("referenced dump was snapped");
+        let js = serde_json::to_string(dump).expect("serialize dump");
+        let doc: serde_json::Value = serde_json::from_str(&js).expect("dump is JSON");
+        let violations = ocelot_svc::schema::validate(&schema, &doc);
+        assert!(violations.is_empty(), "dump {file} violates schema: {violations:?}");
+    }
 }
 
 #[test]

@@ -2,9 +2,10 @@
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
 //! shapes Ocelot's types use — named-field structs, tuple structs, and enums
-//! with unit / tuple / named-field variants — plus the `#[serde(skip)]` and
-//! `#[serde(default)]` field attributes. Generic type parameters are not
-//! supported (no deriving type in this repository is generic).
+//! with unit / tuple / named-field variants — plus the `#[serde(skip)]`,
+//! `#[serde(default)]`, and `#[serde(skip_serializing_if = "path")]` field
+//! attributes. Generic type parameters are not supported (no deriving type
+//! in this repository is generic).
 //!
 //! The macro parses the raw token stream directly (no `syn`/`quote`, which
 //! are unavailable offline) and emits impls of the value-tree traits defined
@@ -17,6 +18,17 @@ struct Field {
     name: String,
     skip: bool,
     default: bool,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`; the
+    /// field is omitted from serialization when `path(&field)` is true.
+    skip_if: Option<String>,
+}
+
+/// Parsed `#[serde(...)]` field attributes.
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    skip_if: Option<String>,
 }
 
 /// The field layout of a struct or enum variant.
@@ -61,8 +73,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 // ---------------------------------------------------------------------------
 
 /// Consumes attributes at `*i`, returning any `#[serde(...)]` flags seen.
-fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
-    let (mut skip, mut default) = (false, false);
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
         if p.as_char() != '#' {
             break;
@@ -74,15 +86,7 @@ fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
                 if let Some(TokenTree::Ident(id)) = inner.first() {
                     if id.to_string() == "serde" {
                         if let Some(TokenTree::Group(args)) = inner.get(1) {
-                            for t in args.stream() {
-                                if let TokenTree::Ident(flag) = t {
-                                    match flag.to_string().as_str() {
-                                        "skip" => skip = true,
-                                        "default" => default = true,
-                                        other => panic!("unsupported #[serde({other})] attribute (stub serde_derive)"),
-                                    }
-                                }
-                            }
+                            parse_serde_args(args.stream(), &mut attrs);
                         }
                     }
                 }
@@ -92,7 +96,33 @@ fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
         }
         panic!("malformed attribute");
     }
-    (skip, default)
+    attrs
+}
+
+/// Parses the inside of one `#[serde(...)]` group.
+fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut j = 0;
+    while j < tokens.len() {
+        if let TokenTree::Ident(flag) = &tokens[j] {
+            match flag.to_string().as_str() {
+                "skip" => attrs.skip = true,
+                "default" => attrs.default = true,
+                "skip_serializing_if" => {
+                    // Expect `= "some::path"`.
+                    match (tokens.get(j + 1), tokens.get(j + 2)) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                            attrs.skip_if = Some(lit.to_string().trim_matches('"').to_string());
+                            j += 2;
+                        }
+                        _ => panic!("skip_serializing_if expects = \"path\" (stub serde_derive)"),
+                    }
+                }
+                other => panic!("unsupported #[serde({other})] attribute (stub serde_derive)"),
+            }
+        }
+        j += 1;
+    }
 }
 
 /// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
@@ -186,7 +216,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (skip, default) = skip_attributes(&tokens, &mut i);
+        let attrs = skip_attributes(&tokens, &mut i);
         skip_visibility(&tokens, &mut i);
         let name = expect_ident(&tokens, &mut i);
         match tokens.get(i) {
@@ -209,7 +239,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip, default });
+        fields.push(Field { name, skip: attrs.skip, default: attrs.default, skip_if: attrs.skip_if });
     }
     fields
 }
@@ -251,10 +281,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 fn gen_serialize(desc: &TypeDesc) -> String {
     let name = &desc.name;
     let body = match &desc.body {
-        Body::Struct(Fields::Named(fields)) => {
-            let entries = named_field_entries(fields, |f| format!("&self.{f}"));
-            format!("::serde::Value::Object(vec![{entries}])")
-        }
+        Body::Struct(Fields::Named(fields)) => named_fields_object(fields, |f| format!("&self.{f}")),
         Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Body::Struct(Fields::Tuple(n)) => {
             let items: Vec<String> = (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
@@ -283,6 +310,29 @@ fn named_field_entries(fields: &[Field], access: impl Fn(&str) -> String) -> Str
         .join(", ")
 }
 
+/// A `Value::Object` expression over named fields, honoring skip and
+/// skip_serializing_if. The simple all-unconditional case stays a `vec![]`
+/// literal; any conditional field switches to an incremental build.
+fn named_fields_object(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    if fields.iter().all(|f| f.skip_if.is_none()) {
+        let entries = named_field_entries(fields, access);
+        return format!("::serde::Value::Object(vec![{entries}])");
+    }
+    let mut stmts = String::from("let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        let push =
+            format!("entries.push((\"{0}\".to_string(), ::serde::Serialize::to_value({1})));", f.name, access(&f.name));
+        match &f.skip_if {
+            Some(pred) => stmts.push_str(&format!("if !{pred}({}) {{ {push} }}\n", access(&f.name))),
+            None => {
+                stmts.push_str(&push);
+                stmts.push('\n');
+            }
+        }
+    }
+    format!("{{ {stmts} ::serde::Value::Object(entries) }}")
+}
+
 fn serialize_variant_arm(type_name: &str, v: &Variant) -> String {
     let vname = &v.name;
     match &v.fields {
@@ -305,10 +355,10 @@ fn serialize_variant_arm(type_name: &str, v: &Variant) -> String {
         }
         Fields::Named(fields) => {
             let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
-            let entries = named_field_entries(fields, |f| f.to_string());
+            let payload = named_fields_object(fields, |f| f.to_string());
             format!(
                 "{type_name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), \
-                 ::serde::Value::Object(vec![{entries}]))]),",
+                 {payload})]),",
                 binds.join(", ")
             )
         }
