@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ocelot_datagen::{Application, FieldSpec};
 use ocelot_sz::config::{LosslessBackend, PredictorKind};
-use ocelot_sz::{compress, decompress, zfp, LossyConfig};
+use ocelot_sz::{compress, decompress, Codec, CodecConfig, LossyConfig, ZfpCodec};
 
 fn bench_predictors(c: &mut Criterion) {
     let data = FieldSpec::new(Application::Miranda, "density").with_scale(8).generate();
@@ -41,7 +41,7 @@ fn bench_decompress(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(data.nbytes() as u64));
     g.sample_size(10);
     for eb in [1e-5, 1e-3, 1e-1] {
-        let blob = compress(&data, &LossyConfig::sz3(eb)).expect("compression succeeds");
+        let blob = compress(&data, &LossyConfig::sz3(eb)).expect("compression succeeds").blob;
         g.bench_with_input(BenchmarkId::from_parameter(format!("eb{eb:.0e}")), &blob, |b, blob| {
             b.iter(|| decompress::<f32>(blob).expect("decompression succeeds"))
         });
@@ -55,9 +55,30 @@ fn bench_zfp_baseline(c: &mut Criterion) {
     let mut g = c.benchmark_group("baseline_zfp_transform");
     g.throughput(Throughput::Bytes(data.nbytes() as u64));
     g.sample_size(10);
-    g.bench_function("compress", |b| b.iter(|| zfp::compress(&data, abs_eb).expect("zfp compression succeeds")));
-    let blob = zfp::compress(&data, abs_eb).expect("zfp compression succeeds");
+    let cfg = CodecConfig::zfp_abs(abs_eb);
+    g.bench_function("compress", |b| b.iter(|| ZfpCodec.compress(&data, &cfg).expect("zfp compression succeeds")));
+    let blob = ZfpCodec.compress(&data, &cfg).expect("zfp compression succeeds").blob;
     g.bench_function("decompress", |b| b.iter(|| decompress::<f32>(&blob).expect("zfp decompression succeeds")));
+    g.finish();
+}
+
+fn bench_chunk_scaling(c: &mut Criterion) {
+    let data = FieldSpec::new(Application::Miranda, "density").with_scale(16).generate();
+    let mut g = c.benchmark_group("chunk_parallel_scaling");
+    g.throughput(Throughput::Bytes(data.nbytes() as u64));
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let cfg = LossyConfig::sz3(1e-3).with_threads(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("t{threads}")), &cfg, |b, cfg| {
+            b.iter(|| compress(&data, cfg).expect("compression succeeds"))
+        });
+    }
+    let blob = compress(&data, &LossyConfig::sz3(1e-3).with_threads(4)).expect("compression succeeds").blob;
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("decompress_t{threads}")), &blob, |b, blob| {
+            b.iter(|| ocelot_sz::decompress_with_threads::<f32>(blob, threads).expect("decompression succeeds"))
+        });
+    }
     g.finish();
 }
 
@@ -72,7 +93,7 @@ fn bench_temporal_stream(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(bytes as u64));
     g.sample_size(10);
     g.bench_function("spatial_per_frame", |b| {
-        b.iter(|| frames.iter().map(|f| compress(f, &cfg).expect("compresses").len()).sum::<usize>())
+        b.iter(|| frames.iter().map(|f| compress(f, &cfg).expect("compresses").blob.len()).sum::<usize>())
     });
     g.bench_function("temporal_key_plus_delta", |b| {
         b.iter(|| {
@@ -89,6 +110,7 @@ criterion_group!(
     bench_backends,
     bench_decompress,
     bench_zfp_baseline,
+    bench_chunk_scaling,
     bench_temporal_stream
 );
 criterion_main!(benches);

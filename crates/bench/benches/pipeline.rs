@@ -35,7 +35,10 @@ fn bench_fig9_scaling(c: &mut Criterion) {
         let cluster = Cluster::new(nodes, anvil.cores_per_node, anvil.core_speed);
         g.bench_with_input(BenchmarkId::from_parameter(format!("{nodes}_nodes")), &cluster, |b, cl| {
             b.iter(|| {
-                (orch.compression_time(&w, &anvil, cl, Strategy::Compressed), orch.decompression_time(&w, &anvil, cl))
+                (
+                    orch.compression_time(&w, &anvil, cl, Strategy::Compressed, 1),
+                    orch.decompression_time(&w, &anvil, cl, 1),
+                )
             })
         });
     }

@@ -24,7 +24,7 @@ use ocelot_netsim::SiteId;
 use ocelot_qpred::{QualityModel, RandomForest, TrainingSet, TreeConfig};
 use ocelot_sz::config::LosslessBackend;
 use ocelot_sz::stats::jin_ratio_estimate;
-use ocelot_sz::{compress_with_stats, LossyConfig};
+use ocelot_sz::{compress, LossyConfig};
 use serde::Serialize;
 
 /// Grouping-sweep row.
@@ -161,7 +161,7 @@ pub fn run_sampling_ablation() -> Vec<SamplingRow> {
                     for &eb in &EBS11 {
                         let cfg = LossyConfig::sz3(eb);
                         let features = ocelot_qpred::extract(&data, &cfg, stride);
-                        let outcome = compress_with_stats(&data, &cfg).expect("compression succeeds");
+                        let outcome = compress(&data, &cfg).expect("compression succeeds");
                         samples.push(ocelot_qpred::TrainingSample {
                             features,
                             ratio: outcome.ratio,
@@ -234,7 +234,7 @@ pub fn run_backend_ablation() -> Vec<BackendRow> {
         let data = FieldSpec::new(app, field).with_scale(scale).generate();
         for backend in [LosslessBackend::Huffman, LosslessBackend::HuffmanLz, LosslessBackend::RleHuffman] {
             let cfg = LossyConfig::sz3(1e-3).with_backend(backend);
-            let out = compress_with_stats(&data, &cfg).expect("compression succeeds");
+            let out = compress(&data, &cfg).expect("compression succeeds");
             rows.push(BackendRow {
                 dataset: format!("{}/{}", app.name(), field),
                 backend: backend.name().to_string(),

@@ -13,7 +13,7 @@ use ocelot_datagen::{Application, FieldSpec};
 use ocelot_qpred::transform::{measure_transform_sample, TransformQualityModel, TransformSample};
 use ocelot_qpred::{QualityModel, TreeConfig, FEATURE_NAMES};
 use ocelot_sz::config::PredictorKind;
-use ocelot_sz::{compress_with_stats, zfp, LossyConfig};
+use ocelot_sz::{compress, Codec, CodecConfig, LossyConfig, ZfpCodec};
 use serde::Serialize;
 
 /// Transform-prediction evaluation for one application.
@@ -133,10 +133,10 @@ pub fn run_codec_comparison() -> Vec<CodecRow> {
     .map(|&(app, field, scale)| {
         let data = FieldSpec::new(app, field).with_scale(scale).generate();
         let ratio = |p: PredictorKind| {
-            compress_with_stats(&data, &LossyConfig::sz3(1e-3).with_predictor(p)).expect("compression succeeds").ratio
+            compress(&data, &LossyConfig::sz3(1e-3).with_predictor(p)).expect("compression succeeds").ratio
         };
         let abs_eb = 1e-3 * data.value_range().max(1e-30);
-        let zfp_blob = zfp::compress(&data, abs_eb).expect("zfp compression succeeds");
+        let zfp_blob = ZfpCodec.compress(&data, &CodecConfig::zfp_abs(abs_eb)).expect("zfp compression succeeds").blob;
         CodecRow {
             dataset: format!("{}/{}", app.name(), field),
             sz3_ratio: ratio(PredictorKind::InterpCubic),

@@ -33,7 +33,7 @@ pub fn run(write_images: bool) -> Vec<Row> {
         .map(|&field| {
             let data = FieldSpec::new(Application::Cesm, field).with_scale(8).generate();
             let cfg = LossyConfig::sz3(1e-3);
-            let blob = compress(&data, &cfg).expect("compression succeeds");
+            let blob = compress(&data, &cfg).expect("compression succeeds").blob;
             let ratio = data.nbytes() as f64 / blob.len() as f64;
             let restored = decompress::<f32>(&blob).expect("decompression succeeds");
             let q = metrics::compare(&data, &restored).expect("shapes match");

@@ -35,8 +35,8 @@ pub fn run(nodes: &[usize]) -> Vec<AppCurve> {
             let mut decompression_s = Vec::new();
             for &n in nodes {
                 let cluster = Cluster::new(n, anvil.cores_per_node, anvil.core_speed);
-                compression_s.push(orch.compression_time(&w, &anvil, &cluster, Strategy::Compressed));
-                decompression_s.push(orch.decompression_time(&w, &anvil, &cluster));
+                compression_s.push(orch.compression_time(&w, &anvil, &cluster, Strategy::Compressed, 1));
+                decompression_s.push(orch.decompression_time(&w, &anvil, &cluster, 1));
             }
             AppCurve { app: app.name().to_string(), nodes: nodes.to_vec(), compression_s, decompression_s }
         })

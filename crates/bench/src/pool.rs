@@ -7,7 +7,7 @@ use ocelot_qpred::{extract, FeatureVector, TrainingSample};
 use ocelot_sz::config::LossyConfig;
 use ocelot_sz::cost::CostModel;
 use ocelot_sz::stats::{byte_entropy, QuantBinStats};
-use ocelot_sz::{compress_with_stats, decompress, metrics, Dataset};
+use ocelot_sz::{compress, decompress, metrics, Dataset};
 use serde::Serialize;
 
 /// The paper's eleven error bounds, log-spaced from 1e-6 to 1e-1.
@@ -92,7 +92,7 @@ pub fn measure_point_set(
         .map(|&eb| {
             let config = LossyConfig::sz3(eb);
             let features = extract(data, &config, SAMPLE_STRIDE);
-            let outcome = compress_with_stats(data, &config).expect("experiment compression succeeds");
+            let outcome = compress(data, &config).expect("experiment compression succeeds");
             let restored = decompress::<f32>(&outcome.blob).expect("experiment decompression succeeds");
             let quality = metrics::compare(data, &restored).expect("shapes match");
             let cost = CostModel::for_predictor(config.predictor);

@@ -3,7 +3,7 @@
 //! threads: each worker repeatedly claims the next file and compresses or
 //! decompresses it with the real codec.
 
-use ocelot_sz::{compress_with_stats, decompress, CompressedBlob, CompressionOutcome, Dataset, LossyConfig, SzError};
+use ocelot_sz::{compress, decompress_with_threads, CompressedBlob, CompressionOutcome, Dataset, LossyConfig, SzError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -11,21 +11,41 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelExecutor {
     threads: usize,
+    codec_threads: usize,
 }
 
 impl ParallelExecutor {
-    /// Creates an executor with `threads` workers.
+    /// Creates an executor with `threads` workers, each compressing one file
+    /// at a time on a single codec thread.
     ///
     /// # Panics
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "at least one worker thread");
-        ParallelExecutor { threads }
+        ParallelExecutor { threads, codec_threads: 1 }
     }
 
-    /// Number of worker threads.
+    /// Sets how many chunk-parallel codec threads each file-level worker
+    /// drives (total concurrency is `threads × codec_threads`). This is the
+    /// knob the orchestrator's simulated `codec_threads` option mirrors, so
+    /// simulated lane counts and real wall-clock compression threads agree.
+    ///
+    /// # Panics
+    /// Panics if `codec_threads == 0`.
+    pub fn with_codec_threads(mut self, codec_threads: usize) -> Self {
+        assert!(codec_threads > 0, "at least one codec thread");
+        self.codec_threads = codec_threads;
+        self
+    }
+
+    /// Number of file-level worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Chunk-parallel codec threads per file.
+    pub fn codec_threads(&self) -> usize {
+        self.codec_threads
     }
 
     /// Compresses every dataset, preserving order. Each file is handled by
@@ -48,15 +68,17 @@ impl ParallelExecutor {
         files: &[Dataset<f32>],
         config: &LossyConfig,
     ) -> Result<Vec<CompressionOutcome>, SzError> {
-        self.run(files.len(), |i| compress_with_stats(&files[i], config))
+        let config = config.with_threads(self.codec_threads);
+        self.run(files.len(), |i| compress(&files[i], &config))
     }
 
-    /// Decompresses every blob, preserving order.
+    /// Decompresses every blob, preserving order. Each blob's chunks are
+    /// decoded on the executor's codec threads.
     ///
     /// # Errors
     /// Returns the first decompression error encountered.
     pub fn decompress_all(&self, blobs: &[CompressedBlob]) -> Result<Vec<Dataset<f32>>, SzError> {
-        self.run(blobs.len(), |i| decompress::<f32>(&blobs[i]))
+        self.run(blobs.len(), |i| decompress_with_threads::<f32>(&blobs[i], self.codec_threads))
     }
 
     /// Generic indexed parallel map with first-error propagation.
@@ -128,6 +150,23 @@ mod tests {
         let parallel = ParallelExecutor::new(3).compress_all(&data, &cfg).unwrap();
         let serial = ParallelExecutor::new(1).compress_all(&data, &cfg).unwrap();
         assert_eq!(parallel, serial, "compression must be deterministic regardless of thread count");
+    }
+
+    #[test]
+    fn codec_threads_round_trip_and_stay_deterministic() {
+        let data = files(6);
+        // Pinning chunk_points keeps the chunk layout — and therefore the
+        // blobs — identical whatever the codec thread count.
+        let cfg = LossyConfig::sz3_abs(1e-3).with_chunk_points(Some(128));
+        let serial = ParallelExecutor::new(2).compress_all(&data, &cfg).unwrap();
+        let chunked = ParallelExecutor::new(2).with_codec_threads(4).compress_all(&data, &cfg).unwrap();
+        assert_eq!(serial, chunked, "pinned chunk layout makes blobs thread-count independent");
+        let ex = ParallelExecutor::new(2).with_codec_threads(4);
+        assert_eq!(ex.codec_threads(), 4);
+        let back = ex.decompress_all(&chunked).unwrap();
+        for (orig, rec) in data.iter().zip(&back) {
+            assert!(metrics::compare(orig, rec).unwrap().within_bound(1e-3));
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use analysis::{summarize_field, FieldSummary, RunLog};
 pub use executor::ParallelExecutor;
 pub use grouping::{group_blobs, plan_groups, ungroup_blobs, GroupManifest};
 pub use orchestrator::{Orchestrator, PipelineOptions, PipelineOutcome, Strategy};
-pub use planner::{TransferPlan, TransferPlanner};
+pub use planner::{select_codec, CodecChoice, TransferPlan, TransferPlanner};
 pub use predictor::{AutoConfigurator, Requirement};
 pub use report::{ExperimentRecord, TimeBreakdown};
 pub use session::{ArchiveSet, TransferSession};

@@ -73,6 +73,13 @@ pub struct PipelineOptions {
     /// Job id attached to recorded spans and trace events (`None` for
     /// jobless runs such as sweeps and profiling).
     pub job: Option<u64>,
+    /// Chunk-parallel codec threads per file (the compressor's
+    /// `LossyConfig::threads` knob). Each simulated compression lane then
+    /// occupies `codec_threads` cores: per-file latency drops near-linearly
+    /// while the number of concurrent lanes shrinks by the same factor, so
+    /// the simulation agrees with what `ParallelExecutor::with_codec_threads`
+    /// does on real hardware.
+    pub codec_threads: usize,
 }
 
 impl Default for PipelineOptions {
@@ -90,8 +97,28 @@ impl Default for PipelineOptions {
             faults: FaultModel::none(),
             seed: 0,
             job: None,
+            codec_threads: 1,
         }
     }
+}
+
+/// Chunk-parallel speedup model: near-linear with a small serial fraction
+/// (chunk table assembly, framing, and the final checksum do not
+/// parallelize). Matches the CI-gated scaling of the real codec.
+fn codec_speedup(threads: usize) -> f64 {
+    let t = threads.max(1) as f64;
+    t / (1.0 + CODEC_SERIAL_FRACTION * (t - 1.0))
+}
+
+/// Serial fraction of a chunk-parallel (de)compression task.
+const CODEC_SERIAL_FRACTION: f64 = 0.03;
+
+/// Scales per-file work by the codec speedup and returns the lane count
+/// (cores ÷ threads-per-file) those files run on.
+fn codec_scaled(work: &[f64], total_cores: usize, codec_threads: usize) -> (Vec<f64>, usize) {
+    let t = codec_threads.max(1);
+    let scaled = work.iter().map(|w| w / codec_speedup(t)).collect();
+    (scaled, (total_cores / t).max(1))
 }
 
 /// Everything one [`Orchestrator::run_detailed`] call produced: the phase
@@ -278,7 +305,7 @@ impl Orchestrator {
                 }
 
                 let comp_cluster = Cluster::new(opts.compress_nodes, src.cores_per_node, src.core_speed);
-                let compression_s = self.compression_time(workload, src, &comp_cluster, strategy);
+                let compression_s = self.compression_time(workload, src, &comp_cluster, strategy, opts.codec_threads);
 
                 // Transfer sizes depend on grouping.
                 let comp_sizes = workload.compressed_sizes();
@@ -304,7 +331,7 @@ impl Orchestrator {
 
                 let dcores = opts.decompress_cores_per_node.unwrap_or(dst.cores_per_node).min(dst.cores_per_node);
                 let decomp_cluster = Cluster::new(opts.decompress_nodes, dcores, dst.core_speed);
-                let decompression_s = self.decompression_time(workload, dst, &decomp_cluster);
+                let decompression_s = self.decompression_time(workload, dst, &decomp_cluster, opts.codec_threads);
 
                 let outcome = PipelineOutcome {
                     breakdown: TimeBreakdown {
@@ -359,8 +386,8 @@ impl Orchestrator {
         let wait_s = opts.wait_model.sample(opts.seed, 0);
 
         let comp_cluster = Cluster::new(opts.compress_nodes, src.cores_per_node, src.core_speed);
-        let work = workload.compression_work();
-        let completions = comp_cluster.completion_times(&work, comp_cluster.total_cores());
+        let (work, lanes) = codec_scaled(&workload.compression_work(), comp_cluster.total_cores(), opts.codec_threads);
+        let completions = comp_cluster.completion_times(&work, lanes);
         // Source reads throttle the start of the pipeline; approximate by
         // shifting every release by the per-file share of read time.
         let read_s = src.fs.read_time_s(workload.total_bytes(), comp_cluster.total_cores());
@@ -385,11 +412,11 @@ impl Orchestrator {
 
         let dcores = opts.decompress_cores_per_node.unwrap_or(dst.cores_per_node).min(dst.cores_per_node);
         let decomp_cluster = Cluster::new(opts.decompress_nodes, dcores, dst.core_speed);
-        let decompression_s = self.decompression_time(workload, dst, &decomp_cluster);
+        let decompression_s = self.decompression_time(workload, dst, &decomp_cluster, opts.codec_threads);
 
         let breakdown = TimeBreakdown {
             queue_wait_s: wait_s,
-            compression_s: comp_cluster.full_makespan(&work),
+            compression_s: comp_cluster.parallel_makespan(&work, lanes),
             grouping_s: 0.0,
             transfer_s: report.duration_s,
             decompression_s,
@@ -445,16 +472,18 @@ impl Orchestrator {
     }
 
     /// Compression phase: compute makespan overlapped with source reads,
-    /// plus writing the compressed output.
+    /// plus writing the compressed output. Each file runs on
+    /// `codec_threads` chunk-parallel cores (one simulated lane).
     pub fn compression_time(
         &self,
         workload: &Workload,
         src: &ocelot_netsim::Site,
         cluster: &Cluster,
         strategy: Strategy,
+        codec_threads: usize,
     ) -> f64 {
-        let work = workload.compression_work();
-        let makespan = cluster.full_makespan(&work);
+        let (work, lanes) = codec_scaled(&workload.compression_work(), cluster.total_cores(), codec_threads);
+        let makespan = cluster.parallel_makespan(&work, lanes);
         let read = src.fs.read_time_s(workload.total_bytes(), cluster.total_cores());
         let comp_total: u64 = workload.compressed_sizes().iter().sum();
         let writers = match strategy {
@@ -465,10 +494,17 @@ impl Orchestrator {
     }
 
     /// Decompression phase: compute makespan overlapped with compressed-file
-    /// reads, plus the contended write of the restored data (Fig 9).
-    pub fn decompression_time(&self, workload: &Workload, dst: &ocelot_netsim::Site, cluster: &Cluster) -> f64 {
-        let work = workload.decompression_work();
-        let makespan = cluster.full_makespan(&work);
+    /// reads, plus the contended write of the restored data (Fig 9). Chunked
+    /// blobs decode on `codec_threads` cores per file.
+    pub fn decompression_time(
+        &self,
+        workload: &Workload,
+        dst: &ocelot_netsim::Site,
+        cluster: &Cluster,
+        codec_threads: usize,
+    ) -> f64 {
+        let (work, lanes) = codec_scaled(&workload.decompression_work(), cluster.total_cores(), codec_threads);
+        let makespan = cluster.parallel_makespan(&work, lanes);
         let comp_total: u64 = workload.compressed_sizes().iter().sum();
         let read = dst.fs.read_time_s(comp_total, cluster.total_cores());
         makespan.max(read) + dst.fs.write_time_s(workload.total_bytes(), cluster.total_cores())
@@ -613,6 +649,57 @@ mod tests {
             assert_eq!(outcome.transfer_retries, 0);
             assert_eq!(outcome.wasted_bytes, 0);
         }
+    }
+
+    #[test]
+    fn codec_threads_shrink_the_compute_phases() {
+        // Compression at Anvil (16 × 128 cores > 768 files) is latency-bound:
+        // per-file codec threads cut the makespan. Decompression at Bebop
+        // (8 × 32 cores < 768 files) is throughput-bound, so threading files
+        // there can only cost the Amdahl serial fraction — never more.
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let serial = PipelineOptions::default();
+        let chunked = PipelineOptions { codec_threads: 4, ..Default::default() };
+        let s = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &serial);
+        let c = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &chunked);
+        assert!(c.compression_s < s.compression_s, "chunked {} vs serial {}", c.compression_s, s.compression_s);
+        let overhead = 4.0 / codec_speedup(4); // 1 + serial_fraction * 3
+        assert!(
+            c.decompression_s <= s.decompression_s * overhead + 1e-9,
+            "saturated decompression {} vs serial {} (allowed x{overhead:.3})",
+            c.decompression_s,
+            s.decompression_s
+        );
+        // Transfer is unaffected: the same compressed bytes cross the WAN.
+        assert_eq!(c.transfer_s, s.transfer_s);
+        assert_eq!(c.bytes_transferred, s.bytes_transferred);
+
+        // Give the destination enough lanes (64 × 36 cores > 768 files) and
+        // decompression becomes latency-bound too: codec threads now help.
+        let wide = |codec_threads| PipelineOptions {
+            decompress_nodes: 64,
+            decompress_cores_per_node: None,
+            codec_threads,
+            ..Default::default()
+        };
+        let ws = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &wide(1));
+        let wc = orch.run(&w, SiteId::Anvil, SiteId::Bebop, Strategy::Compressed, &wide(4));
+        assert!(
+            wc.decompression_s < ws.decompression_s,
+            "wide chunked {} vs serial {}",
+            wc.decompression_s,
+            ws.decompression_s
+        );
+    }
+
+    #[test]
+    fn codec_speedup_is_near_linear_but_sublinear() {
+        assert_eq!(codec_speedup(1), 1.0);
+        let s4 = codec_speedup(4);
+        let s8 = codec_speedup(8);
+        assert!(s4 > 3.0 && s4 < 4.0, "4-thread speedup {s4}");
+        assert!(s8 > s4 && s8 < 8.0, "8-thread speedup {s8}");
     }
 
     #[test]

@@ -71,6 +71,17 @@ impl TransferSession {
         TransferSession { executor: ParallelExecutor::new(threads), config }
     }
 
+    /// Sets the chunk-parallel codec thread count used inside each file's
+    /// compression/decompression (independent of the per-file worker pool).
+    ///
+    /// # Panics
+    /// Panics if `codec_threads == 0`.
+    #[must_use]
+    pub fn with_codec_threads(mut self, codec_threads: usize) -> Self {
+        self.executor = self.executor.with_codec_threads(codec_threads);
+        self
+    }
+
     /// The compression configuration in effect.
     pub fn config(&self) -> &LossyConfig {
         &self.config

@@ -45,7 +45,7 @@ impl TemporalCompressor {
         let cfg = self.config.with_error_bound(ErrorBound::Abs(abs_eb));
         match &self.prev_recon {
             None => {
-                let blob = compress(frame, &cfg)?;
+                let blob = compress(frame, &cfg)?.blob;
                 self.prev_recon = Some(decompress::<f32>(&blob)?);
                 Ok(tag(MODE_KEY, blob))
             }
@@ -59,7 +59,7 @@ impl TemporalCompressor {
                 }
                 let delta: Vec<f32> = frame.values().iter().zip(prev.values()).map(|(&c, &p)| c - p).collect();
                 let delta = Dataset::new(frame.dims().to_vec(), delta)?;
-                let blob = compress(&delta, &cfg)?;
+                let blob = compress(&delta, &cfg)?.blob;
                 let delta_recon = decompress::<f32>(&blob)?;
                 let recon: Vec<f32> = prev.values().iter().zip(delta_recon.values()).map(|(&p, &d)| p + d).collect();
                 self.prev_recon = Some(Dataset::new(frame.dims().to_vec(), recon)?);
@@ -156,7 +156,7 @@ mod tests {
         let frames = series(0.95);
         let cfg = LossyConfig::sz3_abs(1e-3 * frames[0].value_range());
         // Spatial: each frame independently.
-        let spatial: usize = frames.iter().map(|f| compress(f, &cfg).unwrap().len()).sum();
+        let spatial: usize = frames.iter().map(|f| compress(f, &cfg).unwrap().blob.len()).sum();
         // Temporal: key + deltas.
         let mut comp = TemporalCompressor::new(cfg);
         let temporal: usize = frames.iter().map(|f| comp.compress_next(f).unwrap().len()).sum();
@@ -167,7 +167,7 @@ mod tests {
     fn uncorrelated_streams_gain_little() {
         let frames = series(0.0);
         let cfg = LossyConfig::sz3_abs(1e-3 * frames[0].value_range());
-        let spatial: usize = frames.iter().map(|f| compress(f, &cfg).unwrap().len()).sum();
+        let spatial: usize = frames.iter().map(|f| compress(f, &cfg).unwrap().blob.len()).sum();
         let mut comp = TemporalCompressor::new(cfg);
         let temporal: usize = frames.iter().map(|f| comp.compress_next(f).unwrap().len()).sum();
         // No big win, and no catastrophic loss either.

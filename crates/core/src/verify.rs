@@ -94,7 +94,7 @@ mod tests {
     #[test]
     fn compressed_data_passes_its_own_bound() {
         let data = field();
-        let blob = compress(&data, &LossyConfig::sz3(1e-3)).unwrap();
+        let blob = compress(&data, &LossyConfig::sz3(1e-3)).unwrap().blob;
         let abs_eb = blob.header().unwrap().abs_eb;
         let restored = decompress::<f32>(&blob).unwrap();
         let v = verify(&data, &restored, &AcceptancePolicy::error_bounded(abs_eb)).unwrap();
@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn violations_are_reported_specifically() {
         let data = field();
-        let blob = compress(&data, &LossyConfig::sz3(1e-1)).unwrap();
+        let blob = compress(&data, &LossyConfig::sz3(1e-1)).unwrap().blob;
         let restored = decompress::<f32>(&blob).unwrap();
         // Demand far more than 1e-1 compression delivers.
         let policy =

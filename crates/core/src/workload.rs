@@ -16,7 +16,7 @@
 use ocelot_datagen::{Application, FieldSpec};
 use ocelot_sz::cost::CostModel;
 use ocelot_sz::stats::QuantBinStats;
-use ocelot_sz::{compress_with_stats, decompress, metrics, LossyConfig, SzError};
+use ocelot_sz::{compress, decompress, metrics, LossyConfig, SzError};
 
 /// Measured compression behaviour of one field at one configuration.
 #[derive(Debug, Clone)]
@@ -213,7 +213,7 @@ fn measure_profiles(
         .iter()
         .map(|&field| {
             let data = FieldSpec::new(app, field).with_scale(profile_scale).generate();
-            let outcome = compress_with_stats(&data, &config)?;
+            let outcome = compress(&data, &config)?;
             let restored = decompress::<f32>(&outcome.blob)?;
             let quality = metrics::compare(&data, &restored)?;
             Ok(CompressionProfile {

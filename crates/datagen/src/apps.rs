@@ -460,8 +460,8 @@ mod tests {
         let smooth = FieldSpec::new(Application::Cesm, "TROP_Z").with_scale(16).generate();
         let rough = FieldSpec::new(Application::Cesm, "CLDHGH").with_scale(16).generate();
         let cfg = ocelot_sz::LossyConfig::sz3(1e-3);
-        let rs = ocelot_sz::compress_with_stats(&smooth, &cfg).unwrap().ratio;
-        let rr = ocelot_sz::compress_with_stats(&rough, &cfg).unwrap().ratio;
+        let rs = ocelot_sz::compress(&smooth, &cfg).unwrap().ratio;
+        let rr = ocelot_sz::compress(&rough, &cfg).unwrap().ratio;
         assert!(rs > rr, "smooth {rs} vs rough {rr}");
     }
 }

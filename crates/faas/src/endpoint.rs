@@ -43,6 +43,27 @@ impl FaasInvocation {
     }
 }
 
+/// Execution timing of one compression chunk inside a chunked invocation,
+/// relative to the start of function execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkTiming {
+    /// Chunk index within the file (container chunk-table order).
+    pub chunk: usize,
+    /// Codec thread (lane) the chunk ran on.
+    pub lane: usize,
+    /// Seconds after execution start at which the chunk began.
+    pub start_s: f64,
+    /// Chunk execution time, seconds.
+    pub exec_s: f64,
+}
+
+impl ChunkTiming {
+    /// Seconds after execution start at which the chunk finished.
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.exec_s
+    }
+}
+
 impl FaasEndpoint {
     /// Creates an endpoint with FuncX-calibrated overheads (dispatch ≈ 90 ms,
     /// cold container ≈ 5 s, warm ≈ 30 ms).
@@ -89,6 +110,41 @@ impl FaasEndpoint {
         inv
     }
 
+    /// Invokes a chunk-parallel compression function: `chunk_exec_s[i]` is
+    /// the single-thread execution time of chunk `i`, run on `codec_threads`
+    /// worker lanes. Chunks are claimed in container order by the first free
+    /// lane — the same work-stealing order the real engine uses — so the
+    /// reported makespan and per-chunk start offsets match what a wall-clock
+    /// profile of the chunked codec would show.
+    ///
+    /// Returns the batched invocation (exec = chunk makespan) plus the
+    /// per-chunk timing table, and records each chunk's execution time in the
+    /// `ocelot_faas_chunk_exec_seconds` histogram.
+    ///
+    /// # Panics
+    /// Panics if `codec_threads == 0`.
+    pub fn invoke_chunked(
+        &mut self,
+        chunk_exec_s: &[f64],
+        codec_threads: usize,
+        needs_nodes: bool,
+    ) -> (FaasInvocation, Vec<ChunkTiming>) {
+        assert!(codec_threads > 0, "codec_threads must be >= 1");
+        let obs = ocelot_obs::global();
+        let mut lanes = vec![0.0_f64; codec_threads.min(chunk_exec_s.len().max(1))];
+        let mut timings = Vec::with_capacity(chunk_exec_s.len());
+        for (chunk, &exec) in chunk_exec_s.iter().enumerate() {
+            let exec = exec.max(0.0);
+            let (lane, start) =
+                lanes.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, &t)| (i, t)).expect("lanes");
+            timings.push(ChunkTiming { chunk, lane, start_s: start, exec_s: exec });
+            lanes[lane] = start + exec;
+            obs.observe("ocelot_faas_chunk_exec_seconds", "Per-chunk codec execution time", exec);
+        }
+        let makespan = lanes.iter().fold(0.0_f64, |a, &b| a.max(b));
+        (self.invoke_batch(chunk_exec_s.len().max(1), makespan, needs_nodes), timings)
+    }
+
     /// Number of invocations served.
     pub fn invocation_count(&self) -> u64 {
         self.invocations
@@ -132,6 +188,38 @@ mod tests {
         let mut b = FaasEndpoint::new("x", WaitTimeModel::Immediate, 1);
         let unbatched: f64 = (0..100).map(|_| b.invoke(0.1, false).total_s()).sum();
         assert!(batched < unbatched, "batched={batched} unbatched={unbatched}");
+    }
+
+    #[test]
+    fn chunked_invocation_reports_per_chunk_timings() {
+        let mut ep = FaasEndpoint::new("anvil", WaitTimeModel::Immediate, 1);
+        ep.invoke(0.0, false); // warm the container
+        let work = [4.0, 1.0, 1.0, 1.0, 1.0];
+        let (serial, t1) = ep.invoke_chunked(&work, 1, false);
+        let (parallel, t4) = ep.invoke_chunked(&work, 4, false);
+        assert_eq!(t1.len(), work.len());
+        assert_eq!(t4.len(), work.len());
+        // Serial: chunks run back to back on lane 0.
+        assert!((serial.exec_s - 8.0).abs() < 1e-12);
+        assert!(t1.iter().all(|t| t.lane == 0));
+        assert!((t1[4].start_s - 7.0).abs() < 1e-12);
+        // 4 lanes: the long chunk bounds the makespan; others pack around it.
+        assert!((parallel.exec_s - 4.0).abs() < 1e-12, "exec {}", parallel.exec_s);
+        assert_eq!(t4[0].lane, 0);
+        assert!(t4[4].start_s < 4.0);
+        assert!((t4.iter().map(ChunkTiming::end_s).fold(0.0_f64, f64::max) - parallel.exec_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_invocation_handles_edge_shapes() {
+        let mut ep = FaasEndpoint::new("anvil", WaitTimeModel::Immediate, 1);
+        let (inv, timings) = ep.invoke_chunked(&[], 4, false);
+        assert!(timings.is_empty());
+        assert_eq!(inv.exec_s, 0.0);
+        // More lanes than chunks: each chunk starts at 0 on its own lane.
+        let (inv, timings) = ep.invoke_chunked(&[2.0, 3.0], 8, false);
+        assert!((inv.exec_s - 3.0).abs() < 1e-12);
+        assert!(timings.iter().all(|t| t.start_s == 0.0));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use ocelot_sz::config::LossyConfig;
 use ocelot_sz::cost::CostModel;
-use ocelot_sz::{compress_with_stats, decompress, metrics, Dataset, ScalarValue, SzError};
+use ocelot_sz::{compress, decompress, metrics, Dataset, ScalarValue, SzError};
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::{feature_matrix, target_column};
@@ -41,7 +41,7 @@ impl TrainingSample {
         n_points_override: Option<usize>,
     ) -> Result<Self, SzError> {
         let features = extract(data, config, sample_stride);
-        let outcome = compress_with_stats(data, config)?;
+        let outcome = compress(data, config)?;
         let restored = decompress::<T>(&outcome.blob)?;
         let quality = metrics::compare(data, &restored)?;
         let n_points = n_points_override.unwrap_or_else(|| data.len());

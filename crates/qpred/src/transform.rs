@@ -12,7 +12,7 @@
 use ocelot_sz::sample::sample_grid;
 use ocelot_sz::stats::{byte_entropy, value_stats};
 use ocelot_sz::zfp;
-use ocelot_sz::{Dataset, ScalarValue, SzError};
+use ocelot_sz::{Codec, CodecConfig, Dataset, ScalarValue, SzError, ZfpCodec};
 use serde::{Deserialize, Serialize};
 
 use crate::tree::{DecisionTree, TreeConfig};
@@ -78,8 +78,9 @@ pub fn measure_transform_sample<T: ScalarValue>(
     block_stride: usize,
 ) -> Result<TransformSample, SzError> {
     let features = extract_transform_features(data, abs_eb, block_stride)?;
-    let blob = zfp::compress(data, abs_eb)?;
-    Ok(TransformSample { features, ratio: data.nbytes() as f64 / blob.len() as f64 })
+    let config = CodecConfig::zfp_abs(abs_eb);
+    let outcome = ZfpCodec.compress(data, &config)?;
+    Ok(TransformSample { features, ratio: outcome.ratio })
 }
 
 /// A trained ratio model for the transform codec.

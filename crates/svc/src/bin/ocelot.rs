@@ -26,7 +26,7 @@ use ocelot_obs::slo::{Severity, SloKind, SloRule};
 use ocelot_obs::{info, warn};
 use ocelot_svc::{FlightDump, JobId, JobSpec, JobState, RetryPolicy, Service, ServiceConfig};
 use ocelot_sz::config::{LosslessBackend, PredictorKind};
-use ocelot_sz::{compress_with_stats, decompress, metrics, Dataset, ErrorBound, LossyConfig};
+use ocelot_sz::{compress, decompress, metrics, Dataset, ErrorBound, LossyConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -82,15 +82,15 @@ fn usage() {
          \n\
          commands:\n\
          \x20 gen        --app A --field F [--scale N] [--seed S] -o FILE     generate synthetic data\n\
-         \x20 compress   FILE [--dims DxHxW] [--eb E] [--abs] [--predictor P] [--backend B] -o OUT\n\
-         \x20 decompress FILE -o OUT\n\
+         \x20 compress   FILE [--dims DxHxW] [--eb E] [--abs] [--predictor P] [--backend B] [--codec-threads N] -o OUT\n\
+         \x20 decompress FILE [--codec-threads N] -o OUT\n\
          \x20 inspect    FILE\n\
          \x20 sweep      FILE [--dims DxHxW] [--ebs E1,E2,...]                 measure ratio/PSNR per bound\n\
          \x20 verify     ORIGINAL RESTORED [--dims DxHxW] [--eb E] [--min-psnr P]  acceptance check\n\
          \x20 simulate   --app A --from SITE --to SITE [--strategy np|cp|op] [--groups N]\n\
          \x20 plan       --app A --from SITE --to SITE                         tuned transfer plan\n\
          \x20 submit     --app A --from SITE --to SITE [--eb E] [--strategy S] [--tenant T] [--fail P]\n\
-         \x20 serve      --jobs N --tenants T1,T2,... [--apps A1,A2] [--workers W] [--fail P] [--seed S]\n\
+         \x20 serve      --jobs N --tenants T1,T2,... [--apps A1,A2] [--workers W] [--codec-threads N] [--fail P] [--seed S]\n\
          \x20 metrics    [serve flags] [--json] [-o FILE]       run a batch, export Prometheus text or JSON\n\
          \x20 trace      [JOB] [serve flags] [-o FILE]          run a batch, export Chrome trace_event JSON\n\
          \x20 analyze    [serve flags] [--json] [-o FILE]       run a batch, report critical-path bottlenecks\n\
@@ -154,6 +154,16 @@ fn parse_site(s: &str) -> Result<SiteId, CliError> {
         .into_iter()
         .find(|site| site.name().eq_ignore_ascii_case(s))
         .ok_or_else(|| format!("unknown site '{s}' (anvil|cori|bebop)").into())
+}
+
+/// The `--codec-threads` flag: chunk-parallel threads inside each file's
+/// compression/decompression (default 1, i.e. serial codec).
+fn parse_codec_threads(flags: &HashMap<String, String>) -> Result<usize, CliError> {
+    let threads: usize = flags.get("codec-threads").map(|s| s.parse()).transpose()?.unwrap_or(1);
+    if threads == 0 {
+        return Err("--codec-threads must be >= 1".into());
+    }
+    Ok(threads)
 }
 
 fn parse_config(flags: &HashMap<String, String>) -> Result<LossyConfig, CliError> {
@@ -225,7 +235,7 @@ fn cmd_compress(positional: &[String], flags: &HashMap<String, String>) -> Resul
     let cfg = parse_config(flags)?;
     let variables = load_input(input, flags)?;
     let threads: usize = flags.get("threads").map(|s| s.parse()).transpose()?.unwrap_or(4);
-    let session = TransferSession::new(threads, cfg);
+    let session = TransferSession::new(threads, cfg).with_codec_threads(parse_codec_threads(flags)?);
     let set = session.build_archives(&variables, 1)?;
     std::fs::write(out, &set.archives()[0])?;
     println!(
@@ -242,7 +252,8 @@ fn cmd_decompress(positional: &[String], flags: &HashMap<String, String>) -> Res
     let input = positional.first().ok_or("missing input file")?;
     let out = out_flag(flags)?;
     let threads: usize = flags.get("threads").map(|s| s.parse()).transpose()?.unwrap_or(4);
-    let session = TransferSession::new(threads, LossyConfig::sz3(1e-3)); // config is embedded per blob
+    // config is embedded per blob
+    let session = TransferSession::new(threads, LossyConfig::sz3(1e-3)).with_codec_threads(parse_codec_threads(flags)?);
     let restored = session.restore_archives(std::slice::from_ref(&std::fs::read(input)?))?;
     if out.ends_with(".ncl") || restored.len() > 1 {
         let mut container = NcliteFile::new();
@@ -289,7 +300,7 @@ fn cmd_sweep(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     for (name, data) in &variables {
         for &eb in &ebs {
             let cfg = LossyConfig::sz3(eb);
-            let outcome = compress_with_stats(data, &cfg)?;
+            let outcome = compress(data, &cfg)?;
             let restored = decompress::<f32>(&outcome.blob)?;
             let q = metrics::compare(data, &restored)?;
             println!(
@@ -431,6 +442,7 @@ fn parse_service_config(flags: &HashMap<String, String>) -> Result<ServiceConfig
     if let Some(s) = flags.get("profile-scale") {
         cfg.profile_scale = s.parse()?;
     }
+    cfg.codec_threads = parse_codec_threads(flags)?;
     // SLO rules evaluated on the simulated clock after every finished job.
     // Breaches land typed alerts in the journal and snap flight dumps.
     if let Some(s) = flags.get("slo-p99") {

@@ -69,6 +69,9 @@ pub struct ServiceConfig {
     pub artifact_dir: Option<PathBuf>,
     /// Flight-ring capacity when the service builds its own obs handle.
     pub flight_capacity: usize,
+    /// Chunk-parallel codec threads per file in every job's compression and
+    /// decompression phases (the CLI's `--codec-threads` flag).
+    pub codec_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -86,6 +89,7 @@ impl Default for ServiceConfig {
             slo: Vec::new(),
             artifact_dir: None,
             flight_capacity: ocelot_obs::flight::DEFAULT_CAPACITY,
+            codec_threads: 1,
         }
     }
 }
@@ -546,6 +550,7 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
         faults: single_try,
         seed: job_seed,
         job: Some(id.0),
+        codec_threads: cfg.codec_threads.max(1),
         ..PipelineOptions::default()
     };
     let outcome = shared.orchestrator.run_detailed(&workload, spec.from, spec.to, spec.strategy, &opts);

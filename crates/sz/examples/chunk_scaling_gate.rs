@@ -1,0 +1,58 @@
+//! CI gate for chunk-parallel codec scaling: compresses a large synthetic
+//! field serially and with 4 codec threads, and exits nonzero if the
+//! 4-thread run is not faster. Run with `--release`; debug-build timings
+//! are too noisy to gate on.
+//!
+//! ```text
+//! cargo run --release -p ocelot-sz --example chunk_scaling_gate
+//! ```
+
+use ocelot_sz::{compress, decompress_with_threads, Dataset, LossyConfig};
+use std::time::Instant;
+
+fn field() -> Dataset<f32> {
+    // Smooth + oscillatory mix, large enough (~64 MB) that per-chunk work
+    // dwarfs thread startup.
+    Dataset::from_fn(vec![256, 256, 256], |i| {
+        let (x, y, z) = (i[0] as f32, i[1] as f32, i[2] as f32);
+        (x * 0.031).sin() * (y * 0.017).cos() + (z * 0.011).sin() * 0.5 + (x + y + z) * 1e-4
+    })
+}
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    if cores < 2 {
+        println!("only {cores} core(s) available — chunk scaling cannot manifest, skipping gate");
+        return Ok(());
+    }
+    let data = field();
+    let serial_cfg = LossyConfig::builder().rel(1e-3).threads(1).build()?;
+    let parallel_cfg = serial_cfg.with_threads(4);
+
+    let t1 = best_of(3, || compress(&data, &serial_cfg).expect("serial compression"));
+    let t4 = best_of(3, || compress(&data, &parallel_cfg).expect("4-thread compression"));
+    let blob = compress(&data, &parallel_cfg)?.blob;
+    let d1 = best_of(3, || decompress_with_threads::<f32>(&blob, 1).expect("serial decode"));
+    let d4 = best_of(3, || decompress_with_threads::<f32>(&blob, 4).expect("4-thread decode"));
+
+    println!("compress:   serial {t1:.3}s, 4-thread {t4:.3}s ({:.2}x)", t1 / t4);
+    println!("decompress: serial {d1:.3}s, 4-thread {d4:.3}s ({:.2}x)", d1 / d4);
+
+    if t4 >= t1 {
+        return Err(format!("4-thread compression ({t4:.3}s) not faster than serial ({t1:.3}s)").into());
+    }
+    if d4 >= d1 {
+        return Err(format!("4-thread decompression ({d4:.3}s) not faster than serial ({d1:.3}s)").into());
+    }
+    Ok(())
+}

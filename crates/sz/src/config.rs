@@ -147,19 +147,22 @@ impl std::fmt::Display for LosslessBackend {
 
 /// Complete configuration of a prediction-based compression pipeline.
 ///
-/// Construct with one of the presets ([`LossyConfig::sz3`],
-/// [`LossyConfig::sz2`], [`LossyConfig::lorenzo`]) or customize fields via
-/// the builder-style `with_*` methods.
+/// Construct with [`LossyConfig::builder`], one of the presets
+/// ([`LossyConfig::sz3`], [`LossyConfig::sz2`], [`LossyConfig::lorenzo`]),
+/// or customize fields via the builder-style `with_*` methods.
 ///
 /// ```
-/// use ocelot_sz::config::{ErrorBound, LosslessBackend, LossyConfig, PredictorKind};
+/// use ocelot_sz::config::{LosslessBackend, LossyConfig, PredictorKind};
 ///
-/// let cfg = LossyConfig::sz3(1e-4)
-///     .with_predictor(PredictorKind::Lorenzo2)
-///     .with_backend(LosslessBackend::RleHuffman)
-///     .with_error_bound(ErrorBound::Abs(0.01));
-/// assert!(cfg.validate().is_ok());
+/// let cfg = LossyConfig::builder()
+///     .abs(1e-3)
+///     .predictor(PredictorKind::Lorenzo2)
+///     .backend(LosslessBackend::RleHuffman)
+///     .threads(4)
+///     .build()
+///     .unwrap();
 /// assert_eq!(cfg.predictor.name(), "lorenzo2");
+/// assert_eq!(cfg.threads, 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LossyConfig {
@@ -172,6 +175,14 @@ pub struct LossyConfig {
     /// Quantizer radius: bins span `[-radius, radius)`; values outside are
     /// stored verbatim. SZ's default corresponds to 2^15.
     pub quant_radius: u32,
+    /// Worker threads for chunk-parallel compression. `1` (the default)
+    /// compresses the dataset as a single chunk, reproducing the serial
+    /// pipeline's stream.
+    pub threads: usize,
+    /// Target points per chunk. `None` derives the chunk size from
+    /// `threads` (two slabs per worker); an explicit value pins the chunk
+    /// layout — and therefore the output bytes — independent of `threads`.
+    pub chunk_points: Option<usize>,
 }
 
 impl LossyConfig {
@@ -182,6 +193,8 @@ impl LossyConfig {
             predictor: PredictorKind::InterpCubic,
             backend: LosslessBackend::HuffmanLz,
             quant_radius: 1 << 15,
+            threads: 1,
+            chunk_points: None,
         }
     }
 
@@ -192,12 +205,7 @@ impl LossyConfig {
 
     /// SZ2 preset (block regression/Lorenzo hybrid + Huffman + LZ).
     pub fn sz2(rel_eb: f64) -> Self {
-        LossyConfig {
-            error_bound: ErrorBound::Rel(rel_eb),
-            predictor: PredictorKind::Regression,
-            backend: LosslessBackend::HuffmanLz,
-            quant_radius: 1 << 15,
-        }
+        LossyConfig { error_bound: ErrorBound::Rel(rel_eb), predictor: PredictorKind::Regression, ..Self::sz3(0.0) }
     }
 
     /// Pure Lorenzo preset (SZ1.4-style pipeline).
@@ -206,8 +214,13 @@ impl LossyConfig {
             error_bound: ErrorBound::Rel(rel_eb),
             predictor: PredictorKind::Lorenzo,
             backend: LosslessBackend::Huffman,
-            quant_radius: 1 << 15,
+            ..Self::sz3(0.0)
         }
+    }
+
+    /// Starts a builder with the SZ3 pipeline shape and no error bound set.
+    pub fn builder() -> LossyConfigBuilder {
+        LossyConfigBuilder { config: Self::sz3(0.0), bound_set: false }
     }
 
     /// Replaces the error bound.
@@ -234,13 +247,33 @@ impl LossyConfig {
         self
     }
 
+    /// Replaces the worker-thread count for chunk-parallel compression.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Replaces the target points-per-chunk (`None` derives it from
+    /// `threads`).
+    pub fn with_chunk_points(mut self, points: Option<usize>) -> Self {
+        self.chunk_points = points;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
-    /// Returns [`SzError::InvalidConfig`] if the error bound is non-positive
-    /// or the quantizer radius is too small to hold any bin.
+    /// Returns [`SzError::InvalidConfig`] if the error bound is non-positive,
+    /// the quantizer radius is too small to hold any bin, the thread count is
+    /// zero, or an explicit chunk size is zero.
     pub fn validate(&self) -> Result<(), SzError> {
         self.error_bound.validate()?;
+        if self.threads == 0 {
+            return Err(SzError::InvalidConfig("thread count must be at least 1".into()));
+        }
+        if self.chunk_points == Some(0) {
+            return Err(SzError::InvalidConfig("chunk size must be at least 1 point".into()));
+        }
         if self.quant_radius < 2 {
             return Err(SzError::InvalidConfig(format!(
                 "quantizer radius must be at least 2, got {}",
@@ -254,6 +287,93 @@ impl LossyConfig {
             )));
         }
         Ok(())
+    }
+}
+
+/// Step-by-step construction of a [`LossyConfig`], validated at
+/// [`build`](LossyConfigBuilder::build) time.
+///
+/// Unlike the `with_*` methods (which mutate a complete preset), the builder
+/// starts from the SZ3 pipeline shape and *requires* an error bound:
+///
+/// ```
+/// use ocelot_sz::config::LossyConfig;
+///
+/// assert!(LossyConfig::builder().build().is_err(), "no bound set");
+/// let cfg = LossyConfig::builder().rel(1e-4).threads(8).build().unwrap();
+/// assert_eq!(cfg.threads, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossyConfigBuilder {
+    config: LossyConfig,
+    bound_set: bool,
+}
+
+impl LossyConfigBuilder {
+    /// Sets an absolute pointwise error bound.
+    pub fn abs(mut self, eb: f64) -> Self {
+        self.config.error_bound = ErrorBound::Abs(eb);
+        self.bound_set = true;
+        self
+    }
+
+    /// Sets a value-range-relative error bound.
+    pub fn rel(mut self, eb: f64) -> Self {
+        self.config.error_bound = ErrorBound::Rel(eb);
+        self.bound_set = true;
+        self
+    }
+
+    /// Sets any [`ErrorBound`] directly.
+    pub fn error_bound(mut self, eb: ErrorBound) -> Self {
+        self.config.error_bound = eb;
+        self.bound_set = true;
+        self
+    }
+
+    /// Selects the decorrelation predictor.
+    pub fn predictor(mut self, p: PredictorKind) -> Self {
+        self.config.predictor = p;
+        self
+    }
+
+    /// Selects the lossless backend.
+    pub fn backend(mut self, b: LosslessBackend) -> Self {
+        self.config.backend = b;
+        self
+    }
+
+    /// Sets the quantizer radius.
+    pub fn quant_radius(mut self, r: u32) -> Self {
+        self.config.quant_radius = r;
+        self
+    }
+
+    /// Sets the chunk-parallel worker count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Pins the chunk layout to roughly `points` data points per chunk.
+    pub fn chunk_points(mut self, points: usize) -> Self {
+        self.config.chunk_points = Some(points);
+        self
+    }
+
+    /// Finishes and validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`SzError::InvalidConfig`] if no error bound was set or any
+    /// field fails [`LossyConfig::validate`].
+    pub fn build(self) -> Result<LossyConfig, SzError> {
+        if !self.bound_set {
+            return Err(SzError::InvalidConfig(
+                "an error bound is required: call .abs(), .rel(), or .error_bound()".into(),
+            ));
+        }
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -314,9 +434,42 @@ mod tests {
 
     #[test]
     fn config_serde_round_trip() {
-        let cfg = LossyConfig::sz3(1e-4);
+        let cfg = LossyConfig::sz3(1e-4).with_threads(4).with_chunk_points(Some(1 << 16));
         let json = serde_json::to_string(&cfg).unwrap();
         let back: LossyConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn builder_requires_an_error_bound() {
+        assert!(matches!(LossyConfig::builder().build(), Err(SzError::InvalidConfig(_))));
+        assert!(LossyConfig::builder().abs(1e-3).build().is_ok());
+    }
+
+    #[test]
+    fn builder_matches_preset_plus_with_methods() {
+        let built = LossyConfig::builder()
+            .abs(1e-3)
+            .predictor(PredictorKind::Regression)
+            .backend(LosslessBackend::Huffman)
+            .quant_radius(1 << 10)
+            .threads(4)
+            .chunk_points(4096)
+            .build()
+            .unwrap();
+        let preset = LossyConfig::sz3_abs(1e-3)
+            .with_predictor(PredictorKind::Regression)
+            .with_backend(LosslessBackend::Huffman)
+            .with_quant_radius(1 << 10)
+            .with_threads(4)
+            .with_chunk_points(Some(4096));
+        assert_eq!(built, preset);
+    }
+
+    #[test]
+    fn validate_rejects_zero_threads_and_zero_chunk() {
+        assert!(LossyConfig::sz3(1e-3).with_threads(0).validate().is_err());
+        assert!(LossyConfig::sz3(1e-3).with_chunk_points(Some(0)).validate().is_err());
+        assert!(LossyConfig::builder().abs(1e-3).threads(0).build().is_err());
     }
 }

@@ -1,0 +1,242 @@
+//! Chunk-parallel execution engine.
+//!
+//! The SZ hot path is embarrassingly block-parallel (SZx): a dataset split
+//! into independent n-d chunks can be compressed and decompressed by a pool
+//! of workers with no cross-chunk state. This module owns the two pieces the
+//! codecs share:
+//!
+//! * [`ChunkLayout`] — the deterministic split of a row-major dataset into
+//!   contiguous slabs along dimension 0 (the slowest-varying axis), so a
+//!   chunk is a plain sub-slice of the value buffer and keeps the dataset's
+//!   rank (predictors see real n-d structure, not a flattened stream).
+//! * `parallel_map` — a bounded scoped worker pool (crossbeam scope +
+//!   atomic work index, the same shape as `ocelot`'s file-level executor)
+//!   whose results are collected *by index*, making the assembled output
+//!   byte-identical regardless of worker count.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many chunks each worker should get on average when the chunk size is
+/// derived from the thread count (slack for load balancing: a straggler slab
+/// only delays its worker by one slab, not the whole run).
+const CHUNKS_PER_THREAD: usize = 2;
+
+/// Deterministic split of a row-major shape into row slabs.
+///
+/// The layout depends only on the shape and the requested chunk size — never
+/// on the worker count — unless the chunk size itself is derived from
+/// `threads` (the `chunk_points: None` default). Pinning `chunk_points`
+/// therefore pins the output bytes across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkLayout {
+    dims: Vec<usize>,
+    /// Rows (dimension-0 indices) per chunk; the last chunk may be shorter.
+    chunk_rows: usize,
+    /// Number of points in one row (product of the trailing dimensions).
+    row_points: usize,
+    n_chunks: usize,
+}
+
+impl ChunkLayout {
+    /// Plans a layout for `dims` given the configured `threads` and optional
+    /// `chunk_points` target.
+    ///
+    /// Rules, in order:
+    /// * explicit `chunk_points` wins: slab height is the smallest row count
+    ///   holding at least that many points (so an oversized target yields a
+    ///   single chunk covering the whole dataset);
+    /// * `threads == 1` compresses everything as one chunk (serial
+    ///   fallback, stream-compatible with the monolithic pipeline);
+    /// * otherwise the rows are split into about
+    ///   `threads × CHUNKS_PER_THREAD` slabs.
+    ///
+    /// A dataset with a single row can never split (chunks cover whole
+    /// rows), so it degrades to one chunk.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty, any dimension is zero, or `threads == 0` —
+    /// all rejected earlier by config/shape validation.
+    pub fn plan(dims: &[usize], threads: usize, chunk_points: Option<usize>) -> Self {
+        assert!(!dims.is_empty() && dims.iter().all(|&d| d > 0), "invalid dims {dims:?}");
+        assert!(threads > 0, "thread count must be positive");
+        let rows = dims[0];
+        let row_points: usize = dims[1..].iter().product::<usize>().max(1);
+        let chunk_rows = match chunk_points {
+            Some(points) => points.max(1).div_ceil(row_points).clamp(1, rows),
+            None if threads == 1 => rows,
+            None => {
+                let target_chunks = (threads * CHUNKS_PER_THREAD).min(rows);
+                rows.div_ceil(target_chunks)
+            }
+        };
+        let n_chunks = rows.div_ceil(chunk_rows);
+        ChunkLayout { dims: dims.to_vec(), chunk_rows, row_points, n_chunks }
+    }
+
+    /// Reconstructs the layout recorded in a version-3 chunk table.
+    pub fn from_chunk_rows(dims: &[usize], chunk_rows: usize) -> Self {
+        assert!(!dims.is_empty() && chunk_rows > 0, "invalid stored layout");
+        let row_points: usize = dims[1..].iter().product::<usize>().max(1);
+        let n_chunks = dims[0].div_ceil(chunk_rows);
+        ChunkLayout { dims: dims.to_vec(), chunk_rows, row_points, n_chunks }
+    }
+
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.n_chunks
+    }
+
+    /// Rows per full chunk (the stored `chunk_rows`).
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Shape of chunk `i` (same rank as the dataset, shorter dimension 0).
+    pub fn chunk_dims(&self, i: usize) -> Vec<usize> {
+        let mut dims = self.dims.clone();
+        dims[0] = self.rows_in_chunk(i);
+        dims
+    }
+
+    /// Number of rows in chunk `i` (only the last chunk may be short).
+    pub fn rows_in_chunk(&self, i: usize) -> usize {
+        assert!(i < self.n_chunks, "chunk {i} out of {}", self.n_chunks);
+        let start = i * self.chunk_rows;
+        self.chunk_rows.min(self.dims[0] - start)
+    }
+
+    /// Number of points in chunk `i`.
+    pub fn points_in_chunk(&self, i: usize) -> usize {
+        self.rows_in_chunk(i) * self.row_points
+    }
+
+    /// Half-open range of chunk `i` within the dataset's linearized values.
+    pub fn value_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = i * self.chunk_rows * self.row_points;
+        start..start + self.points_in_chunk(i)
+    }
+}
+
+/// Runs `work(0..n)` on up to `threads` scoped workers and returns the
+/// results in index order. Work is claimed from a shared atomic counter, so
+/// stragglers do not idle other workers; output order (and therefore any
+/// bytes assembled from it) is independent of scheduling.
+pub(crate) fn parallel_map<R, F>(n: usize, threads: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = work(i);
+                slots.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panics propagate via the scope");
+    slots.into_inner().into_iter().map(|r| r.expect("every index visited")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_layout_is_one_chunk() {
+        let l = ChunkLayout::plan(&[100, 30], 1, None);
+        assert_eq!(l.n_chunks(), 1);
+        assert_eq!(l.chunk_dims(0), vec![100, 30]);
+        assert_eq!(l.value_range(0), 0..3000);
+    }
+
+    #[test]
+    fn threads_derive_chunk_count() {
+        let l = ChunkLayout::plan(&[100], 4, None);
+        assert_eq!(l.n_chunks(), 8, "2 chunks per worker");
+        assert_eq!(l.chunk_rows(), 13);
+        assert_eq!(l.rows_in_chunk(7), 100 - 7 * 13);
+    }
+
+    #[test]
+    fn explicit_chunk_points_pin_the_layout() {
+        let a = ChunkLayout::plan(&[64, 10], 1, Some(100));
+        let b = ChunkLayout::plan(&[64, 10], 8, Some(100));
+        assert_eq!(a, b, "layout ignores threads when chunk_points is set");
+        assert_eq!(a.chunk_rows(), 10, "ceil(100/10) rows");
+    }
+
+    #[test]
+    fn oversized_chunk_points_become_one_chunk() {
+        let l = ChunkLayout::plan(&[8, 8], 4, Some(1 << 30));
+        assert_eq!(l.n_chunks(), 1);
+    }
+
+    #[test]
+    fn one_point_chunks_at_the_edge() {
+        let l = ChunkLayout::plan(&[5], 1, Some(2));
+        assert_eq!(l.n_chunks(), 3);
+        assert_eq!(l.points_in_chunk(2), 1, "1-element edge chunk");
+        assert_eq!(l.value_range(2), 4..5);
+    }
+
+    #[test]
+    fn single_row_cannot_split() {
+        let l = ChunkLayout::plan(&[1, 64, 64], 8, None);
+        assert_eq!(l.n_chunks(), 1);
+    }
+
+    #[test]
+    fn ranges_tile_the_dataset_exactly() {
+        for (dims, threads, cp) in
+            [(vec![37, 5], 3, None), (vec![16], 8, Some(3)), (vec![9, 2, 4], 2, Some(1)), (vec![4], 16, None)]
+        {
+            let l = ChunkLayout::plan(&dims, threads, cp);
+            let total: usize = dims.iter().product();
+            let mut covered = 0usize;
+            for i in 0..l.n_chunks() {
+                let r = l.value_range(i);
+                assert_eq!(r.start, covered, "chunks are contiguous");
+                assert_eq!(r.len(), l.points_in_chunk(i));
+                covered = r.end;
+            }
+            assert_eq!(covered, total, "chunks cover every point of {dims:?}");
+        }
+    }
+
+    #[test]
+    fn stored_layout_round_trips() {
+        let l = ChunkLayout::plan(&[100, 7], 4, None);
+        let back = ChunkLayout::from_chunk_rows(&[100, 7], l.chunk_rows());
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_map(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map(1, 8, |i| i + 1), vec![1]);
+    }
+}

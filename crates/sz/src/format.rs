@@ -1,9 +1,20 @@
 //! Self-describing compressed-blob framing.
 //!
 //! A blob carries everything required for decompression: scalar type, shape,
-//! resolved absolute error bound, pipeline configuration, and the payload
-//! sections. The layout is a fixed little-endian header followed by
-//! length-prefixed sections.
+//! resolved absolute error bound, pipeline configuration, and the payload.
+//! Two on-wire layouts exist:
+//!
+//! * **Version 2** (legacy, read-only): a fixed little-endian header followed
+//!   by length-prefixed sections and a CRC-32 trailer. Every pre-chunking
+//!   blob is version 2; [`CompressedBlob::from_bytes`] still accepts them.
+//! * **Version 3** (current, chunked container): the same fixed header, then
+//!   one length-prefixed *chunk table* section (slab height, per-chunk
+//!   payload lengths, CRC-32s, and quantization statistics), then the raw
+//!   chunk payloads back to back, then the whole-blob CRC-32 trailer. Chunks
+//!   are self-contained and decode independently — and therefore in
+//!   parallel.
+//!
+//! Unknown versions are rejected with [`SzError::UnsupportedVersion`].
 
 use crate::checksum::crc32;
 use crate::config::{LosslessBackend, PredictorKind};
@@ -11,32 +22,35 @@ use crate::error::SzError;
 
 /// Magic bytes at the start of every blob.
 pub const MAGIC: [u8; 4] = *b"OCSZ";
-/// Current format version. Version 2 added the CRC-32 integrity trailer.
-pub const VERSION: u16 = 2;
+/// Current format version: the chunked container.
+pub const VERSION: u16 = 3;
+/// Legacy monolithic-section format (still decodable). Version 2 added the
+/// CRC-32 integrity trailer; version 3 added the chunk table.
+pub const VERSION_V1: u16 = 2;
 
 /// Size of the CRC-32 trailer in bytes.
 const TRAILER: usize = 4;
 
 /// Compression codec family recorded in the header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Codec {
+pub enum CodecFamily {
     /// Prediction-based pipeline (SZ model).
     Prediction,
     /// Transform-based codec (ZFP model).
     Transform,
 }
 
-impl Codec {
+impl CodecFamily {
     fn to_u8(self) -> u8 {
         match self {
-            Codec::Prediction => 0,
-            Codec::Transform => 1,
+            CodecFamily::Prediction => 0,
+            CodecFamily::Transform => 1,
         }
     }
     fn from_u8(v: u8) -> Result<Self, SzError> {
         match v {
-            0 => Ok(Codec::Prediction),
-            1 => Ok(Codec::Transform),
+            0 => Ok(CodecFamily::Prediction),
+            1 => Ok(CodecFamily::Transform),
             _ => Err(SzError::CorruptStream(format!("unknown codec tag {v}"))),
         }
     }
@@ -45,8 +59,10 @@ impl Codec {
 /// Parsed blob header.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlobHeader {
+    /// On-wire format version ([`VERSION`] for freshly written blobs).
+    pub version: u16,
     /// Codec family.
-    pub codec: Codec,
+    pub family: CodecFamily,
     /// Scalar type name (`"f32"` or `"f64"`).
     pub dtype: &'static str,
     /// Dataset shape.
@@ -77,10 +93,6 @@ fn dtype_name(tag: u8) -> Result<&'static str, SzError> {
     }
 }
 
-fn predictor_tag(p: PredictorKind) -> u8 {
-    p.id()
-}
-
 fn predictor_from_tag(tag: u8) -> Result<PredictorKind, SzError> {
     PredictorKind::ALL
         .iter()
@@ -106,6 +118,110 @@ fn backend_from_tag(tag: u8) -> Result<LosslessBackend, SzError> {
     }
 }
 
+/// One row of the version-3 chunk table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Compressed payload length in bytes.
+    pub len: usize,
+    /// CRC-32 of the chunk payload (checked before the chunk is decoded, so
+    /// a corrupt chunk is pinpointed instead of blamed on the whole blob).
+    pub crc: u32,
+    /// Number of data points the chunk covers.
+    pub points: u64,
+    /// Quantization codes that landed in the zero bin (exactly predicted).
+    pub zero_bins: u64,
+    /// Points stored verbatim because their bin overflowed the quantizer.
+    pub unpredictable: u64,
+}
+
+const CHUNK_ENTRY_BYTES: usize = 8 + 4 + 8 + 8 + 8;
+
+/// Version-3 chunk table: how a dataset was split into row slabs and where
+/// each slab's compressed payload lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkTable {
+    /// Slab height along dimension 0 (the slowest-varying axis); the last
+    /// chunk may be shorter.
+    pub chunk_rows: usize,
+    /// Per-chunk metadata, in slab order.
+    pub entries: Vec<ChunkEntry>,
+}
+
+impl ChunkTable {
+    /// Serializes the table into its section payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.entries.len() * CHUNK_ENTRY_BYTES);
+        out.extend_from_slice(&(self.chunk_rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&(e.len as u64).to_le_bytes());
+            out.extend_from_slice(&e.crc.to_le_bytes());
+            out.extend_from_slice(&e.points.to_le_bytes());
+            out.extend_from_slice(&e.zero_bins.to_le_bytes());
+            out.extend_from_slice(&e.unpredictable.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a table section.
+    ///
+    /// # Errors
+    /// Returns [`SzError::CorruptStream`] if the section is truncated or the
+    /// chunk count is implausible.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SzError> {
+        if bytes.len() < 12 {
+            return Err(SzError::CorruptStream("truncated chunk table".into()));
+        }
+        let chunk_rows = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+        let n = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        if bytes.len() != 12 + n * CHUNK_ENTRY_BYTES {
+            return Err(SzError::CorruptStream(format!(
+                "chunk table length {} does not match {n} entries",
+                bytes.len()
+            )));
+        }
+        if chunk_rows == 0 || n == 0 {
+            return Err(SzError::CorruptStream("empty chunk table".into()));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let b = &bytes[12 + i * CHUNK_ENTRY_BYTES..12 + (i + 1) * CHUNK_ENTRY_BYTES];
+            entries.push(ChunkEntry {
+                len: u64::from_le_bytes(b[..8].try_into().expect("8 bytes")) as usize,
+                crc: u32::from_le_bytes(b[8..12].try_into().expect("4 bytes")),
+                points: u64::from_le_bytes(b[12..20].try_into().expect("8 bytes")),
+                zero_bins: u64::from_le_bytes(b[20..28].try_into().expect("8 bytes")),
+                unpredictable: u64::from_le_bytes(b[28..36].try_into().expect("8 bytes")),
+            });
+        }
+        Ok(ChunkTable { chunk_rows, entries })
+    }
+
+    /// Byte offsets of each chunk payload within the chunk region.
+    pub fn offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.entries.len());
+        let mut off = 0usize;
+        for e in &self.entries {
+            offsets.push(off);
+            off += e.len;
+        }
+        offsets
+    }
+
+    /// Total bytes of all chunk payloads.
+    pub fn payload_len(&self) -> usize {
+        self.entries.iter().map(|e| e.len).sum()
+    }
+}
+
+/// Appends a length-prefixed part to a byte buffer (the framing used both
+/// for top-level blob sections and for the sub-sections inside a prediction
+/// chunk payload).
+pub(crate) fn write_framed(out: &mut Vec<u8>, part: &[u8]) {
+    out.extend_from_slice(&(part.len() as u64).to_le_bytes());
+    out.extend_from_slice(part);
+}
+
 /// Incremental blob writer.
 #[derive(Debug)]
 pub struct BlobWriter {
@@ -113,7 +229,8 @@ pub struct BlobWriter {
 }
 
 impl BlobWriter {
-    /// Starts a blob with the given header.
+    /// Starts a blob with the given header, writing `header.version` on the
+    /// wire (producers set it to [`VERSION`]).
     ///
     /// # Errors
     /// Returns [`SzError::CorruptStream`] for an unknown dtype name (cannot
@@ -121,15 +238,15 @@ impl BlobWriter {
     pub fn new(header: &BlobHeader) -> Result<Self, SzError> {
         let mut bytes = Vec::with_capacity(64);
         bytes.extend_from_slice(&MAGIC);
-        bytes.extend_from_slice(&VERSION.to_le_bytes());
-        bytes.push(header.codec.to_u8());
+        bytes.extend_from_slice(&header.version.to_le_bytes());
+        bytes.push(header.family.to_u8());
         bytes.push(dtype_tag(header.dtype)?);
         bytes.push(header.dims.len() as u8);
         for &d in &header.dims {
             bytes.extend_from_slice(&(d as u64).to_le_bytes());
         }
         bytes.extend_from_slice(&header.abs_eb.to_le_bytes());
-        bytes.push(predictor_tag(header.predictor));
+        bytes.push(header.predictor.id());
         bytes.push(backend_tag(header.backend));
         bytes.extend_from_slice(&header.quant_radius.to_le_bytes());
         Ok(BlobWriter { bytes })
@@ -137,7 +254,13 @@ impl BlobWriter {
 
     /// Appends a length-prefixed section.
     pub fn section(&mut self, data: &[u8]) -> &mut Self {
-        self.bytes.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        write_framed(&mut self.bytes, data);
+        self
+    }
+
+    /// Appends raw bytes with no length prefix (version-3 chunk payloads,
+    /// whose lengths live in the chunk table).
+    pub fn raw(&mut self, data: &[u8]) -> &mut Self {
         self.bytes.extend_from_slice(data);
         self
     }
@@ -165,13 +288,13 @@ impl CompressedBlob {
     /// # Errors
     /// Returns [`SzError::CorruptStream`] for bad magic or a checksum
     /// mismatch, and [`SzError::UnsupportedVersion`] for a version we cannot
-    /// read.
+    /// read (neither [`VERSION`] nor the legacy [`VERSION_V1`]).
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SzError> {
         if bytes.len() < 6 + TRAILER || bytes[..4] != MAGIC {
             return Err(SzError::CorruptStream("missing OCSZ magic".into()));
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != VERSION {
+        if version != VERSION && version != VERSION_V1 {
             return Err(SzError::UnsupportedVersion(version));
         }
         let blob = CompressedBlob { bytes };
@@ -223,9 +346,17 @@ impl CompressedBlob {
     ///
     /// # Errors
     /// Returns [`SzError::CorruptStream`] if the header is truncated or
-    /// contains invalid tags.
+    /// contains invalid tags, and [`SzError::UnsupportedVersion`] for an
+    /// unknown version.
     pub fn open(&self) -> Result<(BlobHeader, SectionReader<'_>), SzError> {
         let b = &self.bytes;
+        if b.len() < 6 {
+            return Err(SzError::CorruptStream("truncated blob header".into()));
+        }
+        let version = u16::from_le_bytes([b[4], b[5]]);
+        if version != VERSION && version != VERSION_V1 {
+            return Err(SzError::UnsupportedVersion(version));
+        }
         let mut pos = 6usize; // magic + version
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], SzError> {
             if *pos + n > b.len() {
@@ -235,7 +366,7 @@ impl CompressedBlob {
             *pos += n;
             Ok(s)
         };
-        let codec = Codec::from_u8(take(&mut pos, 1)?[0])?;
+        let family = CodecFamily::from_u8(take(&mut pos, 1)?[0])?;
         let dtype = dtype_name(take(&mut pos, 1)?[0])?;
         let ndim = take(&mut pos, 1)?[0] as usize;
         if ndim == 0 || ndim > 8 {
@@ -253,7 +384,7 @@ impl CompressedBlob {
         let predictor = predictor_from_tag(take(&mut pos, 1)?[0])?;
         let backend = backend_from_tag(take(&mut pos, 1)?[0])?;
         let quant_radius = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
-        let header = BlobHeader { codec, dtype, dims, abs_eb, predictor, backend, quant_radius };
+        let header = BlobHeader { version, family, dtype, dims, abs_eb, predictor, backend, quant_radius };
         // Sections end where the CRC trailer begins.
         let body_end = b.len().saturating_sub(TRAILER).max(pos);
         Ok((header, SectionReader { bytes: &b[..body_end], pos }))
@@ -276,6 +407,12 @@ pub struct SectionReader<'a> {
 }
 
 impl<'a> SectionReader<'a> {
+    /// Reads nested sections out of a standalone byte slice (the framing
+    /// inside a prediction chunk payload).
+    pub fn over(bytes: &'a [u8]) -> Self {
+        SectionReader { bytes, pos: 0 }
+    }
+
     /// Reads the next section.
     ///
     /// # Errors
@@ -294,6 +431,12 @@ impl<'a> SectionReader<'a> {
         Ok(s)
     }
 
+    /// Returns everything from the current position to the end of the body
+    /// (the chunk-payload region of a version-3 blob).
+    pub fn rest(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+
     /// Whether all bytes have been consumed.
     pub fn at_end(&self) -> bool {
         self.pos == self.bytes.len()
@@ -306,7 +449,8 @@ mod tests {
 
     fn sample_header() -> BlobHeader {
         BlobHeader {
-            codec: Codec::Prediction,
+            version: VERSION,
+            family: CodecFamily::Prediction,
             dtype: "f32",
             dims: vec![10, 20],
             abs_eb: 1e-3,
@@ -348,6 +492,17 @@ mod tests {
     }
 
     #[test]
+    fn legacy_version_is_accepted_by_framing() {
+        let mut h = sample_header();
+        h.version = VERSION_V1;
+        let mut w = BlobWriter::new(&h).unwrap();
+        w.section(b"legacy sections");
+        let blob = w.finish();
+        let reparsed = CompressedBlob::from_bytes(blob.clone().into_bytes()).unwrap();
+        assert_eq!(reparsed.header().unwrap().version, VERSION_V1);
+    }
+
+    #[test]
     fn truncation_is_caught_by_the_checksum() {
         let h = sample_header();
         let mut w = BlobWriter::new(&h).unwrap();
@@ -376,5 +531,35 @@ mod tests {
         let blob = BlobWriter::new(&h).unwrap().finish();
         let bytes = blob.clone().into_bytes();
         assert_eq!(CompressedBlob::from_bytes(bytes).unwrap(), blob);
+    }
+
+    #[test]
+    fn chunk_table_round_trips() {
+        let table = ChunkTable {
+            chunk_rows: 7,
+            entries: vec![
+                ChunkEntry { len: 100, crc: 0xDEAD_BEEF, points: 70, zero_bins: 60, unpredictable: 1 },
+                ChunkEntry { len: 3, crc: 42, points: 30, zero_bins: 0, unpredictable: 30 },
+            ],
+        };
+        let back = ChunkTable::decode(&table.encode()).unwrap();
+        assert_eq!(back, table);
+        assert_eq!(back.offsets(), vec![0, 100]);
+        assert_eq!(back.payload_len(), 103);
+    }
+
+    #[test]
+    fn chunk_table_rejects_malformed_input() {
+        assert!(ChunkTable::decode(&[]).is_err());
+        let table = ChunkTable {
+            chunk_rows: 1,
+            entries: vec![ChunkEntry { len: 1, crc: 0, points: 1, zero_bins: 0, unpredictable: 0 }],
+        };
+        let mut bytes = table.encode();
+        bytes.pop();
+        assert!(ChunkTable::decode(&bytes).is_err());
+        // Zero chunks is never valid.
+        let empty = ChunkTable { chunk_rows: 4, entries: vec![] };
+        assert!(ChunkTable::decode(&empty.encode()).is_err());
     }
 }

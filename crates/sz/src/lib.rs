@@ -18,6 +18,10 @@
 //!
 //! # Quickstart
 //!
+//! Build a configuration with [`LossyConfig::builder`], compress — the
+//! [`CompressionOutcome`] carries the blob plus ratio/statistics — and
+//! decompress (optionally with a worker pool over the blob's chunks):
+//!
 //! ```
 //! use ocelot_sz::{Dataset, LossyConfig, compress, decompress};
 //!
@@ -25,20 +29,27 @@
 //! let data = Dataset::from_fn(vec![16, 16, 16], |idx| {
 //!     (idx[0] as f32 * 0.1).sin() + (idx[1] as f32 * 0.05).cos() + idx[2] as f32 * 0.01
 //! });
-//! let config = LossyConfig::sz3_abs(1e-3);
-//! let blob = compress(&data, &config)?;
-//! let restored = decompress::<f32>(&blob)?;
+//! let config = LossyConfig::builder().abs(1e-3).threads(4).build()?;
+//! let outcome = compress(&data, &config)?;
+//! assert!(outcome.ratio > 1.0);
+//! let restored = decompress::<f32>(&outcome.blob)?;
 //! for (a, b) in data.values().iter().zip(restored.values()) {
 //!     assert!((a - b).abs() <= 1e-3 + 1e-6);
 //! }
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Codec-agnostic callers (planners, CLIs) should go through the
+//! [`Codec`] trait and [`CodecConfig`] enum in [`codec`], which cover both
+//! this prediction pipeline and the transform codec in [`zfp`].
 
 pub mod checksum;
+pub mod codec;
 pub mod config;
 pub mod cost;
 pub mod encode;
+pub mod engine;
 pub mod error;
 pub mod format;
 pub mod metrics;
@@ -51,10 +62,13 @@ pub mod stats;
 pub mod value;
 pub mod zfp;
 
-pub use config::{ErrorBound, LosslessBackend, LossyConfig, PredictorKind};
+pub use codec::{codec_for_blob, AnyCodec, Codec, CodecConfig, SzCodec, ZfpCodec, ZfpConfig};
+pub use config::{ErrorBound, LosslessBackend, LossyConfig, LossyConfigBuilder, PredictorKind};
 pub use error::SzError;
 pub use format::CompressedBlob;
 pub use metrics::QualityReport;
 pub use ndarray::Dataset;
-pub use pipeline::{compress, compress_with_stats, decompress, CompressionOutcome};
+#[allow(deprecated)]
+pub use pipeline::compress_with_stats;
+pub use pipeline::{compress, decompress, decompress_with_threads, CompressionOutcome};
 pub use value::ScalarValue;

@@ -19,8 +19,9 @@
 use crate::config::{LosslessBackend, PredictorKind};
 use crate::encode::{lz_compress, lz_decompress};
 use crate::error::SzError;
-use crate::format::{BlobHeader, BlobWriter, Codec, CompressedBlob, SectionReader};
+use crate::format::{BlobHeader, CodecFamily, CompressedBlob, VERSION};
 use crate::ndarray::Dataset;
+use crate::pipeline::{compress_chunked, CompressionOutcome, EncodedChunk};
 use crate::value::ScalarValue;
 
 const BLOCK_EDGE: usize = 4;
@@ -32,48 +33,57 @@ const FLAG_RAW: u8 = 1;
 
 /// Compresses a dataset with the transform codec at an absolute error bound.
 ///
-/// ```
-/// use ocelot_sz::{zfp, decompress, Dataset};
-///
-/// # fn main() -> Result<(), ocelot_sz::SzError> {
-/// let data = Dataset::from_fn(vec![16, 16], |i| (i[0] as f32 * 0.3).sin() + i[1] as f32 * 0.1);
-/// let blob = zfp::compress(&data, 1e-3)?;
-/// let restored = decompress::<f32>(&blob)?;
-/// for (a, b) in data.values().iter().zip(restored.values()) {
-///     assert!((a - b).abs() <= 1e-3);
-/// }
-/// # Ok(())
-/// # }
-/// ```
-///
 /// # Errors
 /// Returns [`SzError::InvalidConfig`] for a non-positive bound and
 /// [`SzError::InvalidShape`] for ranks above 3.
+#[deprecated(note = "use `ZfpCodec` through the `Codec` trait (`crate::codec`)")]
 pub fn compress<T: ScalarValue>(data: &Dataset<T>, abs_eb: f64) -> Result<CompressedBlob, SzError> {
+    compress_impl(data, abs_eb, 1, None).map(|outcome| outcome.blob)
+}
+
+/// Full transform-codec compression entry: chunked container assembly shared
+/// with the prediction pipeline. Called by `ZfpCodec`.
+pub(crate) fn compress_impl<T: ScalarValue>(
+    data: &Dataset<T>,
+    abs_eb: f64,
+    threads: usize,
+    chunk_points: Option<usize>,
+) -> Result<CompressionOutcome, SzError> {
     if !(abs_eb.is_finite() && abs_eb > 0.0) {
         return Err(SzError::InvalidConfig(format!("error bound must be positive, got {abs_eb}")));
+    }
+    if threads == 0 {
+        return Err(SzError::InvalidConfig("thread count must be at least 1".into()));
     }
     if data.ndim() > 3 {
         return Err(SzError::InvalidShape(format!("zfp codec supports 1-3 dims, got {}", data.ndim())));
     }
-    let dims = data.dims();
-    let mut payload = Vec::new();
-    for_each_block(dims, |base| {
-        let block = gather_block::<T>(data, &base);
-        encode_block::<T>(&block, abs_eb, &mut payload);
-    });
     let header = BlobHeader {
-        codec: Codec::Transform,
+        version: VERSION,
+        family: CodecFamily::Transform,
         dtype: T::TYPE_NAME,
-        dims: dims.to_vec(),
+        dims: data.dims().to_vec(),
         abs_eb,
         predictor: PredictorKind::Lorenzo, // unused by this codec
         backend: LosslessBackend::Huffman, // unused by this codec
         quant_radius: 0,
     };
-    let mut writer = BlobWriter::new(&header)?;
-    writer.section(&lz_compress(&payload));
-    Ok(writer.finish())
+    compress_chunked(data, header, threads, chunk_points, |chunk| {
+        let payload = encode_chunk_payload(chunk, abs_eb);
+        let code_bytes = payload.len();
+        Ok(EncodedChunk { payload, codes: Vec::new(), unpredictable: 0, side_bytes: 0, unpred_bytes: 0, code_bytes })
+    })
+}
+
+/// Encodes one chunk (or a whole dataset) as a transform-codec payload:
+/// 4^d block stream followed by the shared LZ dictionary stage.
+fn encode_chunk_payload<T: ScalarValue>(chunk: &Dataset<T>, abs_eb: f64) -> Vec<u8> {
+    let mut payload = Vec::new();
+    for_each_block(chunk.dims(), |base| {
+        let block = gather_block::<T>(chunk, &base);
+        encode_block::<T>(&block, abs_eb, &mut payload);
+    });
+    lz_compress(&payload)
 }
 
 /// Estimates the transform codec's compression ratio by really encoding
@@ -119,17 +129,13 @@ pub fn estimate_ratio_sampled<T: ScalarValue>(
     Ok(raw_bytes as f64 / compressed as f64)
 }
 
-/// Decompresses the transform-codec payload (called via
-/// [`crate::pipeline::decompress`]).
+/// Decodes one transform-codec chunk payload (or a whole legacy blob's
+/// single section) back into values of shape `dims`.
 ///
 /// # Errors
 /// Returns [`SzError::CorruptStream`] for malformed payloads.
-pub(crate) fn decompress_payload<T: ScalarValue>(
-    header: &BlobHeader,
-    sections: &mut SectionReader<'_>,
-) -> Result<Dataset<T>, SzError> {
-    let payload = lz_decompress(sections.next_section()?)?;
-    let dims = &header.dims;
+pub(crate) fn decode_chunk_payload<T: ScalarValue>(dims: &[usize], bytes: &[u8]) -> Result<Vec<T>, SzError> {
+    let payload = lz_decompress(bytes)?;
     if dims.len() > 3 {
         return Err(SzError::InvalidShape(format!("zfp codec supports 1-3 dims, got {}", dims.len())));
     }
@@ -152,7 +158,7 @@ pub(crate) fn decompress_payload<T: ScalarValue>(
     if pos != payload.len() {
         return Err(SzError::CorruptStream("zfp: trailing payload bytes".into()));
     }
-    Dataset::new(dims.to_vec(), out)
+    Ok(out)
 }
 
 /// Number of values in a block for rank `d`.
@@ -512,10 +518,12 @@ mod tests {
 
     fn check_round_trip(dims: Vec<usize>, eb: f64, gen: impl FnMut(&[usize]) -> f32) {
         let data = Dataset::from_fn(dims, gen);
-        let blob = compress(&data, eb).unwrap();
-        let out = crate::pipeline::decompress::<f32>(&blob).unwrap();
-        for (a, b) in data.values().iter().zip(out.values()) {
-            assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-9), "a={a} b={b} eb={eb}");
+        for threads in [1, 4] {
+            let blob = compress_impl(&data, eb, threads, None).unwrap().blob;
+            let out = crate::pipeline::decompress::<f32>(&blob).unwrap();
+            for (a, b) in data.values().iter().zip(out.values()) {
+                assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-9), "a={a} b={b} eb={eb} threads={threads}");
+            }
         }
     }
 
@@ -539,7 +547,7 @@ mod tests {
         let mut data = Dataset::<f32>::constant(vec![8, 8], 1.0).unwrap();
         data.set(&[0, 0], f32::INFINITY);
         data.set(&[7, 7], f32::NAN);
-        let blob = compress(&data, 1e-2).unwrap();
+        let blob = compress_impl(&data, 1e-2, 1, None).unwrap().blob;
         let out = crate::pipeline::decompress::<f32>(&blob).unwrap();
         assert!(out.get(&[0, 0]).is_infinite());
         assert!(out.get(&[7, 7]).is_nan());
@@ -554,8 +562,8 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             (state >> 40) as f32 / 1000.0
         });
-        let bs = compress(&smooth, 1e-3).unwrap();
-        let bn = compress(&noise, 1e-3).unwrap();
+        let bs = compress_impl(&smooth, 1e-3, 1, None).unwrap().blob;
+        let bn = compress_impl(&noise, 1e-3, 1, None).unwrap().blob;
         assert!(bs.len() < bn.len(), "smooth={} noise={}", bs.len(), bn.len());
     }
 
@@ -568,7 +576,7 @@ mod tests {
         let data = Dataset::from_fn(vec![40, 40, 20], |i| ((i[0] as f32) * 0.2).sin() + ((i[1] + i[2]) as f32) * 0.01);
         let range = data.value_range();
         let real = |eb: f64| {
-            let blob = compress(&data, eb * range).unwrap();
+            let blob = compress_impl(&data, eb * range, 1, None).unwrap().blob;
             data.nbytes() as f64 / blob.len() as f64
         };
         // Stride 1 samples every block: essentially the real ratio (modulo
@@ -585,9 +593,21 @@ mod tests {
     #[test]
     fn rejects_bad_bounds_and_rank() {
         let data = Dataset::<f32>::constant(vec![4], 0.0).unwrap();
-        assert!(compress(&data, 0.0).is_err());
-        assert!(compress(&data, f64::NAN).is_err());
+        assert!(compress_impl(&data, 0.0, 1, None).is_err());
+        assert!(compress_impl(&data, f64::NAN, 1, None).is_err());
+        assert!(compress_impl(&data, 1e-3, 0, None).is_err());
         let d4 = Dataset::<f32>::constant(vec![2, 2, 2, 2], 0.0).unwrap();
-        assert!(compress(&d4, 1e-3).is_err());
+        assert!(compress_impl(&d4, 1e-3, 1, None).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_bare_compress_still_works() {
+        let data = Dataset::from_fn(vec![12, 12], |i| (i[0] + i[1]) as f32 * 0.1);
+        let blob = compress(&data, 1e-3).unwrap();
+        let out = crate::pipeline::decompress::<f32>(&blob).unwrap();
+        for (a, b) in data.values().iter().zip(out.values()) {
+            assert!((a - b).abs() <= 1e-3 + 1e-9);
+        }
     }
 }

@@ -9,7 +9,7 @@
 
 use ocelot_datagen::{Application, FieldSpec};
 use ocelot_sz::config::PredictorKind;
-use ocelot_sz::{compress_with_stats, decompress, metrics, zfp, LossyConfig};
+use ocelot_sz::{compress, decompress, metrics, Codec, CodecConfig, LossyConfig, ZfpCodec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eb: f64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(1e-3);
@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let label = format!("{}/{}", app.name(), field);
         for predictor in PredictorKind::ALL {
             let cfg = LossyConfig::sz3(eb).with_predictor(predictor);
-            let out = compress_with_stats(&data, &cfg)?;
+            let out = compress(&data, &cfg)?;
             let restored = decompress::<f32>(&out.blob)?;
             let q = metrics::compare(&data, &restored)?;
             println!(
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         // Transform-based baseline (ZFP-style) at the same absolute bound.
         let abs_eb = eb * data.value_range();
-        let blob = zfp::compress(&data, abs_eb)?;
+        let blob = ZfpCodec.compress(&data, &CodecConfig::zfp_abs(abs_eb))?.blob;
         let restored = decompress::<f32>(&blob)?;
         let q = metrics::compare(&data, &restored)?;
         println!(

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = LossyConfig::sz3_abs(abs_eb);
 
     // Spatial baseline: every frame compressed independently.
-    let spatial_bytes: usize = frames.iter().map(|f| compress(f, &cfg).map(|b| b.len()).unwrap_or(0)).sum();
+    let spatial_bytes: usize = frames.iter().map(|f| compress(f, &cfg).map(|b| b.blob.len()).unwrap_or(0)).sum();
 
     // Temporal: key frame + deltas, verified end to end.
     let mut comp = TemporalCompressor::new(cfg);

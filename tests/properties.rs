@@ -8,7 +8,9 @@ use ocelot::temporal::{TemporalCompressor, TemporalDecompressor};
 use ocelot_netsim::{simulate_transfer, GridFtpConfig, LinkProfile};
 use ocelot_sz::config::{LosslessBackend, PredictorKind};
 use ocelot_sz::encode::{huffman_decode, huffman_encode, lz_compress, lz_decompress, rle_decode, rle_encode};
-use ocelot_sz::{compress, decompress, metrics, Dataset, LossyConfig};
+use ocelot_sz::{
+    compress, decompress, decompress_with_threads, metrics, Codec, CodecConfig, Dataset, LossyConfig, ZfpConfig,
+};
 use proptest::prelude::*;
 
 /// Arbitrary small-but-nontrivial shapes of rank 1–3.
@@ -63,11 +65,74 @@ proptest! {
         let cfg = LossyConfig::sz3(10f64.powi(-eb_exp))
             .with_predictor(PredictorKind::ALL[predictor_idx])
             .with_backend(backend);
-        let blob = compress(&data, &cfg).expect("compression succeeds");
+        let blob = compress(&data, &cfg).expect("compression succeeds").blob;
         let abs_eb = blob.header().expect("header parses").abs_eb;
         let out = decompress::<f32>(&blob).expect("decompression succeeds");
         let q = metrics::compare(&data, &out).expect("shapes match");
         prop_assert!(q.within_bound(abs_eb), "max err {} vs bound {}", q.max_abs_error, abs_eb);
+    }
+
+    #[test]
+    fn chunked_container_round_trips_at_any_thread_count(
+        dims in shapes(),
+        threads_idx in 0usize..4,
+        chunk_mode in 0usize..4,
+        eb_exp in 1i32..5,
+        seed in 0u64..200,
+    ) {
+        // Random dims × chunk sizes × thread counts, including chunks larger
+        // than the dataset and 1-element edge chunks.
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let n: usize = dims.iter().product();
+        let chunk_points = match chunk_mode {
+            0 => Some(1),          // 1-point chunks (maximal chunk count)
+            1 => Some(n / 3 + 1),  // a few chunks, ragged edge
+            2 => Some(2 * n + 7),  // larger than the dataset → one chunk
+            _ => None,             // derived from the thread count
+        };
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let vals: Vec<f32> = (0..n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32 - 0.5) * 50.0
+        }).collect();
+        let data = Dataset::new(dims, vals).expect("valid shape");
+        let cfg = LossyConfig::sz3(10f64.powi(-eb_exp))
+            .with_threads(threads)
+            .with_chunk_points(chunk_points);
+        let outcome = compress(&data, &cfg).expect("chunked compression succeeds");
+        let abs_eb = outcome.blob.header().expect("header parses").abs_eb;
+        // Decode both serially and with a different worker count than the
+        // encoder used: the container must not care.
+        for decode_threads in [1usize, threads.max(2)] {
+            let out = decompress_with_threads::<f32>(&outcome.blob, decode_threads)
+                .expect("chunked decompression succeeds");
+            let q = metrics::compare(&data, &out).expect("shapes match");
+            prop_assert!(q.within_bound(abs_eb), "max err {} vs bound {}", q.max_abs_error, abs_eb);
+        }
+    }
+
+    #[test]
+    fn pinned_chunk_layout_is_deterministic_across_threads(
+        dims in shapes(),
+        eb_exp in 1i32..4,
+        seed in 0u64..100,
+    ) {
+        let n: usize = dims.iter().product();
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        let vals: Vec<f32> = (0..n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32 - 0.5) * 8.0
+        }).collect();
+        let data = Dataset::new(dims, vals).expect("valid shape");
+        let base = LossyConfig::sz3(10f64.powi(-eb_exp)).with_chunk_points(Some(97));
+        let serial = compress(&data, &base.with_threads(1)).expect("serial");
+        for threads in [2usize, 4, 8] {
+            let parallel = compress(&data, &base.with_threads(threads)).expect("parallel");
+            prop_assert_eq!(
+                serial.blob.as_bytes(), parallel.blob.as_bytes(),
+                "bytes must not depend on the worker count ({} threads)", threads
+            );
+        }
     }
 
     #[test]
@@ -77,7 +142,7 @@ proptest! {
             idx.iter().enumerate().map(|(d, &i)| ((i as f32) * 0.1 * (d + 1) as f32).sin()).sum::<f32>()
         });
         let cfg = LossyConfig::sz3(10f64.powi(-eb_exp));
-        let blob = compress(&data, &cfg).expect("compression succeeds");
+        let blob = compress(&data, &cfg).expect("compression succeeds").blob;
         let abs_eb = blob.header().expect("header parses").abs_eb;
         let out = decompress::<f32>(&blob).expect("decompression succeeds");
         let q = metrics::compare(&data, &out).expect("shapes match");
@@ -88,7 +153,7 @@ proptest! {
     fn adversarial_value_distributions_round_trip(vals in values(512), eb_exp in 1i32..5) {
         let data = Dataset::new(vec![512], vals).expect("valid shape");
         let cfg = LossyConfig::sz3(10f64.powi(-eb_exp));
-        let blob = compress(&data, &cfg).expect("compression succeeds");
+        let blob = compress(&data, &cfg).expect("compression succeeds").blob;
         let abs_eb = blob.header().expect("header parses").abs_eb;
         let out = decompress::<f32>(&blob).expect("decompression succeeds");
         let q = metrics::compare(&data, &out).expect("shapes match");
@@ -195,6 +260,7 @@ proptest! {
         dims in shapes(),
         eb_exp in 1i32..5,
         seed in 0u64..100,
+        threads_idx in 0usize..3,
     ) {
         let n: usize = dims.iter().product();
         let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
@@ -204,8 +270,10 @@ proptest! {
         }).collect();
         let data = Dataset::new(dims, vals).expect("valid shape");
         let abs_eb = 10f64.powi(-eb_exp) * data.value_range().max(1e-6);
-        let blob = ocelot_sz::zfp::compress(&data, abs_eb).expect("zfp compression succeeds");
-        let out = decompress::<f32>(&blob).expect("zfp decompression succeeds");
+        let config = CodecConfig::Zfp(ZfpConfig::abs(abs_eb).with_threads([1usize, 2, 4][threads_idx]));
+        let codec = config.codec();
+        let blob = codec.compress(&data, &config).expect("zfp compression succeeds").blob;
+        let out = codec.decompress::<f32>(&blob).expect("zfp decompression succeeds");
         let q = metrics::compare(&data, &out).expect("shapes match");
         prop_assert!(q.within_bound(abs_eb), "max err {} vs bound {abs_eb}", q.max_abs_error);
     }
@@ -219,7 +287,7 @@ proptest! {
         }).collect();
         let data = Dataset::new(vec![len], vals).expect("valid shape");
         let cfg = LossyConfig::sz3(10f64.powi(-eb_exp));
-        let blob = compress(&data, &cfg).expect("compression succeeds");
+        let blob = compress(&data, &cfg).expect("compression succeeds").blob;
         let abs_eb = blob.header().expect("header parses").abs_eb;
         let out = decompress::<f64>(&blob).expect("decompression succeeds");
         let q = metrics::compare(&data, &out).expect("shapes match");
@@ -265,7 +333,7 @@ proptest! {
         // Any single-bit flip anywhere in a blob must be rejected (checksum)
         // or produce an error — never a silently wrong dataset.
         let data = Dataset::from_fn(vec![32, 32], |i| (i[0] * 32 + i[1]) as f32 * 0.01);
-        let blob = compress(&data, &LossyConfig::sz3(1e-3)).expect("compression succeeds");
+        let blob = compress(&data, &LossyConfig::sz3(1e-3)).expect("compression succeeds").blob;
         let mut bytes = blob.into_bytes();
         let idx = ((bytes.len() - 1) as f64 * byte_idx_frac) as usize;
         bytes[idx] ^= 1 << bit;

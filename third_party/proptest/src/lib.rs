@@ -26,7 +26,7 @@ pub mod collection {
     use crate::strategy::{Strategy, VecStrategy};
     use std::ops::Range;
 
-    /// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Lengths accepted by [`vec`](fn@vec): a fixed `usize` or a `Range<usize>`.
     pub trait IntoSizeRange {
         fn bounds(&self) -> (usize, usize);
     }
