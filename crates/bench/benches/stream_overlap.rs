@@ -1,0 +1,124 @@
+//! Staged vs streamed chunk-pipeline wall-clock (the overlap measurement):
+//! the streamed path ships each compressed chunk into a bounded in-process
+//! lane and decodes it on arrival, so compress and decompress overlap
+//! instead of running back to back. Same bytes either way — this bench
+//! records what the overlap buys at different window sizes and thread
+//! counts, and emits a `BENCH_stream.json` summary (in the bench crate
+//! directory) so the perf trajectory is recorded run over run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocelot::executor::ParallelExecutor;
+use ocelot_sz::{Dataset, LossyConfig};
+use std::time::Instant;
+
+/// Window sizes under test: tight, comfortable, and effectively unbounded
+/// (larger than the chunk count, so back-pressure never engages).
+const WINDOWS: [usize; 3] = [1, 4, 1024];
+const THREADS: [usize; 2] = [1, 4];
+
+fn field() -> Dataset<f32> {
+    // Smooth + oscillatory mix (~16 MB): enough chunks for overlap to
+    // matter without making `cargo bench` crawl.
+    Dataset::from_fn(vec![160, 160, 160], |i| {
+        let (x, y, z) = (i[0] as f32, i[1] as f32, i[2] as f32);
+        (x * 0.031).sin() * (y * 0.017).cos() + (z * 0.011).sin() * 0.5 + (x + y + z) * 1e-4
+    })
+}
+
+/// Pinned chunk layout so every variant sees the same container bytes.
+fn config(data: &Dataset<f32>) -> LossyConfig {
+    LossyConfig::sz3(1e-3).with_chunk_points(Some(data.len() / 16 + 1))
+}
+
+fn bench_stream_overlap(c: &mut Criterion) {
+    let data = field();
+    let cfg = config(&data);
+    let mut g = c.benchmark_group("stream_overlap");
+    g.throughput(Throughput::Bytes(data.nbytes() as u64));
+    g.sample_size(5);
+    for threads in THREADS {
+        let ex = ParallelExecutor::new(1).with_codec_threads(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("staged/{threads}t")), &ex, |b, ex| {
+            b.iter(|| ex.stream_round_trip(&data, &cfg, 0).expect("staged round trip"))
+        });
+        for window in WINDOWS {
+            let id = BenchmarkId::from_parameter(format!("streamed/w{window}/{threads}t"));
+            g.bench_with_input(id, &ex, |b, ex| {
+                b.iter(|| ex.stream_round_trip(&data, &cfg, window).expect("streamed round trip"))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Medians over `runs` timed calls (one untimed warm-up).
+fn median_secs<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[derive(serde::Serialize)]
+struct WindowTiming {
+    window: usize,
+    streamed_s: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ThreadSummary {
+    codec_threads: usize,
+    staged_s: f64,
+    windows: Vec<WindowTiming>,
+}
+
+#[derive(serde::Serialize)]
+struct StreamBenchSummary {
+    bench: &'static str,
+    dataset_bytes: usize,
+    dims: Vec<usize>,
+    results: Vec<ThreadSummary>,
+}
+
+/// Writes the staged/streamed medians to `BENCH_stream.json` in the
+/// current directory (skipped when the target runs under `cargo test`).
+fn emit_summary(_c: &mut Criterion) {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let data = field();
+    let cfg = config(&data);
+    let mut results = Vec::new();
+    for threads in THREADS {
+        let ex = ParallelExecutor::new(1).with_codec_threads(threads);
+        let staged = median_secs(3, || ex.stream_round_trip(&data, &cfg, 0).expect("staged round trip"));
+        let windows = WINDOWS
+            .iter()
+            .map(|&window| WindowTiming {
+                window,
+                streamed_s: median_secs(3, || ex.stream_round_trip(&data, &cfg, window).expect("streamed round trip")),
+            })
+            .collect();
+        results.push(ThreadSummary { codec_threads: threads, staged_s: staged, windows });
+    }
+    let summary = StreamBenchSummary {
+        bench: "stream_overlap",
+        dataset_bytes: data.nbytes(),
+        dims: data.dims().to_vec(),
+        results,
+    };
+    let path = "BENCH_stream.json";
+    match std::fs::write(path, serde_json::to_string_pretty(&summary).expect("summary serializes")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_stream_overlap, emit_summary);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! CI gate for the streaming chunk pipeline: runs the staged
+//! compress-then-decompress round trip and the streamed (bounded-window,
+//! decode-on-arrival) round trip with 4 codec threads, and exits nonzero
+//! if streaming is slower than staging — the whole point of shipping
+//! chunks early is to win wall-clock. Also asserts the container bytes are
+//! identical, so the speed never comes at the cost of reproducibility.
+//! Run with `--release`; debug-build timings are too noisy to gate on.
+//!
+//! On runners with fewer than 4 cores the compress and decode sides
+//! serialize onto the same core and overlap cannot manifest, so the gate
+//! skips (matching `chunk_scaling_gate`'s policy).
+//!
+//! ```text
+//! cargo run --release -p ocelot --example stream_overlap_gate
+//! ```
+
+use ocelot::executor::ParallelExecutor;
+use ocelot_sz::{Dataset, LossyConfig};
+use std::time::Instant;
+
+fn field() -> Dataset<f32> {
+    // Smooth + oscillatory mix, large enough (~64 MB) that per-chunk work
+    // dwarfs thread and channel startup.
+    Dataset::from_fn(vec![256, 256, 256], |i| {
+        let (x, y, z) = (i[0] as f32, i[1] as f32, i[2] as f32);
+        (x * 0.031).sin() * (y * 0.017).cos() + (z * 0.011).sin() * 0.5 + (x + y + z) * 1e-4
+    })
+}
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    if cores < 4 {
+        println!("only {cores} core(s) available — stream overlap cannot manifest, skipping gate");
+        return Ok(());
+    }
+    let data = field();
+    // Pinned chunk layout: same container bytes at any thread count.
+    let cfg = LossyConfig::sz3(1e-3).with_chunk_points(Some(data.len() / 16 + 1));
+    let ex = ParallelExecutor::new(1).with_codec_threads(4);
+
+    let staged_rt = ex.stream_round_trip(&data, &cfg, 0)?;
+    let streamed_rt = ex.stream_round_trip(&data, &cfg, 4)?;
+    if staged_rt.outcome.blob != streamed_rt.outcome.blob {
+        return Err("streamed container bytes differ from staged".into());
+    }
+    if staged_rt.restored.values() != streamed_rt.restored.values() {
+        return Err("streamed restored data differs from staged".into());
+    }
+
+    let staged = best_of(3, || ex.stream_round_trip(&data, &cfg, 0).expect("staged round trip"));
+    let streamed = best_of(3, || ex.stream_round_trip(&data, &cfg, 4).expect("streamed round trip"));
+    println!("round trip: staged {staged:.3}s, streamed (window 4) {streamed:.3}s ({:.2}x)", staged / streamed);
+
+    if streamed >= staged {
+        return Err(format!("streamed round trip ({streamed:.3}s) not faster than staged ({staged:.3}s)").into());
+    }
+    Ok(())
+}

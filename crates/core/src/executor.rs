@@ -3,9 +3,35 @@
 //! threads: each worker repeatedly claims the next file and compresses or
 //! decompresses it with the real codec.
 
-use ocelot_sz::{compress, decompress_with_threads, CompressedBlob, CompressionOutcome, Dataset, LossyConfig, SzError};
+use ocelot_sz::format::{BlobHeader, ChunkEntry};
+use ocelot_sz::{
+    compress, compress_streamed, decode_chunk, decompress_with_threads, CompressedBlob, CompressionOutcome, Dataset,
+    LossyConfig, SzError,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One compressed chunk crossing the in-process "transfer lane" between the
+/// compress workers and the decode drainer.
+struct ChunkMsg {
+    index: usize,
+    header: BlobHeader,
+    dims: Vec<usize>,
+    entry: ChunkEntry,
+    payload: Vec<u8>,
+}
+
+/// Result of a streamed compress → ship → decode round trip for one file.
+#[derive(Debug, Clone)]
+pub struct StreamedRoundTrip {
+    /// The compression outcome — blob and stats are byte-identical to the
+    /// staged path at any window or thread count.
+    pub outcome: CompressionOutcome,
+    /// The dataset reconstructed chunk-by-chunk as chunks arrived.
+    pub restored: Dataset<f32>,
+    /// Number of chunks that crossed the stream.
+    pub chunks_shipped: usize,
+}
 
 /// A fixed-size pool of compression workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +105,72 @@ impl ParallelExecutor {
     /// Returns the first decompression error encountered.
     pub fn decompress_all(&self, blobs: &[CompressedBlob]) -> Result<Vec<Dataset<f32>>, SzError> {
         self.run(blobs.len(), |i| decompress_with_threads::<f32>(&blobs[i], self.codec_threads))
+    }
+
+    /// Streamed compress → ship → decode round trip for one dataset: chunks
+    /// enter a bounded in-process lane (capacity `window`) as soon as they are
+    /// encoded, and a drainer thread decodes each on arrival — the real-thread
+    /// analogue of the orchestrator's simulated compress/transfer overlap. At
+    /// most O(window) chunks are in flight between the codec and the drainer.
+    ///
+    /// `window == 0` is the staged degenerate case: full compress, then full
+    /// decompress, no overlap. Either way the blob and outcome are
+    /// byte-identical to [`compress`] and the restored dataset matches
+    /// [`decompress_with_threads`].
+    ///
+    /// # Errors
+    /// Returns the first codec error from either side of the stream.
+    pub fn stream_round_trip(
+        &self,
+        data: &Dataset<f32>,
+        config: &LossyConfig,
+        window: usize,
+    ) -> Result<StreamedRoundTrip, SzError> {
+        let config = config.with_threads(self.codec_threads);
+        if window == 0 {
+            let outcome = compress(data, &config)?;
+            let restored = decompress_with_threads::<f32>(&outcome.blob, self.codec_threads)?;
+            let chunks_shipped = outcome.chunks;
+            return Ok(StreamedRoundTrip { outcome, restored, chunks_shipped });
+        }
+        let (tx, rx) = std::sync::mpsc::sync_channel::<ChunkMsg>(window);
+        let dims = data.dims().to_vec();
+        let mut drain_result: Result<(Vec<f32>, usize), SzError> = Ok((Vec::new(), 0));
+        let mut outcome_result: Result<CompressionOutcome, SzError> =
+            Err(SzError::CorruptStream("stream never ran".into()));
+        crossbeam::thread::scope(|scope| {
+            let drainer = scope.spawn(move |_| {
+                let mut values = Vec::with_capacity(dims.iter().product());
+                let mut shipped = 0usize;
+                // Chunks arrive in index order (the engine's reorder buffer
+                // guarantees it), so appending reassembles the dataset.
+                while let Ok(msg) = rx.recv() {
+                    let decoded = decode_chunk::<f32>(&msg.header, &msg.dims, msg.index, &msg.entry, &msg.payload)?;
+                    values.extend_from_slice(&decoded);
+                    shipped += 1;
+                }
+                Ok((values, shipped))
+            });
+            outcome_result = compress_streamed(data, &config, window, |chunk| {
+                let msg = ChunkMsg {
+                    index: chunk.index,
+                    header: chunk.header.clone(),
+                    dims: chunk.dims.to_vec(),
+                    entry: chunk.entry,
+                    payload: chunk.payload.to_vec(),
+                };
+                tx.send(msg).map_err(|_| SzError::CorruptStream("stream drainer hung up".into()))
+            });
+            drop(tx);
+            drain_result = drainer.join().expect("drainer does not panic");
+        })
+        .expect("stream threads do not panic");
+        // A drainer decode error causes the sink send to fail; prefer the
+        // root-cause decode error over the secondary hang-up error.
+        let (values, chunks_shipped) = drain_result?;
+        let outcome = outcome_result?;
+        let restored = Dataset::new(data.dims().to_vec(), values)?;
+        Ok(StreamedRoundTrip { outcome, restored, chunks_shipped })
     }
 
     /// Generic indexed parallel map with first-error propagation.
@@ -194,5 +286,35 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_panics() {
         ParallelExecutor::new(0);
+    }
+
+    #[test]
+    fn streamed_round_trip_matches_staged_at_every_window() {
+        let data = Dataset::from_fn(vec![48, 48], |i| (i[0] as f32 * 0.1).sin() * (i[1] as f32 * 0.07).cos());
+        let cfg = LossyConfig::sz3_abs(1e-3).with_chunk_points(Some(256));
+        let staged = ParallelExecutor::new(1).stream_round_trip(&data, &cfg, 0).unwrap();
+        assert!(staged.chunks_shipped > 1, "test needs a multi-chunk layout");
+        for threads in [1usize, 4] {
+            for window in [1usize, 2, 8] {
+                let ex = ParallelExecutor::new(1).with_codec_threads(threads);
+                let streamed = ex.stream_round_trip(&data, &cfg, window).unwrap();
+                assert_eq!(
+                    streamed.outcome.blob, staged.outcome.blob,
+                    "streamed blob must be byte-identical (threads={threads}, window={window})"
+                );
+                assert_eq!(streamed.outcome.bin_stats, staged.outcome.bin_stats);
+                assert_eq!(streamed.chunks_shipped, staged.chunks_shipped);
+                assert_eq!(streamed.restored.values(), staged.restored.values());
+            }
+        }
+        let q = metrics::compare(&data, &staged.restored).unwrap();
+        assert!(q.within_bound(1e-3));
+    }
+
+    #[test]
+    fn streamed_round_trip_propagates_codec_errors() {
+        let data = files(1).pop().unwrap();
+        let bad = LossyConfig::sz3_abs(0.0);
+        assert!(ParallelExecutor::new(1).stream_round_trip(&data, &bad, 2).is_err());
     }
 }

@@ -56,7 +56,7 @@ pub mod verify;
 pub mod workload;
 
 pub use analysis::{summarize_field, FieldSummary, RunLog};
-pub use executor::ParallelExecutor;
+pub use executor::{ParallelExecutor, StreamedRoundTrip};
 pub use grouping::{group_blobs, plan_groups, ungroup_blobs, GroupManifest};
 pub use orchestrator::{Orchestrator, PipelineOptions, PipelineOutcome, Strategy};
 pub use planner::{select_codec, CodecChoice, TransferPlan, TransferPlanner};

@@ -9,7 +9,8 @@
 
 use ocelot_faas::{Cluster, WaitTimeModel};
 use ocelot_netsim::{
-    simulate_transfer_released, simulate_transfer_with_faults, FaultModel, GridFtpConfig, SiteId, Topology,
+    simulate_transfer_detailed, simulate_transfer_released, simulate_transfer_with_faults, FaultModel, GridFtpConfig,
+    SiteId, Topology,
 };
 
 use crate::grouping::{plan_groups, plan_groups_by_count};
@@ -80,6 +81,11 @@ pub struct PipelineOptions {
     /// the simulation agrees with what `ParallelExecutor::with_codec_threads`
     /// does on real hardware.
     pub codec_threads: usize,
+    /// Bounded in-flight chunk window for [`Orchestrator::run_streamed`]:
+    /// at most this many compressed chunks may sit between the compressor
+    /// and the far-side decompressor at once. `0` disables chunk streaming
+    /// (the staged/overlapped degenerate case).
+    pub stream_window: usize,
 }
 
 impl Default for PipelineOptions {
@@ -98,6 +104,7 @@ impl Default for PipelineOptions {
             seed: 0,
             job: None,
             codec_threads: 1,
+            stream_window: 0,
         }
     }
 }
@@ -471,6 +478,179 @@ impl Orchestrator {
         breakdown.transfer_s + breakdown.decompression_s
     }
 
+    /// Runs the *streamed* chunk pipeline: every compressed chunk enters the
+    /// WAN as soon as it is encoded, decompression of each chunk starts the
+    /// moment it lands, and a bounded window of
+    /// [`PipelineOptions::stream_window`] chunks caps what sits between the
+    /// compressor and the far-side decoder (back-pressure; memory stays
+    /// O(window) per lane). Chunk `j` of a file becomes ready at the
+    /// proportional point of its file's compression interval, mirroring the
+    /// real engine's in-order chunk completion.
+    ///
+    /// `stream_window == 0` degenerates to [`Orchestrator::run_overlapped`]
+    /// (file-grain pipelining, batch decompression) — the staged case.
+    ///
+    /// Like `run_overlapped`, the breakdown reports the critical path:
+    /// `transfer_s` spans t=0 to the last chunk's arrival and
+    /// `decompression_s` is only the *tail* that streaming could not hide
+    /// behind the transfer, so [`Orchestrator::overlapped_total_s`] is the
+    /// end-to-end time. Back-pressure stalls (a chunk ready but waiting for
+    /// window space) are recorded as `pipeline.transfer.stream_stall` spans
+    /// so critical-path analysis attributes them separately from transfer.
+    ///
+    /// # Panics
+    /// Panics if `from == to` or node counts are zero.
+    pub fn run_streamed(&self, workload: &Workload, from: SiteId, to: SiteId, opts: &PipelineOptions) -> TimeBreakdown {
+        assert!(opts.compress_nodes > 0 && opts.decompress_nodes > 0, "node counts must be positive");
+        let sizes = workload.compressed_sizes();
+        if opts.stream_window == 0 || sizes.is_empty() {
+            return self.run_overlapped(workload, from, to, opts);
+        }
+        let route = self.topology.route(from, to);
+        let src = self.topology.site(from);
+        let dst = self.topology.site(to);
+        let wait_s = opts.wait_model.sample(opts.seed, 0);
+
+        let comp_cluster = Cluster::new(opts.compress_nodes, src.cores_per_node, src.core_speed);
+        let (work, lanes) = codec_scaled(&workload.compression_work(), comp_cluster.total_cores(), opts.codec_threads);
+        let completions = comp_cluster.completion_times(&work, lanes);
+        let makespan = comp_cluster.parallel_makespan(&work, lanes);
+        let read_s = src.fs.read_time_s(workload.total_bytes(), comp_cluster.total_cores());
+        let latest = completions.iter().cloned().fold(0.0f64, f64::max);
+        let stretch = if latest > 0.0 { (read_s / latest).max(0.0) } else { 0.0 };
+
+        // Each file splits into the engine's chunk count; chunk j finishes
+        // encoding at the proportional point of the file's compute interval.
+        let k = if opts.codec_threads <= 1 { 1 } else { opts.codec_threads * 2 };
+        let mut chunks: Vec<(f64, u64)> = Vec::with_capacity(sizes.len() * k);
+        for (i, &size) in sizes.iter().enumerate() {
+            let dur = work[i].max(0.0) / src.core_speed;
+            let base = size / k as u64;
+            let rem = (size % k as u64) as usize;
+            for j in 0..k {
+                let ready = wait_s + (completions[i] - dur * (k - 1 - j) as f64 / k as f64) * (1.0 + stretch);
+                let csize = base + u64::from(j < rem);
+                chunks.push((ready.max(wait_s), csize));
+            }
+        }
+        chunks.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ready times"));
+        let ready: Vec<f64> = chunks.iter().map(|c| c.0).collect();
+        let chunk_sizes: Vec<u64> = chunks.iter().map(|c| c.1).collect();
+
+        // Window-W back-pressure fixpoint: chunk m cannot ship before chunk
+        // m−W has fully landed. Releasing later only delays completions, so
+        // the iteration is monotone; it converges once no release moves.
+        let window = opts.stream_window;
+        let mut release = ready.clone();
+        let mut detail =
+            simulate_transfer_detailed(&chunk_sizes, Some(&release), &route.link, &opts.gridftp, opts.seed);
+        for _ in 0..32 {
+            let mut changed = false;
+            for m in window..release.len() {
+                let want = ready[m].max(detail.completion_s[m - window]);
+                if want > release[m] + 1e-6 {
+                    release[m] = want;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            detail = simulate_transfer_detailed(&chunk_sizes, Some(&release), &route.link, &opts.gridftp, opts.seed);
+        }
+        let transfer_s = detail.report.duration_s;
+
+        // Merged stall intervals (a chunk encoded but blocked on the window).
+        let mut stalls: Vec<(f64, f64)> =
+            ready.iter().zip(&release).filter(|(r, l)| **l > **r + 1e-9).map(|(&r, &l)| (r, l)).collect();
+        stalls.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite stall times"));
+        let mut stall_iv: Vec<(f64, f64)> = Vec::new();
+        for (a, b) in stalls {
+            match stall_iv.last_mut() {
+                Some(last) if a <= last.1 => last.1 = last.1.max(b),
+                _ => stall_iv.push((a, b)),
+            }
+        }
+        let stall_total: f64 = stall_iv.iter().map(|(a, b)| b - a).sum();
+
+        // Decompress each chunk on arrival: greedy least-loaded destination
+        // core, gated on the chunk's landing time (the simulated twin of
+        // `FaasEndpoint::invoke_chunked_released`).
+        let dcores = opts.decompress_cores_per_node.unwrap_or(dst.cores_per_node).min(dst.cores_per_node);
+        let decomp_cluster = Cluster::new(opts.decompress_nodes, dcores, dst.core_speed);
+        let dwork = workload.decompression_work();
+        let mut dchunk: Vec<f64> = Vec::with_capacity(sizes.len() * k);
+        for w in &dwork {
+            for _ in 0..k {
+                dchunk.push(w.max(0.0) / k as f64 / dst.core_speed);
+            }
+        }
+        let mut dlanes = vec![f64::NEG_INFINITY; decomp_cluster.total_cores().min(dchunk.len().max(1))];
+        let mut first_decode = f64::INFINITY;
+        let mut decomp_finish = transfer_s;
+        for (m, &dur) in dchunk.iter().enumerate() {
+            let arrival = detail.completion_s[m.min(detail.completion_s.len() - 1)];
+            let (lane, free) =
+                dlanes.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, &t)| (i, t)).expect("lanes");
+            let start = free.max(arrival);
+            first_decode = first_decode.min(start);
+            dlanes[lane] = start + dur;
+            decomp_finish = decomp_finish.max(start + dur);
+        }
+        let total = decomp_finish.max(transfer_s);
+
+        let breakdown = TimeBreakdown {
+            queue_wait_s: wait_s,
+            compression_s: makespan,
+            grouping_s: 0.0,
+            transfer_s,
+            decompression_s: (total - transfer_s).max(0.0),
+            bytes_transferred: detail.report.bytes_total,
+            files_transferred: sizes.len(),
+        };
+        let obs = self.obs();
+        if obs.is_enabled() {
+            use crate::lanes::{OVERLAP, PRIMARY};
+            let root = obs.sim_span("pipeline.streamed", opts.job, PRIMARY, 0.0, total);
+            obs.sim_child(root, "pipeline.queue_wait", opts.job, PRIMARY, 0.0, wait_s);
+            let transfer =
+                obs.sim_child(root, "pipeline.transfer", opts.job, PRIMARY, wait_s.min(transfer_s), transfer_s);
+            for &(a, b) in &stall_iv {
+                let (a, b) = (a.max(wait_s), b.min(transfer_s));
+                if b > a {
+                    obs.sim_child(transfer, "pipeline.transfer.stream_stall", opts.job, PRIMARY, a, b);
+                }
+            }
+            obs.sim_child(root, "pipeline.compress", opts.job, OVERLAP, wait_s, (wait_s + makespan).min(total));
+            if first_decode.is_finite() && first_decode < transfer_s {
+                obs.sim_child(
+                    root,
+                    "pipeline.decompress",
+                    opts.job,
+                    OVERLAP,
+                    first_decode,
+                    decomp_finish.min(transfer_s),
+                );
+            }
+            if total > transfer_s {
+                obs.sim_child(root, "pipeline.decompress", opts.job, PRIMARY, transfer_s, total);
+            }
+            Self::observe_breakdown(&obs, &breakdown);
+            obs.inc("ocelot_core_runs_streamed_total", "Pipeline runs completed, by strategy");
+            obs.add(
+                "ocelot_core_stream_stalls_total",
+                "Back-pressure stall intervals in streamed runs",
+                stall_iv.len() as u64,
+            );
+            obs.observe(
+                "ocelot_core_stream_stall_seconds",
+                "Union of back-pressure stall time per streamed run",
+                stall_total,
+            );
+        }
+        breakdown
+    }
+
     /// Compression phase: compute makespan overlapped with source reads,
     /// plus writing the compressed output. Each file runs on
     /// `codec_threads` chunk-parallel cores (one simulated lane).
@@ -700,6 +880,66 @@ mod tests {
         let s8 = codec_speedup(8);
         assert!(s4 > 3.0 && s4 < 4.0, "4-thread speedup {s4}");
         assert!(s8 > s4 && s8 < 8.0, "8-thread speedup {s8}");
+    }
+
+    #[test]
+    fn streamed_window_zero_is_the_overlapped_degenerate_case() {
+        let orch = Orchestrator::paper();
+        let w = miranda();
+        let opts = PipelineOptions::default();
+        let overlapped = orch.run_overlapped(&w, SiteId::Bebop, SiteId::Cori, &opts);
+        let streamed = orch.run_streamed(&w, SiteId::Bebop, SiteId::Cori, &opts);
+        assert_eq!(streamed, overlapped, "stream_window = 0 must be the staged/overlapped case");
+    }
+
+    #[test]
+    fn streamed_pipeline_beats_staged_accounting() {
+        // The acceptance gate: chunk streaming with a bounded window must
+        // not be slower than the staged (additive) pipeline, and hiding the
+        // decompression behind the transfer should beat even file-grain
+        // overlap on a compute-heavy route.
+        let orch = Orchestrator::paper();
+        let w = Workload::rtm(ocelot_sz::LossyConfig::sz3(1e-2), 24).unwrap();
+        let staged_opts = PipelineOptions::default();
+        let staged = orch.run(&w, SiteId::Bebop, SiteId::Cori, Strategy::Compressed, &staged_opts);
+        for window in [4usize, 64] {
+            let opts = PipelineOptions { stream_window: window, codec_threads: 4, ..Default::default() };
+            let streamed = orch.run_streamed(&w, SiteId::Bebop, SiteId::Cori, &opts);
+            let streamed_total = Orchestrator::overlapped_total_s(&streamed);
+            assert!(
+                streamed_total <= staged.total_s(),
+                "window {window}: streamed {streamed_total} vs staged {}",
+                staged.total_s()
+            );
+            // Same payload crosses the wire (chunking preserves byte totals).
+            assert_eq!(streamed.bytes_transferred, staged.bytes_transferred);
+            assert_eq!(streamed.files_transferred, staged.files_transferred);
+        }
+        // A wider window can only help (less back-pressure).
+        let narrow = PipelineOptions { stream_window: 2, codec_threads: 4, ..Default::default() };
+        let wide = PipelineOptions { stream_window: 512, codec_threads: 4, ..Default::default() };
+        let tn = Orchestrator::overlapped_total_s(&orch.run_streamed(&w, SiteId::Bebop, SiteId::Cori, &narrow));
+        let tw = Orchestrator::overlapped_total_s(&orch.run_streamed(&w, SiteId::Bebop, SiteId::Cori, &wide));
+        assert!(tw <= tn + 1e-6, "wide {tw} vs narrow {tn}");
+    }
+
+    #[test]
+    fn streamed_run_records_stall_spans_on_the_critical_path() {
+        let obs = ocelot_obs::Obs::enabled();
+        let orch = Orchestrator::paper().with_obs(obs.clone());
+        let w = Workload::rtm(ocelot_sz::LossyConfig::sz3(1e-2), 24).unwrap();
+        // A tight window over a slow route forces back-pressure stalls.
+        let opts = PipelineOptions { stream_window: 1, codec_threads: 4, job: Some(42), ..Default::default() };
+        let b = orch.run_streamed(&w, SiteId::Anvil, SiteId::Bebop, &opts);
+        let spans = obs.recorder().expect("enabled obs records spans").for_job(42);
+        assert!(spans.iter().any(|s| s.name == "pipeline.transfer.stream_stall"), "tight window must stall");
+        let report = ocelot_obs::critpath::analyze(&spans).expect("sim spans recorded");
+        let stall = report.stage(ocelot_obs::critpath::Stage::Stall);
+        assert!(stall > 0.0, "stall time must be attributed distinctly");
+        // Per-stage attribution must sum to the critical path (within 1%).
+        let sum: f64 = report.stage_s.iter().sum();
+        assert!((sum - report.critical_path_s).abs() <= 0.01 * report.critical_path_s.max(1.0));
+        assert!(report.critical_path_s >= Orchestrator::overlapped_total_s(&b) - 1e-6);
     }
 
     #[test]

@@ -145,6 +145,46 @@ impl FaasEndpoint {
         (self.invoke_batch(chunk_exec_s.len().max(1), makespan, needs_nodes), timings)
     }
 
+    /// Streamed variant of [`FaasEndpoint::invoke_chunked`]: chunk `i` only
+    /// becomes available at `release_s[i]` seconds after execution start —
+    /// e.g. when it lands from the WAN — so a lane that frees up early idles
+    /// until the next chunk arrives (`start = max(lane_free, release)`).
+    /// This is the decompress-on-arrival half of the streaming pipeline: the
+    /// reported makespan is the arrival-bounded decompression finish, and
+    /// `makespan − last_release` is the decompression tail that streaming
+    /// cannot hide behind the transfer.
+    ///
+    /// With all releases zero this reduces exactly to `invoke_chunked`.
+    ///
+    /// # Panics
+    /// Panics if `codec_threads == 0`, `release_s.len() != chunk_exec_s.len()`,
+    /// or any release is negative/non-finite.
+    pub fn invoke_chunked_released(
+        &mut self,
+        chunk_exec_s: &[f64],
+        release_s: &[f64],
+        codec_threads: usize,
+        needs_nodes: bool,
+    ) -> (FaasInvocation, Vec<ChunkTiming>) {
+        assert!(codec_threads > 0, "codec_threads must be >= 1");
+        assert_eq!(release_s.len(), chunk_exec_s.len(), "one release time per chunk");
+        assert!(release_s.iter().all(|r| r.is_finite() && *r >= 0.0), "release times must be non-negative");
+        let obs = ocelot_obs::global();
+        let mut lanes = vec![0.0_f64; codec_threads.min(chunk_exec_s.len().max(1))];
+        let mut timings = Vec::with_capacity(chunk_exec_s.len());
+        for (chunk, (&exec, &release)) in chunk_exec_s.iter().zip(release_s).enumerate() {
+            let exec = exec.max(0.0);
+            let (lane, free) =
+                lanes.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, &t)| (i, t)).expect("lanes");
+            let start = free.max(release);
+            timings.push(ChunkTiming { chunk, lane, start_s: start, exec_s: exec });
+            lanes[lane] = start + exec;
+            obs.observe("ocelot_faas_chunk_exec_seconds", "Per-chunk codec execution time", exec);
+        }
+        let makespan = lanes.iter().fold(0.0_f64, |a, &b| a.max(b));
+        (self.invoke_batch(chunk_exec_s.len().max(1), makespan, needs_nodes), timings)
+    }
+
     /// Number of invocations served.
     pub fn invocation_count(&self) -> u64 {
         self.invocations
@@ -220,6 +260,33 @@ mod tests {
         let (inv, timings) = ep.invoke_chunked(&[2.0, 3.0], 8, false);
         assert!((inv.exec_s - 3.0).abs() < 1e-12);
         assert!(timings.iter().all(|t| t.start_s == 0.0));
+    }
+
+    #[test]
+    fn released_chunks_wait_for_arrival() {
+        let mut ep = FaasEndpoint::new("cori", WaitTimeModel::Immediate, 1);
+        ep.invoke(0.0, false); // warm the container
+        let work = [1.0, 1.0, 1.0, 1.0];
+        // All-zero releases reduce exactly to the plain chunked invocation.
+        let (plain, pt) = ep.invoke_chunked(&work, 2, false);
+        let (zero, zt) = ep.invoke_chunked_released(&work, &[0.0; 4], 2, false);
+        assert_eq!(pt, zt);
+        assert!((plain.exec_s - zero.exec_s).abs() < 1e-12);
+        // Staggered arrivals: lanes idle until each chunk lands, so the
+        // makespan is bounded below by last_release + its exec time.
+        let releases = [0.0, 2.0, 4.0, 6.0];
+        let (inv, t) = ep.invoke_chunked_released(&work, &releases, 2, false);
+        for (timing, &r) in t.iter().zip(&releases) {
+            assert!(timing.start_s >= r, "chunk {} started at {} before arrival {r}", timing.chunk, timing.start_s);
+        }
+        assert!((inv.exec_s - 7.0).abs() < 1e-12, "exec {}", inv.exec_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "one release time per chunk")]
+    fn released_length_mismatch_panics() {
+        let mut ep = FaasEndpoint::new("cori", WaitTimeModel::Immediate, 1);
+        ep.invoke_chunked_released(&[1.0, 1.0], &[0.0], 2, false);
     }
 
     #[test]

@@ -106,6 +106,34 @@ pub fn simulate_transfer_released(
     config: &GridFtpConfig,
     seed: u64,
 ) -> TransferReport {
+    simulate_transfer_detailed(files, release_s, link, config, seed).report
+}
+
+/// A [`TransferReport`] plus the simulated completion time of every file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetailedTransferReport {
+    /// The aggregate batch report (identical to what
+    /// [`simulate_transfer_released`] returns for the same inputs).
+    pub report: TransferReport,
+    /// Per-file completion times in seconds, indexed like `files`. The
+    /// streaming orchestrator uses these to start each item's decompression
+    /// the moment it lands instead of waiting for the batch.
+    pub completion_s: Vec<f64>,
+}
+
+/// Like [`simulate_transfer_released`], but also records when each file
+/// finishes — the hook the streamed pipeline needs to overlap per-chunk
+/// decompression with the remaining transfer.
+///
+/// # Panics
+/// Panics under the same conditions as [`simulate_transfer_released`].
+pub fn simulate_transfer_detailed(
+    files: &[u64],
+    release_s: Option<&[f64]>,
+    link: &LinkProfile,
+    config: &GridFtpConfig,
+    seed: u64,
+) -> DetailedTransferReport {
     assert!(config.concurrency > 0, "concurrency must be positive");
     assert!(config.parallelism > 0, "parallelism must be positive");
     if let Some(r) = release_s {
@@ -114,8 +142,12 @@ pub fn simulate_transfer_released(
     }
     let bytes_total: u64 = files.iter().sum();
     if files.is_empty() {
-        return TransferReport { duration_s: 0.0, bytes_total: 0, n_files: 0, effective_speed_bps: 0.0 };
+        return DetailedTransferReport {
+            report: TransferReport { duration_s: 0.0, bytes_total: 0, n_files: 0, effective_speed_bps: 0.0 },
+            completion_s: Vec::new(),
+        };
     }
+    let mut completion_s = vec![0.0f64; files.len()];
 
     // Command spacing: each of `concurrency` control channels handles one
     // file every `per_file_overhead` (+1 RTT without pipelining).
@@ -134,6 +166,7 @@ pub fn simulate_transfer_released(
     let activate = |idx: usize, active: &mut Vec<Active>, link: &LinkProfile| {
         let jf = link.jitter_factor(seed, idx as u64);
         active.push(Active {
+            index: idx,
             remaining: files[idx] as f64,
             cap: (config.per_file_cap_bps() * jf).max(1.0),
             setup_remaining: config.slot_setup_s,
@@ -193,7 +226,14 @@ pub fn simulate_transfer_released(
         }
         // Process completions (remaining ≤ epsilon bytes).
         let before = active.len();
-        active.retain(|a| a.remaining > 1e-6);
+        active.retain(|a| {
+            if a.remaining > 1e-6 {
+                true
+            } else {
+                completion_s[a.index] = now.as_secs_f64();
+                false
+            }
+        });
         if active.len() < before {
             last_completion = now;
         }
@@ -220,7 +260,10 @@ pub fn simulate_transfer_released(
         "Effective throughput of a batch transfer (bytes/second)",
         effective_speed_bps,
     );
-    TransferReport { duration_s, bytes_total, n_files: files.len(), effective_speed_bps }
+    DetailedTransferReport {
+        report: TransferReport { duration_s, bytes_total, n_files: files.len(), effective_speed_bps },
+        completion_s,
+    }
 }
 
 /// Max–min fair allocation of `capacity` among flows with per-flow caps.
@@ -275,6 +318,8 @@ impl CapHolder for f64 {
 /// One in-flight file transfer.
 #[derive(Debug, Clone, Copy)]
 struct Active {
+    /// Position in the input `files` slice (for completion-time recording).
+    index: usize,
     remaining: f64,
     cap: f64,
     /// In-slot setup time left before data flows.
@@ -431,6 +476,37 @@ mod tests {
         assert!(overlapped.duration_s < sequential, "{} vs {}", overlapped.duration_s, sequential);
         // And it can never beat the plain batch (files cannot start early).
         assert!(overlapped.duration_s >= simulate_transfer(&files, &test_link(), &cfg, 0).duration_s);
+    }
+
+    #[test]
+    fn detailed_report_matches_and_orders_completions() {
+        let files = vec![400_000_000u64, 100_000_000, 200_000_000];
+        let cfg = GridFtpConfig::default();
+        let d = simulate_transfer_detailed(&files, None, &test_link(), &cfg, 0);
+        let plain = simulate_transfer(&files, &test_link(), &cfg, 0);
+        assert_eq!(d.report, plain, "detailed variant must not change the aggregate report");
+        assert_eq!(d.completion_s.len(), 3);
+        // Every completion is positive and none exceeds the batch duration.
+        for &c in &d.completion_s {
+            assert!(c > 0.0 && c <= d.report.duration_s + 1e-9, "completion {c} vs {}", d.report.duration_s);
+        }
+        // The last completion IS the data phase's end.
+        let last = d.completion_s.iter().cloned().fold(0.0, f64::max);
+        assert!(last <= d.report.duration_s + 1e-9);
+        // With equal share, the smallest file lands first.
+        let min_idx =
+            d.completion_s.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap();
+        assert_eq!(min_idx, 1, "completions {:?}", d.completion_s);
+    }
+
+    #[test]
+    fn detailed_respects_release_times() {
+        let files = vec![50_000_000u64; 4];
+        let releases = vec![0.0, 5.0, 10.0, 15.0];
+        let d = simulate_transfer_detailed(&files, Some(&releases), &test_link(), &GridFtpConfig::default(), 0);
+        for (i, (&c, &r)) in d.completion_s.iter().zip(&releases).enumerate() {
+            assert!(c >= r, "file {i} completed at {c} before its release {r}");
+        }
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod time;
 
 pub use contention::{simulate_shared_link, BatchReport, BatchSpec};
 pub use faults::{simulate_transfer_with_faults, FaultModel, FaultyTransferReport};
-pub use gridftp::{simulate_transfer, simulate_transfer_released, GridFtpConfig, TransferReport};
+pub use gridftp::{
+    simulate_transfer, simulate_transfer_detailed, simulate_transfer_released, DetailedTransferReport, GridFtpConfig,
+    TransferReport,
+};
 pub use link::LinkProfile;
 pub use site::{Route, Site, SiteId, Topology};
 pub use storage::SharedFilesystem;

@@ -34,6 +34,9 @@ pub enum Stage {
     Group,
     /// Crossing the WAN, including retry re-offers.
     Transfer,
+    /// Streaming back-pressure: a chunk ready to ship waiting for window
+    /// space (distinct from transfer so overlap stalls are visible).
+    Stall,
     /// Decompression on destination nodes.
     Decompress,
     /// Anything unclassified (root envelopes, custom spans).
@@ -42,8 +45,15 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in attribution-report order.
-    pub const ALL: [Stage; 6] =
-        [Stage::QueueWait, Stage::Compress, Stage::Group, Stage::Transfer, Stage::Decompress, Stage::Other];
+    pub const ALL: [Stage; 7] = [
+        Stage::QueueWait,
+        Stage::Compress,
+        Stage::Group,
+        Stage::Transfer,
+        Stage::Stall,
+        Stage::Decompress,
+        Stage::Other,
+    ];
 
     /// Stable lowercase label used in reports and JSON.
     pub fn name(self) -> &'static str {
@@ -52,15 +62,21 @@ impl Stage {
             Stage::Compress => "compress",
             Stage::Group => "group",
             Stage::Transfer => "transfer",
+            Stage::Stall => "stall",
             Stage::Decompress => "decompress",
             Stage::Other => "other",
         }
     }
 
     /// Maps a dotted span name to a stage. Backoff counts as queue wait
-    /// (the job is parked either way); retry re-offers count as transfer.
+    /// (the job is parked either way); retry re-offers count as transfer;
+    /// streaming back-pressure stalls are checked first so a
+    /// `…transfer.stream_stall` child is not swallowed by its transfer
+    /// parent's keyword.
     pub fn classify(span_name: &str) -> Stage {
-        if span_name.contains("queue_wait") || span_name.contains("backoff") {
+        if span_name.contains("stall") {
+            Stage::Stall
+        } else if span_name.contains("queue_wait") || span_name.contains("backoff") {
             Stage::QueueWait
         } else if span_name.contains("decompress") {
             Stage::Decompress
@@ -331,6 +347,27 @@ mod tests {
         assert!((agg.critical_path_s - 14.0).abs() < 1e-9);
         assert_eq!(agg.dominant, Stage::Transfer);
         assert!(aggregate(&[]).is_none());
+    }
+
+    #[test]
+    fn stream_stalls_are_attributed_distinctly_from_transfer() {
+        // Streamed pipeline: a transfer window with two back-pressure stalls
+        // recorded as deeper children. The stall intervals must come out of
+        // the transfer bucket and land in Stage::Stall.
+        let r = Recorder::new();
+        let root = r.sim_span("pipeline.streamed", Some(7), 0, 0.0, 12.0);
+        let transfer = r.sim_child(root, "pipeline.transfer", Some(7), 0, 2.0, 12.0);
+        r.sim_child(transfer, "pipeline.transfer.stream_stall", Some(7), 0, 3.0, 4.0);
+        r.sim_child(transfer, "pipeline.transfer.stream_stall", Some(7), 0, 8.0, 10.5);
+        r.sim_child(root, "pipeline.compress", Some(7), 1, 0.0, 9.0);
+        let rep = analyze(&r.for_job(7)).unwrap();
+        assert_eq!(Stage::classify("pipeline.transfer.stream_stall"), Stage::Stall);
+        assert!((rep.critical_path_s - 12.0).abs() < 1e-9);
+        assert!((rep.stage(Stage::Stall) - 3.5).abs() < 1e-9, "stall {}", rep.stage(Stage::Stall));
+        assert!((rep.stage(Stage::Transfer) - 6.5).abs() < 1e-9, "transfer {}", rep.stage(Stage::Transfer));
+        // Compress only shows where nothing deeper covers the lane-0 window.
+        assert!((rep.stage(Stage::Compress) - 2.0).abs() < 1e-9);
+        assert_eq!(rep.dominant, Stage::Transfer);
     }
 
     #[test]

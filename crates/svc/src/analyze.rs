@@ -91,6 +91,7 @@ pub fn derive_hint(report: &BottleneckReport, workers: usize) -> SchedulerHint {
         Stage::Compress => (workers, "compression dominates; prefer the overlapped strategy or add source nodes"),
         Stage::Group => (workers, "grouping dominates; raise the transfer group size"),
         Stage::Transfer => (workers, "WAN transfer dominates; raise GridFTP parallelism or loosen error bounds"),
+        Stage::Stall => (workers, "streaming back-pressure dominates; raise stream_window so chunks keep flowing"),
         Stage::Decompress => (workers, "decompression dominates; add destination nodes"),
         Stage::Other => (workers, "no pipeline stage dominates; envelope overhead leads — profile the service layer"),
     };
@@ -201,6 +202,19 @@ mod tests {
         assert_eq!(hint.dominant, "transfer");
         assert_eq!(hint.recommended_workers, 4);
         assert_eq!(analysis.per_tenant["(unknown)"].dominant, "transfer");
+    }
+
+    #[test]
+    fn stall_dominant_advises_a_wider_window() {
+        let r = Recorder::new();
+        let root = r.sim_span("pipeline.streamed", Some(1), 0, 0.0, 10.0);
+        let t = r.sim_child(root, "pipeline.transfer", Some(1), 0, 0.0, 10.0);
+        r.sim_child(t, "pipeline.transfer.stream_stall", Some(1), 0, 1.0, 9.0);
+        let analysis = build_analysis(&r.spans(), &HashMap::new(), 4);
+        let hint = analysis.hint.unwrap();
+        assert_eq!(hint.dominant, "stall");
+        assert_eq!(hint.recommended_workers, 4, "back-pressure is not fixed by more workers");
+        assert!(hint.advice.contains("stream_window"));
     }
 
     #[test]

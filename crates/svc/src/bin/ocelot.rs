@@ -82,7 +82,7 @@ fn usage() {
          \n\
          commands:\n\
          \x20 gen        --app A --field F [--scale N] [--seed S] -o FILE     generate synthetic data\n\
-         \x20 compress   FILE [--dims DxHxW] [--eb E] [--abs] [--predictor P] [--backend B] [--codec-threads N] -o OUT\n\
+         \x20 compress   FILE [--dims DxHxW] [--eb E] [--abs] [--predictor P] [--backend B] [--codec-threads N] [--stream-window W] -o OUT\n\
          \x20 decompress FILE [--codec-threads N] -o OUT\n\
          \x20 inspect    FILE\n\
          \x20 sweep      FILE [--dims DxHxW] [--ebs E1,E2,...]                 measure ratio/PSNR per bound\n\
@@ -90,7 +90,7 @@ fn usage() {
          \x20 simulate   --app A --from SITE --to SITE [--strategy np|cp|op] [--groups N]\n\
          \x20 plan       --app A --from SITE --to SITE                         tuned transfer plan\n\
          \x20 submit     --app A --from SITE --to SITE [--eb E] [--strategy S] [--tenant T] [--fail P]\n\
-         \x20 serve      --jobs N --tenants T1,T2,... [--apps A1,A2] [--workers W] [--codec-threads N] [--fail P] [--seed S]\n\
+         \x20 serve      --jobs N --tenants T1,T2,... [--apps A1,A2] [--workers W] [--codec-threads N] [--stream-window W] [--fail P] [--seed S]\n\
          \x20 metrics    [serve flags] [--json] [-o FILE]       run a batch, export Prometheus text or JSON\n\
          \x20 trace      [JOB] [serve flags] [-o FILE]          run a batch, export Chrome trace_event JSON\n\
          \x20 analyze    [serve flags] [--json] [-o FILE]       run a batch, report critical-path bottlenecks\n\
@@ -166,6 +166,12 @@ fn parse_codec_threads(flags: &HashMap<String, String>) -> Result<usize, CliErro
     Ok(threads)
 }
 
+/// The `--stream-window` flag: bounded in-flight chunk window for the
+/// streamed compress→transfer→decompress pipeline (default 0 = staged).
+fn parse_stream_window(flags: &HashMap<String, String>) -> Result<usize, CliError> {
+    Ok(flags.get("stream-window").map(|s| s.parse()).transpose()?.unwrap_or(0))
+}
+
 fn parse_config(flags: &HashMap<String, String>) -> Result<LossyConfig, CliError> {
     let eb: f64 = flags.get("eb").map(|s| s.parse()).transpose()?.unwrap_or(1e-3);
     let mut cfg = LossyConfig::sz3(eb);
@@ -235,15 +241,24 @@ fn cmd_compress(positional: &[String], flags: &HashMap<String, String>) -> Resul
     let cfg = parse_config(flags)?;
     let variables = load_input(input, flags)?;
     let threads: usize = flags.get("threads").map(|s| s.parse()).transpose()?.unwrap_or(4);
-    let session = TransferSession::new(threads, cfg).with_codec_threads(parse_codec_threads(flags)?);
-    let set = session.build_archives(&variables, 1)?;
+    let window = parse_stream_window(flags)?;
+    let session =
+        TransferSession::new(threads, cfg).with_codec_threads(parse_codec_threads(flags)?).with_stream_window(window);
+    // With a stream window the chunks flow through the bounded pipeline and
+    // are decode-verified on arrival; the archive bytes are identical.
+    let set = if window > 0 {
+        session.build_archives_streamed(&variables, 1)?
+    } else {
+        session.build_archives(&variables, 1)?
+    };
     std::fs::write(out, &set.archives()[0])?;
     println!(
-        "wrote {out}: {} variable(s), {:.2} MB -> {:.2} MB (overall {:.1}x)",
+        "wrote {out}: {} variable(s), {:.2} MB -> {:.2} MB (overall {:.1}x){}",
         variables.len(),
         set.raw_bytes() as f64 / 1e6,
         set.compressed_bytes() as f64 / 1e6,
-        set.overall_ratio()
+        set.overall_ratio(),
+        if window > 0 { format!(" [streamed, window {window}]") } else { String::new() }
     );
     Ok(())
 }
@@ -443,6 +458,7 @@ fn parse_service_config(flags: &HashMap<String, String>) -> Result<ServiceConfig
         cfg.profile_scale = s.parse()?;
     }
     cfg.codec_threads = parse_codec_threads(flags)?;
+    cfg.stream_window = parse_stream_window(flags)?;
     // SLO rules evaluated on the simulated clock after every finished job.
     // Breaches land typed alerts in the journal and snap flight dumps.
     if let Some(s) = flags.get("slo-p99") {
@@ -726,6 +742,17 @@ mod tests {
         assert_eq!(cfg.backend, LosslessBackend::RleHuffman);
         flags.insert("predictor".to_string(), "psychic".to_string());
         assert!(parse_config(&flags).is_err());
+    }
+
+    #[test]
+    fn stream_window_flag_parses_with_staged_default() {
+        let mut flags = HashMap::new();
+        assert_eq!(parse_stream_window(&flags).unwrap(), 0);
+        flags.insert("stream-window".to_string(), "8".to_string());
+        assert_eq!(parse_stream_window(&flags).unwrap(), 8);
+        assert_eq!(parse_service_config(&flags).unwrap().stream_window, 8);
+        flags.insert("stream-window".to_string(), "many".to_string());
+        assert!(parse_stream_window(&flags).is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::journal::{AlertRecord, Event, Journal};
 use crate::metrics::{throughput_bps, MetricsSnapshot, TenantStats};
 use crate::queue::{SubmitError, TenantQueue};
 use crate::retry::RetryPolicy;
-use ocelot::orchestrator::{Orchestrator, PipelineOptions};
+use ocelot::orchestrator::{Orchestrator, PipelineOptions, PipelineOutcome, Strategy};
 use ocelot::workload::Workload;
 use ocelot_datagen::Application;
 use ocelot_netsim::{simulate_transfer_with_faults, FaultModel, GridFtpConfig};
@@ -72,6 +72,11 @@ pub struct ServiceConfig {
     /// Chunk-parallel codec threads per file in every job's compression and
     /// decompression phases (the CLI's `--codec-threads` flag).
     pub codec_threads: usize,
+    /// Bounded in-flight chunk window for streamed jobs (the CLI's
+    /// `--stream-window` flag). `0` keeps the staged pipeline; `> 0` runs
+    /// [`Strategy::Compressed`] jobs through the streamed chunk pipeline
+    /// (compress → ship → decompress overlapped, healthy-link model).
+    pub stream_window: usize,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +95,7 @@ impl Default for ServiceConfig {
             artifact_dir: None,
             flight_capacity: ocelot_obs::flight::DEFAULT_CAPACITY,
             codec_threads: 1,
+            stream_window: 0,
         }
     }
 }
@@ -551,15 +557,37 @@ fn process_job(shared: &Shared, id: JobId, spec: &JobSpec) -> JobReport {
         seed: job_seed,
         job: Some(id.0),
         codec_threads: cfg.codec_threads.max(1),
+        stream_window: cfg.stream_window,
         ..PipelineOptions::default()
     };
-    let outcome = shared.orchestrator.run_detailed(&workload, spec.from, spec.to, spec.strategy, &opts);
+    // With a stream window, plain compressed jobs run the streamed chunk
+    // pipeline (healthy-link model, like the sentinel and overlapped paths);
+    // everything else keeps the staged fault-aware path.
+    let streamed = cfg.stream_window > 0 && matches!(spec.strategy, Strategy::Compressed);
+    let outcome = if streamed {
+        let breakdown = shared.orchestrator.run_streamed(&workload, spec.from, spec.to, &opts);
+        PipelineOutcome {
+            breakdown,
+            transfer_retries: 0,
+            failed_files: Vec::new(),
+            wasted_bytes: 0,
+            attempts: Vec::new(),
+            transfer_sizes: Vec::new(),
+        }
+    } else {
+        shared.orchestrator.run_detailed(&workload, spec.from, spec.to, spec.strategy, &opts)
+    };
 
-    let pre_transfer_s =
-        outcome.breakdown.queue_wait_s + outcome.breakdown.compression_s + outcome.breakdown.grouping_s;
+    // Streamed transfer windows already cover queueing and compression on
+    // their critical path; the staged path accounts phases additively.
+    let pre_transfer_s = if streamed {
+        outcome.breakdown.queue_wait_s
+    } else {
+        outcome.breakdown.queue_wait_s + outcome.breakdown.compression_s + outcome.breakdown.grouping_s
+    };
     shared.journal_state(id, &spec.tenant, pre_transfer_s, JobState::Transferring);
 
-    let mut t_s = pre_transfer_s + outcome.breakdown.transfer_s;
+    let mut t_s = if streamed { outcome.breakdown.transfer_s } else { pre_transfer_s + outcome.breakdown.transfer_s };
     let mut retries = outcome.transfer_retries as u32;
     let mut bytes_transferred = outcome.breakdown.bytes_transferred;
     let mut wasted_bytes = outcome.wasted_bytes;
@@ -749,6 +777,27 @@ mod tests {
         let m = svc.metrics();
         assert_eq!(m.jobs_rejected, rejected);
         assert_eq!(m.jobs_finished(), m.jobs_submitted);
+    }
+
+    #[test]
+    fn streamed_jobs_finish_no_slower_than_staged() {
+        let staged = Service::start(ServiceConfig { workers: 1, ..Default::default() });
+        staged.submit(miranda_job("climate")).unwrap();
+        let staged_m = staged.shutdown();
+        let streamed =
+            Service::start(ServiceConfig { workers: 1, stream_window: 8, codec_threads: 2, ..Default::default() });
+        let id = streamed.submit(miranda_job("climate")).unwrap();
+        streamed.drain();
+        let states: Vec<JobState> = streamed.shared.journal.events_for(id).into_iter().map(|e| e.state).collect();
+        assert!(states.contains(&JobState::Done), "streamed job must complete: {states:?}");
+        let streamed_m = streamed.shutdown();
+        assert_eq!(streamed_m.jobs_done, 1);
+        assert!(
+            streamed_m.latency_p50_s <= staged_m.latency_p50_s + 1e-6,
+            "streamed {} vs staged {}",
+            streamed_m.latency_p50_s,
+            staged_m.latency_p50_s
+        );
     }
 
     #[test]

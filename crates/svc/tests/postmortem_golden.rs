@@ -15,9 +15,10 @@
 
 use ocelot_datagen::Application;
 use ocelot_netsim::{FaultModel, SiteId};
-use ocelot_svc::{JobSpec, RetryPolicy, Service, ServiceConfig};
+use ocelot_svc::{JobId, JobSpec, RetryPolicy, Service, ServiceConfig};
 
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/postmortem.txt");
+const GOLDEN_STREAMED: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/postmortem_streamed.txt");
 
 #[test]
 fn postmortem_rendering_matches_golden() {
@@ -44,4 +45,34 @@ fn postmortem_rendering_matches_golden() {
     }
     let golden = std::fs::read_to_string(GOLDEN).expect("golden file missing — run with UPDATE_GOLDEN=1 to create");
     assert_eq!(rendered, golden, "postmortem rendering drifted; run with UPDATE_GOLDEN=1 if intentional");
+}
+
+/// A healthy streamed job (stream_window > 0): the post-mortem must label
+/// back-pressure stall time distinctly from transfer in the attribution
+/// table, and the event ring shows the streamed span tree.
+#[test]
+fn streamed_postmortem_rendering_matches_golden() {
+    let cfg = ServiceConfig {
+        workers: 1,
+        codec_threads: 4,
+        stream_window: 1,
+        profile_scale: 8,
+        seed: 1234,
+        ..Default::default()
+    };
+    let svc = Service::start(cfg);
+    svc.submit(JobSpec::compressed("seismic", Application::Rtm, 1e-3, SiteId::Anvil, SiteId::Bebop)).unwrap();
+    svc.drain();
+
+    let dump = svc.force_flight_dump("postmortem", Some(JobId(0)));
+    let rendered = ocelot_svc::render_postmortem(&dump);
+    assert!(rendered.contains("stall"), "streamed job must attribute stall time:\n{rendered}");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_STREAMED, &rendered).expect("write golden");
+        return;
+    }
+    let golden =
+        std::fs::read_to_string(GOLDEN_STREAMED).expect("golden file missing — run with UPDATE_GOLDEN=1 to create");
+    assert_eq!(rendered, golden, "streamed postmortem drifted; run with UPDATE_GOLDEN=1 if intentional");
 }

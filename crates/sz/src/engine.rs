@@ -17,6 +17,7 @@
 use crossbeam::thread;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// How many chunks each worker should get on average when the chunk size is
 /// derived from the thread count (slack for load balancing: a straggler slab
@@ -153,6 +154,131 @@ where
     slots.into_inner().into_iter().map(|r| r.expect("every index visited")).collect()
 }
 
+/// Back-pressure gate shared by the windowed pool: `consumed` counts chunks
+/// the in-order consumer has retired; a worker may start chunk `i` only once
+/// `i < consumed + window`, so at most `window` chunks are ever past the
+/// gate but not yet consumed.
+struct WindowGate {
+    consumed: std::sync::Mutex<usize>,
+    cv: std::sync::Condvar,
+}
+
+impl WindowGate {
+    fn new() -> Self {
+        WindowGate { consumed: std::sync::Mutex::new(0), cv: std::sync::Condvar::new() }
+    }
+
+    /// Blocks until chunk `i` fits in the window; returns seconds stalled.
+    fn admit(&self, i: usize, window: usize) -> f64 {
+        let mut consumed = self.consumed.lock().expect("gate lock");
+        if i < *consumed + window {
+            return 0.0;
+        }
+        let t0 = std::time::Instant::now();
+        while i >= *consumed + window {
+            consumed = self.cv.wait(consumed).expect("gate wait");
+        }
+        t0.elapsed().as_secs_f64()
+    }
+
+    fn retire(&self) {
+        *self.consumed.lock().expect("gate lock") += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// Runs `work(0..n)` on up to `threads` scoped workers and feeds every
+/// result — in index order — to `consume` on the calling thread, holding at
+/// most `window` results in flight (claimed by a worker but not yet
+/// consumed). `window == 0` means unbounded (workers never stall).
+///
+/// This is the streaming counterpart of [`parallel_map`]: instead of
+/// collecting everything and returning, each finished chunk is handed to the
+/// consumer as soon as all lower-indexed chunks have been, so a downstream
+/// stage (transfer, decode) can overlap with upstream work while memory
+/// stays `O(window)` rather than `O(n)`.
+///
+/// Back-pressure stalls are recorded via the global obs handle
+/// (`ocelot_stream_stall_total` / `ocelot_stream_stall_seconds`), and the
+/// number of in-flight chunks is mirrored into `ocelot_stream_inflight`.
+pub(crate) fn parallel_map_windowed<R, F, C>(n: usize, threads: usize, window: usize, work: F, mut consume: C)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    if n == 0 {
+        return;
+    }
+    let obs = ocelot_obs::global();
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        // One worker can never have more than one chunk in flight, so the
+        // window is trivially respected and no stall can occur.
+        for i in 0..n {
+            consume(i, work(i));
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let gate = WindowGate::new();
+    let started = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    thread::scope(|scope| {
+        let (next, gate, started, work, obs) = (&next, &gate, &started, &work, &obs);
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if window > 0 {
+                    let stalled = gate.admit(i, window);
+                    if stalled > 0.0 {
+                        obs.inc("ocelot_stream_stall_total", "Chunk starts delayed by the stream window");
+                        obs.observe(
+                            "ocelot_stream_stall_seconds",
+                            "Back-pressure stall before a chunk could enter the stream window",
+                            stalled,
+                        );
+                    }
+                }
+                let inflight = started.fetch_add(1, Ordering::Relaxed) + 1;
+                obs.set_gauge(
+                    "ocelot_stream_inflight",
+                    "Chunks claimed by stream workers but not yet consumed in order",
+                    (inflight - gate_consumed(gate)) as f64,
+                );
+                let r = work(i);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // In-order consumer on the calling thread: buffer out-of-order
+        // arrivals (at most `window` of them when bounded) and drain runs.
+        let mut pending: std::collections::BTreeMap<usize, R> = std::collections::BTreeMap::new();
+        let mut next_out = 0usize;
+        while next_out < n {
+            let Ok((i, r)) = rx.recv() else { break };
+            pending.insert(i, r);
+            while let Some(r) = pending.remove(&next_out) {
+                consume(next_out, r);
+                next_out += 1;
+                gate.retire();
+            }
+        }
+    })
+    .expect("worker panics propagate via the scope");
+}
+
+/// Current retired count of the gate (for the in-flight gauge).
+fn gate_consumed(gate: &WindowGate) -> usize {
+    *gate.consumed.lock().expect("gate lock")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +364,48 @@ mod tests {
     fn parallel_map_handles_empty_and_tiny_inputs() {
         assert!(parallel_map(0, 4, |i| i).is_empty());
         assert_eq!(parallel_map(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn windowed_map_consumes_in_order_at_every_window() {
+        for threads in [1, 2, 4, 8] {
+            for window in [0, 1, 2, 3, 64] {
+                let mut seen = Vec::new();
+                parallel_map_windowed(
+                    37,
+                    threads,
+                    window,
+                    |i| i * 3,
+                    |i, r| {
+                        assert_eq!(r, i * 3, "result arrives with its own index");
+                        seen.push(i);
+                    },
+                );
+                assert_eq!(seen, (0..37).collect::<Vec<_>>(), "threads={threads} window={window}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_map_survives_a_slow_consumer_at_window_one() {
+        // The tightest window with the most workers: every worker but one
+        // stalls on the gate while the consumer dawdles. Must not deadlock.
+        let mut sum = 0usize;
+        parallel_map_windowed(
+            16,
+            8,
+            1,
+            |i| i,
+            |_, r| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                sum += r;
+            },
+        );
+        assert_eq!(sum, (0..16).sum());
+    }
+
+    #[test]
+    fn windowed_map_handles_empty_input() {
+        parallel_map_windowed(0, 4, 2, |i| i, |_, _| panic!("no chunks to consume"));
     }
 }

@@ -67,8 +67,10 @@ pub use config::{ErrorBound, LosslessBackend, LossyConfig, LossyConfigBuilder, P
 pub use error::SzError;
 pub use format::CompressedBlob;
 pub use metrics::QualityReport;
-pub use ndarray::Dataset;
+pub use ndarray::{Dataset, DatasetView};
 #[allow(deprecated)]
 pub use pipeline::compress_with_stats;
-pub use pipeline::{compress, decompress, decompress_with_threads, CompressionOutcome};
+pub use pipeline::{
+    compress, compress_streamed, decode_chunk, decompress, decompress_with_threads, CompressionOutcome, StreamedChunk,
+};
 pub use value::ScalarValue;

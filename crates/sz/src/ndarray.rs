@@ -17,7 +17,78 @@ pub struct Dataset<T> {
     data: Vec<T>,
 }
 
+/// Borrowed view of a row-major array: a shape plus a value slice, both
+/// borrowed from their owner.
+///
+/// The chunk-parallel hot path hands each worker a `DatasetView` of its row
+/// slab so splitting a dataset into chunks copies nothing — a chunk is just
+/// a sub-slice of the parent's value buffer under a (shared) shape.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetView<'a, T> {
+    dims: &'a [usize],
+    values: &'a [T],
+}
+
+impl<'a, T: ScalarValue> DatasetView<'a, T> {
+    /// Creates a view over a shape and a flat row-major slice.
+    ///
+    /// # Errors
+    /// Returns [`SzError::InvalidShape`] under the same conditions as
+    /// [`Dataset::new`].
+    pub fn new(dims: &'a [usize], values: &'a [T]) -> Result<Self, SzError> {
+        if dims.is_empty() {
+            return Err(SzError::InvalidShape("dimension list is empty".into()));
+        }
+        if dims.contains(&0) {
+            return Err(SzError::InvalidShape(format!("zero-sized dimension in {dims:?}")));
+        }
+        let expected: usize = dims.iter().product();
+        if expected != values.len() {
+            return Err(SzError::InvalidShape(format!(
+                "shape {dims:?} holds {expected} elements but buffer has {}",
+                values.len()
+            )));
+        }
+        Ok(DatasetView { dims, values })
+    }
+
+    /// The shape of the viewed array.
+    pub fn dims(&self) -> &'a [usize] {
+        self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the view is empty (never true for a valid shape).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Size of the viewed values in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.values.len() * T::BYTES
+    }
+
+    /// The flat row-major value slice.
+    pub fn values(&self) -> &'a [T] {
+        self.values
+    }
+}
+
 impl<T: ScalarValue> Dataset<T> {
+    /// Borrows the whole dataset as a [`DatasetView`].
+    pub fn view(&self) -> DatasetView<'_, T> {
+        DatasetView { dims: &self.dims, values: &self.data }
+    }
+
     /// Creates a dataset from a shape and a flat row-major buffer.
     ///
     /// # Errors

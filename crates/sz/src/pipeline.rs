@@ -11,13 +11,13 @@
 
 use crate::config::{LosslessBackend, LossyConfig, PredictorKind};
 use crate::encode::{huffman_decode, huffman_encode, lz_compress, lz_decompress, rle_decode, rle_encode};
-use crate::engine::{parallel_map, ChunkLayout};
+use crate::engine::{parallel_map, parallel_map_windowed, ChunkLayout};
 use crate::error::SzError;
 use crate::format::{
     write_framed, BlobHeader, BlobWriter, ChunkEntry, ChunkTable, CodecFamily, CompressedBlob, SectionReader, VERSION,
     VERSION_V1,
 };
-use crate::ndarray::Dataset;
+use crate::ndarray::{Dataset, DatasetView};
 use crate::predict::{interp, lorenzo, lorenzo2, regression, PredictionStreams};
 use crate::quantizer::LinearQuantizer;
 use crate::stats::{quant_bin_stats, QuantBinStats};
@@ -87,6 +87,49 @@ pub(crate) struct EncodedChunk {
 /// Returns [`SzError::InvalidConfig`] for invalid configurations and
 /// [`SzError::InvalidShape`] for unsupported shapes.
 pub fn compress<T: ScalarValue>(data: &Dataset<T>, config: &LossyConfig) -> Result<CompressionOutcome, SzError> {
+    compress_streamed(data, config, 0, |_| Ok(()))
+}
+
+/// One compressed chunk handed to a [`compress_streamed`] sink — in index
+/// order, as soon as it *and every earlier chunk* are encoded. `payload` is
+/// exactly the byte run the chunk occupies in the finished container, and
+/// `entry` is its chunk-table row, so a consumer can forward the chunk into
+/// a transfer lane and decode it on arrival without waiting for the blob.
+#[derive(Debug)]
+pub struct StreamedChunk<'a> {
+    /// Chunk index within the container (0-based, dense).
+    pub index: usize,
+    /// Total number of chunks the container will hold.
+    pub total: usize,
+    /// The container header the chunk belongs to.
+    pub header: &'a BlobHeader,
+    /// Shape of this chunk (same rank as the dataset, shorter dimension 0).
+    pub dims: &'a [usize],
+    /// The chunk's row in the container's chunk table.
+    pub entry: ChunkEntry,
+    /// The chunk's container payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Streaming variant of [`compress`]: hands each compressed chunk to `sink`
+/// in index order as soon as it is ready, with at most `window` chunks in
+/// flight between the compress workers and the sink (`window == 0` means
+/// unbounded — the staged degenerate case). Workers that run ahead of the
+/// sink stall until it catches up, bounding buffered chunk memory by the
+/// window instead of the dataset size.
+///
+/// The returned outcome — including the assembled container blob — is
+/// byte-identical to [`compress`] at every thread count and window size.
+///
+/// # Errors
+/// Everything [`compress`] returns, plus any error the sink raises (the
+/// first sink error aborts further sink calls and is returned).
+pub fn compress_streamed<T: ScalarValue>(
+    data: &Dataset<T>,
+    config: &LossyConfig,
+    window: usize,
+    sink: impl FnMut(StreamedChunk<'_>) -> Result<(), SzError>,
+) -> Result<CompressionOutcome, SzError> {
     config.validate()?;
     let abs_eb = config.error_bound.resolve(data);
     let header = BlobHeader {
@@ -101,7 +144,7 @@ pub fn compress<T: ScalarValue>(data: &Dataset<T>, config: &LossyConfig) -> Resu
     };
     let quantizer = LinearQuantizer::new(abs_eb, config.quant_radius);
     let zero_code = config.quant_radius;
-    compress_chunked(data, header, config.threads, config.chunk_points, |chunk| {
+    compress_chunked_streamed(data, header, config.threads, config.chunk_points, window, sink, |chunk| {
         let streams = run_predictor(chunk, config.predictor, &quantizer)?;
         let encoded_codes = encode_codes(&streams.codes, config.backend, zero_code);
         let mut unpred_bytes = Vec::with_capacity(streams.unpredictable.len() * T::BYTES);
@@ -145,28 +188,103 @@ pub(crate) fn compress_chunked<T, F>(
 ) -> Result<CompressionOutcome, SzError>
 where
     T: ScalarValue,
-    F: Fn(&Dataset<T>) -> Result<EncodedChunk, SzError> + Sync,
+    F: Fn(DatasetView<'_, T>) -> Result<EncodedChunk, SzError> + Sync,
+{
+    compress_chunked_streamed(data, header, threads, chunk_points, 0, |_| Ok(()), encode_chunk)
+}
+
+/// Streaming core shared by [`compress_chunked`] (no-op sink, unbounded
+/// window) and [`compress_streamed`]: chunks are encoded on the worker pool
+/// and *consumed in index order* on the calling thread — each one offered to
+/// `sink` the moment it is in order — so the container bytes never depend on
+/// scheduling, window, or thread count.
+fn compress_chunked_streamed<T, F, S>(
+    data: &Dataset<T>,
+    header: BlobHeader,
+    threads: usize,
+    chunk_points: Option<usize>,
+    window: usize,
+    mut sink: S,
+    encode_chunk: F,
+) -> Result<CompressionOutcome, SzError>
+where
+    T: ScalarValue,
+    F: Fn(DatasetView<'_, T>) -> Result<EncodedChunk, SzError> + Sync,
+    S: FnMut(StreamedChunk<'_>) -> Result<(), SzError>,
 {
     let obs = ocelot_obs::global();
     let _span = obs.wall_span("compress", None, 0);
     let t0 = std::time::Instant::now();
     let layout = ChunkLayout::plan(data.dims(), threads, chunk_points);
     let n = layout.n_chunks();
-    let results: Vec<Result<EncodedChunk, SzError>> = parallel_map(n, threads, |i| {
-        let _chunk_span = obs.wall_span("sz.chunk", None, i as u32);
-        let tc = std::time::Instant::now();
-        let chunk = Dataset::new(layout.chunk_dims(i), data.values()[layout.value_range(i)].to_vec())
-            .expect("chunk shapes are valid by construction");
-        let out = encode_chunk(&chunk);
-        obs.observe("ocelot_sz_chunk_seconds", "Wall time of one chunk compression task", tc.elapsed().as_secs_f64());
-        out
-    });
-    let mut chunks = Vec::with_capacity(n);
-    for r in results {
-        chunks.push(r?);
+    // All chunks but the last share one shape; precompute both so splitting
+    // allocates nothing per chunk (the slab itself is a borrowed sub-slice).
+    let full_dims = layout.chunk_dims(0);
+    let tail_dims = layout.chunk_dims(n - 1);
+    let dims_of = |i: usize| -> &[usize] {
+        if layout.rows_in_chunk(i) == full_dims[0] {
+            &full_dims
+        } else {
+            &tail_dims
+        }
+    };
+    let zero_code = header.quant_radius;
+    let mut chunks: Vec<EncodedChunk> = Vec::with_capacity(n);
+    let mut entries: Vec<ChunkEntry> = Vec::with_capacity(n);
+    let mut first_err: Option<SzError> = None;
+    parallel_map_windowed(
+        n,
+        threads,
+        window,
+        |i| {
+            let _chunk_span = obs.wall_span("sz.chunk", None, i as u32);
+            let tc = std::time::Instant::now();
+            let view = DatasetView::new(dims_of(i), &data.values()[layout.value_range(i)])
+                .expect("chunk shapes are valid by construction");
+            let out = encode_chunk(view);
+            obs.observe(
+                "ocelot_sz_chunk_seconds",
+                "Wall time of one chunk compression task",
+                tc.elapsed().as_secs_f64(),
+            );
+            out
+        },
+        |i, result| {
+            if first_err.is_some() {
+                return;
+            }
+            match result {
+                Ok(c) => {
+                    let entry = ChunkEntry {
+                        len: c.payload.len(),
+                        crc: crate::checksum::crc32(&c.payload),
+                        points: layout.points_in_chunk(i) as u64,
+                        zero_bins: c.codes.iter().filter(|&&code| code == zero_code).count() as u64,
+                        unpredictable: c.unpredictable,
+                    };
+                    let streamed = StreamedChunk {
+                        index: i,
+                        total: n,
+                        header: &header,
+                        dims: dims_of(i),
+                        entry,
+                        payload: &c.payload,
+                    };
+                    if let Err(e) = sink(streamed) {
+                        first_err = Some(e);
+                        return;
+                    }
+                    entries.push(entry);
+                    chunks.push(c);
+                }
+                Err(e) => first_err = Some(e),
+            }
+        },
+    );
+    if let Some(e) = first_err {
+        return Err(e);
     }
 
-    let zero_code = header.quant_radius;
     let total_codes: usize = chunks.iter().map(|c| c.codes.len()).sum();
     let bin_stats = if total_codes == 0 {
         quant_bin_stats(&[], zero_code)
@@ -178,17 +296,6 @@ where
         quant_bin_stats(&codes, zero_code)
     };
 
-    let entries: Vec<ChunkEntry> = chunks
-        .iter()
-        .enumerate()
-        .map(|(i, c)| ChunkEntry {
-            len: c.payload.len(),
-            crc: crate::checksum::crc32(&c.payload),
-            points: layout.points_in_chunk(i) as u64,
-            zero_bins: c.codes.iter().filter(|&&code| code == zero_code).count() as u64,
-            unpredictable: c.unpredictable,
-        })
-        .collect();
     let table = ChunkTable { chunk_rows: layout.chunk_rows(), entries };
 
     let mut writer = BlobWriter::new(&header)?;
@@ -306,25 +413,17 @@ fn decompress_chunked<T: ScalarValue>(
         )));
     }
     let offsets = table.offsets();
-    let decoded: Vec<Result<Vec<T>, SzError>> = parallel_map(layout.n_chunks(), threads, |i| {
+    let n = layout.n_chunks();
+    // Chunk shapes are shared, not cloned per chunk (see compress side).
+    let full_dims = layout.chunk_dims(0);
+    let tail_dims = layout.chunk_dims(n - 1);
+    let decoded: Vec<Result<Vec<T>, SzError>> = parallel_map(n, threads, |i| {
         let _chunk_span = obs.wall_span("sz.chunk", None, i as u32);
         let tc = std::time::Instant::now();
         let entry = &table.entries[i];
         let payload = &body[offsets[i]..offsets[i] + entry.len];
-        if crate::checksum::crc32(payload) != entry.crc {
-            return Err(SzError::CorruptStream(format!("chunk {i} failed its CRC-32 check")));
-        }
-        let chunk_dims = layout.chunk_dims(i);
-        let values = match header.family {
-            CodecFamily::Transform => zfp::decode_chunk_payload::<T>(&chunk_dims, payload)?,
-            CodecFamily::Prediction => {
-                let mut parts = SectionReader::over(payload);
-                let side_data = parts.next_section()?;
-                let unpred_bytes = parts.next_section()?;
-                let encoded_codes = parts.next_section()?;
-                decode_prediction_chunk::<T>(header, &chunk_dims, side_data, unpred_bytes, encoded_codes)?.into_values()
-            }
-        };
+        let chunk_dims = if layout.rows_in_chunk(i) == full_dims[0] { &full_dims } else { &tail_dims };
+        let values = decode_chunk::<T>(header, chunk_dims, i, entry, payload)?;
         obs.observe("ocelot_sz_chunk_seconds", "Wall time of one chunk compression task", tc.elapsed().as_secs_f64());
         Ok(values)
     });
@@ -334,6 +433,36 @@ fn decompress_chunked<T: ScalarValue>(
         out.extend_from_slice(&r?);
     }
     Dataset::new(header.dims.clone(), out)
+}
+
+/// Decodes one container-v3 chunk — CRC check plus family dispatch — into
+/// its values. `entry` is the chunk's table row and `payload` its container
+/// bytes, exactly as a [`compress_streamed`] sink receives them, so a
+/// streamed consumer can decode each chunk on arrival without the blob.
+///
+/// # Errors
+/// Returns [`SzError::CorruptStream`] on a CRC mismatch or a malformed
+/// payload.
+pub fn decode_chunk<T: ScalarValue>(
+    header: &BlobHeader,
+    dims: &[usize],
+    index: usize,
+    entry: &ChunkEntry,
+    payload: &[u8],
+) -> Result<Vec<T>, SzError> {
+    if crate::checksum::crc32(payload) != entry.crc {
+        return Err(SzError::CorruptStream(format!("chunk {index} failed its CRC-32 check")));
+    }
+    match header.family {
+        CodecFamily::Transform => zfp::decode_chunk_payload::<T>(dims, payload),
+        CodecFamily::Prediction => {
+            let mut parts = SectionReader::over(payload);
+            let side_data = parts.next_section()?;
+            let unpred_bytes = parts.next_section()?;
+            let encoded_codes = parts.next_section()?;
+            Ok(decode_prediction_chunk::<T>(header, dims, side_data, unpred_bytes, encoded_codes)?.into_values())
+        }
+    }
 }
 
 /// Decodes one prediction-family chunk (or a whole legacy blob) from its
@@ -352,18 +481,17 @@ fn decode_prediction_chunk<T: ScalarValue>(
     let codes = decode_codes(encoded_codes, header.backend, header.quant_radius)?;
     let streams = PredictionStreams { codes, unpredictable, side_data: side_data.to_vec() };
     let quantizer = LinearQuantizer::new(header.abs_eb, header.quant_radius);
-    let dims = dims.to_vec();
     match header.predictor {
-        PredictorKind::Lorenzo => lorenzo::decompress(&dims, &streams, &quantizer),
-        PredictorKind::Lorenzo2 => lorenzo2::decompress(&dims, &streams, &quantizer),
-        PredictorKind::Regression => regression::decompress(&dims, &streams, &quantizer),
-        PredictorKind::InterpLinear => interp::decompress(&dims, &streams, &quantizer, interp::Basis::Linear),
-        PredictorKind::InterpCubic => interp::decompress(&dims, &streams, &quantizer, interp::Basis::Cubic),
+        PredictorKind::Lorenzo => lorenzo::decompress(dims, &streams, &quantizer),
+        PredictorKind::Lorenzo2 => lorenzo2::decompress(dims, &streams, &quantizer),
+        PredictorKind::Regression => regression::decompress(dims, &streams, &quantizer),
+        PredictorKind::InterpLinear => interp::decompress(dims, &streams, &quantizer, interp::Basis::Linear),
+        PredictorKind::InterpCubic => interp::decompress(dims, &streams, &quantizer, interp::Basis::Cubic),
     }
 }
 
 fn run_predictor<T: ScalarValue>(
-    data: &Dataset<T>,
+    data: DatasetView<'_, T>,
     predictor: PredictorKind,
     quantizer: &LinearQuantizer,
 ) -> Result<PredictionStreams<T>, SzError> {
@@ -638,6 +766,67 @@ mod tests {
         let cfg = LossyConfig::sz3_abs(0.5);
         let ErrorBound::Abs(v) = cfg.error_bound else { panic!("expected Abs, got {:?}", cfg.error_bound) };
         assert_eq!(v, 0.5);
+    }
+
+    #[test]
+    fn streamed_compression_is_byte_identical_and_in_order() {
+        let data = wavy(vec![40, 12]);
+        let cfg = LossyConfig::sz3_abs(1e-3).with_chunk_points(Some(60));
+        let staged = compress(&data, &cfg.with_threads(1)).unwrap();
+        assert!(staged.chunks > 1);
+        for threads in [1usize, 2, 4] {
+            for window in [0usize, 1, 2, 16] {
+                let mut indices = Vec::new();
+                let mut payload_cat = Vec::new();
+                let streamed = compress_streamed(&data, &cfg.with_threads(threads), window, |chunk| {
+                    assert_eq!(chunk.total, staged.chunks);
+                    assert_eq!(chunk.entry.len, chunk.payload.len());
+                    assert_eq!(chunk.entry.crc, crate::checksum::crc32(chunk.payload));
+                    indices.push(chunk.index);
+                    payload_cat.extend_from_slice(chunk.payload);
+                    Ok(())
+                })
+                .unwrap();
+                assert_eq!(streamed.blob, staged.blob, "threads={threads} window={window} changed bytes");
+                assert_eq!(indices, (0..staged.chunks).collect::<Vec<_>>(), "chunks arrive in index order");
+                // The streamed payloads are exactly the container's chunk
+                // region: the blob ends with them plus the 4-byte CRC.
+                let bytes = staged.blob.as_bytes();
+                let region = &bytes[bytes.len() - 4 - payload_cat.len()..bytes.len() - 4];
+                assert_eq!(region, &payload_cat[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_chunks_decode_on_arrival() {
+        let data = wavy(vec![48, 10]);
+        let cfg = LossyConfig::sz3_abs(1e-3).with_threads(4).with_chunk_points(Some(64));
+        let mut restored: Vec<f32> = Vec::new();
+        let outcome = compress_streamed(&data, &cfg, 2, |chunk| {
+            restored.extend(decode_chunk::<f32>(chunk.header, chunk.dims, chunk.index, &chunk.entry, chunk.payload)?);
+            Ok(())
+        })
+        .unwrap();
+        let staged = decompress::<f32>(&outcome.blob).unwrap();
+        assert_eq!(restored, staged.values(), "per-chunk decode equals whole-blob decode");
+    }
+
+    #[test]
+    fn streamed_sink_error_aborts_compression() {
+        let data = wavy(vec![40, 12]);
+        let cfg = LossyConfig::sz3_abs(1e-3).with_threads(2).with_chunk_points(Some(60));
+        let err = compress_streamed(&data, &cfg, 1, |chunk| {
+            if chunk.index == 1 {
+                Err(SzError::CorruptStream("sink rejected".into()))
+            } else {
+                Ok(())
+            }
+        });
+        match err {
+            Err(SzError::CorruptStream(msg)) => assert!(msg.contains("sink rejected")),
+            other => panic!("expected the sink error to surface, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! and predictions read only reconstructed values, guaranteeing parity.
 
 use crate::error::SzError;
-use crate::ndarray::Dataset;
+use crate::ndarray::{Dataset, DatasetView};
 use crate::predict::{PredictionStreams, UnpredictablePool};
 use crate::quantizer::LinearQuantizer;
 use crate::value::ScalarValue;
@@ -31,7 +31,7 @@ pub enum Basis {
 /// # Errors
 /// Returns [`SzError::InvalidShape`] for datasets with more than 3 dims.
 pub fn compress<T: ScalarValue>(
-    data: &Dataset<T>,
+    data: DatasetView<'_, T>,
     quantizer: &LinearQuantizer,
     basis: Basis,
 ) -> Result<PredictionStreams<T>, SzError> {
@@ -228,7 +228,7 @@ mod tests {
     fn check_round_trip(dims: Vec<usize>, eb: f64, basis: Basis, gen: impl FnMut(&[usize]) -> f32) {
         let data = Dataset::from_fn(dims.clone(), gen);
         let q = LinearQuantizer::new(eb, 1 << 15);
-        let streams = compress(&data, &q, basis).unwrap();
+        let streams = compress(data.view(), &q, basis).unwrap();
         assert_eq!(streams.codes.len(), data.len(), "schedule must visit every point once");
         let out = decompress(&dims, &streams, &q, basis).unwrap();
         for (a, b) in data.values().iter().zip(out.values()) {
@@ -277,8 +277,8 @@ mod tests {
             Dataset::from_fn(vec![64, 64], |i| ((i[0] as f32) * 0.05).sin() * ((i[1] as f32) * 0.08).cos() * 50.0);
         let q = LinearQuantizer::new(0.05, 1 << 15);
         let zero = 1u32 << 15;
-        let interp = compress(&data, &q, Basis::Cubic).unwrap();
-        let lorenzo = crate::predict::lorenzo::compress(&data, &q).unwrap();
+        let interp = compress(data.view(), &q, Basis::Cubic).unwrap();
+        let lorenzo = crate::predict::lorenzo::compress(data.view(), &q).unwrap();
         let zc = |codes: &[u32]| codes.iter().filter(|&&c| c == zero).count();
         assert!(zc(&interp.codes) >= zc(&lorenzo.codes));
     }
@@ -287,7 +287,7 @@ mod tests {
     fn rejects_rank_4() {
         let data = Dataset::<f32>::constant(vec![2, 2, 2, 2], 1.0).unwrap();
         let q = LinearQuantizer::new(1e-3, 512);
-        assert!(compress(&data, &q, Basis::Cubic).is_err());
+        assert!(compress(data.view(), &q, Basis::Cubic).is_err());
     }
 
     #[test]
@@ -301,7 +301,7 @@ mod tests {
     fn pool_mismatch_detected() {
         let data = Dataset::from_fn(vec![16], |i| i[0] as f32);
         let q = LinearQuantizer::new(1e-3, 1 << 15);
-        let mut streams = compress(&data, &q, Basis::Linear).unwrap();
+        let mut streams = compress(data.view(), &q, Basis::Linear).unwrap();
         streams.unpredictable.push(42.0);
         assert!(decompress(&[16], &streams, &q, Basis::Linear).is_err());
     }

@@ -11,7 +11,7 @@
 //! predicted as zero.
 
 use crate::error::SzError;
-use crate::ndarray::Dataset;
+use crate::ndarray::{Dataset, DatasetView};
 use crate::predict::{PredictionStreams, UnpredictablePool};
 use crate::quantizer::LinearQuantizer;
 use crate::value::ScalarValue;
@@ -23,7 +23,7 @@ const EMPTY: &[u32] = &[];
 /// # Errors
 /// Returns [`SzError::InvalidShape`] for datasets with more than 3 dims.
 pub fn compress<T: ScalarValue>(
-    data: &Dataset<T>,
+    data: DatasetView<'_, T>,
     quantizer: &LinearQuantizer,
 ) -> Result<PredictionStreams<T>, SzError> {
     match data.ndim() {
@@ -289,7 +289,7 @@ mod tests {
     fn check_round_trip(dims: Vec<usize>, eb: f64, gen: impl FnMut(&[usize]) -> f32) {
         let data = Dataset::from_fn(dims.clone(), gen);
         let q = LinearQuantizer::new(eb, 1 << 15);
-        let streams = compress(&data, &q).unwrap();
+        let streams = compress(data.view(), &q).unwrap();
         let out = decompress(&dims, &streams, &q).unwrap();
         for (a, b) in data.values().iter().zip(out.values()) {
             assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-9), "a={a} b={b} eb={eb}");
@@ -320,7 +320,7 @@ mod tests {
         // noise feeds back into the predictions).
         let data = Dataset::from_fn(vec![64, 64], |i| (i[0] + i[1]) as f32);
         let q = LinearQuantizer::new(0.25, 1 << 15);
-        let streams = compress(&data, &q).unwrap();
+        let streams = compress(data.view(), &q).unwrap();
         let zero_code = 1u32 << 15;
         let zeros = streams.codes.iter().filter(|&&c| c == zero_code).count();
         // Interior points are exactly predicted; only the first row/column
@@ -333,7 +333,7 @@ mod tests {
     fn rejects_4d() {
         let data = Dataset::<f32>::constant(vec![2, 2, 2, 2], 0.0).unwrap();
         let q = LinearQuantizer::new(1e-3, 512);
-        assert!(compress(&data, &q).is_err());
+        assert!(compress(data.view(), &q).is_err());
     }
 
     #[test]

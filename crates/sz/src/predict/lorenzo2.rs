@@ -9,7 +9,7 @@
 //! orders per dataset).
 
 use crate::error::SzError;
-use crate::ndarray::Dataset;
+use crate::ndarray::{Dataset, DatasetView};
 use crate::predict::{PredictionStreams, UnpredictablePool};
 use crate::quantizer::LinearQuantizer;
 use crate::value::ScalarValue;
@@ -43,7 +43,7 @@ fn stencil(ndim: usize) -> Vec<(Vec<usize>, f64)> {
 /// # Errors
 /// Returns [`SzError::InvalidShape`] for datasets with more than 3 dims.
 pub fn compress<T: ScalarValue>(
-    data: &Dataset<T>,
+    data: DatasetView<'_, T>,
     quantizer: &LinearQuantizer,
 ) -> Result<PredictionStreams<T>, SzError> {
     if data.ndim() > 3 {
@@ -146,7 +146,7 @@ mod tests {
     fn check_round_trip(dims: Vec<usize>, eb: f64, gen: impl FnMut(&[usize]) -> f32) {
         let data = Dataset::from_fn(dims.clone(), gen);
         let q = LinearQuantizer::new(eb, 1 << 15);
-        let streams = compress(&data, &q).unwrap();
+        let streams = compress(data.view(), &q).unwrap();
         let out = decompress(&dims, &streams, &q).unwrap();
         for (a, b) in data.values().iter().zip(out.values()) {
             assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-9), "a={a} b={b}");
@@ -176,7 +176,7 @@ mod tests {
         // including the first row/column where first-order Lorenzo errs.
         let data = Dataset::from_fn(vec![32, 32], |i| 3.0 * i[0] as f32 + 2.0 * i[1] as f32 + 5.0);
         let q = LinearQuantizer::new(0.25, 1 << 15);
-        let streams = compress(&data, &q).unwrap();
+        let streams = compress(data.view(), &q).unwrap();
         let zero = 1u32 << 15;
         // Interior (i,j >= 2): exact prediction.
         let interior_nonzero = streams
@@ -207,7 +207,7 @@ mod tests {
         let streams = PredictionStreams::<f32> { codes: vec![512; 3], unpredictable: vec![], side_data: vec![] };
         assert!(decompress(&[8], &streams, &q).is_err());
         let data = Dataset::from_fn(vec![16], |i| i[0] as f32);
-        let mut ok = compress(&data, &LinearQuantizer::new(1e-3, 1 << 15)).unwrap();
+        let mut ok = compress(data.view(), &LinearQuantizer::new(1e-3, 1 << 15)).unwrap();
         ok.unpredictable.push(1.0);
         assert!(decompress(&[16], &ok, &LinearQuantizer::new(1e-3, 1 << 15)).is_err());
     }

@@ -14,7 +14,7 @@
 //! predictor.
 
 use crate::error::SzError;
-use crate::ndarray::Dataset;
+use crate::ndarray::{Dataset, DatasetView};
 use crate::predict::{PredictionStreams, UnpredictablePool};
 use crate::quantizer::LinearQuantizer;
 use crate::value::ScalarValue;
@@ -36,7 +36,7 @@ const FLAG_REGRESSION: u8 = 1;
 /// # Errors
 /// Returns [`SzError::InvalidShape`] for datasets with more than 3 dims.
 pub fn compress<T: ScalarValue>(
-    data: &Dataset<T>,
+    data: DatasetView<'_, T>,
     quantizer: &LinearQuantizer,
 ) -> Result<PredictionStreams<T>, SzError> {
     let ndim = data.ndim();
@@ -316,7 +316,7 @@ mod tests {
     fn check_round_trip(dims: Vec<usize>, eb: f64, gen: impl FnMut(&[usize]) -> f32) {
         let data = Dataset::from_fn(dims.clone(), gen);
         let q = LinearQuantizer::new(eb, 1 << 15);
-        let streams = compress(&data, &q).unwrap();
+        let streams = compress(data.view(), &q).unwrap();
         let out = decompress(&dims, &streams, &q).unwrap();
         for (a, b) in data.values().iter().zip(out.values()) {
             assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-9), "a={a} b={b}");
@@ -345,7 +345,7 @@ mod tests {
         let data =
             Dataset::from_fn(vec![24, 24, 24], |i| 1.0 + 0.5 * i[0] as f32 + 0.25 * i[1] as f32 - 0.125 * i[2] as f32);
         let q = LinearQuantizer::new(1e-3, 1 << 15);
-        let streams = compress(&data, &q).unwrap();
+        let streams = compress(data.view(), &q).unwrap();
         let zero = 1u32 << 15;
         let zero_frac = streams.codes.iter().filter(|&&c| c == zero).count() as f64 / streams.codes.len() as f64;
         assert!(zero_frac > 0.98, "zero_frac={zero_frac}");
@@ -362,7 +362,7 @@ mod tests {
     fn corrupt_flag_rejected() {
         let data = Dataset::from_fn(vec![8, 8], |i| (i[0] + i[1]) as f32);
         let q = LinearQuantizer::new(1e-3, 1 << 15);
-        let mut streams = compress(&data, &q).unwrap();
+        let mut streams = compress(data.view(), &q).unwrap();
         streams.side_data[0] = 7;
         assert!(decompress(&[8, 8], &streams, &q).is_err());
     }
@@ -371,7 +371,7 @@ mod tests {
     fn truncated_side_data_rejected() {
         let data = Dataset::from_fn(vec![30, 30], |i| (i[0] as f32 * 0.4).sin() + i[1] as f32);
         let q = LinearQuantizer::new(1e-3, 1 << 15);
-        let mut streams = compress(&data, &q).unwrap();
+        let mut streams = compress(data.view(), &q).unwrap();
         streams.side_data.truncate(1);
         assert!(decompress(&[30, 30], &streams, &q).is_err());
     }
@@ -380,7 +380,7 @@ mod tests {
     fn rejects_rank_4() {
         let data = Dataset::<f32>::constant(vec![2, 2, 2, 2], 0.0).unwrap();
         let q = LinearQuantizer::new(1e-3, 512);
-        assert!(compress(&data, &q).is_err());
+        assert!(compress(data.view(), &q).is_err());
     }
 
     #[test]

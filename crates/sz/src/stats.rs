@@ -5,7 +5,7 @@
 //! (`p0`, `P0`, quantization entropy, and the run-length estimator `R_rle`)
 //! from §VI.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::encode::huffman;
 use crate::ndarray::Dataset;
@@ -44,9 +44,11 @@ fn shannon_entropy_counts(counts: &[u64]) -> f64 {
         .sum()
 }
 
-/// Shannon entropy (bits/symbol) of an arbitrary symbol stream.
+/// Shannon entropy (bits/symbol) of an arbitrary symbol stream. Summation
+/// runs in sorted-symbol order so the result is bit-reproducible across runs
+/// (a `HashMap` walk would reorder the float sum and jitter the last ulp).
 pub fn symbol_entropy(symbols: &[u32]) -> f64 {
-    let mut counts: HashMap<u32, u64> = HashMap::new();
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
     for &s in symbols {
         *counts.entry(s).or_insert(0) += 1;
     }

@@ -20,7 +20,7 @@ use crate::config::{LosslessBackend, PredictorKind};
 use crate::encode::{lz_compress, lz_decompress};
 use crate::error::SzError;
 use crate::format::{BlobHeader, CodecFamily, CompressedBlob, VERSION};
-use crate::ndarray::Dataset;
+use crate::ndarray::{Dataset, DatasetView};
 use crate::pipeline::{compress_chunked, CompressionOutcome, EncodedChunk};
 use crate::value::ScalarValue;
 
@@ -77,7 +77,7 @@ pub(crate) fn compress_impl<T: ScalarValue>(
 
 /// Encodes one chunk (or a whole dataset) as a transform-codec payload:
 /// 4^d block stream followed by the shared LZ dictionary stage.
-fn encode_chunk_payload<T: ScalarValue>(chunk: &Dataset<T>, abs_eb: f64) -> Vec<u8> {
+fn encode_chunk_payload<T: ScalarValue>(chunk: DatasetView<'_, T>, abs_eb: f64) -> Vec<u8> {
     let mut payload = Vec::new();
     for_each_block(chunk.dims(), |base| {
         let block = gather_block::<T>(chunk, &base);
@@ -115,7 +115,7 @@ pub fn estimate_ratio_sampled<T: ScalarValue>(
     let mut k = 0usize;
     for_each_block(data.dims(), |base| {
         if k.is_multiple_of(block_stride) {
-            let block = gather_block::<T>(data, &base);
+            let block = gather_block::<T>(data.view(), &base);
             encode_block::<T>(&block, abs_eb, &mut payload);
             sampled_blocks += 1;
         }
@@ -195,7 +195,7 @@ fn pad3(dims: &[usize]) -> [usize; 3] {
 
 /// Gathers one block, clamping out-of-range coordinates to the edge (ZFP's
 /// pad-by-replication for partial blocks).
-fn gather_block<T: ScalarValue>(data: &Dataset<T>, base: &[usize; 3]) -> Vec<f64> {
+fn gather_block<T: ScalarValue>(data: DatasetView<'_, T>, base: &[usize; 3]) -> Vec<f64> {
     let ndim = data.ndim();
     let d3 = pad3(data.dims());
     let edge = |d: usize| if 3 - ndim <= d { BLOCK_EDGE } else { 1 };

@@ -5,6 +5,7 @@
 
 use ocelot::grouping::{group_blobs, plan_groups, plan_groups_by_count, ungroup_blobs};
 use ocelot::temporal::{TemporalCompressor, TemporalDecompressor};
+use ocelot::ParallelExecutor;
 use ocelot_netsim::{simulate_transfer, GridFtpConfig, LinkProfile};
 use ocelot_sz::config::{LosslessBackend, PredictorKind};
 use ocelot_sz::encode::{huffman_decode, huffman_encode, lz_compress, lz_decompress, rle_decode, rle_encode};
@@ -133,6 +134,50 @@ proptest! {
                 "bytes must not depend on the worker count ({} threads)", threads
             );
         }
+    }
+
+    #[test]
+    fn streamed_pipeline_is_byte_identical_to_staged(
+        dims in shapes(),
+        threads_idx in 0usize..4,
+        chunk_mode in 0usize..3,
+        window in 1usize..9,
+        eb_exp in 1i32..4,
+        seed in 0u64..100,
+    ) {
+        // Random dims × chunk sizes × window sizes × thread counts: the
+        // streamed pipeline (bounded in-flight chunks, decode on arrival)
+        // must produce the same v3 container bytes and the same outcome
+        // statistics as the staged compress-then-decompress path.
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let n: usize = dims.iter().product();
+        let chunk_points = match chunk_mode {
+            0 => Some(1),         // 1-point chunks (maximal chunk count)
+            1 => Some(n / 3 + 1), // a few chunks, ragged edge
+            _ => Some(2 * n + 7), // larger than the dataset → one chunk
+        };
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let vals: Vec<f32> = (0..n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32 - 0.5) * 50.0
+        }).collect();
+        let data = Dataset::new(dims, vals).expect("valid shape");
+        let cfg = LossyConfig::sz3(10f64.powi(-eb_exp)).with_chunk_points(chunk_points);
+        let staged = compress(&data, &cfg.with_threads(threads)).expect("staged compression succeeds");
+        let exec = ParallelExecutor::new(1).with_codec_threads(threads);
+        let rt = exec.stream_round_trip(&data, &cfg, window).expect("streamed pipeline succeeds");
+        prop_assert_eq!(
+            staged.blob.as_bytes(), rt.outcome.blob.as_bytes(),
+            "streamed bytes must match staged ({} threads, window {})", threads, window
+        );
+        prop_assert_eq!(staged.chunks, rt.outcome.chunks);
+        prop_assert_eq!(staged.chunks, rt.chunks_shipped, "every chunk crosses the stream exactly once");
+        prop_assert_eq!(staged.original_bytes, rt.outcome.original_bytes);
+        prop_assert_eq!(staged.sections, rt.outcome.sections);
+        prop_assert_eq!(&staged.bin_stats, &rt.outcome.bin_stats);
+        prop_assert!((staged.ratio - rt.outcome.ratio).abs() < 1e-12);
+        let staged_restored = decompress_with_threads::<f32>(&staged.blob, threads).expect("staged decode");
+        prop_assert_eq!(staged_restored.values(), rt.restored.values());
     }
 
     #[test]
