@@ -3,8 +3,10 @@
 //! lane and decodes it on arrival, so compress and decompress overlap
 //! instead of running back to back. Same bytes either way — this bench
 //! records what the overlap buys at different window sizes and thread
-//! counts, and emits a `BENCH_stream.json` summary (in the bench crate
-//! directory) so the perf trajectory is recorded run over run.
+//! counts, and **appends** a record to the `BENCH_stream.json` trajectory
+//! (in the bench crate directory, `ocelot::perf` format) so the perf
+//! history accumulates run over run instead of being overwritten. The
+//! staged-over-streamed margins land in the record's `meta`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ocelot::executor::ParallelExecutor;
@@ -51,72 +53,67 @@ fn bench_stream_overlap(c: &mut Criterion) {
     g.finish();
 }
 
-/// Medians over `runs` timed calls (one untimed warm-up).
-fn median_secs<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+/// Timed samples over `runs` calls (one untimed warm-up).
+fn sample_secs<T>(runs: usize, mut f: impl FnMut() -> T) -> Vec<f64> {
     std::hint::black_box(f());
-    let mut samples: Vec<f64> = (0..runs)
+    (0..runs)
         .map(|_| {
             let t0 = Instant::now();
             std::hint::black_box(f());
             t0.elapsed().as_secs_f64()
         })
-        .collect();
-    samples.sort_unstable_by(f64::total_cmp);
-    samples[samples.len() / 2]
+        .collect()
 }
 
-#[derive(serde::Serialize)]
-struct WindowTiming {
-    window: usize,
-    streamed_s: f64,
-}
-
-#[derive(serde::Serialize)]
-struct ThreadSummary {
-    codec_threads: usize,
-    staged_s: f64,
-    windows: Vec<WindowTiming>,
-}
-
-#[derive(serde::Serialize)]
-struct StreamBenchSummary {
-    bench: &'static str,
-    dataset_bytes: usize,
-    dims: Vec<usize>,
-    results: Vec<ThreadSummary>,
-}
-
-/// Writes the staged/streamed medians to `BENCH_stream.json` in the
-/// current directory (skipped when the target runs under `cargo test`).
+/// Appends the staged/streamed medians as one `ocelot::perf` record to the
+/// `BENCH_stream.json` trajectory in the current directory (skipped when
+/// the target runs under `cargo test`). Scenario names are
+/// `staged_{t}t` / `streamed_w{w}_{t}t`, so `ocelot perf diff --file
+/// crates/bench/BENCH_stream.json` compares consecutive bench runs; the
+/// staged-over-streamed speedup per window lands in `meta.margins`.
 fn emit_summary(_c: &mut Criterion) {
     if std::env::args().any(|a| a == "--test") {
         return;
     }
+    use serde_json::Value;
     let data = field();
     let cfg = config(&data);
-    let mut results = Vec::new();
+    let bytes = data.nbytes() as u64;
+    let mut record = ocelot::perf::PerfRecord::new("stream_overlap");
+    let mut margins: Vec<(String, Value)> = Vec::new();
     for threads in THREADS {
         let ex = ParallelExecutor::new(1).with_codec_threads(threads);
-        let staged = median_secs(3, || ex.stream_round_trip(&data, &cfg, 0).expect("staged round trip"));
-        let windows = WINDOWS
-            .iter()
-            .map(|&window| WindowTiming {
-                window,
-                streamed_s: median_secs(3, || ex.stream_round_trip(&data, &cfg, window).expect("streamed round trip")),
-            })
-            .collect();
-        results.push(ThreadSummary { codec_threads: threads, staged_s: staged, windows });
+        let staged = ocelot::perf::ScenarioResult::from_samples(
+            format!("staged_{threads}t"),
+            sample_secs(3, || ex.stream_round_trip(&data, &cfg, 0).expect("staged round trip")),
+            bytes,
+        );
+        let staged_median = staged.median_s;
+        record.scenarios.push(staged);
+        for window in WINDOWS {
+            let streamed = ocelot::perf::ScenarioResult::from_samples(
+                format!("streamed_w{window}_{threads}t"),
+                sample_secs(3, || ex.stream_round_trip(&data, &cfg, window).expect("streamed round trip")),
+                bytes,
+            );
+            if streamed.median_s > 0.0 {
+                margins.push((
+                    format!("staged_over_streamed_w{window}_{threads}t"),
+                    Value::Float(staged_median / streamed.median_s),
+                ));
+            }
+            record.scenarios.push(streamed);
+        }
     }
-    let summary = StreamBenchSummary {
-        bench: "stream_overlap",
-        dataset_bytes: data.nbytes(),
-        dims: data.dims().to_vec(),
-        results,
-    };
-    let path = "BENCH_stream.json";
-    match std::fs::write(path, serde_json::to_string_pretty(&summary).expect("summary serializes")) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    record.meta = Value::Object(vec![
+        ("dataset_bytes".to_string(), Value::UInt(bytes)),
+        ("dims".to_string(), Value::Array(data.dims().iter().map(|&d| Value::UInt(d as u64)).collect())),
+        ("margins".to_string(), Value::Object(margins)),
+    ]);
+    let path = std::path::Path::new("BENCH_stream.json");
+    match ocelot::perf::append_record(path, "stream_overlap", record) {
+        Ok(traj) => println!("appended record #{} to {}", traj.records.len(), path.display()),
+        Err(e) => eprintln!("could not append to {}: {e}", path.display()),
     }
 }
 

@@ -10,6 +10,11 @@
 //! serialize onto the same core and overlap cannot manifest, so the gate
 //! skips (matching `chunk_scaling_gate`'s policy).
 //!
+//! Each (non-skipped) run also appends its staged/streamed timings and
+//! margin to the `BENCH_stream.json` perf trajectory via the
+//! `ocelot::perf` record machinery, so the overlap win is tracked run
+//! over run alongside the bench's records.
+//!
 //! ```text
 //! cargo run --release -p ocelot --example stream_overlap_gate
 //! ```
@@ -18,6 +23,45 @@ use ocelot::executor::ParallelExecutor;
 use ocelot_sz::{Dataset, LossyConfig};
 use std::time::Instant;
 
+/// Timed samples over `runs` calls.
+fn sample_secs<T>(runs: usize, mut f: impl FnMut() -> T) -> Vec<f64> {
+    (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+/// Appends the gate's measurements to the stream-overlap trajectory
+/// (non-fatal: the gate's verdict never depends on bookkeeping I/O).
+fn append_trajectory(staged: Vec<f64>, streamed: Vec<f64>, bytes: u64) {
+    use ocelot::perf::{append_record, PerfRecord, ScenarioResult};
+    use serde_json::Value;
+    // CI runs this from the workspace root; `cargo bench` writes the same
+    // trajectory from inside crates/bench.
+    let path = if std::path::Path::new("crates/bench").is_dir() {
+        std::path::Path::new("crates/bench/BENCH_stream.json")
+    } else {
+        std::path::Path::new("BENCH_stream.json")
+    };
+    let mut record = PerfRecord::new("stream_overlap_gate");
+    let staged = ScenarioResult::from_samples("gate_staged_4t", staged, bytes);
+    let streamed = ScenarioResult::from_samples("gate_streamed_w4_4t", streamed, bytes);
+    let margin = if streamed.median_s > 0.0 { staged.median_s / streamed.median_s } else { 0.0 };
+    record.meta = Value::Object(vec![
+        ("dataset_bytes".to_string(), Value::UInt(bytes)),
+        ("staged_over_streamed_w4_4t".to_string(), Value::Float(margin)),
+    ]);
+    record.scenarios.push(staged);
+    record.scenarios.push(streamed);
+    match append_record(path, "stream_overlap", record) {
+        Ok(traj) => println!("appended gate record #{} to {}", traj.records.len(), path.display()),
+        Err(e) => eprintln!("could not append to {}: {e}", path.display()),
+    }
+}
+
 fn field() -> Dataset<f32> {
     // Smooth + oscillatory mix, large enough (~64 MB) that per-chunk work
     // dwarfs thread and channel startup.
@@ -25,16 +69,6 @@ fn field() -> Dataset<f32> {
         let (x, y, z) = (i[0] as f32, i[1] as f32, i[2] as f32);
         (x * 0.031).sin() * (y * 0.017).cos() + (z * 0.011).sin() * 0.5 + (x + y + z) * 1e-4
     })
-}
-
-fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
-    (0..runs)
-        .map(|_| {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            t0.elapsed().as_secs_f64()
-        })
-        .fold(f64::INFINITY, f64::min)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,9 +91,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Err("streamed restored data differs from staged".into());
     }
 
-    let staged = best_of(3, || ex.stream_round_trip(&data, &cfg, 0).expect("staged round trip"));
-    let streamed = best_of(3, || ex.stream_round_trip(&data, &cfg, 4).expect("streamed round trip"));
+    let staged_samples = sample_secs(3, || ex.stream_round_trip(&data, &cfg, 0).expect("staged round trip"));
+    let streamed_samples = sample_secs(3, || ex.stream_round_trip(&data, &cfg, 4).expect("streamed round trip"));
+    // Gate on best-of (least scheduler noise); record the full samples.
+    let staged = staged_samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let streamed = streamed_samples.iter().copied().fold(f64::INFINITY, f64::min);
     println!("round trip: staged {staged:.3}s, streamed (window 4) {streamed:.3}s ({:.2}x)", staged / streamed);
+    append_trajectory(staged_samples, streamed_samples, data.nbytes() as u64);
 
     if streamed >= staged {
         return Err(format!("streamed round trip ({streamed:.3}s) not faster than staged ({staged:.3}s)").into());

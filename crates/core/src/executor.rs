@@ -145,6 +145,9 @@ impl ParallelExecutor {
                 // Chunks arrive in index order (the engine's reorder buffer
                 // guarantees it), so appending reassembles the dataset.
                 while let Ok(msg) = rx.recv() {
+                    // Per-chunk profiling scope: decode-on-arrival kernels
+                    // drain from this thread's accumulator chunk by chunk.
+                    let _pscope = ocelot_obs::prof::scope(ocelot_obs::prof::ScopeId::DECOMPRESS);
                     let decoded = decode_chunk::<f32>(&msg.header, &msg.dims, msg.index, &msg.entry, &msg.payload)?;
                     values.extend_from_slice(&decoded);
                     shipped += 1;

@@ -46,6 +46,7 @@ pub mod grouping;
 pub mod lanes;
 pub mod loader;
 pub mod orchestrator;
+pub mod perf;
 pub mod planner;
 pub mod predictor;
 pub mod report;

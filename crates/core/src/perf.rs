@@ -1,0 +1,713 @@
+//! Perf-trajectory store: append-only performance history with noise-aware
+//! comparison, backing `ocelot perf record|diff|gate`.
+//!
+//! A **run record** ([`PerfRecord`]) is one execution of a set of named
+//! micro-scenarios on one machine: an environment fingerprint (cores, CPU
+//! model, rustc), median-of-N wall time with MAD per scenario, and the
+//! per-kernel attribution captured from the installed
+//! [`ocelot_obs::prof`] profiler during the run. Records append to a
+//! **trajectory** ([`Trajectory`]) — a JSON file under `results/perf/` that
+//! is never overwritten, so the performance history of a branch is a list
+//! you can plot, not a snapshot you lost.
+//!
+//! Comparison is *noise-aware*: a scenario only counts as a regression when
+//! the median moved by more than both the relative threshold and
+//! [`NOISE_SIGMA`] × the combined median-absolute-deviations — a ±2 % wobble
+//! on a noisy runner does not page anyone, a real 20 % slide does
+//! ([`diff_records`]). [`gate`] turns a diff into a CI verdict and refuses
+//! to compare fingerprints from different machines (core-count mismatch) or
+//! runners too small to produce stable numbers (< [`MIN_GATE_CORES`]
+//! cores) — those skip rather than fail.
+
+use crate::executor::ParallelExecutor;
+use ocelot_sz::{compress, decompress_with_threads, Dataset, LossyConfig};
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// A regression must exceed `NOISE_SIGMA × (old_mad + new_mad)` as well as
+/// the relative threshold before it is flagged.
+pub const NOISE_SIGMA: f64 = 3.0;
+
+/// Gates skip on runners with fewer cores than this (timings too unstable).
+pub const MIN_GATE_CORES: usize = 4;
+
+/// Default relative regression threshold for `perf gate` (10 %).
+pub const DEFAULT_GATE_THRESHOLD: f64 = 0.10;
+
+/// Env var holding an artificial slowdown factor applied to every measured
+/// sample (e.g. `1.2` = +20 %). Exists so CI can *prove* the gate trips on
+/// a known regression without shipping one.
+pub const INJECT_ENV: &str = "OCELOT_PERF_INJECT";
+
+/// Machine fingerprint a record was measured on. Records from different
+/// fingerprints are not comparable (the gate skips instead of guessing).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvFingerprint {
+    /// Available hardware parallelism.
+    pub cores: usize,
+    /// CPU model string (`unknown` when undetectable).
+    #[serde(default)]
+    pub cpu_model: String,
+    /// `rustc --version` of the toolchain on the machine (`unknown` when
+    /// rustc is not on PATH — records are made by CLI users, not builds).
+    #[serde(default)]
+    pub rustc: String,
+    /// Operating system family.
+    #[serde(default)]
+    pub os: String,
+}
+
+fn unknown_string() -> String {
+    "unknown".to_string()
+}
+
+impl EnvFingerprint {
+    /// Detects the current machine's fingerprint.
+    pub fn detect() -> Self {
+        EnvFingerprint {
+            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            cpu_model: detect_cpu_model(),
+            rustc: detect_rustc(),
+            os: std::env::consts::OS.to_string(),
+        }
+    }
+
+    /// True when timings from `other` are comparable with timings from
+    /// `self`: same core count and, when both are known, same CPU model.
+    pub fn comparable(&self, other: &EnvFingerprint) -> bool {
+        if self.cores != other.cores {
+            return false;
+        }
+        self.cpu_model == "unknown" || other.cpu_model == "unknown" || self.cpu_model == other.cpu_model
+    }
+}
+
+fn detect_cpu_model() -> String {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, model)) = rest.split_once(':') {
+                    return model.trim().to_string();
+                }
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+fn detect_rustc() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(unknown_string)
+}
+
+/// Per-kernel attribution captured from the profiler during one scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelSample {
+    /// Kernel label (`predict`, `huffman_encode`, …).
+    pub kernel: String,
+    /// Wall nanoseconds attributed across all repetitions.
+    pub nanos: u64,
+    /// Probe invocations.
+    pub calls: u64,
+    /// Bytes the kernel processed.
+    pub bytes: u64,
+}
+
+/// One scenario's measurement inside a record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario name — the unit `diff`/`gate` compare by.
+    pub scenario: String,
+    /// Median wall seconds over the repetitions.
+    pub median_s: f64,
+    /// Median absolute deviation of the samples (the noise floor).
+    pub mad_s: f64,
+    /// Every individual sample, in measurement order.
+    #[serde(default)]
+    pub samples_s: Vec<f64>,
+    /// Uncompressed bytes the scenario processes per repetition.
+    #[serde(default)]
+    pub bytes: u64,
+    /// Kernel attribution for the scenario (summed over repetitions; empty
+    /// when no profiler was installed).
+    #[serde(default)]
+    pub kernels: Vec<KernelSample>,
+}
+
+impl ScenarioResult {
+    /// Builds a result from raw samples (computes median + MAD).
+    pub fn from_samples(scenario: impl Into<String>, samples_s: Vec<f64>, bytes: u64) -> Self {
+        let med = median(&samples_s);
+        let mad_s = mad(&samples_s, med);
+        ScenarioResult { scenario: scenario.into(), median_s: med, mad_s, samples_s, bytes, kernels: Vec::new() }
+    }
+
+    /// Median throughput in bytes/second (0 when unmeasured).
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.median_s > 0.0 {
+            self.bytes as f64 / self.median_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One appended run: fingerprint + timestamp + scenario results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfRecord {
+    /// Unix timestamp (seconds) the run finished.
+    pub unix_seconds: u64,
+    /// Free-form label (`local`, a commit hash, a CI run id…).
+    #[serde(default)]
+    pub label: String,
+    /// Machine the record was measured on.
+    pub env: EnvFingerprint,
+    /// Measured profiler self-overhead ratio during the run (0 when no
+    /// profiler was installed).
+    #[serde(default)]
+    pub overhead_ratio: f64,
+    /// Scenario measurements.
+    pub scenarios: Vec<ScenarioResult>,
+    /// Producer-specific extra payload (benches stash margins here).
+    #[serde(default, skip_serializing_if = "serde_json::Value::is_null")]
+    pub meta: serde_json::Value,
+}
+
+impl PerfRecord {
+    /// Fresh record stamped with the current time and machine.
+    pub fn new(label: impl Into<String>) -> Self {
+        let unix_seconds =
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+        PerfRecord {
+            unix_seconds,
+            label: label.into(),
+            env: EnvFingerprint::detect(),
+            overhead_ratio: 0.0,
+            scenarios: Vec::new(),
+            meta: serde_json::Value::Null,
+        }
+    }
+
+    /// The named scenario's result, if present.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.scenario == name)
+    }
+}
+
+/// An append-only series of [`PerfRecord`]s for one benchmark/suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Suite name (`kernels`, `stream_overlap`, …).
+    pub bench: String,
+    /// Records in append order (oldest first).
+    pub records: Vec<PerfRecord>,
+}
+
+impl Trajectory {
+    /// Empty trajectory for `bench`.
+    pub fn new(bench: impl Into<String>) -> Self {
+        Trajectory { bench: bench.into(), records: Vec::new() }
+    }
+
+    /// The most recent record, if any.
+    pub fn latest(&self) -> Option<&PerfRecord> {
+        self.records.last()
+    }
+}
+
+/// Loads a trajectory, returning an empty one (named `bench`) when the file
+/// does not exist yet.
+///
+/// # Errors
+/// I/O errors other than not-found, and malformed JSON.
+pub fn load_trajectory(path: &Path, bench: &str) -> Result<Trajectory, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Trajectory::new(bench)),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Appends `record` to the trajectory at `path` (creating file and parent
+/// directories on first use) and returns the updated trajectory.
+///
+/// # Errors
+/// I/O and JSON errors, as strings (CLI-facing).
+pub fn append_record(path: &Path, bench: &str, record: PerfRecord) -> Result<Trajectory, String> {
+    let mut traj = load_trajectory(path, bench)?;
+    traj.records.push(record);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    let text = serde_json::to_string_pretty(&traj).map_err(|e| e.to_string())?;
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        f.write_all(text.as_bytes()).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(traj)
+}
+
+/// Median of a sample set (0 for an empty set).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation around `center`.
+pub fn mad(xs: &[f64], center: f64) -> f64 {
+    let devs: Vec<f64> = xs.iter().map(|x| (x - center).abs()).collect();
+    median(&devs)
+}
+
+/// One scenario's old-vs-new comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioDiff {
+    /// Scenario name.
+    pub scenario: String,
+    /// Baseline median seconds.
+    pub old_median_s: f64,
+    /// Candidate median seconds.
+    pub new_median_s: f64,
+    /// Relative change (`new/old − 1`; positive = slower).
+    pub delta_ratio: f64,
+    /// The effective threshold the delta was compared against, as a ratio
+    /// of the old median (noise floor already folded in).
+    pub threshold_ratio: f64,
+    /// Slower beyond the threshold.
+    pub regressed: bool,
+    /// Faster beyond the threshold.
+    pub improved: bool,
+}
+
+/// Full diff between two records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffReport {
+    /// Per-scenario comparisons (scenarios present in both records).
+    pub scenarios: Vec<ScenarioDiff>,
+    /// Scenarios present in only one record.
+    #[serde(default)]
+    pub missing: Vec<String>,
+    /// Set when the two fingerprints are not comparable.
+    #[serde(default)]
+    pub env_mismatch: Option<String>,
+}
+
+impl DiffReport {
+    /// Scenario names that regressed.
+    pub fn regressions(&self) -> Vec<&str> {
+        self.scenarios.iter().filter(|s| s.regressed).map(|s| s.scenario.as_str()).collect()
+    }
+}
+
+/// Noise-aware comparison of two records. A scenario regresses when
+///
+/// ```text
+/// new_median − old_median > max(rel_threshold × old_median,
+///                               NOISE_SIGMA × (old_mad + new_mad))
+/// ```
+///
+/// so the flag needs the move to clear both the *policy* threshold and the
+/// measured *noise floor*. Improvement is symmetric.
+pub fn diff_records(old: &PerfRecord, new: &PerfRecord, rel_threshold: f64) -> DiffReport {
+    let env_mismatch = if old.env.comparable(&new.env) {
+        None
+    } else {
+        Some(format!(
+            "baseline measured on {} cores ({}), candidate on {} cores ({})",
+            old.env.cores, old.env.cpu_model, new.env.cores, new.env.cpu_model
+        ))
+    };
+    let mut scenarios = Vec::new();
+    let mut missing = Vec::new();
+    for o in &old.scenarios {
+        let Some(n) = new.scenario(&o.scenario) else {
+            missing.push(o.scenario.clone());
+            continue;
+        };
+        let noise = NOISE_SIGMA * (o.mad_s + n.mad_s);
+        let threshold_abs = (rel_threshold * o.median_s).max(noise);
+        let delta = n.median_s - o.median_s;
+        scenarios.push(ScenarioDiff {
+            scenario: o.scenario.clone(),
+            old_median_s: o.median_s,
+            new_median_s: n.median_s,
+            delta_ratio: if o.median_s > 0.0 { delta / o.median_s } else { 0.0 },
+            threshold_ratio: if o.median_s > 0.0 { threshold_abs / o.median_s } else { f64::INFINITY },
+            regressed: delta > threshold_abs,
+            improved: -delta > threshold_abs,
+        });
+    }
+    for n in &new.scenarios {
+        if old.scenario(&n.scenario).is_none() {
+            missing.push(n.scenario.clone());
+        }
+    }
+    DiffReport { scenarios, missing, env_mismatch }
+}
+
+/// Verdict of a CI perf gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOutcome {
+    /// No regression beyond threshold on any gated hot path.
+    Pass(DiffReport),
+    /// At least one gated hot path regressed; CI should exit nonzero.
+    Fail(DiffReport),
+    /// Comparison would be meaningless here; CI should exit zero with the
+    /// reason (small runner, different machine…).
+    Skip(String),
+}
+
+/// Gates `new` against `baseline`: fails on a regression beyond
+/// `rel_threshold` on any scenario in `hot_paths` (all scenarios when
+/// empty); skips on < [`MIN_GATE_CORES`] cores or a fingerprint mismatch.
+pub fn gate(baseline: &PerfRecord, new: &PerfRecord, rel_threshold: f64, hot_paths: &[String]) -> GateOutcome {
+    if new.env.cores < MIN_GATE_CORES {
+        return GateOutcome::Skip(format!(
+            "runner has {} cores (< {MIN_GATE_CORES}); timings too unstable to gate",
+            new.env.cores
+        ));
+    }
+    let report = diff_records(baseline, new, rel_threshold);
+    if let Some(reason) = &report.env_mismatch {
+        return GateOutcome::Skip(format!("environment fingerprints differ: {reason}"));
+    }
+    let gated_regression = report
+        .scenarios
+        .iter()
+        .any(|s| s.regressed && (hot_paths.is_empty() || hot_paths.iter().any(|h| h == &s.scenario)));
+    if gated_regression {
+        GateOutcome::Fail(report)
+    } else {
+        GateOutcome::Pass(report)
+    }
+}
+
+/// A built-in kernel micro-scenario `perf record` measures.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable name (the diff/gate key).
+    pub name: &'static str,
+    /// Dataset shape (f32 values).
+    pub dims: Vec<usize>,
+    /// What the scenario exercises.
+    pub work: ScenarioWork,
+}
+
+/// What a scenario exercises.
+#[derive(Debug, Clone)]
+pub enum ScenarioWork {
+    /// Single-threaded compression with the given config (kernel purity —
+    /// no scheduling noise).
+    Compress(LossyConfig),
+    /// Compress once outside the timer, then time single-threaded
+    /// decompression.
+    Decompress(LossyConfig),
+    /// Streamed compress → lane → decode-on-arrival round trip.
+    StreamRoundTrip {
+        /// Codec config for the round trip.
+        config: LossyConfig,
+        /// Back-pressure window (chunks in flight).
+        window: usize,
+    },
+}
+
+/// The built-in hot-path scenarios at a size multiplier (`scale = 1` is the
+/// ~1 MiB CI size; `scale = 16` is the 64 MiB local size the overhead
+/// budget is asserted on).
+pub fn builtin_scenarios(scale: usize) -> Vec<Scenario> {
+    let s = scale.max(1);
+    let dims = vec![64 * s, 64, 64];
+    vec![
+        Scenario {
+            name: "compress_lorenzo_huffman",
+            dims: dims.clone(),
+            work: ScenarioWork::Compress(LossyConfig::sz3_abs(1e-3).with_predictor(ocelot_sz::PredictorKind::Lorenzo)),
+        },
+        Scenario {
+            name: "compress_interp",
+            dims: dims.clone(),
+            work: ScenarioWork::Compress(LossyConfig::sz3_abs(1e-3)),
+        },
+        Scenario { name: "decompress", dims: dims.clone(), work: ScenarioWork::Decompress(LossyConfig::sz3_abs(1e-3)) },
+        Scenario {
+            name: "stream_round_trip_w4",
+            dims,
+            work: ScenarioWork::StreamRoundTrip {
+                config: LossyConfig::sz3_abs(1e-3).with_threads(4).with_chunk_points(Some(64 * 64 * 8)),
+                window: 4,
+            },
+        },
+    ]
+}
+
+/// Deterministic mixed-smoothness field (same formula every run, so kernel
+/// work is reproducible across records).
+fn scenario_field(dims: Vec<usize>) -> Dataset<f32> {
+    Dataset::from_fn(dims, |i| {
+        let x = i.iter().enumerate().map(|(d, &v)| (v as f32) * 0.013 * (d as f32 + 1.0)).sum::<f32>();
+        x.sin() * 8.0 + 0.25 * x
+    })
+}
+
+/// The injected slowdown factor from [`INJECT_ENV`] (1.0 when unset).
+pub fn inject_factor() -> f64 {
+    std::env::var(INJECT_ENV)
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|f| f.is_finite() && *f > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Runs the built-in scenarios `reps` times each and assembles a record.
+/// When an [`ocelot_obs::prof`] profiler is installed globally, each
+/// scenario gets its own profiler epoch and the record carries per-kernel
+/// attribution plus the measured overhead ratio.
+pub fn run_builtin_scenarios(label: &str, scale: usize, reps: usize) -> PerfRecord {
+    let reps = reps.max(1);
+    let inject = inject_factor();
+    let mut record = PerfRecord::new(label);
+    for scenario in builtin_scenarios(scale) {
+        let data = scenario_field(scenario.dims.clone());
+        let bytes = data.nbytes() as u64;
+        let prof = ocelot_obs::prof::global();
+        let epoch = prof.as_ref().map(|p| p.advance_epoch());
+        let mut samples = Vec::with_capacity(reps);
+        match &scenario.work {
+            ScenarioWork::Compress(cfg) => {
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let out = compress(&data, cfg).expect("builtin scenario compresses");
+                    std::hint::black_box(out.blob.len());
+                    samples.push(t0.elapsed().as_secs_f64() * inject);
+                }
+            }
+            ScenarioWork::Decompress(cfg) => {
+                let blob = compress(&data, cfg).expect("builtin scenario compresses").blob;
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let out = decompress_with_threads::<f32>(&blob, 1).expect("builtin scenario decompresses");
+                    std::hint::black_box(out.len());
+                    samples.push(t0.elapsed().as_secs_f64() * inject);
+                }
+            }
+            ScenarioWork::StreamRoundTrip { config, window } => {
+                let ex = ParallelExecutor::new(1).with_codec_threads(config.threads);
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let out = ex.stream_round_trip(&data, config, *window).expect("builtin scenario streams");
+                    std::hint::black_box(out.chunks_shipped);
+                    samples.push(t0.elapsed().as_secs_f64() * inject);
+                }
+            }
+        }
+        let mut result = ScenarioResult::from_samples(scenario.name, samples, bytes);
+        if let (Some(p), Some(e)) = (&prof, epoch) {
+            result.kernels = p
+                .epoch_kernels(e)
+                .into_iter()
+                .map(|k| KernelSample {
+                    kernel: k.kernel.name().to_string(),
+                    nanos: k.nanos,
+                    calls: k.calls,
+                    bytes: k.bytes,
+                })
+                .collect();
+        }
+        record.scenarios.push(result);
+    }
+    if let Some(p) = ocelot_obs::prof::global() {
+        record.overhead_ratio = p.overhead_ratio();
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_with(scenarios: &[(&str, f64, f64)]) -> PerfRecord {
+        let mut r = PerfRecord::new("test");
+        for (name, median_s, mad_s) in scenarios {
+            r.scenarios.push(ScenarioResult {
+                scenario: name.to_string(),
+                median_s: *median_s,
+                mad_s: *mad_s,
+                samples_s: vec![*median_s],
+                bytes: 1 << 20,
+                kernels: Vec::new(),
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(mad(&[1.0, 2.0, 9.0], 2.0), 1.0);
+    }
+
+    #[test]
+    fn diff_detects_twenty_percent_regression() {
+        let old = record_with(&[("compress", 1.00, 0.01)]);
+        let new = record_with(&[("compress", 1.20, 0.01)]);
+        let report = diff_records(&old, &new, DEFAULT_GATE_THRESHOLD);
+        assert_eq!(report.regressions(), vec!["compress"]);
+        let d = &report.scenarios[0];
+        assert!((d.delta_ratio - 0.20).abs() < 1e-9);
+        assert!(d.regressed && !d.improved);
+    }
+
+    #[test]
+    fn diff_ignores_two_percent_noise() {
+        let old = record_with(&[("compress", 1.00, 0.01)]);
+        for m in [0.98, 1.02] {
+            let new = record_with(&[("compress", m, 0.01)]);
+            let report = diff_records(&old, &new, DEFAULT_GATE_THRESHOLD);
+            let d = &report.scenarios[0];
+            assert!(!d.regressed && !d.improved, "±2% flagged: {d:?}");
+        }
+    }
+
+    #[test]
+    fn noise_floor_expands_the_threshold() {
+        // 15 % move, but the MADs say the noise floor is ±3×(0.04+0.04)=24 %.
+        let old = record_with(&[("compress", 1.00, 0.04)]);
+        let new = record_with(&[("compress", 1.15, 0.04)]);
+        let report = diff_records(&old, &new, DEFAULT_GATE_THRESHOLD);
+        assert!(!report.scenarios[0].regressed, "move inside the noise floor was flagged");
+        // Same move with tight MADs is a real regression.
+        let old = record_with(&[("compress", 1.00, 0.001)]);
+        let new = record_with(&[("compress", 1.15, 0.001)]);
+        let report = diff_records(&old, &new, DEFAULT_GATE_THRESHOLD);
+        assert!(report.scenarios[0].regressed);
+    }
+
+    #[test]
+    fn diff_reports_improvements_and_missing_scenarios() {
+        let old = record_with(&[("a", 1.0, 0.001), ("gone", 1.0, 0.001)]);
+        let new = record_with(&[("a", 0.5, 0.001), ("new", 1.0, 0.001)]);
+        let report = diff_records(&old, &new, 0.10);
+        assert!(report.scenarios[0].improved);
+        assert_eq!(report.missing, vec!["gone".to_string(), "new".to_string()]);
+    }
+
+    #[test]
+    fn gate_fails_on_hot_path_regression_only() {
+        let mut old = record_with(&[("hot", 1.0, 0.001), ("cold", 1.0, 0.001)]);
+        let mut new = record_with(&[("hot", 1.0, 0.001), ("cold", 2.0, 0.001)]);
+        old.env.cores = MIN_GATE_CORES;
+        new.env = old.env.clone();
+        // Regression on a non-gated scenario: pass.
+        match gate(&old, &new, 0.10, &["hot".to_string()]) {
+            GateOutcome::Pass(r) => assert_eq!(r.regressions(), vec!["cold"]),
+            other => panic!("expected pass, got {other:?}"),
+        }
+        // Empty hot-path list gates everything: fail.
+        assert!(matches!(gate(&old, &new, 0.10, &[]), GateOutcome::Fail(_)));
+        // Identical records pass.
+        assert!(matches!(gate(&old, &old.clone(), 0.10, &[]), GateOutcome::Pass(_)));
+    }
+
+    #[test]
+    fn gate_skips_on_small_or_mismatched_runners() {
+        let mut old = record_with(&[("hot", 1.0, 0.001)]);
+        let mut new = record_with(&[("hot", 2.0, 0.001)]);
+        old.env.cores = 8;
+        new.env = old.env.clone();
+        new.env.cores = 2;
+        assert!(matches!(gate(&old, &new, 0.10, &[]), GateOutcome::Skip(_)), "small runner must skip");
+        new.env.cores = 16;
+        assert!(matches!(gate(&old, &new, 0.10, &[]), GateOutcome::Skip(_)), "core mismatch must skip");
+    }
+
+    #[test]
+    fn trajectory_appends_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("ocelot-perf-test-{}", std::process::id()));
+        let path = dir.join("kernels.json");
+        let _ = std::fs::remove_file(&path);
+        let t0 = load_trajectory(&path, "kernels").unwrap();
+        assert_eq!(t0.bench, "kernels");
+        assert!(t0.records.is_empty());
+        let r1 = record_with(&[("a", 1.0, 0.01)]);
+        let t1 = append_record(&path, "kernels", r1.clone()).unwrap();
+        assert_eq!(t1.records.len(), 1);
+        let r2 = record_with(&[("a", 1.1, 0.01)]);
+        let t2 = append_record(&path, "kernels", r2).unwrap();
+        assert_eq!(t2.records.len(), 2, "append, not overwrite");
+        let loaded = load_trajectory(&path, "kernels").unwrap();
+        assert_eq!(loaded, t2);
+        assert_eq!(loaded.records[0].scenarios[0].scenario, "a");
+        assert_eq!(loaded.latest().unwrap().scenarios[0].median_s, 1.1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn builtin_scenarios_run_and_attribute_kernels() {
+        // Tiny scale keeps this a unit test; the profiler attributes the
+        // compress kernels into the record.
+        let prof = ocelot_obs::prof::Profiler::detached();
+        ocelot_obs::prof::install_global(&prof);
+        let record = run_builtin_scenarios("unit", 1, 1);
+        ocelot_obs::prof::uninstall_global();
+        assert_eq!(record.scenarios.len(), builtin_scenarios(1).len());
+        for s in &record.scenarios {
+            assert!(s.median_s > 0.0, "{}: no time measured", s.scenario);
+            assert_eq!(s.samples_s.len(), 1);
+            assert!(s.bytes >= (64 * 64 * 64 * 4) as u64);
+        }
+        let compress = record.scenario("compress_lorenzo_huffman").unwrap();
+        let kernels: Vec<&str> = compress.kernels.iter().map(|k| k.kernel.as_str()).collect();
+        assert!(kernels.contains(&"predict"), "kernels: {kernels:?}");
+        assert!(kernels.contains(&"huffman_encode"), "kernels: {kernels:?}");
+        assert!(kernels.contains(&"frame_crc"), "kernels: {kernels:?}");
+        assert!(record.overhead_ratio >= 0.0);
+    }
+
+    #[test]
+    fn inject_factor_scales_samples() {
+        // Env mutation is process-global: restore afterwards.
+        std::env::set_var(INJECT_ENV, "1.2");
+        assert!((inject_factor() - 1.2).abs() < 1e-12);
+        std::env::set_var(INJECT_ENV, "garbage");
+        assert_eq!(inject_factor(), 1.0);
+        std::env::remove_var(INJECT_ENV);
+        assert_eq!(inject_factor(), 1.0);
+    }
+
+    #[test]
+    fn fingerprint_comparability() {
+        let a = EnvFingerprint { cores: 8, cpu_model: "X".into(), rustc: "r".into(), os: "linux".into() };
+        let mut b = a.clone();
+        assert!(a.comparable(&b));
+        b.cpu_model = "unknown".into();
+        assert!(a.comparable(&b), "unknown model is a wildcard");
+        b.cpu_model = "Y".into();
+        assert!(!a.comparable(&b));
+        b = a.clone();
+        b.cores = 4;
+        assert!(!a.comparable(&b));
+    }
+}

@@ -16,6 +16,9 @@
 //!   snapshotted on failure for post-mortem dumps.
 //! - [`slo`] — declarative burn-rate SLO rules evaluated incrementally
 //!   against the registry, emitting typed [`slo::Alert`]s.
+//! - [`prof`] — continuous kernel-level profiling: scoped probes on worker
+//!   threads draining into lock-free epoch-tagged per-thread rings, with a
+//!   measured self-overhead gauge and collapsed-stack ("folded") export.
 //!
 //! An [`Obs`] is a cheap-clone handle that is either *enabled* (wraps an
 //! `Arc` of registry + recorder) or *disabled* (every call is a no-op).
@@ -33,6 +36,7 @@ pub mod export;
 pub mod flight;
 pub mod log;
 pub mod metrics;
+pub mod prof;
 pub mod slo;
 pub mod span;
 

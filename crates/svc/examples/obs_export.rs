@@ -24,6 +24,9 @@ fn main() {
     // lands in the same registry the service exports.
     let shared = ocelot_obs::Obs::enabled();
     ocelot_obs::install_global(&shared);
+    // Continuous profiler on the same registry: the sz kernel probes drain
+    // per-kernel histograms into it, which this run validates below.
+    ocelot_obs::prof::install_global(&ocelot_obs::prof::Profiler::with_obs(shared.clone()));
     let out_dir = std::path::Path::new("target/obs-export");
     std::fs::create_dir_all(out_dir).expect("create output dir");
     // A 1 ns p99 target cannot be met, so the second finished job forces an
@@ -127,6 +130,26 @@ fn main() {
         }
     }
 
+    // Exercise the perf-trajectory machinery exactly as `ocelot perf record`
+    // does: run the built-in kernel micro-scenarios at the smallest scale,
+    // append the record, and validate the written trajectory against
+    // schemas/perf.schema.json alongside the other exports.
+    let perf_record = ocelot::perf::run_builtin_scenarios("obs_export", 1, 1);
+    let perf_path = out_dir.join("perf.json");
+    let _ = std::fs::remove_file(&perf_path); // one fresh record per run
+    let perf_json = match ocelot::perf::append_record(&perf_path, "kernels", perf_record) {
+        Ok(_) => std::fs::read_to_string(&perf_path).expect("read back perf.json"),
+        Err(e) => {
+            failures.push(format!("perf trajectory append failed: {e}"));
+            String::new()
+        }
+    };
+    let folded = ocelot_obs::prof::global().expect("profiler installed above").folded();
+    std::fs::write(out_dir.join("profile.folded"), &folded).expect("write profile.folded");
+    if !folded.lines().any(|l| l.contains(';')) {
+        failures.push("folded profile has no scope;kernel stack lines".to_string());
+    }
+
     // Validate the JSON exports against the checked-in schemas.
     let schema_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas");
     let mut documents: Vec<(String, &str, &str)> = vec![
@@ -134,6 +157,9 @@ fn main() {
         ("trace.json".to_string(), &trace_json, "trace.schema.json"),
         ("bottleneck.json".to_string(), &analysis_json, "bottleneck.schema.json"),
     ];
+    if !perf_json.is_empty() {
+        documents.push(("perf.json".to_string(), &perf_json, "perf.schema.json"));
+    }
     for (file, js) in &dump_jsons {
         documents.push((file.clone(), js, "flightdump.schema.json"));
     }
@@ -159,12 +185,28 @@ fn main() {
         "ocelot_core_decompression_seconds",
         "ocelot_svc_latency_seconds",
         "ocelot_sz_compress_seconds",
+        // Kernel-level attribution from the continuous profiler: the perf
+        // scenarios above must have drained the sz hot-path probes.
+        "ocelot_sz_kernel_predict_seconds",
+        "ocelot_sz_kernel_huffman_encode_seconds",
+        "ocelot_sz_kernel_frame_crc_seconds",
     ] {
         match registry.get(name) {
             Some(ocelot_obs::metrics::Metric::Histogram(h)) if h.count() > 0 => {}
             Some(_) => failures.push(format!("{name} exists but recorded no observations")),
             None => failures.push(format!("{name} missing from registry")),
         }
+    }
+
+    // The profiler's self-overhead gauge must be exported and within budget.
+    match registry.get(ocelot_obs::prof::OVERHEAD_RATIO_GAUGE) {
+        Some(ocelot_obs::metrics::Metric::Gauge(g)) => {
+            let ratio = g.get();
+            if !(0.0..0.02).contains(&ratio) {
+                failures.push(format!("profiler overhead ratio {ratio} outside [0, 2%) budget"));
+            }
+        }
+        _ => failures.push(format!("{} gauge missing from registry", ocelot_obs::prof::OVERHEAD_RATIO_GAUGE)),
     }
 
     // Every recorded span tree must be internally consistent.

@@ -8,6 +8,8 @@
 //! the time go" into "what should the operator change".
 
 use ocelot_obs::critpath::{self, BottleneckReport, Stage};
+use ocelot_obs::metrics::{Metric, Registry};
+use ocelot_obs::prof::{Kernel, KERNEL_METRIC_PREFIX};
 use ocelot_obs::span::SpanRecord;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -80,27 +82,81 @@ pub struct ServiceAnalysis {
     pub hint: Option<SchedulerHint>,
 }
 
+/// The kernel with the largest attributed wall time in the registry's
+/// `ocelot_sz_kernel_*_seconds` histograms (from the continuous profiler),
+/// with its share of the total kernel time. `None` when no kernel histogram
+/// has recorded anything (profiling disabled or no compression run yet).
+fn dominant_kernel(registry: &Registry) -> Option<(Kernel, f64)> {
+    let mut total = 0.0;
+    let mut best: Option<(Kernel, f64)> = None;
+    for kernel in Kernel::ALL {
+        let name = format!("{KERNEL_METRIC_PREFIX}{}_seconds", kernel.name());
+        let Some(Metric::Histogram(h)) = registry.get(&name) else { continue };
+        let sum = h.sum();
+        total += sum;
+        if sum > 0.0 && best.map(|(_, s)| sum > s).unwrap_or(true) {
+            best = Some((kernel, sum));
+        }
+    }
+    best.filter(|_| total > 0.0).map(|(k, s)| (k, s / total))
+}
+
+/// Kernel-specific remediation for a compression-dominated pipeline, from
+/// the profiler's per-kernel attribution.
+fn kernel_advice(kernel: Kernel, share: f64) -> String {
+    let pct = share * 100.0;
+    let what = match kernel {
+        Kernel::HuffmanEncode => "consider a shared Huffman table across chunks to amortize tree builds",
+        Kernel::Predict => "vectorize the predictor/quantizer sweep or relax the error bound",
+        Kernel::FrameCrc => "adopt zero-copy framing to take CRC + header packing off the hot path",
+        Kernel::Lz => "raise the LZ acceleration factor or skip LZ for low-entropy chunks",
+        Kernel::Rle => "try the plain Huffman backend; RLE is not paying for itself here",
+        _ => "profile the compression kernels further (`ocelot perf record --folded`)",
+    };
+    format!("compression dominates and {} leads its kernels ({pct:.0}% of kernel time); {what}", kernel.name())
+}
+
 /// Derives the advisory hint from an aggregate report and the current pool
 /// size. Queue/backoff wait is the one stage more concurrency directly
-/// attacks, so it is the only stage that grows the pool.
-pub fn derive_hint(report: &BottleneckReport, workers: usize) -> SchedulerHint {
+/// attacks, so it is the only stage that grows the pool. When compression
+/// dominates and a registry with profiler kernel histograms is available,
+/// the advice names the dominant kernel instead of the generic remedy.
+pub fn derive_hint(report: &BottleneckReport, workers: usize, registry: Option<&Registry>) -> SchedulerHint {
     let (recommended_workers, advice) = match report.dominant {
         Stage::QueueWait => {
-            (workers.max(1) * 2, "queue/backoff wait dominates; raise concurrent workers so waits overlap")
+            (workers.max(1) * 2, "queue/backoff wait dominates; raise concurrent workers so waits overlap".to_string())
         }
-        Stage::Compress => (workers, "compression dominates; prefer the overlapped strategy or add source nodes"),
-        Stage::Group => (workers, "grouping dominates; raise the transfer group size"),
-        Stage::Transfer => (workers, "WAN transfer dominates; raise GridFTP parallelism or loosen error bounds"),
-        Stage::Stall => (workers, "streaming back-pressure dominates; raise stream_window so chunks keep flowing"),
-        Stage::Decompress => (workers, "decompression dominates; add destination nodes"),
-        Stage::Other => (workers, "no pipeline stage dominates; envelope overhead leads — profile the service layer"),
+        Stage::Compress => {
+            let advice =
+                registry.and_then(dominant_kernel).map(|(kernel, share)| kernel_advice(kernel, share)).unwrap_or_else(
+                    || "compression dominates; prefer the overlapped strategy or add source nodes".to_string(),
+                );
+            (workers, advice)
+        }
+        Stage::Group => (workers, "grouping dominates; raise the transfer group size".to_string()),
+        Stage::Transfer => {
+            (workers, "WAN transfer dominates; raise GridFTP parallelism or loosen error bounds".to_string())
+        }
+        Stage::Stall => {
+            (workers, "streaming back-pressure dominates; raise stream_window so chunks keep flowing".to_string())
+        }
+        Stage::Decompress => (workers, "decompression dominates; add destination nodes".to_string()),
+        Stage::Other => {
+            (workers, "no pipeline stage dominates; envelope overhead leads — profile the service layer".to_string())
+        }
     };
-    SchedulerHint { dominant: report.dominant.name().to_string(), recommended_workers, advice: advice.to_string() }
+    SchedulerHint { dominant: report.dominant.name().to_string(), recommended_workers, advice }
 }
 
 /// Builds the full analysis from recorded spans, the job→tenant map (from
-/// the journal), and the configured pool size.
-pub fn build_analysis(spans: &[SpanRecord], tenants: &HashMap<u64, String>, workers: usize) -> ServiceAnalysis {
+/// the journal), the configured pool size, and (optionally) a metrics
+/// registry whose profiler kernel histograms refine the hint.
+pub fn build_analysis(
+    spans: &[SpanRecord],
+    tenants: &HashMap<u64, String>,
+    workers: usize,
+    registry: Option<&Registry>,
+) -> ServiceAnalysis {
     let reports = critpath::analyze_jobs(spans);
     let jobs: Vec<JobAnalysis> = reports
         .iter()
@@ -122,7 +178,7 @@ pub fn build_analysis(spans: &[SpanRecord], tenants: &HashMap<u64, String>, work
         .collect();
 
     let overall = critpath::aggregate(&reports);
-    let hint = overall.as_ref().map(|o| derive_hint(o, workers));
+    let hint = overall.as_ref().map(|o| derive_hint(o, workers, registry));
     ServiceAnalysis { jobs, per_tenant, overall: overall.as_ref().map(BottleneckSummary::from), hint }
 }
 
@@ -177,7 +233,7 @@ mod tests {
     #[test]
     fn analysis_groups_by_tenant_and_derives_a_hint() {
         let (spans, tenants) = spans_for_two_tenants();
-        let analysis = build_analysis(&spans, &tenants, 3);
+        let analysis = build_analysis(&spans, &tenants, 3, None);
         assert_eq!(analysis.jobs.len(), 2);
         assert_eq!(analysis.jobs[0].tenant.as_deref(), Some("climate"));
         assert_eq!(analysis.per_tenant["climate"].dominant, "queue_wait");
@@ -197,7 +253,7 @@ mod tests {
         let r = Recorder::new();
         let a = r.sim_span("pipeline", Some(1), 0, 0.0, 10.0);
         r.sim_child(a, "pipeline.transfer", Some(1), 0, 0.0, 10.0);
-        let analysis = build_analysis(&r.spans(), &HashMap::new(), 4);
+        let analysis = build_analysis(&r.spans(), &HashMap::new(), 4, None);
         let hint = analysis.hint.unwrap();
         assert_eq!(hint.dominant, "transfer");
         assert_eq!(hint.recommended_workers, 4);
@@ -210,17 +266,69 @@ mod tests {
         let root = r.sim_span("pipeline.streamed", Some(1), 0, 0.0, 10.0);
         let t = r.sim_child(root, "pipeline.transfer", Some(1), 0, 0.0, 10.0);
         r.sim_child(t, "pipeline.transfer.stream_stall", Some(1), 0, 1.0, 9.0);
-        let analysis = build_analysis(&r.spans(), &HashMap::new(), 4);
+        let analysis = build_analysis(&r.spans(), &HashMap::new(), 4, None);
         let hint = analysis.hint.unwrap();
         assert_eq!(hint.dominant, "stall");
         assert_eq!(hint.recommended_workers, 4, "back-pressure is not fixed by more workers");
         assert!(hint.advice.contains("stream_window"));
     }
 
+    /// Spans whose dominant stage is compression, for kernel-hint tests.
+    fn compress_dominant_spans() -> Vec<SpanRecord> {
+        let r = Recorder::new();
+        let a = r.sim_span("pipeline", Some(1), 0, 0.0, 10.0);
+        r.sim_child(a, "pipeline.compress", Some(1), 0, 0.0, 9.0);
+        r.sim_child(a, "pipeline.transfer", Some(1), 0, 9.0, 10.0);
+        r.spans()
+    }
+
+    #[test]
+    fn compress_dominant_hint_names_the_leading_kernel() {
+        let registry = Registry::new();
+        // huffman_encode 3s vs predict 1s: the hint must single it out and
+        // suggest the shared-table remedy.
+        registry.histogram("ocelot_sz_kernel_huffman_encode_seconds", "k").observe(3.0);
+        registry.histogram("ocelot_sz_kernel_predict_seconds", "k").observe(1.0);
+        let analysis = build_analysis(&compress_dominant_spans(), &HashMap::new(), 4, Some(&registry));
+        let hint = analysis.hint.unwrap();
+        assert_eq!(hint.dominant, "compress");
+        assert_eq!(hint.recommended_workers, 4);
+        assert!(hint.advice.contains("huffman_encode"), "advice: {}", hint.advice);
+        assert!(hint.advice.contains("75%"), "advice carries the share: {}", hint.advice);
+        assert!(hint.advice.contains("Huffman table"), "advice: {}", hint.advice);
+    }
+
+    #[test]
+    fn compress_dominant_hint_falls_back_without_kernel_data() {
+        // No registry at all, and a registry with empty kernel histograms,
+        // both fall back to the generic compression advice.
+        let analysis = build_analysis(&compress_dominant_spans(), &HashMap::new(), 4, None);
+        assert!(analysis.hint.unwrap().advice.contains("overlapped strategy"));
+        let registry = Registry::new();
+        registry.histogram("ocelot_sz_kernel_predict_seconds", "k");
+        let analysis = build_analysis(&compress_dominant_spans(), &HashMap::new(), 4, Some(&registry));
+        assert!(analysis.hint.unwrap().advice.contains("overlapped strategy"));
+    }
+
+    #[test]
+    fn kernel_hint_only_applies_when_compression_dominates() {
+        // Transfer-dominated pipeline: kernel histograms present, but the
+        // hint must stay about the WAN, not the codec.
+        let registry = Registry::new();
+        registry.histogram("ocelot_sz_kernel_huffman_encode_seconds", "k").observe(3.0);
+        let r = Recorder::new();
+        let a = r.sim_span("pipeline", Some(1), 0, 0.0, 10.0);
+        r.sim_child(a, "pipeline.transfer", Some(1), 0, 0.0, 10.0);
+        let analysis = build_analysis(&r.spans(), &HashMap::new(), 4, Some(&registry));
+        let hint = analysis.hint.unwrap();
+        assert_eq!(hint.dominant, "transfer");
+        assert!(!hint.advice.contains("huffman"), "advice: {}", hint.advice);
+    }
+
     #[test]
     fn analysis_serializes_and_renders() {
         let (spans, tenants) = spans_for_two_tenants();
-        let analysis = build_analysis(&spans, &tenants, 2);
+        let analysis = build_analysis(&spans, &tenants, 2, None);
         let js = serde_json::to_string_pretty(&analysis).unwrap();
         let back: ServiceAnalysis = serde_json::from_str(&js).unwrap();
         assert_eq!(back, analysis);
@@ -231,7 +339,7 @@ mod tests {
 
     #[test]
     fn empty_spans_yield_an_empty_analysis() {
-        let analysis = build_analysis(&[], &HashMap::new(), 2);
+        let analysis = build_analysis(&[], &HashMap::new(), 2, None);
         assert!(analysis.jobs.is_empty());
         assert!(analysis.overall.is_none());
         assert!(analysis.hint.is_none());

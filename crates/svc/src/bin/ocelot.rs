@@ -17,6 +17,7 @@
 
 use ocelot::loader::NcliteFile;
 use ocelot::orchestrator::{Orchestrator, PipelineOptions, Strategy};
+use ocelot::perf;
 use ocelot::planner::TransferPlanner;
 use ocelot::session::{open_archive, TransferSession};
 use ocelot::workload::Workload;
@@ -47,7 +48,12 @@ fn run(args: &[String]) -> Result<(), CliError> {
     // One process-wide observability handle: every crate's instrumentation
     // (sz stage timings, orchestrator phase spans, service counters) lands
     // in a single registry/recorder that `metrics` and `trace` export.
-    ocelot_obs::install_global(&ocelot_obs::Obs::enabled());
+    let obs = ocelot_obs::Obs::enabled();
+    ocelot_obs::install_global(&obs);
+    // Continuous profiler alongside it: kernel probes in the sz hot path
+    // drain per-kernel histograms into the same registry (measured overhead
+    // < 2 %, exported as ocelot_obs_prof_overhead_ratio).
+    ocelot_obs::prof::install_global(&ocelot_obs::prof::Profiler::with_obs(obs));
     let Some(command) = args.first() else {
         usage();
         return Ok(());
@@ -67,6 +73,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "metrics" => cmd_metrics(&flags),
         "trace" => cmd_trace(&positional, &flags),
         "analyze" => cmd_analyze(&flags),
+        "perf" => cmd_perf(&positional, &flags),
         "postmortem" => cmd_postmortem(&positional, &flags),
         "help" | "--help" | "-h" => {
             usage();
@@ -94,6 +101,7 @@ fn usage() {
          \x20 metrics    [serve flags] [--json] [-o FILE]       run a batch, export Prometheus text or JSON\n\
          \x20 trace      [JOB] [serve flags] [-o FILE]          run a batch, export Chrome trace_event JSON\n\
          \x20 analyze    [serve flags] [--json] [-o FILE]       run a batch, report critical-path bottlenecks\n\
+         \x20 perf       record|diff|gate [--file TRAJ] [--baseline TRAJ] [--threshold R] [--hot S1,S2] [--scale N] [--reps N] [--label L] [--folded FILE] [--json]\n\
          \x20 postmortem JOB [serve flags] | --file DUMP        pretty-print a flight-recorder dump\n\
          \n\
          sites: anvil, cori, bebop; apps: cesm, miranda, rtm, nyx, isabel, qmcpack, hacc\n\
@@ -661,6 +669,157 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), CliError> {
         out
     };
     write_or_print(flags, &text)
+}
+
+/// Default trajectory file `perf record` appends to and `perf diff|gate`
+/// read from.
+const PERF_TRAJECTORY: &str = "results/perf/kernels.json";
+/// Default checked-in baseline `perf gate` compares against.
+const PERF_BASELINE: &str = "results/perf/baseline.json";
+
+fn cmd_perf(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
+    match positional.first().map(String::as_str) {
+        Some("record") => cmd_perf_record(flags),
+        Some("diff") => cmd_perf_diff(flags),
+        Some("gate") => cmd_perf_gate(flags),
+        other => Err(format!("perf needs a subcommand record|diff|gate, got {other:?}").into()),
+    }
+}
+
+/// Validates a serialized trajectory against `schemas/perf.schema.json`
+/// (skipped when the schema file is absent — installed binaries run
+/// outside the repo).
+fn validate_perf_export(trajectory_json: &str) -> Result<(), CliError> {
+    let schema_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas/perf.schema.json");
+    let Ok(schema_text) = std::fs::read_to_string(schema_path) else {
+        return Ok(());
+    };
+    let schema: serde_json::Value = serde_json::from_str(&schema_text)?;
+    let value: serde_json::Value = serde_json::from_str(trajectory_json)?;
+    let errors = ocelot_svc::schema::validate(&schema, &value);
+    if !errors.is_empty() {
+        return Err(format!("perf export violates schemas/perf.schema.json: {}", errors.join("; ")).into());
+    }
+    Ok(())
+}
+
+fn cmd_perf_record(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let path = flags.get("file").map(String::as_str).unwrap_or(PERF_TRAJECTORY);
+    let label = flags.get("label").map(String::as_str).unwrap_or("local");
+    let scale: usize = flags.get("scale").map(|s| s.parse()).transpose()?.unwrap_or(1);
+    let reps: usize = flags.get("reps").map(|s| s.parse()).transpose()?.unwrap_or(5);
+    info!("ocelot", "running kernel micro-scenarios (scale {scale}, {reps} rep(s))...");
+    let record = perf::run_builtin_scenarios(label, scale, reps);
+    for s in &record.scenarios {
+        println!(
+            "  {:<28} median {:>9.4}s  mad {:>8.5}s  {:>7.1} MB/s",
+            s.scenario,
+            s.median_s,
+            s.mad_s,
+            s.bytes_per_sec() / 1e6
+        );
+    }
+    println!("  profiler overhead ratio: {:.5}", record.overhead_ratio);
+    let traj = perf::append_record(std::path::Path::new(path), "kernels", record)?;
+    let written = std::fs::read_to_string(path)?;
+    validate_perf_export(&written)?;
+    println!("appended record #{} to {path}", traj.records.len());
+    if let Some(folded_path) = flags.get("folded") {
+        let prof = ocelot_obs::prof::global().ok_or("no profiler installed")?;
+        std::fs::write(folded_path, prof.folded())?;
+        info!("ocelot", "wrote folded flamegraph stacks to {folded_path}");
+    }
+    Ok(())
+}
+
+/// The two records a diff/gate compares: explicit `--baseline` trajectory's
+/// latest vs `--file`'s latest, or the last two records of `--file`.
+fn perf_diff_pair(
+    flags: &HashMap<String, String>,
+    default_baseline: Option<&str>,
+) -> Result<(ocelot::perf::PerfRecord, ocelot::perf::PerfRecord), CliError> {
+    let path = flags.get("file").map(String::as_str).unwrap_or(PERF_TRAJECTORY);
+    let traj = perf::load_trajectory(std::path::Path::new(path), "kernels")?;
+    let new = traj.latest().cloned().ok_or_else(|| format!("{path} holds no records — run `ocelot perf record`"))?;
+    let baseline_flag = flags.get("baseline").map(String::as_str).or(default_baseline);
+    let old = match baseline_flag {
+        Some(bpath) => perf::load_trajectory(std::path::Path::new(bpath), "kernels")?
+            .latest()
+            .cloned()
+            .ok_or_else(|| format!("baseline {bpath} holds no records"))?,
+        None => {
+            if traj.records.len() < 2 {
+                return Err(
+                    format!("{path} holds {} record(s); diff needs two (or --baseline)", traj.records.len()).into()
+                );
+            }
+            traj.records[traj.records.len() - 2].clone()
+        }
+    };
+    Ok((old, new))
+}
+
+fn render_diff(report: &ocelot::perf::DiffReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<28} {:>10} {:>10} {:>8} {:>10}  verdict", "scenario", "old", "new", "delta", "threshold");
+    for s in &report.scenarios {
+        let verdict = if s.regressed {
+            "REGRESSED"
+        } else if s.improved {
+            "improved"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>9.4}s {:>9.4}s {:>+7.1}% {:>+9.1}%  {verdict}",
+            s.scenario,
+            s.old_median_s,
+            s.new_median_s,
+            s.delta_ratio * 100.0,
+            s.threshold_ratio * 100.0,
+        );
+    }
+    for name in &report.missing {
+        let _ = writeln!(out, "{name:<28} present in only one record");
+    }
+    if let Some(reason) = &report.env_mismatch {
+        let _ = writeln!(out, "warning: {reason} — timings are not comparable");
+    }
+    out
+}
+
+fn cmd_perf_diff(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let threshold: f64 = flags.get("threshold").map(|s| s.parse()).transpose()?.unwrap_or(perf::DEFAULT_GATE_THRESHOLD);
+    let (old, new) = perf_diff_pair(flags, None)?;
+    let report = perf::diff_records(&old, &new, threshold);
+    let text = if flags.contains_key("json") { serde_json::to_string_pretty(&report)? } else { render_diff(&report) };
+    write_or_print(flags, &text)
+}
+
+fn cmd_perf_gate(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let threshold: f64 = flags.get("threshold").map(|s| s.parse()).transpose()?.unwrap_or(perf::DEFAULT_GATE_THRESHOLD);
+    let hot_paths: Vec<String> = flags
+        .get("hot")
+        .map(|list| list.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect())
+        .unwrap_or_default();
+    let (old, new) = perf_diff_pair(flags, Some(PERF_BASELINE))?;
+    match perf::gate(&old, &new, threshold, &hot_paths) {
+        perf::GateOutcome::Pass(report) => {
+            print!("{}", render_diff(&report));
+            println!("perf gate: PASS");
+            Ok(())
+        }
+        perf::GateOutcome::Skip(reason) => {
+            println!("perf gate: SKIPPED — {reason}");
+            Ok(())
+        }
+        perf::GateOutcome::Fail(report) => {
+            print!("{}", render_diff(&report));
+            Err(format!("perf gate: FAIL — regressed hot path(s): {}", report.regressions().join(", ")).into())
+        }
+    }
 }
 
 fn cmd_postmortem(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {

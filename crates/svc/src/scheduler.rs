@@ -340,7 +340,7 @@ impl Service {
         let spans = self.shared.obs.recorder().map(|r| r.spans()).unwrap_or_default();
         let tenants: HashMap<u64, String> =
             self.shared.journal.snapshot().into_iter().map(|e| (e.job.0, e.tenant)).collect();
-        build_analysis(&spans, &tenants, self.shared.config.workers)
+        build_analysis(&spans, &tenants, self.shared.config.workers, self.shared.obs.registry())
     }
 
     /// Latest advisory scheduling hint (updated after every finished job;
@@ -445,7 +445,7 @@ fn refresh_hint(shared: &Shared, id: JobId) {
     reports.push(report);
     let Some(agg) = critpath::aggregate(reports.iter()) else { return };
     drop(reports);
-    let hint = derive_hint(&agg, shared.config.workers);
+    let hint = derive_hint(&agg, shared.config.workers, shared.obs.registry());
     shared.metrics.recommended_workers.set(hint.recommended_workers as f64);
     *shared.hint.lock().expect("hint poisoned") = Some(hint);
 }

@@ -4,8 +4,8 @@
 //! hand-emit JSON; `schemas/*.schema.json` pin their shape and CI validates
 //! every export against them. Only the subset of JSON Schema those files
 //! use is implemented: `type` (string or array of strings), `required`,
-//! `properties`, `items`, `minItems`, and `enum`. Unknown keywords are
-//! ignored, matching JSON Schema's open-world semantics.
+//! `properties`, `items`, `minItems`, `minimum`, and `enum`. Unknown
+//! keywords are ignored, matching JSON Schema's open-world semantics.
 
 use serde_json::Value;
 
@@ -32,6 +32,13 @@ fn check(schema: &Value, value: &Value, path: &str, errors: &mut Vec<String>) {
     if let Some(Value::Array(options)) = schema.get("enum") {
         if !options.iter().any(|o| o == value) {
             errors.push(format!("{path}: {value} is not one of the allowed values"));
+        }
+    }
+    if let Some(min) = schema.get("minimum").and_then(Value::as_f64) {
+        if let Some(v) = value.as_f64() {
+            if v < min {
+                errors.push(format!("{path}: {v} is below the minimum {min}"));
+            }
         }
     }
     if let Some(Value::Array(required)) = schema.get("required") {
@@ -117,6 +124,42 @@ mod tests {
         let errs = validate(&schema, &parse(r#"[{"n":1.5}]"#));
         assert!(errs.iter().any(|e| e.contains("at least 2")), "{errs:?}");
         assert!(errs.iter().any(|e| e.contains("$[0].n")), "{errs:?}");
+    }
+
+    #[test]
+    fn validates_minimum() {
+        let schema = parse(
+            r#"{"type":"object","properties":{"cores":{"type":"integer","minimum":1},"r":{"type":"number","minimum":0}}}"#,
+        );
+        assert!(validate(&schema, &parse(r#"{"cores":4,"r":0.0}"#)).is_empty());
+        assert!(validate(&schema, &parse(r#"{"cores":1,"r":1.5}"#)).is_empty());
+        let errs = validate(&schema, &parse(r#"{"cores":0,"r":-0.1}"#));
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs[0].contains("$.cores") && errs[0].contains("below the minimum"));
+        assert!(errs[1].contains("$.r"));
+        // Non-numeric values are the `type` keyword's problem, not `minimum`'s.
+        let errs = validate(&parse(r#"{"minimum":3}"#), &parse(r#""str""#));
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn checked_in_stream_trajectory_matches_perf_schema() {
+        // The migrated BENCH_stream.json must stay a valid perf trajectory:
+        // schema-clean and deserializable into `ocelot::perf::Trajectory`.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let schema: Value =
+            serde_json::from_str(&std::fs::read_to_string(format!("{root}/schemas/perf.schema.json")).unwrap())
+                .unwrap();
+        let text = std::fs::read_to_string(format!("{root}/crates/bench/BENCH_stream.json")).unwrap();
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(validate(&schema, &doc), Vec::<String>::new());
+        let traj: ocelot::perf::Trajectory = serde_json::from_str(&text).unwrap();
+        assert_eq!(traj.bench, "stream_overlap");
+        assert!(!traj.records.is_empty());
+        let first = &traj.records[0];
+        assert!(first.env.cores >= 1);
+        assert!(first.scenarios.iter().any(|s| s.scenario.starts_with("staged_")));
+        assert!(!first.meta.is_null(), "migrated record keeps its margins in meta");
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::quantizer::LinearQuantizer;
 use crate::stats::{quant_bin_stats, QuantBinStats};
 use crate::value::ScalarValue;
 use crate::zfp;
+use ocelot_obs::prof::{self, Kernel, ScopeId};
 
 /// Per-stage byte accounting of a compressed blob (where the bits went).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -152,9 +153,12 @@ pub fn compress_streamed<T: ScalarValue>(
             v.write_le(&mut unpred_bytes);
         }
         let mut payload = Vec::with_capacity(24 + streams.side_data.len() + unpred_bytes.len() + encoded_codes.len());
-        write_framed(&mut payload, &streams.side_data);
-        write_framed(&mut payload, &unpred_bytes);
-        write_framed(&mut payload, &encoded_codes);
+        {
+            let _p = prof::probe(Kernel::FrameCrc, streams.side_data.len() + unpred_bytes.len() + encoded_codes.len());
+            write_framed(&mut payload, &streams.side_data);
+            write_framed(&mut payload, &unpred_bytes);
+            write_framed(&mut payload, &encoded_codes);
+        }
         Ok(EncodedChunk {
             payload,
             unpredictable: streams.unpredictable.len() as u64,
@@ -214,6 +218,10 @@ where
 {
     let obs = ocelot_obs::global();
     let _span = obs.wall_span("compress", None, 0);
+    // Calling-thread profiling scope: in-order consumption (CRC, container
+    // assembly) and, with `threads == 1`, the chunk encoding itself drain
+    // here. Worker threads open their own per-chunk scopes.
+    let _pscope = prof::scope(ScopeId::COMPRESS);
     let t0 = std::time::Instant::now();
     let layout = ChunkLayout::plan(data.dims(), threads, chunk_points);
     let n = layout.n_chunks();
@@ -238,6 +246,7 @@ where
         window,
         |i| {
             let _chunk_span = obs.wall_span("sz.chunk", None, i as u32);
+            let _pchunk = prof::scope(ScopeId::COMPRESS);
             let tc = std::time::Instant::now();
             let view = DatasetView::new(dims_of(i), &data.values()[layout.value_range(i)])
                 .expect("chunk shapes are valid by construction");
@@ -255,9 +264,13 @@ where
             }
             match result {
                 Ok(c) => {
+                    let crc = {
+                        let _p = prof::probe(Kernel::FrameCrc, c.payload.len());
+                        crate::checksum::crc32(&c.payload)
+                    };
                     let entry = ChunkEntry {
                         len: c.payload.len(),
-                        crc: crate::checksum::crc32(&c.payload),
+                        crc,
                         points: layout.points_in_chunk(i) as u64,
                         zero_bins: c.codes.iter().filter(|&&code| code == zero_code).count() as u64,
                         unpredictable: c.unpredictable,
@@ -343,6 +356,7 @@ pub fn decompress_with_threads<T: ScalarValue>(blob: &CompressedBlob, threads: u
     }
     let obs = ocelot_obs::global();
     let _span = obs.wall_span("decompress", None, 0);
+    let _pscope = prof::scope(ScopeId::DECOMPRESS);
     let t0 = std::time::Instant::now();
     let (header, mut sections) = blob.open()?;
     if header.dtype != T::TYPE_NAME {
@@ -419,6 +433,7 @@ fn decompress_chunked<T: ScalarValue>(
     let tail_dims = layout.chunk_dims(n - 1);
     let decoded: Vec<Result<Vec<T>, SzError>> = parallel_map(n, threads, |i| {
         let _chunk_span = obs.wall_span("sz.chunk", None, i as u32);
+        let _pchunk = prof::scope(ScopeId::DECOMPRESS);
         let tc = std::time::Instant::now();
         let entry = &table.entries[i];
         let payload = &body[offsets[i]..offsets[i] + entry.len];
@@ -450,7 +465,11 @@ pub fn decode_chunk<T: ScalarValue>(
     entry: &ChunkEntry,
     payload: &[u8],
 ) -> Result<Vec<T>, SzError> {
-    if crate::checksum::crc32(payload) != entry.crc {
+    let crc = {
+        let _p = prof::probe(Kernel::FrameCrc, payload.len());
+        crate::checksum::crc32(payload)
+    };
+    if crc != entry.crc {
         return Err(SzError::CorruptStream(format!("chunk {index} failed its CRC-32 check")));
     }
     match header.family {
@@ -481,6 +500,7 @@ fn decode_prediction_chunk<T: ScalarValue>(
     let codes = decode_codes(encoded_codes, header.backend, header.quant_radius)?;
     let streams = PredictionStreams { codes, unpredictable, side_data: side_data.to_vec() };
     let quantizer = LinearQuantizer::new(header.abs_eb, header.quant_radius);
+    let _p = prof::probe(Kernel::Predict, dims.iter().product::<usize>() * T::BYTES);
     match header.predictor {
         PredictorKind::Lorenzo => lorenzo::decompress(dims, &streams, &quantizer),
         PredictorKind::Lorenzo2 => lorenzo2::decompress(dims, &streams, &quantizer),
@@ -497,12 +517,17 @@ fn run_predictor<T: ScalarValue>(
 ) -> Result<PredictionStreams<T>, SzError> {
     let obs = ocelot_obs::global();
     let t0 = std::time::Instant::now();
-    let streams = match predictor {
-        PredictorKind::Lorenzo => lorenzo::compress(data, quantizer),
-        PredictorKind::Lorenzo2 => lorenzo2::compress(data, quantizer),
-        PredictorKind::Regression => regression::compress(data, quantizer),
-        PredictorKind::InterpLinear => interp::compress(data, quantizer, interp::Basis::Linear),
-        PredictorKind::InterpCubic => interp::compress(data, quantizer, interp::Basis::Cubic),
+    let streams = {
+        // The probe covers the fused predict+quantize sweep: quantization
+        // never runs as a separate pass, so "predict" is the honest unit.
+        let _p = prof::probe(Kernel::Predict, data.nbytes());
+        match predictor {
+            PredictorKind::Lorenzo => lorenzo::compress(data, quantizer),
+            PredictorKind::Lorenzo2 => lorenzo2::compress(data, quantizer),
+            PredictorKind::Regression => regression::compress(data, quantizer),
+            PredictorKind::InterpLinear => interp::compress(data, quantizer, interp::Basis::Linear),
+            PredictorKind::InterpCubic => interp::compress(data, quantizer, interp::Basis::Cubic),
+        }
     };
     obs.observe(
         "ocelot_sz_predict_quantize_seconds",
@@ -515,10 +540,28 @@ fn run_predictor<T: ScalarValue>(
 fn encode_codes(codes: &[u32], backend: LosslessBackend, zero_code: u32) -> Vec<u8> {
     let obs = ocelot_obs::global();
     let t0 = std::time::Instant::now();
+    let code_bytes = std::mem::size_of_val(codes);
     let out = match backend {
-        LosslessBackend::Huffman => huffman_encode(codes),
-        LosslessBackend::HuffmanLz => lz_compress(&huffman_encode(codes)),
-        LosslessBackend::RleHuffman => huffman_encode(&rle_encode(codes, zero_code)),
+        LosslessBackend::Huffman => {
+            let _p = prof::probe(Kernel::HuffmanEncode, code_bytes);
+            huffman_encode(codes)
+        }
+        LosslessBackend::HuffmanLz => {
+            let huff = {
+                let _p = prof::probe(Kernel::HuffmanEncode, code_bytes);
+                huffman_encode(codes)
+            };
+            let _p = prof::probe(Kernel::Lz, huff.len());
+            lz_compress(&huff)
+        }
+        LosslessBackend::RleHuffman => {
+            let runs = {
+                let _p = prof::probe(Kernel::Rle, code_bytes);
+                rle_encode(codes, zero_code)
+            };
+            let _p = prof::probe(Kernel::HuffmanEncode, std::mem::size_of_val(runs.as_slice()));
+            huffman_encode(&runs)
+        }
     };
     obs.observe(
         "ocelot_sz_encode_seconds",
@@ -530,10 +573,24 @@ fn encode_codes(codes: &[u32], backend: LosslessBackend, zero_code: u32) -> Vec<
 
 fn decode_codes(bytes: &[u8], backend: LosslessBackend, zero_code: u32) -> Result<Vec<u32>, SzError> {
     match backend {
-        LosslessBackend::Huffman => huffman_decode(bytes),
-        LosslessBackend::HuffmanLz => huffman_decode(&lz_decompress(bytes)?),
+        LosslessBackend::Huffman => {
+            let _p = prof::probe(Kernel::HuffmanDecode, bytes.len());
+            huffman_decode(bytes)
+        }
+        LosslessBackend::HuffmanLz => {
+            let raw = {
+                let _p = prof::probe(Kernel::Lz, bytes.len());
+                lz_decompress(bytes)?
+            };
+            let _p = prof::probe(Kernel::HuffmanDecode, raw.len());
+            huffman_decode(&raw)
+        }
         LosslessBackend::RleHuffman => {
-            let encoded = huffman_decode(bytes)?;
+            let encoded = {
+                let _p = prof::probe(Kernel::HuffmanDecode, bytes.len());
+                huffman_decode(bytes)?
+            };
+            let _p = prof::probe(Kernel::Rle, std::mem::size_of_val(encoded.as_slice()));
             rle_decode(&encoded, zero_code).ok_or_else(|| SzError::CorruptStream("rle: malformed run stream".into()))
         }
     }

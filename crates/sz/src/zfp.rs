@@ -79,10 +79,14 @@ pub(crate) fn compress_impl<T: ScalarValue>(
 /// 4^d block stream followed by the shared LZ dictionary stage.
 fn encode_chunk_payload<T: ScalarValue>(chunk: DatasetView<'_, T>, abs_eb: f64) -> Vec<u8> {
     let mut payload = Vec::new();
-    for_each_block(chunk.dims(), |base| {
-        let block = gather_block::<T>(chunk, &base);
-        encode_block::<T>(&block, abs_eb, &mut payload);
-    });
+    {
+        let _p = ocelot_obs::prof::probe(ocelot_obs::prof::Kernel::Transform, chunk.nbytes());
+        for_each_block(chunk.dims(), |base| {
+            let block = gather_block::<T>(chunk, &base);
+            encode_block::<T>(&block, abs_eb, &mut payload);
+        });
+    }
+    let _p = ocelot_obs::prof::probe(ocelot_obs::prof::Kernel::Lz, payload.len());
     lz_compress(&payload)
 }
 
@@ -135,11 +139,15 @@ pub fn estimate_ratio_sampled<T: ScalarValue>(
 /// # Errors
 /// Returns [`SzError::CorruptStream`] for malformed payloads.
 pub(crate) fn decode_chunk_payload<T: ScalarValue>(dims: &[usize], bytes: &[u8]) -> Result<Vec<T>, SzError> {
-    let payload = lz_decompress(bytes)?;
+    let payload = {
+        let _p = ocelot_obs::prof::probe(ocelot_obs::prof::Kernel::Lz, bytes.len());
+        lz_decompress(bytes)?
+    };
     if dims.len() > 3 {
         return Err(SzError::InvalidShape(format!("zfp codec supports 1-3 dims, got {}", dims.len())));
     }
     let n: usize = dims.iter().product();
+    let _p = ocelot_obs::prof::probe(ocelot_obs::prof::Kernel::Transform, n * T::BYTES);
     let mut out = vec![T::zero(); n];
     let mut pos = 0usize;
     let mut failure = None;

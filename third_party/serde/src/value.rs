@@ -27,6 +27,13 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Default for Value {
+    /// `null`, matching serde_json's `Value::default()`.
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
 impl Value {
     /// Human-readable kind name for error messages.
     pub fn kind(&self) -> &'static str {
