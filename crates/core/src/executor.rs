@@ -148,7 +148,23 @@ impl ParallelExecutor {
                     // Per-chunk profiling scope: decode-on-arrival kernels
                     // drain from this thread's accumulator chunk by chunk.
                     let _pscope = ocelot_obs::prof::scope(ocelot_obs::prof::ScopeId::DECOMPRESS);
+                    let arrived = ocelot_obs::ledger::emit(
+                        ocelot_obs::ledger::EventKind::Arrived,
+                        ocelot_obs::ledger::Draft {
+                            chunk: Some(msg.index as u32),
+                            bytes: msg.payload.len() as u64,
+                            ..ocelot_obs::ledger::Draft::default()
+                        },
+                    );
                     let decoded = decode_chunk::<f32>(&msg.header, &msg.dims, msg.index, &msg.entry, &msg.payload)?;
+                    ocelot_obs::ledger::emit(
+                        ocelot_obs::ledger::EventKind::DecodeEnd,
+                        ocelot_obs::ledger::Draft {
+                            parent: arrived,
+                            chunk: Some(msg.index as u32),
+                            ..ocelot_obs::ledger::Draft::default()
+                        },
+                    );
                     values.extend_from_slice(&decoded);
                     shipped += 1;
                 }

@@ -9,9 +9,10 @@
 
 use ocelot_faas::{Cluster, WaitTimeModel};
 use ocelot_netsim::{
-    simulate_transfer_detailed, simulate_transfer_released, simulate_transfer_with_faults, FaultModel, GridFtpConfig,
+    draw_faults, simulate_transfer_detailed, simulate_transfer_with_faults, FaultDraw, FaultModel, GridFtpConfig,
     SiteId, Topology,
 };
+use ocelot_obs::ledger::{Draft, EventKind};
 
 use crate::grouping::{plan_groups, plan_groups_by_count};
 use crate::report::TimeBreakdown;
@@ -163,12 +164,13 @@ impl PipelineOutcome {
 pub struct Orchestrator {
     topology: Topology,
     obs: Option<ocelot_obs::Obs>,
+    ledger: Option<std::sync::Arc<ocelot_obs::ledger::Ledger>>,
 }
 
 impl Orchestrator {
     /// Creates an orchestrator over a topology.
     pub fn new(topology: Topology) -> Self {
-        Orchestrator { topology, obs: None }
+        Orchestrator { topology, obs: None, ledger: None }
     }
 
     /// The paper's calibrated three-site testbed.
@@ -186,6 +188,21 @@ impl Orchestrator {
     /// The observability handle in effect for this orchestrator.
     pub fn obs(&self) -> ocelot_obs::Obs {
         self.obs.clone().unwrap_or_else(ocelot_obs::global)
+    }
+
+    /// Attaches an explicit chunk-lifecycle ledger. Without one, chunk
+    /// events go to the process-global ledger when installed — an explicit
+    /// handle lets a long-lived service own its event stream without racing
+    /// other ledger users for the global slot.
+    pub fn with_ledger(mut self, ledger: std::sync::Arc<ocelot_obs::ledger::Ledger>) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// The chunk ledger in effect for this run: the explicit handle, else
+    /// the installed global, else `None` (emission compiles away).
+    fn ledger(&self) -> Option<std::sync::Arc<ocelot_obs::ledger::Ledger>> {
+        self.ledger.clone().or_else(ocelot_obs::ledger::global)
     }
 
     /// The topology in use.
@@ -414,8 +431,9 @@ impl Orchestrator {
         order.sort_by(|&a, &b| releases[a].partial_cmp(&releases[b]).expect("finite releases"));
         let sorted_sizes: Vec<u64> = order.iter().map(|&i| sizes[i]).collect();
         let sorted_releases: Vec<f64> = order.iter().map(|&i| releases[i]).collect();
-        let report =
-            simulate_transfer_released(&sorted_sizes, Some(&sorted_releases), &route.link, &opts.gridftp, opts.seed);
+        let detail =
+            simulate_transfer_detailed(&sorted_sizes, Some(&sorted_releases), &route.link, &opts.gridftp, opts.seed);
+        let report = detail.report;
 
         let dcores = opts.decompress_cores_per_node.unwrap_or(dst.cores_per_node).min(dst.cores_per_node);
         let decomp_cluster = Cluster::new(opts.decompress_nodes, dcores, dst.core_speed);
@@ -467,6 +485,53 @@ impl Orchestrator {
             );
             Self::observe_breakdown(&obs, &breakdown);
             obs.inc("ocelot_core_runs_overlapped_total", "Pipeline runs completed, by strategy");
+        }
+        // File-grain ledger events (chunk 0 of every file): the same phase
+        // boundaries the span tree records, then compress → release → wire →
+        // batch decode per file, so window-0 / overlapped jobs still
+        // reconstruct into timelines.
+        if let Some(job) = opts.job {
+            if let Some(led) = self.ledger() {
+                let ledger_emit = |k: EventKind, d: Draft| Some(led.append(k, d));
+                let end = Self::overlapped_total_s(&breakdown);
+                let begin = ledger_emit(EventKind::JobBegin, Draft::job(job, 0.0));
+                ledger_emit(EventKind::TransferBegin, Draft { parent: begin, ..Draft::job(job, wait_s) });
+                for (m, &i) in order.iter().enumerate() {
+                    let enc = sorted_releases[m];
+                    let dur = work[i].max(0.0) / src.core_speed;
+                    let d = |t: f64| Draft { t_sim: Some(t), bytes: sorted_sizes[m], ..Draft::chunk(job, i as u32, 0) };
+                    let cb = (enc - dur * (1.0 + stretch)).max(wait_s).min(enc);
+                    let p = ledger_emit(EventKind::CompressBegin, Draft { parent: begin, ..d(cb) });
+                    let p = ledger_emit(EventKind::Encoded, Draft { parent: p, ..d(enc) });
+                    let p = ledger_emit(EventKind::Released, Draft { parent: p, ..d(enc) });
+                    let sent = detail.start_s[m].max(enc);
+                    let landed = detail.completion_s[m].max(sent);
+                    let p = ledger_emit(EventKind::InFlight, Draft { parent: p, ..d(sent) });
+                    let p = ledger_emit(EventKind::Arrived, Draft { parent: p, attempt: 1, ..d(landed) });
+                    // Batch decompression starts when the whole transfer
+                    // lands; early arrivals sit in the reorder buffer.
+                    let p = if breakdown.transfer_s > landed + 1e-9 {
+                        let p = ledger_emit(
+                            EventKind::ReorderEnter,
+                            Draft { parent: p, cause: Some("awaiting batch decompression".to_string()), ..d(landed) },
+                        );
+                        ledger_emit(EventKind::ReorderExit, Draft { parent: p, ..d(breakdown.transfer_s) })
+                    } else {
+                        p
+                    };
+                    let p =
+                        ledger_emit(EventKind::DecodeBegin, Draft { parent: p, ..d(breakdown.transfer_s.max(landed)) });
+                    ledger_emit(
+                        EventKind::DecodeEnd,
+                        Draft { parent: p, ..d((breakdown.transfer_s + decompression_s).max(landed)) },
+                    );
+                }
+                let p = ledger_emit(
+                    EventKind::TransferEnd,
+                    Draft { parent: begin, ..Draft::job(job, breakdown.transfer_s) },
+                );
+                ledger_emit(EventKind::JobEnd, Draft { parent: p, ..Draft::job(job, end) });
+            }
         }
         breakdown
     }
@@ -522,28 +587,59 @@ impl Orchestrator {
         // Each file splits into the engine's chunk count; chunk j finishes
         // encoding at the proportional point of the file's compute interval.
         let k = if opts.codec_threads <= 1 { 1 } else { opts.codec_threads * 2 };
-        let mut chunks: Vec<(f64, u64)> = Vec::with_capacity(sizes.len() * k);
+        // (ready, payload bytes, file, chunk index, compress-begin)
+        let mut chunks: Vec<(f64, u64, u32, u32, f64)> = Vec::with_capacity(sizes.len() * k);
         for (i, &size) in sizes.iter().enumerate() {
             let dur = work[i].max(0.0) / src.core_speed;
             let base = size / k as u64;
             let rem = (size % k as u64) as usize;
             for j in 0..k {
                 let ready = wait_s + (completions[i] - dur * (k - 1 - j) as f64 / k as f64) * (1.0 + stretch);
+                let begin = wait_s + (completions[i] - dur * (k - j) as f64 / k as f64) * (1.0 + stretch);
                 let csize = base + u64::from(j < rem);
-                chunks.push((ready.max(wait_s), csize));
+                let ready = ready.max(wait_s);
+                chunks.push((ready, csize, i as u32, j as u32, begin.max(wait_s).min(ready)));
             }
         }
         chunks.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ready times"));
         let ready: Vec<f64> = chunks.iter().map(|c| c.0).collect();
-        let chunk_sizes: Vec<u64> = chunks.iter().map(|c| c.1).collect();
+        let payload: Vec<u64> = chunks.iter().map(|c| c.1).collect();
+
+        // Per-chunk WAN fault injection: the same deterministic draws the
+        // staged fault path makes, at chunk granularity. Every failed
+        // attempt re-sends the partial payload the link had moved, so the
+        // wire carries the inflated byte count; chunks are always delivered
+        // in the end (resume-on-abandon is future work), an exhausted retry
+        // budget just degrades to one more re-send.
+        let injecting = opts.faults.per_attempt_failure_prob > 0.0;
+        let draws: Vec<FaultDraw> = if injecting {
+            (0..payload.len()).map(|m| draw_faults(&opts.faults, opts.seed, m)).collect()
+        } else {
+            Vec::new()
+        };
+        let mut wasted = 0u64;
+        let mut chunk_retries = 0u64;
+        let wire: Vec<u64> = if injecting {
+            payload
+                .iter()
+                .zip(&draws)
+                .map(|(&size, draw)| {
+                    let extra: u64 = draw.failed_fracs.iter().map(|f| (size as f64 * f) as u64).sum();
+                    wasted += extra;
+                    chunk_retries += draw.failed_fracs.len() as u64;
+                    size + extra
+                })
+                .collect()
+        } else {
+            payload.clone()
+        };
 
         // Window-W back-pressure fixpoint: chunk m cannot ship before chunk
         // m−W has fully landed. Releasing later only delays completions, so
         // the iteration is monotone; it converges once no release moves.
         let window = opts.stream_window;
         let mut release = ready.clone();
-        let mut detail =
-            simulate_transfer_detailed(&chunk_sizes, Some(&release), &route.link, &opts.gridftp, opts.seed);
+        let mut detail = simulate_transfer_detailed(&wire, Some(&release), &route.link, &opts.gridftp, opts.seed);
         for _ in 0..32 {
             let mut changed = false;
             for m in window..release.len() {
@@ -556,7 +652,7 @@ impl Orchestrator {
             if !changed {
                 break;
             }
-            detail = simulate_transfer_detailed(&chunk_sizes, Some(&release), &route.link, &opts.gridftp, opts.seed);
+            detail = simulate_transfer_detailed(&wire, Some(&release), &route.link, &opts.gridftp, opts.seed);
         }
         let transfer_s = detail.report.duration_s;
 
@@ -579,23 +675,23 @@ impl Orchestrator {
         let dcores = opts.decompress_cores_per_node.unwrap_or(dst.cores_per_node).min(dst.cores_per_node);
         let decomp_cluster = Cluster::new(opts.decompress_nodes, dcores, dst.core_speed);
         let dwork = workload.decompression_work();
-        let mut dchunk: Vec<f64> = Vec::with_capacity(sizes.len() * k);
-        for w in &dwork {
-            for _ in 0..k {
-                dchunk.push(w.max(0.0) / k as f64 / dst.core_speed);
-            }
-        }
+        // Decode work follows the chunks in arrival (ready-sorted) order, so
+        // each decode duration pairs with its own chunk's landing time.
+        let dchunk: Vec<f64> =
+            chunks.iter().map(|c| dwork[c.2 as usize].max(0.0) / k as f64 / dst.core_speed).collect();
         let mut dlanes = vec![f64::NEG_INFINITY; decomp_cluster.total_cores().min(dchunk.len().max(1))];
         let mut first_decode = f64::INFINITY;
         let mut decomp_finish = transfer_s;
+        let mut dsched: Vec<(f64, f64)> = Vec::with_capacity(dchunk.len());
         for (m, &dur) in dchunk.iter().enumerate() {
-            let arrival = detail.completion_s[m.min(detail.completion_s.len() - 1)];
+            let arrival = detail.completion_s[m];
             let (lane, free) =
                 dlanes.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, &t)| (i, t)).expect("lanes");
             let start = free.max(arrival);
             first_decode = first_decode.min(start);
             dlanes[lane] = start + dur;
             decomp_finish = decomp_finish.max(start + dur);
+            dsched.push((start, start + dur));
         }
         let total = decomp_finish.max(transfer_s);
 
@@ -605,7 +701,10 @@ impl Orchestrator {
             grouping_s: 0.0,
             transfer_s,
             decompression_s: (total - transfer_s).max(0.0),
-            bytes_transferred: detail.report.bytes_total,
+            // Wire bytes include retransmitted partials; the payload that
+            // actually landed is what the breakdown accounts, mirroring
+            // `simulate_transfer_with_faults`.
+            bytes_transferred: detail.report.bytes_total.saturating_sub(wasted),
             files_transferred: sizes.len(),
         };
         let obs = self.obs();
@@ -647,6 +746,90 @@ impl Orchestrator {
                 "Union of back-pressure stall time per streamed run",
                 stall_total,
             );
+            obs.add("ocelot_chunk_transfers_total", "Chunks offered to the WAN by streamed runs", payload.len() as u64);
+            obs.add(
+                "ocelot_chunk_retries_total",
+                "Failed chunk transfer attempts re-sent in streamed runs",
+                chunk_retries,
+            );
+            for (r, l) in ready.iter().zip(&release) {
+                if *l > *r + 1e-9 {
+                    obs.observe("ocelot_chunk_stall_seconds", "Back-pressure stall per chunk in streamed runs", l - r);
+                }
+            }
+        }
+        // Chunk-lifecycle ledger: one causal event chain per chunk, with the
+        // job-phase boundaries pinned to the same values the span tree uses
+        // so replayed timelines agree with critpath stage sums.
+        if let Some(job) = opts.job {
+            if let Some(led) = self.ledger() {
+                let ledger_emit = |k: EventKind, d: Draft| Some(led.append(k, d));
+                let begin = ledger_emit(EventKind::JobBegin, Draft::job(job, 0.0));
+                ledger_emit(EventKind::TransferBegin, Draft { parent: begin, ..Draft::job(job, wait_s) });
+                for m in 0..payload.len() {
+                    let (file, chunk) = (chunks[m].2, chunks[m].3);
+                    let d = |t: f64| Draft { t_sim: Some(t), bytes: payload[m], ..Draft::chunk(job, file, chunk) };
+                    let p = ledger_emit(EventKind::CompressBegin, Draft { parent: begin, ..d(chunks[m].4) });
+                    let p = ledger_emit(EventKind::Encoded, Draft { parent: p, ..d(ready[m]) });
+                    let p = if release[m] > ready[m] + 1e-9 {
+                        let p = ledger_emit(
+                            EventKind::WindowWait,
+                            Draft { parent: p, cause: Some("stream window full".to_string()), ..d(ready[m]) },
+                        );
+                        ledger_emit(EventKind::Released, Draft { parent: p, ..d(release[m]) })
+                    } else {
+                        ledger_emit(EventKind::Released, Draft { parent: p, ..d(release[m]) })
+                    };
+                    let sent = detail.start_s[m].max(release[m]);
+                    let landed = detail.completion_s[m].max(sent);
+                    let mut p = ledger_emit(EventKind::InFlight, Draft { parent: p, ..d(sent) });
+                    let mut fails = 0u32;
+                    if injecting && !draws[m].failed_fracs.is_empty() {
+                        // Divide the wire interval by bytes moved: each
+                        // failed attempt occupies its partial payload's
+                        // share, the final (successful) attempt the rest.
+                        let fracs = &draws[m].failed_fracs;
+                        let denom = 1.0 + fracs.iter().sum::<f64>();
+                        let mut cum = 0.0;
+                        for (a, &frac) in fracs.iter().enumerate() {
+                            let t0 = sent + (landed - sent) * cum / denom;
+                            cum += frac;
+                            let t1 = sent + (landed - sent) * cum / denom;
+                            let fault = ledger_emit(
+                                EventKind::Fault,
+                                Draft {
+                                    parent: p,
+                                    cause: Some(opts.faults.describe()),
+                                    attempt: a as u32 + 1,
+                                    bytes: (payload[m] as f64 * frac) as u64,
+                                    ..d(t0)
+                                },
+                            );
+                            p = ledger_emit(
+                                EventKind::Retransmit,
+                                Draft { parent: fault, attempt: a as u32 + 2, ..d(t1) },
+                            );
+                        }
+                        fails = fracs.len() as u32;
+                    }
+                    let p = ledger_emit(EventKind::Arrived, Draft { parent: p, attempt: fails + 1, ..d(landed) });
+                    let (ds, de) = dsched[m];
+                    let p = if ds > landed + 1e-9 {
+                        let p = ledger_emit(
+                            EventKind::ReorderEnter,
+                            Draft { parent: p, cause: Some("decode lanes busy".to_string()), ..d(landed) },
+                        );
+                        ledger_emit(EventKind::ReorderExit, Draft { parent: p, ..d(ds) })
+                    } else {
+                        p
+                    };
+                    let start = ds.max(landed);
+                    let p = ledger_emit(EventKind::DecodeBegin, Draft { parent: p, ..d(start) });
+                    ledger_emit(EventKind::DecodeEnd, Draft { parent: p, ..d(de.max(start)) });
+                }
+                let p = ledger_emit(EventKind::TransferEnd, Draft { parent: begin, ..Draft::job(job, transfer_s) });
+                ledger_emit(EventKind::JobEnd, Draft { parent: p, ..Draft::job(job, total) });
+            }
         }
         breakdown
     }

@@ -1,0 +1,163 @@
+//! Timeline-consistency invariant for the chunk-lifecycle ledger: replaying
+//! a streamed job's ledger into per-chunk tracks must reproduce the critpath
+//! stage attribution of the same job's span tree within 1%, across codec
+//! thread counts and stream windows (including the window-0 overlapped
+//! degenerate case) — and the replayed event chains must be causally sound.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use ocelot::orchestrator::{Orchestrator, PipelineOptions};
+use ocelot::workload::Workload;
+use ocelot_netsim::{FaultModel, SiteId};
+use ocelot_obs::ledger::{self, check_causality, render_timeline, Ledger, LedgerEvent, Timeline};
+use proptest::prelude::*;
+
+/// Serializes tests that install the process-global ledger.
+fn lock() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A small Miranda slice: profiles are measured once, then the file list is
+/// truncated so the window fixpoint stays fast under proptest.
+fn workload() -> &'static Workload {
+    static W: OnceLock<Workload> = OnceLock::new();
+    W.get_or_init(|| {
+        let mut w = Workload::miranda(ocelot_sz::LossyConfig::sz3(1e-2), 32).expect("profiling succeeds");
+        w.files.truncate(20);
+        w
+    })
+}
+
+/// Runs one streamed job with a fresh obs + ledger and returns the drained
+/// events plus the critpath stage attribution of its span tree.
+fn run_case(threads: usize, window: usize, wait: f64, faults: FaultModel, job: u64) -> (Vec<LedgerEvent>, [f64; 7]) {
+    let obs = ocelot_obs::Obs::enabled();
+    let led = Ledger::with_obs(&obs);
+    ledger::install_global(&led);
+    let opts = PipelineOptions {
+        codec_threads: threads,
+        stream_window: window,
+        wait_model: ocelot_faas::WaitTimeModel::Fixed(wait),
+        faults,
+        job: Some(job),
+        ..PipelineOptions::default()
+    };
+    let orch = Orchestrator::paper().with_obs(obs.clone());
+    orch.run_streamed(workload(), SiteId::Bebop, SiteId::Cori, &opts);
+    ledger::uninstall_global();
+    let events = led.drain();
+    let spans = obs.recorder().expect("enabled obs records spans").for_job(job);
+    let report = ocelot_obs::critpath::analyze(&spans).expect("sim spans recorded");
+    let mut stages = [0.0f64; 7];
+    stages.copy_from_slice(&report.stage_s);
+    (events, stages)
+}
+
+/// Asserts one track's intervals are monotone and contiguous: each interval
+/// is well-formed, consecutive phases do not overlap backwards, and the
+/// compress → window-wait → transfer chain leaves no gaps (the only allowed
+/// gap is arrived → decode, which the reorder interval must cover).
+fn assert_track_contiguous(t: &ocelot_obs::ledger::ChunkTrack) {
+    let ordered = [t.compress, t.window_wait, t.transfer, t.reorder, t.decode];
+    let mut last_end = f64::NEG_INFINITY;
+    for iv in ordered.iter().flatten() {
+        assert!(iv.1 >= iv.0 - 1e-9, "interval runs backwards: {iv:?} in {t:?}");
+        assert!(iv.0 >= last_end - 1e-6, "phase starts before the prior one ends: {t:?}");
+        last_end = last_end.max(iv.1);
+    }
+    if let (Some(c), Some(x)) = (t.compress, t.transfer) {
+        // encoded → released → transfer is gap-free (window-wait fills any
+        // distance between encode completion and release).
+        let bridged = t.window_wait.map_or(c.1, |w| {
+            assert!((w.0 - c.1).abs() < 1e-6, "window wait must start at encode completion: {t:?}");
+            w.1
+        });
+        assert!((x.0 - bridged).abs() < 1e-6, "gap between release and transfer start: {t:?}");
+    }
+    if let (Some(x), Some(d)) = (t.transfer, t.decode) {
+        // Any arrived → decode gap must be reorder-buffer residency.
+        let covered = t.reorder.map_or(x.1, |r| {
+            assert!((r.0 - x.1).abs() < 1e-6, "reorder must start at arrival: {t:?}");
+            r.1
+        });
+        assert!(d.0 >= covered - 1e-6, "decode cannot start before its input: {t:?}");
+        assert!((d.0 - covered).abs() < 1e-3, "uncovered gap between arrival and decode: {t:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ≤1% invariant: ledger-reconstructed stage sums match critpath stage
+    /// attribution for every (threads, window) combination, and the event
+    /// stream passes the causality checker.
+    #[test]
+    fn replayed_timeline_matches_critpath_stages(
+        ti in 0usize..4,
+        wi in 0usize..4,
+        wa in 0usize..2,
+        job in 1u64..1000,
+    ) {
+        let threads = [1usize, 2, 4, 8][ti];
+        let window = [0usize, 1, 4, 1024][wi];
+        let wait = [0.0f64, 50.0][wa];
+        let _g = lock();
+        let (events, stages) = run_case(threads, window, wait, FaultModel::none(), job);
+        prop_assert!(!events.is_empty(), "streamed run must emit ledger events");
+        let violations = check_causality(&events, job);
+        prop_assert!(violations.is_empty(), "causality violations: {violations:?}");
+        let tl = Timeline::reconstruct(&events, job).expect("job has events");
+        let mine = tl.stage_s();
+        let critical: f64 = stages.iter().sum();
+        let tol = (critical * 0.01).max(1e-6);
+        for (i, (a, b)) in mine.iter().zip(&stages).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= tol,
+                "stage {i}: ledger {a} vs critpath {b} (threads {threads}, window {window}, wait {wait})"
+            );
+        }
+        for t in &tl.tracks {
+            assert_track_contiguous(t);
+        }
+        // Expected chunk population: k chunks per file (window > 0) or one
+        // file-grain track each (window 0 → overlapped path).
+        let k = if window == 0 || threads <= 1 { 1 } else { threads * 2 };
+        prop_assert_eq!(tl.tracks.len(), workload().files.len() * k);
+    }
+}
+
+#[test]
+fn fault_injected_run_names_retransmitted_chunks_and_causes() {
+    let _g = lock();
+    let render = |job| {
+        let (events, _) = run_case(4, 4, 0.0, FaultModel::flaky(0.3), job);
+        let violations = check_causality(&events, job);
+        assert!(violations.is_empty(), "causality violations: {violations:?}");
+        let tl = Timeline::reconstruct(&events, job).expect("job has events");
+        assert!(tl.total_retries() > 0, "a 30% flaky link must retransmit");
+        let faulted = tl.tracks.iter().find(|t| !t.retransmits.is_empty()).expect("some chunk faulted");
+        assert!(faulted.retransmits[0].2.contains("wan fault"), "cause: {:?}", faulted.retransmits[0]);
+        assert!(faulted.attempts > 1);
+        render_timeline(&tl)
+    };
+    let a = render(7);
+    let b = render(7);
+    assert_eq!(a, b, "rendering must be byte-stable across reruns of the same seeded job");
+    assert!(a.contains('!'), "retransmit segments must appear in the Gantt:\n{a}");
+}
+
+#[test]
+fn fault_injection_slows_streamed_transfer_but_delivers_payload() {
+    let _g = lock();
+    let opts = |faults| PipelineOptions { codec_threads: 4, stream_window: 1, faults, ..PipelineOptions::default() };
+    // Window 1 serializes the wire, so any chunk's retransmitted partials
+    // push every later release — the makespan must stretch.
+    let orch = Orchestrator::paper();
+    let healthy = orch.run_streamed(workload(), SiteId::Anvil, SiteId::Bebop, &opts(FaultModel::none()));
+    let flaky = orch.run_streamed(workload(), SiteId::Anvil, SiteId::Bebop, &opts(FaultModel::flaky(0.3)));
+    assert!(flaky.transfer_s > healthy.transfer_s, "flaky {} vs healthy {}", flaky.transfer_s, healthy.transfer_s);
+    // Retransmitted partials are wasted wire bytes, not payload.
+    assert_eq!(flaky.bytes_transferred, healthy.bytes_transferred);
+    assert_eq!(flaky.files_transferred, healthy.files_transferred);
+}

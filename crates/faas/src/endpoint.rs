@@ -140,6 +140,12 @@ impl FaasEndpoint {
             timings.push(ChunkTiming { chunk, lane, start_s: start, exec_s: exec });
             lanes[lane] = start + exec;
             obs.observe("ocelot_faas_chunk_exec_seconds", "Per-chunk codec execution time", exec);
+            if ocelot_obs::ledger::is_active() {
+                use ocelot_obs::ledger::{emit, Draft, EventKind};
+                let d = |t: f64| Draft { chunk: Some(chunk as u32), t_sim: Some(t), ..Draft::default() };
+                let p = emit(EventKind::CompressBegin, d(start));
+                emit(EventKind::Encoded, Draft { parent: p, ..d(start + exec) });
+            }
         }
         let makespan = lanes.iter().fold(0.0_f64, |a, &b| a.max(b));
         (self.invoke_batch(chunk_exec_s.len().max(1), makespan, needs_nodes), timings)
@@ -180,6 +186,23 @@ impl FaasEndpoint {
             timings.push(ChunkTiming { chunk, lane, start_s: start, exec_s: exec });
             lanes[lane] = start + exec;
             obs.observe("ocelot_faas_chunk_exec_seconds", "Per-chunk codec execution time", exec);
+            if ocelot_obs::ledger::is_active() {
+                use ocelot_obs::ledger::{emit, Draft, EventKind};
+                let d = |t: f64| Draft { chunk: Some(chunk as u32), t_sim: Some(t), ..Draft::default() };
+                // Decode-on-arrival: a busy lane parks the landed chunk in
+                // the reorder buffer until a decoder frees up.
+                let p = if start > release {
+                    let p = emit(
+                        EventKind::ReorderEnter,
+                        Draft { cause: Some("decode lanes busy".to_string()), ..d(release) },
+                    );
+                    emit(EventKind::ReorderExit, Draft { parent: p, ..d(start) })
+                } else {
+                    None
+                };
+                let p = emit(EventKind::DecodeBegin, Draft { parent: p, ..d(start) });
+                emit(EventKind::DecodeEnd, Draft { parent: p, ..d(start + exec) });
+            }
         }
         let makespan = lanes.iter().fold(0.0_f64, |a, &b| a.max(b));
         (self.invoke_batch(chunk_exec_s.len().max(1), makespan, needs_nodes), timings)

@@ -31,6 +31,51 @@ impl FaultModel {
         assert!((0.0..1.0).contains(&p), "failure probability must be in [0,1)");
         FaultModel { per_attempt_failure_prob: p, max_retries: 5, reconnect_s: 2.0 }
     }
+
+    /// Human-readable cause string for fault attribution (chunk-ledger
+    /// `fault` events and forensics dumps).
+    pub fn describe(&self) -> String {
+        format!("wan fault (p={:.2}, reconnect {:.1}s)", self.per_attempt_failure_prob, self.reconnect_s)
+    }
+}
+
+/// One item's deterministic fault outcome under a [`FaultModel`]: the
+/// partial-payload fraction of every failed attempt, in attempt order, and
+/// whether retries were exhausted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDraw {
+    /// Fraction of the payload the link moved before each failed attempt
+    /// died (one entry per failure).
+    pub failed_fracs: Vec<f64>,
+    /// True when the final attempt also failed (item abandoned).
+    pub abandoned: bool,
+}
+
+impl FaultDraw {
+    /// Attempts made: failures plus the final try (successful or not).
+    pub fn attempts(&self) -> u32 {
+        self.failed_fracs.len() as u32 + u32::from(!self.abandoned)
+    }
+}
+
+/// Draws item `index`'s fault schedule for `seed` — the same deterministic
+/// draws [`simulate_transfer_with_faults`] makes, exposed so the streamed
+/// orchestrator can inject identical per-chunk faults and the chunk ledger
+/// can attribute them.
+pub fn draw_faults(faults: &FaultModel, seed: u64, index: usize) -> FaultDraw {
+    let mut failed_fracs = Vec::new();
+    let mut attempt = 0u32;
+    loop {
+        let u = uniform01(seed ^ 0xFAB7, (index as u64) << 8 | attempt as u64);
+        if u >= faults.per_attempt_failure_prob {
+            return FaultDraw { failed_fracs, abandoned: false };
+        }
+        failed_fracs.push(uniform01(seed ^ 0xDEAD, (index as u64) << 8 | attempt as u64));
+        if attempt >= faults.max_retries {
+            return FaultDraw { failed_fracs, abandoned: true };
+        }
+        attempt += 1;
+    }
 }
 
 /// Report of a transfer under fault injection.
@@ -83,30 +128,22 @@ pub fn simulate_transfer_with_faults(
     let mut attempts = Vec::with_capacity(files.len());
 
     for (i, &size) in files.iter().enumerate() {
-        let mut attempt = 0u32;
-        loop {
-            let u = uniform01(seed ^ 0xFAB7, (i as u64) << 8 | attempt as u64);
-            let fails = u < faults.per_attempt_failure_prob;
-            if !fails {
-                work.push(size);
-                successful_bytes += size;
-                attempts.push(attempt + 1);
-                break;
-            }
-            // A failed attempt moves a deterministic partial payload first.
-            let frac = uniform01(seed ^ 0xDEAD, (i as u64) << 8 | attempt as u64);
+        let draw = draw_faults(faults, seed, i);
+        // Each failed attempt moved a deterministic partial payload first.
+        for &frac in &draw.failed_fracs {
             let partial = (size as f64 * frac) as u64;
             work.push(partial);
             wasted_bytes += partial;
             reconnect_total += faults.reconnect_s;
             retries += 1;
-            if attempt >= faults.max_retries {
-                failed_files.push(i);
-                attempts.push(attempt + 1);
-                break;
-            }
-            attempt += 1;
         }
+        if draw.abandoned {
+            failed_files.push(i);
+        } else {
+            work.push(size);
+            successful_bytes += size;
+        }
+        attempts.push(draw.attempts());
     }
 
     let mut report = simulate_transfer(&work, link, config, seed);

@@ -119,6 +119,10 @@ pub struct DetailedTransferReport {
     /// streaming orchestrator uses these to start each item's decompression
     /// the moment it lands instead of waiting for the batch.
     pub completion_s: Vec<f64>,
+    /// Per-file activation times in seconds (when the file claimed a
+    /// concurrency slot and its transfer actually began), indexed like
+    /// `files`. The chunk ledger records these as `in_flight` events.
+    pub start_s: Vec<f64>,
 }
 
 /// Like [`simulate_transfer_released`], but also records when each file
@@ -145,9 +149,11 @@ pub fn simulate_transfer_detailed(
         return DetailedTransferReport {
             report: TransferReport { duration_s: 0.0, bytes_total: 0, n_files: 0, effective_speed_bps: 0.0 },
             completion_s: Vec::new(),
+            start_s: Vec::new(),
         };
     }
     let mut completion_s = vec![0.0f64; files.len()];
+    let mut start_s = vec![0.0f64; files.len()];
 
     // Command spacing: each of `concurrency` control channels handles one
     // file every `per_file_overhead` (+1 RTT without pipelining).
@@ -177,7 +183,10 @@ pub fn simulate_transfer_detailed(
         // Fill free slots from the ready queue.
         while active.len() < config.concurrency {
             match ready.pop_front() {
-                Some(idx) => activate(idx, &mut active, link),
+                Some(idx) => {
+                    start_s[idx] = now.as_secs_f64();
+                    activate(idx, &mut active, link);
+                }
                 None => break,
             }
         }
@@ -263,6 +272,7 @@ pub fn simulate_transfer_detailed(
     DetailedTransferReport {
         report: TransferReport { duration_s, bytes_total, n_files: files.len(), effective_speed_bps },
         completion_s,
+        start_s,
     }
 }
 
@@ -506,6 +516,18 @@ mod tests {
         let d = simulate_transfer_detailed(&files, Some(&releases), &test_link(), &GridFtpConfig::default(), 0);
         for (i, (&c, &r)) in d.completion_s.iter().zip(&releases).enumerate() {
             assert!(c >= r, "file {i} completed at {c} before its release {r}");
+        }
+    }
+
+    #[test]
+    fn detailed_start_times_bracket_release_and_completion() {
+        let files = vec![50_000_000u64; 8];
+        let releases: Vec<f64> = (0..8).map(|i| i as f64 * 2.0).collect();
+        let d = simulate_transfer_detailed(&files, Some(&releases), &test_link(), &GridFtpConfig::default(), 0);
+        assert_eq!(d.start_s.len(), 8);
+        for (i, &s) in d.start_s.iter().enumerate() {
+            assert!(s >= releases[i] - 1e-9, "file {i} started at {s} before its release {}", releases[i]);
+            assert!(s <= d.completion_s[i] + 1e-9, "file {i} started at {s} after completing at {}", d.completion_s[i]);
         }
     }
 

@@ -34,7 +34,7 @@ pub mod storage;
 pub mod time;
 
 pub use contention::{simulate_shared_link, BatchReport, BatchSpec};
-pub use faults::{simulate_transfer_with_faults, FaultModel, FaultyTransferReport};
+pub use faults::{draw_faults, simulate_transfer_with_faults, FaultDraw, FaultModel, FaultyTransferReport};
 pub use gridftp::{
     simulate_transfer, simulate_transfer_detailed, simulate_transfer_released, DetailedTransferReport, GridFtpConfig,
     TransferReport,

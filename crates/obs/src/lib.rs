@@ -19,6 +19,9 @@
 //! - [`prof`] — continuous kernel-level profiling: scoped probes on worker
 //!   threads draining into lock-free epoch-tagged per-thread rings, with a
 //!   measured self-overhead gauge and collapsed-stack ("folded") export.
+//! - [`ledger`] — chunk-lifecycle event ledger: causal wide events per
+//!   chunk (compressed → released → in-flight → arrived → decoded) in
+//!   bounded per-thread sinks, replayable into per-chunk Gantt timelines.
 //!
 //! An [`Obs`] is a cheap-clone handle that is either *enabled* (wraps an
 //! `Arc` of registry + recorder) or *disabled* (every call is a no-op).
@@ -34,6 +37,7 @@
 pub mod critpath;
 pub mod export;
 pub mod flight;
+pub mod ledger;
 pub mod log;
 pub mod metrics;
 pub mod prof;

@@ -21,8 +21,11 @@ fn main() {
 
     // Share one handle between the service and the process global, as the
     // CLI does, so sz's wall-clock instrumentation (read via the global)
-    // lands in the same registry the service exports.
-    let shared = ocelot_obs::Obs::enabled();
+    // lands in the same registry the service exports. This one handle
+    // serves two service batches plus the perf scenarios below, and the
+    // no-drops assertion needs headroom over the single-batch default
+    // flight capacity — the margin, not the ceiling, is what it checks.
+    let shared = ocelot_obs::Obs::with_flight_capacity(4 * ocelot_obs::flight::DEFAULT_CAPACITY);
     ocelot_obs::install_global(&shared);
     // Continuous profiler on the same registry: the sz kernel probes drain
     // per-kernel histograms into it, which this run validates below.
@@ -130,6 +133,48 @@ fn main() {
         }
     }
 
+    // A second, streamed service exercises the chunk-lifecycle ledger end
+    // to end. It shares the process-global obs handle (a private recorder
+    // would cross thread-local span stacks with the global one sz uses);
+    // its own ledger still keeps its chunk events separate from any other
+    // service's.
+    let ledger_json = {
+        use ocelot_obs::ledger::check_causality;
+        let streamed_cfg = ServiceConfig {
+            workers: 1,
+            stream_window: 4,
+            codec_threads: 2,
+            profile_scale: 6,
+            obs: Some(obs.clone()),
+            artifact_dir: Some(out_dir.to_path_buf()),
+            ..ServiceConfig::default()
+        };
+        let streamed = Service::start(streamed_cfg);
+        streamed
+            .submit(JobSpec {
+                tenant: "climate".to_string(),
+                app: Application::Miranda,
+                error_bound: 1e-3,
+                strategy: Strategy::Compressed,
+                from: SiteId::Anvil,
+                to: SiteId::Cori,
+            })
+            .expect("submit streamed job");
+        streamed.drain();
+        let events = streamed.chunk_events(ocelot_svc::JobId(0));
+        if events.is_empty() {
+            failures.push("streamed service recorded no chunk-ledger events".to_string());
+        }
+        let violations = check_causality(&events, 0);
+        failures.extend(violations.into_iter().map(|v| format!("ledger causality: {v}")));
+        if !out_dir.join("ledger-0.json").is_file() {
+            failures.push("service did not persist ledger-0.json to the artifact dir".to_string());
+        }
+        let js = ocelot_svc::ledger_json(0, &events);
+        std::fs::write(out_dir.join("ledger.json"), &js).expect("write ledger.json");
+        js
+    };
+
     // Exercise the perf-trajectory machinery exactly as `ocelot perf record`
     // does: run the built-in kernel micro-scenarios at the smallest scale,
     // append the record, and validate the written trajectory against
@@ -156,6 +201,7 @@ fn main() {
         ("metrics.json".to_string(), &metrics_json, "metrics.schema.json"),
         ("trace.json".to_string(), &trace_json, "trace.schema.json"),
         ("bottleneck.json".to_string(), &analysis_json, "bottleneck.schema.json"),
+        ("ledger.json".to_string(), &ledger_json, "ledger.schema.json"),
     ];
     if !perf_json.is_empty() {
         documents.push(("perf.json".to_string(), &perf_json, "perf.schema.json"));

@@ -80,6 +80,10 @@ pub struct ServiceAnalysis {
     /// Advisory scheduler hint from the overall dominant stage.
     #[serde(skip_serializing_if = "Option::is_none", default)]
     pub hint: Option<SchedulerHint>,
+    /// Chunk retransmits per tenant, counted from the chunk ledger (empty
+    /// when no streamed job saw a fault).
+    #[serde(skip_serializing_if = "BTreeMap::is_empty", default)]
+    pub chunk_retries: BTreeMap<String, u64>,
 }
 
 /// The kernel with the largest attributed wall time in the registry's
@@ -116,11 +120,32 @@ fn kernel_advice(kernel: Kernel, share: f64) -> String {
     format!("compression dominates and {} leads its kernels ({pct:.0}% of kernel time); {what}", kernel.name())
 }
 
+/// Share of chunk transfers that had to be re-sent, from the streamed
+/// orchestrator's `ocelot_chunk_retries_total` / `ocelot_chunk_transfers_total`
+/// counters. `None` when no chunk has been transferred yet.
+fn chunk_retry_share(registry: &Registry) -> Option<f64> {
+    let read = |name: &str| match registry.get(name) {
+        Some(Metric::Counter(c)) => c.get(),
+        _ => 0,
+    };
+    let transfers = read("ocelot_chunk_transfers_total");
+    if transfers == 0 {
+        return None;
+    }
+    Some(read("ocelot_chunk_retries_total") as f64 / transfers as f64)
+}
+
+/// Retransmits start to dominate the wire story above this share of chunk
+/// transfers; below it, generic transfer advice applies.
+const RETRY_DOMINANT_SHARE: f64 = 0.25;
+
 /// Derives the advisory hint from an aggregate report and the current pool
 /// size. Queue/backoff wait is the one stage more concurrency directly
 /// attacks, so it is the only stage that grows the pool. When compression
 /// dominates and a registry with profiler kernel histograms is available,
-/// the advice names the dominant kernel instead of the generic remedy.
+/// the advice names the dominant kernel instead of the generic remedy;
+/// when transfer dominates and the chunk ledger shows retransmits eating a
+/// large share of the wire, the advice targets retries instead of bandwidth.
 pub fn derive_hint(report: &BottleneckReport, workers: usize, registry: Option<&Registry>) -> SchedulerHint {
     let (recommended_workers, advice) = match report.dominant {
         Stage::QueueWait => {
@@ -135,7 +160,15 @@ pub fn derive_hint(report: &BottleneckReport, workers: usize, registry: Option<&
         }
         Stage::Group => (workers, "grouping dominates; raise the transfer group size".to_string()),
         Stage::Transfer => {
-            (workers, "WAN transfer dominates; raise GridFTP parallelism or loosen error bounds".to_string())
+            let advice = match registry.and_then(chunk_retry_share) {
+                Some(share) if share > RETRY_DOMINANT_SHARE => format!(
+                    "chunk retries dominate the wire ({:.0}% of chunk transfers re-sent); \
+                     enable resume or shrink chunk_points",
+                    share * 100.0
+                ),
+                _ => "WAN transfer dominates; raise GridFTP parallelism or loosen error bounds".to_string(),
+            };
+            (workers, advice)
         }
         Stage::Stall => {
             (workers, "streaming back-pressure dominates; raise stream_window so chunks keep flowing".to_string())
@@ -179,7 +212,13 @@ pub fn build_analysis(
 
     let overall = critpath::aggregate(&reports);
     let hint = overall.as_ref().map(|o| derive_hint(o, workers, registry));
-    ServiceAnalysis { jobs, per_tenant, overall: overall.as_ref().map(BottleneckSummary::from), hint }
+    ServiceAnalysis {
+        jobs,
+        per_tenant,
+        overall: overall.as_ref().map(BottleneckSummary::from),
+        hint,
+        chunk_retries: BTreeMap::new(),
+    }
 }
 
 /// Renders the analysis as a human-readable table (the CLI's default view;
@@ -206,6 +245,11 @@ pub fn render_analysis(analysis: &ServiceAnalysis) -> String {
                 let pct = if o.critical_path_s > 0.0 { 100.0 * v / o.critical_path_s } else { 0.0 };
                 let _ = writeln!(out, "    {stage:<11} {v:>10.3}s ({pct:>5.1}%)");
             }
+        }
+    }
+    if !analysis.chunk_retries.is_empty() {
+        for (tenant, n) in &analysis.chunk_retries {
+            let _ = writeln!(out, "  chunk retries: tenant {tenant} re-sent {n} chunk(s)");
         }
     }
     if let Some(h) = &analysis.hint {
@@ -258,6 +302,44 @@ mod tests {
         assert_eq!(hint.dominant, "transfer");
         assert_eq!(hint.recommended_workers, 4);
         assert_eq!(analysis.per_tenant["(unknown)"].dominant, "transfer");
+    }
+
+    /// Spans whose dominant stage is transfer, for the retry-hint tests.
+    fn transfer_dominant_spans() -> Vec<SpanRecord> {
+        let r = Recorder::new();
+        let a = r.sim_span("pipeline", Some(1), 0, 0.0, 10.0);
+        r.sim_child(a, "pipeline.transfer", Some(1), 0, 0.0, 10.0);
+        r.spans()
+    }
+
+    #[test]
+    fn retransmit_dominant_transfer_advises_resume() {
+        // 400 of 1000 chunk transfers re-sent: well past the 25% threshold,
+        // so the hint blames retries, not raw bandwidth.
+        let registry = Registry::new();
+        registry.counter("ocelot_chunk_transfers_total", "c").add(1000);
+        registry.counter("ocelot_chunk_retries_total", "c").add(400);
+        let analysis = build_analysis(&transfer_dominant_spans(), &HashMap::new(), 4, Some(&registry));
+        let hint = analysis.hint.unwrap();
+        assert_eq!(hint.dominant, "transfer");
+        assert_eq!(hint.recommended_workers, 4, "retries are not fixed by more workers");
+        assert!(hint.advice.contains("chunk retries dominate"), "advice: {}", hint.advice);
+        assert!(hint.advice.contains("40%"), "advice carries the share: {}", hint.advice);
+        assert!(hint.advice.contains("resume"), "advice: {}", hint.advice);
+    }
+
+    #[test]
+    fn modest_retry_share_keeps_the_generic_transfer_advice() {
+        // 10% re-sent is background noise; and a registry with zero chunk
+        // transfers (staged-only service) must not divide by zero.
+        let registry = Registry::new();
+        registry.counter("ocelot_chunk_transfers_total", "c").add(1000);
+        registry.counter("ocelot_chunk_retries_total", "c").add(100);
+        let analysis = build_analysis(&transfer_dominant_spans(), &HashMap::new(), 4, Some(&registry));
+        assert!(analysis.hint.unwrap().advice.contains("GridFTP parallelism"));
+        let empty = Registry::new();
+        let analysis = build_analysis(&transfer_dominant_spans(), &HashMap::new(), 4, Some(&empty));
+        assert!(analysis.hint.unwrap().advice.contains("GridFTP parallelism"));
     }
 
     #[test]

@@ -50,6 +50,10 @@ fn run(args: &[String]) -> Result<(), CliError> {
     // in a single registry/recorder that `metrics` and `trace` export.
     let obs = ocelot_obs::Obs::enabled();
     ocelot_obs::install_global(&obs);
+    // Chunk-lifecycle ledger beside it: crates without an explicit handle
+    // (sz sealed/encoded, faas invokes) emit wall-scope events here; the
+    // service hands its own ledger to the orchestrator for job-scoped ones.
+    ocelot_obs::ledger::install_global(&ocelot_obs::ledger::Ledger::with_obs(&obs));
     // Continuous profiler alongside it: kernel probes in the sz hot path
     // drain per-kernel histograms into the same registry (measured overhead
     // < 2 %, exported as ocelot_obs_prof_overhead_ratio).
@@ -75,6 +79,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "analyze" => cmd_analyze(&flags),
         "perf" => cmd_perf(&positional, &flags),
         "postmortem" => cmd_postmortem(&positional, &flags),
+        "timeline" => cmd_timeline(&positional, &flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -102,7 +107,8 @@ fn usage() {
          \x20 trace      [JOB] [serve flags] [-o FILE]          run a batch, export Chrome trace_event JSON\n\
          \x20 analyze    [serve flags] [--json] [-o FILE]       run a batch, report critical-path bottlenecks\n\
          \x20 perf       record|diff|gate [--file TRAJ] [--baseline TRAJ] [--threshold R] [--hot S1,S2] [--scale N] [--reps N] [--label L] [--folded FILE] [--json]\n\
-         \x20 postmortem JOB [serve flags] | --file DUMP        pretty-print a flight-recorder dump\n\
+         \x20 postmortem JOB [serve flags] [--json] | --file DUMP [--json]   pretty-print a flight-recorder dump\n\
+         \x20 timeline   JOB [serve flags] [--json | --chunk N] [-o FILE]    per-chunk transfer Gantt from the ledger\n\
          \n\
          sites: anvil, cori, bebop; apps: cesm, miranda, rtm, nyx, isabel, qmcpack, hacc\n\
          (submit/serve run the multi-tenant transfer service; transfer workloads: cesm, miranda, rtm)\n\
@@ -826,6 +832,9 @@ fn cmd_postmortem(positional: &[String], flags: &HashMap<String, String>) -> Res
     // `--file DUMP` replays a saved artifact without running anything.
     if let Some(path) = flags.get("file") {
         let dump: FlightDump = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        if flags.contains_key("json") {
+            return write_or_print(flags, &serde_json::to_string_pretty(&dump)?);
+        }
         print!("{}", ocelot_svc::render_postmortem(&dump));
         return Ok(());
     }
@@ -836,12 +845,16 @@ fn cmd_postmortem(positional: &[String], flags: &HashMap<String, String>) -> Res
         .map_err(|_| format!("postmortem takes a numeric JOB id, got '{}'", positional.first().unwrap()))?;
     let svc = run_service_batch(flags, job as usize + 1)?;
     // Prefer a dump the service already snapped for this job (failure, retry
-    // exhaustion, SLO breach); otherwise force one from the live ring.
+    // exhaustion, SLO breach); otherwise force one from the live ring. Both
+    // embed the job's chunk-ledger tail when the streamed path traced it.
     let dump = svc
         .flight_dumps()
         .into_iter()
         .find(|d| d.job == Some(job))
         .unwrap_or_else(|| svc.force_flight_dump("postmortem", Some(JobId(job))));
+    if flags.contains_key("json") {
+        return write_or_print(flags, &serde_json::to_string_pretty(&dump)?);
+    }
     let text = ocelot_svc::render_postmortem(&dump);
     match flags.get("out").map(String::as_str).filter(|s| !s.is_empty()) {
         Some(path) => {
@@ -851,6 +864,56 @@ fn cmd_postmortem(positional: &[String], flags: &HashMap<String, String>) -> Res
         None => print!("{text}"),
     }
     Ok(())
+}
+
+/// Validates a ledger export against `schemas/ledger.schema.json` (skipped
+/// when the schema file is absent — installed binaries run outside the repo).
+fn validate_ledger_export(ledger_json: &str) -> Result<(), CliError> {
+    let schema_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas/ledger.schema.json");
+    let Ok(schema_text) = std::fs::read_to_string(schema_path) else {
+        return Ok(());
+    };
+    let schema: serde_json::Value = serde_json::from_str(&schema_text)?;
+    let value: serde_json::Value = serde_json::from_str(ledger_json)?;
+    let errors = ocelot_svc::schema::validate(&schema, &value);
+    if !errors.is_empty() {
+        return Err(format!("ledger export violates schemas/ledger.schema.json: {}", errors.join("; ")).into());
+    }
+    Ok(())
+}
+
+fn cmd_timeline(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use ocelot_obs::ledger::{render_chunk_detail, render_timeline, Timeline};
+    let job: u64 = positional
+        .first()
+        .ok_or("timeline needs a JOB id")?
+        .parse()
+        .map_err(|_| format!("timeline takes a numeric JOB id, got '{}'", positional.first().unwrap()))?;
+    // Chunk events only exist on the streamed path; default the window on
+    // rather than render an empty chart.
+    let mut flags = flags.clone();
+    flags.entry("stream-window".to_string()).or_insert_with(|| "4".to_string());
+    let svc = run_service_batch(&flags, job as usize + 1)?;
+    let events = svc.chunk_events(JobId(job));
+    if events.is_empty() {
+        return Err(format!("no chunk events recorded for job {job} (needs --stream-window > 0)").into());
+    }
+    if flags.contains_key("json") {
+        let text = ocelot_svc::ledger_json(job, &events);
+        validate_ledger_export(&text)?;
+        return write_or_print(&flags, &text);
+    }
+    let tl = Timeline::reconstruct(&events, job)
+        .ok_or_else(|| format!("ledger for job {job} has no transfer envelope — cannot reconstruct"))?;
+    let text = match flags.get("chunk") {
+        Some(c) => {
+            let index: usize = c.parse().map_err(|_| format!("--chunk takes a track index, got '{c}'"))?;
+            render_chunk_detail(&events, &tl, index)
+                .ok_or_else(|| format!("job {job} has no chunk track {index} (tracks: 0..{})", tl.tracks.len()))?
+        }
+        None => render_timeline(&tl),
+    };
+    write_or_print(&flags, &text)
 }
 
 #[cfg(test)]

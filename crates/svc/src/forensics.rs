@@ -14,11 +14,98 @@
 use crate::analyze::BottleneckSummary;
 use crate::journal::{AlertRecord, Event};
 use ocelot_obs::flight::{FlightEvent, FlightKind, FlightSnapshot};
+use ocelot_obs::ledger::{EventKind, LedgerEvent};
 use ocelot_obs::span::Clock;
 use serde::{Deserialize, Serialize};
 
 /// Current dump format version.
 pub const DUMP_VERSION: u32 = 1;
+
+/// Chunk-ledger events a [`FlightDump`] embeds (the failed job's tail).
+pub const LEDGER_EMBED_EVENTS: usize = 32;
+
+/// Serde mirror of [`ocelot_obs::ledger::LedgerEvent`] (`obs` is
+/// deliberately zero-dep, so serialization lives here). `event` is the
+/// stable snake_case kind label; optional fields are omitted when absent,
+/// matching `schemas/ledger.schema.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEventRecord {
+    /// Globally ordered sequence number.
+    pub seq: u64,
+    /// Sequence of the prior event for the same chunk, if any.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub parent: Option<u64>,
+    /// Span id of the job's root sim span, if known.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub span: Option<u64>,
+    /// Job the event belongs to.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub job: Option<u64>,
+    /// File index within the job's workload.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub file: Option<u32>,
+    /// Chunk index within the file.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub chunk: Option<u32>,
+    /// Snake_case event kind ([`EventKind::name`]).
+    pub event: String,
+    /// Fault description / stall reason, when there is one.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub cause: Option<String>,
+    /// Simulated seconds, job-relative; absent for wall-only events.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub t_sim: Option<f64>,
+    /// Microseconds since ledger construction (wall clock).
+    pub t_wall_us: u64,
+    /// Bytes the event concerns.
+    pub bytes: u64,
+    /// Transfer attempt number (1-based; 0 when not transfer-related).
+    pub attempt: u32,
+}
+
+impl From<&LedgerEvent> for LedgerEventRecord {
+    fn from(e: &LedgerEvent) -> Self {
+        LedgerEventRecord {
+            seq: e.seq,
+            parent: e.parent,
+            span: e.span,
+            job: e.job,
+            file: e.file,
+            chunk: e.chunk,
+            event: e.event.name().to_string(),
+            cause: e.cause.clone(),
+            t_sim: e.t_sim,
+            t_wall_us: e.t_wall_us,
+            bytes: e.bytes,
+            attempt: e.attempt,
+        }
+    }
+}
+
+impl LedgerEventRecord {
+    /// The parsed event kind, when the label is known.
+    pub fn kind(&self) -> Option<EventKind> {
+        EventKind::parse(&self.event)
+    }
+}
+
+/// Serializes one job's drained ledger as the artifact the service writes
+/// next to its flight dumps (`ledger-<job>.json`), shaped to validate
+/// against `schemas/ledger.schema.json`.
+pub fn ledger_json(job: u64, events: &[LedgerEvent]) -> String {
+    #[derive(Serialize)]
+    struct Export {
+        version: u32,
+        job: u64,
+        events: Vec<LedgerEventRecord>,
+    }
+    let export = Export {
+        version: ocelot_obs::ledger::LEDGER_VERSION,
+        job,
+        events: events.iter().map(LedgerEventRecord::from).collect(),
+    };
+    serde_json::to_string_pretty(&export).expect("ledger export serializes")
+}
 
 /// One flight-ring event, flattened for JSON (`kind` discriminates which of
 /// the optional fields are present).
@@ -157,6 +244,10 @@ pub struct FlightDump {
     pub alerts: Vec<AlertRecord>,
     /// Full lifecycle journal at snapshot time.
     pub journal: Vec<Event>,
+    /// Tail of the failed job's chunk ledger (last [`LEDGER_EMBED_EVENTS`]),
+    /// empty for staged jobs and service-scoped dumps.
+    #[serde(skip_serializing_if = "Vec::is_empty", default)]
+    pub ledger: Vec<LedgerEventRecord>,
 }
 
 impl FlightDump {
@@ -172,7 +263,9 @@ impl FlightDump {
         attribution: Option<BottleneckSummary>,
         alerts: Vec<AlertRecord>,
         journal: Vec<Event>,
+        ledger: &[LedgerEvent],
     ) -> Self {
+        let skip = ledger.len().saturating_sub(LEDGER_EMBED_EVENTS);
         FlightDump {
             version: DUMP_VERSION,
             file,
@@ -186,6 +279,7 @@ impl FlightDump {
             attribution,
             alerts,
             journal,
+            ledger: ledger[skip..].iter().map(LedgerEventRecord::from).collect(),
         }
     }
 }
@@ -290,6 +384,31 @@ pub fn render_postmortem(dump: &FlightDump) -> String {
     for line in lines {
         let _ = writeln!(out, "{line}");
     }
+
+    if !dump.ledger.is_empty() {
+        // Seq numbers and wall stamps vary run-to-run (codec threads emit
+        // wall-only events during profiling), so print only the simulated
+        // story: kind, chunk coordinates, sim time, attempt, cause.
+        let _ = writeln!(out, "\nchunk ledger (last {} event(s)):", dump.ledger.len());
+        for e in &dump.ledger {
+            let mut line = format!("  {:<13}", e.event);
+            match (e.file, e.chunk) {
+                (Some(f), Some(c)) => line.push_str(&format!(" f{f}c{c}")),
+                (Some(f), None) => line.push_str(&format!(" f{f}")),
+                _ => {}
+            }
+            if let Some(t) = e.t_sim {
+                line.push_str(&format!(" t={t:.3}s"));
+            }
+            if e.attempt > 0 {
+                line.push_str(&format!(" attempt={}", e.attempt));
+            }
+            if let Some(cause) = &e.cause {
+                line.push_str(&format!(" — {cause}"));
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
     out
 }
 
@@ -327,6 +446,7 @@ mod tests {
             None,
             Vec::new(),
             journal,
+            &[],
         )
     }
 
@@ -351,6 +471,60 @@ mod tests {
         assert!(text.contains("count ocelot_svc_jobs_done_total +1"));
         assert!(text.contains("log   [warn] svc: retrying"));
         assert!(!text.contains("wall_us"), "wall timings must not leak into the rendering");
+    }
+
+    #[test]
+    fn dump_embeds_only_the_ledger_tail() {
+        use ocelot_obs::ledger::{Draft, Ledger};
+        let ledger = Ledger::detached();
+        for i in 0..(LEDGER_EMBED_EVENTS as u32 + 5) {
+            let mut d = Draft::chunk(7, 0, i);
+            d.t_sim = Some(f64::from(i));
+            ledger.append(EventKind::Released, d);
+        }
+        let events = ledger.drain();
+        let fr = FlightRecorder::new(4);
+        let dump = FlightDump::from_snapshot(
+            "flight-1-job-failed.json".into(),
+            "job_failed",
+            Some(7),
+            None,
+            1.0,
+            &fr.snapshot(),
+            None,
+            Vec::new(),
+            Vec::new(),
+            &events,
+        );
+        assert_eq!(dump.ledger.len(), LEDGER_EMBED_EVENTS);
+        // The tail is kept, i.e. the oldest 5 events are trimmed.
+        assert_eq!(dump.ledger[0].chunk, Some(5));
+        let text = render_postmortem(&dump);
+        assert!(text.contains("chunk ledger (last 32 event(s)):"), "got:\n{text}");
+        assert!(text.contains("released      f0c5 t=5.000s"), "got:\n{text}");
+        // Round-trips, and a dump without ledger events omits the key.
+        let back: FlightDump = serde_json::from_str(&serde_json::to_string(&dump).unwrap()).unwrap();
+        assert_eq!(back, dump);
+        assert!(!serde_json::to_string(&sample_dump()).unwrap().contains("\"ledger\""));
+    }
+
+    #[test]
+    fn ledger_json_matches_schema_shape() {
+        use ocelot_obs::ledger::{Draft, Ledger};
+        let ledger = Ledger::detached();
+        let mut d = Draft::chunk(2, 1, 3);
+        d.cause = Some("loss p=0.20".into());
+        d.attempt = 2;
+        ledger.append(EventKind::Retransmit, d);
+        let js = ledger_json(2, &ledger.drain());
+        let v: serde_json::Value = serde_json::from_str(&js).unwrap();
+        assert_eq!(v.get("version").and_then(serde_json::Value::as_u64), Some(1));
+        assert_eq!(v.get("job").and_then(serde_json::Value::as_u64), Some(2));
+        let first = &v.get("events").and_then(serde_json::Value::as_array).unwrap()[0];
+        assert_eq!(first.get("event").and_then(serde_json::Value::as_str), Some("retransmit"));
+        assert_eq!(first.get("cause").and_then(serde_json::Value::as_str), Some("loss p=0.20"));
+        assert_eq!(first.get("attempt").and_then(serde_json::Value::as_u64), Some(2));
+        assert!(first.get("t_sim").is_none(), "absent optionals must be omitted");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod scheduler;
 pub mod schema;
 
 pub use analyze::{BottleneckSummary, JobAnalysis, SchedulerHint, ServiceAnalysis};
-pub use forensics::{render_postmortem, DumpEvent, FlightDump};
+pub use forensics::{ledger_json, render_postmortem, DumpEvent, FlightDump, LedgerEventRecord};
 pub use job::{JobId, JobReport, JobSpec, JobState};
 pub use journal::{AlertRecord, Event, Journal};
 pub use metrics::{MetricsSnapshot, TenantStats};

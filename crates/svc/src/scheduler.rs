@@ -26,6 +26,7 @@ use ocelot::workload::Workload;
 use ocelot_datagen::Application;
 use ocelot_netsim::{simulate_transfer_with_faults, FaultModel, GridFtpConfig};
 use ocelot_obs::critpath::{self, BottleneckReport};
+use ocelot_obs::ledger::{EventKind, Ledger, LedgerEvent};
 use ocelot_obs::metrics::{Counter, Gauge, Histogram};
 use ocelot_obs::slo::{SloEngine, SloRule};
 use ocelot_obs::Obs;
@@ -181,6 +182,12 @@ struct Shared {
     /// Worst PSNR delivered so far (drives the quality gauge lazily, so a
     /// PSNR-floor SLO stays skipped until the first job completes).
     worst_psnr: Mutex<f64>,
+    /// Chunk-lifecycle ledger owned by this service (handed to the
+    /// orchestrator explicitly, so parallel services never cross streams).
+    ledger: Arc<Ledger>,
+    /// Harvested ledger events, partitioned per job. Wall-only events with
+    /// no job tag (codec workers, profiling) are discarded at harvest.
+    chunk_events: Mutex<HashMap<u64, Vec<LedgerEvent>>>,
 }
 
 impl Shared {
@@ -214,6 +221,7 @@ impl Service {
         let metrics = SvcMetrics::new(&obs);
         metrics.recommended_workers.set(config.workers as f64);
         let slo = Mutex::new(SloEngine::new(config.slo.clone()));
+        let ledger = Ledger::with_obs(&obs);
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: TenantQueue::new(config.queue_capacity),
@@ -225,7 +233,7 @@ impl Service {
             job_finished: Condvar::new(),
             journal: Journal::new(),
             workloads: Mutex::new(HashMap::new()),
-            orchestrator: orchestrator.with_obs(obs.clone()),
+            orchestrator: orchestrator.with_obs(obs.clone()).with_ledger(ledger.clone()),
             config,
             obs,
             metrics,
@@ -235,6 +243,8 @@ impl Service {
             dumps: Mutex::new(Vec::new()),
             dump_counter: AtomicU64::new(0),
             worst_psnr: Mutex::new(f64::INFINITY),
+            ledger,
+            chunk_events: Mutex::new(HashMap::new()),
         });
         let workers = (0..shared.config.workers)
             .map(|_| {
@@ -335,12 +345,32 @@ impl Service {
     }
 
     /// Critical-path analysis of every processed job: per-job and
-    /// per-tenant bottleneck reports plus the advisory scheduler hint.
+    /// per-tenant bottleneck reports plus the advisory scheduler hint and
+    /// per-tenant chunk-retransmit totals from the chunk ledger.
     pub fn analyze(&self) -> ServiceAnalysis {
+        harvest_ledger(&self.shared);
         let spans = self.shared.obs.recorder().map(|r| r.spans()).unwrap_or_default();
         let tenants: HashMap<u64, String> =
             self.shared.journal.snapshot().into_iter().map(|e| (e.job.0, e.tenant)).collect();
-        build_analysis(&spans, &tenants, self.shared.config.workers, self.shared.obs.registry())
+        let mut analysis = build_analysis(&spans, &tenants, self.shared.config.workers, self.shared.obs.registry());
+        let store = self.shared.chunk_events.lock().expect("chunk events poisoned");
+        for (job, events) in store.iter() {
+            let retries = events.iter().filter(|e| e.event == EventKind::Retransmit).count() as u64;
+            if retries == 0 {
+                continue;
+            }
+            let tenant = tenants.get(job).cloned().unwrap_or_else(|| format!("job-{job}"));
+            *analysis.chunk_retries.entry(tenant).or_insert(0) += retries;
+        }
+        analysis
+    }
+
+    /// Chunk-lifecycle events harvested for one job, ordered by ledger
+    /// sequence. Streamed jobs trace every chunk; staged jobs trace at file
+    /// granularity through the overlapped path only, so this may be empty.
+    pub fn chunk_events(&self, job: JobId) -> Vec<LedgerEvent> {
+        harvest_ledger(&self.shared);
+        self.shared.chunk_events.lock().expect("chunk events poisoned").get(&job.0).cloned().unwrap_or_default()
     }
 
     /// Latest advisory scheduling hint (updated after every finished job;
@@ -402,6 +432,8 @@ fn worker_loop(shared: &Shared) {
         };
         let Some((id, spec)) = job else { return };
         let report = process_job(shared, id, &spec);
+        harvest_ledger(shared);
+        persist_ledger(shared, id);
         let m = &shared.metrics;
         let mut inner = shared.inner.lock().expect("service poisoned");
         let tenant = inner.per_tenant.entry(spec.tenant.clone()).or_default();
@@ -426,11 +458,17 @@ fn worker_loop(shared: &Shared) {
         // in the export points at a concrete job id.
         m.latency.observe_exemplar(report.latency_s, id.0);
         inner.reports.push(report);
+        drop(inner);
+        // The hint refresh and SLO tick must land before this job stops
+        // counting as in flight: `drain` returns once `in_flight` hits 0,
+        // and callers expect a finished job's breach alert and flight dump
+        // to be visible by then.
+        refresh_hint(shared, id);
+        tick_slo(shared);
+        let mut inner = shared.inner.lock().expect("service poisoned");
         inner.in_flight -= 1;
         m.in_flight.set(inner.in_flight as f64);
         drop(inner);
-        refresh_hint(shared, id);
-        tick_slo(shared);
         shared.job_finished.notify_all();
     }
 }
@@ -469,6 +507,40 @@ fn tick_slo(shared: &Shared) {
     }
 }
 
+/// Drains the service ledger and files each job-tagged event into the
+/// per-job store. Events without a job tag (wall-only emissions from codec
+/// threads during workload profiling) carry no chunk story the service can
+/// place, so they are dropped here. Idempotent and cheap when quiet.
+fn harvest_ledger(shared: &Shared) {
+    let drained = shared.ledger.drain();
+    if drained.is_empty() {
+        return;
+    }
+    let mut store = shared.chunk_events.lock().expect("chunk events poisoned");
+    for e in drained {
+        if let Some(job) = e.job {
+            store.entry(job).or_default().push(e);
+        }
+    }
+}
+
+/// Writes `ledger-<job>.json` next to the flight dumps once a job reaches a
+/// terminal state, when it produced chunk events and an artifact directory
+/// is configured. The export validates against `schemas/ledger.schema.json`.
+fn persist_ledger(shared: &Shared, id: JobId) {
+    let Some(dir) = &shared.config.artifact_dir else { return };
+    let events = shared.chunk_events.lock().expect("chunk events poisoned").get(&id.0).cloned().unwrap_or_default();
+    if events.is_empty() {
+        return;
+    }
+    let file = format!("ledger-{}.json", id.0);
+    if std::fs::create_dir_all(dir).is_ok() {
+        if let Err(e) = std::fs::write(dir.join(&file), crate::forensics::ledger_json(id.0, &events)) {
+            ocelot_obs::warn!("svc", "failed to write chunk ledger {file}: {e}");
+        }
+    }
+}
+
 /// Snapshots the flight ring into a named dump, stores it, and (when an
 /// artifact directory is configured) writes it to disk.
 fn snap_dump(shared: &Shared, reason: &str, job: Option<JobId>, tenant: Option<&str>, t_s: f64) -> FlightDump {
@@ -485,6 +557,11 @@ fn write_dump(
     tenant: Option<&str>,
     t_s: f64,
 ) -> FlightDump {
+    // Harvest first so a mid-job dump embeds the freshest chunk tail.
+    harvest_ledger(shared);
+    let ledger_events = job
+        .map(|j| shared.chunk_events.lock().expect("chunk events poisoned").get(&j.0).cloned().unwrap_or_default())
+        .unwrap_or_default();
     let snapshot = shared.obs.flight_snapshot().expect("service obs handle is always enabled");
     let attribution = job
         .and_then(|j| shared.obs.recorder().and_then(|r| critpath::analyze(&r.for_job(j.0))))
@@ -499,6 +576,7 @@ fn write_dump(
         attribution,
         shared.journal.alerts(),
         shared.journal.snapshot(),
+        &ledger_events,
     );
     if let Some(dir) = &shared.config.artifact_dir {
         if std::fs::create_dir_all(dir).is_ok() {
@@ -919,6 +997,52 @@ mod tests {
         assert_eq!(analysis.jobs.len(), 1);
         assert!(analysis.per_tenant.contains_key("burst"));
         assert!(analysis.overall.unwrap().stages["queue_wait"] >= 500.0);
+    }
+
+    #[test]
+    fn streamed_jobs_populate_the_chunk_ledger() {
+        use ocelot_obs::ledger::{check_causality, Timeline};
+        let svc =
+            Service::start(ServiceConfig { workers: 1, stream_window: 4, codec_threads: 2, ..Default::default() });
+        let id = svc.submit(miranda_job("climate")).unwrap();
+        svc.drain();
+        let events = svc.chunk_events(id);
+        assert!(!events.is_empty(), "streamed job must leave chunk events");
+        let violations = check_causality(&events, id.0);
+        assert!(violations.is_empty(), "causality holds: {violations:?}");
+        let tl = Timeline::reconstruct(&events, id.0).expect("timeline reconstructs from harvested events");
+        assert!(!tl.tracks.is_empty());
+        assert!(tl.total_s > 0.0);
+        assert_eq!(tl.total_retries(), 0, "healthy link: no retransmits");
+        // The accessor is repeatable: harvesting is not destructive per job.
+        assert_eq!(svc.chunk_events(id).len(), events.len());
+    }
+
+    #[test]
+    fn flaky_streamed_wan_attributes_chunk_retries_to_the_tenant() {
+        let cfg = ServiceConfig {
+            workers: 1,
+            stream_window: 2,
+            codec_threads: 2,
+            faults: FaultModel { per_attempt_failure_prob: 0.3, max_retries: 3, reconnect_s: 1.0 },
+            ..Default::default()
+        };
+        let svc = Service::start(cfg);
+        let id = svc.submit(miranda_job("flaky")).unwrap();
+        svc.drain();
+        let events = svc.chunk_events(id);
+        let retransmits = events.iter().filter(|e| e.event == EventKind::Retransmit).count();
+        assert!(retransmits > 0, "30% loss over many chunks must retransmit");
+        assert!(
+            events.iter().filter(|e| e.event == EventKind::Fault).all(|e| e.cause.is_some()),
+            "every fault names its cause"
+        );
+        let analysis = svc.analyze();
+        assert_eq!(analysis.chunk_retries.get("flaky").copied(), Some(retransmits as u64));
+        // A job-scoped dump embeds the ledger tail for fault attribution.
+        let dump = svc.force_flight_dump("postmortem", Some(id));
+        assert!(!dump.ledger.is_empty(), "dump embeds the job's ledger tail");
+        assert!(dump.ledger.len() <= crate::forensics::LEDGER_EMBED_EVENTS);
     }
 
     #[test]
