@@ -6,22 +6,41 @@
 //! counts, and **appends** a record to the `BENCH_stream.json` trajectory
 //! (in the bench crate directory, `ocelot::perf` format) so the perf
 //! history accumulates run over run instead of being overwritten. The
-//! staged-over-streamed margins land in the record's `meta`.
+//! staged-over-streamed margins land in the record's `meta`, and each
+//! scenario carries the per-kernel attribution captured from the
+//! `ocelot_obs::prof` profiler, so kernel-seconds regressions show up in
+//! the same trajectory as the wall-clock.
+//!
+//! Dataset sizing: the interactive criterion matrix runs on a ~16 MiB
+//! field so `cargo bench` stays explorable; the recorded summary runs on
+//! ≥256 MiB (override either with `OCELOT_STREAM_BENCH_MB`) because
+//! overlap only pays once per-chunk work dwarfs channel startup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ocelot::executor::ParallelExecutor;
+use ocelot::perf::KernelSample;
 use ocelot_sz::{Dataset, LossyConfig};
 use std::time::Instant;
 
 /// Window sizes under test: tight, comfortable, and effectively unbounded
 /// (larger than the chunk count, so back-pressure never engages).
 const WINDOWS: [usize; 3] = [1, 4, 1024];
-const THREADS: [usize; 2] = [1, 4];
+const THREADS: [usize; 4] = [1, 4, 8, 16];
 
-fn field() -> Dataset<f32> {
-    // Smooth + oscillatory mix (~16 MB): enough chunks for overlap to
-    // matter without making `cargo bench` crawl.
-    Dataset::from_fn(vec![160, 160, 160], |i| {
+/// MiB for the recorded summary dataset (`OCELOT_STREAM_BENCH_MB`
+/// overrides; floor keeps the record on a ≥256 MiB field).
+const SUMMARY_MB: usize = 256;
+
+fn env_mb(default_mb: usize) -> usize {
+    std::env::var("OCELOT_STREAM_BENCH_MB").ok().and_then(|s| s.parse().ok()).unwrap_or(default_mb)
+}
+
+/// Smooth + oscillatory mix sized to ~`mb` MiB of `f32` (cube side from the
+/// requested volume).
+fn field(mb: usize) -> Dataset<f32> {
+    let points = mb.max(1) * (1 << 20) / 4;
+    let side = (points as f64).cbrt().round() as usize;
+    Dataset::from_fn(vec![side, side, side], |i| {
         let (x, y, z) = (i[0] as f32, i[1] as f32, i[2] as f32);
         (x * 0.031).sin() * (y * 0.017).cos() + (z * 0.011).sin() * 0.5 + (x + y + z) * 1e-4
     })
@@ -33,7 +52,7 @@ fn config(data: &Dataset<f32>) -> LossyConfig {
 }
 
 fn bench_stream_overlap(c: &mut Criterion) {
-    let data = field();
+    let data = field(env_mb(16));
     let cfg = config(&data);
     let mut g = c.benchmark_group("stream_overlap");
     g.throughput(Throughput::Bytes(data.nbytes() as u64));
@@ -65,37 +84,61 @@ fn sample_secs<T>(runs: usize, mut f: impl FnMut() -> T) -> Vec<f64> {
         .collect()
 }
 
-/// Appends the staged/streamed medians as one `ocelot::perf` record to the
-/// `BENCH_stream.json` trajectory in the current directory (skipped when
-/// the target runs under `cargo test`). Scenario names are
-/// `staged_{t}t` / `streamed_w{w}_{t}t`, so `ocelot perf diff --file
-/// crates/bench/BENCH_stream.json` compares consecutive bench runs; the
-/// staged-over-streamed speedup per window lands in `meta.margins`.
+/// Kernel attribution for the profiler epoch that just ran.
+fn epoch_kernels(prof: &Option<std::sync::Arc<ocelot_obs::prof::Profiler>>, epoch: Option<u64>) -> Vec<KernelSample> {
+    match (prof, epoch) {
+        (Some(p), Some(e)) => p
+            .epoch_kernels(e)
+            .into_iter()
+            .map(|k| KernelSample {
+                kernel: k.kernel.name().to_string(),
+                nanos: k.nanos,
+                calls: k.calls,
+                bytes: k.bytes,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Appends the staged/streamed medians (≥3 reps each, so `mad_s` is a real
+/// spread) as one `ocelot::perf` record to the `BENCH_stream.json`
+/// trajectory in the current directory (skipped when the target runs under
+/// `cargo test`). Scenario names are `staged_{t}t` / `streamed_w{w}_{t}t`,
+/// so `ocelot perf diff --file crates/bench/BENCH_stream.json` compares
+/// consecutive bench runs; the staged-over-streamed speedup per window
+/// lands in `meta.margins`.
 fn emit_summary(_c: &mut Criterion) {
     if std::env::args().any(|a| a == "--test") {
         return;
     }
     use serde_json::Value;
-    let data = field();
+    ocelot_obs::prof::install_global(&ocelot_obs::prof::Profiler::with_obs(ocelot_obs::global()));
+    let prof = ocelot_obs::prof::global();
+    let data = field(env_mb(SUMMARY_MB).max(SUMMARY_MB));
     let cfg = config(&data);
     let bytes = data.nbytes() as u64;
     let mut record = ocelot::perf::PerfRecord::new("stream_overlap");
     let mut margins: Vec<(String, Value)> = Vec::new();
     for threads in THREADS {
         let ex = ParallelExecutor::new(1).with_codec_threads(threads);
-        let staged = ocelot::perf::ScenarioResult::from_samples(
+        let epoch = prof.as_ref().map(|p| p.advance_epoch());
+        let mut staged = ocelot::perf::ScenarioResult::from_samples(
             format!("staged_{threads}t"),
             sample_secs(3, || ex.stream_round_trip(&data, &cfg, 0).expect("staged round trip")),
             bytes,
         );
+        staged.kernels = epoch_kernels(&prof, epoch);
         let staged_median = staged.median_s;
         record.scenarios.push(staged);
         for window in WINDOWS {
-            let streamed = ocelot::perf::ScenarioResult::from_samples(
+            let epoch = prof.as_ref().map(|p| p.advance_epoch());
+            let mut streamed = ocelot::perf::ScenarioResult::from_samples(
                 format!("streamed_w{window}_{threads}t"),
                 sample_secs(3, || ex.stream_round_trip(&data, &cfg, window).expect("streamed round trip")),
                 bytes,
             );
+            streamed.kernels = epoch_kernels(&prof, epoch);
             if streamed.median_s > 0.0 {
                 margins.push((
                     format!("staged_over_streamed_w{window}_{threads}t"),
@@ -104,6 +147,9 @@ fn emit_summary(_c: &mut Criterion) {
             }
             record.scenarios.push(streamed);
         }
+    }
+    if let Some(p) = &prof {
+        record.overhead_ratio = p.overhead_ratio();
     }
     record.meta = Value::Object(vec![
         ("dataset_bytes".to_string(), Value::UInt(bytes)),

@@ -6,19 +6,24 @@
 use ocelot_sz::format::{BlobHeader, ChunkEntry};
 use ocelot_sz::{
     compress, compress_streamed, decode_chunk, decompress_with_threads, CompressedBlob, CompressionOutcome, Dataset,
-    LossyConfig, SzError,
+    HuffmanTable, LossyConfig, SzError,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// One compressed chunk crossing the in-process "transfer lane" between the
-/// compress workers and the decode drainer.
+/// compress workers and the decode drainer. Job-wide metadata (header, chunk
+/// shape, shared Huffman table) is `Arc`-shared across messages — the only
+/// per-chunk copy is the payload itself, the bytes that would really cross a
+/// network.
 struct ChunkMsg {
     index: usize,
-    header: BlobHeader,
-    dims: Vec<usize>,
+    header: Arc<BlobHeader>,
+    dims: Arc<Vec<usize>>,
     entry: ChunkEntry,
     payload: Vec<u8>,
+    shared: Arc<Option<HuffmanTable>>,
 }
 
 /// Result of a streamed compress → ship → decode round trip for one file.
@@ -156,7 +161,14 @@ impl ParallelExecutor {
                             ..ocelot_obs::ledger::Draft::default()
                         },
                     );
-                    let decoded = decode_chunk::<f32>(&msg.header, &msg.dims, msg.index, &msg.entry, &msg.payload)?;
+                    let decoded = decode_chunk::<f32>(
+                        &msg.header,
+                        &msg.dims,
+                        msg.index,
+                        &msg.entry,
+                        &msg.payload,
+                        msg.shared.as_ref().as_ref(),
+                    )?;
                     ocelot_obs::ledger::emit(
                         ocelot_obs::ledger::EventKind::DecodeEnd,
                         ocelot_obs::ledger::Draft {
@@ -170,13 +182,35 @@ impl ParallelExecutor {
                 }
                 Ok((values, shipped))
             });
+            // Job-wide metadata is identical for every chunk: build the Arcs
+            // on the first chunk and share them across messages.
+            let mut job: Option<(Arc<BlobHeader>, Arc<Option<HuffmanTable>>)> = None;
+            let mut dims_cache: Vec<Arc<Vec<usize>>> = Vec::new();
             outcome_result = compress_streamed(data, &config, window, |chunk| {
+                if job.is_none() {
+                    let shared = if chunk.shared_table.is_empty() {
+                        None
+                    } else {
+                        Some(HuffmanTable::deserialize(chunk.shared_table)?)
+                    };
+                    job = Some((Arc::new(chunk.header.clone()), Arc::new(shared)));
+                }
+                let (header, shared) = job.as_ref().expect("job metadata initialized above");
+                let dims = match dims_cache.iter().find(|d| d.as_slice() == chunk.dims) {
+                    Some(d) => Arc::clone(d),
+                    None => {
+                        let d = Arc::new(chunk.dims.to_vec());
+                        dims_cache.push(Arc::clone(&d));
+                        d
+                    }
+                };
                 let msg = ChunkMsg {
                     index: chunk.index,
-                    header: chunk.header.clone(),
-                    dims: chunk.dims.to_vec(),
+                    header: Arc::clone(header),
+                    dims,
                     entry: chunk.entry,
                     payload: chunk.payload.to_vec(),
+                    shared: Arc::clone(shared),
                 };
                 tx.send(msg).map_err(|_| SzError::CorruptStream("stream drainer hung up".into()))
             });

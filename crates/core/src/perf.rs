@@ -698,6 +698,46 @@ mod tests {
     }
 
     #[test]
+    fn injected_twenty_percent_trips_gate_against_checked_in_baseline() {
+        // The exact comparison CI's perf_gate job performs: the checked-in
+        // baseline vs a candidate whose samples run 1.2× slower (the
+        // slowdown OCELOT_PERF_INJECT=1.2 applies to every timed sample),
+        // gated on CI's hot-path list. The factor is applied directly
+        // rather than through the env var so this test cannot race the
+        // other env-mutating tests; `inject_factor_scales_samples` covers
+        // the env plumbing itself.
+        let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/perf/baseline.json"));
+        let traj = load_trajectory(path, "kernels").expect("baseline trajectory parses");
+        let baseline = traj.latest().expect("baseline holds a record").clone();
+        let mut injected = baseline.clone();
+        injected.label = "injected".into();
+        for s in &mut injected.scenarios {
+            let slowed = s.samples_s.iter().map(|t| t * 1.2).collect();
+            *s = ScenarioResult::from_samples(s.scenario.clone(), slowed, s.bytes);
+        }
+        // Force past the small-runner / fingerprint skips: the point here
+        // is the diff math against the baseline's recorded spreads.
+        injected.env.cores = MIN_GATE_CORES.max(baseline.env.cores);
+        let mut base = baseline;
+        base.env = injected.env.clone();
+        let hot: Vec<String> = ["compress_lorenzo_huffman", "compress_interp", "decompress", "stream_round_trip_w4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match gate(&base, &injected, DEFAULT_GATE_THRESHOLD, &hot) {
+            GateOutcome::Fail(report) => {
+                let regressed = report.regressions();
+                assert!(!regressed.is_empty());
+                assert!(
+                    regressed.iter().all(|r| hot.iter().any(|h| h == r)),
+                    "gate failed on non-hot scenarios: {regressed:?}"
+                );
+            }
+            other => panic!("20% injected regression must fail the gate, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn fingerprint_comparability() {
         let a = EnvFingerprint { cores: 8, cpu_model: "X".into(), rustc: "r".into(), os: "linux".into() };
         let mut b = a.clone();

@@ -110,9 +110,15 @@ fn dominant_kernel(registry: &Registry) -> Option<(Kernel, f64)> {
 fn kernel_advice(kernel: Kernel, share: f64) -> String {
     let pct = share * 100.0;
     let what = match kernel {
-        Kernel::HuffmanEncode => "consider a shared Huffman table across chunks to amortize tree builds",
-        Kernel::Predict => "vectorize the predictor/quantizer sweep or relax the error bound",
-        Kernel::FrameCrc => "adopt zero-copy framing to take CRC + header packing off the hot path",
+        Kernel::HuffmanEncode => {
+            "the per-job shared Huffman table already amortizes tree builds; \
+             shrink the quantizer radius (smaller alphabet) or try the rle backend"
+        }
+        Kernel::Predict => {
+            "the predictor sweep is already fused; loosen the error bound (fewer escapes) \
+             or prefer lorenzo over interp/regression for wire-speed encodes"
+        }
+        Kernel::FrameCrc => "framing is already zero-copy with inline CRC; raise chunk_points to cut fewer frames",
         Kernel::Lz => "raise the LZ acceleration factor or skip LZ for low-entropy chunks",
         Kernel::Rle => "try the plain Huffman backend; RLE is not paying for itself here",
         _ => "profile the compression kernels further (`ocelot perf record --folded`)",

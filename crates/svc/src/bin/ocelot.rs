@@ -27,6 +27,7 @@ use ocelot_obs::slo::{Severity, SloKind, SloRule};
 use ocelot_obs::{info, warn};
 use ocelot_svc::{FlightDump, JobId, JobSpec, JobState, RetryPolicy, Service, ServiceConfig};
 use ocelot_sz::config::{LosslessBackend, PredictorKind};
+use ocelot_sz::format as sz_format;
 use ocelot_sz::{compress, decompress, metrics, Dataset, ErrorBound, LossyConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -67,7 +68,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "gen" => cmd_gen(&flags),
         "compress" => cmd_compress(&positional, &flags),
         "decompress" => cmd_decompress(&positional, &flags),
-        "inspect" => cmd_inspect(&positional),
+        "inspect" => cmd_inspect(&positional, &flags),
         "sweep" => cmd_sweep(&positional, &flags),
         "verify" => cmd_verify(&positional, &flags),
         "simulate" => cmd_simulate(&flags),
@@ -96,7 +97,7 @@ fn usage() {
          \x20 gen        --app A --field F [--scale N] [--seed S] -o FILE     generate synthetic data\n\
          \x20 compress   FILE [--dims DxHxW] [--eb E] [--abs] [--predictor P] [--backend B] [--codec-threads N] [--stream-window W] -o OUT\n\
          \x20 decompress FILE [--codec-threads N] -o OUT\n\
-         \x20 inspect    FILE\n\
+         \x20 inspect    FILE [--json] [-o OUT]                                container + chunk-table metadata\n\
          \x20 sweep      FILE [--dims DxHxW] [--ebs E1,E2,...]                 measure ratio/PSNR per bound\n\
          \x20 verify     ORIGINAL RESTORED [--dims DxHxW] [--eb E] [--min-psnr P]  acceptance check\n\
          \x20 simulate   --app A --from SITE --to SITE [--strategy np|cp|op] [--groups N]\n\
@@ -299,9 +300,20 @@ fn cmd_decompress(positional: &[String], flags: &HashMap<String, String>) -> Res
     Ok(())
 }
 
-fn cmd_inspect(positional: &[String]) -> Result<(), CliError> {
+fn cmd_inspect(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
     let input = positional.first().ok_or("missing input file")?;
     let members = open_archive(&std::fs::read(input)?)?;
+    if flags.contains_key("json") {
+        let vars: Vec<serde_json::Value> =
+            members.iter().map(|(name, blob)| inspect_variable_json(name, blob)).collect::<Result<_, _>>()?;
+        let dump = serde_json::Value::Object(vec![
+            ("file".to_string(), serde_json::Value::String(input.clone())),
+            ("variables".to_string(), serde_json::Value::Array(vars)),
+        ]);
+        let text = serde_json::to_string_pretty(&dump)?;
+        validate_export(&text, "inspect.schema.json")?;
+        return write_or_print(flags, &text);
+    }
     println!("{input}: {} variable(s)", members.len());
     for (name, blob) in &members {
         let h = blob.header()?;
@@ -314,8 +326,73 @@ fn cmd_inspect(positional: &[String]) -> Result<(), CliError> {
             h.backend,
             blob.len() as f64 / 1e6
         );
+        if let Some((table, shared_bytes)) = blob_chunk_table(blob)? {
+            let shared = table.entries.iter().filter(|e| e.table_mode == sz_format::TABLE_MODE_SHARED).count();
+            println!(
+                "    {} chunk(s) of {} row(s); {} shared-table, {} local-table ({} B shared table)",
+                table.entries.len(),
+                table.chunk_rows,
+                shared,
+                table.entries.len() - shared,
+                shared_bytes,
+            );
+        }
     }
     Ok(())
+}
+
+/// The version-3/4 chunk table of a blob and the byte size of its shared
+/// Huffman table section (0 on version 3, which has no such section);
+/// `None` for legacy monolithic (version-2) blobs.
+fn blob_chunk_table(
+    blob: &ocelot_sz::format::CompressedBlob,
+) -> Result<Option<(sz_format::ChunkTable, usize)>, CliError> {
+    let (header, mut sections) = blob.open()?;
+    if header.version == sz_format::VERSION_V1 {
+        return Ok(None);
+    }
+    let table = sz_format::ChunkTable::decode(sections.next_section()?)?;
+    let shared_bytes = if header.version >= sz_format::VERSION { sections.next_section()?.len() } else { 0 };
+    Ok(Some((table, shared_bytes)))
+}
+
+/// One variable's container metadata (header + chunk table with the
+/// version-4 table-mode tag) for `inspect --json`, shaped to
+/// `schemas/inspect.schema.json`.
+fn inspect_variable_json(name: &str, blob: &ocelot_sz::format::CompressedBlob) -> Result<serde_json::Value, CliError> {
+    use serde_json::Value;
+    let h = blob.header()?;
+    let mut fields = vec![
+        ("name".to_string(), Value::String(name.to_string())),
+        ("version".to_string(), Value::UInt(h.version as u64)),
+        ("dtype".to_string(), Value::String(h.dtype.to_string())),
+        ("dims".to_string(), Value::Array(h.dims.iter().map(|&d| Value::UInt(d as u64)).collect())),
+        ("abs_eb".to_string(), Value::Float(h.abs_eb)),
+        ("predictor".to_string(), Value::String(h.predictor.to_string())),
+        ("backend".to_string(), Value::String(h.backend.to_string())),
+        ("compressed_bytes".to_string(), Value::UInt(blob.len() as u64)),
+    ];
+    if let Some((table, shared_bytes)) = blob_chunk_table(blob)? {
+        fields.push(("chunk_rows".to_string(), Value::UInt(table.chunk_rows as u64)));
+        fields.push(("shared_table_bytes".to_string(), Value::UInt(shared_bytes as u64)));
+        let chunks = table
+            .entries
+            .iter()
+            .map(|e| {
+                let mode = if e.table_mode == sz_format::TABLE_MODE_SHARED { "shared" } else { "local" };
+                Value::Object(vec![
+                    ("len".to_string(), Value::UInt(e.len as u64)),
+                    ("crc".to_string(), Value::UInt(e.crc as u64)),
+                    ("points".to_string(), Value::UInt(e.points)),
+                    ("zero_bins".to_string(), Value::UInt(e.zero_bins)),
+                    ("unpredictable".to_string(), Value::UInt(e.unpredictable)),
+                    ("table_mode".to_string(), Value::String(mode.to_string())),
+                ])
+            })
+            .collect();
+        fields.push(("chunks".to_string(), Value::Array(chunks)));
+    }
+    Ok(serde_json::Value::Object(fields))
 }
 
 fn cmd_sweep(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
@@ -692,21 +769,26 @@ fn cmd_perf(positional: &[String], flags: &HashMap<String, String>) -> Result<()
     }
 }
 
-/// Validates a serialized trajectory against `schemas/perf.schema.json`
-/// (skipped when the schema file is absent — installed binaries run
-/// outside the repo).
-fn validate_perf_export(trajectory_json: &str) -> Result<(), CliError> {
-    let schema_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas/perf.schema.json");
-    let Ok(schema_text) = std::fs::read_to_string(schema_path) else {
+/// Validates a serialized export against `schemas/<schema_file>` (skipped
+/// when the schema file is absent — installed binaries run outside the
+/// repo).
+fn validate_export(json: &str, schema_file: &str) -> Result<(), CliError> {
+    let schema_path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas")).join(schema_file);
+    let Ok(schema_text) = std::fs::read_to_string(&schema_path) else {
         return Ok(());
     };
     let schema: serde_json::Value = serde_json::from_str(&schema_text)?;
-    let value: serde_json::Value = serde_json::from_str(trajectory_json)?;
+    let value: serde_json::Value = serde_json::from_str(json)?;
     let errors = ocelot_svc::schema::validate(&schema, &value);
     if !errors.is_empty() {
-        return Err(format!("perf export violates schemas/perf.schema.json: {}", errors.join("; ")).into());
+        return Err(format!("export violates schemas/{schema_file}: {}", errors.join("; ")).into());
     }
     Ok(())
+}
+
+/// Validates a serialized trajectory against `schemas/perf.schema.json`.
+fn validate_perf_export(trajectory_json: &str) -> Result<(), CliError> {
+    validate_export(trajectory_json, "perf.schema.json")
 }
 
 fn cmd_perf_record(flags: &HashMap<String, String>) -> Result<(), CliError> {

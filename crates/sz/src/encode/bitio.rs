@@ -2,15 +2,33 @@
 //!
 //! Bits are packed most-significant-bit first within each byte, which keeps
 //! canonical Huffman codes lexicographically ordered in the byte stream.
+//!
+//! Both ends run on a 64-bit shift accumulator: the writer collects bits in
+//! the low end of a `u64` and spills whole bytes, the reader keeps up to 64
+//! look-ahead bits loaded so a multi-bit read is one shift and one mask
+//! instead of a per-bit loop. The byte layout is identical to the historical
+//! bit-by-bit implementation.
 
 use crate::error::SzError;
+
+/// Low-`count` bit mask (`count <= 64`).
+#[inline(always)]
+fn mask(count: u32) -> u64 {
+    if count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
+    }
+}
 
 /// Append-only bit writer.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Number of valid bits in the last byte (0 = last byte full/absent).
-    partial: u8,
+    /// Pending bits, right-aligned in the low `nbits` bits (< 8 between
+    /// calls; bits above `nbits` are garbage and masked on spill).
+    acc: u64,
+    nbits: u32,
 }
 
 impl BitWriter {
@@ -21,29 +39,18 @@ impl BitWriter {
 
     /// Creates a writer with reserved capacity (in bytes).
     pub fn with_capacity(bytes: usize) -> Self {
-        BitWriter { bytes: Vec::with_capacity(bytes), partial: 0 }
+        BitWriter { bytes: Vec::with_capacity(bytes), acc: 0, nbits: 0 }
     }
 
     /// Total number of bits written so far.
     pub fn bit_len(&self) -> u64 {
-        if self.partial == 0 {
-            self.bytes.len() as u64 * 8
-        } else {
-            (self.bytes.len() as u64 - 1) * 8 + self.partial as u64
-        }
+        self.bytes.len() as u64 * 8 + self.nbits as u64
     }
 
     /// Writes a single bit.
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {
-        if self.partial == 0 {
-            self.bytes.push(0);
-        }
-        if bit {
-            let last = self.bytes.last_mut().expect("byte pushed above");
-            *last |= 1 << (7 - self.partial);
-        }
-        self.partial = (self.partial + 1) % 8;
+        self.write_bits(bit as u64, 1);
     }
 
     /// Writes the low `count` bits of `value`, most significant first.
@@ -53,14 +60,33 @@ impl BitWriter {
     #[inline]
     pub fn write_bits(&mut self, value: u64, count: u8) {
         assert!(count <= 64, "cannot write more than 64 bits at once");
-        for i in (0..count).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        let count = count as u32;
+        if count > 56 {
+            // Split so the accumulator (holding < 8 pending bits) never
+            // needs more than 64 bits of room.
+            let hi = count - 32;
+            self.write_bits((value >> 32) & mask(hi), hi as u8);
+            self.write_bits(value & mask(32), 32);
+            return;
+        }
+        if count == 0 {
+            return;
+        }
+        self.acc = (self.acc << count) | (value & mask(count));
+        self.nbits += count;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.bytes.push((self.acc >> self.nbits) as u8);
         }
     }
 
     /// Finishes writing, returning the packed bytes (zero-padded to a byte
     /// boundary).
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let byte = ((self.acc & mask(self.nbits)) << (8 - self.nbits)) as u8;
+            self.bytes.push(byte);
+        }
         self.bytes
     }
 }
@@ -69,18 +95,33 @@ impl BitWriter {
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    pos: u64,
+    /// Next byte to load into the accumulator.
+    byte_pos: usize,
+    /// Look-ahead bits, right-aligned in the low `have` bits.
+    acc: u64,
+    have: u32,
 }
 
 impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0 }
+        BitReader { bytes, byte_pos: 0, acc: 0, have: 0 }
     }
 
     /// Number of bits consumed so far.
     pub fn bit_pos(&self) -> u64 {
-        self.pos
+        self.byte_pos as u64 * 8 - self.have as u64
+    }
+
+    /// Loads bytes into the accumulator until it holds more than 56 bits or
+    /// the input is exhausted.
+    #[inline(always)]
+    fn refill(&mut self) {
+        while self.have <= 56 && self.byte_pos < self.bytes.len() {
+            self.acc = (self.acc << 8) | self.bytes[self.byte_pos] as u64;
+            self.byte_pos += 1;
+            self.have += 8;
+        }
     }
 
     /// Reads one bit.
@@ -89,13 +130,14 @@ impl<'a> BitReader<'a> {
     /// Returns [`SzError::CorruptStream`] at end of input.
     #[inline]
     pub fn read_bit(&mut self) -> Result<bool, SzError> {
-        let byte = (self.pos / 8) as usize;
-        if byte >= self.bytes.len() {
-            return Err(SzError::CorruptStream("bit stream exhausted".into()));
+        if self.have == 0 {
+            self.refill();
+            if self.have == 0 {
+                return Err(SzError::CorruptStream("bit stream exhausted".into()));
+            }
         }
-        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
-        self.pos += 1;
-        Ok(bit)
+        self.have -= 1;
+        Ok((self.acc >> self.have) & 1 == 1)
     }
 
     /// Reads `count` bits into the low bits of a `u64`, MSB first.
@@ -108,11 +150,48 @@ impl<'a> BitReader<'a> {
     #[inline]
     pub fn read_bits(&mut self, count: u8) -> Result<u64, SzError> {
         assert!(count <= 64, "cannot read more than 64 bits at once");
-        let mut v = 0u64;
-        for _ in 0..count {
-            v = (v << 1) | self.read_bit()? as u64;
+        let count = count as u32;
+        if count > 56 {
+            let hi = count - 32;
+            let a = self.read_bits(hi as u8)?;
+            let b = self.read_bits(32)?;
+            return Ok((a << 32) | b);
         }
-        Ok(v)
+        if count == 0 {
+            return Ok(0);
+        }
+        if self.have < count {
+            self.refill();
+            if self.have < count {
+                return Err(SzError::CorruptStream("bit stream exhausted".into()));
+            }
+        }
+        self.have -= count;
+        Ok((self.acc >> self.have) & mask(count))
+    }
+
+    /// Peeks the next `count` bits (`count <= 56`) without consuming them,
+    /// zero-padded past the end of the stream. Returns the bits left-aligned
+    /// to `count` plus how many of them are real.
+    #[inline]
+    pub fn peek_bits(&mut self, count: u8) -> (u64, u32) {
+        debug_assert!(count <= 56);
+        let count = count as u32;
+        self.refill();
+        let avail = self.have.min(count);
+        if self.have >= count {
+            ((self.acc >> (self.have - count)) & mask(count), avail)
+        } else {
+            ((self.acc & mask(self.have)) << (count - self.have), avail)
+        }
+    }
+
+    /// Consumes `count` bits previously observed via [`BitReader::peek_bits`]
+    /// (`count` must not exceed the real-bit count peek returned).
+    #[inline]
+    pub fn consume(&mut self, count: u32) {
+        debug_assert!(count <= self.have);
+        self.have -= count;
     }
 }
 
@@ -180,5 +259,43 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
         assert_eq!(r.read_bits(64).unwrap(), 0);
+    }
+
+    #[test]
+    fn accumulator_layout_matches_bit_by_bit_reference() {
+        // Cross-check the packed bytes against a naive per-bit packer over a
+        // pseudo-random write schedule.
+        let mut w = BitWriter::new();
+        let mut naive: Vec<bool> = Vec::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let count = (state >> 58) as u8 % 57;
+            let value = state;
+            w.write_bits(value, count);
+            for i in (0..count).rev() {
+                naive.push((value >> i) & 1 == 1);
+            }
+        }
+        let mut packed = vec![0u8; naive.len().div_ceil(8)];
+        for (i, &b) in naive.iter().enumerate() {
+            if b {
+                packed[i / 8] |= 1 << (7 - (i % 8));
+            }
+        }
+        assert_eq!(w.bit_len(), naive.len() as u64);
+        assert_eq!(w.into_bytes(), packed);
+    }
+
+    #[test]
+    fn peek_is_zero_padded_and_consume_advances() {
+        let mut r = BitReader::new(&[0b1011_0000]);
+        let (bits, avail) = r.peek_bits(4);
+        assert_eq!((bits, avail), (0b1011, 4));
+        r.consume(2);
+        let (bits, avail) = r.peek_bits(12);
+        assert_eq!(avail, 6, "only 6 real bits remain");
+        assert_eq!(bits, 0b11_0000 << 6, "padded with zeros past the end");
+        assert_eq!(r.bit_pos(), 2);
     }
 }

@@ -7,26 +7,40 @@
 //! * **Version 2** (legacy, read-only): a fixed little-endian header followed
 //!   by length-prefixed sections and a CRC-32 trailer. Every pre-chunking
 //!   blob is version 2; [`CompressedBlob::from_bytes`] still accepts them.
-//! * **Version 3** (current, chunked container): the same fixed header, then
-//!   one length-prefixed *chunk table* section (slab height, per-chunk
-//!   payload lengths, CRC-32s, and quantization statistics), then the raw
-//!   chunk payloads back to back, then the whole-blob CRC-32 trailer. Chunks
-//!   are self-contained and decode independently — and therefore in
+//! * **Version 3** (legacy, read-only, chunked container): the same fixed
+//!   header, then one length-prefixed *chunk table* section (slab height,
+//!   per-chunk payload lengths, CRC-32s, and quantization statistics), then
+//!   the raw chunk payloads back to back, then the whole-blob CRC-32 trailer.
+//!   Chunks are self-contained and decode independently — and therefore in
 //!   parallel.
+//! * **Version 4** (current): version 3 plus shared Huffman tables. Each
+//!   chunk-table row gains a one-byte *table mode* tag ([`TABLE_MODE_LOCAL`]
+//!   embeds a per-chunk code-length table as before; [`TABLE_MODE_SHARED`]
+//!   references the job-wide table), and a second length-prefixed section
+//!   carrying the shared canonical code-length table (empty when no chunk
+//!   uses it) sits between the chunk table and the payloads.
 //!
 //! Unknown versions are rejected with [`SzError::UnsupportedVersion`].
 
-use crate::checksum::crc32;
+use crate::checksum::{crc32, Crc32};
 use crate::config::{LosslessBackend, PredictorKind};
 use crate::error::SzError;
 
 /// Magic bytes at the start of every blob.
 pub const MAGIC: [u8; 4] = *b"OCSZ";
-/// Current format version: the chunked container.
-pub const VERSION: u16 = 3;
+/// Current format version: the chunked container with shared Huffman tables.
+pub const VERSION: u16 = 4;
+/// Legacy chunked container without the shared-table section or per-chunk
+/// table-mode tags (still decodable).
+pub const VERSION_V3: u16 = 3;
 /// Legacy monolithic-section format (still decodable). Version 2 added the
 /// CRC-32 integrity trailer; version 3 added the chunk table.
 pub const VERSION_V1: u16 = 2;
+
+/// Chunk-table tag: the chunk payload embeds its own code-length table.
+pub const TABLE_MODE_LOCAL: u8 = 0;
+/// Chunk-table tag: the chunk's code stream uses the blob's shared table.
+pub const TABLE_MODE_SHARED: u8 = 1;
 
 /// Size of the CRC-32 trailer in bytes.
 const TRAILER: usize = 4;
@@ -132,9 +146,14 @@ pub struct ChunkEntry {
     pub zero_bins: u64,
     /// Points stored verbatim because their bin overflowed the quantizer.
     pub unpredictable: u64,
+    /// How the chunk's code stream is entropy-coded: [`TABLE_MODE_LOCAL`] or
+    /// [`TABLE_MODE_SHARED`]. Version-3 tables decode as all-local.
+    pub table_mode: u8,
 }
 
-const CHUNK_ENTRY_BYTES: usize = 8 + 4 + 8 + 8 + 8;
+/// Entry size without the version-4 table-mode byte.
+const CHUNK_ENTRY_BYTES_V3: usize = 8 + 4 + 8 + 8 + 8;
+const CHUNK_ENTRY_BYTES: usize = CHUNK_ENTRY_BYTES_V3 + 1;
 
 /// Version-3 chunk table: how a dataset was split into row slabs and where
 /// each slab's compressed payload lives.
@@ -159,11 +178,14 @@ impl ChunkTable {
             out.extend_from_slice(&e.points.to_le_bytes());
             out.extend_from_slice(&e.zero_bins.to_le_bytes());
             out.extend_from_slice(&e.unpredictable.to_le_bytes());
+            out.push(e.table_mode);
         }
         out
     }
 
-    /// Parses a table section.
+    /// Parses a table section. The entry width is self-describing: version-4
+    /// tables carry a table-mode byte per entry, version-3 tables do not and
+    /// decode as all-[`TABLE_MODE_LOCAL`].
     ///
     /// # Errors
     /// Returns [`SzError::CorruptStream`] if the section is truncated or the
@@ -174,24 +196,33 @@ impl ChunkTable {
         }
         let chunk_rows = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
         let n = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
-        if bytes.len() != 12 + n * CHUNK_ENTRY_BYTES {
+        let entry_bytes = if bytes.len() == 12 + n * CHUNK_ENTRY_BYTES {
+            CHUNK_ENTRY_BYTES
+        } else if bytes.len() == 12 + n * CHUNK_ENTRY_BYTES_V3 {
+            CHUNK_ENTRY_BYTES_V3
+        } else {
             return Err(SzError::CorruptStream(format!(
                 "chunk table length {} does not match {n} entries",
                 bytes.len()
             )));
-        }
+        };
         if chunk_rows == 0 || n == 0 {
             return Err(SzError::CorruptStream("empty chunk table".into()));
         }
         let mut entries = Vec::with_capacity(n);
         for i in 0..n {
-            let b = &bytes[12 + i * CHUNK_ENTRY_BYTES..12 + (i + 1) * CHUNK_ENTRY_BYTES];
+            let b = &bytes[12 + i * entry_bytes..12 + (i + 1) * entry_bytes];
+            let table_mode = if entry_bytes == CHUNK_ENTRY_BYTES { b[36] } else { TABLE_MODE_LOCAL };
+            if table_mode > TABLE_MODE_SHARED {
+                return Err(SzError::CorruptStream(format!("unknown table mode {table_mode}")));
+            }
             entries.push(ChunkEntry {
                 len: u64::from_le_bytes(b[..8].try_into().expect("8 bytes")) as usize,
                 crc: u32::from_le_bytes(b[8..12].try_into().expect("4 bytes")),
                 points: u64::from_le_bytes(b[12..20].try_into().expect("8 bytes")),
                 zero_bins: u64::from_le_bytes(b[20..28].try_into().expect("8 bytes")),
                 unpredictable: u64::from_le_bytes(b[28..36].try_into().expect("8 bytes")),
+                table_mode,
             });
         }
         Ok(ChunkTable { chunk_rows, entries })
@@ -222,10 +253,13 @@ pub(crate) fn write_framed(out: &mut Vec<u8>, part: &[u8]) {
     out.extend_from_slice(part);
 }
 
-/// Incremental blob writer.
+/// Incremental blob writer. The CRC-32 trailer is folded in as bytes are
+/// appended, so [`BlobWriter::finish`] costs nothing instead of re-scanning
+/// the whole buffer.
 #[derive(Debug)]
 pub struct BlobWriter {
     bytes: Vec<u8>,
+    crc: Crc32,
 }
 
 impl BlobWriter {
@@ -249,18 +283,31 @@ impl BlobWriter {
         bytes.push(header.predictor.id());
         bytes.push(backend_tag(header.backend));
         bytes.extend_from_slice(&header.quant_radius.to_le_bytes());
-        Ok(BlobWriter { bytes })
+        let mut crc = Crc32::new();
+        crc.update(&bytes);
+        Ok(BlobWriter { bytes, crc })
+    }
+
+    /// Reserves room for payload bytes still to come.
+    pub fn reserve(&mut self, additional: usize) -> &mut Self {
+        self.bytes.reserve(additional);
+        self
     }
 
     /// Appends a length-prefixed section.
     pub fn section(&mut self, data: &[u8]) -> &mut Self {
-        write_framed(&mut self.bytes, data);
+        let prefix = (data.len() as u64).to_le_bytes();
+        self.crc.update(&prefix);
+        self.crc.update(data);
+        self.bytes.extend_from_slice(&prefix);
+        self.bytes.extend_from_slice(data);
         self
     }
 
-    /// Appends raw bytes with no length prefix (version-3 chunk payloads,
-    /// whose lengths live in the chunk table).
+    /// Appends raw bytes with no length prefix (chunk payloads, whose
+    /// lengths live in the chunk table).
     pub fn raw(&mut self, data: &[u8]) -> &mut Self {
+        self.crc.update(data);
         self.bytes.extend_from_slice(data);
         self
     }
@@ -268,8 +315,7 @@ impl BlobWriter {
     /// Finishes the blob, appending the CRC-32 integrity trailer.
     pub fn finish(self) -> CompressedBlob {
         let mut bytes = self.bytes;
-        let crc = crc32(&bytes);
-        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes.extend_from_slice(&self.crc.finish().to_le_bytes());
         CompressedBlob { bytes }
     }
 }
@@ -288,13 +334,14 @@ impl CompressedBlob {
     /// # Errors
     /// Returns [`SzError::CorruptStream`] for bad magic or a checksum
     /// mismatch, and [`SzError::UnsupportedVersion`] for a version we cannot
-    /// read (neither [`VERSION`] nor the legacy [`VERSION_V1`]).
+    /// read (neither [`VERSION`] nor the legacy [`VERSION_V3`] /
+    /// [`VERSION_V1`]).
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SzError> {
         if bytes.len() < 6 + TRAILER || bytes[..4] != MAGIC {
             return Err(SzError::CorruptStream("missing OCSZ magic".into()));
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != VERSION && version != VERSION_V1 {
+        if version != VERSION && version != VERSION_V3 && version != VERSION_V1 {
             return Err(SzError::UnsupportedVersion(version));
         }
         let blob = CompressedBlob { bytes };
@@ -354,7 +401,7 @@ impl CompressedBlob {
             return Err(SzError::CorruptStream("truncated blob header".into()));
         }
         let version = u16::from_le_bytes([b[4], b[5]]);
-        if version != VERSION && version != VERSION_V1 {
+        if version != VERSION && version != VERSION_V3 && version != VERSION_V1 {
             return Err(SzError::UnsupportedVersion(version));
         }
         let mut pos = 6usize; // magic + version
@@ -538,8 +585,22 @@ mod tests {
         let table = ChunkTable {
             chunk_rows: 7,
             entries: vec![
-                ChunkEntry { len: 100, crc: 0xDEAD_BEEF, points: 70, zero_bins: 60, unpredictable: 1 },
-                ChunkEntry { len: 3, crc: 42, points: 30, zero_bins: 0, unpredictable: 30 },
+                ChunkEntry {
+                    len: 100,
+                    crc: 0xDEAD_BEEF,
+                    points: 70,
+                    zero_bins: 60,
+                    unpredictable: 1,
+                    table_mode: TABLE_MODE_SHARED,
+                },
+                ChunkEntry {
+                    len: 3,
+                    crc: 42,
+                    points: 30,
+                    zero_bins: 0,
+                    unpredictable: 30,
+                    table_mode: TABLE_MODE_LOCAL,
+                },
             ],
         };
         let back = ChunkTable::decode(&table.encode()).unwrap();
@@ -549,15 +610,49 @@ mod tests {
     }
 
     #[test]
+    fn v3_chunk_table_without_mode_bytes_decodes_as_local() {
+        // A version-3 table has 36-byte entries and no table-mode column.
+        let entries = [(100usize, 0xDEAD_BEEFu32, 70u64, 60u64, 1u64), (3, 42, 30, 0, 30)];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for &(len, crc, points, zero_bins, unpredictable) in &entries {
+            bytes.extend_from_slice(&(len as u64).to_le_bytes());
+            bytes.extend_from_slice(&crc.to_le_bytes());
+            bytes.extend_from_slice(&points.to_le_bytes());
+            bytes.extend_from_slice(&zero_bins.to_le_bytes());
+            bytes.extend_from_slice(&unpredictable.to_le_bytes());
+        }
+        let table = ChunkTable::decode(&bytes).unwrap();
+        assert_eq!(table.chunk_rows, 7);
+        assert_eq!(table.entries.len(), 2);
+        assert!(table.entries.iter().all(|e| e.table_mode == TABLE_MODE_LOCAL));
+        assert_eq!(table.entries[0].len, 100);
+        assert_eq!(table.entries[1].unpredictable, 30);
+    }
+
+    #[test]
     fn chunk_table_rejects_malformed_input() {
         assert!(ChunkTable::decode(&[]).is_err());
         let table = ChunkTable {
             chunk_rows: 1,
-            entries: vec![ChunkEntry { len: 1, crc: 0, points: 1, zero_bins: 0, unpredictable: 0 }],
+            entries: vec![ChunkEntry {
+                len: 1,
+                crc: 0,
+                points: 1,
+                zero_bins: 0,
+                unpredictable: 0,
+                table_mode: TABLE_MODE_LOCAL,
+            }],
         };
-        let mut bytes = table.encode();
-        bytes.pop();
-        assert!(ChunkTable::decode(&bytes).is_err());
+        let bytes = table.encode();
+        // Two bytes short matches neither the v4 nor the v3 entry width.
+        assert!(ChunkTable::decode(&bytes[..bytes.len() - 2]).is_err());
+        // A v4-width table with an unknown mode tag is rejected.
+        let mut bad = table.encode();
+        let n = bad.len();
+        bad[n - 1] = 9;
+        assert!(ChunkTable::decode(&bad).is_err());
         // Zero chunks is never valid.
         let empty = ChunkTable { chunk_rows: 4, entries: vec![] };
         assert!(ChunkTable::decode(&empty.encode()).is_err());

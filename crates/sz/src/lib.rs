@@ -64,6 +64,7 @@ pub mod zfp;
 
 pub use codec::{codec_for_blob, AnyCodec, Codec, CodecConfig, SzCodec, ZfpCodec, ZfpConfig};
 pub use config::{ErrorBound, LosslessBackend, LossyConfig, LossyConfigBuilder, PredictorKind};
+pub use encode::HuffmanTable;
 pub use error::SzError;
 pub use format::CompressedBlob;
 pub use metrics::QualityReport;

@@ -9,18 +9,21 @@
 //! statistics. `threads = 1` (the default) produces a single chunk whose
 //! payload is exactly the serial pipeline's stream.
 
+use std::sync::Mutex;
+
 use crate::config::{LosslessBackend, LossyConfig, PredictorKind};
+use crate::encode::huffman::HuffmanTable;
 use crate::encode::{huffman_decode, huffman_encode, lz_compress, lz_decompress, rle_decode, rle_encode};
 use crate::engine::{parallel_map, parallel_map_windowed, ChunkLayout};
 use crate::error::SzError;
 use crate::format::{
-    write_framed, BlobHeader, BlobWriter, ChunkEntry, ChunkTable, CodecFamily, CompressedBlob, SectionReader, VERSION,
-    VERSION_V1,
+    write_framed, BlobHeader, BlobWriter, ChunkEntry, ChunkTable, CodecFamily, CompressedBlob, SectionReader,
+    TABLE_MODE_LOCAL, TABLE_MODE_SHARED, VERSION, VERSION_V1, VERSION_V3,
 };
 use crate::ndarray::{Dataset, DatasetView};
-use crate::predict::{interp, lorenzo, lorenzo2, regression, PredictionStreams};
+use crate::predict::{interp, lorenzo, lorenzo2, regression, PredictionStreams, StreamsView};
 use crate::quantizer::LinearQuantizer;
-use crate::stats::{quant_bin_stats, QuantBinStats};
+use crate::stats::{code_histogram, merge_histograms, quant_bin_stats_from_hist, QuantBinStats};
 use crate::value::ScalarValue;
 use crate::zfp;
 use ocelot_obs::prof::{self, Kernel, ScopeId};
@@ -66,11 +69,18 @@ pub struct CompressionOutcome {
 }
 
 /// One compressed chunk plus the metadata the container and the aggregated
-/// statistics need.
+/// statistics need. Workers hand back a sparse code histogram instead of the
+/// codes themselves, so the consumer never re-buffers per-point data.
 pub(crate) struct EncodedChunk {
     pub payload: Vec<u8>,
-    /// Quantization codes (prediction family; empty for transform chunks).
-    pub codes: Vec<u32>,
+    /// CRC-32 of `payload`, computed on the worker while the chunk is hot.
+    pub crc: u32,
+    /// Sparse `(code, count)` histogram of the quantization codes, sorted by
+    /// code (prediction family; empty for transform chunks).
+    pub hist: Vec<(u32, u64)>,
+    /// How the code stream was entropy-coded ([`TABLE_MODE_LOCAL`] /
+    /// [`TABLE_MODE_SHARED`]).
+    pub table_mode: u8,
     pub unpredictable: u64,
     pub side_bytes: usize,
     pub unpred_bytes: usize,
@@ -110,6 +120,10 @@ pub struct StreamedChunk<'a> {
     pub entry: ChunkEntry,
     /// The chunk's container payload bytes.
     pub payload: &'a [u8],
+    /// The blob's serialized shared Huffman table (empty when every chunk is
+    /// self-describing). A streamed consumer needs it to decode chunks whose
+    /// `entry.table_mode` is [`TABLE_MODE_SHARED`] before the blob exists.
+    pub shared_table: &'a [u8],
 }
 
 /// Streaming variant of [`compress`]: hands each compressed chunk to `sink`
@@ -145,29 +159,74 @@ pub fn compress_streamed<T: ScalarValue>(
     };
     let quantizer = LinearQuantizer::new(abs_eb, config.quant_radius);
     let zero_code = config.quant_radius;
-    compress_chunked_streamed(data, header, config.threads, config.chunk_points, window, sink, |chunk| {
-        let streams = run_predictor(chunk, config.predictor, &quantizer)?;
-        let encoded_codes = encode_codes(&streams.codes, config.backend, zero_code);
-        let mut unpred_bytes = Vec::with_capacity(streams.unpredictable.len() * T::BYTES);
-        for &v in &streams.unpredictable {
-            v.write_le(&mut unpred_bytes);
-        }
-        let mut payload = Vec::with_capacity(24 + streams.side_data.len() + unpred_bytes.len() + encoded_codes.len());
-        {
-            let _p = prof::probe(Kernel::FrameCrc, streams.side_data.len() + unpred_bytes.len() + encoded_codes.len());
+
+    // Shared-table mode: when the layout splits the job, compress chunk 0 on
+    // the calling thread first and build one canonical Huffman table from its
+    // histogram. Every chunk then tries the shared table (skipping the
+    // per-chunk tree build) and falls back to a local self-describing table
+    // only if its symbols escape. The layout — and therefore the decision and
+    // the table itself — is a pure function of shape, chunk size, and data,
+    // so the blob bytes stay identical at every thread count and window.
+    let layout = ChunkLayout::plan(data.dims(), config.threads, config.chunk_points);
+    let mut precomputed: Option<PredictionStreams<T>> = None;
+    let shared: Option<HuffmanTable> = if layout.n_chunks() > 1 {
+        let dims0 = layout.chunk_dims(0);
+        let view = DatasetView::new(&dims0, &data.values()[layout.value_range(0)])
+            .expect("chunk shapes are valid by construction");
+        let streams = run_predictor(view, config.predictor, &quantizer)?;
+        let table = match config.backend {
+            LosslessBackend::RleHuffman => HuffmanTable::from_symbols(&rle_encode(&streams.codes, zero_code)),
+            _ => HuffmanTable::from_symbols(&streams.codes),
+        };
+        precomputed = Some(streams);
+        table
+    } else {
+        None
+    };
+    let shared_bytes = shared.as_ref().map(HuffmanTable::serialize).unwrap_or_default();
+    let chunk0 = Mutex::new(precomputed);
+
+    compress_chunked_streamed(
+        data,
+        header,
+        config.threads,
+        config.chunk_points,
+        window,
+        &shared_bytes,
+        sink,
+        |i, chunk| {
+            let streams = match if i == 0 { chunk0.lock().expect("chunk0 mutex").take() } else { None } {
+                Some(s) => s,
+                None => run_predictor(chunk, config.predictor, &quantizer)?,
+            };
+            let (encoded_codes, table_mode) = encode_codes(&streams.codes, config.backend, zero_code, shared.as_ref());
+            let mut unpred_bytes = Vec::with_capacity(streams.unpredictable.len() * T::BYTES);
+            for &v in &streams.unpredictable {
+                v.write_le(&mut unpred_bytes);
+            }
+            let mut payload =
+                Vec::with_capacity(24 + streams.side_data.len() + unpred_bytes.len() + encoded_codes.len());
             write_framed(&mut payload, &streams.side_data);
             write_framed(&mut payload, &unpred_bytes);
             write_framed(&mut payload, &encoded_codes);
-        }
-        Ok(EncodedChunk {
-            payload,
-            unpredictable: streams.unpredictable.len() as u64,
-            side_bytes: streams.side_data.len(),
-            unpred_bytes: unpred_bytes.len(),
-            code_bytes: encoded_codes.len(),
-            codes: streams.codes,
-        })
-    })
+            // CRC on the worker, while the payload is cache-hot, instead of on
+            // the in-order consumer where it would serialize behind every chunk.
+            let crc = {
+                let _p = prof::probe(Kernel::FrameCrc, payload.len());
+                crate::checksum::crc32(&payload)
+            };
+            Ok(EncodedChunk {
+                payload,
+                crc,
+                hist: code_histogram(&streams.codes),
+                table_mode,
+                unpredictable: streams.unpredictable.len() as u64,
+                side_bytes: streams.side_data.len(),
+                unpred_bytes: unpred_bytes.len(),
+                code_bytes: encoded_codes.len(),
+            })
+        },
+    )
 }
 
 /// Deprecated alias of [`compress`], kept from the era when `compress`
@@ -181,7 +240,7 @@ pub fn compress_with_stats<T: ScalarValue>(
 }
 
 /// Shared chunked-container assembly: plans the layout, runs `encode_chunk`
-/// on the worker pool, and frames the version-3 blob. Used by both codec
+/// on the worker pool, and frames the chunked blob. Used by both codec
 /// families.
 pub(crate) fn compress_chunked<T, F>(
     data: &Dataset<T>,
@@ -192,9 +251,9 @@ pub(crate) fn compress_chunked<T, F>(
 ) -> Result<CompressionOutcome, SzError>
 where
     T: ScalarValue,
-    F: Fn(DatasetView<'_, T>) -> Result<EncodedChunk, SzError> + Sync,
+    F: Fn(usize, DatasetView<'_, T>) -> Result<EncodedChunk, SzError> + Sync,
 {
-    compress_chunked_streamed(data, header, threads, chunk_points, 0, |_| Ok(()), encode_chunk)
+    compress_chunked_streamed(data, header, threads, chunk_points, 0, &[], |_| Ok(()), encode_chunk)
 }
 
 /// Streaming core shared by [`compress_chunked`] (no-op sink, unbounded
@@ -202,18 +261,20 @@ where
 /// and *consumed in index order* on the calling thread — each one offered to
 /// `sink` the moment it is in order — so the container bytes never depend on
 /// scheduling, window, or thread count.
+#[allow(clippy::too_many_arguments)]
 fn compress_chunked_streamed<T, F, S>(
     data: &Dataset<T>,
     header: BlobHeader,
     threads: usize,
     chunk_points: Option<usize>,
     window: usize,
+    shared_table: &[u8],
     mut sink: S,
     encode_chunk: F,
 ) -> Result<CompressionOutcome, SzError>
 where
     T: ScalarValue,
-    F: Fn(DatasetView<'_, T>) -> Result<EncodedChunk, SzError> + Sync,
+    F: Fn(usize, DatasetView<'_, T>) -> Result<EncodedChunk, SzError> + Sync,
     S: FnMut(StreamedChunk<'_>) -> Result<(), SzError>,
 {
     let obs = ocelot_obs::global();
@@ -237,8 +298,15 @@ where
         }
     };
     let zero_code = header.quant_radius;
-    let mut chunks: Vec<EncodedChunk> = Vec::with_capacity(n);
+    // In-order consumer state: chunk payloads append straight into `body`
+    // (the byte run that becomes the container's chunk region) the moment
+    // they are in order, per-chunk histograms merge into one running
+    // histogram, and byte accounting stays scalar — nothing per-point is
+    // retained after a chunk is sealed.
+    let mut body: Vec<u8> = Vec::new();
     let mut entries: Vec<ChunkEntry> = Vec::with_capacity(n);
+    let mut hist: Vec<(u32, u64)> = Vec::new();
+    let mut sections = SectionSizes::default();
     let mut first_err: Option<SzError> = None;
     parallel_map_windowed(
         n,
@@ -250,7 +318,7 @@ where
             let tc = std::time::Instant::now();
             let view = DatasetView::new(dims_of(i), &data.values()[layout.value_range(i)])
                 .expect("chunk shapes are valid by construction");
-            let out = encode_chunk(view);
+            let out = encode_chunk(i, view);
             obs.observe(
                 "ocelot_sz_chunk_seconds",
                 "Wall time of one chunk compression task",
@@ -274,16 +342,15 @@ where
             }
             match result {
                 Ok(c) => {
-                    let crc = {
-                        let _p = prof::probe(Kernel::FrameCrc, c.payload.len());
-                        crate::checksum::crc32(&c.payload)
-                    };
+                    let zero_bins =
+                        c.hist.binary_search_by_key(&zero_code, |&(code, _)| code).map_or(0, |idx| c.hist[idx].1);
                     let entry = ChunkEntry {
                         len: c.payload.len(),
-                        crc,
+                        crc: c.crc,
                         points: layout.points_in_chunk(i) as u64,
-                        zero_bins: c.codes.iter().filter(|&&code| code == zero_code).count() as u64,
+                        zero_bins,
                         unpredictable: c.unpredictable,
+                        table_mode: c.table_mode,
                     };
                     let streamed = StreamedChunk {
                         index: i,
@@ -292,6 +359,7 @@ where
                         dims: dims_of(i),
                         entry,
                         payload: &c.payload,
+                        shared_table,
                     };
                     if let Err(e) = sink(streamed) {
                         first_err = Some(e);
@@ -308,7 +376,11 @@ where
                         },
                     );
                     entries.push(entry);
-                    chunks.push(c);
+                    body.extend_from_slice(&c.payload);
+                    merge_histograms(&mut hist, &c.hist);
+                    sections.side_data += c.side_bytes;
+                    sections.unpredictable += c.unpred_bytes;
+                    sections.codes += c.code_bytes;
                 }
                 Err(e) => first_err = Some(e),
             }
@@ -318,34 +390,21 @@ where
         return Err(e);
     }
 
-    let total_codes: usize = chunks.iter().map(|c| c.codes.len()).sum();
-    let bin_stats = if total_codes == 0 {
-        quant_bin_stats(&[], zero_code)
-    } else {
-        let mut codes = Vec::with_capacity(total_codes);
-        for c in &chunks {
-            codes.extend_from_slice(&c.codes);
-        }
-        quant_bin_stats(&codes, zero_code)
-    };
-
+    let bin_stats = quant_bin_stats_from_hist(&hist, zero_code);
     let table = ChunkTable { chunk_rows: layout.chunk_rows(), entries };
 
+    let table_bytes = table.encode();
     let mut writer = BlobWriter::new(&header)?;
-    writer.section(&table.encode());
-    for c in &chunks {
-        writer.raw(&c.payload);
-    }
+    writer
+        .reserve(16 + table_bytes.len() + shared_table.len() + body.len() + 4)
+        .section(&table_bytes)
+        .section(shared_table)
+        .raw(&body);
     let blob = writer.finish();
 
     let original_bytes = data.nbytes();
     let ratio = original_bytes as f64 / blob.len() as f64;
-    let sections = SectionSizes {
-        side_data: chunks.iter().map(|c| c.side_bytes).sum(),
-        unpredictable: chunks.iter().map(|c| c.unpred_bytes).sum(),
-        codes: chunks.iter().map(|c| c.code_bytes).sum(),
-        framing: blob.len() - chunks.iter().map(|c| c.side_bytes + c.unpred_bytes + c.code_bytes).sum::<usize>(),
-    };
+    sections.framing = blob.len() - (sections.side_data + sections.unpredictable + sections.codes);
     obs.inc("ocelot_sz_compress_total", "Completed compression runs");
     obs.add("ocelot_sz_bytes_in_total", "Uncompressed bytes fed to the compressor", original_bytes as u64);
     obs.add("ocelot_sz_bytes_out_total", "Compressed bytes produced", blob.len() as u64);
@@ -378,13 +437,13 @@ pub fn decompress_with_threads<T: ScalarValue>(blob: &CompressedBlob, threads: u
     let _span = obs.wall_span("decompress", None, 0);
     let _pscope = prof::scope(ScopeId::DECOMPRESS);
     let t0 = std::time::Instant::now();
-    let (header, mut sections) = blob.open()?;
+    let (mut header, mut sections) = blob.open()?;
     if header.dtype != T::TYPE_NAME {
         return Err(SzError::TypeMismatch { expected: T::TYPE_NAME, found: header.dtype.to_string() });
     }
     let result = match header.version {
-        VERSION_V1 => decompress_v1(&header, &mut sections),
-        VERSION => decompress_chunked(&header, &mut sections, threads),
+        VERSION_V1 => decompress_v1(&mut header, &mut sections),
+        VERSION | VERSION_V3 => decompress_chunked(&mut header, &mut sections, threads),
         other => Err(SzError::UnsupportedVersion(other)),
     };
     if result.is_ok() {
@@ -400,31 +459,70 @@ pub fn decompress_with_threads<T: ScalarValue>(blob: &CompressedBlob, threads: u
 
 /// Legacy monolithic-section layout: the whole dataset is one implicit chunk
 /// whose sections sit at the top level of the blob.
-fn decompress_v1<T: ScalarValue>(header: &BlobHeader, sections: &mut SectionReader<'_>) -> Result<Dataset<T>, SzError> {
+///
+/// Takes the header by `&mut` so the shape can be moved — not cloned — into
+/// the returned dataset.
+fn decompress_v1<T: ScalarValue>(
+    header: &mut BlobHeader,
+    sections: &mut SectionReader<'_>,
+) -> Result<Dataset<T>, SzError> {
     match header.family {
         CodecFamily::Transform => {
-            let values = zfp::decode_chunk_payload::<T>(&header.dims, sections.next_section()?)?;
-            Dataset::new(header.dims.clone(), values)
+            let dims = std::mem::take(&mut header.dims);
+            let values = zfp::decode_chunk_payload::<T>(&dims, sections.next_section()?)?;
+            Dataset::new(dims, values)
         }
         CodecFamily::Prediction => {
             let side_data = sections.next_section()?;
             let unpred_bytes = sections.next_section()?;
             let encoded_codes = sections.next_section()?;
-            decode_prediction_chunk(header, &header.dims, side_data, unpred_bytes, encoded_codes)
+            let dims = std::mem::take(&mut header.dims);
+            let values = decode_prediction_values::<T>(
+                header,
+                &dims,
+                side_data,
+                unpred_bytes,
+                encoded_codes,
+                TABLE_MODE_LOCAL,
+                None,
+            )?;
+            Dataset::new(dims, values)
         }
     }
 }
 
-/// Version-3 chunked container: validates the chunk table against the
-/// header's shape, then decodes each chunk independently (in parallel when
-/// `threads > 1`) and reassembles the contiguous row slabs.
+/// Chunked container (versions 3 and 4): validates the chunk table against
+/// the header's shape, then decodes each chunk independently (in parallel
+/// when `threads > 1`) and reassembles the contiguous row slabs.
+///
+/// Takes the header by `&mut` so the shape can be moved — not cloned — into
+/// the returned dataset.
 fn decompress_chunked<T: ScalarValue>(
-    header: &BlobHeader,
+    header: &mut BlobHeader,
     sections: &mut SectionReader<'_>,
     threads: usize,
 ) -> Result<Dataset<T>, SzError> {
     let obs = ocelot_obs::global();
     let table = ChunkTable::decode(sections.next_section()?)?;
+    // Version 4 carries the shared Huffman table (possibly empty) between
+    // the chunk table and the payloads; version 3 has no such section.
+    let shared = if header.version >= VERSION {
+        let bytes = sections.next_section()?;
+        if bytes.is_empty() {
+            None
+        } else {
+            Some(HuffmanTable::deserialize(bytes)?)
+        }
+    } else {
+        None
+    };
+    if shared.is_none() {
+        if let Some(i) = table.entries.iter().position(|e| e.table_mode == TABLE_MODE_SHARED) {
+            return Err(SzError::CorruptStream(format!(
+                "chunk {i} references a shared Huffman table the blob does not carry"
+            )));
+        }
+    }
     let layout = ChunkLayout::from_chunk_rows(&header.dims, table.chunk_rows);
     if table.entries.len() != layout.n_chunks() {
         return Err(SzError::CorruptStream(format!(
@@ -458,7 +556,7 @@ fn decompress_chunked<T: ScalarValue>(
         let entry = &table.entries[i];
         let payload = &body[offsets[i]..offsets[i] + entry.len];
         let chunk_dims = if layout.rows_in_chunk(i) == full_dims[0] { &full_dims } else { &tail_dims };
-        let values = decode_chunk::<T>(header, chunk_dims, i, entry, payload)?;
+        let values = decode_chunk::<T>(header, chunk_dims, i, entry, payload, shared.as_ref())?;
         obs.observe("ocelot_sz_chunk_seconds", "Wall time of one chunk compression task", tc.elapsed().as_secs_f64());
         Ok(values)
     });
@@ -467,13 +565,16 @@ fn decompress_chunked<T: ScalarValue>(
     for r in decoded {
         out.extend_from_slice(&r?);
     }
-    Dataset::new(header.dims.clone(), out)
+    Dataset::new(std::mem::take(&mut header.dims), out)
 }
 
-/// Decodes one container-v3 chunk — CRC check plus family dispatch — into
-/// its values. `entry` is the chunk's table row and `payload` its container
+/// Decodes one container chunk — CRC check plus family dispatch — into its
+/// values. `entry` is the chunk's table row and `payload` its container
 /// bytes, exactly as a [`compress_streamed`] sink receives them, so a
 /// streamed consumer can decode each chunk on arrival without the blob.
+/// `shared` is the blob's shared Huffman table, required when
+/// `entry.table_mode` is [`TABLE_MODE_SHARED`] (a streamed consumer builds
+/// it once from [`StreamedChunk::shared_table`]).
 ///
 /// # Errors
 /// Returns [`SzError::CorruptStream`] on a CRC mismatch or a malformed
@@ -484,6 +585,7 @@ pub fn decode_chunk<T: ScalarValue>(
     index: usize,
     entry: &ChunkEntry,
     payload: &[u8],
+    shared: Option<&HuffmanTable>,
 ) -> Result<Vec<T>, SzError> {
     let crc = {
         let _p = prof::probe(Kernel::FrameCrc, payload.len());
@@ -499,35 +601,48 @@ pub fn decode_chunk<T: ScalarValue>(
             let side_data = parts.next_section()?;
             let unpred_bytes = parts.next_section()?;
             let encoded_codes = parts.next_section()?;
-            Ok(decode_prediction_chunk::<T>(header, dims, side_data, unpred_bytes, encoded_codes)?.into_values())
+            decode_prediction_values::<T>(
+                header,
+                dims,
+                side_data,
+                unpred_bytes,
+                encoded_codes,
+                entry.table_mode,
+                shared,
+            )
         }
     }
 }
 
 /// Decodes one prediction-family chunk (or a whole legacy blob) from its
-/// three sections.
-fn decode_prediction_chunk<T: ScalarValue>(
+/// three sections into values. The side-data section is borrowed straight
+/// out of the payload — nothing is copied before the predictor runs.
+#[allow(clippy::too_many_arguments)]
+fn decode_prediction_values<T: ScalarValue>(
     header: &BlobHeader,
     dims: &[usize],
     side_data: &[u8],
     unpred_bytes: &[u8],
     encoded_codes: &[u8],
-) -> Result<Dataset<T>, SzError> {
+    table_mode: u8,
+    shared: Option<&HuffmanTable>,
+) -> Result<Vec<T>, SzError> {
     if !unpred_bytes.len().is_multiple_of(T::BYTES) {
         return Err(SzError::CorruptStream("unpredictable section misaligned".into()));
     }
     let unpredictable: Vec<T> = unpred_bytes.chunks_exact(T::BYTES).map(T::read_le).collect();
-    let codes = decode_codes(encoded_codes, header.backend, header.quant_radius)?;
-    let streams = PredictionStreams { codes, unpredictable, side_data: side_data.to_vec() };
+    let codes = decode_codes(encoded_codes, header.backend, header.quant_radius, table_mode, shared)?;
+    let streams = StreamsView { codes: &codes, unpredictable: &unpredictable, side_data };
     let quantizer = LinearQuantizer::new(header.abs_eb, header.quant_radius);
     let _p = prof::probe(Kernel::Predict, dims.iter().product::<usize>() * T::BYTES);
-    match header.predictor {
-        PredictorKind::Lorenzo => lorenzo::decompress(dims, &streams, &quantizer),
-        PredictorKind::Lorenzo2 => lorenzo2::decompress(dims, &streams, &quantizer),
-        PredictorKind::Regression => regression::decompress(dims, &streams, &quantizer),
-        PredictorKind::InterpLinear => interp::decompress(dims, &streams, &quantizer, interp::Basis::Linear),
-        PredictorKind::InterpCubic => interp::decompress(dims, &streams, &quantizer, interp::Basis::Cubic),
-    }
+    let data = match header.predictor {
+        PredictorKind::Lorenzo => lorenzo::decompress(dims, streams, &quantizer),
+        PredictorKind::Lorenzo2 => lorenzo2::decompress(dims, streams, &quantizer),
+        PredictorKind::Regression => regression::decompress(dims, streams, &quantizer),
+        PredictorKind::InterpLinear => interp::decompress(dims, streams, &quantizer, interp::Basis::Linear),
+        PredictorKind::InterpCubic => interp::decompress(dims, streams, &quantizer, interp::Basis::Cubic),
+    }?;
+    Ok(data.into_values())
 }
 
 fn run_predictor<T: ScalarValue>(
@@ -557,30 +672,42 @@ fn run_predictor<T: ScalarValue>(
     streams
 }
 
-fn encode_codes(codes: &[u32], backend: LosslessBackend, zero_code: u32) -> Vec<u8> {
+/// Huffman stage with optional shared table: try the job-wide table first
+/// (no per-chunk tree build or embedded length table); fall back to a local
+/// self-describing stream when a symbol escapes it. Returns the bytes plus
+/// the table-mode tag for the chunk table.
+fn huffman_stage(symbols: &[u32], shared: Option<&HuffmanTable>) -> (Vec<u8>, u8) {
+    let _p = prof::probe(Kernel::HuffmanEncode, std::mem::size_of_val(symbols));
+    if let Some(table) = shared {
+        if let Some(body) = table.encode_stream(symbols) {
+            return (body, TABLE_MODE_SHARED);
+        }
+    }
+    (huffman_encode(symbols), TABLE_MODE_LOCAL)
+}
+
+fn encode_codes(
+    codes: &[u32],
+    backend: LosslessBackend,
+    zero_code: u32,
+    shared: Option<&HuffmanTable>,
+) -> (Vec<u8>, u8) {
     let obs = ocelot_obs::global();
     let t0 = std::time::Instant::now();
     let code_bytes = std::mem::size_of_val(codes);
-    let out = match backend {
-        LosslessBackend::Huffman => {
-            let _p = prof::probe(Kernel::HuffmanEncode, code_bytes);
-            huffman_encode(codes)
-        }
+    let (out, table_mode) = match backend {
+        LosslessBackend::Huffman => huffman_stage(codes, shared),
         LosslessBackend::HuffmanLz => {
-            let huff = {
-                let _p = prof::probe(Kernel::HuffmanEncode, code_bytes);
-                huffman_encode(codes)
-            };
+            let (huff, table_mode) = huffman_stage(codes, shared);
             let _p = prof::probe(Kernel::Lz, huff.len());
-            lz_compress(&huff)
+            (lz_compress(&huff), table_mode)
         }
         LosslessBackend::RleHuffman => {
             let runs = {
                 let _p = prof::probe(Kernel::Rle, code_bytes);
                 rle_encode(codes, zero_code)
             };
-            let _p = prof::probe(Kernel::HuffmanEncode, std::mem::size_of_val(runs.as_slice()));
-            huffman_encode(&runs)
+            huffman_stage(&runs, shared)
         }
     };
     obs.observe(
@@ -588,28 +715,40 @@ fn encode_codes(codes: &[u32], backend: LosslessBackend, zero_code: u32) -> Vec<
         "Wall time of the entropy/dictionary coding stage (Huffman/LZ/RLE)",
         t0.elapsed().as_secs_f64(),
     );
-    out
+    (out, table_mode)
 }
 
-fn decode_codes(bytes: &[u8], backend: LosslessBackend, zero_code: u32) -> Result<Vec<u32>, SzError> {
+/// Inverse of [`huffman_stage`]: dispatch on the chunk's table-mode tag.
+fn unhuffman_stage(bytes: &[u8], table_mode: u8, shared: Option<&HuffmanTable>) -> Result<Vec<u32>, SzError> {
+    let _p = prof::probe(Kernel::HuffmanDecode, bytes.len());
+    if table_mode == TABLE_MODE_SHARED {
+        let table = shared.ok_or_else(|| {
+            SzError::CorruptStream("chunk references a shared Huffman table the blob does not carry".into())
+        })?;
+        table.decode_stream(bytes)
+    } else {
+        huffman_decode(bytes)
+    }
+}
+
+fn decode_codes(
+    bytes: &[u8],
+    backend: LosslessBackend,
+    zero_code: u32,
+    table_mode: u8,
+    shared: Option<&HuffmanTable>,
+) -> Result<Vec<u32>, SzError> {
     match backend {
-        LosslessBackend::Huffman => {
-            let _p = prof::probe(Kernel::HuffmanDecode, bytes.len());
-            huffman_decode(bytes)
-        }
+        LosslessBackend::Huffman => unhuffman_stage(bytes, table_mode, shared),
         LosslessBackend::HuffmanLz => {
             let raw = {
                 let _p = prof::probe(Kernel::Lz, bytes.len());
                 lz_decompress(bytes)?
             };
-            let _p = prof::probe(Kernel::HuffmanDecode, raw.len());
-            huffman_decode(&raw)
+            unhuffman_stage(&raw, table_mode, shared)
         }
         LosslessBackend::RleHuffman => {
-            let encoded = {
-                let _p = prof::probe(Kernel::HuffmanDecode, bytes.len());
-                huffman_decode(bytes)?
-            };
+            let encoded = unhuffman_stage(bytes, table_mode, shared)?;
             let _p = prof::probe(Kernel::Rle, std::mem::size_of_val(encoded.as_slice()));
             rle_decode(&encoded, zero_code).ok_or_else(|| SzError::CorruptStream("rle: malformed run stream".into()))
         }
@@ -881,7 +1020,16 @@ mod tests {
         let cfg = LossyConfig::sz3_abs(1e-3).with_threads(4).with_chunk_points(Some(64));
         let mut restored: Vec<f32> = Vec::new();
         let outcome = compress_streamed(&data, &cfg, 2, |chunk| {
-            restored.extend(decode_chunk::<f32>(chunk.header, chunk.dims, chunk.index, &chunk.entry, chunk.payload)?);
+            let shared =
+                if chunk.shared_table.is_empty() { None } else { Some(HuffmanTable::deserialize(chunk.shared_table)?) };
+            restored.extend(decode_chunk::<f32>(
+                chunk.header,
+                chunk.dims,
+                chunk.index,
+                &chunk.entry,
+                chunk.payload,
+                shared.as_ref(),
+            )?);
             Ok(())
         })
         .unwrap();

@@ -13,7 +13,7 @@
 
 use crate::error::SzError;
 use crate::ndarray::{Dataset, DatasetView};
-use crate::predict::{PredictionStreams, UnpredictablePool};
+use crate::predict::{PredictionStreams, StreamsView, UnpredictablePool};
 use crate::quantizer::LinearQuantizer;
 use crate::value::ScalarValue;
 
@@ -64,7 +64,7 @@ pub fn compress<T: ScalarValue>(
 /// [`SzError::InvalidShape`] for unsupported ranks.
 pub fn decompress<T: ScalarValue>(
     dims: &[usize],
-    streams: &PredictionStreams<T>,
+    streams: StreamsView<'_, T>,
     quantizer: &LinearQuantizer,
     basis: Basis,
 ) -> Result<Dataset<T>, SzError> {
@@ -76,7 +76,7 @@ pub fn decompress<T: ScalarValue>(
         return Err(SzError::CorruptStream(format!("interp: {} codes for {n} points", streams.codes.len())));
     }
     let mut recon = vec![T::zero(); n];
-    let mut pool = UnpredictablePool::new(&streams.unpredictable);
+    let mut pool = UnpredictablePool::new(streams.unpredictable);
     let mut next_code = 0usize;
     let mut short_pool = false;
     walk_schedule(
@@ -157,43 +157,35 @@ fn walk_pass<T: ScalarValue>(
     recon: &mut [T],
 ) {
     let ndim = dims.len();
-    // Coordinate step per dimension for this pass.
-    let step = |d: usize| -> usize {
-        if d == pass_dim {
-            2 * s
-        } else if d < pass_dim {
-            s
-        } else {
-            2 * s
-        }
-    };
-    let start = |d: usize| -> usize {
-        if d == pass_dim {
-            s
-        } else {
-            0
-        }
-    };
+    // Per-dimension coordinate step and start, precomputed: the pass dim
+    // fills odd multiples of `s` (start `s`, step `2s`); earlier dims sit on
+    // the refined `s` grid, later dims still on the coarse `2s` grid.
+    let step: Vec<usize> = (0..ndim).map(|d| if d < pass_dim { s } else { 2 * s }).collect();
+    let start: Vec<usize> = (0..ndim).map(|d| if d == pass_dim { s } else { 0 }).collect();
 
-    let mut coord: Vec<usize> = (0..ndim).map(start).collect();
+    let mut coord: Vec<usize> = start.clone();
     if coord.iter().zip(dims).any(|(&c, &n)| c >= n) {
         return;
     }
     let dim_len = dims[pass_dim];
     let estride = elem_stride[pass_dim];
+    let near = s * estride;
+    let far = 3 * s * estride;
+    // The point offset is maintained incrementally across odometer steps
+    // (exact integer arithmetic); the reference recomputed the coord·stride
+    // dot product per point, which dominated the schedule walk.
+    let mut off: usize = coord.iter().zip(elem_stride).map(|(&c, &es)| c * es).sum();
     loop {
-        // Offset of the current point.
-        let off: usize = coord.iter().zip(elem_stride).map(|(&c, &es)| c * es).sum();
         let c = coord[pass_dim];
-        let a1 = recon[off - s * estride].to_f64(); // c-s always >= 0
+        let a1 = recon[off - near].to_f64(); // c-s always >= 0
         let pred = if c + s < dim_len {
-            let b1 = recon[off + s * estride].to_f64();
+            let b1 = recon[off + near].to_f64();
             match basis {
                 Basis::Linear => 0.5 * (a1 + b1),
                 Basis::Cubic => {
                     if c >= 3 * s && c + 3 * s < dim_len {
-                        let a3 = recon[off - 3 * s * estride].to_f64();
-                        let b3 = recon[off + 3 * s * estride].to_f64();
+                        let a3 = recon[off - far].to_f64();
+                        let b3 = recon[off + far].to_f64();
                         (-a3 + 9.0 * a1 + 9.0 * b1 - b3) / 16.0
                     } else {
                         0.5 * (a1 + b1)
@@ -212,11 +204,120 @@ fn walk_pass<T: ScalarValue>(
                 return;
             }
             d -= 1;
-            coord[d] += step(d);
+            coord[d] += step[d];
             if coord[d] < dims[d] {
+                off += step[d] * elem_stride[d];
                 break;
             }
-            coord[d] = start(d);
+            off -= (coord[d] - step[d] - start[d]) * elem_stride[d];
+            coord[d] = start[d];
+        }
+    }
+}
+
+/// The pre-fusion pass walk (per-point offset recompute), kept verbatim as
+/// the bit-equality oracle for [`walk_pass`].
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    pub(super) fn walk_schedule<T: ScalarValue>(
+        dims: &[usize],
+        basis: Basis,
+        mut visit: impl FnMut(usize, f64, &mut [T]),
+        recon: &mut [T],
+    ) {
+        let ndim = dims.len();
+        let max_dim = dims.iter().copied().max().expect("validated nonempty");
+        let mut top_stride = 1usize;
+        while top_stride < max_dim {
+            top_stride *= 2;
+        }
+        let mut elem_stride = vec![1usize; ndim];
+        for d in (0..ndim.saturating_sub(1)).rev() {
+            elem_stride[d] = elem_stride[d + 1] * dims[d + 1];
+        }
+        visit(0, 0.0, recon);
+        let mut s = top_stride;
+        while s >= 1 {
+            if s < max_dim {
+                for pass_dim in 0..ndim {
+                    walk_pass(dims, &elem_stride, s, pass_dim, basis, &mut visit, recon);
+                }
+            }
+            if s == 1 {
+                break;
+            }
+            s /= 2;
+        }
+    }
+
+    fn walk_pass<T: ScalarValue>(
+        dims: &[usize],
+        elem_stride: &[usize],
+        s: usize,
+        pass_dim: usize,
+        basis: Basis,
+        visit: &mut impl FnMut(usize, f64, &mut [T]),
+        recon: &mut [T],
+    ) {
+        let ndim = dims.len();
+        let step = |d: usize| -> usize {
+            if d == pass_dim {
+                2 * s
+            } else if d < pass_dim {
+                s
+            } else {
+                2 * s
+            }
+        };
+        let start = |d: usize| -> usize {
+            if d == pass_dim {
+                s
+            } else {
+                0
+            }
+        };
+        let mut coord: Vec<usize> = (0..ndim).map(start).collect();
+        if coord.iter().zip(dims).any(|(&c, &n)| c >= n) {
+            return;
+        }
+        let dim_len = dims[pass_dim];
+        let estride = elem_stride[pass_dim];
+        loop {
+            let off: usize = coord.iter().zip(elem_stride).map(|(&c, &es)| c * es).sum();
+            let c = coord[pass_dim];
+            let a1 = recon[off - s * estride].to_f64();
+            let pred = if c + s < dim_len {
+                let b1 = recon[off + s * estride].to_f64();
+                match basis {
+                    Basis::Linear => 0.5 * (a1 + b1),
+                    Basis::Cubic => {
+                        if c >= 3 * s && c + 3 * s < dim_len {
+                            let a3 = recon[off - 3 * s * estride].to_f64();
+                            let b3 = recon[off + 3 * s * estride].to_f64();
+                            (-a3 + 9.0 * a1 + 9.0 * b1 - b3) / 16.0
+                        } else {
+                            0.5 * (a1 + b1)
+                        }
+                    }
+                }
+            } else {
+                a1
+            };
+            visit(off, pred, recon);
+            let mut d = ndim;
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                coord[d] += step(d);
+                if coord[d] < dims[d] {
+                    break;
+                }
+                coord[d] = start(d);
+            }
         }
     }
 }
@@ -230,7 +331,7 @@ mod tests {
         let q = LinearQuantizer::new(eb, 1 << 15);
         let streams = compress(data.view(), &q, basis).unwrap();
         assert_eq!(streams.codes.len(), data.len(), "schedule must visit every point once");
-        let out = decompress(&dims, &streams, &q, basis).unwrap();
+        let out = decompress(&dims, streams.view(), &q, basis).unwrap();
         for (a, b) in data.values().iter().zip(out.values()) {
             assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-9), "a={a} b={b} eb={eb}");
         }
@@ -294,7 +395,7 @@ mod tests {
     fn corrupt_code_count_detected() {
         let q = LinearQuantizer::new(1e-3, 512);
         let streams = PredictionStreams::<f32> { codes: vec![512; 3], unpredictable: vec![], side_data: vec![] };
-        assert!(decompress(&[8], &streams, &q, Basis::Linear).is_err());
+        assert!(decompress(&[8], streams.view(), &q, Basis::Linear).is_err());
     }
 
     #[test]
@@ -303,6 +404,57 @@ mod tests {
         let q = LinearQuantizer::new(1e-3, 1 << 15);
         let mut streams = compress(data.view(), &q, Basis::Linear).unwrap();
         streams.unpredictable.push(42.0);
-        assert!(decompress(&[16], &streams, &q, Basis::Linear).is_err());
+        assert!(decompress(&[16], streams.view(), &q, Basis::Linear).is_err());
+    }
+
+    use crate::predict::testutil::{bits, fuzz_dataset};
+    use crate::predict::UnpredictablePool;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // The incremental-offset pass walk must visit the same points with
+        // the same predictions as the reference walk, bit for bit.
+        #[test]
+        fn fused_matches_scalar(
+            dims in prop::collection::vec(1usize..18, 1..4),
+            seed in any::<u64>(),
+            basis in prop_oneof![Just(Basis::Linear), Just(Basis::Cubic)],
+            eb in prop_oneof![Just(1e-3f64), Just(1e-1), Just(1e-6)],
+            radius in prop_oneof![Just(4u32), Just(512), Just(1u32 << 15)],
+            amp in prop_oneof![Just(0.0f32), Just(0.01), Just(10.0)],
+        ) {
+            let data = fuzz_dataset(&dims, seed, amp);
+            let q = LinearQuantizer::new(eb, radius);
+            let fused = compress(data.view(), &q, basis).unwrap();
+
+            let n = data.len();
+            let raw = data.values();
+            let mut scalar = PredictionStreams::<f32>::with_capacity(n);
+            let mut recon_ref = vec![0f32; n];
+            reference::walk_schedule(&dims, basis, |off, pred, recon_buf: &mut [f32]| {
+                let quantized = q.quantize(raw[off], pred);
+                if quantized.code == 0 {
+                    scalar.unpredictable.push(quantized.reconstructed);
+                }
+                scalar.codes.push(quantized.code);
+                recon_buf[off] = quantized.reconstructed;
+            }, &mut recon_ref);
+            prop_assert_eq!(&fused.codes, &scalar.codes);
+            prop_assert_eq!(bits(&fused.unpredictable), bits(&scalar.unpredictable));
+
+            let fused_out = decompress(&dims, fused.view(), &q, basis).unwrap();
+            let mut pool = UnpredictablePool::new(fused.unpredictable.as_slice());
+            let mut next = 0usize;
+            let mut recon_dec = vec![0f32; n];
+            reference::walk_schedule(&dims, basis, |off, pred, recon_buf: &mut [f32]| {
+                let code = fused.codes[next];
+                next += 1;
+                recon_buf[off] =
+                    if code == 0 { pool.take().expect("pool length verified by encode") } else { q.recover(code, pred) };
+            }, &mut recon_dec);
+            prop_assert_eq!(bits(fused_out.values()), bits(&recon_dec));
+        }
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::error::SzError;
 use crate::ndarray::{Dataset, DatasetView};
-use crate::predict::{PredictionStreams, UnpredictablePool};
+use crate::predict::{PredictionStreams, StreamsView, UnpredictablePool};
 use crate::quantizer::LinearQuantizer;
 use crate::value::ScalarValue;
 
@@ -41,7 +41,7 @@ pub fn compress<T: ScalarValue>(
 /// the shape, and [`SzError::InvalidShape`] for unsupported ranks.
 pub fn decompress<T: ScalarValue>(
     dims: &[usize],
-    streams: &PredictionStreams<T>,
+    streams: StreamsView<'_, T>,
     quantizer: &LinearQuantizer,
 ) -> Result<Dataset<T>, SzError> {
     let n: usize = dims.iter().product();
@@ -62,7 +62,17 @@ pub fn decompress<T: ScalarValue>(
 
 // The compress and decompress walks are the same traversal; `DECODE` selects
 // whether codes are produced or consumed. `input` is Some(raw) when encoding.
-// Implemented per rank for tight inner loops.
+//
+// The per-rank loops below are *fused* predict→quantize kernels: each rank
+// keeps a register-carried window of the reconstruction so the interior loop
+// reads every neighbour from memory exactly once (one load per point in 2-D,
+// three in 3-D, instead of three and seven) and performs no domain checks.
+// Border points keep the literal `0.0` terms of the out-of-domain neighbours
+// in the same operand order as the naive sum, so the floating-point result —
+// and therefore every reconstruction bit — is unchanged (e.g. `0.0 + -0.0`
+// is `+0.0`, which dropping the zero term would break). The pre-fusion loops
+// are kept verbatim in `reference` below and the `fused_matches_scalar_*`
+// proptests pin bit-equality.
 
 trait StreamsArg<T> {
     fn codes(&self) -> &[u32];
@@ -92,6 +102,45 @@ impl<T> StreamsArg<T> for &PredictionStreams<T> {
         &self.unpredictable
     }
 }
+impl<T> StreamsArg<T> for StreamsView<'_, T> {
+    fn codes(&self) -> &[u32] {
+        self.codes
+    }
+    fn unpredictable(&self) -> &[T] {
+        self.unpredictable
+    }
+}
+
+/// One fused predict→quantize (encode) or predict→recover (decode) step at
+/// `off`. Returns the reconstruction as `f64` so callers can carry it in a
+/// register as the next point's neighbour.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn fused_step<T: ScalarValue, const DECODE: bool>(
+    q: &LinearQuantizer,
+    codes: &[u32],
+    input: Option<&[T]>,
+    off: usize,
+    pred: f64,
+    out: &mut PredictionStreams<T>,
+    recon: &mut [T],
+    pool: &mut UnpredictablePool<'_, T>,
+) -> f64 {
+    if DECODE {
+        let code = codes[off];
+        let v = if code == 0 { pool.take().unwrap_or_else(T::zero) } else { q.recover(code, pred) };
+        recon[off] = v;
+        v.to_f64()
+    } else {
+        let quantized = q.quantize(input.expect("encode has input")[off], pred);
+        if quantized.code == 0 {
+            out.unpredictable.push(quantized.reconstructed);
+        }
+        out.codes.push(quantized.code);
+        recon[off] = quantized.reconstructed;
+        quantized.reconstructed.to_f64()
+    }
+}
 
 fn run<T: ScalarValue, const DECODE: bool>(
     dims: &[usize],
@@ -100,23 +149,29 @@ fn run<T: ScalarValue, const DECODE: bool>(
     q: &LinearQuantizer,
 ) -> (PredictionStreams<T>, Vec<T>, bool) {
     let n = dims[0];
-    let mut out = PredictionStreams::with_capacity(n);
-    let mut recon: Vec<T> = Vec::with_capacity(n);
+    let mut out = PredictionStreams::with_capacity(if DECODE { 0 } else { n });
+    let mut recon: Vec<T> = Vec::with_capacity(if DECODE { n } else { 0 });
     let mut pool = UnpredictablePool::new(streams.unpredictable());
     let codes = streams.codes();
-    for i in 0..n {
-        let pred = if i > 0 { recon[i - 1].to_f64() } else { 0.0 };
-        if DECODE {
-            let code = codes[i];
-            let v = if code == 0 { pool.take().unwrap_or_else(T::zero) } else { q.recover(code, pred) };
+    // The 1-D prediction is the previous reconstruction, carried in a
+    // register: the loop never re-reads the reconstruction buffer, and the
+    // encode path does not materialize one at all.
+    let mut prev = 0.0f64;
+    if DECODE {
+        for &code in &codes[..n] {
+            let v = if code == 0 { pool.take().unwrap_or_else(T::zero) } else { q.recover(code, prev) };
             recon.push(v);
-        } else {
-            let quantized = q.quantize(input.expect("encode has input")[i], pred);
+            prev = v.to_f64();
+        }
+    } else {
+        let input = input.expect("encode has input");
+        for &value in &input[..n] {
+            let quantized = q.quantize(value, prev);
             if quantized.code == 0 {
                 out.unpredictable.push(quantized.reconstructed);
             }
             out.codes.push(quantized.code);
-            recon.push(quantized.reconstructed);
+            prev = quantized.reconstructed.to_f64();
         }
     }
     let consumed = pool.fully_consumed();
@@ -131,33 +186,33 @@ fn run2<T: ScalarValue, const DECODE: bool>(
 ) -> (PredictionStreams<T>, Vec<T>, bool) {
     let (n0, n1) = (dims[0], dims[1]);
     let n = n0 * n1;
-    let mut out = PredictionStreams::with_capacity(n);
+    let mut out = PredictionStreams::with_capacity(if DECODE { 0 } else { n });
     let mut recon: Vec<T> = vec![T::zero(); n];
     let mut pool = UnpredictablePool::new(streams.unpredictable());
     let codes = streams.codes();
-    let at = |recon: &[T], i: isize, j: isize| -> f64 {
-        if i < 0 || j < 0 {
-            0.0
-        } else {
-            recon[i as usize * n1 + j as usize].to_f64()
-        }
-    };
-    for i in 0..n0 {
-        for j in 0..n1 {
-            let (si, sj) = (i as isize, j as isize);
-            let pred = at(&recon, si - 1, sj) + at(&recon, si, sj - 1) - at(&recon, si - 1, sj - 1);
-            let off = i * n1 + j;
-            if DECODE {
-                let code = codes[off];
-                recon[off] = if code == 0 { pool.take().unwrap_or_else(T::zero) } else { q.recover(code, pred) };
-            } else {
-                let quantized = q.quantize(input.expect("encode has input")[off], pred);
-                if quantized.code == 0 {
-                    out.unpredictable.push(quantized.reconstructed);
-                }
-                out.codes.push(quantized.code);
-                recon[off] = quantized.reconstructed;
-            }
+    if n == 0 {
+        return (out, recon, pool.fully_consumed());
+    }
+    // First row: the row above is out of domain; keep nonzero terms in the
+    // reference operand order (above + left − diag). The all-zero corner
+    // collapses to the literal: `0.0 + 0.0 - 0.0` is exactly `+0.0`.
+    let mut left = fused_step::<T, DECODE>(q, codes, input, 0, 0.0, &mut out, &mut recon, &mut pool);
+    for j in 1..n1 {
+        let pred = (0.0 + left) - 0.0;
+        left = fused_step::<T, DECODE>(q, codes, input, j, pred, &mut out, &mut recon, &mut pool);
+    }
+    for i in 1..n0 {
+        let row = i * n1;
+        // `above` walks the previous reconstructed row; the previous `above`
+        // is exactly the diagonal neighbour, so the interior loop loads one
+        // value per point.
+        let mut above = recon[row - n1].to_f64();
+        left = fused_step::<T, DECODE>(q, codes, input, row, (above + 0.0) - 0.0, &mut out, &mut recon, &mut pool);
+        for j in 1..n1 {
+            let diag = above;
+            above = recon[row - n1 + j].to_f64();
+            let pred = (above + left) - diag;
+            left = fused_step::<T, DECODE>(q, codes, input, row + j, pred, &mut out, &mut recon, &mut pool);
         }
     }
     let consumed = pool.fully_consumed();
@@ -172,11 +227,14 @@ fn run3<T: ScalarValue, const DECODE: bool>(
 ) -> (PredictionStreams<T>, Vec<T>, bool) {
     let (n0, n1, n2) = (dims[0], dims[1], dims[2]);
     let n = n0 * n1 * n2;
-    let mut out = PredictionStreams::with_capacity(n);
+    let mut out = PredictionStreams::with_capacity(if DECODE { 0 } else { n });
     let mut recon: Vec<T> = vec![T::zero(); n];
     let mut pool = UnpredictablePool::new(streams.unpredictable());
     let codes = streams.codes();
     let stride0 = n1 * n2;
+    // Border points (any coordinate 0) take the checked seven-term sum, same
+    // as the reference; interior rows carry four of the seven neighbours in
+    // registers and load only three per point.
     let at = |recon: &[T], i: isize, j: isize, k: isize| -> f64 {
         if i < 0 || j < 0 || k < 0 {
             0.0
@@ -186,14 +244,103 @@ fn run3<T: ScalarValue, const DECODE: bool>(
     };
     for i in 0..n0 {
         for j in 0..n1 {
-            for k in 0..n2 {
+            let row = i * stride0 + j * n2;
+            let border_ks = if i == 0 || j == 0 { n2 } else { 1.min(n2) };
+            for k in 0..border_ks {
                 let (si, sj, sk) = (i as isize, j as isize, k as isize);
                 let pred = at(&recon, si - 1, sj, sk) + at(&recon, si, sj - 1, sk) + at(&recon, si, sj, sk - 1)
                     - at(&recon, si - 1, sj - 1, sk)
                     - at(&recon, si - 1, sj, sk - 1)
                     - at(&recon, si, sj - 1, sk - 1)
                     + at(&recon, si - 1, sj - 1, sk - 1);
-                let off = i * stride0 + j * n2 + k;
+                fused_step::<T, DECODE>(q, codes, input, row + k, pred, &mut out, &mut recon, &mut pool);
+            }
+            if border_ks == n2 {
+                continue;
+            }
+            // Interior of the row: i ≥ 1, j ≥ 1, k ≥ 1. Operand order matches
+            // the reference sum term for term.
+            let mut west = recon[row].to_f64();
+            let mut up_west = recon[row - stride0].to_f64();
+            let mut north_west = recon[row - n2].to_f64();
+            let mut up_north_west = recon[row - stride0 - n2].to_f64();
+            for k in 1..n2 {
+                let off = row + k;
+                let up = recon[off - stride0].to_f64();
+                let north = recon[off - n2].to_f64();
+                let up_north = recon[off - stride0 - n2].to_f64();
+                let pred = up + north + west - up_north - up_west - north_west + up_north_west;
+                west = fused_step::<T, DECODE>(q, codes, input, off, pred, &mut out, &mut recon, &mut pool);
+                up_west = up;
+                north_west = north;
+                up_north_west = up_north;
+            }
+        }
+    }
+    let consumed = pool.fully_consumed();
+    (out, recon, consumed)
+}
+
+/// The pre-fusion scalar walks, kept verbatim as the bit-equality oracle for
+/// the fused kernels (see the `fused_matches_scalar_*` proptests).
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    pub(super) fn run<T: ScalarValue, const DECODE: bool>(
+        dims: &[usize],
+        input: Option<&[T]>,
+        streams: impl StreamsArg<T>,
+        q: &LinearQuantizer,
+    ) -> (PredictionStreams<T>, Vec<T>, bool) {
+        let n = dims[0];
+        let mut out = PredictionStreams::with_capacity(n);
+        let mut recon: Vec<T> = Vec::with_capacity(n);
+        let mut pool = UnpredictablePool::new(streams.unpredictable());
+        let codes = streams.codes();
+        for i in 0..n {
+            let pred = if i > 0 { recon[i - 1].to_f64() } else { 0.0 };
+            if DECODE {
+                let code = codes[i];
+                let v = if code == 0 { pool.take().unwrap_or_else(T::zero) } else { q.recover(code, pred) };
+                recon.push(v);
+            } else {
+                let quantized = q.quantize(input.expect("encode has input")[i], pred);
+                if quantized.code == 0 {
+                    out.unpredictable.push(quantized.reconstructed);
+                }
+                out.codes.push(quantized.code);
+                recon.push(quantized.reconstructed);
+            }
+        }
+        let consumed = pool.fully_consumed();
+        (out, recon, consumed)
+    }
+
+    pub(super) fn run2<T: ScalarValue, const DECODE: bool>(
+        dims: &[usize],
+        input: Option<&[T]>,
+        streams: impl StreamsArg<T>,
+        q: &LinearQuantizer,
+    ) -> (PredictionStreams<T>, Vec<T>, bool) {
+        let (n0, n1) = (dims[0], dims[1]);
+        let n = n0 * n1;
+        let mut out = PredictionStreams::with_capacity(n);
+        let mut recon: Vec<T> = vec![T::zero(); n];
+        let mut pool = UnpredictablePool::new(streams.unpredictable());
+        let codes = streams.codes();
+        let at = |recon: &[T], i: isize, j: isize| -> f64 {
+            if i < 0 || j < 0 {
+                0.0
+            } else {
+                recon[i as usize * n1 + j as usize].to_f64()
+            }
+        };
+        for i in 0..n0 {
+            for j in 0..n1 {
+                let (si, sj) = (i as isize, j as isize);
+                let pred = at(&recon, si - 1, sj) + at(&recon, si, sj - 1) - at(&recon, si - 1, sj - 1);
+                let off = i * n1 + j;
                 if DECODE {
                     let code = codes[off];
                     recon[off] = if code == 0 { pool.take().unwrap_or_else(T::zero) } else { q.recover(code, pred) };
@@ -207,9 +354,58 @@ fn run3<T: ScalarValue, const DECODE: bool>(
                 }
             }
         }
+        let consumed = pool.fully_consumed();
+        (out, recon, consumed)
     }
-    let consumed = pool.fully_consumed();
-    (out, recon, consumed)
+
+    pub(super) fn run3<T: ScalarValue, const DECODE: bool>(
+        dims: &[usize],
+        input: Option<&[T]>,
+        streams: impl StreamsArg<T>,
+        q: &LinearQuantizer,
+    ) -> (PredictionStreams<T>, Vec<T>, bool) {
+        let (n0, n1, n2) = (dims[0], dims[1], dims[2]);
+        let n = n0 * n1 * n2;
+        let mut out = PredictionStreams::with_capacity(n);
+        let mut recon: Vec<T> = vec![T::zero(); n];
+        let mut pool = UnpredictablePool::new(streams.unpredictable());
+        let codes = streams.codes();
+        let stride0 = n1 * n2;
+        let at = |recon: &[T], i: isize, j: isize, k: isize| -> f64 {
+            if i < 0 || j < 0 || k < 0 {
+                0.0
+            } else {
+                recon[i as usize * stride0 + j as usize * n2 + k as usize].to_f64()
+            }
+        };
+        for i in 0..n0 {
+            for j in 0..n1 {
+                for k in 0..n2 {
+                    let (si, sj, sk) = (i as isize, j as isize, k as isize);
+                    let pred = at(&recon, si - 1, sj, sk) + at(&recon, si, sj - 1, sk) + at(&recon, si, sj, sk - 1)
+                        - at(&recon, si - 1, sj - 1, sk)
+                        - at(&recon, si - 1, sj, sk - 1)
+                        - at(&recon, si, sj - 1, sk - 1)
+                        + at(&recon, si - 1, sj - 1, sk - 1);
+                    let off = i * stride0 + j * n2 + k;
+                    if DECODE {
+                        let code = codes[off];
+                        recon[off] =
+                            if code == 0 { pool.take().unwrap_or_else(T::zero) } else { q.recover(code, pred) };
+                    } else {
+                        let quantized = q.quantize(input.expect("encode has input")[off], pred);
+                        if quantized.code == 0 {
+                            out.unpredictable.push(quantized.reconstructed);
+                        }
+                        out.codes.push(quantized.code);
+                        recon[off] = quantized.reconstructed;
+                    }
+                }
+            }
+        }
+        let consumed = pool.fully_consumed();
+        (out, recon, consumed)
+    }
 }
 
 /// Mean absolute Lorenzo prediction error over *raw* values (the "average
@@ -290,7 +486,7 @@ mod tests {
         let data = Dataset::from_fn(dims.clone(), gen);
         let q = LinearQuantizer::new(eb, 1 << 15);
         let streams = compress(data.view(), &q).unwrap();
-        let out = decompress(&dims, &streams, &q).unwrap();
+        let out = decompress(&dims, streams.view(), &q).unwrap();
         for (a, b) in data.values().iter().zip(out.values()) {
             assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-9), "a={a} b={b} eb={eb}");
         }
@@ -340,7 +536,7 @@ mod tests {
     fn code_length_mismatch_is_detected() {
         let q = LinearQuantizer::new(1e-3, 512);
         let streams = PredictionStreams::<f32> { codes: vec![512; 5], unpredictable: vec![], side_data: vec![] };
-        assert!(decompress(&[10], &streams, &q).is_err());
+        assert!(decompress(&[10], streams.view(), &q).is_err());
     }
 
     #[test]
@@ -348,7 +544,7 @@ mod tests {
         let q = LinearQuantizer::new(1e-3, 512);
         // One spurious unpredictable value that no code references.
         let streams = PredictionStreams::<f32> { codes: vec![512; 4], unpredictable: vec![9.0], side_data: vec![] };
-        assert!(decompress(&[4], &streams, &q).is_err());
+        assert!(decompress(&[4], streams.view(), &q).is_err());
     }
 
     #[test]
@@ -369,5 +565,45 @@ mod tests {
             ((state >> 33) as f32 / (1u64 << 31) as f32) * 100.0
         });
         assert!(mean_raw_error(&data) > 10.0);
+    }
+
+    use crate::predict::testutil::{bits, fuzz_dataset};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // The fused kernels must be *bit-identical* to the scalar reference
+        // on both sides: same codes, same unpredictable values, and the same
+        // reconstruction (predictions feed back, so one differing bit
+        // cascades and the comparison catches it).
+        #[test]
+        fn fused_matches_scalar_lorenzo(
+            dims in prop::collection::vec(1usize..18, 1..4),
+            seed in any::<u64>(),
+            eb in prop_oneof![Just(1e-3f64), Just(1e-1), Just(1e-6)],
+            radius in prop_oneof![Just(4u32), Just(512), Just(1u32 << 15)],
+            amp in prop_oneof![Just(0.0f32), Just(0.01), Just(10.0)],
+        ) {
+            let data = fuzz_dataset(&dims, seed, amp);
+            let q = LinearQuantizer::new(eb, radius);
+            let fused = compress(data.view(), &q).unwrap();
+            let (scalar, _, _) = match dims.len() {
+                1 => reference::run::<f32, false>(&dims, Some(data.values()), EMPTY, &q),
+                2 => reference::run2::<f32, false>(&dims, Some(data.values()), EMPTY, &q),
+                _ => reference::run3::<f32, false>(&dims, Some(data.values()), EMPTY, &q),
+            };
+            prop_assert_eq!(&fused.codes, &scalar.codes);
+            prop_assert_eq!(bits(&fused.unpredictable), bits(&scalar.unpredictable));
+
+            let fused_out = decompress(&dims, fused.view(), &q).unwrap();
+            let (_, scalar_recon, consumed) = match dims.len() {
+                1 => reference::run::<f32, true>(&dims, None, fused.view(), &q),
+                2 => reference::run2::<f32, true>(&dims, None, fused.view(), &q),
+                _ => reference::run3::<f32, true>(&dims, None, fused.view(), &q),
+            };
+            prop_assert!(consumed);
+            prop_assert_eq!(bits(fused_out.values()), bits(&scalar_recon));
+        }
     }
 }

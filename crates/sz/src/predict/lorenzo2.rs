@@ -10,7 +10,7 @@
 
 use crate::error::SzError;
 use crate::ndarray::{Dataset, DatasetView};
-use crate::predict::{PredictionStreams, UnpredictablePool};
+use crate::predict::{PredictionStreams, StreamsView, UnpredictablePool};
 use crate::quantizer::LinearQuantizer;
 use crate::value::ScalarValue;
 
@@ -70,7 +70,7 @@ pub fn compress<T: ScalarValue>(
 /// [`SzError::InvalidShape`] for unsupported ranks.
 pub fn decompress<T: ScalarValue>(
     dims: &[usize],
-    streams: &PredictionStreams<T>,
+    streams: StreamsView<'_, T>,
     quantizer: &LinearQuantizer,
 ) -> Result<Dataset<T>, SzError> {
     if dims.len() > 3 {
@@ -81,7 +81,7 @@ pub fn decompress<T: ScalarValue>(
         return Err(SzError::CorruptStream(format!("lorenzo2: {} codes for {n} points", streams.codes.len())));
     }
     let mut recon = vec![T::zero(); n];
-    let mut pool = UnpredictablePool::new(&streams.unpredictable);
+    let mut pool = UnpredictablePool::new(streams.unpredictable);
     let mut next_code = 0usize;
     let mut short_pool = false;
     walk(dims, &mut recon, |off, pred, recon_buf| {
@@ -107,6 +107,14 @@ pub fn decompress<T: ScalarValue>(
 
 /// Row-major walk computing the second-order prediction from reconstructed
 /// values (out-of-domain neighbours read as 0, as in first-order Lorenzo).
+///
+/// Fused fast path: away from the leading borders (every coordinate ≥ 2, the
+/// widest stencil offset) all stencil terms are in-domain, so the prediction
+/// reduces to a dot product against precomputed flat offsets — no per-term
+/// domain checks and no per-term offset decomposition. Terms accumulate in
+/// stencil enumeration order either way, keeping the sum bit-identical to
+/// the checked path (pinned by the `fused_matches_scalar` proptest against
+/// `reference::walk`).
 fn walk<T: ScalarValue>(dims: &[usize], recon: &mut [T], mut visit: impl FnMut(usize, f64, &mut [T])) {
     let ndim = dims.len();
     let weights = stencil(ndim);
@@ -114,19 +122,27 @@ fn walk<T: ScalarValue>(dims: &[usize], recon: &mut [T], mut visit: impl FnMut(u
     for d in (0..ndim.saturating_sub(1)).rev() {
         elem_stride[d] = elem_stride[d + 1] * dims[d + 1];
     }
+    let terms: Vec<(usize, f64)> =
+        weights.iter().map(|(offsets, w)| (offsets.iter().zip(&elem_stride).map(|(o, s)| o * s).sum(), *w)).collect();
     let n: usize = dims.iter().product();
     let mut idx = vec![0usize; ndim];
     for off in 0..n {
         let mut pred = 0.0f64;
-        'stencil: for (offsets, w) in &weights {
-            let mut noff = off;
-            for d in 0..ndim {
-                if idx[d] < offsets[d] {
-                    continue 'stencil; // neighbour outside the domain → 0
-                }
-                noff -= offsets[d] * elem_stride[d];
+        if idx.iter().all(|&i| i >= 2) {
+            for &(doff, w) in &terms {
+                pred += w * recon[off - doff].to_f64();
             }
-            pred += w * recon[noff].to_f64();
+        } else {
+            'stencil: for (offsets, w) in &weights {
+                let mut noff = off;
+                for d in 0..ndim {
+                    if idx[d] < offsets[d] {
+                        continue 'stencil; // neighbour outside the domain → 0
+                    }
+                    noff -= offsets[d] * elem_stride[d];
+                }
+                pred += w * recon[noff].to_f64();
+            }
         }
         visit(off, pred, recon);
         for d in (0..ndim).rev() {
@@ -139,6 +155,45 @@ fn walk<T: ScalarValue>(dims: &[usize], recon: &mut [T], mut visit: impl FnMut(u
     }
 }
 
+/// The pre-fusion walk, kept verbatim as the bit-equality oracle for the
+/// fused fast path in [`walk`].
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    pub(super) fn walk<T: ScalarValue>(dims: &[usize], recon: &mut [T], mut visit: impl FnMut(usize, f64, &mut [T])) {
+        let ndim = dims.len();
+        let weights = stencil(ndim);
+        let mut elem_stride = vec![1usize; ndim];
+        for d in (0..ndim.saturating_sub(1)).rev() {
+            elem_stride[d] = elem_stride[d + 1] * dims[d + 1];
+        }
+        let n: usize = dims.iter().product();
+        let mut idx = vec![0usize; ndim];
+        for off in 0..n {
+            let mut pred = 0.0f64;
+            'stencil: for (offsets, w) in &weights {
+                let mut noff = off;
+                for d in 0..ndim {
+                    if idx[d] < offsets[d] {
+                        continue 'stencil; // neighbour outside the domain → 0
+                    }
+                    noff -= offsets[d] * elem_stride[d];
+                }
+                pred += w * recon[noff].to_f64();
+            }
+            visit(off, pred, recon);
+            for d in (0..ndim).rev() {
+                idx[d] += 1;
+                if idx[d] < dims[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,7 +202,7 @@ mod tests {
         let data = Dataset::from_fn(dims.clone(), gen);
         let q = LinearQuantizer::new(eb, 1 << 15);
         let streams = compress(data.view(), &q).unwrap();
-        let out = decompress(&dims, &streams, &q).unwrap();
+        let out = decompress(&dims, streams.view(), &q).unwrap();
         for (a, b) in data.values().iter().zip(out.values()) {
             assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-9), "a={a} b={b}");
         }
@@ -205,10 +260,59 @@ mod tests {
     fn corrupt_streams_detected() {
         let q = LinearQuantizer::new(1e-3, 512);
         let streams = PredictionStreams::<f32> { codes: vec![512; 3], unpredictable: vec![], side_data: vec![] };
-        assert!(decompress(&[8], &streams, &q).is_err());
+        assert!(decompress(&[8], streams.view(), &q).is_err());
         let data = Dataset::from_fn(vec![16], |i| i[0] as f32);
         let mut ok = compress(data.view(), &LinearQuantizer::new(1e-3, 1 << 15)).unwrap();
         ok.unpredictable.push(1.0);
-        assert!(decompress(&[16], &ok, &LinearQuantizer::new(1e-3, 1 << 15)).is_err());
+        assert!(decompress(&[16], ok.view(), &LinearQuantizer::new(1e-3, 1 << 15)).is_err());
+    }
+
+    use crate::predict::testutil::{bits, fuzz_dataset};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // The interior fast path in `walk` must be bit-identical to the
+        // checked reference walk on both encode and decode.
+        #[test]
+        fn fused_matches_scalar(
+            dims in prop::collection::vec(1usize..14, 1..4),
+            seed in any::<u64>(),
+            eb in prop_oneof![Just(1e-3f64), Just(1e-1), Just(1e-6)],
+            radius in prop_oneof![Just(4u32), Just(512), Just(1u32 << 15)],
+            amp in prop_oneof![Just(0.0f32), Just(0.01), Just(10.0)],
+        ) {
+            let data = fuzz_dataset(&dims, seed, amp);
+            let q = LinearQuantizer::new(eb, radius);
+            let fused = compress(data.view(), &q).unwrap();
+
+            let n = data.len();
+            let raw = data.values();
+            let mut scalar = PredictionStreams::<f32>::with_capacity(n);
+            let mut recon_ref = vec![0f32; n];
+            reference::walk(&dims, &mut recon_ref, |off, pred, recon_buf| {
+                let quantized = q.quantize(raw[off], pred);
+                if quantized.code == 0 {
+                    scalar.unpredictable.push(quantized.reconstructed);
+                }
+                scalar.codes.push(quantized.code);
+                recon_buf[off] = quantized.reconstructed;
+            });
+            prop_assert_eq!(&fused.codes, &scalar.codes);
+            prop_assert_eq!(bits(&fused.unpredictable), bits(&scalar.unpredictable));
+
+            let fused_out = decompress(&dims, fused.view(), &q).unwrap();
+            let mut pool = UnpredictablePool::new(fused.unpredictable.as_slice());
+            let mut next = 0usize;
+            let mut recon_dec = vec![0f32; n];
+            reference::walk(&dims, &mut recon_dec, |off, pred, recon_buf| {
+                let code = fused.codes[next];
+                next += 1;
+                recon_buf[off] =
+                    if code == 0 { pool.take().expect("pool length verified by encode") } else { q.recover(code, pred) };
+            });
+            prop_assert_eq!(bits(fused_out.values()), bits(&recon_dec));
+        }
     }
 }

@@ -41,6 +41,24 @@ impl<T: ScalarValue> PredictionStreams<T> {
             self.unpredictable.len() as f64 / self.codes.len() as f64
         }
     }
+
+    /// Borrows the streams for decompression without copying any of them.
+    pub fn view(&self) -> StreamsView<'_, T> {
+        StreamsView { codes: &self.codes, unpredictable: &self.unpredictable, side_data: &self.side_data }
+    }
+}
+
+/// Borrowed [`PredictionStreams`]: what a decompressor actually needs. The
+/// side-data slice can point straight into the decoded chunk payload, so
+/// decompression never copies side data into an owned `Vec`.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamsView<'a, T> {
+    /// One entropy-coder symbol per data point.
+    pub codes: &'a [u32],
+    /// Exactly-stored values for points whose code is `0`.
+    pub unpredictable: &'a [T],
+    /// Serialized predictor-specific side data.
+    pub side_data: &'a [u8],
 }
 
 /// Sequential consumer of the unpredictable-value side channel during
@@ -68,6 +86,32 @@ impl<'a, T: ScalarValue> UnpredictablePool<'a, T> {
     /// Whether every stored value has been consumed.
     pub(crate) fn fully_consumed(&self) -> bool {
         self.next == self.values.len()
+    }
+}
+
+/// Shared helpers for the fused-vs-scalar bit-equality proptests in the
+/// predictor modules.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::ndarray::Dataset;
+
+    /// Mixed smooth + noise field whose roughness scales with `amp`, so some
+    /// parameter draws produce unpredictable values (escape path) and others
+    /// stay all-predictable.
+    pub(crate) fn fuzz_dataset(dims: &[usize], seed: u64, amp: f32) -> Dataset<f32> {
+        let mut state = seed | 1;
+        Dataset::from_fn(dims.to_vec(), move |idx| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+            let smooth: f32 = idx.iter().map(|&c| c as f32 * 0.13).sum::<f32>().sin();
+            smooth + noise * amp
+        })
+    }
+
+    /// Bit patterns for exact `f32` comparison (distinguishes `-0.0`/`+0.0`
+    /// and compares NaNs structurally).
+    pub(crate) fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
     }
 }
 

@@ -15,7 +15,7 @@
 
 use crate::error::SzError;
 use crate::ndarray::{Dataset, DatasetView};
-use crate::predict::{PredictionStreams, UnpredictablePool};
+use crate::predict::{PredictionStreams, StreamsView, UnpredictablePool};
 use crate::quantizer::LinearQuantizer;
 use crate::value::ScalarValue;
 
@@ -83,7 +83,7 @@ pub fn compress<T: ScalarValue>(
 /// mismatches, [`SzError::InvalidShape`] for unsupported ranks.
 pub fn decompress<T: ScalarValue>(
     dims_in: &[usize],
-    streams: &PredictionStreams<T>,
+    streams: StreamsView<'_, T>,
     quantizer: &LinearQuantizer,
 ) -> Result<Dataset<T>, SzError> {
     let ndim = dims_in.len();
@@ -97,7 +97,7 @@ pub fn decompress<T: ScalarValue>(
     let dims = pad3(dims_in);
     let edge = block_edge(ndim);
     let mut recon = vec![T::zero(); n];
-    let mut pool = UnpredictablePool::new(&streams.unpredictable);
+    let mut pool = UnpredictablePool::new(streams.unpredictable);
     let mut next_code = 0usize;
     let mut side_pos = 0usize;
     let mut failure: Option<SzError> = None;
@@ -317,7 +317,7 @@ mod tests {
         let data = Dataset::from_fn(dims.clone(), gen);
         let q = LinearQuantizer::new(eb, 1 << 15);
         let streams = compress(data.view(), &q).unwrap();
-        let out = decompress(&dims, &streams, &q).unwrap();
+        let out = decompress(&dims, streams.view(), &q).unwrap();
         for (a, b) in data.values().iter().zip(out.values()) {
             assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-9), "a={a} b={b}");
         }
@@ -364,7 +364,7 @@ mod tests {
         let q = LinearQuantizer::new(1e-3, 1 << 15);
         let mut streams = compress(data.view(), &q).unwrap();
         streams.side_data[0] = 7;
-        assert!(decompress(&[8, 8], &streams, &q).is_err());
+        assert!(decompress(&[8, 8], streams.view(), &q).is_err());
     }
 
     #[test]
@@ -373,7 +373,7 @@ mod tests {
         let q = LinearQuantizer::new(1e-3, 1 << 15);
         let mut streams = compress(data.view(), &q).unwrap();
         streams.side_data.truncate(1);
-        assert!(decompress(&[30, 30], &streams, &q).is_err());
+        assert!(decompress(&[30, 30], streams.view(), &q).is_err());
     }
 
     #[test]

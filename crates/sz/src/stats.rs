@@ -115,19 +115,82 @@ pub struct QuantBinStats {
 /// symbol of the zero-error bin (quantizer radius) and `0` marks
 /// unpredictable points.
 pub fn quant_bin_stats(codes: &[u32], zero_code: u32) -> QuantBinStats {
-    if codes.is_empty() {
+    quant_bin_stats_from_hist(&code_histogram(codes), zero_code)
+}
+
+/// Sparse `(code, count)` histogram of a code stream, sorted by code. The
+/// chunked pipeline aggregates these per chunk so job-wide statistics never
+/// need the concatenated code stream.
+pub(crate) fn code_histogram(codes: &[u32]) -> Vec<(u32, u64)> {
+    huffman::freq_pairs(codes)
+}
+
+/// Merges a sorted sparse histogram into a sorted accumulator.
+pub(crate) fn merge_histograms(acc: &mut Vec<(u32, u64)>, add: &[(u32, u64)]) {
+    if add.is_empty() {
+        return;
+    }
+    if acc.is_empty() {
+        acc.extend_from_slice(add);
+        return;
+    }
+    let mut merged = Vec::with_capacity(acc.len() + add.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < acc.len() && j < add.len() {
+        match acc[i].0.cmp(&add[j].0) {
+            std::cmp::Ordering::Less => {
+                merged.push(acc[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(add[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push((acc[i].0, acc[i].1 + add[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&acc[i..]);
+    merged.extend_from_slice(&add[j..]);
+    *acc = merged;
+}
+
+/// [`quant_bin_stats`] over a sorted sparse histogram instead of the code
+/// stream itself.
+///
+/// Bit-reproducibility: counts, `freq·len` products, and their running sums
+/// are exact integers well inside `f64`'s 2^53 mantissa, and every float sum
+/// here runs in sorted-symbol order — exactly the order [`symbol_entropy`]
+/// and `huffman::encoded_share` use — so the result matches the code-stream
+/// path bit for bit.
+pub(crate) fn quant_bin_stats_from_hist(hist: &[(u32, u64)], zero_code: u32) -> QuantBinStats {
+    let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
         return QuantBinStats { p0: 0.0, cap_p0: 0.0, quant_entropy: 0.0, r_rle: 1.0, unpredictable: 0.0 };
     }
-    let n = codes.len() as f64;
-    let zeros = codes.iter().filter(|&&c| c == zero_code).count() as f64;
-    let unpred = codes.iter().filter(|&&c| c == 0).count() as f64;
-    let p0 = zeros / n;
-    let share = huffman::encoded_share(codes);
-    let cap_p0 = share.get(&zero_code).copied().unwrap_or(0.0);
-    let quant_entropy = symbol_entropy(codes);
+    let n = total as f64;
+    let count_of = |sym: u32| hist.binary_search_by_key(&sym, |&(s, _)| s).map_or(0, |i| hist[i].1);
+    let p0 = count_of(zero_code) as f64 / n;
+    let unpred = count_of(0) as f64 / n;
+    let lengths = huffman::lengths_from_pairs(hist);
+    let total_bits: f64 = hist.iter().zip(&lengths).map(|(&(_, f), &(_, l))| f as f64 * l as f64).sum();
+    let cap_p0 = match hist.binary_search_by_key(&zero_code, |&(s, _)| s) {
+        Ok(i) if total_bits > 0.0 => hist[i].1 as f64 * lengths[i].1 as f64 / total_bits,
+        _ => 0.0,
+    };
+    let quant_entropy = hist
+        .iter()
+        .map(|&(_, c)| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum();
     let denom = (1.0 - p0) * cap_p0 + (1.0 - cap_p0);
     let r_rle = if denom > 1e-12 { 1.0 / denom } else { f64::INFINITY };
-    QuantBinStats { p0, cap_p0, quant_entropy, r_rle, unpredictable: unpred / n }
+    QuantBinStats { p0, cap_p0, quant_entropy, r_rle, unpredictable: unpred }
 }
 
 /// The Jin et al. (ICDE'22) closed-form compression-ratio estimator

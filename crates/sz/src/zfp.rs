@@ -68,10 +68,23 @@ pub(crate) fn compress_impl<T: ScalarValue>(
         backend: LosslessBackend::Huffman, // unused by this codec
         quant_radius: 0,
     };
-    compress_chunked(data, header, threads, chunk_points, |chunk| {
+    compress_chunked(data, header, threads, chunk_points, |_i, chunk| {
         let payload = encode_chunk_payload(chunk, abs_eb);
         let code_bytes = payload.len();
-        Ok(EncodedChunk { payload, codes: Vec::new(), unpredictable: 0, side_bytes: 0, unpred_bytes: 0, code_bytes })
+        let crc = {
+            let _p = ocelot_obs::prof::probe(ocelot_obs::prof::Kernel::FrameCrc, payload.len());
+            crate::checksum::crc32(&payload)
+        };
+        Ok(EncodedChunk {
+            payload,
+            crc,
+            hist: Vec::new(),
+            table_mode: crate::format::TABLE_MODE_LOCAL,
+            unpredictable: 0,
+            side_bytes: 0,
+            unpred_bytes: 0,
+            code_bytes,
+        })
     })
 }
 
